@@ -1,0 +1,49 @@
+// Ablation: receive-antenna diversity.
+//
+// The paper's Intel 5300 exposes 3 RX chains; the text never says how (or
+// whether) they were combined.  This bench quantifies what diversity is
+// worth to NomLoc: the PDP of each packet is taken from the non-coherent
+// sum of the antennas' power-delay profiles (dsp::PdpOfMimoBatch),
+// covering per-antenna fades.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: RX antenna diversity ===\n\n");
+
+  for (const eval::Scenario& scenario :
+       {eval::LabScenario(), eval::LobbyScenario()}) {
+    std::printf("%s:\n", scenario.name.c_str());
+    std::printf("  %-10s %-18s %-14s %-10s\n", "antennas",
+                "prox. accuracy", "mean error", "SLV");
+    for (int antennas : {1, 2, 3}) {
+      eval::RunConfig cfg = bench::PaperConfig(2201);
+      cfg.channel.rx_antennas = antennas;
+      // Make the regime fading-limited so diversity has something to fix:
+      // deep Rayleigh-ish fading and too few packets to average it out.
+      cfg.channel.rician_k_db = 0.0;
+      cfg.packets_per_batch = 2;
+      cfg.trials = 20;
+      auto prox = eval::RunProximityAccuracy(scenario, cfg);
+      auto loc = eval::RunLocalization(scenario, cfg);
+      if (!prox.ok() || !loc.ok()) {
+        std::fprintf(stderr, "run failed at %d antennas\n", antennas);
+        return 1;
+      }
+      std::printf("  %-10d %12.3f %14.2f m %8.3f m^2\n", antennas,
+                  common::Mean(prox->per_site_accuracy), loc->MeanError(),
+                  loc->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: diversity stabilises the per-packet PDP under heavy\n"
+      "fading, nudging proximity accuracy and localization error in the\n"
+      "right direction; with large batches (which already average fading\n"
+      "out) the gain is modest — batching and diversity are substitutes.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: channel bandwidth vs PDP quality.
+//
+// The paper leans on the "20 MHz bandwidth of the 802.11n system" to
+// resolve multipath (§III-B); 20 MHz gives 50 ns taps = 15 m of path
+// resolution, so indoor reflections largely pile into the first taps.
+// This bench sweeps the sounding bandwidth and measures what sharper
+// delay resolution buys the proximity stage and the end-to-end error.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: sounding bandwidth ===\n\n");
+
+  for (const eval::Scenario& scenario :
+       {eval::LabScenario(), eval::LobbyScenario()}) {
+    std::printf("%s:\n", scenario.name.c_str());
+    std::printf("  %-12s %-12s %-18s %-14s %-8s\n", "bandwidth",
+                "tap = m", "prox. accuracy", "mean error", "SLV");
+    for (double mhz : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+      eval::RunConfig cfg = bench::PaperConfig(2501);
+      cfg.channel.bandwidth_hz = mhz * 1e6;
+      auto prox = eval::RunProximityAccuracy(scenario, cfg);
+      auto loc = eval::RunLocalization(scenario, cfg);
+      if (!prox.ok() || !loc.ok()) {
+        std::fprintf(stderr, "run failed at %.0f MHz\n", mhz);
+        return 1;
+      }
+      std::printf("  %6.0f MHz %9.1f m %12.3f %14.2f m %8.3f m^2\n", mhz,
+                  common::kSpeedOfLight / (mhz * 1e6),
+                  common::Mean(prox->per_site_accuracy), loc->MeanError(),
+                  loc->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: essentially flat across two orders of magnitude.  At room\n"
+      "scale the direct path dominates the strongest tap at *any* of these\n"
+      "bandwidths, so the max-tap PDP is insensitive to delay resolution —\n"
+      "the strongest form of the paper's claim that commodity 20 MHz\n"
+      "802.11n suffices for the PDP mechanism (unlike time-of-arrival\n"
+      "ranging, which would need the resolution).\n");
+  return 0;
+}

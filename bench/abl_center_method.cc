@@ -1,0 +1,49 @@
+// Ablation: how the point estimate is extracted from the feasible region —
+// polygon centroid (the literal "center point of the region"), Chebyshev
+// center (deepest point), or analytic center (what CVX's log-barrier
+// interior point returns, per §IV-B4).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: region-center extraction method ===\n\n");
+
+  const struct {
+    localization::CenterMethod method;
+    const char* name;
+  } methods[] = {{localization::CenterMethod::kCentroid, "centroid"},
+                 {localization::CenterMethod::kChebyshev, "chebyshev"},
+                 {localization::CenterMethod::kAnalytic, "analytic"}};
+
+  for (const eval::Scenario& scenario :
+       {eval::LabScenario(), eval::LobbyScenario()}) {
+    std::printf("%s:\n", scenario.name.c_str());
+    std::printf("  %-12s %-14s %-12s %-10s\n", "method", "mean error",
+                "90th pct", "SLV");
+    for (const auto& m : methods) {
+      eval::RunConfig cfg = bench::PaperConfig(1301);
+      cfg.engine.solver.center = m.method;
+      auto result = eval::RunLocalization(scenario, cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error for %s\n", m.name);
+        return 1;
+      }
+      const auto errors = result->SiteMeanErrors();
+      std::printf("  %-12s %8.2f m %9.2f m %9.3f m^2\n", m.name,
+                  result->MeanError(), common::Percentile(errors, 0.9),
+                  result->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: centroid and Chebyshev agree closely — the estimate is\n"
+      "mostly set by the region, not by which center of it is reported.\n"
+      "The analytic center is the outlier: repeated near-duplicate\n"
+      "constraints (revisited nomadic sites) steepen the barrier on one\n"
+      "side and drag it off-centre, visibly so in the two-part Lobby.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: channel coherence vs batch averaging.
+//
+// The paper's object "collects thousands of packages at each site" and
+// averages the PDP.  That averaging only helps if the packets see
+// independent fading; packets sent within the channel coherence time are
+// correlated and add little information.  This bench sweeps the AR(1)
+// fading correlation and the batch size and reports the Lab's proximity
+// accuracy — the quantity the averaging exists to stabilise.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: fading coherence vs batch averaging ===\n\n");
+
+  const eval::Scenario lab = eval::LabScenario();
+
+  std::printf("%-14s", "corr \\ pkts");
+  for (std::size_t packets : {1u, 10u, 50u, 200u})
+    std::printf(" %8zu", packets);
+  std::printf("   (mean PDP proximity accuracy)\n");
+
+  for (double rho : {0.0, 0.9, 0.99}) {
+    std::printf("rho = %-8.2f", rho);
+    for (std::size_t packets : {1u, 10u, 50u, 200u}) {
+      eval::RunConfig cfg = bench::PaperConfig(2001);
+      cfg.trials = 10;
+      cfg.packets_per_batch = packets;
+      cfg.channel.fading_correlation = rho;
+      auto result = eval::RunProximityAccuracy(lab, cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed\n");
+        return 1;
+      }
+      std::printf(" %8.3f", common::Mean(result->per_site_accuracy));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nExpected: with i.i.d. fading (rho = 0) accuracy saturates within\n"
+      "tens of packets; with strongly correlated fading (rho -> 1) extra\n"
+      "packets within the batch buy far less — matching why the paper\n"
+      "collects over a long window rather than a fast burst.\n");
+  return 0;
+}

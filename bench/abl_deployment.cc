@@ -1,0 +1,87 @@
+// Ablation: optimized *static* deployment vs the nomadic AP.
+//
+// The paper argues static deployments cannot be optimal everywhere; the
+// natural rebuttal is "just place the APs better".  This bench optimizes
+// the 4-AP static layout with both objectives of
+// localization/deployment.h and compares against (a) the scenario's
+// corner layout and (b) the corner layout + one nomadic AP — showing how
+// much of the nomadic gain clever static placement can and cannot buy.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "geometry/hull.h"
+#include "localization/deployment.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: optimized static placement vs nomadic ===\n\n");
+
+  for (const eval::Scenario& base : {eval::LabScenario()}) {
+    eval::RunConfig cfg = bench::PaperConfig(2101);
+
+    // Candidate positions: 2 m grid, clear of walls and obstacles.
+    std::vector<geometry::Vec2> candidates;
+    for (const geometry::Vec2 p :
+         geometry::GridPointsIn(base.env.Boundary(), 2.0))
+      if (base.env.IsFreeSpace(p)) candidates.push_back(p);
+
+    auto optimize = [&](localization::DeploymentObjective objective) {
+      localization::DeploymentConfig dcfg;
+      dcfg.ap_count = base.static_aps.size();
+      dcfg.objective = objective;
+      dcfg.sample_points = 40;
+      dcfg.seed = 2101;
+      return localization::OptimizeStaticDeployment(base.env.Boundary(),
+                                                    candidates, dcfg);
+    };
+    auto mean_opt = optimize(localization::DeploymentObjective::kMeanError);
+    auto max_opt = optimize(localization::DeploymentObjective::kMaxError);
+    if (!mean_opt.ok() || !max_opt.ok()) {
+      std::fprintf(stderr, "deployment optimization failed\n");
+      return 1;
+    }
+
+    struct Row {
+      const char* name;
+      std::vector<geometry::Vec2> aps;
+      eval::Deployment deployment;
+    };
+    std::vector<Row> layout_rows;
+    layout_rows.push_back(
+        {"corners (paper)", base.static_aps, eval::Deployment::kStatic});
+    layout_rows.push_back({"optimized mean-error", mean_opt->positions,
+                           eval::Deployment::kStatic});
+    layout_rows.push_back({"optimized maxL-minE", max_opt->positions,
+                           eval::Deployment::kStatic});
+    layout_rows.push_back(
+        {"corners + nomadic AP", base.static_aps,
+         eval::Deployment::kNomadic});
+
+    std::printf("%s:\n", base.name.c_str());
+    std::printf("  %-24s %-14s %-10s\n", "layout", "mean error", "SLV");
+    for (const Row& row : layout_rows) {
+      eval::Scenario scenario = base;
+      scenario.static_aps = row.aps;
+      eval::RunConfig run_cfg = cfg;
+      run_cfg.deployment = row.deployment;
+      auto result = eval::RunLocalization(scenario, run_cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed for %s\n", row.name);
+        return 1;
+      }
+      std::printf("  %-24s %8.2f m %10.3f m^2\n", row.name,
+                  result->MeanError(), result->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: mean-error-optimized static placement beats corners (the\n"
+      "max-error objective is brittle under greedy selection and small\n"
+      "sample sets), but the nomadic AP still reaches better accuracy\n"
+      "*without touching the infrastructure* — and unlike a static optimum\n"
+      "it keeps adapting when the environment changes (the paper's core\n"
+      "argument).\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmark: solver scalability (§IV-B4 claims the LP is solvable in
+// weakly polynomial time and that "the scalability of the proposed NomLoc
+// system is very high").  Measures the two-phase simplex on relaxation
+// programs of growing size, the full SolveSpPart pipeline, and the
+// geometric center extraction.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "common/rng.h"
+#include "geometry/polygon.h"
+#include "localization/sp_solver.h"
+#include "lp/center.h"
+#include "lp/interior_point.h"
+#include "lp/simplex.h"
+
+using namespace nomloc;
+
+namespace {
+
+// A random bisector constraint in a 20x20 box.  When `truth` is given the
+// direction is chosen consistently with it, so any number of constraints
+// share a non-empty feasible region (truth's cell).
+localization::SpConstraint RandomConstraint(
+    common::Rng& rng,
+    std::optional<geometry::Vec2> truth = std::nullopt) {
+  geometry::Vec2 a{rng.Uniform(1.0, 19.0), rng.Uniform(1.0, 19.0)};
+  geometry::Vec2 b{rng.Uniform(1.0, 19.0), rng.Uniform(1.0, 19.0)};
+  while (Distance(a, b) < 0.5)
+    b = {rng.Uniform(1.0, 19.0), rng.Uniform(1.0, 19.0)};
+  if (truth && Distance(*truth, b) < Distance(*truth, a)) std::swap(a, b);
+  return {geometry::HalfPlane::CloserTo(a, b), rng.Uniform(0.5, 1.0), false};
+}
+
+void BM_SimplexRelaxation(benchmark::State& state) {
+  const std::size_t m = std::size_t(state.range(0));
+  common::Rng rng(42);
+  std::vector<localization::SpConstraint> constraints;
+  for (std::size_t i = 0; i < m; ++i) constraints.push_back(RandomConstraint(rng));
+
+  lp::InequalityLp prog;
+  prog.a = lp::Matrix(m, 2 + m);
+  prog.b.resize(m);
+  prog.c.assign(2 + m, 0.0);
+  prog.nonneg.assign(2 + m, true);
+  prog.nonneg[0] = prog.nonneg[1] = false;
+  for (std::size_t i = 0; i < m; ++i) {
+    prog.a(i, 0) = constraints[i].half_plane.a.x;
+    prog.a(i, 1) = constraints[i].half_plane.a.y;
+    prog.a(i, 2 + i) = -1.0;
+    prog.b[i] = constraints[i].half_plane.c;
+    prog.c[2 + i] = constraints[i].weight;
+  }
+  for (auto _ : state) {
+    auto sol = lp::SolveSimplex(prog);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(int64_t(m));
+}
+BENCHMARK(BM_SimplexRelaxation)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+// The same relaxation program solved by the interior-point method (what
+// the paper's CVX setup used) — compare growth against the simplex.
+void BM_InteriorPointRelaxation(benchmark::State& state) {
+  const std::size_t m = std::size_t(state.range(0));
+  common::Rng rng(46);
+  const geometry::Vec2 truth{10.0, 10.0};
+  lp::InequalityLp prog;
+  prog.a = lp::Matrix(m, 2 + m);
+  prog.b.resize(m);
+  prog.c.assign(2 + m, 0.0);
+  prog.nonneg.assign(2 + m, true);
+  prog.nonneg[0] = prog.nonneg[1] = false;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto sc = RandomConstraint(rng, truth);
+    prog.a(i, 0) = sc.half_plane.a.x;
+    prog.a(i, 1) = sc.half_plane.a.y;
+    prog.a(i, 2 + i) = -1.0;
+    prog.b[i] = sc.half_plane.c;
+    prog.c[2 + i] = sc.weight;
+  }
+  for (auto _ : state) {
+    auto sol = lp::SolveInteriorPoint(prog);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(int64_t(m));
+}
+BENCHMARK(BM_InteriorPointRelaxation)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity();
+
+void BM_SolveSpPart(benchmark::State& state) {
+  const std::size_t m = std::size_t(state.range(0));
+  common::Rng rng(43);
+  const geometry::Polygon room =
+      geometry::Polygon::Rectangle(0.0, 0.0, 20.0, 20.0);
+  std::vector<localization::SpConstraint> constraints;
+  for (std::size_t i = 0; i < m; ++i)
+    constraints.push_back(RandomConstraint(rng));
+  for (auto _ : state) {
+    auto sol = localization::SolveSpPart(room, constraints, {});
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetComplexityN(int64_t(m));
+}
+BENCHMARK(BM_SolveSpPart)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+void BM_ChebyshevCenter(benchmark::State& state) {
+  const std::size_t m = std::size_t(state.range(0));
+  common::Rng rng(44);
+  std::vector<geometry::HalfPlane> hps = geometry::ToHalfPlanes(
+      geometry::Polygon::Rectangle(0.0, 0.0, 20.0, 20.0));
+  for (std::size_t i = 0; i < m; ++i)
+    hps.push_back(RandomConstraint(rng).half_plane);
+  for (auto _ : state) {
+    auto c = lp::ChebyshevCenter(hps);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ChebyshevCenter)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_AnalyticCenter(benchmark::State& state) {
+  const std::size_t m = std::size_t(state.range(0));
+  common::Rng rng(45);
+  const geometry::Vec2 truth{10.0, 10.0};
+  std::vector<geometry::HalfPlane> hps = geometry::ToHalfPlanes(
+      geometry::Polygon::Rectangle(0.0, 0.0, 20.0, 20.0));
+  for (std::size_t i = 0; i < m; ++i)
+    hps.push_back(RandomConstraint(rng, truth).half_plane);
+  auto start = lp::ChebyshevCenter(hps);
+  if (!start.ok() || start->radius <= 0.0) {
+    state.SkipWithError("degenerate region");
+    return;
+  }
+  for (auto _ : state) {
+    auto c = lp::AnalyticCenter(hps, start->center);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_AnalyticCenter)->RangeMultiplier(4)->Range(4, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

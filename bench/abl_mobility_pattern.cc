@@ -1,0 +1,46 @@
+// Ablation (paper §VI future work): "understand the impact of moving
+// patterns of nomadic APs on the overall performance."
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: nomadic mobility pattern ===\n\n");
+
+  const struct {
+    mobility::MobilityPattern pattern;
+    const char* name;
+  } patterns[] = {
+      {mobility::MobilityPattern::kMarkovWalk, "markov-walk (paper)"},
+      {mobility::MobilityPattern::kStayBiased, "stay-biased"},
+      {mobility::MobilityPattern::kPatrol, "patrol"},
+      {mobility::MobilityPattern::kStationary, "stationary"}};
+
+  for (const eval::Scenario& scenario :
+       {eval::LabScenario(), eval::LobbyScenario()}) {
+    std::printf("%s:\n", scenario.name.c_str());
+    std::printf("  %-22s %-14s %-10s\n", "pattern", "mean error", "SLV");
+    for (const auto& p : patterns) {
+      eval::RunConfig cfg = bench::PaperConfig(1601);
+      cfg.pattern = p.pattern;
+      auto result = eval::RunLocalization(scenario, cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error for %s\n", p.name);
+        return 1;
+      }
+      std::printf("  %-22s %8.2f m %10.3f m^2\n", p.name,
+                  result->MeanError(), result->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: site coverage is what matters — the random walk and the\n"
+      "patrol (both cover all sites within an epoch) perform similarly,\n"
+      "stay-biased walks cover fewer sites and give up part of the gain,\n"
+      "and a stationary 'nomadic' AP degenerates toward the static case\n"
+      "(clearest in the Lobby).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: how the nomadic AP knows its own position.
+//
+// Fig. 10 injects i.i.d. uniform-disc error per dwell.  A real carrier
+// self-localizes by dead reckoning, whose error *accumulates* with walked
+// distance and resets at known calibration points (paper §III-B suggests
+// Bluetooth/RFID beacons).  This bench compares the two error processes at
+// matched magnitudes and shows why the home-site reset matters.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: nomadic self-localization error model ===\n\n");
+
+  for (const eval::Scenario& scenario :
+       {eval::LabScenario(), eval::LobbyScenario()}) {
+    std::printf("%s:\n", scenario.name.c_str());
+    std::printf("  %-34s %-14s %-10s\n", "error model", "mean error", "SLV");
+
+    struct Row {
+      const char* name;
+      mobility::PositionErrorModel model;
+      double uniform_er;
+      double drift;
+    };
+    const Row rows[] = {
+        {"exact positions", mobility::PositionErrorModel::kUniformDisc, 0.0,
+         0.0},
+        {"uniform disc ER=1m (paper)",
+         mobility::PositionErrorModel::kUniformDisc, 1.0, 0.0},
+        {"dead reckoning 0.2 m/sqrt(m)",
+         mobility::PositionErrorModel::kDeadReckoning, 0.0, 0.2},
+        {"dead reckoning 0.5 m/sqrt(m)",
+         mobility::PositionErrorModel::kDeadReckoning, 0.0, 0.5},
+    };
+    for (const Row& row : rows) {
+      eval::RunConfig run = bench::PaperConfig(2301);
+      run.error_model = row.model;
+      run.position_error_m = row.uniform_er;
+      run.odometry_drift_per_m = row.drift;
+      auto result = eval::RunLocalization(scenario, run);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed for %s\n", row.name);
+        return 1;
+      }
+      std::printf("  %-34s %8.2f m %10.3f m^2\n", row.name,
+                  result->MeanError(), result->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: moderate dead-reckoning drift behaves like a small\n"
+      "uniform ER thanks to the home-site reset every few dwells; heavy\n"
+      "drift degrades more than the matched uniform model because errors\n"
+      "at consecutive sites are *correlated*, biasing whole constraint\n"
+      "groups the relaxation cannot vote down.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation of the §IV-A design choice: approximating the power of the
+// direct path by the *maximum* tap of the power-delay profile, versus the
+// first-path tap and versus total power (RSS-like).
+//
+// The paper argues the max-tap choice "naturally alleviates CIR of the
+// NLOS paths" and filters multipath; total power should behave like RSS
+// (multipath-sensitive), and first-path should suffer under NLOS where the
+// attenuated first arrival is misleading.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: PDP extraction method ===\n\n");
+
+  const struct {
+    dsp::PdpMethod method;
+    const char* name;
+  } methods[] = {{dsp::PdpMethod::kMaxTap, "max-tap (paper)"},
+                 {dsp::PdpMethod::kFirstPath, "first-path"},
+                 {dsp::PdpMethod::kTotalPower, "total-power"}};
+
+  for (const eval::Scenario& scenario :
+       {eval::LabScenario(), eval::LobbyScenario()}) {
+    std::printf("%s:\n", scenario.name.c_str());
+    std::printf("  %-18s %-16s %-14s %-8s\n", "method", "prox. accuracy",
+                "mean error", "SLV");
+    for (const auto& m : methods) {
+      eval::RunConfig cfg = bench::PaperConfig(1401);
+      cfg.engine.pdp.method = m.method;
+      auto prox = eval::RunProximityAccuracy(scenario, cfg);
+      auto loc = eval::RunLocalization(scenario, cfg);
+      if (!prox.ok() || !loc.ok()) {
+        std::fprintf(stderr, "error for %s\n", m.name);
+        return 1;
+      }
+      std::printf("  %-18s %10.3f %12.2f m %8.3f m^2\n", m.name,
+                  common::Mean(prox->per_site_accuracy), loc->MeanError(),
+                  loc->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: max-tap is the robust choice across both venues.  When\n"
+      "obstructions are mild (waist-high desks) an aggressive first-path\n"
+      "picker can win, but it collapses where hard NLOS or IFFT sidelobes\n"
+      "corrupt the earliest taps (Lobby); total-power behaves RSS-like and\n"
+      "stays close to max-tap only because clutter here is moderate.\n");
+  return 0;
+}

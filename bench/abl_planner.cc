@@ -1,0 +1,102 @@
+// Ablation: planned vs hand-picked vs degenerate nomadic dwell sites.
+//
+// The paper picks P1–P3 by hand and defers "the impact of moving patterns"
+// to future work.  This bench runs the greedy planner
+// (localization/planner.h) over a candidate grid and compares the full
+// measurement pipeline on: (a) the scenario's hand-picked sites, (b) the
+// planner's selection, and (c) an adversarial clustered selection.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "geometry/hull.h"
+#include "localization/planner.h"
+
+using namespace nomloc;
+
+namespace {
+
+common::Result<eval::RunResult> RunWithSites(
+    eval::Scenario scenario, std::vector<geometry::Vec2> sites,
+    const eval::RunConfig& cfg) {
+  // Site 0 stays the AP's home; the rest are replaced.
+  sites.insert(sites.begin(), scenario.nomadic_sites.front());
+  scenario.nomadic_sites = std::move(sites);
+  return eval::RunLocalization(scenario, cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: nomadic site planning ===\n\n");
+
+  for (const eval::Scenario& scenario :
+       {eval::LabScenario(), eval::LobbyScenario()}) {
+    eval::RunConfig cfg = bench::PaperConfig(1801);
+
+    // Candidate grid: every 2 m inside the area, away from the walls.
+    std::vector<geometry::Vec2> candidates;
+    for (const geometry::Vec2 p :
+         geometry::GridPointsIn(scenario.env.Boundary(), 2.0)) {
+      if (scenario.env.IsFreeSpace(p) &&
+          scenario.env.Boundary().BoundaryDistance(p) > 0.8)
+        candidates.push_back(p);
+    }
+
+    localization::PlannerConfig plan_cfg;
+    plan_cfg.sites_to_select = scenario.nomadic_sites.size() - 1;
+    plan_cfg.sample_points = 48;
+    plan_cfg.seed = 1801;
+    auto plan = localization::PlanNomadicSites(
+        scenario.env.Boundary(), scenario.static_aps, candidates, plan_cfg);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "planner failed: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+
+    std::vector<geometry::Vec2> planned;
+    for (std::size_t idx : plan->selected) planned.push_back(candidates[idx]);
+
+    // Adversarial selection: all waypoints bunched next to the home AP.
+    std::vector<geometry::Vec2> clustered;
+    const geometry::Vec2 home = scenario.nomadic_sites.front();
+    for (std::size_t k = 1; k < scenario.nomadic_sites.size(); ++k)
+      clustered.push_back(
+          {home.x + 0.4 * double(k), home.y + 0.3 * double(k)});
+
+    const std::vector<geometry::Vec2> hand(
+        scenario.nomadic_sites.begin() + 1, scenario.nomadic_sites.end());
+
+    std::printf("%s (planner picked:", scenario.name.c_str());
+    for (const geometry::Vec2 p : planned)
+      std::printf(" (%.1f,%.1f)", p.x, p.y);
+    std::printf("; predicted error %.2f -> %.2f m)\n",
+                plan->baseline_error_m, plan->error_after_m.back());
+
+    std::printf("  %-22s %-14s %-10s\n", "site set", "mean error", "SLV");
+    const struct {
+      const char* name;
+      const std::vector<geometry::Vec2>* sites;
+    } rows[] = {{"hand-picked (paper)", &hand},
+                {"planned (greedy)", &planned},
+                {"clustered (adversarial)", &clustered}};
+    for (const auto& row : rows) {
+      auto result = RunWithSites(scenario, *row.sites, cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed for %s\n", row.name);
+        return 1;
+      }
+      std::printf("  %-22s %8.2f m %10.3f m^2\n", row.name,
+                  result->MeanError(), result->slv);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected: the geometry-driven planner beats hand-picked waypoints in\n"
+      "the cluttered Lab; in the Lobby its ideal-judgement objective (which\n"
+      "ignores NLOS) can trail well-placed manual sites slightly.  The\n"
+      "clustered selection is always worst: where the AP walks matters as\n"
+      "much as that it walks.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: measurement-noise sensitivity — noise-floor sweep and
+// packets-per-batch sweep.  The paper collects "thousands of packages at
+// each site"; this bench shows how much averaging the PDP actually needs.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Ablation: noise floor and packet count ===\n\n");
+
+  const eval::Scenario lab = eval::LabScenario();
+
+  std::printf("noise-floor sweep (lab, %zu packets/batch):\n",
+              bench::PaperConfig(0).packets_per_batch);
+  std::printf("  %-12s %-14s %-10s\n", "floor dBm", "mean error", "SLV");
+  for (double floor_dbm : {-95.0, -85.0, -75.0, -65.0, -55.0}) {
+    eval::RunConfig cfg = bench::PaperConfig(1501);
+    cfg.channel.noise_floor_dbm = floor_dbm;
+    auto result = eval::RunLocalization(lab, cfg);
+    if (!result.ok()) return 1;
+    std::printf("  %-12.0f %8.2f m %10.3f m^2\n", floor_dbm,
+                result->MeanError(), result->slv);
+  }
+
+  std::printf("\npackets-per-batch sweep (lab, -92 dBm floor):\n");
+  std::printf("  %-10s %-14s %-10s\n", "packets", "mean error", "SLV");
+  for (std::size_t packets : {1u, 5u, 20u, 50u, 200u}) {
+    eval::RunConfig cfg = bench::PaperConfig(1502);
+    cfg.packets_per_batch = packets;
+    auto result = eval::RunLocalization(lab, cfg);
+    if (!result.ok()) return 1;
+    std::printf("  %-10zu %8.2f m %10.3f m^2\n", packets,
+                result->MeanError(), result->slv);
+  }
+
+  std::printf(
+      "\nExpected: accuracy flat across realistic noise floors (PDP is a\n"
+      "power average over many packets); even single-packet operation only\n"
+      "costs a few decimetres — variations between packet counts are trial\n"
+      "noise, i.e. the paper's thousands-of-PINGs are far more than the\n"
+      "estimator needs in this channel.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 10 reproduction: effect of nomadic-AP position error (ER) on the
+// localization error CDF, ER in {0, 1, 2, 3} m, Lab (a) and Lobby (b).
+//
+// Paper's result: larger ER degrades accuracy, but small ER is ignorable —
+// the SP method does not depend on precise AP coordinates the way ranging
+// does, and the relaxed program absorbs residual inconsistency.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Fig. 10: effect of nomadic-AP position error (ER) ===\n\n");
+
+  const struct {
+    eval::Scenario scenario;
+    double x_max;
+  } cases[] = {{eval::LabScenario(), 2.5}, {eval::LobbyScenario(), 4.5}};
+
+  for (const auto& c : cases) {
+    std::printf("%s:\n", c.scenario.name.c_str());
+    for (double er : {0.0, 1.0, 2.0, 3.0}) {
+      eval::RunConfig cfg = bench::PaperConfig(1001);
+      cfg.position_error_m = er;
+      auto result = eval::RunLocalization(c.scenario, cfg);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error at ER=%.0f\n", er);
+        return 1;
+      }
+      bench::PrintCdf(common::StrFormat("ER = %.0f m", er),
+                      result->SiteMeanErrors(), c.x_max);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape (paper Fig. 10): curves ordered by ER with ER=0 best;\n"
+      "ER=1 nearly indistinguishable from ER=0; graceful (not catastrophic)\n"
+      "degradation at ER=3.\n");
+  return 0;
+}

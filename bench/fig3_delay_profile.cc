@@ -1,0 +1,84 @@
+// Fig. 3 reproduction: channel response delay profile for LOS vs NLOS.
+//
+// Paper: two CIR amplitude-vs-delay plots (0–1.5 µs).  Under LOS the first
+// path dominates; under NLOS the early taps collapse and the profile is
+// dominated by (weaker) reflections.  We build one link in an empty-ish
+// room (LOS) and the same link with a metal cabinet dropped onto the
+// direct path (NLOS), then print the mean CIR amplitude per 50 ns tap.
+#include <algorithm>
+#include <cstdio>
+
+#include "channel/csi_model.h"
+#include "common/strings.h"
+#include "dsp/cir.h"
+#include "geometry/polygon.h"
+
+using namespace nomloc;
+
+namespace {
+
+void PrintProfile(const char* label,
+                  const channel::IndoorEnvironment& env,
+                  const channel::ChannelConfig& cfg) {
+  const channel::CsiSimulator sim(env, cfg);
+  const geometry::Vec2 tx{2.0, 4.0}, rx{10.0, 4.0};
+  const auto link = sim.MakeLink(tx, rx);
+
+  // Average |h[n]| over packets, like an oscilloscope persistence view.
+  common::Rng rng(2014);
+  const std::size_t packets = 200;
+  std::vector<double> avg(64, 0.0);
+  for (std::size_t p = 0; p < packets; ++p) {
+    const auto cir = dsp::CsiToCir(link.Sample(rng), cfg.bandwidth_hz);
+    for (std::size_t n = 0; n < cir.taps.size(); ++n)
+      avg[n] += std::abs(cir.taps[n]);
+  }
+  for (double& v : avg) v /= double(packets);
+
+  double peak = 0.0;
+  for (double v : avg) peak = std::max(peak, v);
+
+  std::printf("Channel response delay profile — %s\n", label);
+  std::printf("  %-10s %-12s %s\n", "delay", "amplitude", "");
+  for (std::size_t n = 0; n <= 30; ++n) {  // 0 .. 1.5 us at 50 ns/tap.
+    std::printf("  %6.2f us  %10.4g  |%s|\n", double(n) * 0.05, avg[n],
+                common::AsciiBar(avg[n], peak, 40).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 3: channel response delay profile, LOS vs NLOS ===\n\n");
+
+  channel::ChannelConfig cfg;
+  cfg.propagation.max_reflection_order = 2;
+
+  // LOS: open room with light clutter.
+  {
+    auto env = channel::IndoorEnvironment::Create(
+        geometry::Polygon::Rectangle(0, 0, 12, 8));
+    common::Rng rng(7);
+    env->PlaceScatterers(10, rng);
+    PrintProfile("LOS", *env, cfg);
+  }
+
+  // NLOS: a metal cabinet blocks the direct path of the same link.
+  {
+    std::vector<channel::Obstacle> obstacles;
+    obstacles.push_back({geometry::Polygon::Rectangle(5.5, 3.0, 6.5, 5.0),
+                         channel::materials::Metal()});
+    auto env = channel::IndoorEnvironment::Create(
+        geometry::Polygon::Rectangle(0, 0, 12, 8), {}, std::move(obstacles));
+    common::Rng rng(7);
+    env->PlaceScatterers(10, rng);
+    PrintProfile("NLOS (metal cabinet on the direct path)", *env, cfg);
+  }
+
+  std::printf(
+      "Expected shape (paper Fig. 3): LOS profile peaks hard at the first\n"
+      "taps; NLOS first-tap amplitude drops sharply while the multipath\n"
+      "tail remains, so the maximum-tap PDP of the NLOS link is far lower.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 9 reproduction: CDF of localization error, static vs nomadic
+// deployment, in Lab (a) and Lobby (b).
+//
+// Paper's result: in the Lab both deployments reach < 2 m mean error with
+// NomLoc clearly ahead; in the Lobby NomLoc achieves ~2.5 m mean and
+// ~3.6 m at the 90th percentile while the static deployment degrades
+// significantly.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Fig. 9: error CDF, static vs nomadic ===\n\n");
+
+  const struct {
+    eval::Scenario scenario;
+    double x_max;  // Paper's CDF x-axis range.
+  } cases[] = {{eval::LabScenario(), 5.0}, {eval::LobbyScenario(), 10.0}};
+
+  for (const auto& c : cases) {
+    eval::RunConfig nomadic = bench::PaperConfig(901);
+    eval::RunConfig fixed = nomadic;
+    fixed.deployment = eval::Deployment::kStatic;
+
+    auto rn = eval::RunLocalization(c.scenario, nomadic);
+    auto rs = eval::RunLocalization(c.scenario, fixed);
+    if (!rn.ok() || !rs.ok()) {
+      std::fprintf(stderr, "error running %s\n", c.scenario.name.c_str());
+      return 1;
+    }
+
+    std::printf("%s — CDF of mean error across sites:\n",
+                c.scenario.name.c_str());
+    bench::PrintCdf("static deployment", rs->SiteMeanErrors(), c.x_max);
+    bench::PrintCdf("nomadic (NomLoc)", rn->SiteMeanErrors(), c.x_max);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shape (paper Fig. 9): nomadic curve strictly left of the\n"
+      "static curve in both scenarios; Lab errors about meter scale; the\n"
+      "static deployment degrades hardest in the Lobby.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Deployment planning: the site-survey workflow a NomLoc operator would
+// run before going live, combining four library pieces —
+//
+//   1. localization/deployment.h  — optimize the static AP placement,
+//   2. localization/planner.h     — choose the nomadic AP's dwell sites,
+//   3. geometry/pathfinding.h     — the patrol route between those sites
+//                                   (walking around the furniture),
+//   4. eval/render.h              — an ASCII floor plan of the result.
+//
+// Build & run:  ./build/examples/deployment_planning
+#include <cstdio>
+
+#include "eval/render.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+#include "geometry/hull.h"
+#include "geometry/pathfinding.h"
+#include "localization/deployment.h"
+#include "localization/planner.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Deployment planning for the office floor ===\n\n");
+
+  eval::Scenario office = eval::OfficeScenario();
+
+  // Candidate positions: a 2 m grid of mountable spots.
+  std::vector<geometry::Vec2> candidates;
+  for (const geometry::Vec2 p :
+       geometry::GridPointsIn(office.env.Boundary(), 2.0))
+    if (office.env.IsFreeSpace(p)) candidates.push_back(p);
+  std::printf("candidate positions: %zu (2 m grid)\n", candidates.size());
+
+  // 1. Static placement.
+  localization::DeploymentConfig dcfg;
+  dcfg.ap_count = 4;
+  dcfg.sample_points = 40;
+  dcfg.seed = 11;
+  auto placement = localization::OptimizeStaticDeployment(
+      office.env.Boundary(), candidates, dcfg);
+  if (!placement.ok()) {
+    std::fprintf(stderr, "%s\n", placement.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("optimized static APs (expected cell error %.2f m):",
+              placement->objective_value_m);
+  for (const geometry::Vec2 p : placement->positions)
+    std::printf(" (%.0f,%.0f)", p.x, p.y);
+  std::printf("\n");
+
+  // 2. Nomadic waypoints on top of that placement.
+  localization::PlannerConfig pcfg;
+  pcfg.sites_to_select = 3;
+  pcfg.sample_points = 40;
+  pcfg.seed = 11;
+  auto plan = localization::PlanNomadicSites(
+      office.env.Boundary(), placement->positions, candidates, pcfg);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("nomadic waypoints (expected error %.2f -> %.2f m):",
+              plan->baseline_error_m, plan->error_after_m.back());
+  std::vector<geometry::Vec2> waypoints{placement->positions.front()};
+  for (std::size_t idx : plan->selected) {
+    waypoints.push_back(candidates[idx]);
+    std::printf(" (%.0f,%.0f)", candidates[idx].x, candidates[idx].y);
+  }
+  std::printf("\n");
+
+  // 3. The patrol route (home -> waypoints -> home), walked around the
+  //    furniture and through the door gaps.
+  std::vector<geometry::Polygon> obstacle_shapes;
+  for (const auto& obstacle : office.env.Obstacles())
+    obstacle_shapes.push_back(obstacle.shape);
+  std::vector<geometry::Vec2> tour = waypoints;
+  tour.push_back(waypoints.front());
+  auto route_length = geometry::TourLength(office.env.Boundary(),
+                                           obstacle_shapes, tour);
+  if (route_length.ok()) {
+    std::printf("patrol round trip: %.1f m walking distance (~%.0f s at "
+                "1.4 m/s)\n",
+                *route_length, *route_length / 1.4);
+  } else {
+    std::printf("patrol route: %s\n",
+                route_length.status().ToString().c_str());
+  }
+
+  // 4. Validate the plan against the measurement pipeline and draw it.
+  office.static_aps = placement->positions;
+  office.nomadic_sites = waypoints;
+  eval::RunConfig run_cfg;
+  run_cfg.packets_per_batch = 30;
+  run_cfg.trials = 6;
+  run_cfg.seed = 11;
+  auto measured = eval::RunLocalization(office, run_cfg);
+  if (!measured.ok()) {
+    std::fprintf(stderr, "%s\n", measured.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("measured with the full pipeline: mean %.2f m, SLV %.3f m^2\n",
+              measured->MeanError(), measured->slv);
+
+  std::printf("\n%s\n", eval::RenderScenario(office).c_str());
+  std::printf("legend: # wall, o obstacle, A optimized AP, N planned "
+              "nomadic site, x test site\n");
+  return 0;
+}

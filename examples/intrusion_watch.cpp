@@ -1,0 +1,83 @@
+// Intrusion watch: device-free motion detection on the lab's AP links —
+// the companion capability of the NomLoc authors' FIMD/Pilot systems
+// (paper references [21][24]).  No tag on the intruder: the APs' own CSI
+// streams reveal a person crossing their links.
+//
+// Timeline: the office is quiet, then an intruder walks a diagonal path
+// through the lab, then leaves.  The watcher runs a MotionDetector per
+// AP-to-AP link and prints which links see motion at each instant.
+//
+// Build & run:  ./build/examples/intrusion_watch
+#include <cstdio>
+#include <vector>
+
+#include "eval/scenario.h"
+#include "localization/devicefree.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Intrusion watch: device-free detection ===\n\n");
+
+  const eval::Scenario lab = eval::LabScenario();
+  channel::ChannelConfig cfg;
+  cfg.rician_k_db = 30.0;
+  cfg.bounce_rician_k_db = 30.0;  // Static furniture: stable multipath.
+  const channel::CsiSimulator sim(lab.env, cfg);
+  common::Rng rng(404);
+
+  // Monitored links: every AP pair.
+  struct Link {
+    geometry::Vec2 tx, rx;
+    localization::MotionDetector detector;
+  };
+  std::vector<Link> links;
+  for (std::size_t i = 0; i < lab.static_aps.size(); ++i)
+    for (std::size_t j = i + 1; j < lab.static_aps.size(); ++j)
+      links.push_back({lab.static_aps[i], lab.static_aps[j],
+                       localization::MotionDetector{}});
+
+  // The intruder's path: outside (no person), then a diagonal crossing,
+  // then gone again.
+  const int kQuietBefore = 12, kSteps = 25, kQuietAfter = 12;
+  auto intruder_at = [&](int t) -> std::optional<geometry::Vec2> {
+    if (t < kQuietBefore || t >= kQuietBefore + kSteps) return std::nullopt;
+    const double u = double(t - kQuietBefore) / double(kSteps - 1);
+    return geometry::Vec2{1.0 + 10.0 * u, 1.0 + 6.0 * u};
+  };
+
+  std::printf("time  intruder      links-with-motion\n");
+  int first_detection = -1;
+  for (int t = 0; t < kQuietBefore + kSteps + kQuietAfter; ++t) {
+    const auto person = intruder_at(t);
+    int moving_links = 0;
+    std::string which;
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      dsp::CsiFrame frame =
+          person ? localization::SampleWithPerson(sim, links[l].tx,
+                                                  links[l].rx, *person, rng)
+                 : sim.MakeLink(links[l].tx, links[l].rx).Sample(rng);
+      const auto decision = links[l].detector.Feed(frame);
+      if (decision && decision->motion) {
+        ++moving_links;
+        which += " L" + std::to_string(l);
+      }
+    }
+    if (moving_links > 0 && first_detection < 0) first_detection = t;
+    if (person) {
+      std::printf("%4d  (%4.1f,%4.1f)  %d%s\n", t, person->x, person->y,
+                  moving_links, which.c_str());
+    } else {
+      std::printf("%4d  --            %d%s\n", t, moving_links,
+                  which.c_str());
+    }
+  }
+
+  std::printf("\nfirst detection at t=%d (intruder enters at t=%d)\n",
+              first_detection, kQuietBefore);
+  std::printf(
+      "\nTakeaway: the same CSI streams NomLoc uses for localization double\n"
+      "as a device-free tripwire — no extra hardware, no tag on the\n"
+      "intruder (the security-patrol story of paper §I, automated).\n");
+  return 0;
+}

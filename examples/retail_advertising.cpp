@@ -1,0 +1,106 @@
+// Retail advertising scenario (paper §I): a marketplace wants per-zone
+// customer counts to price advertising space.  Spatial localizability
+// variance makes zone statistics from a static deployment misleading —
+// customers in "blind" zones get mislocated into neighbouring zones.
+//
+// This example simulates a day of customers in the Lobby, builds a zone
+// heatmap under (a) the static deployment and (b) NomLoc with the shop
+// greeter's phone as a nomadic AP, and compares both against ground truth.
+//
+// Build & run:  ./build/examples/retail_advertising
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+
+using namespace nomloc;
+
+namespace {
+
+// The lobby is divided into 4 advertising zones along the L.
+int ZoneOf(geometry::Vec2 p) {
+  if (p.y <= 6.0) {
+    if (p.x < 7.0) return 0;   // Entrance.
+    if (p.x < 14.0) return 1;  // Central corridor.
+    return 2;                  // East wing.
+  }
+  return 3;                    // North wing.
+}
+
+const char* kZoneNames[] = {"entrance", "corridor", "east wing",
+                            "north wing"};
+
+struct ZoneCounts {
+  int counts[4] = {0, 0, 0, 0};
+  int Total() const { return counts[0] + counts[1] + counts[2] + counts[3]; }
+};
+
+void PrintZones(const char* label, const ZoneCounts& z, const ZoneCounts& truth) {
+  std::printf("%-24s", label);
+  int misplaced = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::printf("  %-10s %3d", kZoneNames[i], z.counts[i]);
+    misplaced += std::abs(z.counts[i] - truth.counts[i]);
+  }
+  std::printf("   (zone-count distortion: %d)\n", misplaced / 2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Retail advertising: zone statistics under UEI ===\n\n");
+
+  const eval::Scenario lobby = eval::LobbyScenario();
+
+  eval::RunConfig nomadic;
+  nomadic.packets_per_batch = 40;
+  nomadic.trials = 1;
+  nomadic.dwell_count = 8;
+  nomadic.seed = 99;
+  eval::RunConfig fixed = nomadic;
+  fixed.deployment = eval::Deployment::kStatic;
+
+  core::NomLocConfig engine_cfg;
+  engine_cfg.bandwidth_hz = nomadic.channel.bandwidth_hz;
+  auto engine = core::NomLocEngine::Create(lobby.env.Boundary(), engine_cfg);
+  if (!engine.ok()) return 1;
+
+  // A stream of customers: every test site hosts several, jittered.
+  common::Rng rng(7);
+  std::vector<geometry::Vec2> customers;
+  for (const geometry::Vec2 site : lobby.test_sites) {
+    for (int k = 0; k < 3; ++k) {
+      geometry::Vec2 c{site.x + rng.Uniform(-0.5, 0.5),
+                       site.y + rng.Uniform(-0.5, 0.5)};
+      if (lobby.env.IsFreeSpace(c)) customers.push_back(c);
+    }
+  }
+
+  ZoneCounts truth, zones_static, zones_nomadic;
+  double err_static = 0.0, err_nomadic = 0.0;
+  for (const geometry::Vec2 customer : customers) {
+    ++truth.counts[ZoneOf(customer)];
+    auto est_s = LocalizeEpoch(lobby, fixed, *engine, customer, rng);
+    auto est_n = LocalizeEpoch(lobby, nomadic, *engine, customer, rng);
+    if (!est_s.ok() || !est_n.ok()) return 1;
+    ++zones_static.counts[ZoneOf(est_s->position)];
+    ++zones_nomadic.counts[ZoneOf(est_n->position)];
+    err_static += Distance(est_s->position, customer);
+    err_nomadic += Distance(est_n->position, customer);
+  }
+
+  std::printf("%zu customers localized.\n\n", customers.size());
+  PrintZones("ground truth", truth, truth);
+  PrintZones("static deployment", zones_static, truth);
+  PrintZones("NomLoc (greeter roams)", zones_nomadic, truth);
+  std::printf("\nmean error: static %.2f m, NomLoc %.2f m\n",
+              err_static / double(customers.size()),
+              err_nomadic / double(customers.size()));
+  std::printf(
+      "\nTakeaway: with NomLoc the zone histogram tracks ground truth more\n"
+      "closely, so ad pricing decisions rest on better data (paper §I's\n"
+      "'crash profits' example).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Security patrol scenario (paper §I): inspectors must monitor every spot
+// of a cluttered lab; spatial localizability variance leaves blind areas
+// where a suspect "can slip in" — sites whose localization error exceeds
+// the detection radius.
+//
+// This example walks an intruder through every test site of the Lab and
+// checks whether the localization system places them within the detection
+// radius, comparing the static deployment against NomLoc where the
+// patroller's intercom acts as the nomadic AP (exactly the paper's story).
+//
+// Build & run:  ./build/examples/security_patrol
+#include <cstdio>
+
+#include "eval/runner.h"
+#include "eval/scenario.h"
+
+using namespace nomloc;
+
+int main() {
+  std::printf("=== Security patrol: blind-spot detection in the Lab ===\n\n");
+
+  const double kDetectionRadiusM = 2.5;
+  const eval::Scenario lab = eval::LabScenario();
+
+  eval::RunConfig nomadic;
+  nomadic.packets_per_batch = 40;
+  nomadic.trials = 6;
+  nomadic.dwell_count = 8;
+  nomadic.seed = 4242;
+  eval::RunConfig fixed = nomadic;
+  fixed.deployment = eval::Deployment::kStatic;
+
+  auto rs = eval::RunLocalization(lab, fixed);
+  auto rn = eval::RunLocalization(lab, nomadic);
+  if (!rs.ok() || !rn.ok()) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+
+  std::printf("detection radius: %.1f m\n\n", kDetectionRadiusM);
+  std::printf("  %-6s %-14s %-22s %-22s\n", "site", "position",
+              "static mean err", "NomLoc mean err");
+  int blind_static = 0, blind_nomadic = 0;
+  for (std::size_t i = 0; i < lab.test_sites.size(); ++i) {
+    const auto& ss = rs->sites[i];
+    const auto& sn = rn->sites[i];
+    const bool bs = ss.mean_error_m > kDetectionRadiusM;
+    const bool bn = sn.mean_error_m > kDetectionRadiusM;
+    blind_static += bs;
+    blind_nomadic += bn;
+    std::printf("  %-6zu (%4.1f,%4.1f)   %8.2f m %-10s %8.2f m %-10s\n",
+                i + 1, ss.site.x, ss.site.y, ss.mean_error_m,
+                bs ? "  BLIND" : "", sn.mean_error_m, bn ? "  BLIND" : "");
+  }
+
+  std::printf("\nblind spots: static %d / %zu, NomLoc %d / %zu\n",
+              blind_static, lab.test_sites.size(), blind_nomadic,
+              lab.test_sites.size());
+  std::printf("SLV:         static %.3f m^2, NomLoc %.3f m^2\n", rs->slv,
+              rn->slv);
+  std::printf(
+      "\nTakeaway: the patroller's own movement closes the blind areas the\n"
+      "fixed deployment leaves open — no extra infrastructure, no\n"
+      "calibration survey.\n");
+  return 0;
+}

@@ -1,0 +1,231 @@
+#include "channel/csi_model.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+#include "dsp/ofdm.h"
+
+namespace nomloc::channel {
+
+using dsp::Cplx;
+using dsp::CsiFrame;
+
+LinkModel::LinkModel(std::vector<PropagationPath> paths,
+                     const ChannelConfig& config)
+    : paths_(std::move(paths)), config_(config) {
+  NOMLOC_REQUIRE(!paths_.empty());
+  NOMLOC_REQUIRE(config_.rx_antennas >= 1);
+  NOMLOC_REQUIRE(config_.antenna_spacing_wavelengths > 0.0);
+  subcarriers_ = config_.intel5300_grouping ? CsiFrame::Intel5300Indices()
+                                            : CsiFrame::Ht20Indices();
+  amp_.reserve(paths_.size());
+  delay_s_.reserve(paths_.size());
+  k_linear_.reserve(paths_.size());
+  const double k_direct = common::FromDb(config_.rician_k_db);
+  const double k_bounce = common::FromDb(config_.bounce_rician_k_db);
+  for (const PropagationPath& p : paths_) {
+    const double rx_dbm = config_.tx_power_dbm - p.loss_db;
+    amp_.push_back(std::sqrt(common::DbmToMilliwatts(rx_dbm)));
+    delay_s_.push_back(p.DelayS());
+    // The direct path keeps a strong deterministic component (Rician);
+    // bounced paths default to (near-)Rayleigh but can be made stable for
+    // static-environment studies via bounce_rician_k_db.
+    k_linear_.push_back(p.is_direct ? k_direct : k_bounce);
+  }
+  noise_variance_mw_ = common::DbmToMilliwatts(config_.noise_floor_dbm);
+}
+
+std::vector<Cplx> LinkModel::DrawGains(common::Rng& rng) const {
+  std::vector<Cplx> gains;
+  gains.reserve(paths_.size());
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    // Rician with K = k_linear_[p] (K = 0 is Rayleigh).
+    const double kk = k_linear_[p];
+    const Cplx diffuse = rng.ComplexGaussian(1.0 / (kk + 1.0));
+    const double los = std::sqrt(kk / (kk + 1.0));
+    gains.push_back(Cplx(los, 0.0) + diffuse);
+  }
+  return gains;
+}
+
+CsiFrame LinkModel::Synthesize(std::span<const Cplx> gains,
+                               common::Rng* noise_rng, int antenna) const {
+  NOMLOC_REQUIRE(gains.empty() || gains.size() == paths_.size());
+  NOMLOC_REQUIRE(antenna >= 0 && antenna < config_.rx_antennas);
+  const double df = config_.bandwidth_hz / double(config_.fft_size);
+  std::vector<Cplx> values(subcarriers_.size(), Cplx(0.0, 0.0));
+
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    const Cplx gain = gains.empty() ? Cplx(1.0, 0.0) : gains[p];
+    // Deterministic carrier phase of the path, plus the uniform-linear-
+    // array offset of this antenna: 2*pi*spacing*m*cos(aoa).
+    const double array_phase =
+        2.0 * std::numbers::pi * config_.antenna_spacing_wavelengths *
+        double(antenna) * std::cos(paths_[p].aoa_rad);
+    const double carrier_phase =
+        -2.0 * std::numbers::pi * config_.carrier_hz * delay_s_[p] +
+        array_phase;
+    const Cplx base =
+        gain * amp_[p] * Cplx(std::cos(carrier_phase), std::sin(carrier_phase));
+    for (std::size_t i = 0; i < subcarriers_.size(); ++i) {
+      const double f = double(subcarriers_[i]) * df;
+      const double ang = -2.0 * std::numbers::pi * f * delay_s_[p];
+      values[i] += base * Cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+
+  if (noise_rng != nullptr) {
+    for (Cplx& v : values) v += noise_rng->ComplexGaussian(noise_variance_mw_);
+  }
+
+  auto frame = CsiFrame::Create(subcarriers_, std::move(values),
+                                config_.fft_size);
+  NOMLOC_ASSERT(frame.ok());
+  return std::move(frame).value();
+}
+
+CsiFrame LinkModel::Sample(common::Rng& rng) const {
+  return Synthesize(DrawGains(rng), &rng);
+}
+
+std::vector<CsiFrame> LinkModel::SampleBatch(std::size_t count,
+                                             common::Rng& rng) const {
+  NOMLOC_REQUIRE(count >= 1);
+  const double rho = config_.fading_correlation;
+  NOMLOC_REQUIRE(rho >= 0.0 && rho < 1.0);
+  std::vector<CsiFrame> out;
+  out.reserve(count);
+  if (rho == 0.0) {
+    for (std::size_t i = 0; i < count; ++i) out.push_back(Sample(rng));
+    return out;
+  }
+
+  // AR(1) Gauss-Markov evolution of the *diffuse* fading component: the
+  // deterministic Rician mean stays fixed, the scattered part decorrelates
+  // at rate rho per packet, preserving the marginal distribution.
+  std::vector<Cplx> diffuse(paths_.size());
+  for (std::size_t p = 0; p < paths_.size(); ++p)
+    diffuse[p] = rng.ComplexGaussian(1.0 / (k_linear_[p] + 1.0));
+  const double innovation = std::sqrt(1.0 - rho * rho);
+  std::vector<Cplx> gains(paths_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t p = 0; p < paths_.size(); ++p) {
+      if (i > 0) {
+        diffuse[p] = rho * diffuse[p] +
+                     innovation *
+                         rng.ComplexGaussian(1.0 / (k_linear_[p] + 1.0));
+      }
+      const double los = std::sqrt(k_linear_[p] / (k_linear_[p] + 1.0));
+      gains[p] = Cplx(los, 0.0) + diffuse[p];
+    }
+    out.push_back(Synthesize(gains, &rng));
+  }
+  return out;
+}
+
+MimoCsiFrame LinkModel::SampleMimo(common::Rng& rng) const {
+  // Spatially-uncorrelated fading model for >= lambda/2 spacing: the
+  // deterministic (LOS) component is shared across the array (up to the
+  // per-antenna array phase applied in Synthesize); the diffuse component
+  // is drawn independently per antenna — that independence is what makes
+  // antenna diversity pay off.
+  MimoCsiFrame frame;
+  frame.reserve(std::size_t(config_.rx_antennas));
+  for (int antenna = 0; antenna < config_.rx_antennas; ++antenna)
+    frame.push_back(Synthesize(DrawGains(rng), &rng, antenna));
+  return frame;
+}
+
+std::vector<MimoCsiFrame> LinkModel::SampleMimoBatch(std::size_t count,
+                                                     common::Rng& rng) const {
+  NOMLOC_REQUIRE(count >= 1);
+  std::vector<MimoCsiFrame> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(SampleMimo(rng));
+  return out;
+}
+
+CsiFrame LinkModel::MeanResponse() const { return Synthesize({}, nullptr); }
+
+std::vector<Cplx> LinkModel::SampleImpulseResponse(
+    common::Rng* rng, std::size_t max_taps, double lead_in_samples) const {
+  NOMLOC_REQUIRE(max_taps >= 1);
+  NOMLOC_REQUIRE(lead_in_samples >= 0.0);
+  const double sample_rate = config_.bandwidth_hz;
+  std::vector<Cplx> gains;
+  if (rng != nullptr) gains = DrawGains(*rng);
+
+  std::vector<Cplx> taps(max_taps, Cplx(0.0, 0.0));
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    const Cplx gain = gains.empty() ? Cplx(1.0, 0.0) : gains[p];
+    const double carrier_phase =
+        -2.0 * std::numbers::pi * config_.carrier_hz * delay_s_[p];
+    const Cplx a = gain * amp_[p] *
+                   Cplx(std::cos(carrier_phase), std::sin(carrier_phase));
+    // Fractional delay by windowed-sinc interpolation: the band-limited
+    // sampling of a delayed impulse.  (A naive two-tap linear split would
+    // act as a triangular low-pass and crush the band edges, visibly
+    // biasing the PDP — see tests/dsp_ofdm_test.cc.)
+    const double pos = delay_s_[p] * sample_rate + lead_in_samples;
+    constexpr int kHalfKernel = 8;
+    const int center = int(std::lround(pos));
+    for (int n = center - kHalfKernel; n <= center + kHalfKernel; ++n) {
+      if (n < 0 || std::size_t(n) >= max_taps) continue;
+      const double x = double(n) - pos;
+      const double sinc =
+          x == 0.0 ? 1.0
+                   : std::sin(std::numbers::pi * x) / (std::numbers::pi * x);
+      // Hann window over the kernel support tapers the truncation.
+      const double w =
+          0.5 * (1.0 + std::cos(std::numbers::pi * x / (kHalfKernel + 1)));
+      taps[std::size_t(n)] += a * sinc * w;
+    }
+    // Paths beyond the window are dropped (they are below the cutoff in
+    // any realistic configuration).
+  }
+  return taps;
+}
+
+common::Result<dsp::CsiFrame> LinkModel::MeasurePhyCsi(
+    common::Rng* rng) const {
+  dsp::OfdmConfig ofdm;
+  ofdm.fft_size = config_.fft_size;
+  ofdm.subcarriers = subcarriers_;
+
+  // One dummy data symbol keeps the burst well-formed; only the training
+  // symbol matters for CSI.
+  const std::vector<Cplx> payload(subcarriers_.size(), Cplx(1.0, 0.0));
+  NOMLOC_ASSIGN_OR_RETURN(dsp::OfdmBurst burst,
+                          dsp::ModulateBurst(payload, ofdm));
+
+  // A small lead-in keeps the fractional-delay kernel's precursor inside
+  // the tap window; the receiver synchronises the same amount later.
+  constexpr std::size_t kLeadIn = 4;
+  const std::vector<Cplx> taps = SampleImpulseResponse(
+      rng, std::size_t(ofdm.cyclic_prefix), double(kLeadIn));
+  // Per-sample time-domain noise variance that matches the direct model's
+  // per-subcarrier floor: an N-point FFT scales noise power by N.
+  const double time_noise =
+      rng != nullptr ? noise_variance_mw_ / double(config_.fft_size) : 0.0;
+  common::Rng null_rng(0);
+  const std::vector<Cplx> rx = dsp::ApplyChannel(
+      burst.waveform, taps, time_noise, rng != nullptr ? *rng : null_rng);
+
+  NOMLOC_ASSIGN_OR_RETURN(
+      dsp::DemodResult demod,
+      dsp::DemodulateBurst(std::span<const Cplx>(rx).subspan(kLeadIn),
+                           burst.data_symbol_count, ofdm));
+  return demod.csi;
+}
+
+LinkModel CsiSimulator::MakeLink(geometry::Vec2 tx, geometry::Vec2 rx) const {
+  return LinkModel(TracePaths(*env_, tx, rx, config_.propagation), config_);
+}
+
+dsp::CsiFrame CsiSimulator::SampleOne(geometry::Vec2 tx, geometry::Vec2 rx,
+                                      common::Rng& rng) const {
+  return MakeLink(tx, rx).Sample(rng);
+}
+
+}  // namespace nomloc::channel

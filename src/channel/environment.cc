@@ -1,0 +1,84 @@
+#include "channel/environment.h"
+
+#include "common/assert.h"
+
+namespace nomloc::channel {
+
+using geometry::Segment;
+using geometry::Vec2;
+
+common::Result<IndoorEnvironment> IndoorEnvironment::Create(
+    geometry::Polygon boundary, std::vector<Wall> interior_walls,
+    std::vector<Obstacle> obstacles, Material boundary_material) {
+  IndoorEnvironment env;
+  const geometry::Aabb box = boundary.BoundingBox();
+  for (const Wall& w : interior_walls) {
+    if (!box.Contains(w.segment.a) || !box.Contains(w.segment.b))
+      return common::InvalidArgument(
+          "interior wall extends outside the boundary box");
+    if (w.segment.Length() <= 0.0)
+      return common::InvalidArgument("zero-length wall");
+  }
+  for (const Obstacle& o : obstacles) {
+    for (const Vec2 v : o.shape.Vertices())
+      if (!box.Contains(v))
+        return common::InvalidArgument("obstacle outside the boundary box");
+  }
+
+  env.boundary_ = std::move(boundary);
+  env.obstacles_ = std::move(obstacles);
+
+  for (std::size_t i = 0; i < env.boundary_.EdgeCount(); ++i)
+    env.walls_.push_back({env.boundary_.Edge(i), boundary_material});
+  for (const Wall& w : interior_walls) {
+    env.walls_.push_back(w);
+    env.blocking_.push_back(w);
+  }
+  for (const Obstacle& o : env.obstacles_) {
+    for (std::size_t i = 0; i < o.shape.EdgeCount(); ++i) {
+      const Wall w{o.shape.Edge(i), o.material};
+      env.walls_.push_back(w);
+      env.blocking_.push_back(w);
+    }
+  }
+  return env;
+}
+
+bool IndoorEnvironment::HasLineOfSight(Vec2 a, Vec2 b) const noexcept {
+  const Segment link{a, b};
+  for (const Wall& w : blocking_)
+    if (geometry::SegmentsIntersect(link, w.segment)) return false;
+  return true;
+}
+
+double IndoorEnvironment::PenetrationLossDb(Vec2 a, Vec2 b) const noexcept {
+  const Segment link{a, b};
+  double loss = 0.0;
+  for (const Wall& w : blocking_)
+    if (geometry::SegmentsIntersect(link, w.segment))
+      loss += w.material.transmission_loss_db;
+  return loss;
+}
+
+void IndoorEnvironment::PlaceScatterers(std::size_t count, common::Rng& rng) {
+  scatterers_.clear();
+  scatterers_.reserve(count);
+  const geometry::Aabb box = boundary_.BoundingBox();
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 1000 + 1000;
+  while (scatterers_.size() < count && attempts++ < max_attempts) {
+    const Vec2 p{rng.Uniform(box.lo.x, box.hi.x),
+                 rng.Uniform(box.lo.y, box.hi.y)};
+    if (IsFreeSpace(p)) scatterers_.push_back(p);
+  }
+  NOMLOC_ASSERT(scatterers_.size() == count);
+}
+
+bool IndoorEnvironment::IsFreeSpace(Vec2 p) const noexcept {
+  if (!boundary_.Contains(p)) return false;
+  for (const Obstacle& o : obstacles_)
+    if (o.shape.Contains(p)) return false;
+  return true;
+}
+
+}  // namespace nomloc::channel

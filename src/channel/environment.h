@@ -1,0 +1,75 @@
+// Indoor environment geometry: room boundary, interior walls, obstacles,
+// and diffuse scatterers.  This is the world model the ray tracer
+// (channel/propagation.h) runs against.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "channel/material.h"
+#include "geometry/line.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::channel {
+
+/// A reflecting/attenuating planar surface (2-D: a segment).
+struct Wall {
+  geometry::Segment segment;
+  Material material;
+};
+
+/// A solid object (cabinet, rack, pillar).  Rays crossing its edges pay the
+/// material's transmission loss per crossed edge; its edges also reflect.
+struct Obstacle {
+  geometry::Polygon shape;
+  Material material;
+};
+
+class IndoorEnvironment {
+ public:
+  /// Builds an environment.  The boundary polygon's edges become walls of
+  /// `boundary_material`.  Interior walls and obstacles must lie within
+  /// the boundary's bounding box (loose sanity check).
+  static common::Result<IndoorEnvironment> Create(
+      geometry::Polygon boundary, std::vector<Wall> interior_walls = {},
+      std::vector<Obstacle> obstacles = {},
+      Material boundary_material = materials::Concrete());
+
+  const geometry::Polygon& Boundary() const noexcept { return boundary_; }
+  /// All reflecting surfaces: boundary edges first, then interior walls,
+  /// then obstacle edges.
+  std::span<const Wall> Walls() const noexcept { return walls_; }
+  std::span<const Obstacle> Obstacles() const noexcept { return obstacles_; }
+
+  /// True when the straight segment a–b crosses no interior wall and no
+  /// obstacle edge (boundary edges do not block interior links).
+  bool HasLineOfSight(geometry::Vec2 a, geometry::Vec2 b) const noexcept;
+
+  /// Total transmission loss [dB] the segment a–b pays crossing interior
+  /// walls and obstacle edges.
+  double PenetrationLossDb(geometry::Vec2 a, geometry::Vec2 b) const noexcept;
+
+  /// Places `count` point scatterers uniformly inside the boundary but
+  /// outside obstacles (rejection sampling).  Models clutter: furniture,
+  /// equipment.  Deterministic given the Rng state.
+  void PlaceScatterers(std::size_t count, common::Rng& rng);
+  std::span<const geometry::Vec2> Scatterers() const noexcept {
+    return scatterers_;
+  }
+
+  /// True when p is inside the boundary and outside every obstacle.
+  bool IsFreeSpace(geometry::Vec2 p) const noexcept;
+
+ private:
+  IndoorEnvironment() = default;
+
+  geometry::Polygon boundary_ = geometry::Polygon::Rectangle(0, 0, 1, 1);
+  std::vector<Wall> walls_;        // Boundary + interior + obstacle edges.
+  std::vector<Wall> blocking_;     // Interior walls + obstacle edges only.
+  std::vector<Obstacle> obstacles_;
+  std::vector<geometry::Vec2> scatterers_;
+};
+
+}  // namespace nomloc::channel

@@ -1,0 +1,12 @@
+#include "channel/material.h"
+
+namespace nomloc::channel::materials {
+
+Material Concrete() { return {"concrete", 7.0, 13.0}; }
+Material Drywall() { return {"drywall", 10.0, 4.0}; }
+Material Glass() { return {"glass", 12.0, 3.0}; }
+Material Metal() { return {"metal", 2.0, 26.0}; }
+Material Wood() { return {"wood", 9.0, 6.0}; }
+Material Human() { return {"human", 11.0, 9.0}; }
+
+}  // namespace nomloc::channel::materials

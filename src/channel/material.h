@@ -1,0 +1,35 @@
+// Building materials and their RF interaction losses at 2.4 GHz.
+// Loss values follow commonly cited indoor-propagation measurements
+// (ITU-R P.2040 ballpark); exact numbers only shift absolute powers, and
+// NomLoc consumes power *ratios*, so ballpark accuracy suffices.
+#pragma once
+
+#include <string>
+
+namespace nomloc::channel {
+
+struct Material {
+  std::string name;
+  /// Power lost on specular reflection off a surface of this material [dB].
+  double reflection_loss_db = 6.0;
+  /// Power lost passing through this material [dB].
+  double transmission_loss_db = 6.0;
+};
+
+namespace materials {
+
+/// Load-bearing concrete: strong blocker, decent reflector.
+Material Concrete();
+/// Interior drywall/partition.
+Material Drywall();
+/// Glass pane: weak blocker, weak reflector.
+Material Glass();
+/// Metal cabinet/server rack: near-total blocker, excellent reflector.
+Material Metal();
+/// Wooden furniture.
+Material Wood();
+/// Human body (the nomadic-AP carrier).
+Material Human();
+
+}  // namespace materials
+}  // namespace nomloc::channel

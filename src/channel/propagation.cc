@@ -1,0 +1,179 @@
+#include "channel/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+
+namespace nomloc::channel {
+
+using geometry::Line;
+using geometry::Segment;
+using geometry::Vec2;
+
+double FreeSpacePathLossDb(double distance_m, double carrier_hz,
+                           double min_distance_m) noexcept {
+  const double d = std::max(distance_m, min_distance_m);
+  const double wavelength = common::WavelengthM(carrier_hz);
+  return 20.0 * std::log10(4.0 * std::numbers::pi * d / wavelength);
+}
+
+namespace {
+
+// Shrinks a leg's endpoints off the reflecting surfaces so penetration
+// checks do not count the mirror walls themselves.
+Vec2 NudgeToward(Vec2 from, Vec2 toward) {
+  const Vec2 dir = (toward - from).Normalized();
+  return from + dir * 1e-6;
+}
+
+struct Tracer {
+  const IndoorEnvironment& env;
+  const PropagationConfig& config;
+  Vec2 tx, rx;
+  std::vector<PropagationPath>* out;
+
+  void AddDirect() const {
+    PropagationPath p;
+    p.length_m = Distance(tx, rx);
+    p.loss_db = FreeSpacePathLossDb(p.length_m, config.carrier_hz,
+                                    config.min_distance_m) +
+                env.PenetrationLossDb(tx, rx);
+    p.bounces = 0;
+    p.is_direct = true;
+    p.aoa_rad = ArrivalAngle(tx);
+    out->push_back(p);
+  }
+
+  // Angle of the final leg into the receiver, for a leg starting at
+  // `last_point`.
+  double ArrivalAngle(Vec2 last_point) const {
+    const Vec2 d = rx - last_point;
+    return std::atan2(d.y, d.x);
+  }
+
+  // Penetration loss for the leg a-b with both endpoints nudged off any
+  // reflecting surface they sit on.
+  double LegLossDb(Vec2 a, Vec2 b) const {
+    if (Distance(a, b) < 1e-9) return 0.0;
+    return env.PenetrationLossDb(NudgeToward(a, b), NudgeToward(b, a));
+  }
+
+  // Attempts the specular path reflecting off the wall sequence `seq`
+  // (indices into env.Walls(), in bounce order from the transmitter).
+  void TrySpecular(std::span<const std::size_t> seq) const {
+    const auto walls = env.Walls();
+
+    // Forward images of the transmitter.
+    std::vector<Vec2> images;
+    images.reserve(seq.size() + 1);
+    images.push_back(tx);
+    for (std::size_t wi : seq) {
+      const Segment& s = walls[wi].segment;
+      images.push_back(Line::Through(s.a, s.b).Mirror(images.back()));
+    }
+
+    // Back-trace reflection points from the receiver.
+    std::vector<Vec2> points(seq.size());
+    Vec2 target = rx;
+    for (std::size_t j = seq.size(); j-- > 0;) {
+      const Segment& s = walls[seq[j]].segment;
+      const auto hit =
+          geometry::IntersectSegments({images[j + 1], target}, s, 1e-12);
+      if (!hit) return;  // Geometrically impossible bounce.
+      // Reject grazing/degenerate reflections at segment endpoints.
+      if (Distance(*hit, s.a) < 1e-9 || Distance(*hit, s.b) < 1e-9) return;
+      points[j] = *hit;
+      target = *hit;
+    }
+
+    // Assemble legs tx -> R1 -> ... -> Rk -> rx.
+    double reflect_loss = 0.0;
+    for (std::size_t wi : seq)
+      reflect_loss += walls[wi].material.reflection_loss_db;
+
+    double length = 0.0;
+    double penetration = 0.0;
+    Vec2 prev = tx;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      length += Distance(prev, points[j]);
+      penetration += LegLossDb(prev, points[j]);
+      prev = points[j];
+    }
+    length += Distance(prev, rx);
+    penetration += LegLossDb(prev, rx);
+    if (length < 1e-9) return;
+
+    PropagationPath p;
+    p.length_m = length;
+    p.loss_db = FreeSpacePathLossDb(length, config.carrier_hz,
+                                    config.min_distance_m) +
+                reflect_loss + penetration;
+    p.bounces = int(seq.size());
+    p.aoa_rad = ArrivalAngle(points.back());
+    out->push_back(p);
+  }
+
+  void EnumerateSpecular(std::vector<std::size_t>& seq, int depth) const {
+    if (depth == 0) return;
+    const std::size_t wall_count = env.Walls().size();
+    for (std::size_t wi = 0; wi < wall_count; ++wi) {
+      if (!seq.empty() && seq.back() == wi) continue;  // No double-bounce
+                                                       // off the same wall.
+      seq.push_back(wi);
+      TrySpecular(seq);
+      EnumerateSpecular(seq, depth - 1);
+      seq.pop_back();
+    }
+  }
+
+  void AddScatterPaths() const {
+    for (const Vec2 s : env.Scatterers()) {
+      const double l1 = Distance(tx, s);
+      const double l2 = Distance(s, rx);
+      if (l1 < 1e-9 || l2 < 1e-9) continue;
+      PropagationPath p;
+      p.length_m = l1 + l2;
+      p.loss_db = FreeSpacePathLossDb(p.length_m, config.carrier_hz,
+                                      config.min_distance_m) +
+                  config.scatter_loss_db + env.PenetrationLossDb(tx, s) +
+                  env.PenetrationLossDb(s, rx);
+      p.bounces = 1;
+      p.is_scatter = true;
+      p.aoa_rad = ArrivalAngle(s);
+      out->push_back(p);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<PropagationPath> TracePaths(const IndoorEnvironment& env,
+                                        Vec2 tx, Vec2 rx,
+                                        const PropagationConfig& config) {
+  NOMLOC_REQUIRE(config.max_reflection_order >= 0);
+  std::vector<PropagationPath> paths;
+  Tracer tracer{env, config, tx, rx, &paths};
+  tracer.AddDirect();
+  if (config.max_reflection_order > 0) {
+    std::vector<std::size_t> seq;
+    tracer.EnumerateSpecular(seq, config.max_reflection_order);
+  }
+  if (config.include_scatterers) tracer.AddScatterPaths();
+
+  // Relative power cutoff.
+  double min_loss = paths.front().loss_db;
+  for (const auto& p : paths) min_loss = std::min(min_loss, p.loss_db);
+  std::erase_if(paths, [&](const PropagationPath& p) {
+    return p.loss_db > min_loss + config.relative_cutoff_db;
+  });
+
+  std::sort(paths.begin(), paths.end(),
+            [](const PropagationPath& a, const PropagationPath& b) {
+              return a.length_m < b.length_m;
+            });
+  return paths;
+}
+
+}  // namespace nomloc::channel

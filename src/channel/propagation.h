@@ -1,0 +1,64 @@
+// Multipath ray tracing: enumerates the propagation paths between a
+// transmitter and a receiver in an IndoorEnvironment.
+//
+// Path classes:
+//   * the direct path (always present; pays penetration loss when blocked
+//     — that is exactly the paper's NLOS condition),
+//   * specular reflections off walls/obstacle edges, found with the image
+//     method up to a configurable order,
+//   * diffuse single-bounce paths via the environment's point scatterers
+//     (clutter: furniture, equipment — what makes the Lab "rich
+//     multipath").
+//
+// Per-path loss = free-space path loss over the *total* travelled length
+// + reflection/scattering losses + wall penetration on each leg.
+#pragma once
+
+#include <vector>
+
+#include "channel/environment.h"
+#include "common/units.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::channel {
+
+struct PropagationPath {
+  double length_m = 0.0;   ///< Total travelled distance.
+  double loss_db = 0.0;    ///< Total power loss relative to 0 dB at TX.
+  int bounces = 0;         ///< 0 = direct, 1 = single reflection/scatter, …
+  bool is_direct = false;
+  bool is_scatter = false; ///< Diffuse (scatterer) rather than specular.
+  /// Angle of arrival at the receiver [rad], measured from +x — the
+  /// direction of the final leg.  Feeds multi-antenna (ULA) phase offsets.
+  double aoa_rad = 0.0;
+
+  double DelayS() const noexcept {
+    return common::PropagationDelayS(length_m);
+  }
+};
+
+struct PropagationConfig {
+  double carrier_hz = common::kDefaultCarrierHz;
+  /// Image-method recursion depth: 0 = direct only, 1 = single specular
+  /// reflections, 2 adds double reflections.
+  int max_reflection_order = 1;
+  /// Extra loss for a diffuse scatterer bounce [dB].
+  double scatter_loss_db = 18.0;
+  bool include_scatterers = true;
+  /// Paths weaker than the strongest path by more than this are dropped.
+  double relative_cutoff_db = 50.0;
+  /// Reference distance below which FSPL is clamped (antenna near field).
+  double min_distance_m = 0.1;
+};
+
+/// Free-space path loss [dB] at distance d (clamped to min_distance).
+double FreeSpacePathLossDb(double distance_m, double carrier_hz,
+                           double min_distance_m = 0.1) noexcept;
+
+/// Enumerates propagation paths from tx to rx.  Always returns at least
+/// the direct path.  Paths are sorted by increasing delay.
+std::vector<PropagationPath> TracePaths(const IndoorEnvironment& env,
+                                        geometry::Vec2 tx, geometry::Vec2 rx,
+                                        const PropagationConfig& config);
+
+}  // namespace nomloc::channel

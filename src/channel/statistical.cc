@@ -1,0 +1,95 @@
+#include "channel/statistical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+
+namespace nomloc::channel {
+
+common::Result<std::vector<PropagationPath>> SampleSalehValenzuela(
+    double distance_m, const SalehValenzuelaConfig& config, common::Rng& rng) {
+  if (distance_m <= 0.0)
+    return common::InvalidArgument("distance must be positive");
+  if (config.clusters == 0 || config.rays_per_cluster == 0)
+    return common::InvalidArgument("need >= 1 cluster and ray");
+  if (config.cluster_decay_ns <= 0.0 || config.ray_decay_ns <= 0.0 ||
+      config.cluster_rate_per_ns <= 0.0 || config.ray_rate_per_ns <= 0.0)
+    return common::InvalidArgument("rates and decays must be positive");
+
+  const double base_loss = FreeSpacePathLossDb(
+      distance_m, config.carrier_hz, config.min_distance_m);
+
+  std::vector<PropagationPath> paths;
+  paths.reserve(1 + config.clusters * config.rays_per_cluster);
+
+  // Direct path.
+  {
+    PropagationPath direct;
+    direct.length_m = distance_m;
+    direct.loss_db =
+        base_loss + (config.line_of_sight ? 0.0 : config.nlos_extra_loss_db);
+    direct.is_direct = true;
+    paths.push_back(direct);
+  }
+
+  // Clusters: arrival times T_l ~ Poisson(Lambda), power e^{-T_l/Gamma};
+  // rays inside each cluster likewise with (lambda, gamma).
+  double cluster_excess_ns = 0.0;
+  for (std::size_t l = 0; l < config.clusters; ++l) {
+    cluster_excess_ns += rng.Exponential(1.0 / config.cluster_rate_per_ns);
+    const double cluster_gain_db =
+        -10.0 * cluster_excess_ns / config.cluster_decay_ns *
+        std::log10(std::numbers::e);
+    double ray_excess_ns = 0.0;
+    for (std::size_t k = 0; k < config.rays_per_cluster; ++k) {
+      ray_excess_ns += rng.Exponential(1.0 / config.ray_rate_per_ns);
+      const double ray_gain_db = -10.0 * ray_excess_ns /
+                                 config.ray_decay_ns *
+                                 std::log10(std::numbers::e);
+      const double excess_ns = cluster_excess_ns + ray_excess_ns;
+      PropagationPath p;
+      p.length_m =
+          distance_m + excess_ns * 1e-9 * common::kSpeedOfLight;
+      // The exponential-decay gains are negative dB; subtracting them adds
+      // the corresponding attenuation to the loss.
+      p.loss_db = base_loss + config.diffuse_loss_db - cluster_gain_db -
+                  ray_gain_db;
+      p.bounces = 1;
+      p.is_scatter = true;
+      p.aoa_rad = rng.UniformAngle();  // Diffuse rays arrive isotropically.
+      paths.push_back(p);
+    }
+  }
+
+  std::sort(paths.begin(), paths.end(),
+            [](const PropagationPath& a, const PropagationPath& b) {
+              return a.length_m < b.length_m;
+            });
+  return paths;
+}
+
+double RmsDelaySpread(std::span<const PropagationPath> paths,
+                      double tx_power_dbm) {
+  NOMLOC_REQUIRE(!paths.empty());
+  double total_power = 0.0, mean_delay = 0.0;
+  std::vector<double> powers;
+  powers.reserve(paths.size());
+  for (const PropagationPath& p : paths) {
+    const double power = common::DbmToMilliwatts(tx_power_dbm - p.loss_db);
+    powers.push_back(power);
+    total_power += power;
+    mean_delay += power * p.DelayS();
+  }
+  NOMLOC_ASSERT(total_power > 0.0);
+  mean_delay /= total_power;
+  double var = 0.0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const double d = paths[i].DelayS() - mean_delay;
+    var += powers[i] * d * d;
+  }
+  return std::sqrt(var / total_power);
+}
+
+}  // namespace nomloc::channel

@@ -1,0 +1,57 @@
+// Saleh–Valenzuela statistical multipath model.
+//
+// A geometry-free alternative to the image-method ray tracer: paths
+// arrive in Poisson clusters whose powers decay exponentially, the
+// standard indoor model family behind IEEE 802.11 TGn channels B–E.
+// Useful for (a) validating that NomLoc's PDP stage behaves the same
+// under a completely different multipath generator, and (b) sweeping
+// delay-spread regimes that a specific room geometry cannot produce.
+//
+// The model produces PropagationPath lists compatible with LinkModel, so
+// the whole CSI pipeline downstream is shared with the ray tracer.
+#pragma once
+
+#include <vector>
+
+#include "channel/propagation.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace nomloc::channel {
+
+struct SalehValenzuelaConfig {
+  double carrier_hz = common::kDefaultCarrierHz;
+  /// Cluster arrival rate Lambda [1/ns] and intra-cluster ray rate
+  /// lambda [1/ns]; TGn-C-like defaults.
+  double cluster_rate_per_ns = 1.0 / 40.0;
+  double ray_rate_per_ns = 1.0 / 5.0;
+  /// Cluster power decay constant Gamma [ns] and ray decay gamma [ns].
+  double cluster_decay_ns = 30.0;
+  double ray_decay_ns = 10.0;
+  /// Number of clusters and rays per cluster to draw.
+  std::size_t clusters = 4;
+  std::size_t rays_per_cluster = 6;
+  /// Extra loss applied to every non-direct ray [dB] relative to the
+  /// direct path at the same distance.
+  double diffuse_loss_db = 6.0;
+  /// Whether a line-of-sight direct path exists; when false the direct
+  /// ray is attenuated by nlos_extra_loss_db.
+  bool line_of_sight = true;
+  double nlos_extra_loss_db = 15.0;
+  double min_distance_m = 0.1;
+};
+
+/// Draws one multipath realisation for a link of length `distance_m`.
+/// The direct path delay is distance/c; cluster/ray excess delays are
+/// exponential.  Deterministic given the Rng state.  Requires a positive
+/// distance and sane config.
+common::Result<std::vector<PropagationPath>> SampleSalehValenzuela(
+    double distance_m, const SalehValenzuelaConfig& config,
+    common::Rng& rng);
+
+/// RMS delay spread of a path list [s] — the standard dispersion metric;
+/// exposed for tests that pin the model's statistics.
+double RmsDelaySpread(std::span<const PropagationPath> paths,
+                      double tx_power_dbm = 0.0);
+
+}  // namespace nomloc::channel

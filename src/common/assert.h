@@ -1,0 +1,38 @@
+// Contract-checking macros.
+//
+// NOMLOC_ASSERT / NOMLOC_REQUIRE guard *programming errors* (violated
+// preconditions and invariants), not expected runtime failures — those go
+// through Status/Result (see common/status.h).  Following C++ Core
+// Guidelines I.6/E.12, a violated contract is unrecoverable: we throw
+// std::logic_error so tests can observe it, and production callers that
+// hit one have a bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nomloc::common {
+
+[[noreturn]] inline void ContractFailure(const char* kind, const char* expr,
+                                         const char* file, int line) {
+  throw std::logic_error(std::string(kind) + " failed: " + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace nomloc::common
+
+// Precondition check at public API boundaries. Always on.
+#define NOMLOC_REQUIRE(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::nomloc::common::ContractFailure("precondition", #expr, __FILE__,  \
+                                        __LINE__);                        \
+  } while (0)
+
+// Internal invariant check. Always on (cheap checks only).
+#define NOMLOC_ASSERT(expr)                                               \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::nomloc::common::ContractFailure("invariant", #expr, __FILE__,     \
+                                        __LINE__);                        \
+  } while (0)

@@ -1,0 +1,388 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/assert.h"
+
+// GCC 12 emits -Wmaybe-uninitialized false positives when std::variant
+// values are copied out of Result<Json> under -O2 (GCC PR 105593 family).
+// The accesses are guarded by Result::ok(); suppress the noise here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace nomloc::common {
+
+bool Json::AsBool() const {
+  NOMLOC_REQUIRE(is_bool());
+  return std::get<bool>(value_);
+}
+
+double Json::AsDouble() const {
+  NOMLOC_REQUIRE(is_number());
+  return std::get<double>(value_);
+}
+
+const std::string& Json::AsString() const {
+  NOMLOC_REQUIRE(is_string());
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::AsArray() const {
+  NOMLOC_REQUIRE(is_array());
+  return std::get<JsonArray>(value_);
+}
+
+JsonArray& Json::AsArray() {
+  NOMLOC_REQUIRE(is_array());
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::AsObject() const {
+  NOMLOC_REQUIRE(is_object());
+  return std::get<JsonObject>(value_);
+}
+
+JsonObject& Json::AsObject() {
+  NOMLOC_REQUIRE(is_object());
+  return std::get<JsonObject>(value_);
+}
+
+common::Result<Json> Json::Get(std::string_view key) const {
+  if (!is_object()) return common::NotFound("value is not an object");
+  const auto& obj = std::get<JsonObject>(value_);
+  const auto it = obj.find(std::string(key));
+  if (it == obj.end())
+    return common::NotFound("missing key: " + std::string(key));
+  return it->second;
+}
+
+common::Result<double> Json::GetDouble(std::string_view key) const {
+  NOMLOC_ASSIGN_OR_RETURN(Json v, Get(key));
+  if (!v.is_number())
+    return common::InvalidArgument(std::string(key) + " is not a number");
+  return v.AsDouble();
+}
+
+common::Result<std::string> Json::GetString(std::string_view key) const {
+  NOMLOC_ASSIGN_OR_RETURN(Json v, Get(key));
+  if (!v.is_string())
+    return common::InvalidArgument(std::string(key) + " is not a string");
+  return v.AsString();
+}
+
+common::Result<bool> Json::GetBool(std::string_view key) const {
+  NOMLOC_ASSIGN_OR_RETURN(Json v, Get(key));
+  if (!v.is_bool())
+    return common::InvalidArgument(std::string(key) + " is not a bool");
+  return v.AsBool();
+}
+
+namespace {
+
+void EscapeInto(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void NumberInto(std::string& out, double d) {
+  NOMLOC_REQUIRE(std::isfinite(d));
+  // Integral values within the exact-double range print without decimals.
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad =
+      pretty ? std::string(std::size_t(indent) * std::size_t(depth + 1), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? std::string(std::size_t(indent) * std::size_t(depth), ' ') : "";
+
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += AsBool() ? "true" : "false";
+  } else if (is_number()) {
+    NumberInto(out, AsDouble());
+  } else if (is_string()) {
+    EscapeInto(out, AsString());
+  } else if (is_array()) {
+    const JsonArray& arr = AsArray();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += ',';
+      if (pretty) {
+        out += '\n';
+        out += pad;
+      }
+      arr[i].DumpTo(out, indent, depth + 1);
+    }
+    if (pretty) {
+      out += '\n';
+      out += close_pad;
+    }
+    out += ']';
+  } else {
+    const JsonObject& obj = AsObject();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : obj) {
+      if (!first) out += ',';
+      first = false;
+      if (pretty) {
+        out += '\n';
+        out += pad;
+      }
+      EscapeInto(out, key);
+      out += pretty ? ": " : ":";
+      value.DumpTo(out, indent, depth + 1);
+    }
+    if (pretty) {
+      out += '\n';
+      out += close_pad;
+    }
+    out += '}';
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0, 0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  common::Result<Json> ParseDocument() {
+    SkipWhitespace();
+    NOMLOC_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size())
+      return common::InvalidArgument(Where("trailing characters"));
+    return value;
+  }
+
+ private:
+  std::string Where(const std::string& what) const {
+    return what + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  common::Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth)
+      return common::InvalidArgument("nesting depth exceeded");
+    SkipWhitespace();
+    if (pos_ >= text_.size())
+      return common::InvalidArgument(Where("unexpected end of input"));
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') return ParseString();
+    if (ConsumeLiteral("null")) return Json(nullptr);
+    if (ConsumeLiteral("true")) return Json(true);
+    if (ConsumeLiteral("false")) return Json(false);
+    return ParseNumber();
+  }
+
+  common::Result<Json> ParseObject(int depth) {
+    NOMLOC_ASSERT(Consume('{'));
+    JsonObject obj;
+    SkipWhitespace();
+    if (Consume('}')) return Json(std::move(obj));
+    for (;;) {
+      SkipWhitespace();
+      NOMLOC_ASSIGN_OR_RETURN(Json key, ParseStringValue());
+      SkipWhitespace();
+      if (!Consume(':')) return common::InvalidArgument(Where("expected ':'"));
+      NOMLOC_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      obj[key.AsString()] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) return Json(std::move(obj));
+      if (!Consume(','))
+        return common::InvalidArgument(Where("expected ',' or '}'"));
+    }
+  }
+
+  common::Result<Json> ParseArray(int depth) {
+    NOMLOC_ASSERT(Consume('['));
+    JsonArray arr;
+    SkipWhitespace();
+    if (Consume(']')) return Json(std::move(arr));
+    for (;;) {
+      NOMLOC_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      arr.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Json(std::move(arr));
+      if (!Consume(','))
+        return common::InvalidArgument(Where("expected ',' or ']'"));
+    }
+  }
+
+  common::Result<Json> ParseString() { return ParseStringValue(); }
+
+  common::Result<Json> ParseStringValue() {
+    if (!Consume('"'))
+      return common::InvalidArgument(Where("expected string"));
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (c == '\\') {
+        if (pos_ >= text_.size())
+          return common::InvalidArgument(Where("dangling escape"));
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+              return common::InvalidArgument(Where("truncated \\u escape"));
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+              else
+                return common::InvalidArgument(Where("bad \\u escape"));
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are rejected).
+            if (code >= 0xD800 && code <= 0xDFFF)
+              return common::InvalidArgument(
+                  Where("surrogate pairs unsupported"));
+            if (code < 0x80) {
+              out += char(code);
+            } else if (code < 0x800) {
+              out += char(0xC0 | (code >> 6));
+              out += char(0x80 | (code & 0x3F));
+            } else {
+              out += char(0xE0 | (code >> 12));
+              out += char(0x80 | ((code >> 6) & 0x3F));
+              out += char(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return common::InvalidArgument(Where("unknown escape"));
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return common::InvalidArgument(Where("control character in string"));
+      } else {
+        out += c;
+      }
+    }
+    return common::InvalidArgument(Where("unterminated string"));
+  }
+
+  common::Result<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start)
+      return common::InvalidArgument(Where("expected a value"));
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d))
+      return common::InvalidArgument(Where("malformed number"));
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace nomloc::common

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace nomloc::common {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level = level; }
+LogLevel GetLogLevel() noexcept { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level && level != LogLevel::kOff), level_(level) {
+  if (enabled_) {
+    // Strip the directory for brevity.
+    const char* base = file;
+    for (const char* p = file; *p; ++p)
+      if (*p == '/') base = p + 1;
+    stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace nomloc::common

@@ -1,0 +1,44 @@
+// Minimal leveled logger.  Writes to stderr; level settable at runtime so
+// benches can silence chatter.  Not thread-aware by design: the library is
+// single-threaded per simulation instance (see DESIGN.md).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nomloc::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nomloc::common
+
+#define NOMLOC_LOG(level)                                       \
+  ::nomloc::common::internal::LogMessage(                        \
+      ::nomloc::common::LogLevel::k##level, __FILE__, __LINE__)

@@ -1,0 +1,141 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::common {
+
+void RunningStats::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::size_t n = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(n);
+  mean_ += delta * double(other.n_) / double(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double RunningStats::StdDev() const noexcept { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const {
+  NOMLOC_REQUIRE(n_ > 0);
+  return min_;
+}
+
+double RunningStats::Max() const {
+  NOMLOC_REQUIRE(n_ > 0);
+  return max_;
+}
+
+double Mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / double(xs.size());
+}
+
+double Variance(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / double(xs.size());
+}
+
+double Percentile(std::span<const double> xs, double q) {
+  NOMLOC_REQUIRE(!xs.empty());
+  NOMLOC_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * double(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - double(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double SpatialLocalizabilityVariance(
+    std::span<const double> site_errors) noexcept {
+  return Variance(site_errors);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  NOMLOC_REQUIRE(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::At(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return double(it - sorted_.begin()) / double(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  NOMLOC_REQUIRE(q > 0.0 && q <= 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * double(sorted_.size())));
+  return sorted_[std::min(rank == 0 ? 0 : rank - 1, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Series(
+    std::size_t points) const {
+  NOMLOC_REQUIRE(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = Min(), hi = Max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * double(i) / double(points - 1);
+    out.emplace_back(x, At(x));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  NOMLOC_REQUIRE(hi > lo);
+  NOMLOC_REQUIRE(bins > 0);
+}
+
+void Histogram::Add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * double(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   std::ptrdiff_t(counts_.size()) - 1);
+  ++counts_[std::size_t(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::Count(std::size_t bin) const {
+  NOMLOC_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::BinCenter(std::size_t bin) const {
+  NOMLOC_REQUIRE(bin < counts_.size());
+  const double width = (hi_ - lo_) / double(counts_.size());
+  return lo_ + width * (double(bin) + 0.5);
+}
+
+}  // namespace nomloc::common

@@ -1,0 +1,94 @@
+// Descriptive statistics used by the evaluation harness: running moments,
+// percentiles, empirical CDFs, and the paper's spatial-localizability-
+// variance (SLV) metric (Eq. 22).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nomloc::common {
+
+/// Single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void Merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  /// Mean of the samples seen so far; 0 when empty.
+  double Mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n); 0 when fewer than 1 sample.
+  double Variance() const noexcept { return n_ ? m2_ / double(n_) : 0.0; }
+  /// Sample variance (divide by n-1); 0 when fewer than 2 samples.
+  double SampleVariance() const noexcept {
+    return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+  }
+  double StdDev() const noexcept;
+  double Min() const;
+  double Max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> xs) noexcept;
+
+/// Population variance (divide by n); 0 for an empty span.
+double Variance(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation percentile, q in [0, 1].  Requires non-empty xs.
+/// The input need not be sorted (a sorted copy is made).
+double Percentile(std::span<const double> xs, double q);
+
+/// The paper's SLV metric (Eq. 22): population variance of per-site mean
+/// errors.  Identical to Variance(); named for readability at call sites.
+double SpatialLocalizabilityVariance(std::span<const double> site_errors) noexcept;
+
+/// Empirical cumulative distribution function over a sample.
+class EmpiricalCdf {
+ public:
+  /// Builds from (a copy of) the samples.  Requires non-empty input.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  double At(double x) const noexcept;
+  /// Smallest sample s with CDF(s) >= q, q in (0, 1].
+  double Quantile(double q) const;
+
+  double Min() const noexcept { return sorted_.front(); }
+  double Max() const noexcept { return sorted_.back(); }
+  std::size_t Count() const noexcept { return sorted_.size(); }
+
+  /// Evenly spaced (x, CDF(x)) pairs over [min, max] for plotting/printing.
+  std::vector<std::pair<double, double>> Series(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width bin histogram over [lo, hi); out-of-range samples clamp to
+/// the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void Add(double x) noexcept;
+  std::size_t BinCount() const noexcept { return counts_.size(); }
+  std::size_t Count(std::size_t bin) const;
+  double BinCenter(std::size_t bin) const;
+  std::size_t TotalCount() const noexcept { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nomloc::common

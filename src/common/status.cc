@@ -1,0 +1,30 @@
+#include "common/status.h"
+
+namespace nomloc::common {
+
+std::string_view StatusCodeName(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInfeasible: return "INFEASIBLE";
+    case StatusCode::kUnbounded: return "UNBOUNDED";
+    case StatusCode::kNumericalError: return "NUMERICAL_ERROR";
+    case StatusCode::kExhausted: return "EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace nomloc::common

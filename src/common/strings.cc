@@ -1,0 +1,83 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace nomloc::common {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(std::span<const std::string> items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string AsciiTable(std::span<const std::string> header,
+                       std::span<const std::vector<std::string>> rows) {
+  const std::size_t cols = header.size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    NOMLOC_REQUIRE(row.size() == cols);
+    for (std::size_t c = 0; c < cols; ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](std::span<const std::string> cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << " " << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&] {
+    out << "+";
+    for (std::size_t c = 0; c < cols; ++c)
+      out << std::string(widths[c] + 2, '-') << "+";
+    out << "\n";
+  };
+  emit_rule();
+  emit_row(header);
+  emit_rule();
+  for (const auto& row : rows) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string AsciiBar(double value, double max_value, int width) {
+  NOMLOC_REQUIRE(width > 0);
+  if (max_value <= 0.0) return {};
+  int filled = static_cast<int>(value / max_value * width + 0.5);
+  filled = std::max(0, std::min(filled, width));
+  return std::string(static_cast<std::size_t>(filled), '#') +
+         std::string(static_cast<std::size_t>(width - filled), ' ');
+}
+
+}  // namespace nomloc::common

@@ -1,0 +1,29 @@
+// Small string/formatting helpers used by the eval printers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nomloc::common {
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins items with a separator.
+std::string Join(std::span<const std::string> items, std::string_view sep);
+
+/// Fixed-precision double, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double v, int precision);
+
+/// Renders a simple ASCII table: header row + data rows, columns padded to
+/// the widest cell.  Used by bench binaries to print paper-style tables.
+std::string AsciiTable(std::span<const std::string> header,
+                       std::span<const std::vector<std::string>> rows);
+
+/// Renders a horizontal ASCII bar of `value` against `max_value` using
+/// `width` characters, e.g. for SLV bar charts.
+std::string AsciiBar(double value, double max_value, int width);
+
+}  // namespace nomloc::common

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for embarrassingly parallel experiment loops.
+//
+// The evaluation runner forks an independent RNG per test site, so sites
+// can run concurrently with bit-identical results; this pool provides the
+// workers.  Tasks are void() callables; ParallelFor partitions an index
+// range.  Exceptions thrown by tasks are captured and rethrown from
+// Wait()/ParallelFor (first one wins), per C++ Core Guidelines E.2.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nomloc::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t ThreadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.  Rethrows the first
+  /// captured task exception, if any.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  /// Rethrows the first task exception.
+  void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace nomloc::common

@@ -1,0 +1,53 @@
+// Physical constants and unit conversions for the RF domain.
+#pragma once
+
+#include <cmath>
+
+namespace nomloc::common {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// 802.11n 2.4 GHz band: carrier frequency of channel 6 [Hz].
+inline constexpr double kDefaultCarrierHz = 2.437e9;
+
+/// 802.11n HT20 channel bandwidth [Hz].
+inline constexpr double kBandwidth20MHz = 20e6;
+
+/// OFDM subcarrier spacing for 20 MHz 802.11 [Hz] (64-point FFT).
+inline constexpr double kSubcarrierSpacingHz = 312.5e3;
+
+/// Number of FFT bins in a 20 MHz 802.11n OFDM symbol.
+inline constexpr int kOfdmFftSize = 64;
+
+/// Number of occupied (data + pilot) subcarriers in HT20.
+inline constexpr int kOccupiedSubcarriers = 56;
+
+/// Subcarriers the Intel 5300 CSI tool reports (grouped).
+inline constexpr int kIntel5300Subcarriers = 30;
+
+/// Power ratio -> decibels.  Requires ratio > 0.
+inline double ToDb(double power_ratio) noexcept {
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// Decibels -> power ratio.
+inline double FromDb(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+/// Milliwatts -> dBm.
+inline double MilliwattsToDbm(double mw) noexcept { return ToDb(mw); }
+
+/// dBm -> milliwatts.
+inline double DbmToMilliwatts(double dbm) noexcept { return FromDb(dbm); }
+
+/// Free-space wavelength [m] at the given carrier frequency [Hz].
+inline double WavelengthM(double carrier_hz) noexcept {
+  return kSpeedOfLight / carrier_hz;
+}
+
+/// One-way propagation delay [s] over a distance [m].
+inline double PropagationDelayS(double distance_m) noexcept {
+  return distance_m / kSpeedOfLight;
+}
+
+}  // namespace nomloc::common

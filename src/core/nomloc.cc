@@ -1,0 +1,58 @@
+#include "core/nomloc.h"
+
+#include "common/assert.h"
+#include "geometry/convex_decomp.h"
+
+namespace nomloc::core {
+
+common::Result<NomLocEngine> NomLocEngine::Create(geometry::Polygon area,
+                                                  NomLocConfig config) {
+  if (config.bandwidth_hz <= 0.0)
+    return common::InvalidArgument("bandwidth must be positive");
+  NOMLOC_ASSIGN_OR_RETURN(auto parts, geometry::DecomposeConvex(area));
+  return NomLocEngine(std::move(area), std::move(parts), std::move(config));
+}
+
+common::Result<LocationEstimate> NomLocEngine::Locate(
+    std::span<const ApObservation> observations) const {
+  if (observations.size() < 2)
+    return common::InvalidArgument("need at least two AP observations");
+  std::vector<localization::Anchor> anchors;
+  anchors.reserve(observations.size());
+  for (const ApObservation& obs : observations) {
+    if (obs.frames.empty())
+      return common::InvalidArgument("observation without CSI frames");
+    anchors.push_back(localization::MakeAnchor(
+        obs.reported_position, obs.frames, config_.bandwidth_hz, config_.pdp,
+        obs.is_nomadic_site));
+  }
+  return LocateFromAnchors(anchors);
+}
+
+common::Result<LocationEstimate> NomLocEngine::LocateFromAnchors(
+    std::span<const localization::Anchor> anchors) const {
+  if (anchors.size() < 2)
+    return common::InvalidArgument("need at least two anchors");
+
+  const auto judgements =
+      localization::JudgeProximity(anchors, config_.pair_policy);
+  const auto constraints =
+      localization::ProximityConstraints(anchors, judgements);
+  if (constraints.empty())
+    return common::FailedPrecondition(
+        "all anchor positions coincide — no spatial information");
+
+  NOMLOC_ASSIGN_OR_RETURN(
+      localization::SpSolution sol,
+      localization::SolveSp(parts_, constraints, config_.solver));
+
+  LocationEstimate out;
+  out.position = sol.estimate;
+  out.relaxation_cost = sol.relaxation_cost;
+  out.violated_constraints = sol.parts[sol.best_part].violated;
+  out.part_index = sol.best_part;
+  out.anchors.assign(anchors.begin(), anchors.end());
+  return out;
+}
+
+}  // namespace nomloc::core

@@ -1,0 +1,94 @@
+// NomLocEngine — the public façade of the library.
+//
+// A calibration-free indoor localization engine (Xiao et al., ICDCS 2014):
+// give it the floor area and one batch of CSI per AP (static APs plus
+// every dwell site of the nomadic APs), and it returns the object's
+// estimated position.  No fingerprint database, no propagation-model
+// fitting: the only inputs besides CSI are AP coordinates and the room
+// polygon.
+//
+// Pipeline: CSI -> IFFT -> power-of-direct-path (dsp/cir.h)
+//        -> pairwise proximity + confidence (localization/proximity.h)
+//        -> weighted half-plane program, relaxed LP (localization/sp_solver.h)
+//        -> center of the feasible region.
+//
+// Typical use:
+//   auto engine = core::NomLocEngine::Create(area_polygon, config);
+//   std::vector<core::ApObservation> obs = …;  // one per AP / dwell site
+//   auto estimate = engine->Locate(obs);
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "channel/csi_model.h"
+#include "common/status.h"
+#include "dsp/cir.h"
+#include "geometry/polygon.h"
+#include "localization/proximity.h"
+#include "localization/sp_solver.h"
+
+namespace nomloc::core {
+
+/// One AP's contribution to a localization epoch: where the server
+/// believes the AP is (for nomadic APs this may carry position error) and
+/// the CSI frames it captured from the object's packets.
+struct ApObservation {
+  geometry::Vec2 reported_position;
+  std::vector<dsp::CsiFrame> frames;
+  bool is_nomadic_site = false;
+};
+
+struct NomLocConfig {
+  /// Bandwidth the CSI was captured at (sets CIR tap spacing).
+  double bandwidth_hz = common::kBandwidth20MHz;
+  dsp::PdpOptions pdp;
+  localization::SpSolverOptions solver;
+  localization::PairPolicy pair_policy = localization::PairPolicy::kPaper;
+};
+
+struct LocationEstimate {
+  geometry::Vec2 position;
+  /// Total relaxation cost w^T t of the winning convex part — a rough
+  /// self-reported consistency score (0 = all judgements compatible).
+  double relaxation_cost = 0.0;
+  std::size_t violated_constraints = 0;
+  /// Index of the convex part the estimate fell in.
+  std::size_t part_index = 0;
+  /// The anchors (position + measured PDP) the estimate was derived from.
+  std::vector<localization::Anchor> anchors;
+};
+
+class NomLocEngine {
+ public:
+  /// Builds an engine for the given floor area (convex or not — non-convex
+  /// areas are decomposed once, here).
+  static common::Result<NomLocEngine> Create(geometry::Polygon area,
+                                             NomLocConfig config = {});
+
+  /// Estimates the object position from one epoch of observations.
+  /// Requires >= 2 observations, each with >= 1 frame.
+  common::Result<LocationEstimate> Locate(
+      std::span<const ApObservation> observations) const;
+
+  /// Lower-level entry point when PDPs are already extracted.
+  common::Result<LocationEstimate> LocateFromAnchors(
+      std::span<const localization::Anchor> anchors) const;
+
+  const geometry::Polygon& Area() const noexcept { return area_; }
+  std::span<const geometry::Polygon> Parts() const noexcept { return parts_; }
+  const NomLocConfig& Config() const noexcept { return config_; }
+
+ private:
+  NomLocEngine(geometry::Polygon area, std::vector<geometry::Polygon> parts,
+               NomLocConfig config)
+      : area_(std::move(area)),
+        parts_(std::move(parts)),
+        config_(std::move(config)) {}
+
+  geometry::Polygon area_;
+  std::vector<geometry::Polygon> parts_;
+  NomLocConfig config_;
+};
+
+}  // namespace nomloc::core

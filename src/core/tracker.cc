@@ -1,0 +1,165 @@
+#include "core/tracker.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace nomloc::core {
+
+using geometry::Vec2;
+
+namespace {
+
+// cov is row-major 4x4; helpers keep indexing readable.
+inline double& At(double* m, int r, int c) { return m[r * 4 + c]; }
+inline double At(const double* m, int r, int c) { return m[r * 4 + c]; }
+
+}  // namespace
+
+Tracker::Tracker(TrackerOptions options) : options_(options) {
+  NOMLOC_REQUIRE(options_.acceleration_sigma > 0.0);
+  NOMLOC_REQUIRE(options_.measurement_sigma > 0.0);
+}
+
+void Tracker::Predict(double dt) {
+  NOMLOC_REQUIRE(dt > 0.0);
+  if (!initialized_) return;
+
+  // State transition F = [I, dt*I; 0, I].
+  state_[0] += dt * state_[2];
+  state_[1] += dt * state_[3];
+
+  // P <- F P F^T + Q.  Expand blockwise with P = [Ppp Ppv; Pvp Pvv]
+  // (2x2 blocks, x and y decoupled in F but P may correlate them; do the
+  // full 4x4 product).
+  double f[16] = {1, 0, dt, 0,
+                  0, 1, 0, dt,
+                  0, 0, 1, 0,
+                  0, 0, 0, 1};
+  double fp[16] = {0};
+  for (int r = 0; r < 4; ++r)
+    for (int k = 0; k < 4; ++k) {
+      const double frk = At(f, r, k);
+      if (frk == 0.0) continue;
+      for (int c = 0; c < 4; ++c) fp[r * 4 + c] += frk * At(cov_, k, c);
+    }
+  double fpf[16] = {0};
+  for (int r = 0; r < 4; ++r)
+    for (int k = 0; k < 4; ++k) {
+      const double v = fp[r * 4 + k];
+      if (v == 0.0) continue;
+      for (int c = 0; c < 4; ++c) fpf[r * 4 + c] += v * At(f, c, k);
+    }
+
+  // Discrete white-acceleration noise (per axis):
+  //   Q = sigma^2 [dt^4/4, dt^3/2; dt^3/2, dt^2].
+  const double s2 = options_.acceleration_sigma * options_.acceleration_sigma;
+  const double q11 = s2 * dt * dt * dt * dt / 4.0;
+  const double q12 = s2 * dt * dt * dt / 2.0;
+  const double q22 = s2 * dt * dt;
+  for (int i = 0; i < 16; ++i) cov_[i] = fpf[i];
+  At(cov_, 0, 0) += q11;
+  At(cov_, 1, 1) += q11;
+  At(cov_, 0, 2) += q12;
+  At(cov_, 2, 0) += q12;
+  At(cov_, 1, 3) += q12;
+  At(cov_, 3, 1) += q12;
+  At(cov_, 2, 2) += q22;
+  At(cov_, 3, 3) += q22;
+}
+
+void Tracker::Update(Vec2 measurement) {
+  if (!initialized_) {
+    state_[0] = measurement.x;
+    state_[1] = measurement.y;
+    state_[2] = state_[3] = 0.0;
+    for (int i = 0; i < 16; ++i) cov_[i] = 0.0;
+    const double p2 =
+        options_.initial_position_sigma * options_.initial_position_sigma;
+    const double v2 =
+        options_.initial_velocity_sigma * options_.initial_velocity_sigma;
+    At(cov_, 0, 0) = At(cov_, 1, 1) = p2;
+    At(cov_, 2, 2) = At(cov_, 3, 3) = v2;
+    initialized_ = true;
+    return;
+  }
+
+  // Measurement model H = [I2 0]: innovation on position only.
+  const double r = options_.measurement_sigma * options_.measurement_sigma;
+  // S = H P H^T + R  (2x2).
+  const double s00 = At(cov_, 0, 0) + r;
+  const double s01 = At(cov_, 0, 1);
+  const double s10 = At(cov_, 1, 0);
+  const double s11 = At(cov_, 1, 1) + r;
+  const double det = s00 * s11 - s01 * s10;
+  NOMLOC_ASSERT(std::abs(det) > 0.0);
+  const double i00 = s11 / det, i01 = -s01 / det;
+  const double i10 = -s10 / det, i11 = s00 / det;
+
+  // Kalman gain K = P H^T S^{-1}  (4x2).
+  double k[8];
+  for (int row = 0; row < 4; ++row) {
+    const double p0 = At(cov_, row, 0);
+    const double p1 = At(cov_, row, 1);
+    k[row * 2 + 0] = p0 * i00 + p1 * i10;
+    k[row * 2 + 1] = p0 * i01 + p1 * i11;
+  }
+
+  const double inn0 = measurement.x - state_[0];
+  const double inn1 = measurement.y - state_[1];
+  for (int row = 0; row < 4; ++row)
+    state_[row] += k[row * 2 + 0] * inn0 + k[row * 2 + 1] * inn1;
+
+  // P <- (I - K H) P.
+  double new_cov[16];
+  for (int row = 0; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      new_cov[row * 4 + col] = At(cov_, row, col) -
+                               k[row * 2 + 0] * At(cov_, 0, col) -
+                               k[row * 2 + 1] * At(cov_, 1, col);
+    }
+  }
+  for (int i = 0; i < 16; ++i) cov_[i] = new_cov[i];
+}
+
+void Tracker::Step(double dt, Vec2 measurement) {
+  Predict(dt);
+  Update(measurement);
+}
+
+Vec2 Tracker::Position() const {
+  NOMLOC_REQUIRE(initialized_);
+  return {state_[0], state_[1]};
+}
+
+Vec2 Tracker::Velocity() const {
+  NOMLOC_REQUIRE(initialized_);
+  return {state_[2], state_[3]};
+}
+
+double Tracker::PositionVariance() const {
+  NOMLOC_REQUIRE(initialized_);
+  return At(cov_, 0, 0) + At(cov_, 1, 1);
+}
+
+void Tracker::ClampTo(const geometry::Polygon& area) {
+  NOMLOC_REQUIRE(initialized_);
+  const Vec2 p = Position();
+  if (area.Contains(p)) return;
+  // Project onto the nearest boundary point.
+  double best = std::numeric_limits<double>::infinity();
+  Vec2 proj = p;
+  for (std::size_t i = 0; i < area.EdgeCount(); ++i) {
+    const Vec2 cand = area.Edge(i).ClosestPointTo(p);
+    const double d = Distance(cand, p);
+    if (d < best) {
+      best = d;
+      proj = cand;
+    }
+  }
+  state_[0] = proj.x;
+  state_[1] = proj.y;
+}
+
+}  // namespace nomloc::core

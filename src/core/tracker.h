@@ -1,0 +1,69 @@
+// Multi-epoch tracking on top of per-epoch NomLoc fixes.
+//
+// The paper localizes a stationary object per measurement epoch; a
+// deployed ILBS tracks moving users.  This is the standard constant-
+// velocity Kalman filter over the 2-D state [x, y, vx, vy], fed with the
+// engine's per-epoch position estimates, plus an area clamp so tracks
+// never leave the floor polygon.  Process noise is parameterised as a
+// white acceleration density, so the filter tightens automatically when
+// epochs come fast.
+#pragma once
+
+#include <optional>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::core {
+
+struct TrackerOptions {
+  /// White-acceleration standard deviation [m/s^2] driving process noise.
+  double acceleration_sigma = 1.0;
+  /// Measurement noise standard deviation [m] of per-epoch fixes.
+  double measurement_sigma = 1.5;
+  /// Initial position uncertainty [m].
+  double initial_position_sigma = 5.0;
+  /// Initial velocity uncertainty [m/s].
+  double initial_velocity_sigma = 2.0;
+};
+
+class Tracker {
+ public:
+  explicit Tracker(TrackerOptions options = {});
+
+  /// True once the first measurement has been consumed.
+  bool Initialized() const noexcept { return initialized_; }
+
+  /// Advances the state by `dt` seconds (> 0).  No-op before the first
+  /// measurement.
+  void Predict(double dt);
+
+  /// Fuses one position fix (e.g. LocationEstimate::position).
+  /// The first call initialises the track at the measurement.
+  void Update(geometry::Vec2 measurement);
+
+  /// Convenience: Predict(dt) then Update(measurement).
+  void Step(double dt, geometry::Vec2 measurement);
+
+  /// Current position estimate.  Requires Initialized().
+  geometry::Vec2 Position() const;
+  /// Current velocity estimate [m/s].  Requires Initialized().
+  geometry::Vec2 Velocity() const;
+  /// Trace of the position covariance block [m^2] — track confidence.
+  double PositionVariance() const;
+
+  /// Clamps the position state into `area` (projects onto the nearest
+  /// boundary point when outside).  Call after Update when a floor
+  /// polygon is known.
+  void ClampTo(const geometry::Polygon& area);
+
+ private:
+  TrackerOptions options_;
+  bool initialized_ = false;
+  // State [x, y, vx, vy] and covariance, row-major 4x4.
+  double state_[4] = {0, 0, 0, 0};
+  double cov_[16] = {0};
+};
+
+}  // namespace nomloc::core

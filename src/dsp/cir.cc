@@ -1,0 +1,87 @@
+#include "dsp/cir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/units.h"
+#include "dsp/fft.h"
+
+namespace nomloc::dsp {
+
+std::vector<double> ChannelImpulseResponse::PowerProfile() const {
+  return PowerSpectrum(taps);
+}
+
+ChannelImpulseResponse CsiToCir(const CsiFrame& frame, double bandwidth_hz) {
+  NOMLOC_REQUIRE(bandwidth_hz > 0.0);
+  ChannelImpulseResponse cir;
+  cir.taps = Ifft(frame.ToFftGrid());
+  cir.tap_spacing_s = 1.0 / bandwidth_hz;
+  return cir;
+}
+
+double PdpOfCir(const ChannelImpulseResponse& cir, const PdpOptions& options) {
+  NOMLOC_REQUIRE(!cir.taps.empty());
+  const std::vector<double> profile = cir.PowerProfile();
+  switch (options.method) {
+    case PdpMethod::kMaxTap:
+      return *std::max_element(profile.begin(), profile.end());
+    case PdpMethod::kFirstPath: {
+      const double peak = *std::max_element(profile.begin(), profile.end());
+      const double floor =
+          peak * common::FromDb(-options.first_path_threshold_db);
+      for (double p : profile)
+        if (p >= floor) return p;
+      return peak;  // Unreachable unless profile is all zero.
+    }
+    case PdpMethod::kTotalPower: {
+      double sum = 0.0;
+      for (double p : profile) sum += p;
+      return sum;
+    }
+  }
+  NOMLOC_ASSERT(false);
+  return 0.0;
+}
+
+double PdpOfBatch(std::span<const CsiFrame> frames, double bandwidth_hz,
+                  const PdpOptions& options) {
+  NOMLOC_REQUIRE(!frames.empty());
+  double acc = 0.0;
+  for (const CsiFrame& frame : frames)
+    acc += PdpOfCir(CsiToCir(frame, bandwidth_hz), options);
+  return acc / double(frames.size());
+}
+
+double PdpOfMimoBatch(std::span<const std::vector<CsiFrame>> packets,
+                      double bandwidth_hz, const PdpOptions& options) {
+  NOMLOC_REQUIRE(!packets.empty());
+  const std::size_t antennas = packets.front().size();
+  NOMLOC_REQUIRE(antennas >= 1);
+  double acc = 0.0;
+  for (const std::vector<CsiFrame>& packet : packets) {
+    NOMLOC_REQUIRE(packet.size() == antennas);
+    // Sum the antennas' power profiles tap-by-tap (non-coherent MRC).
+    ChannelImpulseResponse combined = CsiToCir(packet.front(), bandwidth_hz);
+    std::vector<double> profile = combined.PowerProfile();
+    for (std::size_t a = 1; a < antennas; ++a) {
+      const auto cir = CsiToCir(packet[a], bandwidth_hz);
+      NOMLOC_REQUIRE(cir.taps.size() == profile.size());
+      const auto extra = cir.PowerProfile();
+      for (std::size_t n = 0; n < profile.size(); ++n)
+        profile[n] += extra[n];
+    }
+    // Re-run the picker on the combined profile via a synthetic CIR whose
+    // tap magnitudes encode the summed powers.
+    ChannelImpulseResponse synthetic;
+    synthetic.tap_spacing_s = combined.tap_spacing_s;
+    synthetic.taps.reserve(profile.size());
+    for (double p : profile)
+      synthetic.taps.emplace_back(std::sqrt(p), 0.0);
+    acc += PdpOfCir(synthetic, options) / double(antennas);
+  }
+  return acc / double(packets.size());
+}
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,69 @@
+// Channel impulse response and power-of-direct-path (PDP) extraction.
+//
+// Paper §IV-A: frequency-domain CSI is IFFT'd into the time-domain channel
+// impulse response; the *power of the direct path* is approximated by the
+// maximum tap of the power-delay profile, which is robust to NLOS (the
+// attenuated first tap is simply no longer the maximum) and filters
+// multipath (all other reflections are ignored).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "dsp/csi.h"
+
+namespace nomloc::dsp {
+
+/// Time-domain taps obtained from one CSI frame.
+struct ChannelImpulseResponse {
+  std::vector<Cplx> taps;   ///< h[n], n = 0..fft_size-1.
+  double tap_spacing_s = 0; ///< Delay resolution, 1/bandwidth (50 ns @20 MHz).
+
+  /// |h[n]|^2 series (the power-delay profile).
+  std::vector<double> PowerProfile() const;
+  /// Delay of tap n in seconds.
+  double DelayOf(std::size_t n) const noexcept {
+    return double(n) * tap_spacing_s;
+  }
+};
+
+/// IFFT of the frame placed on its full FFT grid.  `bandwidth_hz` sets the
+/// tap spacing (fft_size bins span exactly the channel bandwidth).
+ChannelImpulseResponse CsiToCir(const CsiFrame& frame, double bandwidth_hz);
+
+/// How PdpEstimate picks the direct-path power from a power profile.
+enum class PdpMethod {
+  kMaxTap,     ///< Paper's choice: max |h[n]|^2.
+  kFirstPath,  ///< First tap within `first_path_threshold_db` of the max.
+  kTotalPower, ///< Sum over all taps (RSS-like; ablation baseline).
+};
+
+struct PdpOptions {
+  PdpMethod method = PdpMethod::kMaxTap;
+  /// kFirstPath: a tap counts as the first path when its power is within
+  /// this many dB below the profile maximum.
+  double first_path_threshold_db = 10.0;
+};
+
+/// Direct-path power of one CIR according to `options`.  Requires
+/// non-empty taps.
+double PdpOfCir(const ChannelImpulseResponse& cir, const PdpOptions& options);
+
+/// Averages the PDP over a batch of CSI frames (one per received packet).
+/// Frames are converted to CIRs individually so per-packet noise and
+/// fading average out, mirroring the paper's thousands-of-PINGs procedure.
+/// Requires a non-empty batch.
+double PdpOfBatch(std::span<const CsiFrame> frames, double bandwidth_hz,
+                  const PdpOptions& options = {});
+
+/// Multi-antenna PDP with non-coherent combining: per packet, the
+/// antennas' power-delay profiles are summed tap-by-tap before the pick
+/// (so a fade on one antenna is covered by the others), then averaged
+/// across packets.  Each element of `packets` is one packet's frames, one
+/// per antenna; all packets must have the same non-zero antenna count and
+/// identical grids.
+double PdpOfMimoBatch(std::span<const std::vector<CsiFrame>> packets,
+                      double bandwidth_hz, const PdpOptions& options = {});
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,79 @@
+#include "dsp/csi.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace nomloc::dsp {
+
+common::Result<CsiFrame> CsiFrame::Create(std::vector<int> indices,
+                                          std::vector<Cplx> values,
+                                          int fft_size) {
+  if (indices.empty()) return common::InvalidArgument("empty CSI frame");
+  if (indices.size() != values.size())
+    return common::InvalidArgument("index/value size mismatch");
+  if (fft_size < 2) return common::InvalidArgument("fft_size must be >= 2");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const int k = indices[i];
+    if (k == 0)
+      return common::InvalidArgument("DC subcarrier (k=0) is not reported");
+    if (k < -fft_size / 2 || k >= fft_size / 2)
+      return common::InvalidArgument("subcarrier index out of range");
+    if (i > 0 && indices[i] <= indices[i - 1])
+      return common::InvalidArgument("indices must be strictly increasing");
+  }
+  return CsiFrame(std::move(indices), std::move(values), fft_size);
+}
+
+std::vector<int> CsiFrame::Ht20Indices() {
+  std::vector<int> idx;
+  idx.reserve(56);
+  for (int k = -28; k <= 28; ++k)
+    if (k != 0) idx.push_back(k);
+  return idx;
+}
+
+std::vector<int> CsiFrame::Intel5300Indices() {
+  // The Linux 802.11n CSI tool's HT20 grouping (Ng=2): 30 tones.
+  return {-28, -26, -24, -22, -20, -18, -16, -14, -12, -10,
+          -8,  -6,  -4,  -2,  -1,  1,   3,   5,   7,   9,
+          11,  13,  15,  17,  19,  21,  23,  25,  27,  28};
+}
+
+Cplx CsiFrame::At(int k) const {
+  const auto it = std::lower_bound(indices_.begin(), indices_.end(), k);
+  NOMLOC_REQUIRE(it != indices_.end() && *it == k);
+  return values_[std::size_t(it - indices_.begin())];
+}
+
+double CsiFrame::TotalPower() const noexcept {
+  double p = 0.0;
+  for (const Cplx& v : values_) p += std::norm(v);
+  return p;
+}
+
+common::Result<CsiFrame> CsiFrame::ToIntel5300() const {
+  std::vector<int> idx = Intel5300Indices();
+  std::vector<Cplx> vals;
+  vals.reserve(idx.size());
+  for (int k : idx) {
+    const auto it = std::lower_bound(indices_.begin(), indices_.end(), k);
+    if (it == indices_.end() || *it != k)
+      return common::FailedPrecondition(
+          "frame lacks subcarrier required by 5300 grouping");
+    vals.push_back(values_[std::size_t(it - indices_.begin())]);
+  }
+  return Create(std::move(idx), std::move(vals), fft_size_);
+}
+
+std::vector<Cplx> CsiFrame::ToFftGrid() const {
+  std::vector<Cplx> grid(std::size_t(fft_size_), Cplx(0.0, 0.0));
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    const int k = indices_[i];
+    const int bin = k >= 0 ? k : fft_size_ + k;
+    grid[std::size_t(bin)] = values_[i];
+  }
+  return grid;
+}
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,67 @@
+// Frequency-domain channel state information (CSI).
+//
+// A CsiFrame is what an 802.11n receiver reports for one received packet:
+// the complex channel response H(f_k) sampled at the occupied OFDM
+// subcarriers of a 20 MHz channel.  Subcarrier indices follow the 802.11
+// convention: k in [-28, -1] ∪ [1, 28] for HT20 (DC and the guard bins are
+// unused).  An Intel-5300-style 30-group view is also provided, since the
+// paper's hardware reports grouped CSI.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nomloc::dsp {
+
+using Cplx = std::complex<double>;
+
+class CsiFrame {
+ public:
+  /// Builds a frame.  `indices` and `values` must be the same non-zero
+  /// length; indices must be distinct, non-zero, strictly increasing, and
+  /// within [-fft_size/2, fft_size/2 - 1].
+  static common::Result<CsiFrame> Create(std::vector<int> indices,
+                                         std::vector<Cplx> values,
+                                         int fft_size = 64);
+
+  /// The standard HT20 index set {-28..-1, 1..28}.
+  static std::vector<int> Ht20Indices();
+
+  /// The 30 indices the Intel 5300 reports for HT20 (grouping of 56 tones,
+  /// per the Linux CSI tool: every other tone, plus the band edges).
+  static std::vector<int> Intel5300Indices();
+
+  std::span<const int> Indices() const noexcept { return indices_; }
+  std::span<const Cplx> Values() const noexcept { return values_; }
+  int FftSize() const noexcept { return fft_size_; }
+  std::size_t SubcarrierCount() const noexcept { return values_.size(); }
+
+  /// H at subcarrier index k; requires k present.
+  Cplx At(int k) const;
+
+  /// Sum of |H_k|^2 over the reported subcarriers (total channel power).
+  double TotalPower() const noexcept;
+
+  /// Downsamples this frame to the Intel-5300 index set.  Requires this
+  /// frame to contain all 5300 indices (e.g. a full HT20 frame).
+  common::Result<CsiFrame> ToIntel5300() const;
+
+  /// Places the subcarriers onto the full FFT grid (missing bins zero) in
+  /// standard FFT order: bin k for k >= 0, bin fft_size + k for k < 0.
+  std::vector<Cplx> ToFftGrid() const;
+
+ private:
+  CsiFrame(std::vector<int> indices, std::vector<Cplx> values, int fft_size)
+      : indices_(std::move(indices)),
+        values_(std::move(values)),
+        fft_size_(fft_size) {}
+
+  std::vector<int> indices_;
+  std::vector<Cplx> values_;
+  int fft_size_;
+};
+
+}  // namespace nomloc::dsp

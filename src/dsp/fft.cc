@@ -1,0 +1,157 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+
+namespace nomloc::dsp {
+
+std::size_t NextPowerOfTwo(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void FftRadix2(std::span<Cplx> data, bool inverse) {
+  const std::size_t n = data.size();
+  NOMLOC_REQUIRE(IsPowerOfTwo(n));
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / double(len);
+    const Cplx wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = data[i + k];
+        const Cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (Cplx& x : data) x /= double(n);
+  }
+}
+
+namespace {
+
+// Bluestein's algorithm: DFT of arbitrary N as a convolution, evaluated
+// with a power-of-two FFT of length >= 2N-1.
+std::vector<Cplx> Bluestein(std::span<const Cplx> input, bool inverse) {
+  const std::size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+
+  // Chirp factors: forward uses c_k = e^{-j*pi*k^2/n} so that the kernel
+  // e^{-j2pi*kt/n} = c_k c_t conj(c_{k-t}); inverse conjugates everything.
+  std::vector<Cplx> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for large k.
+    const double kk = double((k * k) % (2 * n));
+    const double ang = sign * std::numbers::pi * kk / double(n);
+    chirp[k] = Cplx(std::cos(ang), std::sin(ang));
+  }
+
+  std::vector<Cplx> a(m, Cplx(0.0, 0.0));
+  std::vector<Cplx> b(m, Cplx(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  for (std::size_t k = 0; k < n; ++k) {
+    const Cplx conj = std::conj(chirp[k]);
+    b[k] = conj;
+    if (k != 0) b[m - k] = conj;
+  }
+
+  FftRadix2(a, /*inverse=*/false);
+  FftRadix2(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  FftRadix2(a, /*inverse=*/true);
+
+  std::vector<Cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    for (Cplx& x : out) x /= double(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Cplx> Fft(std::span<const Cplx> input) {
+  NOMLOC_REQUIRE(!input.empty());
+  if (IsPowerOfTwo(input.size())) {
+    std::vector<Cplx> out(input.begin(), input.end());
+    FftRadix2(out, /*inverse=*/false);
+    return out;
+  }
+  return Bluestein(input, /*inverse=*/false);
+}
+
+std::vector<Cplx> Ifft(std::span<const Cplx> input) {
+  NOMLOC_REQUIRE(!input.empty());
+  if (IsPowerOfTwo(input.size())) {
+    std::vector<Cplx> out(input.begin(), input.end());
+    FftRadix2(out, /*inverse=*/true);
+    return out;
+  }
+  return Bluestein(input, /*inverse=*/true);
+}
+
+std::vector<Cplx> DftNaive(std::span<const Cplx> input, bool inverse) {
+  const std::size_t n = input.size();
+  NOMLOC_REQUIRE(n > 0);
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Cplx> out(n, Cplx(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang =
+          sign * 2.0 * std::numbers::pi * double(k) * double(t) / double(n);
+      out[k] += input[t] * Cplx(std::cos(ang), std::sin(ang));
+    }
+    if (inverse) out[k] /= double(n);
+  }
+  return out;
+}
+
+std::vector<double> PowerSpectrum(std::span<const Cplx> x) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const Cplx& v : x) out.push_back(std::norm(v));
+  return out;
+}
+
+std::vector<double> Magnitudes(std::span<const Cplx> x) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const Cplx& v : x) out.push_back(std::abs(v));
+  return out;
+}
+
+std::vector<double> MovingAverage(std::span<const double> x,
+                                  std::size_t half) {
+  std::vector<double> out(x.size(), 0.0);
+  const std::ptrdiff_t n = std::ptrdiff_t(x.size());
+  const std::ptrdiff_t h = std::ptrdiff_t(half);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - h);
+    const std::ptrdiff_t hi = std::min(n - 1, i + h);
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) sum += x[std::size_t(j)];
+    out[std::size_t(i)] = sum / double(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace nomloc::dsp

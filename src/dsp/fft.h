@@ -1,0 +1,47 @@
+// Discrete Fourier transforms.
+//
+// Radix-2 iterative Cooley–Tukey for power-of-two lengths and Bluestein's
+// chirp-z algorithm for arbitrary lengths, so callers never need to care
+// about N.  Forward transform uses the e^{-j2πkn/N} convention; the inverse
+// divides by N (round-trip is the identity).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace nomloc::dsp {
+
+using Cplx = std::complex<double>;
+
+/// True when n is a power of two (n >= 1).
+constexpr bool IsPowerOfTwo(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+std::size_t NextPowerOfTwo(std::size_t n) noexcept;
+
+/// In-place radix-2 FFT.  Requires power-of-two size.
+/// `inverse` selects the inverse transform (includes the 1/N scale).
+void FftRadix2(std::span<Cplx> data, bool inverse);
+
+/// Forward DFT of arbitrary length (radix-2 fast path, Bluestein otherwise).
+std::vector<Cplx> Fft(std::span<const Cplx> input);
+
+/// Inverse DFT of arbitrary length (scaled by 1/N).
+std::vector<Cplx> Ifft(std::span<const Cplx> input);
+
+/// Naive O(N^2) DFT — reference implementation for tests.
+std::vector<Cplx> DftNaive(std::span<const Cplx> input, bool inverse);
+
+/// Elementwise |x|^2.
+std::vector<double> PowerSpectrum(std::span<const Cplx> x);
+
+/// Elementwise |x|.
+std::vector<double> Magnitudes(std::span<const Cplx> x);
+
+/// Centered moving average with window 2*half+1 (edges shrink the window).
+std::vector<double> MovingAverage(std::span<const double> x, std::size_t half);
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,94 @@
+#include "dsp/impairments.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+
+namespace nomloc::dsp {
+
+CsiFrame ApplyImpairments(const CsiFrame& frame, const ImpairmentConfig& cfg,
+                          common::Rng& rng) {
+  NOMLOC_REQUIRE(cfg.max_phase_slope_rad >= 0.0);
+  NOMLOC_REQUIRE(cfg.agc_jitter >= 0.0);
+
+  const double common_phase =
+      cfg.random_common_phase ? rng.UniformAngle() : 0.0;
+  const double slope =
+      rng.Uniform(-cfg.max_phase_slope_rad, cfg.max_phase_slope_rad);
+  double gain = 1.0;
+  if (cfg.agc_jitter > 0.0) {
+    const double hi = std::log(1.0 + cfg.agc_jitter);
+    gain = std::exp(rng.Uniform(-hi, hi));
+  }
+
+  std::vector<int> indices(frame.Indices().begin(), frame.Indices().end());
+  std::vector<Cplx> values(frame.Values().begin(), frame.Values().end());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const double ang = common_phase + slope * double(indices[i]);
+    values[i] *= gain * Cplx(std::cos(ang), std::sin(ang));
+  }
+  auto out = CsiFrame::Create(std::move(indices), std::move(values),
+                              frame.FftSize());
+  NOMLOC_ASSERT(out.ok());
+  return std::move(out).value();
+}
+
+std::vector<double> UnwrapPhase(std::span<const double> phase) {
+  std::vector<double> out(phase.begin(), phase.end());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    double delta = out[i] - out[i - 1];
+    while (delta > std::numbers::pi) {
+      out[i] -= 2.0 * std::numbers::pi;
+      delta = out[i] - out[i - 1];
+    }
+    while (delta < -std::numbers::pi) {
+      out[i] += 2.0 * std::numbers::pi;
+      delta = out[i] - out[i - 1];
+    }
+  }
+  return out;
+}
+
+CsiFrame SanitizePhase(const CsiFrame& frame, double target_power) {
+  const auto idx = frame.Indices();
+  const auto vals = frame.Values();
+  const std::size_t n = idx.size();
+  NOMLOC_REQUIRE(n >= 2);
+
+  std::vector<double> phase(n);
+  for (std::size_t i = 0; i < n; ++i) phase[i] = std::arg(vals[i]);
+  const std::vector<double> unwrapped = UnwrapPhase(phase);
+
+  // Least-squares fit phase ~ a + b * k over subcarrier index k.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = double(idx[i]);
+    sx += x;
+    sy += unwrapped[i];
+    sxx += x * x;
+    sxy += x * unwrapped[i];
+  }
+  const double denom = double(n) * sxx - sx * sx;
+  const double b = denom != 0.0 ? (double(n) * sxy - sx * sy) / denom : 0.0;
+  const double a = (sy - b * sx) / double(n);
+
+  double scale = 1.0;
+  if (target_power > 0.0) {
+    const double power = frame.TotalPower();
+    if (power > 0.0) scale = std::sqrt(target_power / power);
+  }
+
+  std::vector<int> out_idx(idx.begin(), idx.end());
+  std::vector<Cplx> out_vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = -(a + b * double(idx[i]));
+    out_vals[i] = vals[i] * scale * Cplx(std::cos(ang), std::sin(ang));
+  }
+  auto out = CsiFrame::Create(std::move(out_idx), std::move(out_vals),
+                              frame.FftSize());
+  NOMLOC_ASSERT(out.ok());
+  return std::move(out).value();
+}
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,46 @@
+// Receiver-side CSI impairments and their sanitization.
+//
+// Real CSI extraction hardware (e.g. the Intel 5300 the paper uses) does
+// not report the physical channel H(f) directly: every packet carries
+//   * a random common phase offset (carrier phase + packet detection),
+//   * a linear-in-frequency phase slope from sampling-time offset (STO)
+//     and sampling-frequency offset (SFO),
+//   * an automatic-gain-control (AGC) scale that varies packet to packet.
+// These corrupt phase-based processing; NomLoc's PDP survives them because
+// max|IFFT| is invariant to common phase and (almost) to small linear
+// slopes — this module lets tests and benches verify that claim instead of
+// assuming it, and provides the standard linear-fit sanitizer used by
+// CSI-based systems.
+#pragma once
+
+#include "common/rng.h"
+#include "dsp/csi.h"
+
+namespace nomloc::dsp {
+
+struct ImpairmentConfig {
+  /// Random common phase in [0, 2*pi) per frame.
+  bool random_common_phase = true;
+  /// Max |slope| of the linear phase ramp across the band
+  /// [radians per subcarrier index].  802.11 STO of +-2 samples at 64-FFT
+  /// corresponds to ~0.2 rad/subcarrier.
+  double max_phase_slope_rad = 0.2;
+  /// AGC gain jitter: per-frame amplitude scale drawn log-uniformly from
+  /// [1/(1+j), 1+j].
+  double agc_jitter = 0.25;
+};
+
+/// Applies impairments to a frame (new frame returned; input untouched).
+CsiFrame ApplyImpairments(const CsiFrame& frame, const ImpairmentConfig& cfg,
+                          common::Rng& rng);
+
+/// Removes the best-fit linear phase (common offset + slope across
+/// subcarrier index) by least squares on the unwrapped phase, and
+/// normalises total power to `target_power` when it is > 0.  This is the
+/// standard CSI sanitization step (SpotFi-style linear fit, simplified).
+CsiFrame SanitizePhase(const CsiFrame& frame, double target_power = 0.0);
+
+/// Unwraps a phase sequence (removes 2*pi jumps between neighbours).
+std::vector<double> UnwrapPhase(std::span<const double> phase);
+
+}  // namespace nomloc::dsp

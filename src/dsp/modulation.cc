@@ -1,0 +1,124 @@
+#include "dsp/modulation.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace nomloc::dsp {
+
+int BitsPerSymbol(Modulation modulation) noexcept {
+  switch (modulation) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+  }
+  return 1;
+}
+
+namespace {
+
+// Gray-coded PAM level for 2 bits: 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3.
+double Pam4Level(bool b0, bool b1) {
+  if (!b0) return b1 ? -1.0 : -3.0;
+  return b1 ? 1.0 : 3.0;
+}
+
+// Inverse: hard decision on a PAM-4 axis, returning the Gray bits.
+void Pam4Bits(double v, bool* b0, bool* b1) {
+  if (v < -2.0) {
+    *b0 = false;
+    *b1 = false;
+  } else if (v < 0.0) {
+    *b0 = false;
+    *b1 = true;
+  } else if (v < 2.0) {
+    *b0 = true;
+    *b1 = true;
+  } else {
+    *b0 = true;
+    *b1 = false;
+  }
+}
+
+// Unit-average-energy scale for 16-QAM (E[|s|^2] = 10 for +-1/+-3 grid).
+const double kQam16Scale = 1.0 / std::sqrt(10.0);
+const double kQpskScale = 1.0 / std::sqrt(2.0);
+
+}  // namespace
+
+common::Result<std::vector<Cplx>> ModulateBits(std::span<const std::uint8_t> bits,
+                                               Modulation modulation) {
+  const int bps = BitsPerSymbol(modulation);
+  if (bits.empty() || bits.size() % std::size_t(bps) != 0)
+    return common::InvalidArgument(
+        "bit count must be a positive multiple of bits-per-symbol");
+
+  std::vector<Cplx> symbols;
+  symbols.reserve(bits.size() / std::size_t(bps));
+  for (std::size_t i = 0; i < bits.size(); i += std::size_t(bps)) {
+    switch (modulation) {
+      case Modulation::kBpsk:
+        symbols.emplace_back(bits[i] ? 1.0 : -1.0, 0.0);
+        break;
+      case Modulation::kQpsk:
+        symbols.emplace_back((bits[i] ? 1.0 : -1.0) * kQpskScale,
+                             (bits[i + 1] ? 1.0 : -1.0) * kQpskScale);
+        break;
+      case Modulation::kQam16:
+        symbols.emplace_back(
+            Pam4Level(bits[i], bits[i + 1]) * kQam16Scale,
+            Pam4Level(bits[i + 2], bits[i + 3]) * kQam16Scale);
+        break;
+    }
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> DemodulateSymbols(std::span<const Cplx> symbols,
+                                    Modulation modulation) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * std::size_t(BitsPerSymbol(modulation)));
+  for (const Cplx& s : symbols) {
+    switch (modulation) {
+      case Modulation::kBpsk:
+        bits.push_back(s.real() >= 0.0 ? 1 : 0);
+        break;
+      case Modulation::kQpsk:
+        bits.push_back(s.real() >= 0.0 ? 1 : 0);
+        bits.push_back(s.imag() >= 0.0 ? 1 : 0);
+        break;
+      case Modulation::kQam16: {
+        bool b0, b1, b2, b3;
+        Pam4Bits(s.real() / kQam16Scale, &b0, &b1);
+        Pam4Bits(s.imag() / kQam16Scale, &b2, &b3);
+        bits.push_back(b0 ? 1 : 0);
+        bits.push_back(b1 ? 1 : 0);
+        bits.push_back(b2 ? 1 : 0);
+        bits.push_back(b3 ? 1 : 0);
+        break;
+      }
+    }
+  }
+  return bits;
+}
+
+double BitErrorRate(std::span<const std::uint8_t> sent,
+                    std::span<const std::uint8_t> got) {
+  NOMLOC_REQUIRE(!sent.empty());
+  NOMLOC_REQUIRE(sent.size() == got.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i)
+    if (sent[i] != got[i]) ++errors;
+  return double(errors) / double(sent.size());
+}
+
+std::vector<std::uint8_t> RandomBits(std::size_t count, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::uint8_t> bits(count);
+  for (std::size_t i = 0; i < count; ++i)
+    bits[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  return bits;
+}
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,38 @@
+// Digital modulation: bit <-> constellation-symbol mapping for the OFDM
+// PHY (dsp/ofdm.h).  Gray-coded BPSK, QPSK and 16-QAM, unit average
+// symbol energy, hard-decision demapping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "dsp/csi.h"
+
+namespace nomloc::dsp {
+
+enum class Modulation { kBpsk, kQpsk, kQam16 };
+
+/// Bits carried by one symbol of the scheme (1, 2 or 4).
+int BitsPerSymbol(Modulation modulation) noexcept;
+
+/// Maps bits (one byte per bit, 0/1, MSB first within each symbol) to
+/// symbols.
+/// The bit count must be a multiple of BitsPerSymbol.
+common::Result<std::vector<Cplx>> ModulateBits(std::span<const std::uint8_t> bits,
+                                               Modulation modulation);
+
+/// Hard-decision demapping (minimum-distance).  Always succeeds; noise
+/// shows up as bit errors, not failures.
+std::vector<std::uint8_t> DemodulateSymbols(std::span<const Cplx> symbols,
+                                    Modulation modulation);
+
+/// Fraction of differing bits; the spans must have equal non-zero length.
+double BitErrorRate(std::span<const std::uint8_t> sent,
+                    std::span<const std::uint8_t> got);
+
+/// Deterministic pseudo-random payload for tests/benches.
+std::vector<std::uint8_t> RandomBits(std::size_t count, std::uint64_t seed);
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,149 @@
+#include "dsp/ofdm.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "dsp/fft.h"
+
+namespace nomloc::dsp {
+
+namespace {
+
+common::Status ValidateConfig(const OfdmConfig& config) {
+  if (config.fft_size < 2 || !IsPowerOfTwo(std::size_t(config.fft_size)))
+    return common::InvalidArgument("fft_size must be a power of two >= 2");
+  if (config.cyclic_prefix < 0 || config.cyclic_prefix >= config.fft_size)
+    return common::InvalidArgument("cyclic prefix out of range");
+  if (config.subcarriers.empty())
+    return common::InvalidArgument("no occupied subcarriers");
+  for (int k : config.subcarriers)
+    if (k == 0 || k < -config.fft_size / 2 || k >= config.fft_size / 2)
+      return common::InvalidArgument("bad subcarrier index");
+  return common::Status::Ok();
+}
+
+// One OFDM symbol: values on the occupied subcarriers -> time samples
+// with cyclic prefix appended in front.
+void EmitSymbol(std::span<const Cplx> values, const OfdmConfig& config,
+                std::vector<Cplx>* out) {
+  std::vector<Cplx> grid(std::size_t(config.fft_size), Cplx(0.0, 0.0));
+  for (std::size_t i = 0; i < config.subcarriers.size(); ++i) {
+    const int k = config.subcarriers[i];
+    const int bin = k >= 0 ? k : config.fft_size + k;
+    grid[std::size_t(bin)] = i < values.size() ? values[i] : Cplx(0.0, 0.0);
+  }
+  const std::vector<Cplx> time = Ifft(grid);
+  // Cyclic prefix: the tail of the symbol precedes it.
+  for (int n = config.fft_size - config.cyclic_prefix; n < config.fft_size;
+       ++n)
+    out->push_back(time[std::size_t(n)]);
+  out->insert(out->end(), time.begin(), time.end());
+}
+
+}  // namespace
+
+std::vector<Cplx> TrainingSequence(const OfdmConfig& config) {
+  std::vector<Cplx> training;
+  training.reserve(config.subcarriers.size());
+  // Deterministic +-1 pattern derived from the subcarrier index — any
+  // fixed full-power sequence works for LS estimation.
+  for (int k : config.subcarriers) {
+    std::uint64_t h = std::uint64_t(std::int64_t(k) + 1000);
+    const std::uint64_t bit = common::SplitMix64(h) & 1u;
+    training.emplace_back(bit ? 1.0 : -1.0, 0.0);
+  }
+  return training;
+}
+
+common::Result<OfdmBurst> ModulateBurst(std::span<const Cplx> payload,
+                                        const OfdmConfig& config) {
+  NOMLOC_RETURN_IF_ERROR(ValidateConfig(config));
+  if (payload.empty()) return common::InvalidArgument("empty payload");
+
+  const std::size_t per_symbol = config.subcarriers.size();
+  const std::size_t data_symbols =
+      (payload.size() + per_symbol - 1) / per_symbol;
+
+  OfdmBurst burst;
+  burst.data_symbols.assign(payload.begin(), payload.end());
+  burst.data_symbol_count = data_symbols;
+  burst.waveform.reserve((data_symbols + 1) *
+                         std::size_t(config.fft_size + config.cyclic_prefix));
+
+  EmitSymbol(TrainingSequence(config), config, &burst.waveform);
+  for (std::size_t s = 0; s < data_symbols; ++s) {
+    const std::size_t begin = s * per_symbol;
+    const std::size_t count = std::min(per_symbol, payload.size() - begin);
+    EmitSymbol(payload.subspan(begin, count), config, &burst.waveform);
+  }
+  return burst;
+}
+
+std::vector<Cplx> ApplyChannel(std::span<const Cplx> waveform,
+                               std::span<const Cplx> taps,
+                               double noise_variance, common::Rng& rng) {
+  NOMLOC_REQUIRE(!taps.empty());
+  NOMLOC_REQUIRE(noise_variance >= 0.0);
+  std::vector<Cplx> out(waveform.size() + taps.size() - 1, Cplx(0.0, 0.0));
+  for (std::size_t n = 0; n < waveform.size(); ++n) {
+    const Cplx x = waveform[n];
+    if (x == Cplx(0.0, 0.0)) continue;
+    for (std::size_t k = 0; k < taps.size(); ++k) out[n + k] += x * taps[k];
+  }
+  if (noise_variance > 0.0)
+    for (Cplx& y : out) y += rng.ComplexGaussian(noise_variance);
+  return out;
+}
+
+common::Result<DemodResult> DemodulateBurst(std::span<const Cplx> rx,
+                                            std::size_t data_symbols,
+                                            const OfdmConfig& config) {
+  NOMLOC_RETURN_IF_ERROR(ValidateConfig(config));
+  const std::size_t symbol_len =
+      std::size_t(config.fft_size + config.cyclic_prefix);
+  const std::size_t needed = (data_symbols + 1) * symbol_len;
+  if (rx.size() < needed)
+    return common::InvalidArgument("received waveform too short");
+
+  auto fft_of_symbol = [&](std::size_t index) {
+    const std::size_t start =
+        index * symbol_len + std::size_t(config.cyclic_prefix);
+    std::vector<Cplx> window(rx.begin() + std::ptrdiff_t(start),
+                             rx.begin() + std::ptrdiff_t(start) +
+                                 config.fft_size);
+    return Fft(window);
+  };
+  auto occupied = [&](const std::vector<Cplx>& grid) {
+    std::vector<Cplx> vals;
+    vals.reserve(config.subcarriers.size());
+    for (int k : config.subcarriers) {
+      const int bin = k >= 0 ? k : config.fft_size + k;
+      vals.push_back(grid[std::size_t(bin)]);
+    }
+    return vals;
+  };
+
+  // LS channel estimate from the training symbol: H = Y / T.
+  const std::vector<Cplx> training = TrainingSequence(config);
+  const std::vector<Cplx> y_train = occupied(fft_of_symbol(0));
+  std::vector<Cplx> h(training.size());
+  for (std::size_t i = 0; i < training.size(); ++i)
+    h[i] = y_train[i] / training[i];
+
+  NOMLOC_ASSIGN_OR_RETURN(
+      CsiFrame csi, CsiFrame::Create(config.subcarriers, h, config.fft_size));
+
+  // Zero-forcing equalisation of the data symbols.
+  std::vector<Cplx> symbols;
+  symbols.reserve(data_symbols * config.subcarriers.size());
+  for (std::size_t s = 0; s < data_symbols; ++s) {
+    const std::vector<Cplx> y = occupied(fft_of_symbol(s + 1));
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const Cplx hv = h[i];
+      symbols.push_back(std::abs(hv) > 1e-12 ? y[i] / hv : Cplx(0.0, 0.0));
+    }
+  }
+  return DemodResult{std::move(csi), std::move(symbols)};
+}
+
+}  // namespace nomloc::dsp

@@ -1,0 +1,77 @@
+// OFDM modem + preamble-based channel estimation — the physical origin of
+// CSI.
+//
+// Everywhere else in the library, CSI frames are synthesised directly from
+// the channel's frequency response.  Real hardware (the paper's Intel
+// 5300) obtains them by transmitting a *known training symbol* (the 802.11
+// long training field, LTF) and dividing the received subcarriers by it.
+// This module implements that chain —
+//
+//   TX:  known LTF + data symbols -> subcarrier mapping -> IFFT -> cyclic
+//        prefix -> time-domain waveform
+//   RX:  CP removal -> FFT -> LS channel estimate from the LTF -> (zero-
+//        forcing) equalisation of the data symbols
+//
+// — so the CSI pipeline can be validated against the full measurement
+// path (tests and bench/abl_phy) instead of assuming the oracle shortcut.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "dsp/csi.h"
+#include "dsp/modulation.h"
+
+namespace nomloc::dsp {
+
+struct OfdmConfig {
+  int fft_size = common::kOfdmFftSize;
+  /// Cyclic-prefix length in samples (802.11: 16 at 64-FFT).
+  int cyclic_prefix = 16;
+  /// Occupied subcarrier indices (default: the HT20 set).
+  std::vector<int> subcarriers = CsiFrame::Ht20Indices();
+};
+
+/// A transmitted OFDM burst: the known training symbol followed by data
+/// symbols, as one concatenated time-domain waveform.
+struct OfdmBurst {
+  std::vector<Cplx> waveform;      ///< Time-domain samples.
+  std::vector<Cplx> data_symbols;  ///< The modulated payload, for reference.
+  std::size_t data_symbol_count = 0;
+};
+
+/// The deterministic LTF training values (+-1 BPSK per subcarrier, fixed
+/// pseudo-random sign pattern), indexed like config.subcarriers.
+std::vector<Cplx> TrainingSequence(const OfdmConfig& config);
+
+/// Modulates one training symbol plus ceil(len/carriers) data symbols.
+/// `payload` symbols are laid onto the occupied subcarriers in order,
+/// zero-padded in the final symbol.  Fails on empty payload/bad config.
+common::Result<OfdmBurst> ModulateBurst(std::span<const Cplx> payload,
+                                        const OfdmConfig& config);
+
+/// Applies a multipath channel to a waveform: linear convolution with the
+/// given impulse response taps plus AWGN of the given per-sample variance.
+std::vector<Cplx> ApplyChannel(std::span<const Cplx> waveform,
+                               std::span<const Cplx> taps,
+                               double noise_variance, common::Rng& rng);
+
+struct DemodResult {
+  /// LS channel estimate at the occupied subcarriers (a CSI frame — this
+  /// is exactly what the Intel 5300 driver exports).
+  CsiFrame csi;
+  /// Zero-forcing equalised data symbols.
+  std::vector<Cplx> symbols;
+};
+
+/// Demodulates a burst produced by ModulateBurst after channel distortion.
+/// `rx` must contain at least the burst's sample count; `data_symbols`
+/// tells the receiver how many data symbols follow the training symbol.
+common::Result<DemodResult> DemodulateBurst(std::span<const Cplx> rx,
+                                            std::size_t data_symbols,
+                                            const OfdmConfig& config);
+
+}  // namespace nomloc::dsp

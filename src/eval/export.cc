@@ -1,0 +1,106 @@
+#include "eval/export.h"
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace nomloc::eval {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+using geometry::Vec2;
+
+namespace {
+
+Json PointToJson(Vec2 p) {
+  return Json(JsonArray{Json(p.x), Json(p.y)});
+}
+
+Json PointListToJson(std::span<const Vec2> points) {
+  JsonArray arr;
+  arr.reserve(points.size());
+  for (const Vec2 p : points) arr.push_back(PointToJson(p));
+  return Json(std::move(arr));
+}
+
+common::Result<Vec2> PointFromJson(const Json& j) {
+  if (!j.is_array() || j.AsArray().size() != 2 ||
+      !j.AsArray()[0].is_number() || !j.AsArray()[1].is_number())
+    return common::InvalidArgument("point must be [x, y]");
+  return Vec2{j.AsArray()[0].AsDouble(), j.AsArray()[1].AsDouble()};
+}
+
+}  // namespace
+
+Json ScenarioToJson(const Scenario& scenario) {
+  JsonObject obj;
+  obj["name"] = Json(scenario.name);
+  obj["boundary"] = PointListToJson(scenario.env.Boundary().Vertices());
+  obj["static_aps"] = PointListToJson(scenario.static_aps);
+  obj["nomadic_sites"] = PointListToJson(scenario.nomadic_sites);
+  obj["test_sites"] = PointListToJson(scenario.test_sites);
+
+  JsonArray obstacles;
+  for (const auto& obstacle : scenario.env.Obstacles()) {
+    JsonObject o;
+    o["material"] = Json(obstacle.material.name);
+    o["vertices"] = PointListToJson(obstacle.shape.Vertices());
+    obstacles.push_back(Json(std::move(o)));
+  }
+  obj["obstacles"] = Json(std::move(obstacles));
+  obj["scatterers"] = PointListToJson(scenario.env.Scatterers());
+  return Json(std::move(obj));
+}
+
+Json RunResultToJson(const RunResult& result) {
+  JsonObject obj;
+  JsonArray sites;
+  for (const SiteResult& site : result.sites) {
+    JsonObject s;
+    s["position"] = PointToJson(site.site);
+    s["mean_error_m"] = Json(site.mean_error_m);
+    JsonArray errors;
+    for (double e : site.trial_errors_m) errors.push_back(Json(e));
+    s["trial_errors_m"] = Json(std::move(errors));
+    sites.push_back(Json(std::move(s)));
+  }
+  obj["sites"] = Json(std::move(sites));
+  obj["slv_m2"] = Json(result.slv);
+  obj["mean_error_m"] = Json(result.MeanError());
+  if (!result.sites.empty()) {
+    const auto errors = result.SiteMeanErrors();
+    obj["p50_m"] = Json(common::Percentile(errors, 0.5));
+    obj["p90_m"] = Json(common::Percentile(errors, 0.9));
+  }
+  return Json(std::move(obj));
+}
+
+common::Result<RunResult> RunResultFromJson(const Json& json) {
+  NOMLOC_ASSIGN_OR_RETURN(Json sites_json, json.Get("sites"));
+  if (!sites_json.is_array())
+    return common::InvalidArgument("'sites' must be an array");
+
+  RunResult result;
+  for (const Json& site_json : sites_json.AsArray()) {
+    if (!site_json.is_object())
+      return common::InvalidArgument("site entry must be an object");
+    SiteResult site;
+    NOMLOC_ASSIGN_OR_RETURN(Json pos, site_json.Get("position"));
+    NOMLOC_ASSIGN_OR_RETURN(site.site, PointFromJson(pos));
+    NOMLOC_ASSIGN_OR_RETURN(site.mean_error_m,
+                            site_json.GetDouble("mean_error_m"));
+    NOMLOC_ASSIGN_OR_RETURN(Json errors, site_json.Get("trial_errors_m"));
+    if (!errors.is_array())
+      return common::InvalidArgument("'trial_errors_m' must be an array");
+    for (const Json& e : errors.AsArray()) {
+      if (!e.is_number())
+        return common::InvalidArgument("trial error must be a number");
+      site.trial_errors_m.push_back(e.AsDouble());
+    }
+    result.sites.push_back(std::move(site));
+  }
+  NOMLOC_ASSIGN_OR_RETURN(result.slv, json.GetDouble("slv_m2"));
+  return result;
+}
+
+}  // namespace nomloc::eval

@@ -1,0 +1,22 @@
+// JSON export/import of evaluation artefacts, so results can be plotted
+// or diffed outside the binary and experiment outputs can be archived.
+#pragma once
+
+#include "common/json.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+
+namespace nomloc::eval {
+
+/// Scenario geometry (boundary, APs, nomadic sites, test sites, obstacle
+/// boxes are exported as their vertex loops).
+common::Json ScenarioToJson(const Scenario& scenario);
+
+/// Full run result: per-site positions, trial errors, SLV, summary stats.
+common::Json RunResultToJson(const RunResult& result);
+
+/// Inverse of RunResultToJson.  Fails with kInvalidArgument on schema
+/// mismatch.
+common::Result<RunResult> RunResultFromJson(const common::Json& json);
+
+}  // namespace nomloc::eval

@@ -1,0 +1,75 @@
+#include "eval/render.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::eval {
+
+using geometry::Vec2;
+
+std::string RenderScenario(const Scenario& scenario,
+                           const RenderOptions& options) {
+  NOMLOC_REQUIRE(options.cells_per_m > 0.0);
+  const geometry::Aabb box = scenario.env.Boundary().BoundingBox();
+  const double sx = options.cells_per_m;
+  const double sy = options.cells_per_m / 2.0;
+  const int cols = std::max(1, int(std::ceil(box.Width() * sx)) + 1);
+  const int rows = std::max(1, int(std::ceil(box.Height() * sy)) + 1);
+
+  std::vector<std::string> grid(std::size_t(rows),
+                                std::string(std::size_t(cols), ' '));
+
+  auto cell_center = [&](int r, int c) -> Vec2 {
+    return {box.lo.x + (double(c) + 0.5) / sx,
+            box.hi.y - (double(r) + 0.5) / sy};
+  };
+  auto put = [&](Vec2 p, char ch) {
+    const int c = int((p.x - box.lo.x) * sx);
+    const int r = int((box.hi.y - p.y) * sy);
+    if (r >= 0 && r < rows && c >= 0 && c < cols)
+      grid[std::size_t(r)][std::size_t(c)] = ch;
+  };
+
+  // Background: free space vs obstacles vs outside.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const Vec2 p = cell_center(r, c);
+      if (!scenario.env.Boundary().Contains(p)) continue;
+      char ch = '.';
+      for (const auto& obstacle : scenario.env.Obstacles())
+        if (obstacle.shape.Contains(p)) ch = 'o';
+      grid[std::size_t(r)][std::size_t(c)] = ch;
+    }
+  }
+
+  // Walls (boundary + interior only): rasterise each segment.  Obstacle
+  // edges are excluded — thin obstacles would otherwise be overdrawn by
+  // '#' and lose their 'o' glyph.  env.Walls() stores obstacle edges last.
+  std::size_t obstacle_edges = 0;
+  for (const auto& obstacle : scenario.env.Obstacles())
+    obstacle_edges += obstacle.shape.EdgeCount();
+  const auto walls = scenario.env.Walls();
+  for (std::size_t w = 0; w + obstacle_edges < walls.size(); ++w) {
+    const auto& wall = walls[w];
+    const double len = wall.segment.Length();
+    const int steps = std::max(2, int(len * sx * 2.0));
+    for (int k = 0; k <= steps; ++k)
+      put(Lerp(wall.segment.a, wall.segment.b, double(k) / steps), '#');
+  }
+
+  for (const Vec2 p : scenario.test_sites) put(p, 'x');
+  for (const Vec2 p : scenario.nomadic_sites) put(p, 'N');
+  for (const Vec2 p : scenario.static_aps) put(p, 'A');
+  for (const Vec2 p : options.markers) put(p, '*');
+
+  std::string out;
+  out.reserve(std::size_t(rows) * std::size_t(cols + 1));
+  for (const std::string& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nomloc::eval

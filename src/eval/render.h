@@ -1,0 +1,28 @@
+// ASCII floor-plan rendering for scenarios and results — makes bench
+// output and the CLI self-describing without a plotting stack.
+//
+// Legend: '#' boundary/interior wall, 'o' obstacle, 'A' static AP,
+// 'N' nomadic dwell site, 'x' test site, '*' marker (e.g. an estimate),
+// '.' free space, ' ' outside the floor polygon.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/scenario.h"
+
+namespace nomloc::eval {
+
+struct RenderOptions {
+  /// Horizontal cells per metre (vertical is half that — terminal glyphs
+  /// are roughly twice as tall as wide).
+  double cells_per_m = 2.0;
+  /// Extra markers drawn as '*' (estimates, planned sites, …).
+  std::vector<geometry::Vec2> markers;
+};
+
+/// Renders the scenario to a multi-line string (top row = max y).
+std::string RenderScenario(const Scenario& scenario,
+                           const RenderOptions& options = {});
+
+}  // namespace nomloc::eval

@@ -1,0 +1,90 @@
+// Experiment driver: runs the full NomLoc measurement + localization
+// pipeline over a Scenario and aggregates the paper's metrics (per-site
+// mean error, SLV, error CDF, PDP proximity accuracy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/nomloc.h"
+#include "eval/scenario.h"
+#include "mobility/trace.h"
+
+namespace nomloc::eval {
+
+/// Which deployment an experiment runs.
+enum class Deployment {
+  kStatic,   ///< All 4 APs fixed at their home positions (baseline).
+  kNomadic,  ///< AP 0 roams its site set; APs 1..3 stay fixed (NomLoc).
+};
+
+struct RunConfig {
+  Deployment deployment = Deployment::kNomadic;
+  /// CSI frames per anchor batch (the paper collects thousands of PINGs;
+  /// averaging converges much earlier — keep benches fast).
+  std::size_t packets_per_batch = 50;
+  /// Independent trials per test site (errors are averaged per site).
+  std::size_t trials = 10;
+  /// Nomadic dwell segments per localization epoch.
+  std::size_t dwell_count = 8;
+  /// How reported nomadic positions deviate from truth (paper Fig. 10
+  /// uses kUniformDisc; kDeadReckoning is the odometry ablation).
+  mobility::PositionErrorModel error_model =
+      mobility::PositionErrorModel::kUniformDisc;
+  /// Uniform-disc error radius on reported nomadic positions (ER) [m].
+  double position_error_m = 0.0;
+  /// Dead-reckoning drift per metre walked (kDeadReckoning only).
+  double odometry_drift_per_m = 0.0;
+  mobility::MobilityPattern pattern = mobility::MobilityPattern::kMarkovWalk;
+  /// How many nomadic APs roam (1 per the paper; >1 = future-work
+  /// ablation: AP k roams a shifted copy of the site set).
+  std::size_t nomadic_ap_count = 1;
+  channel::ChannelConfig channel;
+  core::NomLocConfig engine;
+  std::uint64_t seed = 1;
+  /// Worker threads for the per-site loop.  Results are bit-identical for
+  /// any thread count: every site runs on its own forked RNG stream.
+  std::size_t threads = 1;
+};
+
+struct SiteResult {
+  geometry::Vec2 site;
+  double mean_error_m = 0.0;
+  std::vector<double> trial_errors_m;
+};
+
+struct RunResult {
+  std::vector<SiteResult> sites;
+  /// Paper Eq. 22 over the per-site mean errors.
+  double slv = 0.0;
+
+  std::vector<double> SiteMeanErrors() const;
+  double MeanError() const;
+  /// All trial errors pooled (for CDF plots).
+  std::vector<double> AllErrors() const;
+};
+
+/// Runs localization at every test site of the scenario.
+common::Result<RunResult> RunLocalization(const Scenario& scenario,
+                                          const RunConfig& config);
+
+/// Fig. 7: per-site accuracy of PDP-based proximity determination against
+/// ground-truth distance ordering, over all C(ap,2) pairs and `trials`
+/// repetitions, with the APs at their static home positions.
+struct ProximityAccuracyResult {
+  std::vector<double> per_site_accuracy;  ///< One value per test site.
+};
+common::Result<ProximityAccuracyResult> RunProximityAccuracy(
+    const Scenario& scenario, const RunConfig& config);
+
+/// One localization epoch at `object`: collects CSI batches for the
+/// configured deployment and returns the engine estimate.  Exposed so
+/// examples and ablations can drive single epochs.
+common::Result<core::LocationEstimate> LocalizeEpoch(
+    const Scenario& scenario, const RunConfig& config,
+    const core::NomLocEngine& engine, geometry::Vec2 object,
+    common::Rng& rng);
+
+}  // namespace nomloc::eval

@@ -1,0 +1,183 @@
+#include "eval/scenario.h"
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::eval {
+
+using channel::IndoorEnvironment;
+using channel::Obstacle;
+using channel::Wall;
+using geometry::Polygon;
+using geometry::Vec2;
+
+namespace {
+
+Obstacle MakeBox(double x0, double y0, double x1, double y1,
+                 channel::Material material) {
+  return Obstacle{Polygon::Rectangle(x0, y0, x1, y1), std::move(material)};
+}
+
+}  // namespace
+
+Scenario LabScenario(std::uint64_t seed) {
+  // 12 x 8 m rectangular lab crammed with desk rows and equipment racks.
+  Polygon boundary = Polygon::Rectangle(0.0, 0.0, 12.0, 8.0);
+
+  std::vector<Obstacle> obstacles;
+  // Two double rows of desks with PCs.  Desks are waist-height, so in this
+  // 2-D model they are *partial* obstructions: links graze over them and
+  // lose only a couple of dB (unlike full-height racks/walls).
+  const channel::Material desk{"desk+pc", 12.0, 2.5};
+  obstacles.push_back(MakeBox(1.5, 2.2, 4.5, 3.0, desk));
+  obstacles.push_back(MakeBox(6.5, 2.2, 9.5, 3.0, desk));
+  obstacles.push_back(MakeBox(1.5, 5.0, 4.5, 5.8, desk));
+  obstacles.push_back(MakeBox(6.5, 5.0, 9.5, 5.8, desk));
+  // Server rack and a metal cabinet.
+  obstacles.push_back(
+      MakeBox(10.3, 5.5, 11.3, 6.5, channel::materials::Metal()));
+  obstacles.push_back(
+      MakeBox(5.2, 0.3, 6.0, 1.1, channel::materials::Metal()));
+
+  auto env = IndoorEnvironment::Create(std::move(boundary), {},
+                                       std::move(obstacles));
+  NOMLOC_ASSERT(env.ok());
+  Scenario s{.name = "lab",
+             .env = std::move(env).value(),
+             .static_aps = {{0.8, 0.8}, {11.2, 0.8}, {11.2, 7.2}, {0.8, 7.2}},
+             .nomadic_sites = {{0.8, 0.8}, {4.0, 4.0}, {8.0, 4.0}, {5.5, 6.8}},
+             .test_sites = {{2.0, 1.5},
+                            {6.0, 1.6},
+                            {10.0, 1.5},
+                            {2.0, 4.0},
+                            {6.0, 4.0},
+                            {10.0, 4.0},
+                            {2.0, 6.5},
+                            {4.5, 6.5},
+                            {8.0, 6.5},
+                            {10.8, 3.0}}};
+
+  // Dense clutter: equipment, chairs, people.
+  common::Rng rng(seed);
+  s.env.PlaceScatterers(24, rng);
+
+  for (const Vec2 p : s.static_aps) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  for (const Vec2 p : s.nomadic_sites) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  for (const Vec2 p : s.test_sites) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  return s;
+}
+
+Scenario LobbyScenario(std::uint64_t seed) {
+  // L-shaped lobby: 20 m wide lower arm (6 m deep) plus an 8 m wide
+  // vertical arm rising to 14 m.
+  auto boundary = Polygon::Create({{0.0, 0.0},
+                                   {20.0, 0.0},
+                                   {20.0, 6.0},
+                                   {8.0, 6.0},
+                                   {8.0, 14.0},
+                                   {0.0, 14.0}});
+  NOMLOC_ASSERT(boundary.ok());
+
+  std::vector<Obstacle> obstacles;
+  // Structural pillars.
+  obstacles.push_back(
+      MakeBox(12.0, 2.0, 12.6, 2.6, channel::materials::Concrete()));
+  obstacles.push_back(
+      MakeBox(5.0, 10.0, 5.6, 10.6, channel::materials::Concrete()));
+  // Information kiosk (glass).
+  obstacles.push_back(
+      MakeBox(15.5, 3.5, 16.3, 4.2, channel::materials::Glass()));
+
+  auto env = IndoorEnvironment::Create(std::move(boundary).value(), {},
+                                       std::move(obstacles));
+  NOMLOC_ASSERT(env.ok());
+  Scenario s{.name = "lobby",
+             .env = std::move(env).value(),
+             .static_aps = {{2.0, 2.0}, {18.0, 1.0}, {18.0, 5.0}, {2.0, 12.0}},
+             .nomadic_sites = {{2.0, 2.0}, {10.0, 3.0}, {15.0, 4.6}, {4.0, 8.0}},
+             .test_sites = {{1.0, 4.0},
+                            {4.0, 1.0},
+                            {7.0, 4.0},
+                            {10.0, 1.5},
+                            {13.0, 4.5},
+                            {16.0, 1.5},
+                            {19.0, 3.0},
+                            {6.0, 5.0},
+                            {2.0, 7.0},
+                            {6.0, 9.0},
+                            {3.0, 11.0},
+                            {6.0, 13.0}}};
+
+  // Sparse clutter: benches, planters, passers-by.
+  common::Rng rng(seed);
+  s.env.PlaceScatterers(8, rng);
+
+  for (const Vec2 p : s.static_aps) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  for (const Vec2 p : s.nomadic_sites) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  for (const Vec2 p : s.test_sites) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  return s;
+}
+
+Scenario OfficeScenario(std::uint64_t seed) {
+  // 18 x 10 m office floor: an open area (y < 4.5), a central corridor
+  // (4.5 <= y <= 6), and three offices above (y > 6) separated by drywall
+  // partitions with door gaps.
+  Polygon boundary = Polygon::Rectangle(0.0, 0.0, 18.0, 10.0);
+
+  const channel::Material drywall = channel::materials::Drywall();
+  std::vector<Wall> walls;
+  // Corridor's north wall, door gaps at x in [5,7] and [11,13].
+  walls.push_back({{{0.0, 6.0}, {5.0, 6.0}}, drywall});
+  walls.push_back({{{7.0, 6.0}, {11.0, 6.0}}, drywall});
+  walls.push_back({{{13.0, 6.0}, {18.0, 6.0}}, drywall});
+  // Corridor's south wall, door gap at x in [8,10].
+  walls.push_back({{{0.0, 4.5}, {8.0, 4.5}}, drywall});
+  walls.push_back({{{10.0, 4.5}, {18.0, 4.5}}, drywall});
+  // Office partitions.
+  walls.push_back({{{6.0, 6.0}, {6.0, 10.0}}, drywall});
+  walls.push_back({{{12.0, 6.0}, {12.0, 10.0}}, drywall});
+
+  std::vector<Obstacle> obstacles;
+  // Copier (metal) in the middle office, bookcase (wood) in the open area.
+  obstacles.push_back(
+      MakeBox(10.5, 7.5, 11.2, 8.2, channel::materials::Metal()));
+  obstacles.push_back(MakeBox(16.0, 3.0, 16.8, 3.8, channel::materials::Wood()));
+
+  auto env = IndoorEnvironment::Create(std::move(boundary), std::move(walls),
+                                       std::move(obstacles));
+  NOMLOC_ASSERT(env.ok());
+  Scenario s{.name = "office",
+             .env = std::move(env).value(),
+             .static_aps = {{1.0, 1.0}, {17.0, 1.0}, {9.0, 5.2}, {2.0, 9.0}},
+             .nomadic_sites = {{1.0, 1.0}, {8.0, 5.2}, {4.0, 8.0}, {15.0, 8.0}},
+             .test_sites = {{3.0, 2.0},
+                            {9.0, 2.0},
+                            {15.0, 2.0},
+                            {7.0, 3.5},
+                            {4.0, 5.2},
+                            {14.0, 5.2},
+                            {2.0, 8.0},
+                            {5.0, 9.0},
+                            {8.0, 8.0},
+                            {11.0, 9.0},
+                            {14.0, 7.0},
+                            {16.0, 9.0}}};
+
+  common::Rng rng(seed);
+  s.env.PlaceScatterers(15, rng);
+
+  for (const Vec2 p : s.static_aps) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  for (const Vec2 p : s.nomadic_sites) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  for (const Vec2 p : s.test_sites) NOMLOC_ASSERT(s.env.IsFreeSpace(p));
+  return s;
+}
+
+common::Result<Scenario> ScenarioByName(const std::string& name) {
+  if (name == "lab") return LabScenario();
+  if (name == "lobby") return LobbyScenario();
+  if (name == "office") return OfficeScenario();
+  return common::NotFound("unknown scenario: " + name);
+}
+
+}  // namespace nomloc::eval

@@ -1,0 +1,48 @@
+// Evaluation scenarios reproducing the paper's two testbeds (Fig. 6):
+//
+//   * Lab   — a cluttered 12 x 8 m academic lab: desk rows (wood), metal
+//             racks, dense scatterers; rich multipath and frequent NLOS.
+//   * Lobby — a more open 20 x 14 m L-shaped lobby: a few pillars, sparse
+//             scatterers; mostly LOS but larger distances and a non-convex
+//             floor plan.
+//
+// Both deploy 4 APs; AP 0 doubles as the nomadic AP with site set
+// {home, P1, P2, P3}, exactly as in §V-B.  Geometry is reproduced from
+// Fig. 6 at plausible scale (the paper gives no dimensions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/environment.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::eval {
+
+struct Scenario {
+  std::string name;
+  channel::IndoorEnvironment env;
+  /// All AP home positions; index 0 is the AP that can go nomadic.
+  std::vector<geometry::Vec2> static_aps;
+  /// Site set of the nomadic AP: {home, P1, P2, P3}.
+  std::vector<geometry::Vec2> nomadic_sites;
+  /// Object test sites (10 in Lab, 12 in Lobby, per §V-C).
+  std::vector<geometry::Vec2> test_sites;
+};
+
+/// The cluttered Lab testbed.  `seed` controls scatterer placement.
+Scenario LabScenario(std::uint64_t seed = 0x1ab);
+
+/// The open L-shaped Lobby testbed.
+Scenario LobbyScenario(std::uint64_t seed = 0x10bb);
+
+/// A third environment beyond the paper's two: an 18 x 10 m office floor
+/// with drywall partition walls (corridor + three offices), exercising
+/// interior-wall attenuation/reflection, which Lab and Lobby do not.
+Scenario OfficeScenario(std::uint64_t seed = 0x0ff1);
+
+/// Looks a scenario up by name ("lab", "lobby" or "office").
+common::Result<Scenario> ScenarioByName(const std::string& name);
+
+}  // namespace nomloc::eval

@@ -1,0 +1,158 @@
+#include "geometry/convex_decomp.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <list>
+
+#include "common/assert.h"
+
+namespace nomloc::geometry {
+namespace {
+
+bool PointInTriangle(Vec2 p, Vec2 a, Vec2 b, Vec2 c, double eps) {
+  const double d1 = Cross(b - a, p - a);
+  const double d2 = Cross(c - b, p - b);
+  const double d3 = Cross(a - c, p - c);
+  const bool has_neg = d1 < -eps || d2 < -eps || d3 < -eps;
+  const bool has_pos = d1 > eps || d2 > eps || d3 > eps;
+  return !(has_neg && has_pos);
+}
+
+}  // namespace
+
+common::Result<std::vector<std::array<Vec2, 3>>> Triangulate(
+    const Polygon& polygon) {
+  std::vector<Vec2> v(polygon.Vertices().begin(), polygon.Vertices().end());
+  std::vector<std::array<Vec2, 3>> tris;
+  tris.reserve(v.size() - 2);
+  constexpr double kEps = 1e-12;
+
+  // Ear clipping: repeatedly cut a convex vertex whose triangle contains
+  // no other vertex.
+  std::size_t guard = 0;
+  const std::size_t guard_limit = v.size() * v.size() + 16;
+  while (v.size() > 3) {
+    if (++guard > guard_limit)
+      return common::NumericalError("ear clipping failed to converge");
+    bool clipped = false;
+    const std::size_t n = v.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 prev = v[(i + n - 1) % n];
+      const Vec2 cur = v[i];
+      const Vec2 next = v[(i + 1) % n];
+      // Reflex or collinear vertex cannot be an ear.
+      if (Cross(cur - prev, next - cur) <= kEps) continue;
+      bool contains_other = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || j == (i + n - 1) % n || j == (i + 1) % n) continue;
+        if (PointInTriangle(v[j], prev, cur, next, kEps)) {
+          contains_other = true;
+          break;
+        }
+      }
+      if (contains_other) continue;
+      tris.push_back({prev, cur, next});
+      v.erase(v.begin() + std::ptrdiff_t(i));
+      clipped = true;
+      break;
+    }
+    if (!clipped)
+      return common::NumericalError("no ear found (degenerate polygon)");
+  }
+  tris.push_back({v[0], v[1], v[2]});
+  return tris;
+}
+
+namespace {
+
+// A part under construction: CCW vertex loop.
+using Loop = std::vector<Vec2>;
+
+bool LoopIsConvex(const Loop& loop, double eps = 1e-9) {
+  const std::size_t n = loop.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = loop[i];
+    const Vec2 b = loop[(i + 1) % n];
+    const Vec2 c = loop[(i + 2) % n];
+    if (Cross(b - a, c - b) < -eps) return false;
+  }
+  return true;
+}
+
+// If loops p and q share a (reversed) edge, merge them into one loop across
+// that diagonal; returns merged loop or nullopt.
+std::optional<Loop> MergeAcrossSharedEdge(const Loop& p, const Loop& q) {
+  const std::size_t np = p.size(), nq = q.size();
+  for (std::size_t i = 0; i < np; ++i) {
+    const Vec2 a = p[i];
+    const Vec2 b = p[(i + 1) % np];
+    for (std::size_t j = 0; j < nq; ++j) {
+      // Shared edge must be traversed in opposite directions in the two
+      // CCW loops.
+      if (AlmostEqual(q[j], b, 1e-9) &&
+          AlmostEqual(q[(j + 1) % nq], a, 1e-9)) {
+        Loop merged;
+        merged.reserve(np + nq - 2);
+        // Walk p from b (after the shared edge) all the way round to a…
+        for (std::size_t k = 0; k < np; ++k)
+          merged.push_back(p[(i + 1 + k) % np]);
+        // …then q's interior vertices between a and b.
+        for (std::size_t k = 2; k < nq; ++k)
+          merged.push_back(q[(j + k) % nq]);
+        // Remove collinear vertices to keep loops tidy.
+        Loop tidy;
+        const std::size_t nm = merged.size();
+        for (std::size_t k = 0; k < nm; ++k) {
+          const Vec2 prv = merged[(k + nm - 1) % nm];
+          const Vec2 cur = merged[k];
+          const Vec2 nxt = merged[(k + 1) % nm];
+          if (std::abs(Cross(cur - prv, nxt - cur)) > 1e-12 ||
+              Dot(cur - prv, nxt - cur) < 0.0)
+            tidy.push_back(cur);
+        }
+        if (tidy.size() < 3) return std::nullopt;
+        return tidy;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+common::Result<std::vector<Polygon>> DecomposeConvex(const Polygon& polygon) {
+  if (polygon.IsConvex()) return std::vector<Polygon>{polygon};
+
+  NOMLOC_ASSIGN_OR_RETURN(auto tris, Triangulate(polygon));
+  std::list<Loop> parts;
+  for (const auto& t : tris) parts.push_back(Loop{t[0], t[1], t[2]});
+
+  // Greedy pairwise merging while convexity is preserved.
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (auto it = parts.begin(); it != parts.end() && !merged_any; ++it) {
+      for (auto jt = std::next(it); jt != parts.end(); ++jt) {
+        auto merged = MergeAcrossSharedEdge(*it, *jt);
+        if (merged && LoopIsConvex(*merged)) {
+          *it = std::move(*merged);
+          parts.erase(jt);
+          merged_any = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Polygon> out;
+  out.reserve(parts.size());
+  for (auto& loop : parts) {
+    NOMLOC_ASSIGN_OR_RETURN(auto poly, Polygon::Create(std::move(loop)));
+    NOMLOC_ASSERT(poly.IsConvex());
+    out.push_back(std::move(poly));
+  }
+  return out;
+}
+
+}  // namespace nomloc::geometry

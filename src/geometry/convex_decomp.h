@@ -1,0 +1,28 @@
+// Convex decomposition of simple polygons.
+//
+// The paper handles non-convex areas (the L-shape lobby) by "dividing it
+// into several convex ones" (§IV-B2).  We triangulate by ear clipping and
+// then greedily merge triangles across shared diagonals while the union
+// stays convex (Hertel–Mehlhorn style), which yields at most 4x the
+// optimal number of convex parts — more than good enough for room shapes.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::geometry {
+
+/// Ear-clipping triangulation of a simple polygon (CCW).  Returns
+/// triangles as vertex triples.  Fails only on numerically degenerate
+/// input that survived Polygon validation.
+common::Result<std::vector<std::array<Vec2, 3>>> Triangulate(
+    const Polygon& polygon);
+
+/// Decomposes a simple polygon into convex parts whose union is the
+/// polygon and whose interiors are disjoint.  A convex input is returned
+/// as a single part.
+common::Result<std::vector<Polygon>> DecomposeConvex(const Polygon& polygon);
+
+}  // namespace nomloc::geometry

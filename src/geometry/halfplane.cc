@@ -1,0 +1,108 @@
+#include "geometry/halfplane.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::geometry {
+
+HalfPlane HalfPlane::Normalized() const {
+  const double norm = a.Norm();
+  NOMLOC_REQUIRE(norm > 0.0);
+  return {a / norm, c / norm};
+}
+
+HalfPlane HalfPlane::CloserTo(Vec2 winner, Vec2 loser) {
+  NOMLOC_REQUIRE(!AlmostEqual(winner, loser, 0.0));
+  const Vec2 a{2.0 * (loser.x - winner.x), 2.0 * (loser.y - winner.y)};
+  const double c = loser.NormSq() - winner.NormSq();
+  return {a, c};
+}
+
+std::vector<Vec2> ClipLoop(std::span<const Vec2> loop, const HalfPlane& hp,
+                           double eps) {
+  std::vector<Vec2> out;
+  const std::size_t n = loop.size();
+  if (n == 0) return out;
+  out.reserve(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 cur = loop[i];
+    const Vec2 nxt = loop[(i + 1) % n];
+    const double sc = hp.Slack(cur);
+    const double sn = hp.Slack(nxt);
+    const bool cur_in = sc >= -eps;
+    const bool nxt_in = sn >= -eps;
+    if (cur_in) out.push_back(cur);
+    // Edge crosses the boundary: emit the crossing point.
+    if (cur_in != nxt_in) {
+      const double denom = sc - sn;
+      if (std::abs(denom) > 0.0) {
+        const double t = sc / denom;
+        out.push_back(Lerp(cur, nxt, t));
+      }
+    }
+  }
+  // Drop near-duplicate consecutive vertices introduced by clipping.
+  std::vector<Vec2> dedup;
+  dedup.reserve(out.size());
+  for (const Vec2 v : out) {
+    if (dedup.empty() || !AlmostEqual(dedup.back(), v, 1e-12)) dedup.push_back(v);
+  }
+  while (dedup.size() > 1 && AlmostEqual(dedup.front(), dedup.back(), 1e-12))
+    dedup.pop_back();
+  return dedup;
+}
+
+std::optional<Polygon> IntersectConvex(const Polygon& convex,
+                                       std::span<const HalfPlane> half_planes,
+                                       double min_area) {
+  NOMLOC_REQUIRE(convex.IsConvex());
+  std::vector<Vec2> loop(convex.Vertices().begin(), convex.Vertices().end());
+  for (const HalfPlane& hp : half_planes) {
+    loop = ClipLoop(loop, hp);
+    if (loop.size() < 3) return std::nullopt;
+  }
+  if (std::abs(SignedArea(loop)) < min_area) return std::nullopt;
+  auto poly = Polygon::Create(std::move(loop));
+  if (!poly.ok()) return std::nullopt;
+  return std::move(poly).value();
+}
+
+std::vector<HalfPlane> ToHalfPlanes(const Polygon& convex) {
+  NOMLOC_REQUIRE(convex.IsConvex());
+  std::vector<HalfPlane> out;
+  out.reserve(convex.EdgeCount());
+  for (std::size_t i = 0; i < convex.EdgeCount(); ++i) {
+    const Segment e = convex.Edge(i);
+    const Vec2 d = e.b - e.a;
+    // CCW polygon: interior is the left side of each directed edge, i.e.
+    // Cross(d, p - a) >= 0  <=>  d.y*p.x - d.x*p.y <= d.y*a.x - d.x*a.y.
+    out.push_back({{d.y, -d.x}, d.y * e.a.x - d.x * e.a.y});
+  }
+  return out;
+}
+
+Vec2 LoopCentroid(std::span<const Vec2> loop) noexcept {
+  if (loop.empty()) return {0.0, 0.0};
+  // Near-degenerate loops (slivers, point-like clip residues) make the
+  // area-weighted formula divide by ~0 and fling the centroid far away;
+  // the vertex mean is a safe convex combination instead.
+  if (loop.size() < 3 || std::abs(SignedArea(loop)) < 1e-9) {
+    Vec2 acc{0.0, 0.0};
+    for (const Vec2 v : loop) acc += v;
+    return acc / double(loop.size());
+  }
+  double twice_area = 0.0;
+  Vec2 acc{0.0, 0.0};
+  const std::size_t n = loop.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = loop[i];
+    const Vec2 b = loop[(i + 1) % n];
+    const double c = Cross(a, b);
+    twice_area += c;
+    acc += (a + b) * c;
+  }
+  return acc / (3.0 * twice_area);
+}
+
+}  // namespace nomloc::geometry

@@ -1,0 +1,66 @@
+// Half-planes and convex-region operations.
+//
+// A HalfPlane is the set {p : a.x*p.x + a.y*p.y <= c}.  The SP-based
+// localization algorithm (paper §IV-B) represents each proximity judgement
+// and each boundary edge as one HalfPlane; the feasible region is their
+// intersection, computed here by repeated Sutherland–Hodgman clipping.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::geometry {
+
+struct HalfPlane {
+  Vec2 a;       ///< Outward normal coefficients.
+  double c = 0; ///< Right-hand side.
+
+  /// Signed slack c - a·p: >= 0 inside (satisfied), < 0 outside.
+  double Slack(Vec2 p) const noexcept { return c - Dot(a, p); }
+  bool Contains(Vec2 p, double eps = 1e-9) const noexcept {
+    return Slack(p) >= -eps;
+  }
+
+  /// Shifts the boundary outward so that the half-plane grows by `amount`
+  /// of slack: {a·p <= c + amount}.
+  HalfPlane Relaxed(double amount) const noexcept { return {a, c + amount}; }
+
+  /// The same half-plane with a unit normal, so Slack() is the signed
+  /// Euclidean distance to the boundary.  Requires a non-zero normal.
+  HalfPlane Normalized() const;
+
+  /// The half-plane of points at least as close to `winner` as to `loser`
+  /// (the perpendicular-bisector constraint, paper Eq. 7):
+  ///   2(x_l - x_w) x + 2(y_l - y_w) y <= x_l^2 + y_l^2 - x_w^2 - y_w^2.
+  /// Requires winner != loser.
+  static HalfPlane CloserTo(Vec2 winner, Vec2 loser);
+};
+
+/// Clips a convex polygon (given as a CCW vertex loop) against one
+/// half-plane (Sutherland–Hodgman).  Returns the clipped loop; empty when
+/// nothing remains.  The input need not be a valid `Polygon` object — this
+/// is the low-level workhorse.
+std::vector<Vec2> ClipLoop(std::span<const Vec2> loop, const HalfPlane& hp,
+                           double eps = 1e-9);
+
+/// Intersection of a convex polygon with a set of half-planes.
+/// Returns nullopt when the intersection is empty or degenerate
+/// (area below `min_area`).
+std::optional<Polygon> IntersectConvex(const Polygon& convex,
+                                       std::span<const HalfPlane> half_planes,
+                                       double min_area = 1e-9);
+
+/// Largest inscribed-circle center of a convex loop — cheap geometric
+/// fallback when an LP-based Chebyshev center is not wanted.  Requires a
+/// non-empty loop; returns its centroid for degenerate inputs.
+Vec2 LoopCentroid(std::span<const Vec2> loop) noexcept;
+
+/// The half-planes whose intersection is the given convex polygon (one per
+/// edge, interior side).  Requires a convex polygon.
+std::vector<HalfPlane> ToHalfPlanes(const Polygon& convex);
+
+}  // namespace nomloc::geometry

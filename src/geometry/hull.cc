@@ -1,0 +1,61 @@
+#include "geometry/hull.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace nomloc::geometry {
+
+std::vector<Vec2> ConvexHull(std::span<const Vec2> points) {
+  std::vector<Vec2> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return pts;
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           Cross(hull[k - 1] - hull[k - 2], pts[i] - hull[k - 2]) <= 0.0)
+      --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower &&
+           Cross(hull[k - 1] - hull[k - 2], pts[i] - hull[k - 2]) <= 0.0)
+      --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+Vec2 RandomPointIn(const Polygon& polygon, common::Rng& rng) {
+  NOMLOC_REQUIRE(polygon.Area() > 0.0);
+  const Aabb box = polygon.BoundingBox();
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const Vec2 p{rng.Uniform(box.lo.x, box.hi.x),
+                 rng.Uniform(box.lo.y, box.hi.y)};
+    if (polygon.Contains(p)) return p;
+  }
+  // Unreachable for positive-area polygons; keep a defined fallback.
+  return polygon.Centroid();
+}
+
+std::vector<Vec2> GridPointsIn(const Polygon& polygon, double step_m) {
+  NOMLOC_REQUIRE(step_m > 0.0);
+  const Aabb box = polygon.BoundingBox();
+  std::vector<Vec2> out;
+  for (double y = box.lo.y + step_m / 2.0; y < box.hi.y; y += step_m)
+    for (double x = box.lo.x + step_m / 2.0; x < box.hi.x; x += step_m)
+      if (polygon.Contains({x, y})) out.push_back({x, y});
+  return out;
+}
+
+}  // namespace nomloc::geometry

@@ -1,0 +1,27 @@
+// Convex hulls and polygon point sampling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::geometry {
+
+/// Convex hull of a point set (Andrew monotone chain), CCW, collinear
+/// points on the hull boundary removed.  Returns fewer than 3 points for
+/// degenerate inputs (all points collinear or coincident).
+std::vector<Vec2> ConvexHull(std::span<const Vec2> points);
+
+/// Uniform random point inside the polygon (rejection from the bounding
+/// box).  Requires a polygon with positive area.
+Vec2 RandomPointIn(const Polygon& polygon, common::Rng& rng);
+
+/// `count` evenly spread grid points inside the polygon (row-major scan of
+/// a grid sized to yield roughly `count` interior points).  Useful for
+/// Monte-Carlo-free coverage sweeps.
+std::vector<Vec2> GridPointsIn(const Polygon& polygon, double step_m);
+
+}  // namespace nomloc::geometry

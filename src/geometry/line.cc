@@ -1,0 +1,88 @@
+#include "geometry/line.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace nomloc::geometry {
+
+Line Line::Through(Vec2 a, Vec2 b) {
+  NOMLOC_REQUIRE(!AlmostEqual(a, b, 0.0));
+  return Line{a, b - a};
+}
+
+double Line::DistanceTo(Vec2 p) const noexcept {
+  const double n = dir.Norm();
+  if (n == 0.0) return Distance(origin, p);
+  return std::abs(Cross(dir, p - origin)) / n;
+}
+
+Vec2 Line::Project(Vec2 p) const noexcept {
+  const double d2 = dir.NormSq();
+  if (d2 == 0.0) return origin;
+  const double t = Dot(p - origin, dir) / d2;
+  return origin + dir * t;
+}
+
+Vec2 Line::Mirror(Vec2 p) const noexcept {
+  const Vec2 q = Project(p);
+  return q + (q - p);
+}
+
+double Line::Side(Vec2 p) const noexcept { return Cross(dir, p - origin); }
+
+Vec2 Segment::ClosestPointTo(Vec2 p) const noexcept {
+  const Vec2 d = b - a;
+  const double d2 = d.NormSq();
+  if (d2 == 0.0) return a;
+  const double t = std::clamp(Dot(p - a, d) / d2, 0.0, 1.0);
+  return a + d * t;
+}
+
+double Segment::DistanceTo(Vec2 p) const noexcept {
+  return Distance(ClosestPointTo(p), p);
+}
+
+std::optional<Vec2> IntersectLines(const Line& l1, const Line& l2,
+                                   double eps) noexcept {
+  const double denom = Cross(l1.dir, l2.dir);
+  if (std::abs(denom) <= eps) return std::nullopt;
+  const double t = Cross(l2.origin - l1.origin, l2.dir) / denom;
+  return l1.origin + l1.dir * t;
+}
+
+std::optional<Vec2> IntersectSegments(const Segment& s1, const Segment& s2,
+                                      double eps) noexcept {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = Cross(r, s);
+  const Vec2 qp = s2.a - s1.a;
+  if (std::abs(denom) <= eps) {
+    // Parallel.  Check collinear overlap.
+    if (std::abs(Cross(qp, r)) > eps) return std::nullopt;
+    const double r2 = r.NormSq();
+    if (r2 == 0.0) {
+      // s1 is a point; on s2?
+      if (s2.DistanceTo(s1.a) <= eps) return s1.a;
+      return std::nullopt;
+    }
+    double t0 = Dot(qp, r) / r2;
+    double t1 = t0 + Dot(s, r) / r2;
+    if (t0 > t1) std::swap(t0, t1);
+    const double lo = std::max(t0, 0.0), hi = std::min(t1, 1.0);
+    if (lo > hi + eps) return std::nullopt;
+    return s1.a + r * std::clamp(lo, 0.0, 1.0);
+  }
+  const double t = Cross(qp, s) / denom;
+  const double u = Cross(qp, r) / denom;
+  if (t < -eps || t > 1.0 + eps || u < -eps || u > 1.0 + eps)
+    return std::nullopt;
+  return s1.a + r * std::clamp(t, 0.0, 1.0);
+}
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2,
+                       double eps) noexcept {
+  return IntersectSegments(s1, s2, eps).has_value();
+}
+
+}  // namespace nomloc::geometry

@@ -1,0 +1,64 @@
+// Infinite lines and finite segments: intersection, distance, reflection.
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec2.h"
+
+namespace nomloc::geometry {
+
+/// Infinite line through `origin` with (non-zero) direction `dir`.
+struct Line {
+  Vec2 origin;
+  Vec2 dir;
+
+  /// Line through two distinct points.
+  static Line Through(Vec2 a, Vec2 b);
+
+  /// Perpendicular distance from `p` to the line.
+  double DistanceTo(Vec2 p) const noexcept;
+
+  /// Orthogonal projection of `p` onto the line.
+  Vec2 Project(Vec2 p) const noexcept;
+
+  /// Mirror image of `p` across the line.  This is the operation that
+  /// places the paper's virtual APs (§IV-B2): the perpendicular bisector
+  /// of (p, Mirror(p)) is exactly this line.
+  Vec2 Mirror(Vec2 p) const noexcept;
+
+  /// Signed side of `p`: >0 left of dir, <0 right, ~0 on the line.
+  double Side(Vec2 p) const noexcept;
+};
+
+/// Finite segment from a to b.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double Length() const noexcept { return Distance(a, b); }
+  Vec2 Midpoint() const noexcept { return Lerp(a, b, 0.5); }
+  Line SupportingLine() const { return Line::Through(a, b); }
+
+  /// Closest point on the segment to `p`.
+  Vec2 ClosestPointTo(Vec2 p) const noexcept;
+  double DistanceTo(Vec2 p) const noexcept;
+};
+
+/// Intersection point of two infinite lines; nullopt when parallel
+/// (within tolerance) including collinear.
+std::optional<Vec2> IntersectLines(const Line& l1, const Line& l2,
+                                   double eps = 1e-12) noexcept;
+
+/// Proper intersection of two segments (shared endpoints count).  Returns
+/// the intersection point, or nullopt when they do not meet.  Collinear
+/// overlapping segments return one point of the overlap.
+std::optional<Vec2> IntersectSegments(const Segment& s1, const Segment& s2,
+                                      double eps = 1e-12) noexcept;
+
+/// True when the open segment (a,b) crosses segment `wall`.  Touching an
+/// endpoint of the query segment exactly at the wall still counts as a
+/// crossing — used for conservative LOS blockage tests.
+bool SegmentsIntersect(const Segment& s1, const Segment& s2,
+                       double eps = 1e-12) noexcept;
+
+}  // namespace nomloc::geometry

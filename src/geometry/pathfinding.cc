@@ -1,0 +1,166 @@
+#include "geometry/pathfinding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/assert.h"
+
+namespace nomloc::geometry {
+
+namespace {
+
+// Obstacle vertices pushed outward by `clearance` along the angle
+// bisector of the adjacent edges (vertex normal of a CCW polygon).
+std::vector<Vec2> InflatedVertices(const Polygon& obstacle,
+                                   double clearance) {
+  std::vector<Vec2> out;
+  const std::size_t n = obstacle.VertexCount();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 prev = obstacle.Vertex((i + n - 1) % n);
+    const Vec2 cur = obstacle.Vertex(i);
+    const Vec2 next = obstacle.Vertex((i + 1) % n);
+    // Outward normals of the two incident edges (CCW polygon: outward is
+    // right of the edge direction).
+    const Vec2 n1 = -(cur - prev).Perp().Normalized();
+    const Vec2 n2 = -(next - cur).Perp().Normalized();
+    Vec2 dir = (n1 + n2);
+    if (dir.Norm() < 1e-12) dir = n1;  // 180-degree spike.
+    out.push_back(cur + dir.Normalized() * clearance);
+  }
+  return out;
+}
+
+// Boundary vertices pulled inward (for walking around notches of a
+// non-convex floor).
+std::vector<Vec2> InsetBoundaryVertices(const Polygon& boundary,
+                                        double clearance) {
+  std::vector<Vec2> out;
+  const std::size_t n = boundary.VertexCount();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 prev = boundary.Vertex((i + n - 1) % n);
+    const Vec2 cur = boundary.Vertex(i);
+    const Vec2 next = boundary.Vertex((i + 1) % n);
+    // Inward normal of a CCW boundary is the left side of each edge.
+    const Vec2 n1 = (cur - prev).Perp().Normalized();
+    const Vec2 n2 = (next - cur).Perp().Normalized();
+    Vec2 dir = (n1 + n2);
+    if (dir.Norm() < 1e-12) dir = n1;
+    out.push_back(cur + dir.Normalized() * clearance);
+  }
+  return out;
+}
+
+bool SegmentWalkable(const Polygon& boundary,
+                     std::span<const Polygon> obstacles, Vec2 a, Vec2 b) {
+  if (!boundary.ContainsSegment(a, b)) return false;
+  const Segment leg{a, b};
+  for (const Polygon& obstacle : obstacles) {
+    // Crossing any obstacle edge, or running through its interior, blocks.
+    for (std::size_t e = 0; e < obstacle.EdgeCount(); ++e)
+      if (SegmentsIntersect(leg, obstacle.Edge(e))) return false;
+    if (obstacle.Contains(Lerp(a, b, 0.5)) &&
+        obstacle.BoundaryDistance(Lerp(a, b, 0.5)) > 1e-9)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+common::Result<PathPlan> ShortestPath(const Polygon& boundary,
+                                      std::span<const Polygon> obstacles,
+                                      Vec2 start, Vec2 goal,
+                                      const PathPlannerOptions& options) {
+  if (options.clearance_m < 0.0)
+    return common::InvalidArgument("clearance must be non-negative");
+  auto in_free_space = [&](Vec2 p) {
+    if (!boundary.Contains(p)) return false;
+    for (const Polygon& obstacle : obstacles)
+      if (obstacle.Contains(p) && obstacle.BoundaryDistance(p) > 1e-9)
+        return false;
+    return true;
+  };
+  if (!in_free_space(start))
+    return common::InvalidArgument("start is not in free space");
+  if (!in_free_space(goal))
+    return common::InvalidArgument("goal is not in free space");
+
+  // Node set.
+  std::vector<Vec2> nodes{start, goal};
+  for (const Polygon& obstacle : obstacles)
+    for (const Vec2 v : InflatedVertices(obstacle, options.clearance_m))
+      if (in_free_space(v)) nodes.push_back(v);
+  if (!boundary.IsConvex())
+    for (const Vec2 v : InsetBoundaryVertices(boundary, options.clearance_m))
+      if (in_free_space(v)) nodes.push_back(v);
+
+  // Visibility edges.
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (SegmentWalkable(boundary, obstacles, nodes[i], nodes[j])) {
+        const double d = Distance(nodes[i], nodes[j]);
+        adj[i].emplace_back(j, d);
+        adj[j].emplace_back(i, d);
+      }
+    }
+  }
+
+  // Dijkstra from node 0 (start) to node 1 (goal).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<std::size_t> prev(n, n);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[0] = 0.0;
+  queue.emplace(0.0, 0);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == 1) break;
+    for (const auto& [v, w] : adj[u]) {
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        prev[v] = u;
+        queue.emplace(dist[v], v);
+      }
+    }
+  }
+  if (dist[1] == kInf)
+    return common::NotFound("no walkable route between the endpoints");
+
+  PathPlan plan;
+  plan.length_m = dist[1];
+  std::vector<Vec2> reverse_path;
+  for (std::size_t v = 1; v != n; v = prev[v]) {
+    reverse_path.push_back(nodes[v]);
+    if (v == 0) break;
+  }
+  plan.waypoints.assign(reverse_path.rbegin(), reverse_path.rend());
+  NOMLOC_ASSERT(AlmostEqual(plan.waypoints.front(), start));
+  NOMLOC_ASSERT(AlmostEqual(plan.waypoints.back(), goal));
+  return plan;
+}
+
+common::Result<double> TourLength(const Polygon& boundary,
+                                  std::span<const Polygon> obstacles,
+                                  std::span<const Vec2> sites,
+                                  const PathPlannerOptions& options) {
+  if (sites.size() < 2)
+    return common::InvalidArgument("a tour needs >= 2 sites");
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < sites.size(); ++i) {
+    NOMLOC_ASSIGN_OR_RETURN(
+        PathPlan leg,
+        ShortestPath(boundary, obstacles, sites[i], sites[i + 1], options));
+    total += leg.length_m;
+  }
+  return total;
+}
+
+}  // namespace nomloc::geometry

@@ -1,0 +1,47 @@
+// Obstacle-avoiding shortest paths (visibility graph + Dijkstra).
+//
+// Nomadic APs are carried by people who walk around furniture, not through
+// it.  This plans the walking route between dwell sites: nodes are the
+// start, the goal, obstacle vertices inflated outward by a clearance
+// margin and (for non-convex floors) boundary vertices pulled inward;
+// edges connect mutually visible nodes; Dijkstra extracts the shortest
+// route.  Exact for polygonal scenes of this size.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::geometry {
+
+struct PathPlan {
+  /// Waypoints from start to goal inclusive.
+  std::vector<Vec2> waypoints;
+  /// Total walking distance [m].
+  double length_m = 0.0;
+};
+
+struct PathPlannerOptions {
+  /// How far routes keep away from obstacle corners [m].
+  double clearance_m = 0.25;
+};
+
+/// Plans the shortest walkable route from start to goal inside `boundary`
+/// avoiding `obstacles`.  Endpoints must lie inside the boundary and
+/// outside every obstacle.  Fails with kNotFound when no route exists
+/// (e.g. obstacles sealing off the goal).
+common::Result<PathPlan> ShortestPath(const Polygon& boundary,
+                                      std::span<const Polygon> obstacles,
+                                      Vec2 start, Vec2 goal,
+                                      const PathPlannerOptions& options = {});
+
+/// Total walking distance of a site tour (consecutive ShortestPath legs).
+/// Fails if any leg fails.
+common::Result<double> TourLength(const Polygon& boundary,
+                                  std::span<const Polygon> obstacles,
+                                  std::span<const Vec2> sites,
+                                  const PathPlannerOptions& options = {});
+
+}  // namespace nomloc::geometry

@@ -1,0 +1,162 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace nomloc::geometry {
+
+double SignedArea(std::span<const Vec2> vertices) noexcept {
+  double twice = 0.0;
+  const std::size_t n = vertices.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = vertices[i];
+    const Vec2 b = vertices[(i + 1) % n];
+    twice += Cross(a, b);
+  }
+  return twice / 2.0;
+}
+
+namespace {
+
+// True when non-adjacent edges of the closed polyline intersect.
+bool IsSelfIntersecting(std::span<const Vec2> v) {
+  const std::size_t n = v.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment ei{v[i], v[(i + 1) % n]};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Skip adjacent edges (they share one endpoint by construction).
+      if (j == i || (j + 1) % n == i || (i + 1) % n == j) continue;
+      const Segment ej{v[j], v[(j + 1) % n]};
+      if (SegmentsIntersect(ei, ej)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+common::Result<Polygon> Polygon::Create(std::vector<Vec2> vertices) {
+  if (vertices.size() < 3)
+    return common::InvalidArgument("polygon needs at least 3 vertices");
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vec2 a = vertices[i];
+    const Vec2 b = vertices[(i + 1) % vertices.size()];
+    if (AlmostEqual(a, b, 1e-12))
+      return common::InvalidArgument("polygon has duplicate adjacent vertices");
+  }
+  const double area = SignedArea(vertices);
+  if (std::abs(area) < 1e-12)
+    return common::InvalidArgument("polygon is degenerate (zero area)");
+  if (area < 0.0) std::reverse(vertices.begin(), vertices.end());
+  if (IsSelfIntersecting(vertices))
+    return common::InvalidArgument("polygon is self-intersecting");
+  return Polygon(std::move(vertices));
+}
+
+Polygon Polygon::Rectangle(double x0, double y0, double x1, double y1) {
+  NOMLOC_REQUIRE(x1 > x0 && y1 > y0);
+  auto r = Create({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+  NOMLOC_ASSERT(r.ok());
+  return std::move(r).value();
+}
+
+Vec2 Polygon::Vertex(std::size_t i) const {
+  NOMLOC_REQUIRE(i < vertices_.size());
+  return vertices_[i];
+}
+
+Segment Polygon::Edge(std::size_t i) const {
+  NOMLOC_REQUIRE(i < vertices_.size());
+  return {vertices_[i], vertices_[(i + 1) % vertices_.size()]};
+}
+
+double Polygon::Area() const noexcept {
+  return std::abs(SignedArea(vertices_));
+}
+
+double Polygon::Perimeter() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) total += Edge(i).Length();
+  return total;
+}
+
+Vec2 Polygon::Centroid() const noexcept {
+  // Area-weighted centroid of the polygon interior.
+  double twice_area = 0.0;
+  Vec2 acc{0.0, 0.0};
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[(i + 1) % n];
+    const double c = Cross(a, b);
+    twice_area += c;
+    acc += (a + b) * c;
+  }
+  if (std::abs(twice_area) < 1e-15) return vertices_.front();
+  return acc / (3.0 * twice_area);
+}
+
+Aabb Polygon::BoundingBox() const noexcept {
+  Aabb box{vertices_.front(), vertices_.front()};
+  for (const Vec2 v : vertices_) box.Expand(v);
+  return box;
+}
+
+bool Polygon::IsConvex(double eps) const noexcept {
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[(i + 1) % n];
+    const Vec2 c = vertices_[(i + 2) % n];
+    // CCW polygon: every turn must be left (cross >= 0).
+    if (Cross(b - a, c - b) < -eps) return false;
+  }
+  return true;
+}
+
+bool Polygon::Contains(Vec2 p, double eps) const noexcept {
+  // Boundary counts as inside.
+  for (std::size_t i = 0; i < vertices_.size(); ++i)
+    if (Edge(i).DistanceTo(p) <= eps) return true;
+  // Crossing number with a horizontal ray to +x.
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2 a = vertices_[j];
+    const Vec2 b = vertices_[i];
+    const bool crosses = (b.y > p.y) != (a.y > p.y);
+    if (crosses) {
+      const double x_at = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::BoundaryDistance(Vec2 p) const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < vertices_.size(); ++i)
+    best = std::min(best, Edge(i).DistanceTo(p));
+  return best;
+}
+
+bool Polygon::ContainsSegment(Vec2 a, Vec2 b, double eps) const noexcept {
+  if (!Contains(a, eps) || !Contains(b, eps)) return false;
+  // Check crossings against each edge, tolerating touches at the segment's
+  // own endpoints (they may legitimately lie on the boundary).
+  const Segment q{a, b};
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const auto hit = IntersectSegments(q, Edge(i));
+    if (!hit) continue;
+    if (Distance(*hit, a) <= eps || Distance(*hit, b) <= eps) continue;
+    return false;
+  }
+  // Midpoint check catches segments running along the exterior of a
+  // non-convex polygon while touching the boundary at both ends.
+  return Contains(Lerp(a, b, 0.5), eps);
+}
+
+}  // namespace nomloc::geometry

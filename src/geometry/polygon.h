@@ -1,0 +1,63 @@
+// Simple polygons: area/centroid, containment, convexity, edges.
+//
+// Invariant: a constructed Polygon has >= 3 vertices, is stored in
+// counter-clockwise (CCW) order, and is simple (non-self-intersecting).
+// Simplicity is checked at construction (O(n^2), fine for room shapes).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/line.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::geometry {
+
+class Polygon {
+ public:
+  /// Validates and normalises the boundary: >= 3 distinct vertices, simple;
+  /// reverses CW input to CCW.
+  static common::Result<Polygon> Create(std::vector<Vec2> vertices);
+
+  /// Axis-aligned rectangle [x0,x1] x [y0,y1]; requires x1>x0, y1>y0.
+  static Polygon Rectangle(double x0, double y0, double x1, double y1);
+
+  std::span<const Vec2> Vertices() const noexcept { return vertices_; }
+  std::size_t VertexCount() const noexcept { return vertices_.size(); }
+  Vec2 Vertex(std::size_t i) const;
+
+  /// Boundary edge i, from vertex i to vertex (i+1) mod n.
+  Segment Edge(std::size_t i) const;
+  std::size_t EdgeCount() const noexcept { return vertices_.size(); }
+
+  /// Positive area (shoelace).
+  double Area() const noexcept;
+  double Perimeter() const noexcept;
+  Vec2 Centroid() const noexcept;
+  Aabb BoundingBox() const noexcept;
+
+  /// True when every interior angle is <= 180 degrees.
+  bool IsConvex(double eps = 1e-9) const noexcept;
+
+  /// Point-in-polygon (boundary counts as inside), crossing-number test.
+  bool Contains(Vec2 p, double eps = 1e-9) const noexcept;
+
+  /// Distance from p to the boundary (0 if p lies on it).
+  double BoundaryDistance(Vec2 p) const noexcept;
+
+  /// True when segment (a, b) stays strictly inside except possibly at its
+  /// endpoints — i.e. no boundary edge is crossed.  Endpoints on the
+  /// boundary are tolerated.
+  bool ContainsSegment(Vec2 a, Vec2 b, double eps = 1e-9) const noexcept;
+
+ private:
+  explicit Polygon(std::vector<Vec2> vertices)
+      : vertices_(std::move(vertices)) {}
+  std::vector<Vec2> vertices_;
+};
+
+/// Signed area of a closed polyline (positive = CCW).
+double SignedArea(std::span<const Vec2> vertices) noexcept;
+
+}  // namespace nomloc::geometry

@@ -1,0 +1,93 @@
+// 2-D vector/point type.  Plain value semantics; header-only.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace nomloc::geometry {
+
+/// A point or displacement in the plane [metres].
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  Vec2& operator*=(double s) noexcept { x *= s; y *= s; return *this; }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double Norm() const noexcept { return std::hypot(x, y); }
+  constexpr double NormSq() const noexcept { return x * x + y * y; }
+
+  /// Unit vector in the same direction; requires a non-zero vector.
+  Vec2 Normalized() const noexcept {
+    const double n = Norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{0.0, 0.0};
+  }
+
+  /// 90° counter-clockwise rotation.
+  constexpr Vec2 Perp() const noexcept { return {-y, x}; }
+
+  /// Rotation by `angle` radians counter-clockwise.
+  Vec2 Rotated(double angle) const noexcept {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+constexpr double Dot(Vec2 a, Vec2 b) noexcept { return a.x * b.x + a.y * b.y; }
+
+/// z-component of the 3-D cross product; >0 when b is CCW from a.
+constexpr double Cross(Vec2 a, Vec2 b) noexcept { return a.x * b.y - a.y * b.x; }
+
+inline double Distance(Vec2 a, Vec2 b) noexcept { return (a - b).Norm(); }
+constexpr double DistanceSq(Vec2 a, Vec2 b) noexcept { return (a - b).NormSq(); }
+
+/// Linear interpolation: a at t=0, b at t=1.
+constexpr Vec2 Lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Componentwise approximate equality within `eps`.
+inline bool AlmostEqual(Vec2 a, Vec2 b, double eps = 1e-9) noexcept {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec2 lo{0.0, 0.0};
+  Vec2 hi{0.0, 0.0};
+
+  constexpr bool Contains(Vec2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  constexpr double Width() const noexcept { return hi.x - lo.x; }
+  constexpr double Height() const noexcept { return hi.y - lo.y; }
+  constexpr Vec2 Center() const noexcept {
+    return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+  }
+  /// Grows the box to include `p`.
+  void Expand(Vec2 p) noexcept {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+};
+
+}  // namespace nomloc::geometry

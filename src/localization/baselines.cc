@@ -1,0 +1,110 @@
+#include "localization/baselines.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::localization {
+
+using geometry::Vec2;
+
+double RangingModel::EstimateDistance(double pdp_mw) const {
+  NOMLOC_REQUIRE(pdp_mw > 0.0);
+  NOMLOC_REQUIRE(path_loss_exponent > 0.0);
+  return ref_distance_m *
+         std::pow(ref_power_mw / pdp_mw, 1.0 / path_loss_exponent);
+}
+
+common::Result<RangingModel> FitRangingModel(
+    std::span<const std::pair<double, double>> distance_pdp_pairs) {
+  if (distance_pdp_pairs.size() < 2)
+    return common::InvalidArgument("need >= 2 calibration pairs");
+
+  // Linear regression of log10(P) on log10(d):
+  //   log P = log P_ref + gamma * (log d_ref - log d), with d_ref = 1.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double n = double(distance_pdp_pairs.size());
+  for (const auto& [d, p] : distance_pdp_pairs) {
+    if (d <= 0.0 || p <= 0.0)
+      return common::InvalidArgument("calibration pair must be positive");
+    const double x = std::log10(d);
+    const double y = std::log10(p);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12)
+    return common::InvalidArgument("calibration distances are all equal");
+  const double slope = (n * sxy - sx * sy) / denom;  // = -gamma.
+  const double intercept = (sy - slope * sx) / n;    // = log10 P at d = 1 m.
+
+  RangingModel model;
+  model.ref_distance_m = 1.0;
+  model.ref_power_mw = std::pow(10.0, intercept);
+  model.path_loss_exponent = std::max(0.5, -slope);
+  return model;
+}
+
+common::Result<Vec2> Trilaterate(std::span<const Anchor> anchors,
+                                 const RangingModel& model, Vec2 initial,
+                                 std::size_t max_iterations) {
+  if (anchors.size() < 3)
+    return common::InvalidArgument("trilateration needs >= 3 anchors");
+
+  std::vector<double> dist;
+  dist.reserve(anchors.size());
+  for (const Anchor& a : anchors) dist.push_back(model.EstimateDistance(a.pdp));
+
+  Vec2 z = initial;
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Gauss–Newton on r_i(z) = |z - p_i| - d_i.
+    double jtj00 = 0.0, jtj01 = 0.0, jtj11 = 0.0;
+    double jtr0 = 0.0, jtr1 = 0.0;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const Vec2 diff = z - anchors[i].position;
+      const double r = diff.Norm();
+      if (r < 1e-9) continue;  // At an anchor: gradient undefined, skip.
+      const Vec2 grad = diff / r;
+      const double res = r - dist[i];
+      jtj00 += grad.x * grad.x;
+      jtj01 += grad.x * grad.y;
+      jtj11 += grad.y * grad.y;
+      jtr0 += grad.x * res;
+      jtr1 += grad.y * res;
+    }
+    const double det = jtj00 * jtj11 - jtj01 * jtj01;
+    if (std::abs(det) < 1e-12)
+      return common::NumericalError("degenerate trilateration geometry");
+    const double dx = -(jtj11 * jtr0 - jtj01 * jtr1) / det;
+    const double dy = -(-jtj01 * jtr0 + jtj00 * jtr1) / det;
+    z += {dx, dy};
+    if (std::hypot(dx, dy) < 1e-9) break;
+  }
+  return z;
+}
+
+Vec2 WeightedCentroid(std::span<const Anchor> anchors, double alpha) {
+  NOMLOC_REQUIRE(!anchors.empty());
+  Vec2 acc{0.0, 0.0};
+  double total = 0.0;
+  for (const Anchor& a : anchors) {
+    NOMLOC_REQUIRE(a.pdp > 0.0);
+    const double w = std::pow(a.pdp, alpha);
+    acc += a.position * w;
+    total += w;
+  }
+  NOMLOC_ASSERT(total > 0.0);
+  return acc / total;
+}
+
+Vec2 NearestAnchor(std::span<const Anchor> anchors) {
+  NOMLOC_REQUIRE(!anchors.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < anchors.size(); ++i)
+    if (anchors[i].pdp > anchors[best].pdp) best = i;
+  return anchors[best].position;
+}
+
+}  // namespace nomloc::localization

@@ -1,0 +1,52 @@
+// Baseline localizers the paper compares against conceptually (§III-A):
+// range-based positioning (needs calibration of the propagation model —
+// exactly the cost NomLoc avoids) and cruder power heuristics.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "common/status.h"
+#include "geometry/vec2.h"
+#include "localization/proximity.h"
+
+namespace nomloc::localization {
+
+/// Log-distance path-loss model: P(d) = P_ref * (d_ref / d)^gamma.
+/// Inverting it turns a measured PDP into a distance estimate — the core
+/// of FILA-style ranging.  Its parameters are environment-specific, which
+/// is why range-based systems require calibration.
+struct RangingModel {
+  double ref_distance_m = 1.0;
+  double ref_power_mw = 1.0;        ///< Expected PDP at ref_distance_m.
+  double path_loss_exponent = 2.0;  ///< gamma.
+
+  /// Distance estimate from a measured direct-path power (> 0).
+  double EstimateDistance(double pdp_mw) const;
+};
+
+/// Fits the model to (distance, pdp) calibration pairs by least squares in
+/// log-log space.  Requires >= 2 pairs with distinct positive distances
+/// and positive powers.
+common::Result<RangingModel> FitRangingModel(
+    std::span<const std::pair<double, double>> distance_pdp_pairs);
+
+/// Range-based localization: converts each anchor's PDP to a distance with
+/// `model`, then Gauss–Newton least squares on
+///   min sum_i (|z - p_i| - d_i)^2
+/// from `initial`.  Requires >= 3 anchors.  Fails with kNumericalError
+/// when the normal equations degenerate (collinear anchors).
+common::Result<geometry::Vec2> Trilaterate(std::span<const Anchor> anchors,
+                                           const RangingModel& model,
+                                           geometry::Vec2 initial,
+                                           std::size_t max_iterations = 50);
+
+/// Power-weighted centroid of the anchor positions, weights = pdp^alpha.
+/// Requires >= 1 anchor with positive PDP.
+geometry::Vec2 WeightedCentroid(std::span<const Anchor> anchors,
+                                double alpha = 1.0);
+
+/// Position of the anchor with the largest PDP.  Requires >= 1 anchor.
+geometry::Vec2 NearestAnchor(std::span<const Anchor> anchors);
+
+}  // namespace nomloc::localization

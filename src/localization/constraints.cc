@@ -1,0 +1,55 @@
+#include "localization/constraints.h"
+
+#include "common/assert.h"
+#include "geometry/line.h"
+
+namespace nomloc::localization {
+
+using geometry::HalfPlane;
+using geometry::Line;
+using geometry::Polygon;
+using geometry::Vec2;
+
+std::vector<SpConstraint> ProximityConstraints(
+    std::span<const Anchor> anchors,
+    std::span<const ProximityJudgement> judgements) {
+  std::vector<SpConstraint> out;
+  out.reserve(judgements.size());
+  for (const ProximityJudgement& j : judgements) {
+    NOMLOC_REQUIRE(j.winner < anchors.size() && j.loser < anchors.size());
+    const Vec2 w = anchors[j.winner].position;
+    const Vec2 l = anchors[j.loser].position;
+    if (geometry::AlmostEqual(w, l, 1e-9)) continue;  // No bisector.
+    out.push_back({HalfPlane::CloserTo(w, l), j.confidence, false});
+  }
+  return out;
+}
+
+std::vector<Vec2> VirtualApPositions(const Polygon& convex, Vec2 reference) {
+  NOMLOC_REQUIRE(convex.IsConvex());
+  NOMLOC_REQUIRE(convex.Contains(reference));
+  std::vector<Vec2> vaps;
+  vaps.reserve(convex.EdgeCount());
+  for (std::size_t i = 0; i < convex.EdgeCount(); ++i) {
+    const geometry::Segment e = convex.Edge(i);
+    vaps.push_back(Line::Through(e.a, e.b).Mirror(reference));
+  }
+  return vaps;
+}
+
+std::vector<SpConstraint> BoundaryConstraints(const Polygon& convex,
+                                              Vec2 reference, double weight) {
+  NOMLOC_REQUIRE(weight > 0.0);
+  std::vector<SpConstraint> out;
+  const std::vector<Vec2> vaps = VirtualApPositions(convex, reference);
+  out.reserve(vaps.size());
+  for (const Vec2 vap : vaps) {
+    // A reference point exactly on an edge mirrors onto itself — that edge
+    // contributes no constraint (the point is already boundary-tight).
+    if (geometry::AlmostEqual(vap, reference, 1e-9)) continue;
+    out.push_back({HalfPlane::CloserTo(reference, vap), weight, true});
+  }
+  return out;
+}
+
+}  // namespace nomloc::localization

@@ -1,0 +1,45 @@
+// Space-partition constraint construction (paper §IV-B).
+//
+// Every proximity judgement becomes the perpendicular-bisector half-plane
+// "closer to the winner" (Eq. 7/13), weighted by its confidence.  Area
+// boundaries become virtual-AP constraints (Eq. 9): the interior reference
+// point is mirrored across every boundary edge, and "closer to the
+// reference than to its mirror image" is exactly "inside that edge".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/halfplane.h"
+#include "geometry/polygon.h"
+#include "localization/proximity.h"
+
+namespace nomloc::localization {
+
+struct SpConstraint {
+  geometry::HalfPlane half_plane;
+  double weight = 1.0;      ///< Relaxation cost (confidence, or large for
+                            ///< boundary constraints).
+  bool is_boundary = false;
+};
+
+/// Bisector constraints for all judgements over `anchors`.  Judgements
+/// between coincident anchor positions are skipped (no bisector exists).
+std::vector<SpConstraint> ProximityConstraints(
+    std::span<const Anchor> anchors,
+    std::span<const ProximityJudgement> judgements);
+
+/// Virtual-AP boundary constraints for a convex area.  `reference` must be
+/// strictly inside the polygon (paper: "the site of AP 1 could be any
+/// other site within the area").  `weight` should dominate proximity
+/// weights so the boundary is only violated as a last resort.
+std::vector<SpConstraint> BoundaryConstraints(const geometry::Polygon& convex,
+                                              geometry::Vec2 reference,
+                                              double weight);
+
+/// Positions of the virtual APs themselves (mirror images of `reference`
+/// across each edge) — exposed for tests and visualization.
+std::vector<geometry::Vec2> VirtualApPositions(const geometry::Polygon& convex,
+                                               geometry::Vec2 reference);
+
+}  // namespace nomloc::localization

@@ -1,0 +1,141 @@
+#include "localization/deployment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+#include "geometry/convex_decomp.h"
+#include "geometry/hull.h"
+
+namespace nomloc::localization {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+namespace {
+
+std::vector<SpConstraint> IdealConstraints(Vec2 truth,
+                                           std::span<const Vec2> anchors) {
+  std::vector<SpConstraint> out;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    for (std::size_t j = i + 1; j < anchors.size(); ++j) {
+      if (geometry::AlmostEqual(anchors[i], anchors[j], 1e-9)) continue;
+      const bool i_closer =
+          Distance(truth, anchors[i]) <= Distance(truth, anchors[j]);
+      const Vec2 w = i_closer ? anchors[i] : anchors[j];
+      const Vec2 l = i_closer ? anchors[j] : anchors[i];
+      out.push_back({geometry::HalfPlane::CloserTo(w, l), 0.9, false});
+    }
+  }
+  return out;
+}
+
+double Objective(std::span<const double> errors,
+                 DeploymentObjective objective) {
+  if (objective == DeploymentObjective::kMaxError)
+    return *std::max_element(errors.begin(), errors.end());
+  double sum = 0.0;
+  for (double e : errors) sum += e;
+  return sum / double(errors.size());
+}
+
+}  // namespace
+
+common::Result<std::vector<double>> PerSampleCellErrors(
+    std::span<const Polygon> parts, std::span<const Vec2> anchors,
+    std::span<const Vec2> samples, const SpSolverOptions& solver) {
+  if (samples.empty()) return common::InvalidArgument("no sample points");
+  if (anchors.size() < 2) return common::InvalidArgument("need >= 2 anchors");
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  for (const Vec2 truth : samples) {
+    const auto constraints = IdealConstraints(truth, anchors);
+    if (constraints.empty())
+      return common::InvalidArgument("all anchors coincide");
+    NOMLOC_ASSIGN_OR_RETURN(SpSolution sol,
+                            SolveSp(parts, constraints, solver));
+    errors.push_back(Distance(sol.estimate, truth));
+  }
+  return errors;
+}
+
+common::Result<DeploymentResult> OptimizeStaticDeployment(
+    const Polygon& area, std::span<const Vec2> candidates,
+    const DeploymentConfig& config) {
+  if (config.ap_count < 2)
+    return common::InvalidArgument("need at least 2 APs");
+  if (candidates.size() < config.ap_count)
+    return common::InvalidArgument("not enough candidate positions");
+  if (config.sample_points == 0)
+    return common::InvalidArgument("sample_points must be >= 1");
+
+  NOMLOC_ASSIGN_OR_RETURN(auto parts, geometry::DecomposeConvex(area));
+
+  common::Rng rng(config.seed);
+  std::vector<Vec2> samples;
+  samples.reserve(config.sample_points);
+  for (std::size_t i = 0; i < config.sample_points; ++i)
+    samples.push_back(geometry::RandomPointIn(area, rng));
+
+  DeploymentResult result;
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<Vec2> chosen;
+
+  // Seed with the best pair (a single anchor has no bisectors).
+  {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 1;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+        const std::vector<Vec2> pair{candidates[i], candidates[j]};
+        auto errors = PerSampleCellErrors(parts, pair, samples,
+                                          config.solver);
+        if (!errors.ok()) continue;
+        const double obj = Objective(*errors, config.objective);
+        if (obj < best) {
+          best = obj;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (!std::isfinite(best))
+      return common::Internal("no admissible seed pair");
+    used[bi] = used[bj] = true;
+    chosen.push_back(candidates[bi]);
+    chosen.push_back(candidates[bj]);
+    result.selected.push_back(bi);
+    result.selected.push_back(bj);
+    result.objective_value_m = best;
+  }
+
+  // Greedy growth.
+  while (chosen.size() < config.ap_count) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_idx = candidates.size();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      chosen.push_back(candidates[c]);
+      auto errors = PerSampleCellErrors(parts, chosen, samples,
+                                        config.solver);
+      chosen.pop_back();
+      if (!errors.ok()) continue;
+      const double obj = Objective(*errors, config.objective);
+      if (obj < best) {
+        best = obj;
+        best_idx = c;
+      }
+    }
+    if (best_idx == candidates.size())
+      return common::Internal("no admissible candidate in growth round");
+    used[best_idx] = true;
+    chosen.push_back(candidates[best_idx]);
+    result.selected.push_back(best_idx);
+    result.objective_value_m = best;
+  }
+
+  result.positions = std::move(chosen);
+  return result;
+}
+
+}  // namespace nomloc::localization

@@ -1,0 +1,61 @@
+// Static AP deployment optimization.
+//
+// The paper's §I diagnosis is that "the AP deployment cannot be optimized
+// for all indoor positions", and its related work (§II) surveys placement
+// schemes like maxL-minE [5] and coverage+localization deployment [12].
+// This module implements both objectives over a candidate grid so the
+// benches can quantify exactly how much a *better static* deployment
+// closes the gap to a nomadic one — the paper's central comparison:
+//
+//   * kMeanError — greedy selection minimizing the expected cell-center
+//     error (average localizability),
+//   * kMaxError  — greedy maxL-minE-style selection minimizing the worst
+//     sample error (spatial-variance oriented).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "localization/sp_solver.h"
+
+namespace nomloc::localization {
+
+enum class DeploymentObjective { kMeanError, kMaxError };
+
+struct DeploymentConfig {
+  std::size_t ap_count = 4;
+  DeploymentObjective objective = DeploymentObjective::kMeanError;
+  std::size_t sample_points = 64;
+  std::uint64_t seed = 1;
+  SpSolverOptions solver;
+};
+
+struct DeploymentResult {
+  /// Chosen candidate indices, in selection order.
+  std::vector<std::size_t> selected;
+  /// Positions of the selected APs.
+  std::vector<geometry::Vec2> positions;
+  /// Objective value (mean or max sample error [m]) of the final layout.
+  double objective_value_m = 0.0;
+};
+
+/// Per-sample cell-center errors for a layout under ideal judgements —
+/// building block for both objectives (and for SLV-style analyses).
+common::Result<std::vector<double>> PerSampleCellErrors(
+    std::span<const geometry::Polygon> parts,
+    std::span<const geometry::Vec2> anchors,
+    std::span<const geometry::Vec2> samples,
+    const SpSolverOptions& solver = {});
+
+/// Greedily places `config.ap_count` APs from `candidates`.  The first AP
+/// pairs with every later choice, so selection starts from the pair that
+/// minimises the objective.  Requires ap_count >= 2 and enough candidates.
+common::Result<DeploymentResult> OptimizeStaticDeployment(
+    const geometry::Polygon& area,
+    std::span<const geometry::Vec2> candidates,
+    const DeploymentConfig& config);
+
+}  // namespace nomloc::localization

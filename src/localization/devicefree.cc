@@ -1,0 +1,134 @@
+#include "localization/devicefree.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "geometry/line.h"
+
+namespace nomloc::localization {
+
+common::Result<double> MagnitudeCorrelation(const dsp::CsiFrame& a,
+                                            const dsp::CsiFrame& b) {
+  if (a.SubcarrierCount() != b.SubcarrierCount())
+    return common::InvalidArgument("frame grids differ");
+  const std::size_t n = a.SubcarrierCount();
+  if (n < 2) return common::InvalidArgument("need >= 2 subcarriers");
+  for (std::size_t i = 0; i < n; ++i)
+    if (a.Indices()[i] != b.Indices()[i])
+      return common::InvalidArgument("frame grids differ");
+
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += std::abs(a.Values()[i]);
+    mb += std::abs(b.Values()[i]);
+  }
+  ma /= double(n);
+  mb /= double(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = std::abs(a.Values()[i]) - ma;
+    const double db = std::abs(b.Values()[i]) - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0)
+    return common::InvalidArgument("constant magnitude vector");
+  return cov / std::sqrt(va * vb);
+}
+
+common::Result<double> FrameSimilarity(const dsp::CsiFrame& a,
+                                       const dsp::CsiFrame& b) {
+  if (a.SubcarrierCount() != b.SubcarrierCount())
+    return common::InvalidArgument("frame grids differ");
+  const std::size_t n = a.SubcarrierCount();
+  for (std::size_t i = 0; i < n; ++i)
+    if (a.Indices()[i] != b.Indices()[i])
+      return common::InvalidArgument("frame grids differ");
+  double diff2 = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ma = std::abs(a.Values()[i]);
+    const double mb = std::abs(b.Values()[i]);
+    diff2 += (ma - mb) * (ma - mb);
+    na += ma * ma;
+    nb += mb * mb;
+  }
+  const double scale = std::sqrt(std::max(na, nb));
+  if (scale <= 0.0) return common::InvalidArgument("all-zero frames");
+  return 1.0 - std::sqrt(diff2) / scale;
+}
+
+MotionDetector::MotionDetector(MotionDetectorOptions options)
+    : options_(options) {
+  NOMLOC_REQUIRE(options_.window >= 2);
+  NOMLOC_REQUIRE(options_.similarity_threshold > 0.0 &&
+                 options_.similarity_threshold <= 1.0);
+}
+
+void MotionDetector::Reset() {
+  window_.clear();
+  similarities_.clear();
+}
+
+std::optional<MotionDetector::Decision> MotionDetector::Feed(
+    const dsp::CsiFrame& frame) {
+  if (!window_.empty()) {
+    auto corr = FrameSimilarity(window_.back(), frame);
+    if (!corr.ok()) {
+      // Grid change mid-stream: start over from this frame.
+      Reset();
+      window_.push_back(frame);
+      return std::nullopt;
+    }
+    similarities_.push_back(*corr);
+  }
+  window_.push_back(frame);
+  while (window_.size() > options_.window) window_.pop_front();
+  while (similarities_.size() > options_.window - 1)
+    similarities_.pop_front();
+
+  if (similarities_.size() < options_.window - 1) return std::nullopt;
+
+  double mean = 0.0;
+  for (double c : similarities_) mean += c;
+  mean /= double(similarities_.size());
+  return Decision{mean < options_.similarity_threshold, mean};
+}
+
+dsp::CsiFrame SampleWithPerson(const channel::CsiSimulator& sim,
+                               geometry::Vec2 tx, geometry::Vec2 rx,
+                               geometry::Vec2 person, common::Rng& rng,
+                               double blocking_radius_m) {
+  NOMLOC_REQUIRE(blocking_radius_m >= 0.0);
+  std::vector<channel::PropagationPath> paths = channel::TracePaths(
+      sim.Environment(), tx, rx, sim.Config().propagation);
+
+  // LOS blockage by the body.
+  const geometry::Segment los{tx, rx};
+  if (los.DistanceTo(person) <= blocking_radius_m) {
+    for (auto& path : paths)
+      if (path.is_direct)
+        path.loss_db += channel::materials::Human().transmission_loss_db;
+  }
+
+  // Human scatter path.
+  const double l1 = Distance(tx, person);
+  const double l2 = Distance(person, rx);
+  if (l1 > 1e-9 && l2 > 1e-9) {
+    channel::PropagationPath body;
+    body.length_m = l1 + l2;
+    body.loss_db =
+        channel::FreeSpacePathLossDb(body.length_m, sim.Config().carrier_hz) +
+        channel::materials::Human().reflection_loss_db + 6.0;
+    body.bounces = 1;
+    body.is_scatter = true;
+    const geometry::Vec2 d = rx - person;
+    body.aoa_rad = std::atan2(d.y, d.x);
+    paths.push_back(body);
+  }
+
+  const channel::LinkModel link(std::move(paths), sim.Config());
+  return link.Sample(rng);
+}
+
+}  // namespace nomloc::localization

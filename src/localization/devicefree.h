@@ -1,0 +1,78 @@
+// Device-free motion detection from CSI — the companion capability of the
+// NomLoc authors' FIMD (ICPADS'12) and Pilot (ICDCS'13) systems, both
+// cited in the paper.  A person moving near a TX–RX link perturbs its
+// multipath structure; consecutive CSI frames then decorrelate, while an
+// empty environment keeps them nearly identical.  The detector slides a
+// window over per-packet CSI and flags motion when the mean adjacent-frame
+// magnitude correlation drops below a threshold.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "channel/csi_model.h"
+#include "common/status.h"
+#include "dsp/csi.h"
+
+namespace nomloc::localization {
+
+/// Pearson correlation between the magnitude vectors of two CSI frames on
+/// identical grids.  Requires matching non-trivial grids and non-constant
+/// magnitudes.  NOTE: being mean- and scale-invariant, this misses
+/// perturbations with small differential delay (a body near the LOS path
+/// shifts every subcarrier almost uniformly); the detector therefore uses
+/// FrameSimilarity below.
+common::Result<double> MagnitudeCorrelation(const dsp::CsiFrame& a,
+                                            const dsp::CsiFrame& b);
+
+/// Amplitude-sensitive similarity: 1 - || |a| - |b| || / max(||a||, ||b||).
+/// 1 = identical magnitudes; drops with any amplitude change, including
+/// the near-uniform swing a moving body induces.  Requires matching grids
+/// and at least one non-zero frame.
+common::Result<double> FrameSimilarity(const dsp::CsiFrame& a,
+                                       const dsp::CsiFrame& b);
+
+struct MotionDetectorOptions {
+  /// Frames per decision window (>= 2).
+  std::size_t window = 8;
+  /// Mean adjacent-frame similarity (FrameSimilarity) below this flags
+  /// motion.
+  double similarity_threshold = 0.9;
+};
+
+class MotionDetector {
+ public:
+  explicit MotionDetector(MotionDetectorOptions options = {});
+
+  struct Decision {
+    bool motion = false;
+    /// Mean adjacent-frame similarity over the window (the FIMD-style
+    /// feature; low = motion).
+    double score = 1.0;
+  };
+
+  /// Feeds one frame.  Returns a decision once the window is full (and on
+  /// every subsequent frame, sliding by one); nullopt while filling.
+  /// Frames with mismatched grids reset the window.
+  std::optional<Decision> Feed(const dsp::CsiFrame& frame);
+
+  void Reset();
+
+ private:
+  MotionDetectorOptions options_;
+  std::deque<dsp::CsiFrame> window_;
+  std::deque<double> similarities_;
+};
+
+/// Simulation helper: one CSI frame of the link tx->rx with a person at
+/// `person`.  The link's static multipath is augmented with a human
+/// scatter path (tx -> person -> rx); when the person stands within
+/// `blocking_radius_m` of the direct segment, the direct path additionally
+/// pays the human body's transmission loss — the LOS-blocking effect
+/// device-free systems key on.
+dsp::CsiFrame SampleWithPerson(const channel::CsiSimulator& sim,
+                               geometry::Vec2 tx, geometry::Vec2 rx,
+                               geometry::Vec2 person, common::Rng& rng,
+                               double blocking_radius_m = 0.3);
+
+}  // namespace nomloc::localization

@@ -1,0 +1,68 @@
+#include "localization/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::localization {
+
+using geometry::Vec2;
+
+common::Result<RadioMap> RadioMap::Create(
+    std::vector<FingerprintEntry> entries) {
+  if (entries.empty()) return common::InvalidArgument("empty radio map");
+  const std::size_t ap_count = entries.front().pdp.size();
+  if (ap_count == 0)
+    return common::InvalidArgument("fingerprints need >= 1 AP dimension");
+  for (const FingerprintEntry& e : entries) {
+    if (e.pdp.size() != ap_count)
+      return common::InvalidArgument("inconsistent fingerprint dimension");
+    for (double p : e.pdp)
+      if (p <= 0.0)
+        return common::InvalidArgument("fingerprint powers must be positive");
+  }
+  return RadioMap(std::move(entries), ap_count);
+}
+
+common::Result<Vec2> RadioMap::Locate(std::span<const double> measured_pdp,
+                                      std::size_t k) const {
+  if (measured_pdp.size() != ap_count_)
+    return common::InvalidArgument("measurement dimension mismatch");
+  if (k == 0 || k > entries_.size())
+    return common::InvalidArgument("k out of range");
+  for (double p : measured_pdp)
+    if (p <= 0.0)
+      return common::InvalidArgument("measured powers must be positive");
+
+  std::vector<double> query(ap_count_);
+  for (std::size_t i = 0; i < ap_count_; ++i)
+    query[i] = std::log10(measured_pdp[i]);
+
+  // Distances to every entry in log-power space.
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(entries_.size());
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < ap_count_; ++i) {
+      const double diff = std::log10(entries_[e].pdp[i]) - query[i];
+      d2 += diff * diff;
+    }
+    scored.emplace_back(d2, e);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + std::ptrdiff_t(k),
+                    scored.end());
+
+  // Inverse-distance weighting over the k nearest fingerprints.
+  Vec2 acc{0.0, 0.0};
+  double total = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double w = 1.0 / (std::sqrt(scored[j].first) + 1e-9);
+    acc += entries_[scored[j].second].position * w;
+    total += w;
+  }
+  NOMLOC_ASSERT(total > 0.0);
+  return acc / total;
+}
+
+}  // namespace nomloc::localization

@@ -1,0 +1,58 @@
+// Fingerprint-based localization (RADAR/Horus-style) — the calibration-
+// heavy alternative NomLoc is built to avoid (§III-A: fingerprinting "is a
+// poor fit" for nomadic APs because the radio map is tied to static AP
+// positions).
+//
+// Offline: survey the venue on a grid, storing the mean per-AP PDP vector
+// at every reference point (the radio map).  Online: match the measured
+// vector to the map by k-nearest-neighbours in log-power space.
+//
+// Implemented here as the honest upper baseline: with a fresh, dense
+// survey it is accurate; its cost is the survey itself, and the map is
+// invalidated the moment an AP moves — which bench/abl_fingerprint
+// demonstrates by letting the nomadic AP wander after the survey.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "geometry/vec2.h"
+#include "localization/proximity.h"
+
+namespace nomloc::localization {
+
+/// One surveyed reference point: location + mean PDP per AP (fixed order).
+struct FingerprintEntry {
+  geometry::Vec2 position;
+  std::vector<double> pdp;  ///< One value per AP, same order map-wide.
+};
+
+class RadioMap {
+ public:
+  /// Builds a map from surveyed entries.  All entries must have the same
+  /// non-zero PDP dimension and strictly positive powers.
+  static common::Result<RadioMap> Create(std::vector<FingerprintEntry> entries);
+
+  std::size_t Size() const noexcept { return entries_.size(); }
+  std::size_t ApCount() const noexcept { return ap_count_; }
+  std::span<const FingerprintEntry> Entries() const noexcept {
+    return entries_;
+  }
+
+  /// k-NN estimate: Euclidean distance in log10-power space, position =
+  /// inverse-distance-weighted mean of the k best entries.  Requires a
+  /// measurement of the map's AP dimension with positive powers and
+  /// 1 <= k <= Size().
+  common::Result<geometry::Vec2> Locate(std::span<const double> measured_pdp,
+                                        std::size_t k = 3) const;
+
+ private:
+  RadioMap(std::vector<FingerprintEntry> entries, std::size_t ap_count)
+      : entries_(std::move(entries)), ap_count_(ap_count) {}
+  std::vector<FingerprintEntry> entries_;
+  std::size_t ap_count_;
+};
+
+}  // namespace nomloc::localization

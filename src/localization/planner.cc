@@ -1,0 +1,107 @@
+#include "localization/planner.h"
+
+#include <limits>
+
+#include "common/assert.h"
+#include "geometry/convex_decomp.h"
+#include "geometry/hull.h"
+
+namespace nomloc::localization {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+namespace {
+
+// Ideal pairwise constraints for an object at `truth` among `anchors`.
+std::vector<SpConstraint> IdealConstraints(Vec2 truth,
+                                           std::span<const Vec2> anchors) {
+  std::vector<SpConstraint> out;
+  out.reserve(anchors.size() * (anchors.size() - 1) / 2);
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    for (std::size_t j = i + 1; j < anchors.size(); ++j) {
+      if (geometry::AlmostEqual(anchors[i], anchors[j], 1e-9)) continue;
+      const bool i_closer =
+          Distance(truth, anchors[i]) <= Distance(truth, anchors[j]);
+      const Vec2 w = i_closer ? anchors[i] : anchors[j];
+      const Vec2 l = i_closer ? anchors[j] : anchors[i];
+      out.push_back({geometry::HalfPlane::CloserTo(w, l), 0.9, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Result<double> ExpectedCellError(std::span<const Polygon> parts,
+                                         std::span<const Vec2> anchors,
+                                         std::span<const Vec2> samples,
+                                         const SpSolverOptions& solver) {
+  if (samples.empty()) return common::InvalidArgument("no sample points");
+  if (anchors.size() < 2)
+    return common::InvalidArgument("need >= 2 anchors");
+  double total = 0.0;
+  for (const Vec2 truth : samples) {
+    const auto constraints = IdealConstraints(truth, anchors);
+    if (constraints.empty())
+      return common::InvalidArgument("all anchors coincide");
+    NOMLOC_ASSIGN_OR_RETURN(SpSolution sol,
+                            SolveSp(parts, constraints, solver));
+    total += Distance(sol.estimate, truth);
+  }
+  return total / double(samples.size());
+}
+
+common::Result<PlannerResult> PlanNomadicSites(
+    const Polygon& area, std::span<const Vec2> static_aps,
+    std::span<const Vec2> candidates, const PlannerConfig& config) {
+  if (candidates.empty())
+    return common::InvalidArgument("no candidate sites");
+  if (static_aps.size() < 2)
+    return common::InvalidArgument("need >= 2 static APs");
+  if (config.sites_to_select > candidates.size())
+    return common::InvalidArgument("cannot select more sites than offered");
+  if (config.sample_points == 0)
+    return common::InvalidArgument("sample_points must be >= 1");
+
+  NOMLOC_ASSIGN_OR_RETURN(auto parts, geometry::DecomposeConvex(area));
+
+  // Deterministic evaluation set of object positions.
+  common::Rng rng(config.seed);
+  std::vector<Vec2> samples;
+  samples.reserve(config.sample_points);
+  for (std::size_t i = 0; i < config.sample_points; ++i)
+    samples.push_back(geometry::RandomPointIn(area, rng));
+
+  std::vector<Vec2> anchors(static_aps.begin(), static_aps.end());
+  PlannerResult result;
+  NOMLOC_ASSIGN_OR_RETURN(
+      result.baseline_error_m,
+      ExpectedCellError(parts, anchors, samples, config.solver));
+
+  std::vector<bool> used(candidates.size(), false);
+  for (std::size_t round = 0; round < config.sites_to_select; ++round) {
+    double best_error = std::numeric_limits<double>::infinity();
+    std::size_t best_idx = candidates.size();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (used[c]) continue;
+      anchors.push_back(candidates[c]);
+      auto err = ExpectedCellError(parts, anchors, samples, config.solver);
+      anchors.pop_back();
+      if (!err.ok()) continue;
+      if (*err < best_error) {
+        best_error = *err;
+        best_idx = c;
+      }
+    }
+    if (best_idx == candidates.size())
+      return common::Internal("no admissible candidate in planning round");
+    used[best_idx] = true;
+    anchors.push_back(candidates[best_idx]);
+    result.selected.push_back(best_idx);
+    result.error_after_m.push_back(best_error);
+  }
+  return result;
+}
+
+}  // namespace nomloc::localization

@@ -1,0 +1,60 @@
+// Nomadic site planning — the optimization problem the paper leaves open
+// (§VI: "understand the impact of moving patterns of nomadic APs" and
+// "effectively aggregating multiple nomadic APs").
+//
+// Given the floor area, the static AP layout and a set of candidate dwell
+// sites, greedily selects the S sites whose pairwise-bisector constraints
+// shrink the space partition the most: the objective is the expected
+// distance from a random object position to the center of its partition
+// cell, estimated over a sample of object positions with ideal (noise-
+// free) proximity judgements.  Greedy selection of a monotone objective —
+// simple, deterministic, and good enough to beat hand-picked waypoints
+// (bench/abl_planner).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "localization/sp_solver.h"
+
+namespace nomloc::localization {
+
+struct PlannerConfig {
+  /// How many sites to select from the candidate list.
+  std::size_t sites_to_select = 3;
+  /// Object positions sampled to estimate expected error.
+  std::size_t sample_points = 64;
+  std::uint64_t seed = 1;
+  SpSolverOptions solver;
+};
+
+struct PlannerResult {
+  /// Selected candidate indices, in selection order.
+  std::vector<std::size_t> selected;
+  /// Expected cell-center error before any site was added [m].
+  double baseline_error_m = 0.0;
+  /// Expected cell-center error after each selection [m]
+  /// (size == selected.size()).
+  std::vector<double> error_after_m;
+};
+
+/// Expected distance from a random object position to its SP estimate
+/// under ideal judgements, for the given anchor set.  Exposed for tests
+/// and benches.
+common::Result<double> ExpectedCellError(
+    std::span<const geometry::Polygon> parts,
+    std::span<const geometry::Vec2> anchors,
+    std::span<const geometry::Vec2> samples,
+    const SpSolverOptions& solver = {});
+
+/// Greedy site selection.  Requires a non-empty candidate list, at least
+/// two static APs, and sites_to_select <= candidates.size().
+common::Result<PlannerResult> PlanNomadicSites(
+    const geometry::Polygon& area,
+    std::span<const geometry::Vec2> static_aps,
+    std::span<const geometry::Vec2> candidates, const PlannerConfig& config);
+
+}  // namespace nomloc::localization

@@ -1,0 +1,54 @@
+#include "localization/proximity.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::localization {
+
+double ConfidenceF(double ratio) {
+  NOMLOC_REQUIRE(ratio > 0.0);
+  if (ratio <= 1.0) return std::exp2(-ratio);
+  return 1.0 - std::exp2(-1.0 / ratio);
+}
+
+std::vector<ProximityJudgement> JudgeProximity(std::span<const Anchor> anchors,
+                                               PairPolicy policy) {
+  NOMLOC_REQUIRE(anchors.size() >= 2);
+  for (const Anchor& a : anchors) NOMLOC_REQUIRE(a.pdp > 0.0);
+
+  std::vector<ProximityJudgement> out;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    for (std::size_t j = i + 1; j < anchors.size(); ++j) {
+      if (policy == PairPolicy::kPaper && anchors[i].is_nomadic_site &&
+          anchors[j].is_nomadic_site)
+        continue;
+      ProximityJudgement judgement;
+      if (anchors[i].pdp >= anchors[j].pdp) {
+        judgement.winner = i;
+        judgement.loser = j;
+      } else {
+        judgement.winner = j;
+        judgement.loser = i;
+      }
+      // Confidence from the small/large power ratio (<= 1), per Eq. 1:
+      // w -> 1 when one anchor dominates, w -> 1/2 when powers tie.
+      judgement.confidence = ConfidenceF(anchors[judgement.loser].pdp /
+                                         anchors[judgement.winner].pdp);
+      out.push_back(judgement);
+    }
+  }
+  return out;
+}
+
+Anchor MakeAnchor(geometry::Vec2 reported_position,
+                  std::span<const dsp::CsiFrame> frames, double bandwidth_hz,
+                  const dsp::PdpOptions& pdp, bool is_nomadic_site) {
+  Anchor anchor;
+  anchor.position = reported_position;
+  anchor.pdp = dsp::PdpOfBatch(frames, bandwidth_hz, pdp);
+  anchor.is_nomadic_site = is_nomadic_site;
+  return anchor;
+}
+
+}  // namespace nomloc::localization

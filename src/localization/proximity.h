@@ -1,0 +1,68 @@
+// PDP-based proximity determination (paper §IV-A).
+//
+// Each AP (or nomadic-AP measurement site) becomes an *anchor* with a
+// reported position and a measured power of direct path.  For every anchor
+// pair, the object is judged closer to the anchor with the larger PDP; the
+// judgement carries the confidence factor w = f(P_small / P_large) of the
+// paper's Eq. 1–4, which approaches 1 for a lopsided power ratio and 1/2
+// when the powers tie.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "dsp/cir.h"
+#include "dsp/csi.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::localization {
+
+/// One measurement source for the SP algorithm: a static AP, or one dwell
+/// site of a nomadic AP.
+struct Anchor {
+  geometry::Vec2 position;        ///< Position as known to the server.
+  double pdp = 0.0;               ///< Measured power of direct path [mW].
+  bool is_nomadic_site = false;
+};
+
+/// "Object is closer to anchor `winner` than to anchor `loser`", with the
+/// paper's confidence factor in [0.5, 1).
+struct ProximityJudgement {
+  std::size_t winner = 0;
+  std::size_t loser = 0;
+  double confidence = 0.5;
+};
+
+/// The paper's f-function (Eq. 4):
+///   f(x) = 2^-x         for 0 < x <= 1,
+///   f(x) = 1 - 2^(-1/x) for x > 1.
+/// Satisfies f(x) + f(1/x) = 1 and f(1) = 1/2.  Requires x > 0.
+double ConfidenceF(double ratio);
+
+/// Which anchor pairs produce judgements.
+enum class PairPolicy {
+  /// The paper's constraint set: every static–static pair (matrix A) plus
+  /// every nomadic-site–static pair (matrix A'').  Nomadic sites are not
+  /// compared with each other (their PDPs were measured at different
+  /// times/positions of the same physical AP).
+  kPaper,
+  /// Every pair, including nomadic–nomadic — an ablation variant.
+  kAllPairs,
+};
+
+/// Builds pairwise judgements from measured anchors.  Anchors with equal
+/// PDP produce a judgement with confidence exactly 0.5 (direction is
+/// lower-index-wins, which the weight makes irrelevant).  Requires at
+/// least 2 anchors and strictly positive PDPs.
+std::vector<ProximityJudgement> JudgeProximity(
+    std::span<const Anchor> anchors, PairPolicy policy = PairPolicy::kPaper);
+
+/// Convenience: anchor from a batch of CSI frames (averages per-packet
+/// PDP, paper's thousands-of-PINGs procedure).
+Anchor MakeAnchor(geometry::Vec2 reported_position,
+                  std::span<const dsp::CsiFrame> frames, double bandwidth_hz,
+                  const dsp::PdpOptions& pdp = {},
+                  bool is_nomadic_site = false);
+
+}  // namespace nomloc::localization

@@ -1,0 +1,136 @@
+#include "localization/sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace nomloc::localization {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+std::vector<double> FractionalRanks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg = (double(i) + double(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+common::Result<double> SpearmanRho(std::span<const double> ranks_a,
+                                   std::span<const double> ranks_b) {
+  if (ranks_a.size() != ranks_b.size())
+    return common::InvalidArgument("rank vectors differ in size");
+  const std::size_t n = ranks_a.size();
+  if (n < 2) return common::InvalidArgument("need >= 2 ranks");
+  const double ma = std::accumulate(ranks_a.begin(), ranks_a.end(), 0.0) /
+                    double(n);
+  const double mb = std::accumulate(ranks_b.begin(), ranks_b.end(), 0.0) /
+                    double(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = ranks_a[i] - ma;
+    const double db = ranks_b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0)
+    return common::InvalidArgument("constant rank vector");
+  return cov / std::sqrt(va * vb);
+}
+
+common::Result<double> KendallTau(std::span<const double> a,
+                                  std::span<const double> b) {
+  if (a.size() != b.size())
+    return common::InvalidArgument("vectors differ in size");
+  const std::size_t n = a.size();
+  if (n < 2) return common::InvalidArgument("need >= 2 values");
+  long concordant = 0, discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      const double prod = da * db;
+      if (prod > 0.0) ++concordant;
+      else if (prod < 0.0) ++discordant;
+      // Ties in either vector count toward neither (tau-a on the pair
+      // count below keeps the value in [-1, 1]).
+    }
+  }
+  const double pairs = double(n) * double(n - 1) / 2.0;
+  return double(concordant - discordant) / pairs;
+}
+
+common::Result<Vec2> SequenceLocalize(const Polygon& area,
+                                      std::span<const Anchor> anchors,
+                                      const SequenceOptions& options) {
+  if (anchors.size() < 3)
+    return common::InvalidArgument("sequence localization needs >= 3 anchors");
+  if (options.grid_step_m <= 0.0)
+    return common::InvalidArgument("grid step must be positive");
+  for (const Anchor& a : anchors)
+    if (a.pdp <= 0.0)
+      return common::InvalidArgument("anchor PDP must be positive");
+
+  // Measured signature: rank anchors by *decreasing* power = increasing
+  // distance proxy, i.e. rank 1/pdp ascending.
+  std::vector<double> inv_power;
+  inv_power.reserve(anchors.size());
+  for (const Anchor& a : anchors) inv_power.push_back(1.0 / a.pdp);
+  const std::vector<double> measured_ranks = FractionalRanks(inv_power);
+
+  const geometry::Aabb box = area.BoundingBox();
+  Vec2 acc{0.0, 0.0};
+  std::size_t count = 0;
+  double best = -2.0;
+
+  std::vector<double> dist(anchors.size());
+  for (double y = box.lo.y; y <= box.hi.y; y += options.grid_step_m) {
+    for (double x = box.lo.x; x <= box.hi.x; x += options.grid_step_m) {
+      const Vec2 p{x, y};
+      if (!area.Contains(p)) continue;
+      for (std::size_t i = 0; i < anchors.size(); ++i)
+        dist[i] = Distance(p, anchors[i].position);
+
+      double score = 0.0;
+      if (options.correlation == RankCorrelation::kSpearman) {
+        auto rho = SpearmanRho(measured_ranks, FractionalRanks(dist));
+        if (!rho.ok()) continue;  // Degenerate (coincident anchors).
+        score = *rho;
+      } else {
+        auto tau = KendallTau(inv_power, dist);
+        if (!tau.ok()) continue;
+        score = *tau;
+      }
+
+      if (score > best + options.tie_tolerance) {
+        best = score;
+        acc = p;
+        count = 1;
+      } else if (score >= best - options.tie_tolerance) {
+        acc += p;
+        ++count;
+      }
+    }
+  }
+  if (count == 0)
+    return common::NotFound("no grid candidate inside the area");
+  return acc / double(count);
+}
+
+}  // namespace nomloc::localization

@@ -1,0 +1,51 @@
+// Sequence-based localization (Yedavalli & Krishnamachari, TMC 2008 —
+// the paper's reference [2] and the intellectual ancestor of its SP
+// method).  The anchors' *ordering* by received power defines a location
+// signature; candidate points whose distance ordering best matches the
+// measured ordering vote for the estimate.  Like NomLoc it is
+// calibration-free (orderings need no propagation model), but it needs an
+// explicit candidate grid where SP gets an exact polygonal cell.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "localization/proximity.h"
+
+namespace nomloc::localization {
+
+enum class RankCorrelation { kSpearman, kKendall };
+
+struct SequenceOptions {
+  double grid_step_m = 0.25;
+  RankCorrelation correlation = RankCorrelation::kSpearman;
+  /// Candidates whose correlation is within this of the best all
+  /// contribute to the (averaged) estimate.
+  double tie_tolerance = 1e-9;
+};
+
+/// Average ranks of `values` in *ascending* order; ties share the average
+/// of the ranks they span (standard fractional ranking, 1-based).
+std::vector<double> FractionalRanks(std::span<const double> values);
+
+/// Spearman's rho between two equal-length rank vectors (uses Pearson on
+/// ranks, so fractional ties are handled).  Requires size >= 2 and
+/// non-constant vectors.
+common::Result<double> SpearmanRho(std::span<const double> ranks_a,
+                                   std::span<const double> ranks_b);
+
+/// Kendall's tau-a between two equal-length value vectors.
+common::Result<double> KendallTau(std::span<const double> a,
+                                  std::span<const double> b);
+
+/// Sequence-based location estimate: scans a grid over `area`, ranks each
+/// grid point's anchor distances, and returns the mean of the points whose
+/// rank correlation with the measured (inverse-power) ranking is maximal.
+/// Requires >= 3 anchors with positive PDP.
+common::Result<geometry::Vec2> SequenceLocalize(
+    const geometry::Polygon& area, std::span<const Anchor> anchors,
+    const SequenceOptions& options = {});
+
+}  // namespace nomloc::localization

@@ -1,0 +1,82 @@
+// Space-partition location estimation (paper §IV-B-1…4).
+//
+// Given the weighted half-plane constraints of one convex area, solves the
+// relaxed linear program of Eq. 19,
+//
+//     minimize  w^T t    s.t.   A z - t <= b,   t >= 0,
+//
+// with the two-phase simplex, reconstructs the (relaxed) feasible region
+// by clipping the area polygon, and reports its center.  Non-convex areas
+// are handled part-by-part; the parts with the lowest relaxation cost are
+// merged (§IV-B2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/polygon.h"
+#include "localization/constraints.h"
+
+namespace nomloc::localization {
+
+/// How the point estimate is extracted from the feasible region.  The
+/// paper's CVX/interior-point solve corresponds to kAnalytic; kCentroid is
+/// the literal "center point of the region" reading; kChebyshev is the
+/// deepest point.  bench/abl_center_method compares them.
+enum class CenterMethod { kCentroid, kChebyshev, kAnalytic };
+
+/// Which LP solver runs the relaxation program (Eq. 19).  The paper used
+/// CVX's interior-point method; the two backends agree to solver
+/// tolerance and are cross-validated in the tests.
+enum class LpBackend { kSimplex, kInteriorPoint };
+
+struct SpSolverOptions {
+  CenterMethod center = CenterMethod::kCentroid;
+  LpBackend lp_backend = LpBackend::kSimplex;
+  /// Weight for boundary (virtual-AP) constraints — "preset to a large
+  /// weight to guarantee the corresponding constraint satisfied with high
+  /// priority" (§IV-B4).
+  double boundary_weight = 100.0;
+  /// Extra slack when reconstructing the region from the optimal t, to
+  /// keep it full-dimensional despite simplex sitting on vertices.
+  double region_slack = 1e-6;
+  /// Two part costs within this tolerance count as tied and are merged.
+  double merge_tolerance = 1e-7;
+};
+
+/// Result for one convex part.
+struct SpPartSolution {
+  geometry::Vec2 estimate;
+  double relaxation_cost = 0.0;   ///< w^T t at the LP optimum.
+  std::size_t violated = 0;       ///< Constraints with t_i > 0.
+  /// The relaxed feasible region clipped to the part (CCW loop).  May be
+  /// empty if reconstruction degenerated; `estimate` is still valid.
+  std::vector<geometry::Vec2> region;
+};
+
+/// Solves one convex part.  Boundary VAP constraints for the part are
+/// added internally (reference point = part centroid).  Requires a convex
+/// part and at least one proximity constraint.
+common::Result<SpPartSolution> SolveSpPart(
+    const geometry::Polygon& part,
+    std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options = {});
+
+/// Combined result over all parts of a (possibly non-convex) area.
+struct SpSolution {
+  geometry::Vec2 estimate;
+  double relaxation_cost = 0.0;    ///< Cost of the best part.
+  std::size_t best_part = 0;
+  std::vector<SpPartSolution> parts;
+};
+
+/// Solves every part and merges the lowest-cost ones: parts whose cost
+/// ties the minimum contribute their regions, and the estimate is the
+/// area-weighted center of the merged regions.  Requires >= 1 part.
+common::Result<SpSolution> SolveSp(
+    std::span<const geometry::Polygon> parts,
+    std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options = {});
+
+}  // namespace nomloc::localization

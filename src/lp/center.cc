@@ -1,0 +1,91 @@
+#include "lp/center.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "lp/simplex.h"
+
+namespace nomloc::lp {
+
+using geometry::HalfPlane;
+using geometry::Vec2;
+
+common::Result<ChebyshevResult> ChebyshevCenter(
+    std::span<const HalfPlane> half_planes) {
+  NOMLOC_REQUIRE(!half_planes.empty());
+
+  // Variables: [zx, zy, r]; minimize -r.
+  InequalityLp lp;
+  lp.a = Matrix(half_planes.size(), 3);
+  lp.b.resize(half_planes.size());
+  for (std::size_t i = 0; i < half_planes.size(); ++i) {
+    const HalfPlane& hp = half_planes[i];
+    const double norm = hp.a.Norm();
+    if (norm <= 0.0)
+      return common::InvalidArgument("half-plane with zero normal");
+    lp.a(i, 0) = hp.a.x;
+    lp.a(i, 1) = hp.a.y;
+    lp.a(i, 2) = norm;
+    lp.b[i] = hp.c;
+  }
+  lp.c = {0.0, 0.0, -1.0};
+  lp.nonneg = {false, false, true};
+
+  NOMLOC_ASSIGN_OR_RETURN(LpSolution sol, SolveSimplex(lp));
+  ChebyshevResult out;
+  out.center = {sol.x[0], sol.x[1]};
+  out.radius = sol.x[2];
+  return out;
+}
+
+common::Result<Vec2> AnalyticCenter(std::span<const HalfPlane> half_planes,
+                                    Vec2 start,
+                                    const AnalyticCenterOptions& options) {
+  NOMLOC_REQUIRE(!half_planes.empty());
+
+  auto slacks_ok = [&](Vec2 z) {
+    for (const HalfPlane& hp : half_planes)
+      if (hp.Slack(z) <= 0.0) return false;
+    return true;
+  };
+  if (!slacks_ok(start))
+    return common::FailedPrecondition(
+        "analytic center start point is not strictly interior");
+
+  Vec2 z = start;
+  for (std::size_t step = 0; step < options.max_newton_steps; ++step) {
+    // Gradient and Hessian of the barrier phi(z) = -sum log(c_i - a_i·z).
+    double gx = 0.0, gy = 0.0;
+    double hxx = 0.0, hxy = 0.0, hyy = 0.0;
+    for (const HalfPlane& hp : half_planes) {
+      const double s = hp.Slack(z);
+      NOMLOC_ASSERT(s > 0.0);
+      const double inv = 1.0 / s;
+      gx += hp.a.x * inv;
+      gy += hp.a.y * inv;
+      const double inv2 = inv * inv;
+      hxx += hp.a.x * hp.a.x * inv2;
+      hxy += hp.a.x * hp.a.y * inv2;
+      hyy += hp.a.y * hp.a.y * inv2;
+    }
+    const double det = hxx * hyy - hxy * hxy;
+    if (!(std::abs(det) > 1e-18))
+      return common::NumericalError("barrier Hessian is singular");
+    // Newton step: dz = -H^{-1} g.
+    const double dx = -(hyy * gx - hxy * gy) / det;
+    const double dy = -(-hxy * gx + hxx * gy) / det;
+    const double decrement = -(gx * dx + gy * dy);  // lambda^2 = g·H^{-1}g.
+    if (decrement / 2.0 <= options.tolerance) return z;
+
+    // Backtracking line search keeping z strictly interior.
+    double t = 1.0;
+    const Vec2 dir{dx, dy};
+    while (t > 1e-12 && !slacks_ok(z + dir * t)) t *= 0.5;
+    if (t <= 1e-12)
+      return common::NumericalError("line search stalled at boundary");
+    z += dir * t;
+  }
+  return common::Exhausted("analytic center Newton did not converge");
+}
+
+}  // namespace nomloc::lp

@@ -1,0 +1,45 @@
+// Centers of a convex polyhedron {z : a_i·z <= c_i} in the plane.
+//
+// The paper's implementation solves the space-partition program with CVX,
+// whose interior-point method "returns the center of the feasible region
+// by using logarithmic barrier functions" — that point is the analytic
+// center.  We provide that, plus the Chebyshev center (deepest point, via
+// one LP) and the polygon centroid (in geometry/), so the choice can be
+// ablated (bench/abl_center_method).
+#pragma once
+
+#include <span>
+
+#include "common/status.h"
+#include "geometry/halfplane.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::lp {
+
+struct ChebyshevResult {
+  geometry::Vec2 center;
+  double radius = 0.0;  ///< Distance from center to the nearest facet.
+};
+
+/// Chebyshev center: the point maximising the distance to the closest
+/// constraint boundary.  Solved as the LP
+///   max r  s.t.  a_i·z + |a_i| r <= c_i,  r >= 0.
+/// Fails with kInfeasible when the region is empty and kUnbounded when it
+/// has unbounded inradius (callers should include boundary constraints).
+common::Result<ChebyshevResult> ChebyshevCenter(
+    std::span<const geometry::HalfPlane> half_planes);
+
+struct AnalyticCenterOptions {
+  std::size_t max_newton_steps = 100;
+  double tolerance = 1e-12;  ///< Newton decrement^2 / 2 stopping threshold.
+};
+
+/// Analytic center: argmin of the log-barrier -sum_i log(c_i - a_i·z),
+/// computed by damped Newton from a strictly interior start (typically the
+/// Chebyshev center).  Fails with kFailedPrecondition when `start` is not
+/// strictly interior and kNumericalError when Newton degenerates.
+common::Result<geometry::Vec2> AnalyticCenter(
+    std::span<const geometry::HalfPlane> half_planes, geometry::Vec2 start,
+    const AnalyticCenterOptions& options = {});
+
+}  // namespace nomloc::lp

@@ -1,0 +1,151 @@
+#include "lp/interior_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::lp {
+
+common::Result<InteriorPointSolution> SolveInteriorPoint(
+    const InequalityLp& lp, const InteriorPointOptions& options) {
+  NOMLOC_RETURN_IF_ERROR(lp.Validate());
+  NOMLOC_REQUIRE(options.sigma > 0.0 && options.sigma < 1.0);
+  NOMLOC_REQUIRE(options.step_fraction > 0.0 && options.step_fraction < 1.0);
+
+  const std::size_t n = lp.a.Cols();
+
+  // Fold x_i >= 0 flags in as -x_i <= 0 rows.
+  std::size_t extra = 0;
+  for (bool flag : lp.nonneg)
+    if (flag) ++extra;
+  const std::size_t m = lp.a.Rows() + extra;
+
+  Matrix a(m, n);
+  Vector b(m, 0.0);
+  for (std::size_t r = 0; r < lp.a.Rows(); ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = lp.a(r, c);
+    b[r] = lp.b[r];
+  }
+  {
+    std::size_t r = lp.a.Rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lp.nonneg[i]) {
+        a(r, i) = -1.0;
+        b[r] = 0.0;
+        ++r;
+      }
+    }
+  }
+
+  // Infeasible start: x = 0, s/y positive.
+  Vector x(n, 0.0);
+  Vector s(m), y(m, 1.0);
+  {
+    const Vector ax = a.MatVec(x);
+    for (std::size_t i = 0; i < m; ++i)
+      s[i] = std::max(1.0, b[i] - ax[i] + 1.0);
+  }
+
+  InteriorPointSolution out;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Residuals.
+    const Vector ax = a.MatVec(x);
+    Vector rp(m);  // A x + s - b.
+    for (std::size_t i = 0; i < m; ++i) rp[i] = ax[i] + s[i] - b[i];
+    Vector rd = a.TransposedMatVec(y);  // c + A^T y.
+    for (std::size_t j = 0; j < n; ++j) rd[j] += lp.c[j];
+
+    double mu = 0.0;
+    for (std::size_t i = 0; i < m; ++i) mu += s[i] * y[i];
+    mu /= double(m);
+
+    const double rp_norm = Norm2(rp);
+    const double rd_norm = Norm2(rd);
+    if (mu < options.tolerance && rp_norm < options.tolerance &&
+        rd_norm < options.tolerance) {
+      out.x = x;
+      out.objective = Dot(lp.c, x);
+      out.iterations = iter;
+      out.duality_gap = mu;
+      return out;
+    }
+
+    // Normal equations: (A^T D A) dx = -rd - A^T [ D rp + (sigma mu e - S Y e)/s ].
+    const double target = options.sigma * mu;
+    Vector w(m);  // The bracketed per-row term, scaled by y/s later.
+    for (std::size_t i = 0; i < m; ++i)
+      w[i] = (y[i] / s[i]) * rp[i] + (target - y[i] * s[i]) / s[i];
+
+    Matrix normal(n, n);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double d = y[i] / s[i];
+      const auto row = a.Row(i);
+      for (std::size_t p = 0; p < n; ++p) {
+        if (row[p] == 0.0) continue;
+        const double dp = d * row[p];
+        for (std::size_t q = 0; q < n; ++q) normal(p, q) += dp * row[q];
+      }
+    }
+    Vector rhs(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = a.Row(i);
+      for (std::size_t p = 0; p < n; ++p) rhs[p] -= row[p] * w[i];
+    }
+    for (std::size_t p = 0; p < n; ++p) rhs[p] -= rd[p];
+
+    auto dx_result = SolveLinear(std::move(normal), std::move(rhs));
+    if (!dx_result.ok()) {
+      // Infeasible problems drive the duals to infinity until the normal
+      // matrix degenerates — classify before surfacing a numeric error.
+      double max_violation = 0.0;
+      for (std::size_t i = 0; i < m; ++i)
+        max_violation = std::max(max_violation, rp[i] - s[i]);
+      if (max_violation > 1e-4)
+        return common::Infeasible(
+            "interior point diverged with persistent primal infeasibility");
+      return common::NumericalError("interior-point normal equations: " +
+                                    dx_result.status().message());
+    }
+    const Vector& dx = *dx_result;
+
+    const Vector adx = a.MatVec(dx);
+    Vector dy(m), ds(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      dy[i] = (y[i] / s[i]) * (adx[i] + rp[i]) +
+              (target - y[i] * s[i]) / s[i];
+      ds[i] = (target - y[i] * s[i] - s[i] * dy[i]) / y[i];
+    }
+
+    // Step lengths keeping s, y strictly positive.
+    double alpha_p = 1.0, alpha_d = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (ds[i] < 0.0) alpha_p = std::min(alpha_p, -s[i] / ds[i]);
+      if (dy[i] < 0.0) alpha_d = std::min(alpha_d, -y[i] / dy[i]);
+    }
+    alpha_p = std::min(1.0, options.step_fraction * alpha_p);
+    alpha_d = std::min(1.0, options.step_fraction * alpha_d);
+
+    for (std::size_t j = 0; j < n; ++j) x[j] += alpha_p * dx[j];
+    for (std::size_t i = 0; i < m; ++i) {
+      s[i] += alpha_p * ds[i];
+      y[i] += alpha_d * dy[i];
+    }
+
+    // Divergence heuristics.
+    if (!std::isfinite(Dot(lp.c, x)))
+      return common::NumericalError("interior-point iterate diverged");
+  }
+
+  // Did not converge: classify.
+  const Vector ax = a.MatVec(x);
+  double max_violation = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    max_violation = std::max(max_violation, ax[i] - b[i]);
+  if (max_violation > 1e-4)
+    return common::Infeasible(
+        "interior point could not reach primal feasibility");
+  return common::Exhausted("interior point iteration limit reached");
+}
+
+}  // namespace nomloc::lp

@@ -1,0 +1,150 @@
+#include "lp/matrix.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::lp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  NOMLOC_REQUIRE(data_.size() == rows_ * cols_);
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  NOMLOC_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  NOMLOC_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<const double> Matrix::Row(std::size_t r) const {
+  NOMLOC_REQUIRE(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::Row(std::size_t r) {
+  NOMLOC_REQUIRE(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Vector Matrix::MatVec(std::span<const double> x) const {
+  NOMLOC_REQUIRE(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::TransposedMatVec(std::span<const double> y) const {
+  NOMLOC_REQUIRE(y.size() == rows_);
+  Vector x(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) x[c] += row[c] * y[r];
+  }
+  return x;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  NOMLOC_REQUIRE(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j)
+        out(i, j) += aik * other(k, j);
+    }
+  return out;
+}
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  NOMLOC_REQUIRE(row.size() == cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+common::Result<Vector> SolveLinear(Matrix a, Vector b) {
+  const std::size_t n = a.Rows();
+  if (a.Cols() != n)
+    return common::InvalidArgument("SolveLinear needs a square matrix");
+  if (b.size() != n)
+    return common::InvalidArgument("rhs size mismatch");
+
+  // LU with partial pivoting, in place.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13)
+      return common::NumericalError("matrix is singular to working precision");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+
+  Vector x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+double Norm2(std::span<const double> x) noexcept {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  NOMLOC_REQUIRE(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace nomloc::lp

@@ -1,0 +1,61 @@
+// Dense linear algebra: just enough for small LPs and Newton steps.
+// Row-major storage, bounds-checked element access.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nomloc::lp {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialised rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// From row-major data; data.size() must equal rows*cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  static Matrix Identity(std::size_t n);
+
+  std::size_t Rows() const noexcept { return rows_; }
+  std::size_t Cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Row r as a span.
+  std::span<const double> Row(std::size_t r) const;
+  std::span<double> Row(std::size_t r);
+
+  Matrix Transposed() const;
+  /// Matrix-vector product; x.size() must equal Cols().
+  Vector MatVec(std::span<const double> x) const;
+  /// A^T y; y.size() must equal Rows().
+  Vector TransposedMatVec(std::span<const double> y) const;
+  /// Matrix-matrix product; other.Rows() must equal Cols().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Appends a row (size must equal Cols(), or sets Cols() when empty).
+  void AppendRow(std::span<const double> row);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU decomposition with partial pivoting.
+/// Fails with kNumericalError when A is (near-)singular.
+common::Result<Vector> SolveLinear(Matrix a, Vector b);
+
+/// Euclidean norm.
+double Norm2(std::span<const double> x) noexcept;
+/// Dot product; spans must have equal size.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace nomloc::lp

@@ -1,0 +1,247 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace nomloc::lp {
+
+common::Status InequalityLp::Validate() const {
+  const std::size_t m = a.Rows();
+  const std::size_t n = a.Cols();
+  if (n == 0 || m == 0)
+    return common::InvalidArgument("LP must have at least one row and column");
+  if (b.size() != m) return common::InvalidArgument("b size != row count");
+  if (c.size() != n) return common::InvalidArgument("c size != column count");
+  if (nonneg.size() != n)
+    return common::InvalidArgument("nonneg size != column count");
+  for (double v : b)
+    if (!std::isfinite(v)) return common::InvalidArgument("non-finite b entry");
+  for (double v : c)
+    if (!std::isfinite(v)) return common::InvalidArgument("non-finite c entry");
+  for (std::size_t r = 0; r < m; ++r)
+    for (double v : a.Row(r))
+      if (!std::isfinite(v))
+        return common::InvalidArgument("non-finite A entry");
+  return common::Status::Ok();
+}
+
+namespace {
+
+// Dense simplex tableau in equality form:
+//   columns [structural | slack | artificial | rhs], one row per constraint.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t Rows() const { return rows_; }
+  std::size_t Cols() const { return cols_; }
+
+  // Gauss-Jordan pivot on (row, col).
+  void Pivot(std::size_t row, std::size_t col) {
+    const double p = At(row, col);
+    NOMLOC_ASSERT(std::abs(p) > 0.0);
+    for (std::size_t c = 0; c < cols_; ++c) At(row, c) /= p;
+    At(row, col) = 1.0;  // Exactly, against round-off.
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == row) continue;
+      const double f = At(r, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) At(r, c) -= f * At(row, c);
+      At(r, col) = 0.0;
+    }
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+struct Phase {
+  // Runs simplex iterations minimizing `cost` (indexed by tableau column,
+  // structural+slack+artificial) until optimal/unbounded/budget-exhausted.
+  // `allowed[j]` marks columns that may enter the basis.
+  static common::Status Run(Tableau& t, std::vector<std::size_t>& basis,
+                            const Vector& cost,
+                            const std::vector<bool>& allowed, double eps,
+                            std::size_t max_iters, std::size_t& iters_used) {
+    const std::size_t m = t.Rows();
+    const std::size_t ncols = t.Cols() - 1;  // Last column is rhs.
+    const std::size_t rhs = ncols;
+
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      // Reduced costs: r_j = c_j - c_B · column_j.  Recomputed densely each
+      // iteration — O(m·n), fine at NomLoc sizes and immune to drift.
+      std::size_t entering = ncols;
+      for (std::size_t j = 0; j < ncols; ++j) {
+        if (!allowed[j]) continue;
+        // Skip current basic columns (their reduced cost is 0 by identity).
+        bool is_basic = false;
+        for (std::size_t i = 0; i < m; ++i)
+          if (basis[i] == j) {
+            is_basic = true;
+            break;
+          }
+        if (is_basic) continue;
+        double red = cost[j];
+        for (std::size_t i = 0; i < m; ++i) red -= cost[basis[i]] * t.At(i, j);
+        if (red < -eps) {
+          entering = j;  // Bland's rule: first (smallest-index) improving.
+          break;
+        }
+      }
+      if (entering == ncols) {
+        iters_used += iter;
+        return common::Status::Ok();  // Optimal.
+      }
+
+      // Ratio test (Bland tie-break on smallest basis index).
+      std::size_t leaving = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m; ++i) {
+        const double a = t.At(i, entering);
+        if (a > eps) {
+          const double ratio = t.At(i, rhs) / a;
+          if (ratio < best_ratio - eps ||
+              (ratio < best_ratio + eps &&
+               (leaving == m || basis[i] < basis[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving == m) {
+        iters_used += iter;
+        return common::Unbounded("objective unbounded below");
+      }
+      t.Pivot(leaving, entering);
+      basis[leaving] = entering;
+    }
+    return common::Exhausted("simplex iteration limit reached");
+  }
+};
+
+}  // namespace
+
+common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
+                                        const SimplexOptions& options) {
+  NOMLOC_RETURN_IF_ERROR(lp.Validate());
+
+  const std::size_t m = lp.a.Rows();
+  const std::size_t n = lp.a.Cols();
+
+  // Column layout after free-variable splitting:
+  //   for each variable i: one column (nonneg) or two columns u_i, v_i with
+  //   x_i = u_i - v_i (free).
+  std::vector<std::size_t> col_of(n);      // First column of variable i.
+  std::vector<bool> is_split(n);
+  std::size_t n_struct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    col_of[i] = n_struct;
+    is_split[i] = !lp.nonneg[i];
+    n_struct += is_split[i] ? 2 : 1;
+  }
+
+  // Count artificials: one per row whose rhs is negative (after slack).
+  std::size_t n_art = 0;
+  for (double v : lp.b)
+    if (v < 0.0) ++n_art;
+
+  const std::size_t slack0 = n_struct;
+  const std::size_t art0 = n_struct + m;
+  const std::size_t ncols = n_struct + m + n_art;
+  Tableau t(m, ncols + 1);
+  std::vector<std::size_t> basis(m);
+
+  std::size_t art_next = art0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double sign = lp.b[r] < 0.0 ? -1.0 : 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = sign * lp.a(r, i);
+      t.At(r, col_of[i]) = a;
+      if (is_split[i]) t.At(r, col_of[i] + 1) = -a;
+    }
+    t.At(r, slack0 + r) = sign;           // Slack (negated when row flipped).
+    t.At(r, ncols) = sign * lp.b[r];      // rhs >= 0 now.
+    if (sign < 0.0) {
+      t.At(r, art_next) = 1.0;
+      basis[r] = art_next++;
+    } else {
+      basis[r] = slack0 + r;
+    }
+  }
+  NOMLOC_ASSERT(art_next == art0 + n_art);
+
+  std::vector<bool> allow_all(ncols, true);
+  std::size_t iters = 0;
+
+  // Phase 1: minimize the sum of artificials.
+  if (n_art > 0) {
+    Vector cost1(ncols, 0.0);
+    for (std::size_t j = art0; j < art0 + n_art; ++j) cost1[j] = 1.0;
+    common::Status st = Phase::Run(t, basis, cost1, allow_all, options.eps,
+                                   options.max_iterations, iters);
+    if (!st.ok()) {
+      if (st.code() == common::StatusCode::kUnbounded)
+        return common::Internal("phase-1 cannot be unbounded");
+      return st;
+    }
+    double phase1_obj = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (basis[i] >= art0) phase1_obj += t.At(i, ncols);
+    if (phase1_obj > 1e-7)
+      return common::Infeasible("no point satisfies all constraints");
+
+    // Drive any degenerate basic artificials out of the basis.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (basis[i] < art0) continue;
+      std::size_t col = ncols;
+      for (std::size_t j = 0; j < art0; ++j) {
+        if (std::abs(t.At(i, j)) > options.eps) {
+          col = j;
+          break;
+        }
+      }
+      if (col != ncols) {
+        t.Pivot(i, col);
+        basis[i] = col;
+      }
+      // Else the row is redundant; the artificial stays basic at value 0,
+      // which is harmless because artificials are barred from phase 2.
+    }
+  }
+
+  // Phase 2: original objective; artificial columns barred from entering.
+  Vector cost2(ncols, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cost2[col_of[i]] = lp.c[i];
+    if (is_split[i]) cost2[col_of[i] + 1] = -lp.c[i];
+  }
+  std::vector<bool> allowed(ncols, true);
+  for (std::size_t j = art0; j < art0 + n_art; ++j) allowed[j] = false;
+
+  NOMLOC_RETURN_IF_ERROR(Phase::Run(t, basis, cost2, allowed, options.eps,
+                                    options.max_iterations, iters));
+
+  // Extract the solution.
+  Vector full(ncols, 0.0);
+  for (std::size_t i = 0; i < m; ++i) full[basis[i]] = t.At(i, ncols);
+
+  LpSolution sol;
+  sol.x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sol.x[i] = full[col_of[i]];
+    if (is_split[i]) sol.x[i] -= full[col_of[i] + 1];
+  }
+  sol.objective = Dot(lp.c, sol.x);
+  sol.iterations = iters;
+  return sol;
+}
+
+}  // namespace nomloc::lp

@@ -1,0 +1,50 @@
+// Two-phase primal simplex for small dense LPs.
+//
+// Problem form:  minimize c·x  subject to  A x <= b,  with each variable
+// either free or constrained non-negative.  This covers everything NomLoc
+// needs: the relaxed space-partition program (paper Eq. 19) has two free
+// coordinates z and N non-negative relaxation variables t.
+//
+// The solver converts to standard equality form (free variables split into
+// positive/negative parts, slack variables added, artificial variables for
+// rows with negative right-hand side) and runs a dense tableau simplex
+// with Bland's rule, so it cannot cycle.  Interior-point solving of the
+// *same* program lives in lp/center.h (analytic center), matching the
+// paper's use of CVX.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "lp/matrix.h"
+
+namespace nomloc::lp {
+
+/// minimize c·x  s.t.  A x <= b;  x_i >= 0 where nonneg[i], else free.
+struct InequalityLp {
+  Matrix a;                  ///< m x n constraint matrix.
+  Vector b;                  ///< m right-hand sides.
+  Vector c;                  ///< n objective coefficients.
+  std::vector<bool> nonneg;  ///< n flags; true = variable is >= 0.
+
+  /// Checks dimensional consistency.
+  common::Status Validate() const;
+};
+
+struct LpSolution {
+  Vector x;                ///< Optimal point (size n).
+  double objective = 0.0;  ///< c·x at the optimum.
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 50'000;
+  double eps = 1e-9;
+};
+
+/// Solves the LP.  Error codes: kInfeasible, kUnbounded, kExhausted
+/// (iteration cap), kInvalidArgument (bad shapes).
+common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
+                                        const SimplexOptions& options = {});
+
+}  // namespace nomloc::lp

@@ -1,0 +1,97 @@
+#include "mobility/markov.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::mobility {
+
+common::Result<MarkovChain> MarkovChain::Create(
+    std::vector<std::vector<double>> transition) {
+  const std::size_t n = transition.size();
+  if (n == 0) return common::InvalidArgument("empty transition matrix");
+  for (const auto& row : transition) {
+    if (row.size() != n)
+      return common::InvalidArgument("transition matrix is not square");
+    double sum = 0.0;
+    for (double p : row) {
+      if (p < 0.0 || !std::isfinite(p))
+        return common::InvalidArgument("transition probability out of range");
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > 1e-9)
+      return common::InvalidArgument("transition row does not sum to 1");
+  }
+  return MarkovChain(std::move(transition));
+}
+
+MarkovChain MarkovChain::Uniform(std::size_t n) {
+  NOMLOC_REQUIRE(n > 0);
+  std::vector<std::vector<double>> t(n, std::vector<double>(n, 1.0 / double(n)));
+  return MarkovChain(std::move(t));
+}
+
+MarkovChain MarkovChain::StayBiased(std::size_t n, double stay_prob) {
+  NOMLOC_REQUIRE(n > 0);
+  NOMLOC_REQUIRE(stay_prob >= 0.0 && stay_prob <= 1.0);
+  if (n == 1) return Uniform(1);
+  std::vector<std::vector<double>> t(n, std::vector<double>(n, 0.0));
+  const double move = (1.0 - stay_prob) / double(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = (i == j) ? stay_prob : move;
+  return MarkovChain(std::move(t));
+}
+
+MarkovChain MarkovChain::Ring(std::size_t n, double forward) {
+  NOMLOC_REQUIRE(n > 0);
+  NOMLOC_REQUIRE(forward >= 0.0 && forward <= 1.0);
+  if (n == 1) return Uniform(1);
+  std::vector<std::vector<double>> t(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i][(i + 1) % n] += forward;
+    t[i][(i + n - 1) % n] += 1.0 - forward;
+  }
+  return MarkovChain(std::move(t));
+}
+
+double MarkovChain::TransitionProb(std::size_t from, std::size_t to) const {
+  NOMLOC_REQUIRE(from < StateCount() && to < StateCount());
+  return transition_[from][to];
+}
+
+std::size_t MarkovChain::NextState(std::size_t current,
+                                   common::Rng& rng) const {
+  NOMLOC_REQUIRE(current < StateCount());
+  return rng.Categorical(transition_[current]);
+}
+
+std::vector<std::size_t> MarkovChain::Walk(std::size_t start,
+                                           std::size_t steps,
+                                           common::Rng& rng) const {
+  NOMLOC_REQUIRE(start < StateCount());
+  std::vector<std::size_t> out;
+  out.reserve(steps + 1);
+  out.push_back(start);
+  for (std::size_t i = 0; i < steps; ++i)
+    out.push_back(NextState(out.back(), rng));
+  return out;
+}
+
+common::Result<std::vector<double>> MarkovChain::StationaryDistribution(
+    std::size_t max_iterations, double tolerance) const {
+  const std::size_t n = StateCount();
+  std::vector<double> pi(n, 1.0 / double(n));
+  std::vector<double> next(n, 0.0);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    for (double& v : next) v = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) next[j] += pi[i] * transition_[i][j];
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) delta += std::abs(next[j] - pi[j]);
+    pi.swap(next);
+    if (delta < tolerance) return pi;
+  }
+  return common::Exhausted("stationary distribution did not converge");
+}
+
+}  // namespace nomloc::mobility

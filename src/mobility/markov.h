@@ -1,0 +1,55 @@
+// Discrete-state Markov chain.
+//
+// The paper's nomadic-AP mobility model (§V-A): "random walk built on a
+// Markov chain … moving among several discrete sites with a preset
+// transition probability."
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace nomloc::mobility {
+
+class MarkovChain {
+ public:
+  /// Builds a chain from a row-stochastic transition matrix
+  /// (square, rows sum to 1 within tolerance, entries >= 0).
+  static common::Result<MarkovChain> Create(
+      std::vector<std::vector<double>> transition);
+
+  /// n-state chain with uniform transitions (including self-loops).
+  static MarkovChain Uniform(std::size_t n);
+
+  /// n-state chain that stays put with probability `stay_prob` and
+  /// otherwise moves uniformly to one of the other states.
+  static MarkovChain StayBiased(std::size_t n, double stay_prob);
+
+  /// n-state ring: moves to (i+1) mod n with probability `forward`, to
+  /// (i-1+n) mod n otherwise.  Used by the patrol mobility pattern.
+  static MarkovChain Ring(std::size_t n, double forward = 1.0);
+
+  std::size_t StateCount() const noexcept { return transition_.size(); }
+  double TransitionProb(std::size_t from, std::size_t to) const;
+
+  /// Samples the successor state of `current`.
+  std::size_t NextState(std::size_t current, common::Rng& rng) const;
+
+  /// Samples a walk of `steps` transitions starting at `start`; the
+  /// returned sequence has steps+1 states, the first being `start`.
+  std::vector<std::size_t> Walk(std::size_t start, std::size_t steps,
+                                common::Rng& rng) const;
+
+  /// Stationary distribution via power iteration.  Fails with
+  /// kExhausted when iteration does not converge (periodic chains).
+  common::Result<std::vector<double>> StationaryDistribution(
+      std::size_t max_iterations = 100'000, double tolerance = 1e-12) const;
+
+ private:
+  explicit MarkovChain(std::vector<std::vector<double>> transition)
+      : transition_(std::move(transition)) {}
+  std::vector<std::vector<double>> transition_;
+};
+
+}  // namespace nomloc::mobility

@@ -1,0 +1,97 @@
+#include "mobility/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::mobility {
+
+using geometry::Vec2;
+
+Vec2 AddUniformDiscError(Vec2 p, double radius_m, common::Rng& rng) {
+  NOMLOC_REQUIRE(radius_m >= 0.0);
+  if (radius_m == 0.0) return p;
+  const auto [dx, dy] = rng.UniformDisc(radius_m);
+  return {p.x + dx, p.y + dy};
+}
+
+common::Result<std::vector<DwellRecord>> GenerateTrace(
+    std::span<const Vec2> sites, const TraceConfig& config,
+    common::Rng& rng) {
+  if (sites.empty()) return common::InvalidArgument("empty site list");
+  if (config.dwell_count == 0)
+    return common::InvalidArgument("dwell_count must be >= 1");
+
+  const std::size_t n = sites.size();
+  std::vector<std::size_t> states;
+  switch (config.pattern) {
+    case MobilityPattern::kMarkovWalk: {
+      states = MarkovChain::Uniform(n).Walk(0, config.dwell_count - 1, rng);
+      break;
+    }
+    case MobilityPattern::kStayBiased: {
+      states = MarkovChain::StayBiased(n, config.stay_probability)
+                   .Walk(0, config.dwell_count - 1, rng);
+      break;
+    }
+    case MobilityPattern::kPatrol: {
+      states.reserve(config.dwell_count);
+      for (std::size_t i = 0; i < config.dwell_count; ++i)
+        states.push_back(i % n);
+      break;
+    }
+    case MobilityPattern::kStationary: {
+      states.assign(config.dwell_count, 0);
+      break;
+    }
+  }
+
+  std::vector<DwellRecord> trace;
+  trace.reserve(states.size());
+  if (config.error_model == PositionErrorModel::kUniformDisc) {
+    for (std::size_t s : states) {
+      DwellRecord rec;
+      rec.site_index = s;
+      rec.true_position = sites[s];
+      rec.reported_position =
+          AddUniformDiscError(sites[s], config.position_error_m, rng);
+      trace.push_back(rec);
+    }
+    return trace;
+  }
+
+  // Dead-reckoning: drift accumulates with walked distance and resets at
+  // the home site (index 0 — the known calibration point).
+  NOMLOC_REQUIRE(config.odometry_drift_per_m >= 0.0);
+  Vec2 drift{0.0, 0.0};
+  std::size_t previous = states.front();
+  for (std::size_t s : states) {
+    const double walked = Distance(sites[previous], sites[s]);
+    if (s == 0) {
+      drift = {0.0, 0.0};
+    } else if (walked > 0.0 && config.odometry_drift_per_m > 0.0) {
+      const double sigma = config.odometry_drift_per_m * std::sqrt(walked);
+      drift += {rng.Gaussian(0.0, sigma), rng.Gaussian(0.0, sigma)};
+    }
+    DwellRecord rec;
+    rec.site_index = s;
+    rec.true_position = sites[s];
+    rec.reported_position = sites[s] + drift;
+    trace.push_back(rec);
+    previous = s;
+  }
+  return trace;
+}
+
+std::vector<std::size_t> VisitedSites(std::span<const DwellRecord> trace) {
+  std::vector<std::size_t> visited;
+  for (const DwellRecord& rec : trace) {
+    if (std::find(visited.begin(), visited.end(), rec.site_index) ==
+        visited.end())
+      visited.push_back(rec.site_index);
+  }
+  return visited;
+}
+
+}  // namespace nomloc::mobility

@@ -1,0 +1,75 @@
+// Nomadic-AP movement traces over a discrete site set, plus position-error
+// injection (paper §V-E evaluates robustness to nomadic-AP position error
+// by adding uniform random error of range ER to the reported coordinates).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geometry/vec2.h"
+#include "mobility/markov.h"
+
+namespace nomloc::mobility {
+
+/// Which movement pattern drives the nomadic AP — the paper evaluates the
+/// Markov random walk and names "impact of moving patterns" as future
+/// work; the others feed that ablation (bench/abl_mobility_pattern).
+enum class MobilityPattern {
+  kMarkovWalk,   ///< Paper's model: uniform random walk on the site graph.
+  kStayBiased,   ///< Sluggish carrier: high self-loop probability.
+  kPatrol,       ///< Deterministic cycle through the sites.
+  kStationary,   ///< Never leaves the home site (degenerates to static).
+};
+
+/// One dwell of the nomadic AP: where it truly was and where it *said* it
+/// was (reported position includes the injected position error).
+struct DwellRecord {
+  std::size_t site_index = 0;
+  geometry::Vec2 true_position;
+  geometry::Vec2 reported_position;
+};
+
+/// How reported positions deviate from the truth.
+enum class PositionErrorModel {
+  /// The paper's §V-E model: independent uniform error within a disc of
+  /// radius position_error_m at every dwell.
+  kUniformDisc,
+  /// Dead-reckoning: the carrier's self-localization (IMU/step counting)
+  /// drifts as it walks — error accumulates as a Gaussian random walk of
+  /// `odometry_drift_per_m` per metre travelled, and resets at the home
+  /// site (a known calibration point, paper §III-B's "complementary
+  /// technologies like Bluetooth, RFID").
+  kDeadReckoning,
+};
+
+struct TraceConfig {
+  MobilityPattern pattern = MobilityPattern::kMarkovWalk;
+  /// Number of dwell segments to simulate (measurements happen per dwell).
+  std::size_t dwell_count = 8;
+  PositionErrorModel error_model = PositionErrorModel::kUniformDisc;
+  /// kUniformDisc: radius of the uniform-disc error added to reported
+  /// positions [m] (the paper's ER knob, 0–3 m).
+  double position_error_m = 0.0;
+  /// kDeadReckoning: per-axis drift standard deviation per metre walked
+  /// [m/sqrt(m)-ish; Gaussian increments scaled by sqrt(distance)].
+  double odometry_drift_per_m = 0.0;
+  /// Self-loop probability for kStayBiased.
+  double stay_probability = 0.6;
+};
+
+/// Adds a uniform error within a disc of radius `radius_m` to `p`.
+geometry::Vec2 AddUniformDiscError(geometry::Vec2 p, double radius_m,
+                                   common::Rng& rng);
+
+/// Generates a nomadic trace over `sites` starting from sites[0] (the home
+/// site).  Requires a non-empty site list.
+common::Result<std::vector<DwellRecord>> GenerateTrace(
+    std::span<const geometry::Vec2> sites, const TraceConfig& config,
+    common::Rng& rng);
+
+/// Distinct site indices visited by a trace, in first-visit order — the
+/// paper's site set L that feeds the A'' constraints.
+std::vector<std::size_t> VisitedSites(std::span<const DwellRecord> trace);
+
+}  // namespace nomloc::mobility

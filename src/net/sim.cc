@@ -1,0 +1,38 @@
+#include "net/sim.h"
+
+#include "common/assert.h"
+
+namespace nomloc::net {
+
+void Simulator::ScheduleAt(double time, Callback cb) {
+  NOMLOC_REQUIRE(time >= now_);
+  NOMLOC_REQUIRE(cb != nullptr);
+  queue_.push(Event{time, next_seq_++, std::move(cb)});
+}
+
+void Simulator::ScheduleAfter(double delay, Callback cb) {
+  NOMLOC_REQUIRE(delay >= 0.0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+std::size_t Simulator::Run(double until) {
+  stopped_ = false;
+  std::size_t executed = 0;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.top().time > until) break;
+    // Move the event out before popping so the callback may schedule more.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++executed;
+  }
+  // A finite horizon advances the clock even when events remain beyond it
+  // (they simply have not happened yet).  Stop() leaves time untouched.
+  if (!stopped_ && until != std::numeric_limits<double>::infinity() &&
+      now_ < until)
+    now_ = until;
+  return executed;
+}
+
+}  // namespace nomloc::net

@@ -1,0 +1,58 @@
+// Minimal discrete-event simulator: a time-ordered event queue with
+// deterministic FIFO tie-breaking.  Drives the NomLoc deployment model
+// (net/system.h): probe transmissions, AP reports, nomadic movement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nomloc::net {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time [s].
+  double Now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `time` (>= Now()).
+  void ScheduleAt(double time, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds (>= 0).
+  void ScheduleAfter(double delay, Callback cb);
+
+  /// Processes events in time order until the queue drains, `until` is
+  /// reached, or Stop() is called.  Returns the number of events run.
+  /// Events scheduled exactly at `until` still run.
+  std::size_t Run(double until = std::numeric_limits<double>::infinity());
+
+  /// Makes Run() return after the current event finishes.
+  void Stop() noexcept { stopped_ = true; }
+
+  std::size_t PendingEvents() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< FIFO among same-time events.
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace nomloc::net

@@ -1,0 +1,241 @@
+#include "net/system.h"
+
+#include <map>
+
+#include "geometry/pathfinding.h"
+
+#include "common/assert.h"
+
+namespace nomloc::net {
+
+using geometry::Vec2;
+
+common::Result<NomLocSystem> NomLocSystem::Create(
+    const channel::IndoorEnvironment& env, std::vector<Vec2> static_aps,
+    std::vector<std::vector<Vec2>> nomadic_site_sets, SystemConfig config,
+    std::uint64_t seed) {
+  if (static_aps.size() + nomadic_site_sets.size() < 2)
+    return common::InvalidArgument("need at least two APs overall");
+  for (const auto& sites : nomadic_site_sets)
+    if (sites.empty())
+      return common::InvalidArgument("nomadic AP with no sites");
+  if (config.probe_interval_s <= 0.0)
+    return common::InvalidArgument("probe interval must be positive");
+  if (config.dwell_duration_s <= 0.0)
+    return common::InvalidArgument("dwell duration must be positive");
+  if (config.frames_per_report == 0)
+    return common::InvalidArgument("frames_per_report must be >= 1");
+  if (config.trace.dwell_count == 0)
+    return common::InvalidArgument("trace.dwell_count must be >= 1");
+  if (config.frame_loss_rate < 0.0 || config.frame_loss_rate >= 1.0)
+    return common::InvalidArgument("frame_loss_rate must be in [0, 1)");
+  if (config.report_loss_rate < 0.0 || config.report_loss_rate >= 1.0)
+    return common::InvalidArgument("report_loss_rate must be in [0, 1)");
+  if (config.walking_speed_mps < 0.0)
+    return common::InvalidArgument("walking_speed_mps must be >= 0");
+
+  NomLocSystem sys(env, std::move(static_aps), std::move(nomadic_site_sets),
+                   std::move(config), seed);
+  // Engine creation validates the area polygon / config.
+  NOMLOC_ASSIGN_OR_RETURN(
+      auto engine,
+      core::NomLocEngine::Create(env.Boundary(), sys.config_.engine));
+  sys.engine_.emplace(std::move(engine));
+  return sys;
+}
+
+NomLocSystem::NomLocSystem(const channel::IndoorEnvironment& env,
+                           std::vector<Vec2> static_aps,
+                           std::vector<std::vector<Vec2>> nomadic_site_sets,
+                           SystemConfig config, std::uint64_t seed)
+    : env_(&env),
+      static_aps_(std::move(static_aps)),
+      nomadic_site_sets_(std::move(nomadic_site_sets)),
+      config_(std::move(config)),
+      rng_(seed) {
+  csi_.emplace(*env_, config_.channel);
+}
+
+common::Result<core::LocationEstimate> NomLocSystem::LocalizeOnce(
+    Vec2 object_position) {
+  const Vec2 positions[] = {object_position};
+  NOMLOC_ASSIGN_OR_RETURN(auto estimates, LocalizeConcurrent(positions));
+  return estimates.front();
+}
+
+common::Result<std::vector<core::LocationEstimate>>
+NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
+  if (object_positions.empty())
+    return common::InvalidArgument("no objects to localize");
+  const std::size_t object_count = object_positions.size();
+  reports_.clear();
+
+  // Per-AP runtime state; ids: statics first, then nomadics.
+  struct ApRuntime {
+    int id = 0;
+    bool is_nomadic = false;
+    Vec2 true_position;
+    Vec2 reported_position;
+    std::size_t dwell_index = 0;
+    bool in_transit = false;
+    // Per-object link cache and frame buffer.
+    std::vector<std::optional<channel::LinkModel>> links;
+    std::vector<std::vector<dsp::CsiFrame>> buffers;
+  };
+  std::vector<ApRuntime> aps;
+  int next_id = 0;
+  auto init_per_object = [&](ApRuntime& ap) {
+    ap.links.resize(object_count);
+    ap.buffers.resize(object_count);
+  };
+  for (const Vec2 p : static_aps_) {
+    ApRuntime ap;
+    ap.id = next_id++;
+    ap.true_position = p;
+    ap.reported_position = p;
+    init_per_object(ap);
+    aps.push_back(std::move(ap));
+  }
+
+  // One mobility trace per nomadic AP for this epoch.
+  std::vector<std::vector<mobility::DwellRecord>> traces;
+  for (const auto& sites : nomadic_site_sets_) {
+    NOMLOC_ASSIGN_OR_RETURN(auto trace,
+                            mobility::GenerateTrace(sites, config_.trace, rng_));
+    ApRuntime ap;
+    ap.id = next_id++;
+    ap.is_nomadic = true;
+    ap.true_position = trace.front().true_position;
+    ap.reported_position = trace.front().reported_position;
+    init_per_object(ap);
+    aps.push_back(std::move(ap));
+    traces.push_back(std::move(trace));
+  }
+
+  Simulator sim;
+  const double epoch_s =
+      double(config_.trace.dwell_count) * config_.dwell_duration_s;
+
+  auto flush_object = [&](ApRuntime& ap, std::size_t object) {
+    auto& buffer = ap.buffers[object];
+    if (buffer.empty()) return;
+    if (rng_.Bernoulli(config_.report_loss_rate)) {
+      // Backhaul loss: the whole batch vanishes.
+      buffer.clear();
+      ++stats_.reports_lost;
+      return;
+    }
+    CsiReport report;
+    report.ap_id = ap.id;
+    report.object_id = object;
+    report.is_nomadic = ap.is_nomadic;
+    report.dwell_index = ap.dwell_index;
+    report.reported_position = ap.reported_position;
+    report.frames = std::move(buffer);
+    report.timestamp_s = sim.Now();
+    buffer.clear();
+    reports_.push_back(std::move(report));
+    ++stats_.reports_received;
+  };
+  auto flush = [&](ApRuntime& ap) {
+    for (std::size_t object = 0; object < object_count; ++object)
+      flush_object(ap, object);
+  };
+
+  // Obstacle shapes for route planning (only needed when walking).
+  std::vector<geometry::Polygon> obstacle_shapes;
+  if (config_.walking_speed_mps > 0.0)
+    for (const auto& obstacle : env_->Obstacles())
+      obstacle_shapes.push_back(obstacle.shape);
+
+  // Nomadic movement events (scheduled before the probe chain so a move at
+  // a dwell boundary precedes same-instant probes).
+  for (std::size_t n = 0; n < traces.size(); ++n) {
+    ApRuntime& ap = aps[static_aps_.size() + n];
+    for (std::size_t d = 1; d < traces[n].size(); ++d) {
+      const mobility::DwellRecord rec = traces[n][d];
+      sim.ScheduleAt(double(d) * config_.dwell_duration_s, [&, rec, d] {
+        flush(ap);
+        auto arrive = [&, rec, d] {
+          ap.true_position = rec.true_position;
+          ap.reported_position = rec.reported_position;
+          ap.dwell_index = d;
+          ap.in_transit = false;
+          for (auto& link : ap.links)
+            link.reset();  // Channel changed: retrace on next probe.
+          ++stats_.nomadic_moves;
+        };
+        if (config_.walking_speed_mps <= 0.0 ||
+            geometry::AlmostEqual(ap.true_position, rec.true_position,
+                                  1e-9)) {
+          arrive();
+          return;
+        }
+        // Walk the shortest route; no frames while in transit.
+        double distance = Distance(ap.true_position, rec.true_position);
+        auto route = geometry::ShortestPath(env_->Boundary(), obstacle_shapes,
+                                            ap.true_position,
+                                            rec.true_position);
+        if (route.ok()) distance = route->length_m;
+        ap.in_transit = true;
+        sim.ScheduleAfter(distance / config_.walking_speed_mps, arrive);
+      });
+    }
+  }
+
+  // Probe chain: the objects transmit round-robin (CSMA in miniature);
+  // every AP captures one CSI frame per probe into the transmitting
+  // object's buffer.
+  std::size_t probe_slot = 0;
+  std::function<void()> probe = [&] {
+    ++stats_.probes_sent;
+    const std::size_t object = probe_slot++ % object_count;
+    for (ApRuntime& ap : aps) {
+      if (ap.in_transit) continue;  // Carrier is walking: radio stowed.
+      if (rng_.Bernoulli(config_.frame_loss_rate)) {
+        ++stats_.frames_lost;
+        continue;
+      }
+      if (!ap.links[object])
+        ap.links[object] =
+            csi_->MakeLink(object_positions[object], ap.true_position);
+      ap.buffers[object].push_back(ap.links[object]->Sample(rng_));
+      ++stats_.frames_captured;
+      if (ap.buffers[object].size() >= config_.frames_per_report)
+        flush_object(ap, object);
+    }
+    const double next = sim.Now() + config_.probe_interval_s;
+    if (next < epoch_s) sim.ScheduleAt(next, probe);
+  };
+  sim.ScheduleAt(0.0, probe);
+
+  sim.Run(epoch_s);
+  for (ApRuntime& ap : aps) flush(ap);
+
+  // Server side: per object, group reports into engine observations.
+  // Static APs merge all their frames; nomadic APs contribute one
+  // observation per dwell.
+  std::vector<core::LocationEstimate> estimates;
+  estimates.reserve(object_count);
+  for (std::size_t object = 0; object < object_count; ++object) {
+    std::map<std::pair<int, std::size_t>, core::ApObservation> grouped;
+    for (CsiReport& report : reports_) {
+      if (report.object_id != object) continue;
+      const std::size_t dwell = report.is_nomadic ? report.dwell_index : 0;
+      auto& obs = grouped[{report.ap_id, dwell}];
+      obs.reported_position = report.reported_position;
+      obs.is_nomadic_site = report.is_nomadic;
+      obs.frames.insert(obs.frames.end(),
+                        std::make_move_iterator(report.frames.begin()),
+                        std::make_move_iterator(report.frames.end()));
+    }
+    std::vector<core::ApObservation> observations;
+    observations.reserve(grouped.size());
+    for (auto& [key, obs] : grouped) observations.push_back(std::move(obs));
+    NOMLOC_ASSIGN_OR_RETURN(auto estimate, engine_->Locate(observations));
+    estimates.push_back(std::move(estimate));
+  }
+  return estimates;
+}
+
+}  // namespace nomloc::net

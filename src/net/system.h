@@ -1,0 +1,120 @@
+// End-to-end NomLoc deployment model over the discrete-event simulator —
+// the three components of the paper's Fig. 2 as communicating nodes:
+//
+//   * ObjectNode   — transmits probe packets "in millisecond" cadence,
+//   * ApNode       — captures one CSI frame per received probe and ships
+//                    batched CsiReports to the server; nomadic APs also
+//                    move between dwell sites under a mobility trace and
+//                    report their (possibly erroneous) coordinates,
+//   * Server       — accumulates reports for an epoch, then runs the
+//                    NomLocEngine pipeline.
+//
+// This module is the system-level integration layer; benches that only
+// need the algorithm use eval/ which samples batches directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channel/csi_model.h"
+#include "core/nomloc.h"
+#include "mobility/trace.h"
+#include "net/sim.h"
+
+namespace nomloc::net {
+
+/// A batch of CSI measurements one AP ships to the localization server.
+struct CsiReport {
+  int ap_id = 0;
+  /// Which object's probes this batch was captured from.
+  std::size_t object_id = 0;
+  bool is_nomadic = false;
+  std::size_t dwell_index = 0;          ///< Nomadic: which dwell segment.
+  geometry::Vec2 reported_position;     ///< AP's self-reported coordinates.
+  std::vector<dsp::CsiFrame> frames;
+  double timestamp_s = 0.0;
+};
+
+struct SystemConfig {
+  /// Probe transmission period [s]; the paper sends PINGs "in millisecond".
+  double probe_interval_s = 1e-3;
+  /// Frames an AP accumulates before shipping a report.
+  std::size_t frames_per_report = 64;
+  /// How long a nomadic AP dwells at each site [s].
+  double dwell_duration_s = 0.25;
+  /// Probability an AP fails to capture CSI for a probe (decode failure,
+  /// fading outage).  Frames are simply missing from the batch.
+  double frame_loss_rate = 0.0;
+  /// Probability a CsiReport is lost on the backhaul to the server.
+  double report_loss_rate = 0.0;
+  /// Walking speed of nomadic-AP carriers [m/s].  0 = instantaneous moves
+  /// (the benches' model).  When positive, each move takes the shortest
+  /// walkable route (geometry/pathfinding.h) at this speed, and the AP
+  /// captures no frames while in transit.
+  double walking_speed_mps = 0.0;
+  /// Nomadic movement model (dwell_count sets the epoch length).
+  mobility::TraceConfig trace;
+  channel::ChannelConfig channel;
+  core::NomLocConfig engine;
+};
+
+struct SystemStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t frames_captured = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t reports_received = 0;
+  std::uint64_t reports_lost = 0;
+  std::uint64_t nomadic_moves = 0;
+};
+
+/// One full deployment: environment + static APs + nomadic APs + object.
+class NomLocSystem {
+ public:
+  /// `env` must outlive the system.  Each entry of `nomadic_site_sets` is
+  /// the discrete site list of one nomadic AP (front() is its home site).
+  static common::Result<NomLocSystem> Create(
+      const channel::IndoorEnvironment& env,
+      std::vector<geometry::Vec2> static_aps,
+      std::vector<std::vector<geometry::Vec2>> nomadic_site_sets,
+      SystemConfig config, std::uint64_t seed);
+
+  /// Runs one measurement epoch with the object at `object_position` and
+  /// returns the server's location estimate.  Each call is an independent
+  /// epoch (fresh simulator time, fresh nomadic trace) but consumes the
+  /// system's RNG stream, so repeated calls give independent trials.
+  common::Result<core::LocationEstimate> LocalizeOnce(
+      geometry::Vec2 object_position);
+
+  /// Localizes several objects *concurrently in one epoch*: their probe
+  /// streams interleave (each object probes at the configured interval,
+  /// staggered by one probe slot), every AP keeps a per-object frame
+  /// buffer, and the server runs the engine once per object on the shared
+  /// nomadic trace.  Returns one estimate per object, in input order.
+  common::Result<std::vector<core::LocationEstimate>> LocalizeConcurrent(
+      std::span<const geometry::Vec2> object_positions);
+
+  /// Reports collected during the last epoch (diagnostics).
+  std::span<const CsiReport> LastReports() const noexcept { return reports_; }
+  const SystemStats& Stats() const noexcept { return stats_; }
+  const core::NomLocEngine& Engine() const noexcept { return *engine_; }
+
+ private:
+  NomLocSystem(const channel::IndoorEnvironment& env,
+               std::vector<geometry::Vec2> static_aps,
+               std::vector<std::vector<geometry::Vec2>> nomadic_site_sets,
+               SystemConfig config, std::uint64_t seed);
+
+  const channel::IndoorEnvironment* env_;
+  std::vector<geometry::Vec2> static_aps_;
+  std::vector<std::vector<geometry::Vec2>> nomadic_site_sets_;
+  SystemConfig config_;
+  common::Rng rng_;
+  std::optional<channel::CsiSimulator> csi_;
+  std::optional<core::NomLocEngine> engine_;
+  std::vector<CsiReport> reports_;
+  SystemStats stats_;
+};
+
+}  // namespace nomloc::net

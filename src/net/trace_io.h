@@ -1,0 +1,48 @@
+// Measurement-trace record & replay.
+//
+// Real CSI research works from recorded datasets: capture once, rerun
+// algorithm variants offline.  This module serialises localization epochs
+// — the anchors (position + measured PDP) plus ground truth — to JSON, and
+// replays them through any NomLocEngine configuration without touching the
+// channel simulator again.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/nomloc.h"
+
+namespace nomloc::net {
+
+/// One recorded localization epoch.
+struct EpochRecord {
+  geometry::Vec2 ground_truth;
+  std::vector<localization::Anchor> anchors;
+};
+
+/// A measurement campaign: many epochs plus free-form metadata.
+struct MeasurementTrace {
+  std::string description;
+  std::vector<EpochRecord> epochs;
+};
+
+/// Serialises a trace (schema version tagged for forward compatibility).
+common::Json TraceToJson(const MeasurementTrace& trace);
+
+/// Parses a trace; fails with kInvalidArgument on schema mismatch.
+common::Result<MeasurementTrace> TraceFromJson(const common::Json& json);
+
+/// Replay statistics: per-epoch errors of the engine on the recorded data.
+struct ReplayResult {
+  std::vector<double> errors_m;
+  double mean_error_m = 0.0;
+};
+
+/// Runs every recorded epoch through `engine` and scores against ground
+/// truth.  Requires a non-empty trace.
+common::Result<ReplayResult> ReplayTrace(const MeasurementTrace& trace,
+                                         const core::NomLocEngine& engine);
+
+}  // namespace nomloc::net

@@ -1,0 +1,148 @@
+#include "channel/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::channel {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+IndoorEnvironment EmptyRoom() {
+  auto env = IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8));
+  return std::move(env).value();
+}
+
+IndoorEnvironment RoomWithCabinet() {
+  std::vector<Obstacle> obstacles;
+  obstacles.push_back(
+      {Polygon::Rectangle(4.0, 3.0, 6.0, 5.0), materials::Metal()});
+  auto env = IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8), {},
+                                       std::move(obstacles));
+  return std::move(env).value();
+}
+
+TEST(Materials, HaveSensibleOrdering) {
+  // Metal blocks hardest, glass/drywall weakest; metal reflects best.
+  EXPECT_GT(materials::Metal().transmission_loss_db,
+            materials::Concrete().transmission_loss_db);
+  EXPECT_GT(materials::Concrete().transmission_loss_db,
+            materials::Glass().transmission_loss_db);
+  EXPECT_LT(materials::Metal().reflection_loss_db,
+            materials::Drywall().reflection_loss_db);
+}
+
+TEST(Environment, BoundaryEdgesBecomeWalls) {
+  const IndoorEnvironment env = EmptyRoom();
+  EXPECT_EQ(env.Walls().size(), 4u);
+  EXPECT_TRUE(env.Obstacles().empty());
+}
+
+TEST(Environment, ObstacleEdgesAddWalls) {
+  const IndoorEnvironment env = RoomWithCabinet();
+  EXPECT_EQ(env.Walls().size(), 8u);  // 4 boundary + 4 obstacle edges.
+  EXPECT_EQ(env.Obstacles().size(), 1u);
+}
+
+TEST(Environment, InteriorWallValidation) {
+  Wall bad{{{-5.0, 0.0}, {1.0, 1.0}}, materials::Drywall()};
+  EXPECT_FALSE(IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8),
+                                         {bad})
+                   .ok());
+  Wall zero{{{1.0, 1.0}, {1.0, 1.0}}, materials::Drywall()};
+  EXPECT_FALSE(IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8),
+                                         {zero})
+                   .ok());
+}
+
+TEST(Environment, ObstacleOutsideBoundaryRejected) {
+  std::vector<Obstacle> obstacles;
+  obstacles.push_back(
+      {Polygon::Rectangle(20.0, 20.0, 21.0, 21.0), materials::Wood()});
+  EXPECT_FALSE(IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8), {},
+                                         std::move(obstacles))
+                   .ok());
+}
+
+TEST(Environment, EmptyRoomIsAllLos) {
+  const IndoorEnvironment env = EmptyRoom();
+  EXPECT_TRUE(env.HasLineOfSight({1, 1}, {9, 7}));
+  EXPECT_TRUE(env.HasLineOfSight({1, 7}, {9, 1}));
+  EXPECT_DOUBLE_EQ(env.PenetrationLossDb({1, 1}, {9, 7}), 0.0);
+}
+
+TEST(Environment, ObstacleBlocksLos) {
+  const IndoorEnvironment env = RoomWithCabinet();
+  // Straight through the cabinet.
+  EXPECT_FALSE(env.HasLineOfSight({1.0, 4.0}, {9.0, 4.0}));
+  // Around it.
+  EXPECT_TRUE(env.HasLineOfSight({1.0, 1.0}, {9.0, 1.0}));
+  EXPECT_TRUE(env.HasLineOfSight({1.0, 7.0}, {9.0, 7.0}));
+}
+
+TEST(Environment, PenetrationLossCountsCrossedEdges) {
+  const IndoorEnvironment env = RoomWithCabinet();
+  const double metal = materials::Metal().transmission_loss_db;
+  // Crossing the cabinet enters and exits: two edges.
+  EXPECT_DOUBLE_EQ(env.PenetrationLossDb({1.0, 4.0}, {9.0, 4.0}), 2.0 * metal);
+  // Ending inside the cabinet: one edge.
+  EXPECT_DOUBLE_EQ(env.PenetrationLossDb({1.0, 4.0}, {5.0, 4.0}), metal);
+  // No crossing.
+  EXPECT_DOUBLE_EQ(env.PenetrationLossDb({1.0, 1.0}, {9.0, 1.0}), 0.0);
+}
+
+TEST(Environment, InteriorWallBlocksAndAttenuates) {
+  Wall wall{{{5.0, 0.0}, {5.0, 6.0}}, materials::Drywall()};
+  auto env = IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8),
+                                       {wall});
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(env->HasLineOfSight({2.0, 3.0}, {8.0, 3.0}));
+  EXPECT_TRUE(env->HasLineOfSight({2.0, 7.0}, {8.0, 7.0}));  // Above wall.
+  EXPECT_DOUBLE_EQ(env->PenetrationLossDb({2.0, 3.0}, {8.0, 3.0}),
+                   materials::Drywall().transmission_loss_db);
+}
+
+TEST(Environment, BoundaryDoesNotBlockInteriorLinks) {
+  const IndoorEnvironment env = EmptyRoom();
+  // A link hugging the boundary still has LOS.
+  EXPECT_TRUE(env.HasLineOfSight({0.0, 0.0}, {10.0, 8.0}));
+}
+
+TEST(Environment, IsFreeSpace) {
+  const IndoorEnvironment env = RoomWithCabinet();
+  EXPECT_TRUE(env.IsFreeSpace({1.0, 1.0}));
+  EXPECT_FALSE(env.IsFreeSpace({5.0, 4.0}));   // Inside the cabinet.
+  EXPECT_FALSE(env.IsFreeSpace({-1.0, 1.0}));  // Outside the room.
+}
+
+TEST(Environment, PlaceScatterersRespectsGeometry) {
+  IndoorEnvironment env = RoomWithCabinet();
+  common::Rng rng(11);
+  env.PlaceScatterers(50, rng);
+  EXPECT_EQ(env.Scatterers().size(), 50u);
+  for (const Vec2 s : env.Scatterers()) EXPECT_TRUE(env.IsFreeSpace(s));
+}
+
+TEST(Environment, PlaceScatterersIsDeterministic) {
+  IndoorEnvironment a = EmptyRoom();
+  IndoorEnvironment b = EmptyRoom();
+  common::Rng r1(7), r2(7);
+  a.PlaceScatterers(10, r1);
+  b.PlaceScatterers(10, r2);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(a.Scatterers()[i], b.Scatterers()[i]);
+}
+
+TEST(Environment, ReplacingScatterersClearsOld) {
+  IndoorEnvironment env = EmptyRoom();
+  common::Rng rng(7);
+  env.PlaceScatterers(10, rng);
+  env.PlaceScatterers(3, rng);
+  EXPECT_EQ(env.Scatterers().size(), 3u);
+}
+
+}  // namespace
+}  // namespace nomloc::channel

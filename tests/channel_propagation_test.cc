@@ -1,0 +1,224 @@
+#include "channel/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::channel {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+IndoorEnvironment EmptyRoom() {
+  auto env = IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8));
+  return std::move(env).value();
+}
+
+TEST(FreeSpacePathLoss, GrowsWithDistanceAt20dBPerDecade) {
+  const double f = common::kDefaultCarrierHz;
+  const double l1 = FreeSpacePathLossDb(1.0, f);
+  const double l10 = FreeSpacePathLossDb(10.0, f);
+  EXPECT_NEAR(l10 - l1, 20.0, 1e-9);
+}
+
+TEST(FreeSpacePathLoss, KnownValueAt2_4GHz) {
+  // FSPL at 1 m, 2.437 GHz ~ 40.2 dB.
+  EXPECT_NEAR(FreeSpacePathLossDb(1.0, 2.437e9), 40.2, 0.3);
+}
+
+TEST(FreeSpacePathLoss, ClampsNearField) {
+  const double f = common::kDefaultCarrierHz;
+  EXPECT_DOUBLE_EQ(FreeSpacePathLossDb(0.0, f, 0.1),
+                   FreeSpacePathLossDb(0.1, f, 0.1));
+  EXPECT_DOUBLE_EQ(FreeSpacePathLossDb(0.05, f, 0.1),
+                   FreeSpacePathLossDb(0.1, f, 0.1));
+}
+
+TEST(TracePaths, AlwaysIncludesDirectPathFirst) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  const auto paths = TracePaths(env, {2, 2}, {8, 6}, cfg);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_TRUE(paths.front().is_direct);
+  EXPECT_EQ(paths.front().bounces, 0);
+  EXPECT_NEAR(paths.front().length_m, std::hypot(6.0, 4.0), 1e-9);
+}
+
+TEST(TracePaths, SortedByIncreasingDelay) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  const auto paths = TracePaths(env, {2, 2}, {8, 6}, cfg);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i].length_m, paths[i - 1].length_m);
+}
+
+TEST(TracePaths, DirectOnlyWhenOrderZeroNoScatterers) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  cfg.max_reflection_order = 0;
+  cfg.include_scatterers = false;
+  const auto paths = TracePaths(env, {2, 2}, {8, 6}, cfg);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(TracePaths, FourWallsGiveFourFirstOrderReflections) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  cfg.max_reflection_order = 1;
+  cfg.include_scatterers = false;
+  cfg.relative_cutoff_db = 200.0;  // Keep everything.
+  const auto paths = TracePaths(env, {3, 3}, {7, 5}, cfg);
+  std::size_t single_bounce = 0;
+  for (const auto& p : paths)
+    if (p.bounces == 1) ++single_bounce;
+  EXPECT_EQ(single_bounce, 4u);
+}
+
+TEST(TracePaths, ReflectionGeometryMatchesImageMethod) {
+  // TX and RX on a horizontal line; floor reflection (y = 0 wall) length
+  // equals the image-method distance |tx_mirrored - rx|.
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  cfg.max_reflection_order = 1;
+  cfg.include_scatterers = false;
+  cfg.relative_cutoff_db = 200.0;
+  const Vec2 tx{2.0, 2.0}, rx{8.0, 2.0};
+  const auto paths = TracePaths(env, tx, rx, cfg);
+  const double expected = Distance(Vec2{2.0, -2.0}, rx);  // Mirror across y=0.
+  bool found = false;
+  for (const auto& p : paths)
+    if (p.bounces == 1 && std::abs(p.length_m - expected) < 1e-9) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(TracePaths, SecondOrderAddsPaths) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  cfg.include_scatterers = false;
+  cfg.relative_cutoff_db = 200.0;
+  cfg.max_reflection_order = 1;
+  const auto order1 = TracePaths(env, {3, 3}, {7, 5}, cfg);
+  cfg.max_reflection_order = 2;
+  const auto order2 = TracePaths(env, {3, 3}, {7, 5}, cfg);
+  EXPECT_GT(order2.size(), order1.size());
+  int double_bounce = 0;
+  for (const auto& p : order2)
+    if (p.bounces == 2) ++double_bounce;
+  EXPECT_GT(double_bounce, 0);
+}
+
+TEST(TracePaths, ReflectedPathsAreLongerAndWeakerThanDirect) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  cfg.include_scatterers = false;
+  cfg.relative_cutoff_db = 200.0;
+  const auto paths = TracePaths(env, {3, 3}, {7, 5}, cfg);
+  const auto& direct = paths.front();
+  for (const auto& p : paths) {
+    if (p.is_direct) continue;
+    EXPECT_GT(p.length_m, direct.length_m);
+    EXPECT_GT(p.loss_db, direct.loss_db);
+  }
+}
+
+TEST(TracePaths, BlockedDirectPathPaysPenetrationLoss) {
+  std::vector<Obstacle> obstacles;
+  obstacles.push_back(
+      {Polygon::Rectangle(4.0, 3.0, 6.0, 5.0), materials::Metal()});
+  auto env = IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8), {},
+                                       std::move(obstacles));
+  ASSERT_TRUE(env.ok());
+  PropagationConfig cfg;
+  cfg.include_scatterers = false;
+  cfg.max_reflection_order = 0;
+  cfg.relative_cutoff_db = 500.0;
+  const auto blocked = TracePaths(*env, {1, 4}, {9, 4}, cfg);
+  const auto clear = TracePaths(*env, {1, 1}, {9, 1}, cfg);
+  const double extra = blocked.front().loss_db - clear.front().loss_db;
+  // Two metal edges crossed minus small FSPL difference.
+  EXPECT_NEAR(extra,
+              2.0 * materials::Metal().transmission_loss_db, 1.0);
+}
+
+TEST(TracePaths, NlosStrongestPathCanBeAReflection) {
+  // With the direct path through metal, some reflected path around the
+  // cabinet should be stronger.
+  std::vector<Obstacle> obstacles;
+  obstacles.push_back(
+      {Polygon::Rectangle(4.0, 3.0, 6.0, 5.0), materials::Metal()});
+  auto env = IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8), {},
+                                       std::move(obstacles));
+  ASSERT_TRUE(env.ok());
+  PropagationConfig cfg;
+  cfg.include_scatterers = false;
+  cfg.max_reflection_order = 1;
+  cfg.relative_cutoff_db = 200.0;
+  const auto paths = TracePaths(*env, {1, 4}, {9, 4}, cfg);
+  const auto strongest = std::min_element(
+      paths.begin(), paths.end(),
+      [](const auto& a, const auto& b) { return a.loss_db < b.loss_db; });
+  EXPECT_FALSE(strongest->is_direct);
+}
+
+TEST(TracePaths, ScattererPathsIncluded) {
+  IndoorEnvironment env = EmptyRoom();
+  common::Rng rng(3);
+  env.PlaceScatterers(5, rng);
+  PropagationConfig cfg;
+  cfg.max_reflection_order = 0;
+  cfg.relative_cutoff_db = 500.0;
+  const auto paths = TracePaths(env, {2, 2}, {8, 6}, cfg);
+  std::size_t scatter = 0;
+  for (const auto& p : paths)
+    if (p.is_scatter) ++scatter;
+  EXPECT_EQ(scatter, 5u);
+}
+
+TEST(TracePaths, CutoffDropsWeakPaths) {
+  IndoorEnvironment env = EmptyRoom();
+  common::Rng rng(3);
+  env.PlaceScatterers(10, rng);
+  PropagationConfig tight;
+  tight.relative_cutoff_db = 10.0;  // Scatter paths (18 dB extra) dropped.
+  const auto few = TracePaths(env, {2, 2}, {8, 6}, tight);
+  PropagationConfig loose;
+  loose.relative_cutoff_db = 200.0;
+  const auto many = TracePaths(env, {2, 2}, {8, 6}, loose);
+  EXPECT_LT(few.size(), many.size());
+}
+
+TEST(TracePaths, DelayConsistentWithLength) {
+  const IndoorEnvironment env = EmptyRoom();
+  const auto paths = TracePaths(env, {1, 1}, {9, 7}, {});
+  for (const auto& p : paths)
+    EXPECT_NEAR(p.DelayS() * common::kSpeedOfLight, p.length_m, 1e-9);
+}
+
+TEST(TracePaths, NegativeOrderThrows) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  cfg.max_reflection_order = -1;
+  EXPECT_THROW(TracePaths(env, {1, 1}, {2, 2}, cfg), std::logic_error);
+}
+
+// Property: the direct path loss is monotone in distance in an empty room.
+TEST(TracePathsProperty, DirectLossMonotoneInDistance) {
+  const IndoorEnvironment env = EmptyRoom();
+  PropagationConfig cfg;
+  cfg.include_scatterers = false;
+  cfg.max_reflection_order = 0;
+  double prev_loss = -1.0;
+  for (double d = 1.0; d <= 8.0; d += 0.5) {
+    const auto paths = TracePaths(env, {1.0, 4.0}, {1.0 + d, 4.0}, cfg);
+    EXPECT_GT(paths.front().loss_db, prev_loss);
+    prev_loss = paths.front().loss_db;
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::channel

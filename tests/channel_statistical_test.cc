@@ -1,0 +1,136 @@
+#include "channel/statistical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "channel/csi_model.h"
+#include "common/stats.h"
+#include "dsp/cir.h"
+
+namespace nomloc::channel {
+namespace {
+
+TEST(SalehValenzuela, ProducesDirectPlusClusterRays) {
+  common::Rng rng(1);
+  SalehValenzuelaConfig cfg;
+  auto paths = SampleSalehValenzuela(8.0, cfg, rng);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 1 + cfg.clusters * cfg.rays_per_cluster);
+  EXPECT_TRUE(paths->front().is_direct);
+  EXPECT_NEAR(paths->front().length_m, 8.0, 1e-12);
+}
+
+TEST(SalehValenzuela, PathsSortedAndDelayed) {
+  common::Rng rng(2);
+  auto paths = SampleSalehValenzuela(10.0, {}, rng);
+  ASSERT_TRUE(paths.ok());
+  for (std::size_t i = 1; i < paths->size(); ++i) {
+    EXPECT_GE((*paths)[i].length_m, (*paths)[i - 1].length_m);
+    EXPECT_GE((*paths)[i].length_m, 10.0);
+  }
+}
+
+TEST(SalehValenzuela, Validation) {
+  common::Rng rng(3);
+  EXPECT_FALSE(SampleSalehValenzuela(0.0, {}, rng).ok());
+  SalehValenzuelaConfig bad;
+  bad.clusters = 0;
+  EXPECT_FALSE(SampleSalehValenzuela(5.0, bad, rng).ok());
+  bad = SalehValenzuelaConfig{};
+  bad.ray_decay_ns = 0.0;
+  EXPECT_FALSE(SampleSalehValenzuela(5.0, bad, rng).ok());
+}
+
+TEST(SalehValenzuela, NlosAttenuatesDirectPath) {
+  common::Rng r1(4), r2(4);
+  SalehValenzuelaConfig los;
+  SalehValenzuelaConfig nlos = los;
+  nlos.line_of_sight = false;
+  auto p_los = SampleSalehValenzuela(8.0, los, r1);
+  auto p_nlos = SampleSalehValenzuela(8.0, nlos, r2);
+  ASSERT_TRUE(p_los.ok());
+  ASSERT_TRUE(p_nlos.ok());
+  EXPECT_NEAR(p_nlos->front().loss_db - p_los->front().loss_db,
+              nlos.nlos_extra_loss_db, 1e-12);
+  // Multipath tail identical (same RNG stream).
+  EXPECT_NEAR((*p_nlos)[1].loss_db, (*p_los)[1].loss_db, 1e-12);
+}
+
+TEST(SalehValenzuela, LongerDecayIncreasesDelaySpread) {
+  SalehValenzuelaConfig fast;
+  fast.cluster_decay_ns = 10.0;
+  fast.ray_decay_ns = 3.0;
+  SalehValenzuelaConfig slow;
+  slow.cluster_decay_ns = 80.0;
+  slow.ray_decay_ns = 25.0;
+  common::RunningStats spread_fast, spread_slow;
+  common::Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    auto pf = SampleSalehValenzuela(8.0, fast, rng);
+    auto ps = SampleSalehValenzuela(8.0, slow, rng);
+    ASSERT_TRUE(pf.ok());
+    ASSERT_TRUE(ps.ok());
+    spread_fast.Add(RmsDelaySpread(*pf));
+    spread_slow.Add(RmsDelaySpread(*ps));
+  }
+  EXPECT_GT(spread_slow.Mean(), 1.5 * spread_fast.Mean());
+}
+
+TEST(RmsDelaySpread, SinglePathIsZero) {
+  std::vector<PropagationPath> one(1);
+  one[0].length_m = 5.0;
+  one[0].loss_db = 60.0;
+  EXPECT_NEAR(RmsDelaySpread(one), 0.0, 1e-15);
+}
+
+TEST(RmsDelaySpread, TwoEqualPathsHalfSeparation) {
+  std::vector<PropagationPath> two(2);
+  two[0].length_m = 0.0;
+  two[0].loss_db = 60.0;
+  two[1].length_m = common::kSpeedOfLight * 1e-6;  // Exactly 1 us later.
+  two[1].loss_db = 60.0;
+  EXPECT_NEAR(RmsDelaySpread(two), 0.5e-6, 1e-12);
+}
+
+// The statistical model feeds the same LinkModel/CSI pipeline as the ray
+// tracer — the PDP stage must behave identically: monotone in distance,
+// lower under NLOS.
+TEST(SalehValenzuelaIntegration, PdpMonotoneInDistance) {
+  ChannelConfig ccfg;
+  common::Rng rng(7);
+  double prev = 1e18;
+  for (double d : {3.0, 6.0, 12.0, 24.0}) {
+    common::RunningStats pdp;
+    for (int i = 0; i < 20; ++i) {
+      auto paths = SampleSalehValenzuela(d, {}, rng);
+      ASSERT_TRUE(paths.ok());
+      const LinkModel link(std::move(paths).value(), ccfg);
+      const auto frames = link.SampleBatch(20, rng);
+      pdp.Add(dsp::PdpOfBatch(frames, ccfg.bandwidth_hz));
+    }
+    EXPECT_LT(pdp.Mean(), prev);
+    prev = pdp.Mean();
+  }
+}
+
+TEST(SalehValenzuelaIntegration, NlosLowersPdp) {
+  ChannelConfig ccfg;
+  common::Rng rng(9);
+  auto mean_pdp = [&](bool los) {
+    SalehValenzuelaConfig cfg;
+    cfg.line_of_sight = los;
+    common::RunningStats stats;
+    for (int i = 0; i < 30; ++i) {
+      auto paths = SampleSalehValenzuela(8.0, cfg, rng);
+      const LinkModel link(std::move(paths).value(), ccfg);
+      stats.Add(dsp::PdpOfBatch(link.SampleBatch(15, rng),
+                                ccfg.bandwidth_hz));
+    }
+    return stats.Mean();
+  };
+  EXPECT_GT(mean_pdp(true), 2.0 * mean_pdp(false));
+}
+
+}  // namespace
+}  // namespace nomloc::channel

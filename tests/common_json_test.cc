@@ -1,0 +1,146 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nomloc::common {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(2.5).Dump(), "2.5");
+  EXPECT_EQ(Json(-7).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(Json, TypedAccessorsEnforceTypes) {
+  Json j(3.0);
+  EXPECT_DOUBLE_EQ(j.AsDouble(), 3.0);
+  EXPECT_THROW(j.AsBool(), std::logic_error);
+  EXPECT_THROW(j.AsString(), std::logic_error);
+  EXPECT_THROW(j.AsArray(), std::logic_error);
+  EXPECT_THROW(j.AsObject(), std::logic_error);
+}
+
+TEST(Json, ArraysAndObjects) {
+  Json j(JsonObject{{"a", Json(1)}, {"b", Json(JsonArray{Json(2), Json(3)})}});
+  EXPECT_EQ(j.Dump(), "{\"a\":1,\"b\":[2,3]}");
+}
+
+TEST(Json, ObjectKeysSortedDeterministically) {
+  Json j(JsonObject{{"z", Json(1)}, {"a", Json(2)}, {"m", Json(3)}});
+  EXPECT_EQ(j.Dump(), "{\"a\":2,\"m\":3,\"z\":1}");
+}
+
+TEST(Json, StringEscaping) {
+  Json j(std::string("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Json, NonFiniteNumberRejectedAtDump) {
+  Json j(std::nan(""));
+  EXPECT_THROW(j.Dump(), std::logic_error);
+}
+
+TEST(Json, GetHelpers) {
+  Json j(JsonObject{{"num", Json(2.5)},
+                    {"str", Json("x")},
+                    {"flag", Json(true)}});
+  EXPECT_DOUBLE_EQ(*j.GetDouble("num"), 2.5);
+  EXPECT_EQ(*j.GetString("str"), "x");
+  EXPECT_TRUE(*j.GetBool("flag"));
+  EXPECT_EQ(j.GetDouble("str").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(j.GetDouble("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Json(1).Get("x").status().code(), StatusCode::kNotFound);
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_FALSE(Json::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("3.25")->AsDouble(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::Parse("-1e3")->AsDouble(), -1000.0);
+  EXPECT_EQ(Json::Parse("\"abc\"")->AsString(), "abc");
+}
+
+TEST(JsonParse, NestedStructures) {
+  auto j = Json::Parse(R"( { "a" : [1, 2, {"b": null}], "c": "d" } )");
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  // Keep the Result alive while referencing into it.
+  auto a = j->Get("a");
+  ASSERT_TRUE(a.ok());
+  const auto& arr = a->AsArray();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[2].Get("b")->is_null());
+  EXPECT_EQ(*j->GetString("c"), "d");
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto j = Json::Parse(R"("a\"b\\c\ndAé")");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->AsString(), "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInputs) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "[1] garbage", "{'single':1}", "\"bad\\q\"", "nan", "[1 2]"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonParse, RejectsSurrogateEscapes) {
+  EXPECT_FALSE(Json::Parse("\"\\ud800\"").ok());
+}
+
+TEST(JsonRoundTrip, DumpParseIsIdentity) {
+  Json original(JsonObject{
+      {"name", Json("lab")},
+      {"values", Json(JsonArray{Json(1.5), Json(-2.25), Json(1e-9)})},
+      {"nested", Json(JsonObject{{"ok", Json(true)}, {"n", Json(nullptr)}})},
+      {"empty_arr", Json(JsonArray{})},
+      {"empty_obj", Json(JsonObject{})},
+  });
+  auto parsed = Json::Parse(original.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+  // Pretty output parses back too.
+  auto parsed_pretty = Json::Parse(original.DumpPretty());
+  ASSERT_TRUE(parsed_pretty.ok());
+  EXPECT_EQ(*parsed_pretty, original);
+}
+
+TEST(JsonRoundTrip, DoublePrecisionPreserved) {
+  for (double v : {1.0 / 3.0, 1e-17, 123456.789012345, -2.718281828459045}) {
+    auto parsed = Json::Parse(Json(v).Dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_DOUBLE_EQ(parsed->AsDouble(), v);
+  }
+}
+
+TEST(JsonPretty, IndentsNestedValues) {
+  Json j(JsonObject{{"a", Json(JsonArray{Json(1), Json(2)})}});
+  const std::string pretty = j.DumpPretty();
+  EXPECT_NE(pretty.find("{\n  \"a\": [\n    1,\n    2\n  ]\n}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nomloc::common

@@ -1,0 +1,68 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError,
+                         LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, SuppressedMessagesProduceNoOutput) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  NOMLOC_LOG(Debug) << "hidden debug";
+  NOMLOC_LOG(Info) << "hidden info";
+  NOMLOC_LOG(Warning) << "hidden warning";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, EnabledMessageCarriesTagFileAndText) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  NOMLOC_LOG(Warning) << "the answer is " << 42;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[W "), std::string::npos);
+  EXPECT_NE(out.find("common_logging_test.cc"), std::string::npos);
+  EXPECT_NE(out.find("the answer is 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  NOMLOC_LOG(Error) << "even errors";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, StreamingArbitraryTypes) {
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  NOMLOC_LOG(Debug) << 1.5 << ' ' << "text" << ' ' << true;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("1.5 text 1"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EachMessageIsOneLine) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  NOMLOC_LOG(Info) << "first";
+  NOMLOC_LOG(Info) << "second";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace nomloc::common

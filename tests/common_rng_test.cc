@@ -1,0 +1,267 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace nomloc::common {
+namespace {
+
+TEST(SplitMix, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = SplitMix64(s);
+  const auto b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(r());
+  EXPECT_GT(values.size(), 45u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.Uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng r(5);
+  EXPECT_DOUBLE_EQ(r.Uniform(4.0, 4.0), 4.0);
+}
+
+TEST(Rng, UniformInvalidRangeThrows) {
+  Rng r(5);
+  EXPECT_THROW(r.Uniform(2.0, 1.0), std::logic_error);
+}
+
+TEST(Rng, UniformIntWithinRange) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.UniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntOneIsAlwaysZero) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.UniformInt(1), 0u);
+}
+
+TEST(Rng, UniformIntZeroThrows) {
+  Rng r(3);
+  EXPECT_THROW(r.UniformInt(0), std::logic_error);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng r(17);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianWithParams) {
+  Rng r(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, GaussianNegativeSigmaThrows) {
+  Rng r(19);
+  EXPECT_THROW(r.Gaussian(0.0, -1.0), std::logic_error);
+}
+
+TEST(Rng, ComplexGaussianPowerMatchesVariance) {
+  Rng r(23);
+  const int n = 100000;
+  double power = 0.0;
+  for (int i = 0; i < n; ++i) power += std::norm(r.ComplexGaussian(3.0));
+  EXPECT_NEAR(power / n, 3.0, 0.1);
+}
+
+TEST(Rng, ComplexGaussianZeroVarianceIsZero) {
+  Rng r(23);
+  EXPECT_EQ(r.ComplexGaussian(0.0), std::complex<double>(0.0, 0.0));
+}
+
+TEST(Rng, UniformDiscStaysInside) {
+  Rng r(29);
+  for (int i = 0; i < 10000; ++i) {
+    const auto [x, y] = r.UniformDisc(2.5);
+    EXPECT_LE(std::hypot(x, y), 2.5 + 1e-12);
+  }
+}
+
+TEST(Rng, UniformDiscZeroRadius) {
+  Rng r(29);
+  const auto [x, y] = r.UniformDisc(0.0);
+  EXPECT_EQ(x, 0.0);
+  EXPECT_EQ(y, 0.0);
+}
+
+TEST(Rng, UniformDiscIsAreaUniform) {
+  // Half the samples should land within r/sqrt(2) of the center.
+  Rng r(31);
+  const int n = 50000;
+  int inner = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto [x, y] = r.UniformDisc(1.0);
+    if (std::hypot(x, y) < 1.0 / std::sqrt(2.0)) ++inner;
+  }
+  EXPECT_NEAR(double(inner) / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+    EXPECT_FALSE(r.Bernoulli(-0.5));
+    EXPECT_TRUE(r.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(41);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i)
+    if (r.Bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(43);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialNonPositiveMeanThrows) {
+  Rng r(43);
+  EXPECT_THROW(r.Exponential(0.0), std::logic_error);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng r(47);
+  const double w[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[r.Categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(double(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(double(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalSingleElement) {
+  Rng r(53);
+  const double w[] = {2.0};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.Categorical(w), 0u);
+}
+
+TEST(Rng, CategoricalAllZeroThrows) {
+  Rng r(53);
+  const double w[] = {0.0, 0.0};
+  EXPECT_THROW(r.Categorical(w), std::logic_error);
+}
+
+TEST(Rng, CategoricalNegativeWeightThrows) {
+  Rng r(53);
+  const double w[] = {0.5, -0.1};
+  EXPECT_THROW(r.Categorical(w), std::logic_error);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng a = parent1.Fork(1);
+  Rng b = parent2.Fork(1);
+  Rng c = parent1.Fork(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+  int same = 0;
+  Rng a2 = parent2.Fork(1);
+  for (int i = 0; i < 50; ++i)
+    if (a2() == c()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(61);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(67);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[std::size_t(i)] = i;
+  const auto original = v;
+  r.Shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nomloc::common

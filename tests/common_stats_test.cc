@@ -1,0 +1,192 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nomloc::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBessel) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.SampleVariance(), 2.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(2.0, 3.0);
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.Mean();
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Mean(), mean);
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.Mean(), mean);
+}
+
+TEST(RunningStats, MinMaxOnEmptyThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.Min(), std::logic_error);
+  EXPECT_THROW(s.Max(), std::logic_error);
+}
+
+TEST(FreeFunctions, MeanAndVariance) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(xs), 1.25);
+}
+
+TEST(FreeFunctions, EmptySpans) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+}
+
+TEST(FreeFunctions, SlvIsVarianceOfSiteErrors) {
+  const double errors[] = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(SpatialLocalizabilityVariance(errors), 0.0);
+  const double uneven[] = {0.0, 2.0};
+  EXPECT_DOUBLE_EQ(SpatialLocalizabilityVariance(uneven), 1.0);
+}
+
+TEST(Percentile, Endpoints) {
+  const double xs[] = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const double xs[] = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.25), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const double xs[] = {7.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.9), 7.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(Percentile({}, 0.5), std::logic_error);
+}
+
+TEST(Percentile, OutOfRangeQThrows) {
+  const double xs[] = {1.0};
+  EXPECT_THROW(Percentile(xs, -0.1), std::logic_error);
+  EXPECT_THROW(Percentile(xs, 1.1), std::logic_error);
+}
+
+TEST(EmpiricalCdf, StepsThroughSamples) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.At(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsCdf) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 4.0);
+}
+
+TEST(EmpiricalCdf, MinMaxCount) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Max(), 3.0);
+  EXPECT_EQ(cdf.Count(), 3u);
+}
+
+TEST(EmpiricalCdf, EmptyThrows) {
+  EXPECT_THROW(EmpiricalCdf({}), std::logic_error);
+}
+
+TEST(EmpiricalCdf, SeriesIsMonotone) {
+  EmpiricalCdf cdf({0.3, 1.2, 2.9, 0.1, 4.0, 2.2});
+  const auto series = cdf.Series(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(1.0);    // bin 0
+  h.Add(9.9);    // bin 4
+  h.Add(-5.0);   // clamps to bin 0
+  h.Add(42.0);   // clamps to bin 4
+  EXPECT_EQ(h.Count(0), 2u);
+  EXPECT_EQ(h.Count(4), 2u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(4), 9.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(Histogram, OutOfRangeBinThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.Count(2), std::logic_error);
+  EXPECT_THROW(h.BinCenter(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nomloc::common

@@ -1,0 +1,131 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::common {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(InvalidArgument("a"), InvalidArgument("b"));
+  EXPECT_FALSE(InvalidArgument("a") == Infeasible("a"));
+}
+
+TEST(Status, AllCodeNamesAreDistinct) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,         StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+      StatusCode::kInfeasible, StatusCode::kUnbounded,
+      StatusCode::kNumericalError, StatusCode::kExhausted,
+      StatusCode::kInternal};
+  for (std::size_t i = 0; i < std::size(codes); ++i)
+    for (std::size_t j = i + 1; j < std::size(codes); ++j)
+      EXPECT_NE(StatusCodeName(codes[i]), StatusCodeName(codes[j]));
+}
+
+TEST(Status, FactoryHelpersSetExpectedCodes) {
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Unbounded("x").code(), StatusCode::kUnbounded);
+  EXPECT_EQ(NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Exhausted("x").code(), StatusCode::kExhausted);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r = NotFound("missing");
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, ConstructingFromOkStatusThrows) {
+  EXPECT_THROW(Result<int>(Status::Ok()), std::logic_error);
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<int> good = 7;
+  Result<int> bad = Internal("x");
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chain(int x) {
+  NOMLOC_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  NOMLOC_ASSIGN_OR_RETURN(int h, Half(x));
+  NOMLOC_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Macros, AssignOrReturnBindsAndPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_EQ(Quarter(6).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Quarter(5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Assert, RequireThrowsLogicError) {
+  EXPECT_THROW(NOMLOC_REQUIRE(false), std::logic_error);
+  EXPECT_NO_THROW(NOMLOC_REQUIRE(true));
+}
+
+}  // namespace
+}  // namespace nomloc::common

@@ -1,0 +1,69 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::common {
+namespace {
+
+TEST(StrFormat, BasicFormatting) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "abc"), "abc");
+}
+
+TEST(StrFormat, EmptyAndLong) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  const std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()), big);
+}
+
+TEST(Join, JoinsWithSeparator) {
+  const std::string items[] = {"a", "b", "c"};
+  EXPECT_EQ(Join(items, ", "), "a, b, c");
+}
+
+TEST(Join, SingleAndEmpty) {
+  const std::string one[] = {"solo"};
+  EXPECT_EQ(Join(one, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(2.0 / 3.0, 3), "0.667");
+  EXPECT_EQ(FormatDouble(5.0, 0), "5");
+}
+
+TEST(AsciiTable, RendersAlignedCells) {
+  const std::string header[] = {"name", "value"};
+  const std::vector<std::string> rows_arr[] = {{"x", "1"}, {"longer", "22"}};
+  const std::string table = AsciiTable(header, rows_arr);
+  EXPECT_NE(table.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(table.find("| longer | 22    |"), std::string::npos);
+  EXPECT_NE(table.find("+--------+-------+"), std::string::npos);
+}
+
+TEST(AsciiTable, MismatchedRowThrows) {
+  const std::string header[] = {"a", "b"};
+  const std::vector<std::string> rows_arr[] = {{"only-one"}};
+  EXPECT_THROW(AsciiTable(header, rows_arr), std::logic_error);
+}
+
+TEST(AsciiBar, ScalesToWidth) {
+  EXPECT_EQ(AsciiBar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(AsciiBar(10.0, 10.0, 4), "####");
+  EXPECT_EQ(AsciiBar(0.0, 10.0, 4), "    ");
+}
+
+TEST(AsciiBar, ClampsOverflow) {
+  EXPECT_EQ(AsciiBar(20.0, 10.0, 4), "####");
+  EXPECT_EQ(AsciiBar(-5.0, 10.0, 4), "    ");
+}
+
+TEST(AsciiBar, ZeroMaxIsEmpty) { EXPECT_EQ(AsciiBar(1.0, 0.0, 4), ""); }
+
+TEST(AsciiBar, NonPositiveWidthThrows) {
+  EXPECT_THROW(AsciiBar(1.0, 1.0, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nomloc::common

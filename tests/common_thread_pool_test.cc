@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace nomloc::common {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool(0), std::logic_error);
+}
+
+TEST(ThreadPool, NullTaskThrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.Submit(nullptr), std::logic_error);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(32,
+                                [](std::size_t i) {
+                                  if (i == 7)
+                                    throw std::runtime_error("seven");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&] { ++counter; });
+    // No Wait(): destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolIsSequentialButComplete) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) pool.Submit([&order, i] { order.push_back(i); });
+  pool.Wait();
+  // One worker: FIFO execution.
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(8);
+  std::vector<long> partial(1000, 0);
+  pool.ParallelFor(1000, [&](std::size_t i) {
+    partial[i] = long(i) * long(i);
+  });
+  long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  long expected = 0;
+  for (long i = 0; i < 1000; ++i) expected += i * i;
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace nomloc::common

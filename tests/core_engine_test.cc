@@ -1,0 +1,177 @@
+#include "core/nomloc.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/csi_model.h"
+#include "common/rng.h"
+
+namespace nomloc::core {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+channel::IndoorEnvironment EmptyRoom() {
+  auto env =
+      channel::IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 12, 8));
+  return std::move(env).value();
+}
+
+NomLocEngine MakeEngine(const Polygon& area) {
+  auto engine = NomLocEngine::Create(area);
+  return std::move(engine).value();
+}
+
+// End-to-end observations through the channel simulator.
+std::vector<ApObservation> Observe(const channel::IndoorEnvironment& env,
+                                   Vec2 object, std::span<const Vec2> aps,
+                                   std::size_t packets, common::Rng& rng) {
+  const channel::CsiSimulator sim(env, {});
+  std::vector<ApObservation> obs;
+  for (const Vec2 ap : aps) {
+    ApObservation o;
+    o.reported_position = ap;
+    o.frames = sim.MakeLink(object, ap).SampleBatch(packets, rng);
+    obs.push_back(std::move(o));
+  }
+  return obs;
+}
+
+TEST(EngineCreate, ValidatesConfig) {
+  NomLocConfig bad;
+  bad.bandwidth_hz = 0.0;
+  EXPECT_FALSE(
+      NomLocEngine::Create(Polygon::Rectangle(0, 0, 1, 1), bad).ok());
+}
+
+TEST(EngineCreate, DecomposesNonConvexArea) {
+  auto l = Polygon::Create(
+      {{0.0, 0.0}, {4.0, 0.0}, {4.0, 2.0}, {2.0, 2.0}, {2.0, 4.0}, {0.0, 4.0}});
+  ASSERT_TRUE(l.ok());
+  auto engine = NomLocEngine::Create(*l);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_GE(engine->Parts().size(), 2u);
+  for (const Polygon& part : engine->Parts()) EXPECT_TRUE(part.IsConvex());
+}
+
+TEST(EngineCreate, ConvexAreaIsOnePart) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
+  EXPECT_EQ(engine.Parts().size(), 1u);
+}
+
+TEST(Locate, RequiresTwoObservationsWithFrames) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
+  EXPECT_EQ(engine.Locate({}).status().code(),
+            common::StatusCode::kInvalidArgument);
+
+  std::vector<ApObservation> no_frames(2);
+  no_frames[0].reported_position = {1, 1};
+  no_frames[1].reported_position = {2, 2};
+  EXPECT_EQ(engine.Locate(no_frames).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(Locate, EstimateIsInsideArea) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  common::Rng rng(3);
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  const auto obs = Observe(env, {4.0, 3.0}, aps, 30, rng);
+  auto est = engine.Locate(obs);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_TRUE(engine.Area().Contains(est->position, 1e-5));
+  EXPECT_EQ(est->anchors.size(), 4u);
+}
+
+TEST(Locate, ReasonableAccuracyInOpenRoom) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  common::Rng rng(5);
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7},
+                              {6, 4}, {3, 6},  {9, 2}};
+  const Vec2 truth{4.0, 3.0};
+  const auto obs = Observe(env, truth, aps, 40, rng);
+  auto est = engine.Locate(obs);
+  ASSERT_TRUE(est.ok());
+  // 7 anchors partition a 12x8 room finely; error must be small.
+  EXPECT_LT(Distance(est->position, truth), 2.5);
+}
+
+TEST(Locate, MoreAnchorsImproveAccuracyOnAverage) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  const std::vector<Vec2> few{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  std::vector<Vec2> many = few;
+  many.insert(many.end(), {{4, 4}, {8, 4}, {6, 6.5}});
+
+  double err_few = 0.0, err_many = 0.0;
+  const std::vector<Vec2> truths{{4, 3}, {9, 5}, {2, 6}, {6, 2}, {10, 3}};
+  common::Rng rng(7);
+  for (const Vec2 truth : truths) {
+    auto est_few = engine.Locate(Observe(env, truth, few, 30, rng));
+    auto est_many = engine.Locate(Observe(env, truth, many, 30, rng));
+    ASSERT_TRUE(est_few.ok());
+    ASSERT_TRUE(est_many.ok());
+    err_few += Distance(est_few->position, truth);
+    err_many += Distance(est_many->position, truth);
+  }
+  EXPECT_LT(err_many, err_few);
+}
+
+TEST(LocateFromAnchors, CoincidentAnchorsFail) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 10, 8));
+  std::vector<localization::Anchor> anchors{{{3.0, 3.0}, 2.0, false},
+                                            {{3.0, 3.0}, 1.0, false}};
+  EXPECT_EQ(engine.LocateFromAnchors(anchors).status().code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+TEST(LocateFromAnchors, DiagnosticsPopulated) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 10, 8));
+  std::vector<localization::Anchor> anchors{{{1.0, 1.0}, 4.0, false},
+                                            {{9.0, 1.0}, 2.0, false},
+                                            {{5.0, 7.0}, 1.0, false}};
+  auto est = engine.LocateFromAnchors(anchors);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->anchors.size(), 3u);
+  EXPECT_GE(est->relaxation_cost, 0.0);
+  EXPECT_EQ(est->part_index, 0u);
+}
+
+TEST(LocateFromAnchors, NonConvexAreaEstimateInsideArea) {
+  auto l = Polygon::Create({{0.0, 0.0},
+                            {20.0, 0.0},
+                            {20.0, 6.0},
+                            {8.0, 6.0},
+                            {8.0, 14.0},
+                            {0.0, 14.0}});
+  ASSERT_TRUE(l.ok());
+  auto engine = NomLocEngine::Create(*l);
+  ASSERT_TRUE(engine.ok());
+  // Strongest anchor deep in the vertical arm.
+  std::vector<localization::Anchor> anchors{{{2.0, 12.0}, 8.0, false},
+                                            {{2.0, 2.0}, 2.0, false},
+                                            {{18.0, 2.0}, 1.0, false}};
+  auto est = engine->LocateFromAnchors(anchors);
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(l->Contains(est->position, 1e-5));
+  // Should land in the vertical arm, near the strong anchor's cell.
+  EXPECT_LT(est->position.y, 15.0);
+  EXPECT_GT(est->position.y, 4.0);
+}
+
+TEST(Locate, DeterministicGivenSameObservations) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  common::Rng rng(11);
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  const auto obs = Observe(env, {5.0, 5.0}, aps, 20, rng);
+  auto a = engine.Locate(obs);
+  auto b = engine.Locate(obs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->position, b->position);
+}
+
+}  // namespace
+}  // namespace nomloc::core

@@ -1,0 +1,156 @@
+#include "core/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nomloc::core {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+TEST(Tracker, StartsUninitialized) {
+  Tracker t;
+  EXPECT_FALSE(t.Initialized());
+  EXPECT_THROW(t.Position(), std::logic_error);
+  EXPECT_THROW(t.Velocity(), std::logic_error);
+  EXPECT_THROW(t.PositionVariance(), std::logic_error);
+}
+
+TEST(Tracker, FirstUpdateInitialisesAtMeasurement) {
+  Tracker t;
+  t.Update({3.0, 4.0});
+  ASSERT_TRUE(t.Initialized());
+  EXPECT_EQ(t.Position(), Vec2(3.0, 4.0));
+  EXPECT_EQ(t.Velocity(), Vec2(0.0, 0.0));
+  EXPECT_GT(t.PositionVariance(), 0.0);
+}
+
+TEST(Tracker, PredictBeforeInitIsNoOp) {
+  Tracker t;
+  EXPECT_NO_THROW(t.Predict(1.0));
+  EXPECT_FALSE(t.Initialized());
+}
+
+TEST(Tracker, InvalidDtThrows) {
+  Tracker t;
+  t.Update({0.0, 0.0});
+  EXPECT_THROW(t.Predict(0.0), std::logic_error);
+  EXPECT_THROW(t.Predict(-1.0), std::logic_error);
+}
+
+TEST(Tracker, InvalidOptionsThrow) {
+  TrackerOptions bad;
+  bad.acceleration_sigma = 0.0;
+  EXPECT_THROW(Tracker{bad}, std::logic_error);
+  bad = TrackerOptions{};
+  bad.measurement_sigma = -1.0;
+  EXPECT_THROW(Tracker{bad}, std::logic_error);
+}
+
+TEST(Tracker, RepeatedMeasurementsShrinkVariance) {
+  Tracker t;
+  t.Update({5.0, 5.0});
+  const double v0 = t.PositionVariance();
+  for (int i = 0; i < 5; ++i) t.Step(1.0, {5.0, 5.0});
+  EXPECT_LT(t.PositionVariance(), v0);
+}
+
+TEST(Tracker, PredictGrowsVariance) {
+  Tracker t;
+  t.Update({5.0, 5.0});
+  t.Update({5.0, 5.0});
+  const double v0 = t.PositionVariance();
+  t.Predict(2.0);
+  EXPECT_GT(t.PositionVariance(), v0);
+}
+
+TEST(Tracker, LearnsConstantVelocity) {
+  Tracker t;
+  // Target moves at (1, 0.5) m/s, measured each second without noise.
+  for (int k = 0; k <= 20; ++k) {
+    const Vec2 truth{double(k) * 1.0, double(k) * 0.5};
+    if (k == 0) {
+      t.Update(truth);
+    } else {
+      t.Step(1.0, truth);
+    }
+  }
+  EXPECT_NEAR(t.Velocity().x, 1.0, 0.1);
+  EXPECT_NEAR(t.Velocity().y, 0.5, 0.1);
+  EXPECT_NEAR(t.Position().x, 20.0, 0.3);
+  EXPECT_NEAR(t.Position().y, 10.0, 0.3);
+}
+
+TEST(Tracker, SmoothsNoisyFixesBelowRawError) {
+  common::Rng rng(17);
+  TrackerOptions opts;
+  opts.measurement_sigma = 1.5;
+  Tracker t(opts);
+  double raw_err = 0.0, track_err = 0.0;
+  int counted = 0;
+  for (int k = 0; k <= 60; ++k) {
+    const Vec2 truth{0.5 * k, 8.0};
+    const Vec2 noisy{truth.x + rng.Gaussian(0.0, 1.5),
+                     truth.y + rng.Gaussian(0.0, 1.5)};
+    if (k == 0) {
+      t.Update(noisy);
+    } else {
+      t.Step(1.0, noisy);
+    }
+    if (k >= 10) {  // After convergence.
+      raw_err += Distance(noisy, truth);
+      track_err += Distance(t.Position(), truth);
+      ++counted;
+    }
+  }
+  EXPECT_LT(track_err / counted, 0.8 * raw_err / counted);
+}
+
+TEST(Tracker, ClampToKeepsTrackInsideArea) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 10.0, 8.0);
+  Tracker t;
+  t.Update({12.0, 4.0});  // Fix outside the room.
+  t.ClampTo(room);
+  EXPECT_TRUE(room.Contains(t.Position(), 1e-9));
+  EXPECT_NEAR(t.Position().x, 10.0, 1e-9);
+  EXPECT_NEAR(t.Position().y, 4.0, 1e-9);
+}
+
+TEST(Tracker, ClampToNoOpWhenInside) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 10.0, 8.0);
+  Tracker t;
+  t.Update({5.0, 4.0});
+  t.ClampTo(room);
+  EXPECT_EQ(t.Position(), Vec2(5.0, 4.0));
+}
+
+TEST(Tracker, RecoversAfterDirectionReversal) {
+  // A target that reverses direction mid-track: the filter lags at the
+  // turn but must re-converge within a few updates.
+  Tracker t;
+  double turn_error = 0.0;
+  bool first = true;
+  for (double time = 0.0; time <= 20.0; time += 1.0) {
+    const double x = time <= 10.0 ? time : 20.0 - time;
+    const Vec2 truth{x, 0.0};
+    if (first) {
+      t.Update(truth);
+      first = false;
+    } else {
+      t.Step(1.0, truth);
+    }
+    if (time == 11.0) turn_error = Distance(t.Position(), truth);
+  }
+  const double final_error = Distance(t.Position(), {0.0, 0.0});
+  EXPECT_GT(turn_error, 0.0);            // There is lag at the turn…
+  EXPECT_LT(final_error, turn_error);    // …and it dissipates.
+  EXPECT_LT(final_error, 1.0);
+  EXPECT_NEAR(t.Velocity().x, -1.0, 0.4);
+}
+
+}  // namespace
+}  // namespace nomloc::core

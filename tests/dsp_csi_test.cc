@@ -1,0 +1,131 @@
+#include "dsp/csi.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nomloc::dsp {
+namespace {
+
+CsiFrame MakeFullHt20() {
+  auto idx = CsiFrame::Ht20Indices();
+  std::vector<Cplx> vals(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    vals[i] = {double(idx[i]), 1.0};
+  auto frame = CsiFrame::Create(idx, vals);
+  return std::move(frame).value();
+}
+
+TEST(CsiIndices, Ht20Has56WithoutDc) {
+  const auto idx = CsiFrame::Ht20Indices();
+  EXPECT_EQ(idx.size(), 56u);
+  EXPECT_EQ(idx.front(), -28);
+  EXPECT_EQ(idx.back(), 28);
+  for (int k : idx) EXPECT_NE(k, 0);
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_LT(idx[i - 1], idx[i]);
+}
+
+TEST(CsiIndices, Intel5300Has30UniqueSortedTones) {
+  const auto idx = CsiFrame::Intel5300Indices();
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<int> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t i = 1; i < idx.size(); ++i) EXPECT_LT(idx[i - 1], idx[i]);
+  EXPECT_EQ(idx.front(), -28);
+  EXPECT_EQ(idx.back(), 28);
+}
+
+TEST(CsiIndices, Intel5300IsSubsetOfHt20) {
+  const auto full = CsiFrame::Ht20Indices();
+  const std::set<int> full_set(full.begin(), full.end());
+  for (int k : CsiFrame::Intel5300Indices())
+    EXPECT_TRUE(full_set.count(k)) << "tone " << k;
+}
+
+TEST(CsiCreate, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(CsiFrame::Create({}, {}).ok());
+  EXPECT_FALSE(CsiFrame::Create({1, 2}, {Cplx(1, 0)}).ok());
+}
+
+TEST(CsiCreate, RejectsDcSubcarrier) {
+  EXPECT_FALSE(CsiFrame::Create({0}, {Cplx(1, 0)}).ok());
+}
+
+TEST(CsiCreate, RejectsOutOfRangeIndex) {
+  EXPECT_FALSE(CsiFrame::Create({40}, {Cplx(1, 0)}, 64).ok());
+  EXPECT_FALSE(CsiFrame::Create({-33}, {Cplx(1, 0)}, 64).ok());
+  EXPECT_TRUE(CsiFrame::Create({31}, {Cplx(1, 0)}, 64).ok());
+  EXPECT_TRUE(CsiFrame::Create({-32}, {Cplx(1, 0)}, 64).ok());
+  EXPECT_FALSE(CsiFrame::Create({32}, {Cplx(1, 0)}, 64).ok());
+}
+
+TEST(CsiCreate, RejectsUnsortedOrDuplicate) {
+  EXPECT_FALSE(
+      CsiFrame::Create({2, 1}, {Cplx(1, 0), Cplx(1, 0)}).ok());
+  EXPECT_FALSE(
+      CsiFrame::Create({1, 1}, {Cplx(1, 0), Cplx(1, 0)}).ok());
+}
+
+TEST(CsiCreate, RejectsTinyFftSize) {
+  EXPECT_FALSE(CsiFrame::Create({1}, {Cplx(1, 0)}, 1).ok());
+}
+
+TEST(CsiFrame, AtFindsSubcarrier) {
+  const CsiFrame frame = MakeFullHt20();
+  EXPECT_EQ(frame.At(-28), Cplx(-28.0, 1.0));
+  EXPECT_EQ(frame.At(5), Cplx(5.0, 1.0));
+}
+
+TEST(CsiFrame, AtMissingThrows) {
+  const CsiFrame frame = MakeFullHt20();
+  EXPECT_THROW(frame.At(0), std::logic_error);
+  EXPECT_THROW(frame.At(30), std::logic_error);
+}
+
+TEST(CsiFrame, TotalPowerSumsSquares) {
+  auto frame = CsiFrame::Create({1, 2}, {Cplx(3.0, 4.0), Cplx(0.0, 1.0)});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_DOUBLE_EQ(frame->TotalPower(), 26.0);
+}
+
+TEST(CsiFrame, ToIntel5300KeepsMatchingTones) {
+  const CsiFrame frame = MakeFullHt20();
+  auto grouped = frame.ToIntel5300();
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->SubcarrierCount(), 30u);
+  for (int k : CsiFrame::Intel5300Indices())
+    EXPECT_EQ(grouped->At(k), frame.At(k));
+}
+
+TEST(CsiFrame, ToIntel5300FailsWhenTonesMissing) {
+  auto small = CsiFrame::Create({1, 2}, {Cplx(1, 0), Cplx(1, 0)});
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(small->ToIntel5300().ok());
+}
+
+TEST(CsiFrame, ToFftGridPlacesBinsCorrectly) {
+  auto frame = CsiFrame::Create({-28, -1, 1, 28},
+                                {Cplx(1, 0), Cplx(2, 0), Cplx(3, 0),
+                                 Cplx(4, 0)});
+  ASSERT_TRUE(frame.ok());
+  const auto grid = frame->ToFftGrid();
+  ASSERT_EQ(grid.size(), 64u);
+  EXPECT_EQ(grid[64 - 28], Cplx(1, 0));  // k = -28 -> bin 36.
+  EXPECT_EQ(grid[63], Cplx(2, 0));       // k = -1  -> bin 63.
+  EXPECT_EQ(grid[1], Cplx(3, 0));        // k = +1.
+  EXPECT_EQ(grid[28], Cplx(4, 0));       // k = +28.
+  EXPECT_EQ(grid[0], Cplx(0, 0));        // DC empty.
+  EXPECT_EQ(grid[30], Cplx(0, 0));       // Guard empty.
+}
+
+TEST(CsiFrame, ToFftGridRespectsCustomSize) {
+  auto frame = CsiFrame::Create({-2, 1}, {Cplx(5, 0), Cplx(6, 0)}, 8);
+  ASSERT_TRUE(frame.ok());
+  const auto grid = frame->ToFftGrid();
+  ASSERT_EQ(grid.size(), 8u);
+  EXPECT_EQ(grid[6], Cplx(5, 0));
+  EXPECT_EQ(grid[1], Cplx(6, 0));
+}
+
+}  // namespace
+}  // namespace nomloc::dsp

@@ -1,0 +1,174 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace nomloc::dsp {
+namespace {
+
+std::vector<Cplx> RandomSignal(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Cplx> x(n);
+  for (auto& v : x) v = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  return x;
+}
+
+double MaxAbsDiff(std::span<const Cplx> a, std::span<const Cplx> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+TEST(PowerOfTwo, Predicates) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(56));
+}
+
+TEST(PowerOfTwo, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(56), 64u);
+  EXPECT_EQ(NextPowerOfTwo(65), 128u);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Cplx> x(8, Cplx(0.0, 0.0));
+  x[0] = 1.0;
+  const auto spectrum = Fft(x);
+  for (const Cplx& v : spectrum) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  std::vector<Cplx> x(16, Cplx(1.0, 0.0));
+  const auto spectrum = Fft(x);
+  EXPECT_NEAR(std::abs(spectrum[0]), 16.0, 1e-9);
+  for (std::size_t k = 1; k < 16; ++k)
+    EXPECT_NEAR(std::abs(spectrum[k]), 0.0, 1e-9);
+}
+
+TEST(Fft, SingleToneLandsInRightBin) {
+  const std::size_t n = 32;
+  std::vector<Cplx> x(n);
+  const int tone = 5;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * std::numbers::pi * tone * double(t) / double(n);
+    x[t] = {std::cos(ang), std::sin(ang)};
+  }
+  const auto spectrum = Fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == tone)
+      EXPECT_NEAR(std::abs(spectrum[k]), double(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(spectrum[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, MatchesNaiveDftPow2) {
+  const auto x = RandomSignal(64, 1);
+  EXPECT_LT(MaxAbsDiff(Fft(x), DftNaive(x, false)), 1e-9);
+}
+
+TEST(Fft, MatchesNaiveDftArbitraryLengths) {
+  for (std::size_t n : {3u, 5u, 7u, 12u, 30u, 56u}) {
+    const auto x = RandomSignal(n, n);
+    EXPECT_LT(MaxAbsDiff(Fft(x), DftNaive(x, false)), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Ifft, MatchesNaiveInverse) {
+  for (std::size_t n : {8u, 30u}) {
+    const auto x = RandomSignal(n, 100 + n);
+    EXPECT_LT(MaxAbsDiff(Ifft(x), DftNaive(x, true)), 1e-9) << "n=" << n;
+  }
+}
+
+class FftRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTripTest, IfftOfFftIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto x = RandomSignal(n, 7 * n + 1);
+  const auto back = Ifft(Fft(x));
+  EXPECT_LT(MaxAbsDiff(x, back), 1e-9) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 13, 30, 56, 64, 100,
+                                           128, 255));
+
+TEST(Fft, LinearityHolds) {
+  const auto x = RandomSignal(64, 2);
+  const auto y = RandomSignal(64, 3);
+  std::vector<Cplx> sum(64);
+  for (std::size_t i = 0; i < 64; ++i) sum[i] = 2.0 * x[i] + y[i];
+  const auto fx = Fft(x);
+  const auto fy = Fft(y);
+  const auto fsum = Fft(sum);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_LT(std::abs(fsum[i] - (2.0 * fx[i] + fy[i])), 1e-9);
+}
+
+TEST(Fft, ParsevalEnergyConserved) {
+  const auto x = RandomSignal(64, 4);
+  const auto spectrum = Fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const Cplx& v : x) time_energy += std::norm(v);
+  for (const Cplx& v : spectrum) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, 64.0 * time_energy, 1e-6);
+}
+
+TEST(Fft, EmptyInputThrows) {
+  EXPECT_THROW(Fft({}), std::logic_error);
+  EXPECT_THROW(Ifft({}), std::logic_error);
+}
+
+TEST(FftRadix2, NonPowerOfTwoThrows) {
+  std::vector<Cplx> x(6);
+  EXPECT_THROW(FftRadix2(x, false), std::logic_error);
+}
+
+TEST(PowerSpectrum, SquaredMagnitudes) {
+  const std::vector<Cplx> x{{3.0, 4.0}, {0.0, 2.0}};
+  const auto p = PowerSpectrum(x);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 25.0);
+  EXPECT_DOUBLE_EQ(p[1], 4.0);
+}
+
+TEST(Magnitudes, AbsoluteValues) {
+  const std::vector<Cplx> x{{3.0, 4.0}, {-1.0, 0.0}};
+  const auto m = Magnitudes(x);
+  EXPECT_DOUBLE_EQ(m[0], 5.0);
+  EXPECT_DOUBLE_EQ(m[1], 1.0);
+}
+
+TEST(MovingAverage, SmoothsWithShrinkingEdges) {
+  const std::vector<double> x{0.0, 3.0, 6.0, 9.0};
+  const auto y = MovingAverage(x, 1);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[0], 1.5);  // (0+3)/2.
+  EXPECT_DOUBLE_EQ(y[1], 3.0);  // (0+3+6)/3.
+  EXPECT_DOUBLE_EQ(y[2], 6.0);
+  EXPECT_DOUBLE_EQ(y[3], 7.5);
+}
+
+TEST(MovingAverage, ZeroHalfIsIdentity) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_EQ(MovingAverage(x, 0), x);
+}
+
+}  // namespace
+}  // namespace nomloc::dsp

@@ -1,0 +1,169 @@
+#include "dsp/impairments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/units.h"
+#include "dsp/cir.h"
+
+namespace nomloc::dsp {
+namespace {
+
+// Two-path channel on the HT20 grid.
+CsiFrame TestChannel() {
+  const auto idx = CsiFrame::Ht20Indices();
+  const double df = common::kBandwidth20MHz / common::kOfdmFftSize;
+  std::vector<Cplx> vals(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const double f = double(idx[i]) * df;
+    const double a1 = -2.0 * std::numbers::pi * f * 60e-9;
+    const double a2 = -2.0 * std::numbers::pi * f * 260e-9;
+    vals[i] = Cplx(std::cos(a1), std::sin(a1)) +
+              0.5 * Cplx(std::cos(a2), std::sin(a2));
+  }
+  auto frame = CsiFrame::Create(idx, vals);
+  return std::move(frame).value();
+}
+
+TEST(ApplyImpairments, PreservesGridAndChangesValues) {
+  const CsiFrame clean = TestChannel();
+  common::Rng rng(1);
+  const CsiFrame dirty = ApplyImpairments(clean, {}, rng);
+  ASSERT_EQ(dirty.SubcarrierCount(), clean.SubcarrierCount());
+  EXPECT_NE(dirty.Values()[0], clean.Values()[0]);
+}
+
+TEST(ApplyImpairments, CommonPhaseOnlyPreservesMagnitudes) {
+  const CsiFrame clean = TestChannel();
+  common::Rng rng(2);
+  ImpairmentConfig cfg;
+  cfg.max_phase_slope_rad = 0.0;
+  cfg.agc_jitter = 0.0;
+  const CsiFrame dirty = ApplyImpairments(clean, cfg, rng);
+  for (std::size_t i = 0; i < clean.SubcarrierCount(); ++i)
+    EXPECT_NEAR(std::abs(dirty.Values()[i]), std::abs(clean.Values()[i]),
+                1e-12);
+}
+
+TEST(ApplyImpairments, AgcJitterScalesPowerUniformly) {
+  const CsiFrame clean = TestChannel();
+  common::Rng rng(3);
+  ImpairmentConfig cfg;
+  cfg.random_common_phase = false;
+  cfg.max_phase_slope_rad = 0.0;
+  cfg.agc_jitter = 0.5;
+  const CsiFrame dirty = ApplyImpairments(clean, cfg, rng);
+  const double ratio0 =
+      std::abs(dirty.Values()[0]) / std::abs(clean.Values()[0]);
+  for (std::size_t i = 1; i < clean.SubcarrierCount(); ++i) {
+    const double ratio =
+        std::abs(dirty.Values()[i]) / std::abs(clean.Values()[i]);
+    EXPECT_NEAR(ratio, ratio0, 1e-9);
+  }
+  EXPECT_GE(ratio0, 1.0 / 1.5 - 1e-9);
+  EXPECT_LE(ratio0, 1.5 + 1e-9);
+}
+
+TEST(ApplyImpairments, NegativeConfigThrows) {
+  const CsiFrame clean = TestChannel();
+  common::Rng rng(4);
+  ImpairmentConfig bad;
+  bad.max_phase_slope_rad = -0.1;
+  EXPECT_THROW(ApplyImpairments(clean, bad, rng), std::logic_error);
+  bad = ImpairmentConfig{};
+  bad.agc_jitter = -0.1;
+  EXPECT_THROW(ApplyImpairments(clean, bad, rng), std::logic_error);
+}
+
+// The paper-critical property: max-tap PDP is invariant to a common phase
+// and robust (within a couple dB) to realistic STO slopes — this is why
+// NomLoc works on commodity CSI without phase calibration.
+TEST(ImpairmentRobustness, PdpInvariantToCommonPhase) {
+  const CsiFrame clean = TestChannel();
+  common::Rng rng(5);
+  ImpairmentConfig cfg;
+  cfg.max_phase_slope_rad = 0.0;
+  cfg.agc_jitter = 0.0;
+  const double pdp_clean =
+      PdpOfCir(CsiToCir(clean, common::kBandwidth20MHz), {});
+  for (int i = 0; i < 20; ++i) {
+    const CsiFrame dirty = ApplyImpairments(clean, cfg, rng);
+    const double pdp_dirty =
+        PdpOfCir(CsiToCir(dirty, common::kBandwidth20MHz), {});
+    EXPECT_NEAR(pdp_dirty, pdp_clean, pdp_clean * 1e-9);
+  }
+}
+
+TEST(ImpairmentRobustness, PdpToleratesRealisticPhaseSlope) {
+  const CsiFrame clean = TestChannel();
+  common::Rng rng(6);
+  ImpairmentConfig cfg;
+  cfg.agc_jitter = 0.0;
+  cfg.max_phase_slope_rad = 0.2;
+  const double pdp_clean =
+      PdpOfCir(CsiToCir(clean, common::kBandwidth20MHz), {});
+  for (int i = 0; i < 20; ++i) {
+    const CsiFrame dirty = ApplyImpairments(clean, cfg, rng);
+    const double pdp_dirty =
+        PdpOfCir(CsiToCir(dirty, common::kBandwidth20MHz), {});
+    // A linear phase slope is a circular shift in delay: the peak moves
+    // but its power changes little.
+    EXPECT_GT(pdp_dirty, 0.5 * pdp_clean);
+    EXPECT_LT(pdp_dirty, 2.0 * pdp_clean);
+  }
+}
+
+TEST(UnwrapPhase, RemovesJumps) {
+  const double pi = std::numbers::pi;
+  const std::vector<double> wrapped{0.0, 0.9 * pi, -0.9 * pi, -0.1 * pi};
+  const auto unwrapped = UnwrapPhase(wrapped);
+  // After the 0.9pi sample the -0.9pi should unwrap to +1.1pi.
+  EXPECT_NEAR(unwrapped[2], 1.1 * pi, 1e-12);
+  for (std::size_t i = 1; i < unwrapped.size(); ++i)
+    EXPECT_LE(std::abs(unwrapped[i] - unwrapped[i - 1]), pi + 1e-12);
+}
+
+TEST(UnwrapPhase, MonotoneRampSurvives) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 50; ++i) {
+    double ang = 0.4 * i;
+    while (ang > std::numbers::pi) ang -= 2.0 * std::numbers::pi;
+    ramp.push_back(ang);
+  }
+  const auto unwrapped = UnwrapPhase(ramp);
+  for (std::size_t i = 1; i < unwrapped.size(); ++i)
+    EXPECT_NEAR(unwrapped[i] - unwrapped[i - 1], 0.4, 1e-9);
+}
+
+TEST(SanitizePhase, RemovesInjectedSlopeAndOffset) {
+  const CsiFrame clean = TestChannel();
+  common::Rng rng(7);
+  ImpairmentConfig cfg;
+  cfg.agc_jitter = 0.0;
+  const CsiFrame dirty = ApplyImpairments(clean, cfg, rng);
+  const CsiFrame fixed = SanitizePhase(dirty);
+  const CsiFrame reference = SanitizePhase(clean);
+  // After sanitization both reduce to the same canonical frame (up to the
+  // channel's own linear component, removed from both).
+  for (std::size_t i = 0; i < fixed.SubcarrierCount(); ++i)
+    EXPECT_LT(std::abs(fixed.Values()[i] - reference.Values()[i]), 1e-6);
+}
+
+TEST(SanitizePhase, PowerNormalisation) {
+  const CsiFrame clean = TestChannel();
+  const CsiFrame scaled = SanitizePhase(clean, 42.0);
+  EXPECT_NEAR(scaled.TotalPower(), 42.0, 1e-9);
+  const CsiFrame unscaled = SanitizePhase(clean, 0.0);
+  EXPECT_NEAR(unscaled.TotalPower(), clean.TotalPower(), 1e-9);
+}
+
+TEST(SanitizePhase, TooFewSubcarriersThrows) {
+  auto one = CsiFrame::Create({1}, {Cplx(1.0, 0.0)});
+  ASSERT_TRUE(one.ok());
+  EXPECT_THROW(SanitizePhase(*one), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nomloc::dsp

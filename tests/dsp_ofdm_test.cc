@@ -1,0 +1,280 @@
+#include "dsp/modulation.h"
+#include "dsp/ofdm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/csi_model.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "dsp/cir.h"
+#include "dsp/fft.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::dsp {
+namespace {
+
+// ----------------------------------------------------------- modulation
+
+TEST(Modulation, BitsPerSymbol) {
+  EXPECT_EQ(BitsPerSymbol(Modulation::kBpsk), 1);
+  EXPECT_EQ(BitsPerSymbol(Modulation::kQpsk), 2);
+  EXPECT_EQ(BitsPerSymbol(Modulation::kQam16), 4);
+}
+
+class ModulationRoundTrip : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModulationRoundTrip, CleanChannelIsLossless) {
+  const Modulation mod = GetParam();
+  const auto bits = RandomBits(240, 7);
+  auto symbols = ModulateBits(bits, mod);
+  ASSERT_TRUE(symbols.ok());
+  EXPECT_EQ(symbols->size(), bits.size() / std::size_t(BitsPerSymbol(mod)));
+  const auto decoded = DemodulateSymbols(*symbols, mod);
+  EXPECT_EQ(BitErrorRate(bits, decoded), 0.0);
+}
+
+TEST_P(ModulationRoundTrip, UnitAverageEnergy) {
+  const Modulation mod = GetParam();
+  const auto bits = RandomBits(4096, 13);
+  auto symbols = ModulateBits(bits, mod);
+  ASSERT_TRUE(symbols.ok());
+  double energy = 0.0;
+  for (const Cplx& s : *symbols) energy += std::norm(s);
+  EXPECT_NEAR(energy / double(symbols->size()), 1.0, 0.05);
+}
+
+TEST_P(ModulationRoundTrip, SurvivesMildNoise) {
+  const Modulation mod = GetParam();
+  const auto bits = RandomBits(4000, 17);
+  auto symbols = ModulateBits(bits, mod);
+  ASSERT_TRUE(symbols.ok());
+  common::Rng rng(3);
+  for (Cplx& s : *symbols) s += rng.ComplexGaussian(0.001);  // 30 dB SNR.
+  const auto decoded = DemodulateSymbols(*symbols, mod);
+  EXPECT_LT(BitErrorRate(bits, decoded), 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ModulationRoundTrip,
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16));
+
+TEST(Modulation, HigherOrderIsMoreFragile) {
+  // At the same noise level, 16-QAM has more bit errors than BPSK.
+  common::Rng rng(5);
+  const auto bits = RandomBits(40000, 19);
+  auto run = [&](Modulation mod) {
+    auto symbols = ModulateBits(bits, mod);
+    for (Cplx& s : *symbols) s += rng.ComplexGaussian(0.15);
+    return BitErrorRate(bits, DemodulateSymbols(*symbols, mod));
+  };
+  EXPECT_GT(run(Modulation::kQam16), 3.0 * run(Modulation::kBpsk));
+}
+
+TEST(Modulation, Validation) {
+  const std::vector<std::uint8_t> three{1, 0, 1};
+  EXPECT_FALSE(ModulateBits(three, Modulation::kQpsk).ok());
+  EXPECT_FALSE(ModulateBits({}, Modulation::kBpsk).ok());
+  const std::vector<std::uint8_t> a{1}, b{1, 0};
+  EXPECT_THROW((void)BitErrorRate(a, b), std::logic_error);
+}
+
+// ----------------------------------------------------------------- ofdm
+
+OfdmConfig SmallConfig() {
+  OfdmConfig cfg;
+  cfg.fft_size = 64;
+  cfg.cyclic_prefix = 16;
+  return cfg;
+}
+
+TEST(Ofdm, BurstShape) {
+  const auto bits = RandomBits(2 * 56, 3);
+  auto payload = ModulateBits(bits, Modulation::kQpsk);
+  ASSERT_TRUE(payload.ok());  // 56 symbols = 1 data symbol.
+  auto burst = ModulateBurst(*payload, SmallConfig());
+  ASSERT_TRUE(burst.ok());
+  EXPECT_EQ(burst->data_symbol_count, 1u);
+  EXPECT_EQ(burst->waveform.size(), 2u * 80u);  // LTF + 1 data, 64+16 each.
+}
+
+TEST(Ofdm, ValidationRejectsBadConfigs) {
+  const std::vector<Cplx> payload(10, Cplx(1.0, 0.0));
+  OfdmConfig bad = SmallConfig();
+  bad.fft_size = 60;  // Not a power of two.
+  EXPECT_FALSE(ModulateBurst(payload, bad).ok());
+  bad = SmallConfig();
+  bad.cyclic_prefix = 64;
+  EXPECT_FALSE(ModulateBurst(payload, bad).ok());
+  bad = SmallConfig();
+  bad.subcarriers = {0};
+  EXPECT_FALSE(ModulateBurst(payload, bad).ok());
+  EXPECT_FALSE(ModulateBurst({}, SmallConfig()).ok());
+}
+
+TEST(Ofdm, IdentityChannelRoundTripsBitsAndFlatCsi) {
+  const auto bits = RandomBits(4 * 56 * 2, 11);
+  auto payload = ModulateBits(bits, Modulation::kQpsk);
+  ASSERT_TRUE(payload.ok());
+  const OfdmConfig cfg = SmallConfig();
+  auto burst = ModulateBurst(*payload, cfg);
+  ASSERT_TRUE(burst.ok());
+
+  common::Rng rng(1);
+  const std::vector<Cplx> identity{Cplx(1.0, 0.0)};
+  const auto rx = ApplyChannel(burst->waveform, identity, 0.0, rng);
+  auto demod = DemodulateBurst(rx, burst->data_symbol_count, cfg);
+  ASSERT_TRUE(demod.ok()) << demod.status().ToString();
+
+  // CSI is flat unity.
+  for (const Cplx& h : demod->csi.Values())
+    EXPECT_LT(std::abs(h - Cplx(1.0, 0.0)), 1e-9);
+  // Payload symbols recovered exactly (ignore the zero padding).
+  for (std::size_t i = 0; i < payload->size(); ++i)
+    EXPECT_LT(std::abs(demod->symbols[i] - (*payload)[i]), 1e-9);
+  const auto decoded = DemodulateSymbols(
+      std::span<const Cplx>(demod->symbols.data(), payload->size()),
+      Modulation::kQpsk);
+  EXPECT_EQ(BitErrorRate(bits, decoded), 0.0);
+}
+
+TEST(Ofdm, MultipathChannelEstimatedExactly) {
+  // Channel with taps inside the CP: the LS estimate must equal the true
+  // DFT of the taps at the occupied bins, and ZF must recover the bits.
+  const OfdmConfig cfg = SmallConfig();
+  const auto bits = RandomBits(2 * 56, 23);
+  auto payload = ModulateBits(bits, Modulation::kQpsk);
+  auto burst = ModulateBurst(*payload, cfg);
+  ASSERT_TRUE(burst.ok());
+
+  std::vector<Cplx> taps(8, Cplx(0.0, 0.0));
+  taps[0] = {0.9, 0.1};
+  taps[3] = {-0.3, 0.2};
+  taps[7] = {0.1, -0.15};
+
+  common::Rng rng(2);
+  const auto rx = ApplyChannel(burst->waveform, taps, 0.0, rng);
+  auto demod = DemodulateBurst(rx, burst->data_symbol_count, cfg);
+  ASSERT_TRUE(demod.ok());
+
+  // True frequency response: DFT of the taps.
+  std::vector<Cplx> grid(64, Cplx(0.0, 0.0));
+  std::copy(taps.begin(), taps.end(), grid.begin());
+  const auto h_true = Fft(grid);
+  for (std::size_t i = 0; i < cfg.subcarriers.size(); ++i) {
+    const int k = cfg.subcarriers[i];
+    const int bin = k >= 0 ? k : 64 + k;
+    EXPECT_LT(std::abs(demod->csi.Values()[i] - h_true[std::size_t(bin)]),
+              1e-9);
+  }
+  const auto decoded = DemodulateSymbols(
+      std::span<const Cplx>(demod->symbols.data(), payload->size()),
+      Modulation::kQpsk);
+  EXPECT_EQ(BitErrorRate(bits, decoded), 0.0);
+}
+
+TEST(Ofdm, NoisyChannelStillDecodesAtHighSnr) {
+  const OfdmConfig cfg = SmallConfig();
+  const auto bits = RandomBits(2 * 56 * 4, 29);
+  auto payload = ModulateBits(bits, Modulation::kQpsk);
+  auto burst = ModulateBurst(*payload, cfg);
+  ASSERT_TRUE(burst.ok());
+  std::vector<Cplx> taps{{1.0, 0.0}, {0.0, 0.0}, {0.3, -0.1}};
+  common::Rng rng(3);
+  const auto rx = ApplyChannel(burst->waveform, taps, 1e-6, rng);
+  auto demod = DemodulateBurst(rx, burst->data_symbol_count, cfg);
+  ASSERT_TRUE(demod.ok());
+  const auto decoded = DemodulateSymbols(
+      std::span<const Cplx>(demod->symbols.data(), payload->size()),
+      Modulation::kQpsk);
+  EXPECT_LT(BitErrorRate(bits, decoded), 0.01);
+}
+
+TEST(Ofdm, TruncatedRxRejected) {
+  const OfdmConfig cfg = SmallConfig();
+  const std::vector<Cplx> payload(56, Cplx(1.0, 0.0));
+  auto burst = ModulateBurst(payload, cfg);
+  ASSERT_TRUE(burst.ok());
+  const std::span<const Cplx> half(burst->waveform.data(),
+                                   burst->waveform.size() / 2);
+  EXPECT_FALSE(DemodulateBurst(half, burst->data_symbol_count, cfg).ok());
+}
+
+// -------------------------------------------- the PHY measurement chain
+
+TEST(PhyChain, MatchesDirectSynthesisOnIntegerDelays) {
+  // A link whose path delays are exact sample multiples: the PHY-estimated
+  // CSI must match the direct (oracle) synthesis to numerical precision.
+  channel::ChannelConfig ccfg;
+  ccfg.rician_k_db = 80.0;            // Deterministic gains.
+  ccfg.noise_floor_dbm = -300.0;      // No noise.
+  const double sample_m = common::kSpeedOfLight / ccfg.bandwidth_hz;
+  std::vector<channel::PropagationPath> paths(2);
+  paths[0].length_m = 1.0 * sample_m;
+  paths[0].loss_db = 60.0;
+  paths[0].is_direct = true;
+  paths[1].length_m = 4.0 * sample_m;
+  paths[1].loss_db = 70.0;
+  const channel::LinkModel link(paths, ccfg);
+
+  auto phy = link.MeasurePhyCsi(nullptr);  // Deterministic chain.
+  ASSERT_TRUE(phy.ok()) << phy.status().ToString();
+  const auto direct = link.MeanResponse();
+  ASSERT_EQ(phy->SubcarrierCount(), direct.SubcarrierCount());
+  for (std::size_t i = 0; i < direct.SubcarrierCount(); ++i) {
+    EXPECT_LT(std::abs(phy->Values()[i] - direct.Values()[i]),
+              1e-3 * std::abs(direct.Values()[i]) + 1e-12)
+        << "subcarrier " << i;
+  }
+}
+
+TEST(PhyChain, PdpAgreesWithOracleOnRealLink) {
+  // On a full ray-traced link the PHY chain and the oracle differ only by
+  // fractional-delay discretisation; their PDPs must agree closely.
+  auto env = channel::IndoorEnvironment::Create(
+      geometry::Polygon::Rectangle(0, 0, 12, 8));
+  ASSERT_TRUE(env.ok());
+  channel::ChannelConfig ccfg;
+  ccfg.rician_k_db = 80.0;
+  ccfg.noise_floor_dbm = -300.0;
+  const channel::CsiSimulator sim(*env, ccfg);
+  const auto link = sim.MakeLink({1.0, 4.0}, {9.0, 4.0});
+  auto phy = link.MeasurePhyCsi(nullptr);  // Deterministic chain.
+  ASSERT_TRUE(phy.ok());
+  const double pdp_phy =
+      PdpOfCir(CsiToCir(*phy, ccfg.bandwidth_hz), {});
+  const double pdp_direct =
+      PdpOfCir(CsiToCir(link.MeanResponse(), ccfg.bandwidth_hz), {});
+  EXPECT_NEAR(pdp_phy / pdp_direct, 1.0, 0.1);
+}
+
+TEST(PhyChain, ProximityOrderingPreserved) {
+  // The end-to-end question: does judging proximity from PHY-measured CSI
+  // give the same answer as the oracle?  Near/far link pair.
+  auto env = channel::IndoorEnvironment::Create(
+      geometry::Polygon::Rectangle(0, 0, 12, 8));
+  ASSERT_TRUE(env.ok());
+  channel::ChannelConfig ccfg;
+  const channel::CsiSimulator sim(*env, ccfg);
+  common::Rng rng(9);
+  const geometry::Vec2 object{3.0, 4.0};
+  const auto near_link = sim.MakeLink(object, {5.0, 4.0});
+  const auto far_link = sim.MakeLink(object, {11.0, 4.0});
+  int correct = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto near_csi = near_link.MeasurePhyCsi(&rng);
+    auto far_csi = far_link.MeasurePhyCsi(&rng);
+    ASSERT_TRUE(near_csi.ok());
+    ASSERT_TRUE(far_csi.ok());
+    const double p_near =
+        PdpOfCir(CsiToCir(*near_csi, ccfg.bandwidth_hz), {});
+    const double p_far = PdpOfCir(CsiToCir(*far_csi, ccfg.bandwidth_hz), {});
+    if (p_near > p_far) ++correct;
+  }
+  EXPECT_GE(correct, 18);
+}
+
+}  // namespace
+}  // namespace nomloc::dsp

@@ -1,0 +1,112 @@
+#include "eval/export.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::eval {
+namespace {
+
+RunResult SmallResult() {
+  RunResult result;
+  SiteResult a;
+  a.site = {2.0, 1.5};
+  a.trial_errors_m = {1.0, 2.0};
+  a.mean_error_m = 1.5;
+  SiteResult b;
+  b.site = {6.0, 4.0};
+  b.trial_errors_m = {0.5};
+  b.mean_error_m = 0.5;
+  result.sites = {a, b};
+  result.slv = common::SpatialLocalizabilityVariance(
+      result.SiteMeanErrors());
+  return result;
+}
+
+TEST(ScenarioExport, ContainsAllGeometry) {
+  const common::Json json = ScenarioToJson(LabScenario());
+  EXPECT_EQ(*json.GetString("name"), "lab");
+  EXPECT_EQ(json.Get("boundary")->AsArray().size(), 4u);
+  EXPECT_EQ(json.Get("static_aps")->AsArray().size(), 4u);
+  EXPECT_EQ(json.Get("nomadic_sites")->AsArray().size(), 4u);
+  EXPECT_EQ(json.Get("test_sites")->AsArray().size(), 10u);
+  EXPECT_EQ(json.Get("obstacles")->AsArray().size(), 6u);
+  EXPECT_EQ(json.Get("scatterers")->AsArray().size(), 24u);
+}
+
+TEST(ScenarioExport, ObstaclesCarryMaterialNames) {
+  const common::Json json = ScenarioToJson(LabScenario());
+  auto obstacles_result = json.Get("obstacles");
+  ASSERT_TRUE(obstacles_result.ok());
+  const auto& obstacles = obstacles_result->AsArray();
+  bool has_metal = false, has_desk = false;
+  for (const auto& o : obstacles) {
+    const std::string name = *o.GetString("material");
+    has_metal |= name == "metal";
+    has_desk |= name == "desk+pc";
+    EXPECT_GE(o.Get("vertices")->AsArray().size(), 3u);
+  }
+  EXPECT_TRUE(has_metal);
+  EXPECT_TRUE(has_desk);
+}
+
+TEST(ScenarioExport, SerializesAndParses) {
+  const common::Json json = ScenarioToJson(LobbyScenario());
+  auto parsed = common::Json::Parse(json.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, json);
+}
+
+TEST(RunResultExport, RoundTripsThroughJsonText) {
+  const RunResult original = SmallResult();
+  const common::Json json = RunResultToJson(original);
+  auto parsed_json = common::Json::Parse(json.Dump());
+  ASSERT_TRUE(parsed_json.ok());
+  auto restored = RunResultFromJson(*parsed_json);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored->sites.size(), original.sites.size());
+  for (std::size_t i = 0; i < original.sites.size(); ++i) {
+    EXPECT_EQ(restored->sites[i].site, original.sites[i].site);
+    EXPECT_EQ(restored->sites[i].trial_errors_m,
+              original.sites[i].trial_errors_m);
+    EXPECT_DOUBLE_EQ(restored->sites[i].mean_error_m,
+                     original.sites[i].mean_error_m);
+  }
+  EXPECT_DOUBLE_EQ(restored->slv, original.slv);
+}
+
+TEST(RunResultExport, IncludesSummaryStats) {
+  const common::Json json = RunResultToJson(SmallResult());
+  EXPECT_TRUE(json.GetDouble("mean_error_m").ok());
+  EXPECT_TRUE(json.GetDouble("p50_m").ok());
+  EXPECT_TRUE(json.GetDouble("p90_m").ok());
+  EXPECT_TRUE(json.GetDouble("slv_m2").ok());
+}
+
+TEST(RunResultImport, RejectsSchemaViolations) {
+  EXPECT_FALSE(RunResultFromJson(common::Json(1.0)).ok());
+  auto no_sites = common::Json::Parse(R"({"slv_m2": 0.0})");
+  ASSERT_TRUE(no_sites.ok());
+  EXPECT_FALSE(RunResultFromJson(*no_sites).ok());
+  auto bad_site = common::Json::Parse(
+      R"({"sites": [{"position": "oops"}], "slv_m2": 0.0})");
+  ASSERT_TRUE(bad_site.ok());
+  EXPECT_FALSE(RunResultFromJson(*bad_site).ok());
+}
+
+TEST(RunResultExport, RealRunExportsCleanly) {
+  RunConfig cfg;
+  cfg.packets_per_batch = 10;
+  cfg.trials = 2;
+  cfg.dwell_count = 4;
+  cfg.seed = 5;
+  auto result = RunLocalization(LabScenario(), cfg);
+  ASSERT_TRUE(result.ok());
+  const common::Json json = RunResultToJson(*result);
+  auto restored = RunResultFromJson(json);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->slv, result->slv);
+  EXPECT_EQ(restored->sites.size(), result->sites.size());
+}
+
+}  // namespace
+}  // namespace nomloc::eval

@@ -1,0 +1,88 @@
+#include "eval/render.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nomloc::eval {
+namespace {
+
+std::vector<std::string> Lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Render, ProducesGridOfExpectedShape) {
+  const Scenario lab = LabScenario();
+  const std::string art = RenderScenario(lab);
+  const auto lines = Lines(art);
+  // 12 x 8 m at 2 cells/m horizontally, 1 cell/m vertically.
+  ASSERT_EQ(lines.size(), 9u);
+  for (const auto& line : lines) EXPECT_EQ(line.size(), 25u);
+}
+
+TEST(Render, ContainsAllMarkerClasses) {
+  const Scenario lab = LabScenario();
+  const std::string art = RenderScenario(lab);
+  EXPECT_NE(art.find('A'), std::string::npos);  // Static APs.
+  EXPECT_NE(art.find('N'), std::string::npos);  // Nomadic sites.
+  EXPECT_NE(art.find('x'), std::string::npos);  // Test sites.
+  EXPECT_NE(art.find('o'), std::string::npos);  // Obstacles.
+  EXPECT_NE(art.find('#'), std::string::npos);  // Walls.
+  EXPECT_NE(art.find('.'), std::string::npos);  // Free space.
+}
+
+TEST(Render, LShapeHasBlankOutsideRegion) {
+  const Scenario lobby = LobbyScenario();
+  const std::string art = RenderScenario(lobby);
+  const auto lines = Lines(art);
+  // Top rows (high y) only cover the vertical arm: the right side of the
+  // canvas must be blank there.
+  ASSERT_GE(lines.size(), 4u);
+  const std::string& top = lines[1];
+  EXPECT_NE(top.find(' '), std::string::npos);
+  EXPECT_EQ(top.back(), ' ');
+}
+
+TEST(Render, MarkersDrawn) {
+  const Scenario lab = LabScenario();
+  RenderOptions opts;
+  opts.markers.push_back({6.0, 4.0});
+  const std::string art = RenderScenario(lab, opts);
+  EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+TEST(Render, ScaleControlsResolution) {
+  const Scenario lab = LabScenario();
+  RenderOptions coarse;
+  coarse.cells_per_m = 1.0;
+  RenderOptions fine;
+  fine.cells_per_m = 4.0;
+  EXPECT_LT(RenderScenario(lab, coarse).size(),
+            RenderScenario(lab, fine).size());
+}
+
+TEST(Render, InvalidScaleThrows) {
+  const Scenario lab = LabScenario();
+  RenderOptions bad;
+  bad.cells_per_m = 0.0;
+  EXPECT_THROW(RenderScenario(lab, bad), std::logic_error);
+}
+
+TEST(Render, InteriorWallsVisibleInOffice) {
+  const Scenario office = OfficeScenario();
+  const std::string art = RenderScenario(office);
+  const auto lines = Lines(art);
+  // The corridor walls put '#' runs in interior rows (not just borders).
+  std::size_t interior_wall_rows = 0;
+  for (std::size_t r = 2; r + 2 < lines.size(); ++r) {
+    if (lines[r].find("###") != std::string::npos) ++interior_wall_rows;
+  }
+  EXPECT_GE(interior_wall_rows, 1u);
+}
+
+}  // namespace
+}  // namespace nomloc::eval

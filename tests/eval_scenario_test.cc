@@ -1,0 +1,224 @@
+#include "eval/runner.h"
+#include "eval/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::eval {
+namespace {
+
+using geometry::Vec2;
+
+RunConfig SmallConfig() {
+  RunConfig cfg;
+  cfg.packets_per_batch = 10;
+  cfg.trials = 2;
+  cfg.dwell_count = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Scenarios, LabLayoutMatchesPaper) {
+  const Scenario lab = LabScenario();
+  EXPECT_EQ(lab.name, "lab");
+  EXPECT_EQ(lab.static_aps.size(), 4u);      // 4 APs (§V-B).
+  EXPECT_EQ(lab.nomadic_sites.size(), 4u);   // {home, P1, P2, P3}.
+  EXPECT_EQ(lab.test_sites.size(), 10u);     // 10 sites (§V-C).
+  EXPECT_EQ(lab.nomadic_sites.front(), lab.static_aps.front());
+}
+
+TEST(Scenarios, LobbyLayoutMatchesPaper) {
+  const Scenario lobby = LobbyScenario();
+  EXPECT_EQ(lobby.name, "lobby");
+  EXPECT_EQ(lobby.static_aps.size(), 4u);
+  EXPECT_EQ(lobby.nomadic_sites.size(), 4u);
+  EXPECT_EQ(lobby.test_sites.size(), 12u);   // 12 sites (§V-C).
+  EXPECT_FALSE(lobby.env.Boundary().IsConvex());  // The L shape.
+}
+
+TEST(Scenarios, AllSitesAreInFreeSpace) {
+  for (const Scenario& s : {LabScenario(), LobbyScenario()}) {
+    for (const Vec2 p : s.static_aps) EXPECT_TRUE(s.env.IsFreeSpace(p));
+    for (const Vec2 p : s.nomadic_sites) EXPECT_TRUE(s.env.IsFreeSpace(p));
+    for (const Vec2 p : s.test_sites) EXPECT_TRUE(s.env.IsFreeSpace(p));
+  }
+}
+
+TEST(Scenarios, LabIsMoreClutteredThanLobby) {
+  const Scenario lab = LabScenario();
+  const Scenario lobby = LobbyScenario();
+  EXPECT_GT(lab.env.Obstacles().size(), lobby.env.Obstacles().size());
+  EXPECT_GT(lab.env.Scatterers().size(), lobby.env.Scatterers().size());
+}
+
+TEST(Scenarios, LabHasNlosTestSites) {
+  // At least one test-site/AP link must be blocked (the clutter that
+  // motivates the whole paper).
+  const Scenario lab = LabScenario();
+  int blocked = 0;
+  for (const Vec2 site : lab.test_sites)
+    for (const Vec2 ap : lab.static_aps)
+      if (!lab.env.HasLineOfSight(site, ap)) ++blocked;
+  EXPECT_GT(blocked, 3);
+}
+
+TEST(Scenarios, ByNameLookup) {
+  EXPECT_TRUE(ScenarioByName("lab").ok());
+  EXPECT_TRUE(ScenarioByName("lobby").ok());
+  EXPECT_TRUE(ScenarioByName("office").ok());
+  EXPECT_EQ(ScenarioByName("warehouse").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(Scenarios, OfficeHasInteriorWalls) {
+  const Scenario office = OfficeScenario();
+  EXPECT_EQ(office.test_sites.size(), 12u);
+  // Walls: 4 boundary edges + 7 drywall partitions + 2 obstacles x 4.
+  EXPECT_EQ(office.env.Walls().size(), 4u + 7u + 8u);
+  for (const Vec2 p : office.static_aps) EXPECT_TRUE(office.env.IsFreeSpace(p));
+  for (const Vec2 p : office.test_sites) EXPECT_TRUE(office.env.IsFreeSpace(p));
+}
+
+TEST(Scenarios, OfficeWallsBlockButDoorsAllow) {
+  const Scenario office = OfficeScenario();
+  // Through a drywall wall (open area to office, no door on the path).
+  EXPECT_FALSE(office.env.HasLineOfSight({3.0, 2.0}, {2.0, 8.0}));
+  // Through the corridor door gaps: open-area (9,2) sees corridor (9,5.2).
+  EXPECT_TRUE(office.env.HasLineOfSight({9.0, 2.0}, {9.0, 5.2}));
+}
+
+TEST(Scenarios, OfficeLocalizationRuns) {
+  RunConfig cfg = SmallConfig();
+  auto result = RunLocalization(OfficeScenario(), cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->sites.size(), 12u);
+  EXPECT_LT(result->MeanError(), 6.0);
+}
+
+TEST(Scenarios, OfficeNomadicBeatsStatic) {
+  RunConfig nomadic = SmallConfig();
+  nomadic.trials = 4;
+  RunConfig fixed = nomadic;
+  fixed.deployment = Deployment::kStatic;
+  const Scenario office = OfficeScenario();
+  auto rn = RunLocalization(office, nomadic);
+  auto rs = RunLocalization(office, fixed);
+  ASSERT_TRUE(rn.ok());
+  ASSERT_TRUE(rs.ok());
+  EXPECT_LT(rn->MeanError(), rs->MeanError() + 0.3);
+}
+
+TEST(Scenarios, ScatterersDeterministicPerSeed) {
+  const Scenario a = LabScenario(123);
+  const Scenario b = LabScenario(123);
+  const Scenario c = LabScenario(456);
+  ASSERT_EQ(a.env.Scatterers().size(), b.env.Scatterers().size());
+  for (std::size_t i = 0; i < a.env.Scatterers().size(); ++i)
+    EXPECT_EQ(a.env.Scatterers()[i], b.env.Scatterers()[i]);
+  EXPECT_NE(a.env.Scatterers()[0], c.env.Scatterers()[0]);
+}
+
+TEST(Runner, ProducesOneResultPerSite) {
+  const Scenario lab = LabScenario();
+  RunConfig cfg = SmallConfig();
+  auto result = RunLocalization(lab, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->sites.size(), lab.test_sites.size());
+  for (const SiteResult& site : result->sites) {
+    EXPECT_EQ(site.trial_errors_m.size(), cfg.trials);
+    EXPECT_GE(site.mean_error_m, 0.0);
+  }
+  EXPECT_GE(result->slv, 0.0);
+}
+
+TEST(Runner, ZeroTrialsRejected) {
+  RunConfig cfg = SmallConfig();
+  cfg.trials = 0;
+  EXPECT_FALSE(RunLocalization(LabScenario(), cfg).ok());
+}
+
+TEST(Runner, DeterministicGivenSeed) {
+  const Scenario lab = LabScenario();
+  auto a = RunLocalization(lab, SmallConfig());
+  auto b = RunLocalization(lab, SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->sites.size(); ++i)
+    EXPECT_DOUBLE_EQ(a->sites[i].mean_error_m, b->sites[i].mean_error_m);
+}
+
+TEST(Runner, StaticDeploymentUsesOnlyStaticAnchors) {
+  const Scenario lab = LabScenario();
+  RunConfig cfg = SmallConfig();
+  cfg.deployment = Deployment::kStatic;
+  cfg.trials = 1;
+  auto result = RunLocalization(lab, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sites.size(), lab.test_sites.size());
+}
+
+TEST(Runner, AllErrorsPoolsTrials) {
+  auto result = RunLocalization(LabScenario(), SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AllErrors().size(),
+            result->sites.size() * SmallConfig().trials);
+  EXPECT_EQ(result->SiteMeanErrors().size(), result->sites.size());
+  EXPECT_GE(result->MeanError(), 0.0);
+}
+
+TEST(Runner, ParallelRunBitIdenticalToSequential) {
+  const Scenario lab = LabScenario();
+  RunConfig seq = SmallConfig();
+  RunConfig par = SmallConfig();
+  par.threads = 4;
+  auto a = RunLocalization(lab, seq);
+  auto b = RunLocalization(lab, par);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->sites.size(), b->sites.size());
+  for (std::size_t i = 0; i < a->sites.size(); ++i) {
+    ASSERT_EQ(a->sites[i].trial_errors_m.size(),
+              b->sites[i].trial_errors_m.size());
+    for (std::size_t t = 0; t < a->sites[i].trial_errors_m.size(); ++t)
+      EXPECT_DOUBLE_EQ(a->sites[i].trial_errors_m[t],
+                       b->sites[i].trial_errors_m[t]);
+  }
+  EXPECT_DOUBLE_EQ(a->slv, b->slv);
+}
+
+TEST(Runner, MimoConfigurationRuns) {
+  const Scenario lab = LabScenario();
+  RunConfig cfg = SmallConfig();
+  cfg.channel.rx_antennas = 3;
+  auto result = RunLocalization(lab, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->MeanError(), 5.0);
+}
+
+TEST(Runner, ProximityAccuracyBetweenZeroAndOne) {
+  const Scenario lobby = LobbyScenario();
+  RunConfig cfg = SmallConfig();
+  auto result = RunProximityAccuracy(lobby, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_site_accuracy.size(), lobby.test_sites.size());
+  for (double acc : result->per_site_accuracy) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+TEST(Runner, ProximityAccuracyIsHighOverall) {
+  // The PDP mechanism is the paper's Fig. 7 claim: mostly > 85 %.
+  const Scenario lobby = LobbyScenario();
+  RunConfig cfg = SmallConfig();
+  cfg.trials = 4;
+  cfg.packets_per_batch = 20;
+  auto result = RunProximityAccuracy(lobby, cfg);
+  ASSERT_TRUE(result.ok());
+  double mean = 0.0;
+  for (double acc : result->per_site_accuracy) mean += acc;
+  mean /= double(result->per_site_accuracy.size());
+  EXPECT_GT(mean, 0.7);
+}
+
+}  // namespace
+}  // namespace nomloc::eval

@@ -1,0 +1,159 @@
+#include "geometry/convex_decomp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+
+namespace nomloc::geometry {
+namespace {
+
+Polygon LShape() {
+  auto p = Polygon::Create(
+      {{0.0, 0.0}, {4.0, 0.0}, {4.0, 2.0}, {2.0, 2.0}, {2.0, 4.0}, {0.0, 4.0}});
+  return std::move(p).value();
+}
+
+double TotalArea(std::span<const Polygon> parts) {
+  double area = 0.0;
+  for (const Polygon& p : parts) area += p.Area();
+  return area;
+}
+
+TEST(Triangulate, TriangleIsItself) {
+  auto tri = Polygon::Create({{0.0, 0.0}, {2.0, 0.0}, {1.0, 2.0}});
+  auto result = Triangulate(*tri);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(Triangulate, SquareGivesTwoTriangles) {
+  auto result = Triangulate(Polygon::Rectangle(0.0, 0.0, 1.0, 1.0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(Triangulate, CountIsVerticesMinusTwo) {
+  const Polygon l = LShape();
+  auto result = Triangulate(l);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), l.VertexCount() - 2);
+}
+
+TEST(Triangulate, AreasSumToPolygonArea) {
+  const Polygon l = LShape();
+  auto result = Triangulate(l);
+  ASSERT_TRUE(result.ok());
+  double area = 0.0;
+  for (const auto& t : *result) {
+    const Vec2 tri[] = {t[0], t[1], t[2]};
+    area += std::abs(SignedArea(tri));
+  }
+  EXPECT_NEAR(area, l.Area(), 1e-9);
+}
+
+TEST(DecomposeConvex, ConvexInputPassesThrough) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 2.0, 2.0);
+  auto result = DecomposeConvex(sq);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_NEAR(result->front().Area(), 4.0, 1e-12);
+}
+
+TEST(DecomposeConvex, LShapeSplitsIntoFewConvexParts) {
+  auto result = DecomposeConvex(LShape());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->size(), 2u);
+  EXPECT_LE(result->size(), 3u);  // Optimal is 2; Hertel–Mehlhorn <= 4x.
+  for (const Polygon& part : *result) EXPECT_TRUE(part.IsConvex());
+  EXPECT_NEAR(TotalArea(*result), 12.0, 1e-9);
+}
+
+TEST(DecomposeConvex, PartsCoverRepresentativePoints) {
+  auto result = DecomposeConvex(LShape());
+  ASSERT_TRUE(result.ok());
+  const Vec2 inside_points[] = {{1.0, 1.0}, {3.0, 1.0}, {1.0, 3.0},
+                                {0.5, 0.5}, {3.9, 1.9}, {1.9, 3.9}};
+  for (const Vec2 p : inside_points) {
+    bool covered = false;
+    for (const Polygon& part : *result)
+      if (part.Contains(p)) covered = true;
+    EXPECT_TRUE(covered) << "point " << p.x << "," << p.y;
+  }
+  // The notch stays uncovered.
+  for (const Polygon& part : *result) EXPECT_FALSE(part.Contains({3.0, 3.0}));
+}
+
+TEST(DecomposeConvex, UShape) {
+  auto u = Polygon::Create({{0.0, 0.0},
+                            {6.0, 0.0},
+                            {6.0, 4.0},
+                            {4.0, 4.0},
+                            {4.0, 2.0},
+                            {2.0, 2.0},
+                            {2.0, 4.0},
+                            {0.0, 4.0}});
+  ASSERT_TRUE(u.ok());
+  auto result = DecomposeConvex(*u);
+  ASSERT_TRUE(result.ok());
+  for (const Polygon& part : *result) EXPECT_TRUE(part.IsConvex());
+  EXPECT_NEAR(TotalArea(*result), u->Area(), 1e-9);
+  // Interiors must be disjoint: sampled points are in at most one part's
+  // strict interior.
+  common::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 p{rng.Uniform(0.0, 6.0), rng.Uniform(0.0, 4.0)};
+    int strictly_inside = 0;
+    for (const Polygon& part : *result) {
+      if (part.Contains(p) && part.BoundaryDistance(p) > 1e-9)
+        ++strictly_inside;
+    }
+    EXPECT_LE(strictly_inside, 1);
+  }
+}
+
+TEST(DecomposeConvex, StarShapedPolygon) {
+  // An 8-vertex star (alternating radii) — many reflex vertices.
+  std::vector<Vec2> star;
+  for (int k = 0; k < 8; ++k) {
+    const double ang = 2.0 * std::numbers::pi * k / 8.0;
+    const double r = (k % 2 == 0) ? 4.0 : 1.5;
+    star.push_back({r * std::cos(ang), r * std::sin(ang)});
+  }
+  auto poly = Polygon::Create(star);
+  ASSERT_TRUE(poly.ok());
+  auto result = DecomposeConvex(*poly);
+  ASSERT_TRUE(result.ok());
+  for (const Polygon& part : *result) EXPECT_TRUE(part.IsConvex());
+  EXPECT_NEAR(TotalArea(*result), poly->Area(), 1e-9);
+}
+
+// Property sweep over random rectilinear staircase polygons.
+class StaircaseDecompTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaircaseDecompTest, DecomposesCleanly) {
+  const int steps = GetParam();
+  // Build a staircase: up-right k times, then close along the axes.
+  std::vector<Vec2> v;
+  v.push_back({0.0, 0.0});
+  v.push_back({double(steps + 1), 0.0});
+  for (int k = steps; k >= 1; --k) {
+    v.push_back({double(k), double(steps + 1 - k)});
+    v.push_back({double(k), double(steps + 2 - k)});
+  }
+  v.push_back({0.0, double(steps + 1)});
+  auto poly = Polygon::Create(v);
+  ASSERT_TRUE(poly.ok()) << poly.status().ToString();
+  auto result = DecomposeConvex(*poly);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const Polygon& part : *result) EXPECT_TRUE(part.IsConvex());
+  EXPECT_NEAR(TotalArea(*result), poly->Area(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Staircases, StaircaseDecompTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace nomloc::geometry

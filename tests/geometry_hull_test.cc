@@ -1,0 +1,108 @@
+#include "geometry/hull.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace nomloc::geometry {
+namespace {
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  const std::vector<Vec2> pts{{0, 0}, {4, 0}, {4, 4}, {0, 4},
+                              {2, 2}, {1, 3}, {3, 1}};
+  const auto hull = ConvexHull(pts);
+  ASSERT_EQ(hull.size(), 4u);
+  EXPECT_GT(SignedArea(hull), 0.0);  // CCW.
+  EXPECT_NEAR(std::abs(SignedArea(hull)), 16.0, 1e-12);
+}
+
+TEST(ConvexHull, CollinearPointsDegenerate) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = ConvexHull(pts);
+  EXPECT_LT(hull.size(), 3u);
+}
+
+TEST(ConvexHull, DuplicatesIgnored) {
+  const std::vector<Vec2> pts{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}};
+  const auto hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHull, CollinearBoundaryPointsDropped) {
+  const std::vector<Vec2> pts{{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}};
+  const auto hull = ConvexHull(pts);
+  EXPECT_EQ(hull.size(), 4u);  // (2,0) lies on an edge.
+}
+
+TEST(ConvexHullProperty, ContainsAllInputPoints) {
+  common::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 40; ++i)
+      pts.push_back({rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+    const auto hull = ConvexHull(pts);
+    ASSERT_GE(hull.size(), 3u);
+    auto poly = Polygon::Create(std::vector<Vec2>(hull.begin(), hull.end()));
+    ASSERT_TRUE(poly.ok());
+    EXPECT_TRUE(poly->IsConvex());
+    for (const Vec2 p : pts) EXPECT_TRUE(poly->Contains(p, 1e-9));
+  }
+}
+
+TEST(ConvexHullProperty, HullOfHullIsIdempotent) {
+  common::Rng rng(11);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 50; ++i)
+    pts.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  const auto hull1 = ConvexHull(pts);
+  const auto hull2 = ConvexHull(hull1);
+  EXPECT_EQ(hull1.size(), hull2.size());
+}
+
+TEST(RandomPointIn, AlwaysInsidePolygon) {
+  auto l = Polygon::Create(
+      {{0.0, 0.0}, {4.0, 0.0}, {4.0, 2.0}, {2.0, 2.0}, {2.0, 4.0}, {0.0, 4.0}});
+  ASSERT_TRUE(l.ok());
+  common::Rng rng(13);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_TRUE(l->Contains(RandomPointIn(*l, rng)));
+}
+
+TEST(RandomPointIn, CoversThePolygonRoughlyUniformly) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 2.0, 2.0);
+  common::Rng rng(17);
+  int left = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (RandomPointIn(sq, rng).x < 1.0) ++left;
+  EXPECT_NEAR(double(left) / n, 0.5, 0.02);
+}
+
+TEST(GridPointsIn, CountMatchesAreaOverStepSquared) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 4.0, 2.0);
+  const auto pts = GridPointsIn(sq, 0.5);
+  EXPECT_EQ(pts.size(), 32u);  // 8 x 4 cells.
+  for (const Vec2 p : pts) EXPECT_TRUE(sq.Contains(p));
+}
+
+TEST(GridPointsIn, RespectsNonConvexShape) {
+  auto l = Polygon::Create(
+      {{0.0, 0.0}, {4.0, 0.0}, {4.0, 2.0}, {2.0, 2.0}, {2.0, 4.0}, {0.0, 4.0}});
+  ASSERT_TRUE(l.ok());
+  const auto pts = GridPointsIn(*l, 1.0);
+  for (const Vec2 p : pts) {
+    EXPECT_TRUE(l->Contains(p));
+    EXPECT_FALSE(p.x > 2.0 && p.y > 2.0);  // Nothing in the notch.
+  }
+  EXPECT_EQ(pts.size(), 12u);  // 12 m^2 at 1 point / m^2.
+}
+
+TEST(GridPointsIn, InvalidStepThrows) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 1.0, 1.0);
+  EXPECT_THROW(GridPointsIn(sq, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nomloc::geometry

@@ -1,0 +1,176 @@
+#include "geometry/line.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::geometry {
+namespace {
+
+TEST(Line, ThroughTwoPoints) {
+  const Line l = Line::Through({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_EQ(l.origin, Vec2(0.0, 0.0));
+  EXPECT_EQ(l.dir, Vec2(1.0, 1.0));
+}
+
+TEST(Line, ThroughCoincidentPointsThrows) {
+  EXPECT_THROW(Line::Through({1.0, 1.0}, {1.0, 1.0}), std::logic_error);
+}
+
+TEST(Line, DistanceToPoint) {
+  const Line x_axis = Line::Through({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_DOUBLE_EQ(x_axis.DistanceTo({5.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(x_axis.DistanceTo({-2.0, -4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(x_axis.DistanceTo({7.0, 0.0}), 0.0);
+}
+
+TEST(Line, ProjectOntoLine) {
+  const Line diag = Line::Through({0.0, 0.0}, {1.0, 1.0});
+  const Vec2 p = diag.Project({2.0, 0.0});
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(Line, MirrorReflectsAcross) {
+  const Line x_axis = Line::Through({0.0, 0.0}, {1.0, 0.0});
+  const Vec2 m = x_axis.Mirror({3.0, 4.0});
+  EXPECT_NEAR(m.x, 3.0, 1e-12);
+  EXPECT_NEAR(m.y, -4.0, 1e-12);
+}
+
+TEST(Line, MirrorIsInvolution) {
+  const Line l = Line::Through({1.0, 2.0}, {4.0, -1.0});
+  const Vec2 p{0.3, 7.2};
+  const Vec2 back = l.Mirror(l.Mirror(p));
+  EXPECT_NEAR(back.x, p.x, 1e-9);
+  EXPECT_NEAR(back.y, p.y, 1e-9);
+}
+
+TEST(Line, MirrorOfPointOnLineIsItself) {
+  const Line l = Line::Through({0.0, 0.0}, {1.0, 1.0});
+  const Vec2 m = l.Mirror({2.0, 2.0});
+  EXPECT_NEAR(m.x, 2.0, 1e-12);
+  EXPECT_NEAR(m.y, 2.0, 1e-12);
+}
+
+TEST(Line, MirrorPreservesDistanceToLine) {
+  const Line l = Line::Through({-1.0, 3.0}, {2.0, 1.5});
+  const Vec2 p{4.0, -2.0};
+  EXPECT_NEAR(l.DistanceTo(p), l.DistanceTo(l.Mirror(p)), 1e-9);
+}
+
+TEST(Line, SideSignsAreOpposite) {
+  const Line x_axis = Line::Through({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_GT(x_axis.Side({0.0, 1.0}), 0.0);
+  EXPECT_LT(x_axis.Side({0.0, -1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(x_axis.Side({5.0, 0.0}), 0.0);
+}
+
+TEST(Segment, LengthAndMidpoint) {
+  const Segment s{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+  EXPECT_EQ(s.Midpoint(), Vec2(1.5, 2.0));
+}
+
+TEST(Segment, ClosestPointClamps) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_EQ(s.ClosestPointTo({5.0, 3.0}), Vec2(5.0, 0.0));
+  EXPECT_EQ(s.ClosestPointTo({-2.0, 1.0}), Vec2(0.0, 0.0));
+  EXPECT_EQ(s.ClosestPointTo({12.0, 1.0}), Vec2(10.0, 0.0));
+}
+
+TEST(Segment, DistanceToPoint) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(s.DistanceTo({13.0, 4.0}), 5.0);
+}
+
+TEST(Segment, DegenerateSegmentActsAsPoint) {
+  const Segment s{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(s.ClosestPointTo({5.0, 1.0}), Vec2(1.0, 1.0));
+  EXPECT_DOUBLE_EQ(s.DistanceTo({4.0, 5.0}), 5.0);
+}
+
+TEST(IntersectLines, CrossingLines) {
+  const Line a = Line::Through({0.0, 0.0}, {1.0, 1.0});
+  const Line b = Line::Through({0.0, 2.0}, {1.0, 3.0});
+  // b is parallel to a — no intersection.
+  EXPECT_FALSE(IntersectLines(a, b).has_value());
+
+  const Line c = Line::Through({0.0, 2.0}, {2.0, 0.0});
+  const auto hit = IntersectLines(a, c);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 1.0, 1e-12);
+}
+
+TEST(IntersectSegments, BasicCross) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  const auto hit = IntersectSegments(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 1.0, 1e-12);
+}
+
+TEST(IntersectSegments, MissWhenShort) {
+  const Segment a{{0.0, 0.0}, {0.4, 0.4}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  EXPECT_FALSE(IntersectSegments(a, b).has_value());
+}
+
+TEST(IntersectSegments, SharedEndpointCounts) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{1.0, 0.0}, {1.0, 5.0}};
+  const auto hit = IntersectSegments(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+}
+
+TEST(IntersectSegments, ParallelNonCollinear) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(IntersectSegments(a, b).has_value());
+}
+
+TEST(IntersectSegments, CollinearOverlapping) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{1.0, 0.0}, {3.0, 0.0}};
+  const auto hit = IntersectSegments(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->y, 0.0, 1e-12);
+  EXPECT_GE(hit->x, 1.0 - 1e-9);
+  EXPECT_LE(hit->x, 2.0 + 1e-9);
+}
+
+TEST(IntersectSegments, CollinearDisjoint) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_FALSE(IntersectSegments(a, b).has_value());
+}
+
+TEST(IntersectSegments, PointSegmentOnOther) {
+  const Segment point{{1.0, 0.0}, {1.0, 0.0}};
+  const Segment s{{0.0, 0.0}, {2.0, 0.0}};
+  EXPECT_TRUE(IntersectSegments(point, s).has_value());
+  const Segment off_point{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(IntersectSegments(off_point, s).has_value());
+}
+
+TEST(IntersectSegments, TJunction) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{1.0, -1.0}, {1.0, 0.0}};
+  const auto hit = IntersectSegments(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 0.0, 1e-12);
+}
+
+TEST(SegmentsIntersect, MatchesIntersectSegments) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment cross{{0.0, 2.0}, {2.0, 0.0}};
+  const Segment miss{{5.0, 5.0}, {6.0, 6.0}};
+  EXPECT_TRUE(SegmentsIntersect(a, cross));
+  EXPECT_FALSE(SegmentsIntersect(a, miss));
+}
+
+}  // namespace
+}  // namespace nomloc::geometry

@@ -1,0 +1,148 @@
+#include "geometry/pathfinding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nomloc::geometry {
+namespace {
+
+Polygon Room() { return Polygon::Rectangle(0.0, 0.0, 10.0, 8.0); }
+
+TEST(ShortestPath, StraightLineWhenUnobstructed) {
+  auto plan = ShortestPath(Room(), {}, {1, 1}, {9, 7});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->waypoints.size(), 2u);
+  EXPECT_NEAR(plan->length_m, std::hypot(8.0, 6.0), 1e-9);
+}
+
+TEST(ShortestPath, StartEqualsGoal) {
+  auto plan = ShortestPath(Room(), {}, {3, 3}, {3, 3});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->length_m, 0.0, 1e-12);
+}
+
+TEST(ShortestPath, RoutesAroundAnObstacle) {
+  const std::vector<Polygon> obstacles{
+      Polygon::Rectangle(4.0, 2.0, 6.0, 6.0)};
+  auto plan = ShortestPath(Room(), obstacles, {1, 4}, {9, 4});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Longer than the straight line, with intermediate corner waypoints.
+  EXPECT_GT(plan->length_m, 8.0);
+  EXPECT_GT(plan->waypoints.size(), 2u);
+  // No leg crosses the obstacle interior.
+  for (std::size_t i = 0; i + 1 < plan->waypoints.size(); ++i) {
+    const Vec2 mid = Lerp(plan->waypoints[i], plan->waypoints[i + 1], 0.5);
+    EXPECT_FALSE(obstacles[0].Contains(mid) &&
+                 obstacles[0].BoundaryDistance(mid) > 1e-9);
+  }
+}
+
+TEST(ShortestPath, DetourLengthIsPlausible) {
+  // Obstacle 2 m wide from y=2..6; going from (1,4) to (9,4) around the
+  // top corner (with clearance) costs roughly the corner detour.
+  const std::vector<Polygon> obstacles{
+      Polygon::Rectangle(4.0, 2.0, 6.0, 6.0)};
+  auto plan = ShortestPath(Room(), obstacles, {1, 4}, {9, 4});
+  ASSERT_TRUE(plan.ok());
+  const double direct = 8.0;
+  EXPECT_LT(plan->length_m, direct + 4.0);  // Reasonable detour bound.
+}
+
+TEST(ShortestPath, RespectsClearance) {
+  const std::vector<Polygon> obstacles{
+      Polygon::Rectangle(4.0, 0.5, 6.0, 7.5)};
+  PathPlannerOptions opts;
+  opts.clearance_m = 0.4;
+  auto plan = ShortestPath(Room(), obstacles, {1, 4}, {9, 4}, opts);
+  ASSERT_TRUE(plan.ok());
+  // Interior waypoints stay ~clearance away from the obstacle corners.
+  for (std::size_t i = 1; i + 1 < plan->waypoints.size(); ++i) {
+    double min_corner = 1e9;
+    for (const Vec2 v : obstacles[0].Vertices())
+      min_corner = std::min(min_corner, Distance(plan->waypoints[i], v));
+    EXPECT_GT(min_corner, 0.3);
+  }
+}
+
+TEST(ShortestPath, FailsWhenSealedOff) {
+  // Obstacle spanning the full room height between start and goal.
+  const std::vector<Polygon> obstacles{
+      Polygon::Rectangle(4.0, 0.0, 6.0, 8.0)};
+  auto plan = ShortestPath(Room(), obstacles, {1, 4}, {9, 4});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(ShortestPath, ValidatesEndpoints) {
+  const std::vector<Polygon> obstacles{
+      Polygon::Rectangle(4.0, 2.0, 6.0, 6.0)};
+  EXPECT_FALSE(ShortestPath(Room(), obstacles, {-1, 4}, {9, 4}).ok());
+  EXPECT_FALSE(ShortestPath(Room(), obstacles, {1, 4}, {5, 4}).ok());
+  PathPlannerOptions bad;
+  bad.clearance_m = -0.1;
+  EXPECT_FALSE(ShortestPath(Room(), {}, {1, 1}, {2, 2}, bad).ok());
+}
+
+TEST(ShortestPath, NavigatesNonConvexBoundary) {
+  auto l = Polygon::Create({{0.0, 0.0},
+                            {10.0, 0.0},
+                            {10.0, 3.0},
+                            {3.0, 3.0},
+                            {3.0, 10.0},
+                            {0.0, 10.0}});
+  ASSERT_TRUE(l.ok());
+  // From the far end of the horizontal arm to the far end of the vertical
+  // arm: must turn the inner corner near (3, 3).
+  auto plan = ShortestPath(*l, {}, {9, 1.5}, {1.5, 9});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GT(plan->waypoints.size(), 2u);
+  EXPECT_GT(plan->length_m, Distance({9, 1.5}, {1.5, 9}));
+  for (std::size_t i = 0; i + 1 < plan->waypoints.size(); ++i) {
+    EXPECT_TRUE(l->ContainsSegment(plan->waypoints[i],
+                                   plan->waypoints[i + 1], 1e-6));
+  }
+}
+
+TEST(ShortestPathProperty, TriangleInequalityOverWaypoints) {
+  // Path length equals the sum of its legs and is never shorter than the
+  // straight-line distance.
+  common::Rng rng(31);
+  const std::vector<Polygon> obstacles{
+      Polygon::Rectangle(3.0, 3.0, 5.0, 5.0),
+      Polygon::Rectangle(6.5, 1.0, 7.5, 4.0)};
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec2 a{rng.Uniform(0.3, 9.7), rng.Uniform(0.3, 7.7)};
+    Vec2 b{rng.Uniform(0.3, 9.7), rng.Uniform(0.3, 7.7)};
+    auto free = [&](Vec2 p) {
+      for (const auto& o : obstacles)
+        if (o.Contains(p)) return false;
+      return true;
+    };
+    if (!free(a) || !free(b)) continue;
+    auto plan = ShortestPath(Room(), obstacles, a, b);
+    ASSERT_TRUE(plan.ok());
+    double legs = 0.0;
+    for (std::size_t i = 0; i + 1 < plan->waypoints.size(); ++i)
+      legs += Distance(plan->waypoints[i], plan->waypoints[i + 1]);
+    EXPECT_NEAR(legs, plan->length_m, 1e-9);
+    EXPECT_GE(plan->length_m, Distance(a, b) - 1e-9);
+  }
+}
+
+TEST(TourLength, SumsLegs) {
+  const std::vector<Vec2> sites{{1, 1}, {9, 1}, {9, 7}};
+  auto total = TourLength(Room(), {}, sites);
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(*total, 8.0 + 6.0, 1e-9);
+}
+
+TEST(TourLength, NeedsTwoSites) {
+  const std::vector<Vec2> one{{1, 1}};
+  EXPECT_FALSE(TourLength(Room(), {}, one).ok());
+}
+
+}  // namespace
+}  // namespace nomloc::geometry

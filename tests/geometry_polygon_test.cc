@@ -1,0 +1,170 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace nomloc::geometry {
+namespace {
+
+Polygon UnitSquare() { return Polygon::Rectangle(0.0, 0.0, 1.0, 1.0); }
+
+Polygon LShape() {
+  auto p = Polygon::Create(
+      {{0.0, 0.0}, {4.0, 0.0}, {4.0, 2.0}, {2.0, 2.0}, {2.0, 4.0}, {0.0, 4.0}});
+  return std::move(p).value();
+}
+
+TEST(PolygonCreate, RejectsTooFewVertices) {
+  EXPECT_FALSE(Polygon::Create({{0.0, 0.0}, {1.0, 0.0}}).ok());
+}
+
+TEST(PolygonCreate, RejectsDuplicateAdjacent) {
+  EXPECT_FALSE(
+      Polygon::Create({{0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}}).ok());
+}
+
+TEST(PolygonCreate, RejectsZeroArea) {
+  EXPECT_FALSE(
+      Polygon::Create({{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}}).ok());
+}
+
+TEST(PolygonCreate, RejectsSelfIntersecting) {
+  // Bow-tie.
+  EXPECT_FALSE(Polygon::Create(
+                   {{0.0, 0.0}, {2.0, 2.0}, {2.0, 0.0}, {0.0, 2.0}})
+                   .ok());
+}
+
+TEST(PolygonCreate, NormalisesCwToCcw) {
+  auto p = Polygon::Create({{0.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {1.0, 0.0}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(SignedArea(p->Vertices()), 0.0);
+}
+
+TEST(PolygonRectangle, InvalidDimsThrow) {
+  EXPECT_THROW(Polygon::Rectangle(0.0, 0.0, 0.0, 1.0), std::logic_error);
+  EXPECT_THROW(Polygon::Rectangle(0.0, 2.0, 1.0, 1.0), std::logic_error);
+}
+
+TEST(Polygon, AreaPerimeterSquare) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(sq.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(sq.Perimeter(), 10.0);
+}
+
+TEST(Polygon, AreaLShape) {
+  EXPECT_DOUBLE_EQ(LShape().Area(), 12.0);
+}
+
+TEST(Polygon, CentroidSquare) {
+  const Vec2 c = Polygon::Rectangle(0.0, 0.0, 2.0, 4.0).Centroid();
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 2.0, 1e-12);
+}
+
+TEST(Polygon, CentroidTriangle) {
+  auto tri = Polygon::Create({{0.0, 0.0}, {3.0, 0.0}, {0.0, 3.0}});
+  ASSERT_TRUE(tri.ok());
+  const Vec2 c = tri->Centroid();
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+}
+
+TEST(Polygon, CentroidIsInsideLShape) {
+  const Polygon l = LShape();
+  EXPECT_TRUE(l.Contains(l.Centroid()));
+}
+
+TEST(Polygon, BoundingBox) {
+  const Aabb box = LShape().BoundingBox();
+  EXPECT_EQ(box.lo, Vec2(0.0, 0.0));
+  EXPECT_EQ(box.hi, Vec2(4.0, 4.0));
+}
+
+TEST(Polygon, ConvexityDetection) {
+  EXPECT_TRUE(UnitSquare().IsConvex());
+  EXPECT_FALSE(LShape().IsConvex());
+  auto tri = Polygon::Create({{0.0, 0.0}, {1.0, 0.0}, {0.5, 1.0}});
+  EXPECT_TRUE(tri->IsConvex());
+}
+
+TEST(Polygon, ContainsInterior) {
+  const Polygon sq = UnitSquare();
+  EXPECT_TRUE(sq.Contains({0.5, 0.5}));
+  EXPECT_FALSE(sq.Contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.Contains({-0.1, 0.5}));
+}
+
+TEST(Polygon, ContainsBoundary) {
+  const Polygon sq = UnitSquare();
+  EXPECT_TRUE(sq.Contains({0.0, 0.5}));   // Edge.
+  EXPECT_TRUE(sq.Contains({0.0, 0.0}));   // Vertex.
+  EXPECT_TRUE(sq.Contains({1.0, 1.0}));   // Vertex.
+}
+
+TEST(Polygon, ContainsLShapeNotch) {
+  const Polygon l = LShape();
+  EXPECT_TRUE(l.Contains({1.0, 1.0}));
+  EXPECT_TRUE(l.Contains({3.0, 1.0}));
+  EXPECT_TRUE(l.Contains({1.0, 3.0}));
+  EXPECT_FALSE(l.Contains({3.0, 3.0}));  // In the notch.
+}
+
+TEST(Polygon, VertexAndEdgeAccess) {
+  const Polygon sq = UnitSquare();
+  EXPECT_EQ(sq.VertexCount(), 4u);
+  EXPECT_EQ(sq.EdgeCount(), 4u);
+  const Segment last = sq.Edge(3);
+  EXPECT_EQ(last.b, sq.Vertex(0));  // Closing edge wraps around.
+  EXPECT_THROW(sq.Vertex(4), std::logic_error);
+  EXPECT_THROW(sq.Edge(4), std::logic_error);
+}
+
+TEST(Polygon, BoundaryDistance) {
+  const Polygon sq = UnitSquare();
+  EXPECT_DOUBLE_EQ(sq.BoundaryDistance({0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(sq.BoundaryDistance({0.0, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(sq.BoundaryDistance({2.0, 0.5}), 1.0);
+}
+
+TEST(Polygon, ContainsSegmentFullyInside) {
+  EXPECT_TRUE(UnitSquare().ContainsSegment({0.1, 0.1}, {0.9, 0.9}));
+}
+
+TEST(Polygon, ContainsSegmentWithBoundaryEndpoints) {
+  EXPECT_TRUE(UnitSquare().ContainsSegment({0.0, 0.0}, {1.0, 1.0}));
+}
+
+TEST(Polygon, ContainsSegmentRejectsCrossing) {
+  EXPECT_FALSE(UnitSquare().ContainsSegment({0.5, 0.5}, {2.0, 0.5}));
+}
+
+TEST(Polygon, ContainsSegmentRejectsNotchCrossing) {
+  // Straight line across the L notch leaves the polygon in the middle.
+  EXPECT_FALSE(LShape().ContainsSegment({3.0, 1.0}, {1.0, 3.0}));
+}
+
+TEST(SignedArea, OrientationSign) {
+  const Vec2 ccw[] = {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}};
+  const Vec2 cw[] = {{0.0, 0.0}, {1.0, 1.0}, {1.0, 0.0}};
+  EXPECT_GT(SignedArea(ccw), 0.0);
+  EXPECT_LT(SignedArea(cw), 0.0);
+  EXPECT_DOUBLE_EQ(SignedArea(ccw), 0.5);
+}
+
+// Property sweep: points sampled on a grid agree with an independent
+// winding-number implementation for the L-shape.
+TEST(PolygonProperty, ContainmentConsistentOnGrid) {
+  const Polygon l = LShape();
+  for (double x = -0.5; x <= 4.5; x += 0.25) {
+    for (double y = -0.5; y <= 4.5; y += 0.25) {
+      const bool in_l = (x >= 0.0 && x <= 4.0 && y >= 0.0 && y <= 2.0) ||
+                        (x >= 0.0 && x <= 2.0 && y >= 0.0 && y <= 4.0);
+      EXPECT_EQ(l.Contains({x, y}), in_l) << "at (" << x << ", " << y << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::geometry

@@ -1,0 +1,123 @@
+#include "geometry/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace nomloc::geometry {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, NormAndNormSq) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormSq(), 25.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 v{3.0, 4.0};
+  const Vec2 n = v.Normalized();
+  EXPECT_NEAR(n.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2(0.0, 0.0).Normalized(), Vec2(0.0, 0.0));
+}
+
+TEST(Vec2, PerpIsCcwRotation) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_EQ(v.Perp(), Vec2(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(Dot(v, v.Perp()), 0.0);
+}
+
+TEST(Vec2, RotatedQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.Rotated(std::numbers::pi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.0, -3.0};
+  for (double ang : {0.1, 1.0, 2.5, -0.7}) {
+    EXPECT_NEAR(v.Rotated(ang).Norm(), v.Norm(), 1e-12);
+  }
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(Cross({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Cross({0.0, 1.0}, {1.0, 0.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Cross({2.0, 2.0}, {4.0, 4.0}), 0.0);
+}
+
+TEST(Vec2, DistanceFunctions) {
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSq({0.0, 0.0}, {3.0, 4.0}), 25.0);
+}
+
+TEST(Vec2, Lerp) {
+  const Vec2 a{0.0, 0.0}, b{10.0, 20.0};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), Vec2(5.0, 10.0));
+}
+
+TEST(Vec2, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual({1.0, 1.0}, {1.0 + 1e-12, 1.0}));
+  EXPECT_FALSE(AlmostEqual({1.0, 1.0}, {1.1, 1.0}));
+  EXPECT_TRUE(AlmostEqual({1.0, 1.0}, {1.05, 1.0}, 0.1));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(Aabb, ContainsAndDims) {
+  const Aabb box{{0.0, 0.0}, {2.0, 3.0}};
+  EXPECT_TRUE(box.Contains({1.0, 1.0}));
+  EXPECT_TRUE(box.Contains({0.0, 0.0}));
+  EXPECT_TRUE(box.Contains({2.0, 3.0}));
+  EXPECT_FALSE(box.Contains({2.1, 1.0}));
+  EXPECT_FALSE(box.Contains({1.0, -0.1}));
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+  EXPECT_EQ(box.Center(), Vec2(1.0, 1.5));
+}
+
+TEST(Aabb, ExpandGrowsBox) {
+  Aabb box{{0.0, 0.0}, {1.0, 1.0}};
+  box.Expand({-1.0, 2.0});
+  EXPECT_EQ(box.lo, Vec2(-1.0, 0.0));
+  EXPECT_EQ(box.hi, Vec2(1.0, 2.0));
+  box.Expand({0.5, 0.5});  // Interior point: no change.
+  EXPECT_EQ(box.lo, Vec2(-1.0, 0.0));
+  EXPECT_EQ(box.hi, Vec2(1.0, 2.0));
+}
+
+}  // namespace
+}  // namespace nomloc::geometry

@@ -1,0 +1,172 @@
+#include "localization/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Vec2;
+
+TEST(RangingModel, InvertsPowerLaw) {
+  RangingModel model{.ref_distance_m = 1.0,
+                     .ref_power_mw = 100.0,
+                     .path_loss_exponent = 2.0};
+  EXPECT_NEAR(model.EstimateDistance(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(model.EstimateDistance(25.0), 2.0, 1e-12);
+  EXPECT_NEAR(model.EstimateDistance(1.0), 10.0, 1e-12);
+}
+
+TEST(RangingModel, ExponentChangesSlope) {
+  RangingModel g4{.ref_distance_m = 1.0,
+                  .ref_power_mw = 16.0,
+                  .path_loss_exponent = 4.0};
+  EXPECT_NEAR(g4.EstimateDistance(1.0), 2.0, 1e-12);
+}
+
+TEST(RangingModel, NonPositivePowerThrows) {
+  RangingModel model;
+  EXPECT_THROW(model.EstimateDistance(0.0), std::logic_error);
+  EXPECT_THROW(model.EstimateDistance(-1.0), std::logic_error);
+}
+
+TEST(FitRangingModel, RecoversExactLawFromCleanData) {
+  // P(d) = 50 / d^3.
+  std::vector<std::pair<double, double>> pairs;
+  for (double d : {0.5, 1.0, 2.0, 4.0, 8.0})
+    pairs.emplace_back(d, 50.0 / std::pow(d, 3.0));
+  auto model = FitRangingModel(pairs);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->path_loss_exponent, 3.0, 1e-9);
+  EXPECT_NEAR(model->ref_power_mw, 50.0, 1e-6);
+}
+
+TEST(FitRangingModel, RobustToMildNoise) {
+  common::Rng rng(3);
+  std::vector<std::pair<double, double>> pairs;
+  for (double d = 0.5; d < 12.0; d += 0.5) {
+    const double p = 30.0 / (d * d) * std::exp(rng.Gaussian(0.0, 0.1));
+    pairs.emplace_back(d, p);
+  }
+  auto model = FitRangingModel(pairs);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->path_loss_exponent, 2.0, 0.2);
+}
+
+TEST(FitRangingModel, ValidatesInput) {
+  EXPECT_FALSE(FitRangingModel({}).ok());
+  std::vector<std::pair<double, double>> one{{1.0, 2.0}};
+  EXPECT_FALSE(FitRangingModel(one).ok());
+  std::vector<std::pair<double, double>> bad{{1.0, 2.0}, {2.0, -1.0}};
+  EXPECT_FALSE(FitRangingModel(bad).ok());
+  std::vector<std::pair<double, double>> same_d{{2.0, 1.0}, {2.0, 3.0}};
+  EXPECT_FALSE(FitRangingModel(same_d).ok());
+}
+
+std::vector<Anchor> AnchorsAt(std::span<const Vec2> positions, Vec2 truth,
+                              const RangingModel& model) {
+  // Perfect power measurements consistent with the model.
+  std::vector<Anchor> anchors;
+  for (const Vec2 p : positions) {
+    const double d = std::max(Distance(p, truth), 0.05);
+    const double power = model.ref_power_mw *
+                         std::pow(model.ref_distance_m / d,
+                                  model.path_loss_exponent);
+    anchors.push_back({p, power, false});
+  }
+  return anchors;
+}
+
+TEST(Trilaterate, ExactRecoveryFromCleanRanges) {
+  RangingModel model{.ref_distance_m = 1.0,
+                     .ref_power_mw = 10.0,
+                     .path_loss_exponent = 2.5};
+  const std::vector<Vec2> aps{{0, 0}, {10, 0}, {0, 10}, {10, 10}};
+  const Vec2 truth{3.0, 6.0};
+  const auto anchors = AnchorsAt(aps, truth, model);
+  auto est = Trilaterate(anchors, model, {5.0, 5.0});
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_NEAR(est->x, truth.x, 1e-6);
+  EXPECT_NEAR(est->y, truth.y, 1e-6);
+}
+
+TEST(Trilaterate, RandomTruthsRecovered) {
+  RangingModel model{.ref_distance_m = 1.0,
+                     .ref_power_mw = 5.0,
+                     .path_loss_exponent = 2.0};
+  const std::vector<Vec2> aps{{0, 0}, {12, 0}, {6, 9}};
+  common::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 truth{rng.Uniform(1.0, 11.0), rng.Uniform(1.0, 8.0)};
+    auto est = Trilaterate(AnchorsAt(aps, truth, model), model, {6.0, 4.0});
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(est->x, truth.x, 1e-4);
+    EXPECT_NEAR(est->y, truth.y, 1e-4);
+  }
+}
+
+TEST(Trilaterate, TooFewAnchorsRejected) {
+  RangingModel model;
+  std::vector<Anchor> two{{{0, 0}, 1.0, false}, {{1, 0}, 1.0, false}};
+  EXPECT_EQ(Trilaterate(two, model, {0, 0}).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(Trilaterate, CollinearAnchorsDegenerate) {
+  RangingModel model{.ref_distance_m = 1.0,
+                     .ref_power_mw = 5.0,
+                     .path_loss_exponent = 2.0};
+  const std::vector<Vec2> aps{{0, 0}, {5, 0}, {10, 0}};
+  const Vec2 truth{5.0, 0.0};  // On the anchor line.
+  const auto anchors = AnchorsAt(aps, truth, model);
+  // Starting on the line keeps the Jacobian singular in y.
+  const auto est = Trilaterate(anchors, model, {2.0, 0.0});
+  EXPECT_FALSE(est.ok());
+}
+
+TEST(WeightedCentroid, PullsTowardStrongAnchor) {
+  std::vector<Anchor> anchors{{{0.0, 0.0}, 9.0, false},
+                              {{10.0, 0.0}, 1.0, false}};
+  const Vec2 c = WeightedCentroid(anchors, 1.0);
+  EXPECT_NEAR(c.x, 1.0, 1e-12);  // (0*9 + 10*1)/10.
+  EXPECT_NEAR(c.y, 0.0, 1e-12);
+}
+
+TEST(WeightedCentroid, AlphaSharpensWeighting) {
+  std::vector<Anchor> anchors{{{0.0, 0.0}, 9.0, false},
+                              {{10.0, 0.0}, 1.0, false}};
+  const Vec2 soft = WeightedCentroid(anchors, 0.5);
+  const Vec2 sharp = WeightedCentroid(anchors, 2.0);
+  EXPECT_LT(sharp.x, soft.x);
+}
+
+TEST(WeightedCentroid, EqualWeightsGiveMean) {
+  std::vector<Anchor> anchors{{{0.0, 0.0}, 2.0, false},
+                              {{4.0, 8.0}, 2.0, false}};
+  const Vec2 c = WeightedCentroid(anchors);
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 4.0, 1e-12);
+}
+
+TEST(WeightedCentroid, InvalidInputThrows) {
+  EXPECT_THROW(WeightedCentroid({}), std::logic_error);
+  std::vector<Anchor> bad{{{0, 0}, 0.0, false}};
+  EXPECT_THROW(WeightedCentroid(bad), std::logic_error);
+}
+
+TEST(NearestAnchor, PicksStrongest) {
+  std::vector<Anchor> anchors{{{0.0, 0.0}, 1.0, false},
+                              {{3.0, 3.0}, 5.0, false},
+                              {{9.0, 0.0}, 2.0, false}};
+  EXPECT_EQ(NearestAnchor(anchors), Vec2(3.0, 3.0));
+}
+
+TEST(NearestAnchor, EmptyThrows) {
+  EXPECT_THROW(NearestAnchor({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nomloc::localization

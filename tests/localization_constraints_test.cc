@@ -1,0 +1,138 @@
+#include "localization/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+TEST(ProximityConstraints, OneConstraintPerJudgement) {
+  const std::vector<Anchor> anchors{{{0.0, 0.0}, 4.0, false},
+                                    {{10.0, 0.0}, 1.0, false}};
+  const auto judgements = JudgeProximity(anchors);
+  const auto constraints = ProximityConstraints(anchors, judgements);
+  ASSERT_EQ(constraints.size(), 1u);
+  EXPECT_FALSE(constraints[0].is_boundary);
+  EXPECT_DOUBLE_EQ(constraints[0].weight, judgements[0].confidence);
+}
+
+TEST(ProximityConstraints, HalfPlaneFavoursWinner) {
+  const std::vector<Anchor> anchors{{{0.0, 0.0}, 4.0, false},
+                                    {{10.0, 0.0}, 1.0, false}};
+  const auto constraints =
+      ProximityConstraints(anchors, JudgeProximity(anchors));
+  // Points near the strong anchor satisfy; near the weak one violate.
+  EXPECT_TRUE(constraints[0].half_plane.Contains({1.0, 0.0}));
+  EXPECT_FALSE(constraints[0].half_plane.Contains({9.0, 0.0}));
+}
+
+TEST(ProximityConstraints, SkipsCoincidentAnchors) {
+  const std::vector<Anchor> anchors{{{1.0, 1.0}, 4.0, false},
+                                    {{1.0, 1.0}, 1.0, false}};
+  const auto constraints =
+      ProximityConstraints(anchors, JudgeProximity(anchors));
+  EXPECT_TRUE(constraints.empty());
+}
+
+TEST(ProximityConstraints, OutOfRangeJudgementThrows) {
+  const std::vector<Anchor> anchors{{{0.0, 0.0}, 4.0, false},
+                                    {{1.0, 0.0}, 1.0, false}};
+  std::vector<ProximityJudgement> bad{{5, 0, 0.7}};
+  EXPECT_THROW(ProximityConstraints(anchors, bad), std::logic_error);
+}
+
+TEST(VirtualApPositions, SquareMirrorsAreOutside) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 4.0, 4.0);
+  const Vec2 ref{1.0, 1.0};
+  const auto vaps = VirtualApPositions(sq, ref);
+  ASSERT_EQ(vaps.size(), 4u);
+  for (const Vec2 vap : vaps) EXPECT_FALSE(sq.Contains(vap));
+}
+
+TEST(VirtualApPositions, MirrorAcrossKnownEdges) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 4.0, 4.0);
+  const Vec2 ref{1.0, 1.0};
+  const auto vaps = VirtualApPositions(sq, ref);
+  // Mirrors across y=0, x=4, y=4, x=0 in CCW edge order.
+  EXPECT_TRUE(geometry::AlmostEqual(vaps[0], {1.0, -1.0}));
+  EXPECT_TRUE(geometry::AlmostEqual(vaps[1], {7.0, 1.0}));
+  EXPECT_TRUE(geometry::AlmostEqual(vaps[2], {1.0, 7.0}));
+  EXPECT_TRUE(geometry::AlmostEqual(vaps[3], {-1.0, 1.0}));
+}
+
+TEST(VirtualApPositions, ReferenceOutsideThrows) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 4.0, 4.0);
+  EXPECT_THROW(VirtualApPositions(sq, {9.0, 9.0}), std::logic_error);
+}
+
+TEST(BoundaryConstraints, ReproduceThePolygon) {
+  // The VAP construction is exactly the polygon's interior: clipping a big
+  // box by the boundary constraints recovers the square (paper Fig. 4).
+  const Polygon sq = Polygon::Rectangle(1.0, 1.0, 5.0, 3.0);
+  const auto constraints = BoundaryConstraints(sq, {2.0, 2.0}, 100.0);
+  ASSERT_EQ(constraints.size(), 4u);
+  std::vector<geometry::HalfPlane> hps;
+  for (const auto& c : constraints) {
+    hps.push_back(c.half_plane);
+    EXPECT_TRUE(c.is_boundary);
+    EXPECT_DOUBLE_EQ(c.weight, 100.0);
+  }
+  const Polygon big = Polygon::Rectangle(-20.0, -20.0, 20.0, 20.0);
+  const auto region = geometry::IntersectConvex(big, hps);
+  ASSERT_TRUE(region.has_value());
+  EXPECT_NEAR(region->Area(), sq.Area(), 1e-6);
+}
+
+TEST(BoundaryConstraints, AnyInteriorReferenceGivesSameRegion) {
+  // Paper: "the site of AP 1 could be any other site within the area".
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 6.0, 4.0);
+  const Polygon big = Polygon::Rectangle(-20.0, -20.0, 20.0, 20.0);
+  common::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 ref{rng.Uniform(0.1, 5.9), rng.Uniform(0.1, 3.9)};
+    std::vector<geometry::HalfPlane> hps;
+    for (const auto& c : BoundaryConstraints(sq, ref, 10.0))
+      hps.push_back(c.half_plane);
+    const auto region = geometry::IntersectConvex(big, hps);
+    ASSERT_TRUE(region.has_value());
+    EXPECT_NEAR(region->Area(), 24.0, 1e-6);
+  }
+}
+
+TEST(BoundaryConstraints, TriangleWorks) {
+  auto tri = Polygon::Create({{0.0, 0.0}, {6.0, 0.0}, {3.0, 5.0}});
+  ASSERT_TRUE(tri.ok());
+  const auto constraints = BoundaryConstraints(*tri, tri->Centroid(), 50.0);
+  EXPECT_EQ(constraints.size(), 3u);
+  for (const auto& c : constraints)
+    EXPECT_TRUE(c.half_plane.Contains(tri->Centroid()));
+}
+
+TEST(BoundaryConstraints, NonPositiveWeightThrows) {
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 1.0, 1.0);
+  EXPECT_THROW(BoundaryConstraints(sq, {0.5, 0.5}, 0.0), std::logic_error);
+}
+
+TEST(BoundaryConstraints, MatchPaperEq9Coefficients) {
+  // Eq. 9–11: rows are 2(x_vap - x_ref), 2(y_vap - y_ref) <= |vap|^2-|ref|^2.
+  const Polygon sq = Polygon::Rectangle(0.0, 0.0, 4.0, 4.0);
+  const Vec2 ref{1.0, 1.0};
+  const auto constraints = BoundaryConstraints(sq, ref, 10.0);
+  const auto vaps = VirtualApPositions(sq, ref);
+  ASSERT_EQ(constraints.size(), vaps.size());
+  for (std::size_t i = 0; i < vaps.size(); ++i) {
+    EXPECT_NEAR(constraints[i].half_plane.a.x, 2.0 * (vaps[i].x - ref.x),
+                1e-12);
+    EXPECT_NEAR(constraints[i].half_plane.a.y, 2.0 * (vaps[i].y - ref.y),
+                1e-12);
+    EXPECT_NEAR(constraints[i].half_plane.c,
+                vaps[i].NormSq() - ref.NormSq(), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::localization

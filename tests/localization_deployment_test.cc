@@ -1,0 +1,137 @@
+#include "localization/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "geometry/hull.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+DeploymentConfig FastConfig() {
+  DeploymentConfig cfg;
+  cfg.ap_count = 3;
+  cfg.sample_points = 20;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(PerSampleCellErrors, OneErrorPerSample) {
+  const std::vector<Polygon> parts{Polygon::Rectangle(0, 0, 10, 8)};
+  const std::vector<Vec2> anchors{{1, 1}, {9, 1}, {5, 7}};
+  const std::vector<Vec2> samples{{2, 2}, {8, 2}, {5, 5}};
+  auto errors = PerSampleCellErrors(parts, anchors, samples);
+  ASSERT_TRUE(errors.ok());
+  EXPECT_EQ(errors->size(), 3u);
+  for (double e : *errors) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 12.0);
+  }
+}
+
+TEST(PerSampleCellErrors, Validation) {
+  const std::vector<Polygon> parts{Polygon::Rectangle(0, 0, 1, 1)};
+  const std::vector<Vec2> anchors{{0.2, 0.2}, {0.8, 0.8}};
+  EXPECT_FALSE(PerSampleCellErrors(parts, anchors, {}).ok());
+  const std::vector<Vec2> one{{0.2, 0.2}};
+  const std::vector<Vec2> samples{{0.5, 0.5}};
+  EXPECT_FALSE(PerSampleCellErrors(parts, one, samples).ok());
+}
+
+TEST(OptimizeStaticDeployment, SelectsRequestedCount) {
+  const Polygon room = Polygon::Rectangle(0, 0, 12, 8);
+  const auto candidates = geometry::GridPointsIn(room, 3.0);
+  ASSERT_GE(candidates.size(), 4u);
+  auto result = OptimizeStaticDeployment(room, candidates, FastConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->positions.size(), 3u);
+  EXPECT_EQ(result->selected.size(), 3u);
+  // Distinct selections.
+  auto sel = result->selected;
+  std::sort(sel.begin(), sel.end());
+  EXPECT_EQ(std::unique(sel.begin(), sel.end()), sel.end());
+  EXPECT_GT(result->objective_value_m, 0.0);
+}
+
+TEST(OptimizeStaticDeployment, MoreApsLowerObjective) {
+  const Polygon room = Polygon::Rectangle(0, 0, 12, 8);
+  const auto candidates = geometry::GridPointsIn(room, 2.5);
+  DeploymentConfig small = FastConfig();
+  small.ap_count = 2;
+  DeploymentConfig big = FastConfig();
+  big.ap_count = 5;
+  auto r_small = OptimizeStaticDeployment(room, candidates, small);
+  auto r_big = OptimizeStaticDeployment(room, candidates, big);
+  ASSERT_TRUE(r_small.ok());
+  ASSERT_TRUE(r_big.ok());
+  EXPECT_LE(r_big->objective_value_m, r_small->objective_value_m + 1e-9);
+}
+
+TEST(OptimizeStaticDeployment, OptimizedBeatsClusteredLayout) {
+  // Compare the optimizer's layout to a deliberately clustered one using
+  // the same per-sample metric.
+  const Polygon room = Polygon::Rectangle(0, 0, 12, 8);
+  const auto candidates = geometry::GridPointsIn(room, 2.5);
+  DeploymentConfig cfg = FastConfig();
+  cfg.ap_count = 4;
+  cfg.sample_points = 30;
+  auto result = OptimizeStaticDeployment(room, candidates, cfg);
+  ASSERT_TRUE(result.ok());
+
+  const std::vector<Polygon> parts{room};
+  common::Rng rng(99);
+  std::vector<Vec2> samples;
+  for (int i = 0; i < 30; ++i)
+    samples.push_back({rng.Uniform(0.5, 11.5), rng.Uniform(0.5, 7.5)});
+  const std::vector<Vec2> clustered{{1, 1}, {1.5, 1}, {1, 1.5}, {1.5, 1.5}};
+  auto err_opt = PerSampleCellErrors(parts, result->positions, samples);
+  auto err_clu = PerSampleCellErrors(parts, clustered, samples);
+  ASSERT_TRUE(err_opt.ok());
+  ASSERT_TRUE(err_clu.ok());
+  EXPECT_LT(common::Mean(*err_opt), common::Mean(*err_clu));
+}
+
+TEST(OptimizeStaticDeployment, MaxObjectiveControlsWorstCase) {
+  const Polygon room = Polygon::Rectangle(0, 0, 12, 8);
+  const auto candidates = geometry::GridPointsIn(room, 3.0);
+  DeploymentConfig cfg = FastConfig();
+  cfg.ap_count = 4;
+  cfg.objective = DeploymentObjective::kMaxError;
+  auto result = OptimizeStaticDeployment(room, candidates, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->positions.size(), 4u);
+}
+
+TEST(OptimizeStaticDeployment, Validation) {
+  const Polygon room = Polygon::Rectangle(0, 0, 4, 4);
+  const std::vector<Vec2> candidates{{1, 1}, {3, 3}};
+  DeploymentConfig cfg = FastConfig();
+  cfg.ap_count = 1;
+  EXPECT_FALSE(OptimizeStaticDeployment(room, candidates, cfg).ok());
+  cfg.ap_count = 3;  // More than candidates.
+  EXPECT_FALSE(OptimizeStaticDeployment(room, candidates, cfg).ok());
+  cfg = FastConfig();
+  cfg.ap_count = 2;
+  cfg.sample_points = 0;
+  EXPECT_FALSE(OptimizeStaticDeployment(room, candidates, cfg).ok());
+}
+
+TEST(OptimizeStaticDeployment, NonConvexArea) {
+  auto l = Polygon::Create(
+      {{0.0, 0.0}, {8.0, 0.0}, {8.0, 3.0}, {3.0, 3.0}, {3.0, 8.0}, {0.0, 8.0}});
+  ASSERT_TRUE(l.ok());
+  const auto candidates = geometry::GridPointsIn(*l, 2.0);
+  DeploymentConfig cfg = FastConfig();
+  cfg.ap_count = 3;
+  auto result = OptimizeStaticDeployment(*l, candidates, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const Vec2 p : result->positions) EXPECT_TRUE(l->Contains(p));
+}
+
+}  // namespace
+}  // namespace nomloc::localization

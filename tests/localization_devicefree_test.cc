@@ -1,0 +1,172 @@
+#include "localization/devicefree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+channel::IndoorEnvironment EmptyRoom() {
+  auto env =
+      channel::IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 12, 8));
+  return std::move(env).value();
+}
+
+channel::ChannelConfig QuietConfig() {
+  channel::ChannelConfig cfg;
+  // A truly static room: both the direct path and the wall reflections
+  // are temporally stable, so consecutive frames differ only by noise.
+  cfg.rician_k_db = 30.0;
+  cfg.bounce_rician_k_db = 30.0;
+  cfg.noise_floor_dbm = -100.0;
+  cfg.propagation.include_scatterers = false;
+  return cfg;
+}
+
+TEST(MagnitudeCorrelation, IdenticalFramesAreOne) {
+  const auto env = EmptyRoom();
+  const channel::CsiSimulator sim(env, QuietConfig());
+  const auto frame = sim.MakeLink({2, 4}, {10, 4}).MeanResponse();
+  auto corr = MagnitudeCorrelation(frame, frame);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR(*corr, 1.0, 1e-12);
+}
+
+TEST(MagnitudeCorrelation, MismatchedGridsRejected) {
+  auto a = dsp::CsiFrame::Create({1, 2, 3},
+                                 {{1, 0}, {2, 0}, {3, 0}});
+  auto b = dsp::CsiFrame::Create({1, 2},
+                                 {{1, 0}, {2, 0}});
+  auto c = dsp::CsiFrame::Create({1, 2, 4},
+                                 {{1, 0}, {2, 0}, {3, 0}});
+  EXPECT_FALSE(MagnitudeCorrelation(*a, *b).ok());
+  EXPECT_FALSE(MagnitudeCorrelation(*a, *c).ok());
+}
+
+TEST(MagnitudeCorrelation, ConstantVectorRejected) {
+  auto flat = dsp::CsiFrame::Create({1, 2, 3},
+                                    {{1, 0}, {1, 0}, {1, 0}});
+  EXPECT_FALSE(MagnitudeCorrelation(*flat, *flat).ok());
+}
+
+TEST(MotionDetector, ValidatesOptions) {
+  MotionDetectorOptions bad;
+  bad.window = 1;
+  EXPECT_THROW(MotionDetector{bad}, std::logic_error);
+  bad = MotionDetectorOptions{};
+  bad.similarity_threshold = 1.5;
+  EXPECT_THROW(MotionDetector{bad}, std::logic_error);
+}
+
+TEST(MotionDetector, NoDecisionWhileWindowFills) {
+  const auto env = EmptyRoom();
+  const channel::CsiSimulator sim(env, QuietConfig());
+  const auto link = sim.MakeLink({2, 4}, {10, 4});
+  common::Rng rng(1);
+  MotionDetectorOptions opts;
+  opts.window = 5;
+  MotionDetector detector(opts);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_FALSE(detector.Feed(link.Sample(rng)).has_value());
+  EXPECT_TRUE(detector.Feed(link.Sample(rng)).has_value());
+}
+
+TEST(MotionDetector, QuietChannelReportsNoMotion) {
+  const auto env = EmptyRoom();
+  const channel::CsiSimulator sim(env, QuietConfig());
+  const auto link = sim.MakeLink({2, 4}, {10, 4});
+  common::Rng rng(3);
+  MotionDetector detector;
+  int decisions = 0, motions = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto decision = detector.Feed(link.Sample(rng));
+    if (decision) {
+      ++decisions;
+      motions += decision->motion;
+      EXPECT_GT(decision->score, 0.8);
+    }
+  }
+  EXPECT_GT(decisions, 0);
+  EXPECT_EQ(motions, 0);
+}
+
+TEST(MotionDetector, PersonCrossingTheLinkIsDetected) {
+  const auto env = EmptyRoom();
+  const channel::CsiSimulator sim(env, QuietConfig());
+  const Vec2 tx{2, 4}, rx{10, 4};
+  common::Rng rng(5);
+  MotionDetector detector;
+
+  // Warm up with the empty room.
+  const auto link = sim.MakeLink(tx, rx);
+  for (int i = 0; i < 10; ++i) (void)detector.Feed(link.Sample(rng));
+
+  // The person walks across the LOS path, perturbing each packet.
+  bool detected = false;
+  for (int step = 0; step <= 20; ++step) {
+    const Vec2 person{2.0 + 0.4 * step, 2.0 + 0.2 * step};
+    const auto frame = SampleWithPerson(sim, tx, rx, person, rng);
+    const auto decision = detector.Feed(frame);
+    if (decision && decision->motion) detected = true;
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(MotionDetector, StationaryPersonDoesNotTrigger) {
+  // The true negative for a *motion* detector: a person who is present
+  // but perfectly still leaves consecutive frames as stable as an empty
+  // room (after the initial transient leaves the window).
+  const auto env = EmptyRoom();
+  const channel::CsiSimulator sim(env, QuietConfig());
+  const Vec2 tx{2, 7}, rx{10, 7};
+  common::Rng rng(7);
+  MotionDetector detector;
+  const Vec2 person{5.0, 3.0};
+  // Window fills entirely with stationary-person frames.
+  for (int i = 0; i < 10; ++i)
+    (void)detector.Feed(SampleWithPerson(sim, tx, rx, person, rng));
+  int motions = 0, decisions = 0;
+  for (int step = 0; step <= 20; ++step) {
+    const auto decision =
+        detector.Feed(SampleWithPerson(sim, tx, rx, person, rng));
+    if (decision) {
+      ++decisions;
+      motions += decision->motion;
+      EXPECT_GT(decision->score, 0.9);
+    }
+  }
+  EXPECT_GT(decisions, 0);
+  EXPECT_EQ(motions, 0);
+}
+
+TEST(MotionDetector, ResetClearsState) {
+  const auto env = EmptyRoom();
+  const channel::CsiSimulator sim(env, QuietConfig());
+  const auto link = sim.MakeLink({2, 4}, {10, 4});
+  common::Rng rng(9);
+  MotionDetector detector;
+  for (int i = 0; i < 10; ++i) (void)detector.Feed(link.Sample(rng));
+  detector.Reset();
+  EXPECT_FALSE(detector.Feed(link.Sample(rng)).has_value());
+}
+
+TEST(SampleWithPerson, BlockingPersonDropsDirectPower) {
+  const auto env = EmptyRoom();
+  channel::ChannelConfig cfg = QuietConfig();
+  cfg.rician_k_db = 60.0;
+  cfg.noise_floor_dbm = -150.0;
+  const channel::CsiSimulator sim(env, cfg);
+  const Vec2 tx{2, 4}, rx{10, 4};
+  common::Rng rng(11);
+  const auto blocked = SampleWithPerson(sim, tx, rx, {6.0, 4.0}, rng);
+  const auto clear = SampleWithPerson(sim, tx, rx, {6.0, 1.0}, rng);
+  EXPECT_GT(clear.TotalPower(), 2.0 * blocked.TotalPower());
+}
+
+}  // namespace
+}  // namespace nomloc::localization

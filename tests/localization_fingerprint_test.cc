@@ -1,0 +1,173 @@
+#include "localization/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/csi_model.h"
+#include "common/rng.h"
+#include "geometry/hull.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+// Synthetic map: power = 1/d^2 to each of 3 APs over a grid.
+RadioMap SyntheticMap(const Polygon& area, std::span<const Vec2> aps,
+                      double step) {
+  std::vector<FingerprintEntry> entries;
+  for (const Vec2 p : geometry::GridPointsIn(area, step)) {
+    FingerprintEntry e;
+    e.position = p;
+    for (const Vec2 ap : aps) {
+      const double d = std::max(Distance(p, ap), 0.1);
+      e.pdp.push_back(1.0 / (d * d));
+    }
+    entries.push_back(std::move(e));
+  }
+  auto map = RadioMap::Create(std::move(entries));
+  return std::move(map).value();
+}
+
+const std::vector<Vec2> kAps{{1, 1}, {9, 1}, {5, 7}};
+
+TEST(RadioMap, CreateValidation) {
+  EXPECT_FALSE(RadioMap::Create({}).ok());
+  std::vector<FingerprintEntry> bad_dim{{{0, 0}, {1.0, 2.0}},
+                                        {{1, 0}, {1.0}}};
+  EXPECT_FALSE(RadioMap::Create(bad_dim).ok());
+  std::vector<FingerprintEntry> empty_dim{{{0, 0}, {}}};
+  EXPECT_FALSE(RadioMap::Create(empty_dim).ok());
+  std::vector<FingerprintEntry> neg{{{0, 0}, {1.0, -1.0}}};
+  EXPECT_FALSE(RadioMap::Create(neg).ok());
+}
+
+TEST(RadioMap, SizeAndApCount) {
+  const Polygon room = Polygon::Rectangle(0, 0, 10, 8);
+  const RadioMap map = SyntheticMap(room, kAps, 1.0);
+  EXPECT_EQ(map.ApCount(), 3u);
+  EXPECT_EQ(map.Size(), 80u);
+}
+
+TEST(RadioMap, LocateValidation) {
+  const Polygon room = Polygon::Rectangle(0, 0, 10, 8);
+  const RadioMap map = SyntheticMap(room, kAps, 2.0);
+  const std::vector<double> wrong_dim{1.0, 2.0};
+  EXPECT_FALSE(map.Locate(wrong_dim).ok());
+  const std::vector<double> neg{1.0, 2.0, -1.0};
+  EXPECT_FALSE(map.Locate(neg).ok());
+  const std::vector<double> ok{1.0, 2.0, 3.0};
+  EXPECT_FALSE(map.Locate(ok, 0).ok());
+  EXPECT_FALSE(map.Locate(ok, map.Size() + 1).ok());
+}
+
+TEST(RadioMap, ExactFingerprintSnapsToGridPoint) {
+  const Polygon room = Polygon::Rectangle(0, 0, 10, 8);
+  const RadioMap map = SyntheticMap(room, kAps, 1.0);
+  // Query with the exact fingerprint of a map entry, k = 1.
+  const FingerprintEntry& ref = map.Entries()[17];
+  auto est = map.Locate(ref.pdp, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(Distance(*est, ref.position), 1e-9);
+}
+
+TEST(RadioMap, CleanQueriesLocalizeFinely) {
+  const Polygon room = Polygon::Rectangle(0, 0, 10, 8);
+  const RadioMap map = SyntheticMap(room, kAps, 0.5);
+  common::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 truth{rng.Uniform(0.5, 9.5), rng.Uniform(0.5, 7.5)};
+    std::vector<double> query;
+    for (const Vec2 ap : kAps) {
+      const double d = std::max(Distance(truth, ap), 0.1);
+      query.push_back(1.0 / (d * d));
+    }
+    auto est = map.Locate(query, 3);
+    ASSERT_TRUE(est.ok());
+    // Fine survey grid -> sub-grid-step accuracy.
+    EXPECT_LT(Distance(*est, truth), 1.0);
+  }
+}
+
+TEST(RadioMap, DenserSurveyImprovesAccuracy) {
+  const Polygon room = Polygon::Rectangle(0, 0, 10, 8);
+  const RadioMap coarse = SyntheticMap(room, kAps, 2.5);
+  const RadioMap fine = SyntheticMap(room, kAps, 0.5);
+  common::Rng rng(7);
+  double err_coarse = 0.0, err_fine = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 truth{rng.Uniform(0.5, 9.5), rng.Uniform(0.5, 7.5)};
+    std::vector<double> query;
+    for (const Vec2 ap : kAps) {
+      const double d = std::max(Distance(truth, ap), 0.1);
+      query.push_back(1.0 / (d * d));
+    }
+    err_coarse += Distance(*coarse.Locate(query, 3), truth);
+    err_fine += Distance(*fine.Locate(query, 3), truth);
+  }
+  EXPECT_LT(err_fine, err_coarse);
+}
+
+// The NomLoc argument in one test: a radio map surveyed with the AP at its
+// home position becomes systematically wrong once that AP moves.
+TEST(RadioMap, MapInvalidatedWhenApMoves) {
+  const Polygon room = Polygon::Rectangle(0, 0, 10, 8);
+  const RadioMap map = SyntheticMap(room, kAps, 0.5);
+  std::vector<Vec2> moved_aps = kAps;
+  moved_aps[0] = {5.0, 4.0};  // AP 0 wandered off.
+  common::Rng rng(9);
+  double err_static = 0.0, err_moved = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 truth{rng.Uniform(0.5, 9.5), rng.Uniform(0.5, 7.5)};
+    auto query_for = [&](std::span<const Vec2> aps) {
+      std::vector<double> q;
+      for (const Vec2 ap : aps) {
+        const double d = std::max(Distance(truth, ap), 0.1);
+        q.push_back(1.0 / (d * d));
+      }
+      return q;
+    };
+    err_static += Distance(*map.Locate(query_for(kAps), 3), truth);
+    err_moved += Distance(*map.Locate(query_for(moved_aps), 3), truth);
+  }
+  EXPECT_GT(err_moved, 2.0 * err_static);
+}
+
+// End-to-end through the channel simulator: survey + query with real CSI.
+TEST(RadioMap, WorksOnSimulatedCsi) {
+  auto env =
+      channel::IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 10, 8));
+  ASSERT_TRUE(env.ok());
+  const channel::CsiSimulator sim(*env, {});
+  common::Rng rng(11);
+  const std::vector<Vec2> aps{{1, 1}, {9, 1}, {9, 7}, {1, 7}};
+
+  auto fingerprint_at = [&](Vec2 p) {
+    std::vector<double> pdp;
+    for (const Vec2 ap : aps) {
+      const auto frames = sim.MakeLink(p, ap).SampleBatch(25, rng);
+      pdp.push_back(dsp::PdpOfBatch(frames, 20e6));
+    }
+    return pdp;
+  };
+
+  std::vector<FingerprintEntry> entries;
+  for (const Vec2 p : geometry::GridPointsIn(env->Boundary(), 1.0))
+    entries.push_back({p, fingerprint_at(p)});
+  auto map = RadioMap::Create(std::move(entries));
+  ASSERT_TRUE(map.ok());
+
+  double total_err = 0.0;
+  const std::vector<Vec2> truths{{3.2, 2.7}, {7.1, 5.3}, {5.0, 4.0}};
+  for (const Vec2 truth : truths) {
+    auto est = map->Locate(fingerprint_at(truth), 3);
+    ASSERT_TRUE(est.ok());
+    total_err += Distance(*est, truth);
+  }
+  EXPECT_LT(total_err / double(truths.size()), 2.0);
+}
+
+}  // namespace
+}  // namespace nomloc::localization

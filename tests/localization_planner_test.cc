@@ -1,0 +1,127 @@
+#include "localization/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/convex_decomp.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+PlannerConfig FastConfig() {
+  PlannerConfig cfg;
+  cfg.sites_to_select = 2;
+  cfg.sample_points = 24;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ExpectedCellError, FewerAnchorsMeansLargerError) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 12.0, 8.0);
+  const std::vector<Polygon> parts{room};
+  const std::vector<Vec2> few{{1, 1}, {11, 7}};
+  const std::vector<Vec2> many{{1, 1}, {11, 1}, {11, 7}, {1, 7}, {6, 4}};
+  common::Rng rng(3);
+  std::vector<Vec2> samples;
+  for (int i = 0; i < 30; ++i)
+    samples.push_back({rng.Uniform(0.5, 11.5), rng.Uniform(0.5, 7.5)});
+  auto err_few = ExpectedCellError(parts, few, samples);
+  auto err_many = ExpectedCellError(parts, many, samples);
+  ASSERT_TRUE(err_few.ok()) << err_few.status().ToString();
+  ASSERT_TRUE(err_many.ok());
+  EXPECT_LT(*err_many, *err_few);
+}
+
+TEST(ExpectedCellError, Validation) {
+  const std::vector<Polygon> parts{Polygon::Rectangle(0, 0, 1, 1)};
+  const std::vector<Vec2> anchors{{0.1, 0.1}, {0.9, 0.9}};
+  EXPECT_FALSE(ExpectedCellError(parts, anchors, {}).ok());
+  const std::vector<Vec2> one{{0.1, 0.1}};
+  const std::vector<Vec2> samples{{0.5, 0.5}};
+  EXPECT_FALSE(ExpectedCellError(parts, one, samples).ok());
+}
+
+TEST(PlanNomadicSites, SelectsRequestedCount) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 12.0, 8.0);
+  const std::vector<Vec2> statics{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  const std::vector<Vec2> candidates{{3, 4}, {6, 4}, {9, 4}, {6, 2}, {6, 6}};
+  auto plan = PlanNomadicSites(room, statics, candidates, FastConfig());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->selected.size(), 2u);
+  EXPECT_EQ(plan->error_after_m.size(), 2u);
+  // Selected indices are distinct and valid.
+  EXPECT_NE(plan->selected[0], plan->selected[1]);
+  for (std::size_t idx : plan->selected) EXPECT_LT(idx, candidates.size());
+}
+
+TEST(PlanNomadicSites, ErrorsDecreaseMonotonically) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 12.0, 8.0);
+  const std::vector<Vec2> statics{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  const std::vector<Vec2> candidates{{3, 4}, {6, 4}, {9, 4}, {6, 2}, {6, 6}};
+  PlannerConfig cfg = FastConfig();
+  cfg.sites_to_select = 3;
+  auto plan = PlanNomadicSites(room, statics, candidates, cfg);
+  ASSERT_TRUE(plan.ok());
+  double prev = plan->baseline_error_m;
+  for (double e : plan->error_after_m) {
+    EXPECT_LE(e, prev + 1e-9);
+    prev = e;
+  }
+}
+
+TEST(PlanNomadicSites, PrefersInformativeSiteOverRedundantOne) {
+  // Candidates: one on top of an existing AP (adds nothing) vs one in the
+  // uncovered middle.  The planner must pick the middle site first.
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 12.0, 8.0);
+  const std::vector<Vec2> statics{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  const std::vector<Vec2> candidates{{1.05, 1.05}, {6.0, 4.0}};
+  PlannerConfig cfg = FastConfig();
+  cfg.sites_to_select = 1;
+  cfg.sample_points = 40;
+  auto plan = PlanNomadicSites(room, statics, candidates, cfg);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->selected[0], 1u);
+}
+
+TEST(PlanNomadicSites, WorksOnNonConvexArea) {
+  auto l = Polygon::Create({{0.0, 0.0},
+                            {20.0, 0.0},
+                            {20.0, 6.0},
+                            {8.0, 6.0},
+                            {8.0, 14.0},
+                            {0.0, 14.0}});
+  ASSERT_TRUE(l.ok());
+  const std::vector<Vec2> statics{{2, 2}, {18, 2}, {2, 12}};
+  const std::vector<Vec2> candidates{{10, 3}, {15, 4}, {4, 8}, {5, 12}};
+  PlannerConfig cfg = FastConfig();
+  cfg.sites_to_select = 2;
+  auto plan = PlanNomadicSites(*l, statics, candidates, cfg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->selected.size(), 2u);
+  EXPECT_LT(plan->error_after_m.back(), plan->baseline_error_m);
+}
+
+TEST(PlanNomadicSites, Validation) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 2.0, 2.0);
+  const std::vector<Vec2> statics{{0.5, 0.5}, {1.5, 1.5}};
+  const std::vector<Vec2> candidates{{1.0, 1.0}};
+  PlannerConfig cfg = FastConfig();
+
+  EXPECT_FALSE(PlanNomadicSites(room, statics, {}, cfg).ok());
+
+  const std::vector<Vec2> one_static{{0.5, 0.5}};
+  EXPECT_FALSE(PlanNomadicSites(room, one_static, candidates, cfg).ok());
+
+  cfg.sites_to_select = 5;
+  EXPECT_FALSE(PlanNomadicSites(room, statics, candidates, cfg).ok());
+
+  cfg = FastConfig();
+  cfg.sites_to_select = 1;
+  cfg.sample_points = 0;
+  EXPECT_FALSE(PlanNomadicSites(room, statics, candidates, cfg).ok());
+}
+
+}  // namespace
+}  // namespace nomloc::localization

@@ -1,0 +1,147 @@
+#include "localization/proximity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/units.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Vec2;
+
+TEST(ConfidenceF, PaperEq4Properties) {
+  // f(1) = 1/2.
+  EXPECT_DOUBLE_EQ(ConfidenceF(1.0), 0.5);
+  // f(x) + f(1/x) = 1 over a sweep.
+  for (double x : {0.1, 0.25, 0.5, 0.9, 1.5, 3.0, 10.0})
+    EXPECT_NEAR(ConfidenceF(x) + ConfidenceF(1.0 / x), 1.0, 1e-12);
+  // Non-negative everywhere.
+  for (double x : {1e-6, 0.3, 1.0, 7.0, 1e6}) EXPECT_GE(ConfidenceF(x), 0.0);
+}
+
+TEST(ConfidenceF, ExactBranchValues) {
+  EXPECT_DOUBLE_EQ(ConfidenceF(0.5), std::exp2(-0.5));
+  EXPECT_DOUBLE_EQ(ConfidenceF(2.0), 1.0 - std::exp2(-0.5));
+}
+
+TEST(ConfidenceF, MonotoneDecreasing) {
+  double prev = 2.0;
+  for (double x = 0.05; x < 5.0; x += 0.05) {
+    const double f = ConfidenceF(x);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(ConfidenceF, LimitsApproachOneAndZero) {
+  EXPECT_GT(ConfidenceF(1e-9), 0.999);
+  EXPECT_LT(ConfidenceF(1e9), 1e-6);
+}
+
+TEST(ConfidenceF, NonPositiveRatioThrows) {
+  EXPECT_THROW(ConfidenceF(0.0), std::logic_error);
+  EXPECT_THROW(ConfidenceF(-1.0), std::logic_error);
+}
+
+TEST(ConfidenceF, ContinuousAtOne) {
+  EXPECT_NEAR(ConfidenceF(1.0 - 1e-9), ConfidenceF(1.0 + 1e-9), 1e-6);
+}
+
+std::vector<Anchor> ThreeAnchors() {
+  return {{{0.0, 0.0}, 4.0, false},
+          {{10.0, 0.0}, 2.0, false},
+          {{5.0, 8.0}, 1.0, false}};
+}
+
+TEST(JudgeProximity, AllPairsCountAndDirections) {
+  const auto anchors = ThreeAnchors();
+  const auto judgements = JudgeProximity(anchors, PairPolicy::kAllPairs);
+  ASSERT_EQ(judgements.size(), 3u);
+  for (const auto& j : judgements)
+    EXPECT_GE(anchors[j.winner].pdp, anchors[j.loser].pdp);
+}
+
+TEST(JudgeProximity, ConfidenceUsesPowerRatio) {
+  const auto anchors = ThreeAnchors();
+  const auto judgements = JudgeProximity(anchors, PairPolicy::kAllPairs);
+  for (const auto& j : judgements) {
+    const double expected =
+        ConfidenceF(anchors[j.loser].pdp / anchors[j.winner].pdp);
+    EXPECT_DOUBLE_EQ(j.confidence, expected);
+    EXPECT_GE(j.confidence, 0.5);
+    EXPECT_LT(j.confidence, 1.0);
+  }
+}
+
+TEST(JudgeProximity, EqualPowersGiveHalfConfidence) {
+  const std::vector<Anchor> anchors{{{0.0, 0.0}, 2.0, false},
+                                    {{1.0, 0.0}, 2.0, false}};
+  const auto judgements = JudgeProximity(anchors);
+  ASSERT_EQ(judgements.size(), 1u);
+  EXPECT_DOUBLE_EQ(judgements[0].confidence, 0.5);
+}
+
+TEST(JudgeProximity, PaperPolicySkipsNomadicPairs) {
+  std::vector<Anchor> anchors{{{0.0, 0.0}, 4.0, false},
+                              {{10.0, 0.0}, 2.0, false},
+                              {{3.0, 3.0}, 3.0, true},
+                              {{6.0, 3.0}, 1.0, true}};
+  const auto paper = JudgeProximity(anchors, PairPolicy::kPaper);
+  const auto all = JudgeProximity(anchors, PairPolicy::kAllPairs);
+  // kPaper: static-static (1) + nomadic-static (2*2) = 5; kAllPairs: 6.
+  EXPECT_EQ(paper.size(), 5u);
+  EXPECT_EQ(all.size(), 6u);
+  for (const auto& j : paper)
+    EXPECT_FALSE(anchors[j.winner].is_nomadic_site &&
+                 anchors[j.loser].is_nomadic_site);
+}
+
+TEST(JudgeProximity, RequiresTwoAnchorsAndPositivePdp) {
+  std::vector<Anchor> one{{{0.0, 0.0}, 1.0, false}};
+  EXPECT_THROW(JudgeProximity(one), std::logic_error);
+  std::vector<Anchor> bad{{{0.0, 0.0}, 1.0, false}, {{1.0, 0.0}, 0.0, false}};
+  EXPECT_THROW(JudgeProximity(bad), std::logic_error);
+}
+
+TEST(JudgeProximity, StrongerAnchorAlwaysWins) {
+  std::vector<Anchor> anchors;
+  for (int i = 0; i < 5; ++i)
+    anchors.push_back({{double(i), 0.0}, std::pow(2.0, i), false});
+  const auto judgements = JudgeProximity(anchors, PairPolicy::kAllPairs);
+  EXPECT_EQ(judgements.size(), 10u);
+  for (const auto& j : judgements) EXPECT_GT(j.winner, j.loser);
+}
+
+// MakeAnchor end-to-end: synthetic one-path CSI with known amplitude.
+dsp::CsiFrame OnePathFrame(double amp) {
+  const auto idx = dsp::CsiFrame::Ht20Indices();
+  std::vector<dsp::Cplx> vals(idx.size(), dsp::Cplx(amp, 0.0));
+  auto frame = dsp::CsiFrame::Create(idx, vals);
+  return std::move(frame).value();
+}
+
+TEST(MakeAnchor, ExtractsPdpFromBatch) {
+  const std::vector<dsp::CsiFrame> frames{OnePathFrame(2.0),
+                                          OnePathFrame(2.0)};
+  const Anchor anchor = MakeAnchor({1.0, 2.0}, frames,
+                                   common::kBandwidth20MHz, {}, true);
+  EXPECT_EQ(anchor.position, Vec2(1.0, 2.0));
+  EXPECT_TRUE(anchor.is_nomadic_site);
+  EXPECT_GT(anchor.pdp, 0.0);
+}
+
+TEST(MakeAnchor, PdpScalesWithAmplitudeSquared) {
+  const std::vector<dsp::CsiFrame> weak{OnePathFrame(1.0)};
+  const std::vector<dsp::CsiFrame> strong{OnePathFrame(3.0)};
+  const double p1 =
+      MakeAnchor({0, 0}, weak, common::kBandwidth20MHz).pdp;
+  const double p9 =
+      MakeAnchor({0, 0}, strong, common::kBandwidth20MHz).pdp;
+  EXPECT_NEAR(p9 / p1, 9.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nomloc::localization

@@ -1,0 +1,150 @@
+#include "localization/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nomloc::localization {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+TEST(FractionalRanks, SimpleOrdering) {
+  const double v[] = {30.0, 10.0, 20.0};
+  const auto r = FractionalRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(FractionalRanks, TiesShareAverageRank) {
+  const double v[] = {5.0, 5.0, 1.0, 9.0};
+  const auto r = FractionalRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(FractionalRanks, AllEqual) {
+  const double v[] = {2.0, 2.0, 2.0};
+  const auto r = FractionalRanks(v);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(SpearmanRho, PerfectCorrelation) {
+  const double a[] = {1.0, 2.0, 3.0, 4.0};
+  const double b[] = {1.0, 2.0, 3.0, 4.0};
+  const double rev[] = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(*SpearmanRho(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(*SpearmanRho(a, rev), -1.0, 1e-12);
+}
+
+TEST(SpearmanRho, Validation) {
+  const double a[] = {1.0, 2.0};
+  const double short_b[] = {1.0};
+  const double flat[] = {1.0, 1.0};
+  EXPECT_FALSE(SpearmanRho(a, short_b).ok());
+  EXPECT_FALSE(SpearmanRho(a, flat).ok());
+}
+
+TEST(KendallTau, KnownValues) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double same[] = {10.0, 20.0, 30.0};
+  const double rev[] = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(*KendallTau(a, same), 1.0, 1e-12);
+  EXPECT_NEAR(*KendallTau(a, rev), -1.0, 1e-12);
+}
+
+TEST(KendallTau, PartialDisorder) {
+  const double a[] = {1.0, 2.0, 3.0};
+  const double b[] = {1.0, 3.0, 2.0};  // One discordant pair of three.
+  EXPECT_NEAR(*KendallTau(a, b), 1.0 / 3.0, 1e-12);
+}
+
+// Anchors with power following a clean inverse power law around `truth`.
+std::vector<Anchor> CleanAnchors(Vec2 truth, std::span<const Vec2> positions) {
+  std::vector<Anchor> anchors;
+  for (const Vec2 p : positions) {
+    const double d = std::max(Distance(p, truth), 0.1);
+    anchors.push_back({p, 1.0 / (d * d), false});
+  }
+  return anchors;
+}
+
+TEST(SequenceLocalize, RecoversCleanTruthCoarsely) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 10.0, 8.0);
+  const std::vector<Vec2> aps{{1, 1}, {9, 1}, {9, 7}, {1, 7}, {5, 4}, {3, 6}};
+  common::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec2 truth{rng.Uniform(1.0, 9.0), rng.Uniform(1.0, 7.0)};
+    auto est = SequenceLocalize(room, CleanAnchors(truth, aps), {});
+    ASSERT_TRUE(est.ok()) << est.status().ToString();
+    // The sequence cell has finite size; just demand cell-scale accuracy.
+    EXPECT_LT(Distance(*est, truth), 3.0);
+    EXPECT_TRUE(room.Contains(*est, 1e-9));
+  }
+}
+
+TEST(SequenceLocalize, KendallVariantAlsoWorks) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 10.0, 8.0);
+  const std::vector<Vec2> aps{{1, 1}, {9, 1}, {9, 7}, {1, 7}, {5, 4}};
+  SequenceOptions opts;
+  opts.correlation = RankCorrelation::kKendall;
+  const Vec2 truth{3.0, 5.0};
+  auto est = SequenceLocalize(room, CleanAnchors(truth, aps), opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(Distance(*est, truth), 3.0);
+}
+
+TEST(SequenceLocalize, MoreAnchorsImproveResolution) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 10.0, 8.0);
+  const std::vector<Vec2> few{{1, 1}, {9, 1}, {9, 7}};
+  std::vector<Vec2> many = few;
+  many.insert(many.end(), {{1, 7}, {5, 4}, {3, 2}, {7, 6}});
+  common::Rng rng(5);
+  double err_few = 0.0, err_many = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Vec2 truth{rng.Uniform(1.0, 9.0), rng.Uniform(1.0, 7.0)};
+    err_few += Distance(
+        *SequenceLocalize(room, CleanAnchors(truth, few), {}), truth);
+    err_many += Distance(
+        *SequenceLocalize(room, CleanAnchors(truth, many), {}), truth);
+  }
+  EXPECT_LT(err_many, err_few);
+}
+
+TEST(SequenceLocalize, Validation) {
+  const Polygon room = Polygon::Rectangle(0.0, 0.0, 2.0, 2.0);
+  std::vector<Anchor> two{{{0, 0}, 1.0, false}, {{1, 0}, 2.0, false}};
+  EXPECT_FALSE(SequenceLocalize(room, two, {}).ok());
+
+  std::vector<Anchor> bad{{{0, 0}, 1.0, false},
+                          {{1, 0}, 0.0, false},
+                          {{0, 1}, 1.0, false}};
+  EXPECT_FALSE(SequenceLocalize(room, bad, {}).ok());
+
+  SequenceOptions opts;
+  opts.grid_step_m = 0.0;
+  std::vector<Anchor> ok_anchors{{{0, 0}, 1.0, false},
+                                 {{1, 0}, 2.0, false},
+                                 {{0, 1}, 3.0, false}};
+  EXPECT_FALSE(SequenceLocalize(room, ok_anchors, opts).ok());
+}
+
+TEST(SequenceLocalize, WorksOnNonConvexArea) {
+  auto l = Polygon::Create(
+      {{0.0, 0.0}, {8.0, 0.0}, {8.0, 3.0}, {3.0, 3.0}, {3.0, 8.0}, {0.0, 8.0}});
+  ASSERT_TRUE(l.ok());
+  const std::vector<Vec2> aps{{1, 1}, {7, 1}, {1, 7}, {2, 2}};
+  const Vec2 truth{1.5, 6.0};
+  auto est = SequenceLocalize(*l, CleanAnchors(truth, aps), {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(Distance(*est, truth), 3.5);
+}
+
+}  // namespace
+}  // namespace nomloc::localization

@@ -1,0 +1,173 @@
+#include "lp/center.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::lp {
+namespace {
+
+using geometry::HalfPlane;
+using geometry::Polygon;
+using geometry::Vec2;
+
+std::vector<HalfPlane> SquarePlanes(double x0, double y0, double x1,
+                                    double y1) {
+  return geometry::ToHalfPlanes(Polygon::Rectangle(x0, y0, x1, y1));
+}
+
+TEST(ChebyshevCenter, CenteredSquare) {
+  const auto hps = SquarePlanes(0.0, 0.0, 4.0, 4.0);
+  auto result = ChebyshevCenter(hps);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->center.x, 2.0, 1e-8);
+  EXPECT_NEAR(result->center.y, 2.0, 1e-8);
+  EXPECT_NEAR(result->radius, 2.0, 1e-8);
+}
+
+TEST(ChebyshevCenter, RectangleRadiusIsHalfShortSide) {
+  const auto hps = SquarePlanes(0.0, 0.0, 10.0, 2.0);
+  auto result = ChebyshevCenter(hps);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->radius, 1.0, 1e-8);
+  EXPECT_NEAR(result->center.y, 1.0, 1e-8);
+  // x can be anywhere in [1, 9]; just check feasibility.
+  EXPECT_GE(result->center.x, 1.0 - 1e-7);
+  EXPECT_LE(result->center.x, 9.0 + 1e-7);
+}
+
+TEST(ChebyshevCenter, Triangle345InradiusIsOne) {
+  auto tri = Polygon::Create({{0.0, 0.0}, {4.0, 0.0}, {0.0, 3.0}});
+  ASSERT_TRUE(tri.ok());
+  auto result = ChebyshevCenter(geometry::ToHalfPlanes(*tri));
+  ASSERT_TRUE(result.ok());
+  // Inradius of a 3-4-5 right triangle = (3+4-5)/2 = 1, center (1,1).
+  EXPECT_NEAR(result->radius, 1.0, 1e-8);
+  EXPECT_NEAR(result->center.x, 1.0, 1e-8);
+  EXPECT_NEAR(result->center.y, 1.0, 1e-8);
+}
+
+TEST(ChebyshevCenter, InfeasibleRegionFails) {
+  std::vector<HalfPlane> hps{{{1.0, 0.0}, 0.0}, {{-1.0, 0.0}, -1.0}};
+  const auto result = ChebyshevCenter(hps);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInfeasible);
+}
+
+TEST(ChebyshevCenter, UnboundedInradiusFails) {
+  // Single half-plane: inradius unbounded.
+  std::vector<HalfPlane> hps{{{1.0, 0.0}, 0.0}};
+  const auto result = ChebyshevCenter(hps);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kUnbounded);
+}
+
+TEST(ChebyshevCenter, ZeroNormalRejected) {
+  std::vector<HalfPlane> hps{{{0.0, 0.0}, 1.0}};
+  EXPECT_EQ(ChebyshevCenter(hps).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(ChebyshevCenter, DegenerateRegionHasZeroRadius) {
+  // x <= 1 and x >= 1: a line segment within the square.
+  auto hps = SquarePlanes(0.0, 0.0, 2.0, 2.0);
+  hps.push_back({{1.0, 0.0}, 1.0});
+  hps.push_back({{-1.0, 0.0}, -1.0});
+  auto result = ChebyshevCenter(hps);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->radius, 0.0, 1e-8);
+  EXPECT_NEAR(result->center.x, 1.0, 1e-8);
+}
+
+TEST(AnalyticCenter, SquareCenterIsMiddle) {
+  const auto hps = SquarePlanes(0.0, 0.0, 4.0, 4.0);
+  auto result = AnalyticCenter(hps, {1.0, 1.0});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->x, 2.0, 1e-6);
+  EXPECT_NEAR(result->y, 2.0, 1e-6);
+}
+
+TEST(AnalyticCenter, IndependentOfStartPoint) {
+  const auto hps = SquarePlanes(0.0, 0.0, 6.0, 2.0);
+  auto a = AnalyticCenter(hps, {0.5, 0.5});
+  auto b = AnalyticCenter(hps, {5.5, 1.5});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->x, b->x, 1e-5);
+  EXPECT_NEAR(a->y, b->y, 1e-5);
+}
+
+TEST(AnalyticCenter, NonInteriorStartFails) {
+  const auto hps = SquarePlanes(0.0, 0.0, 1.0, 1.0);
+  EXPECT_EQ(AnalyticCenter(hps, {2.0, 0.5}).status().code(),
+            common::StatusCode::kFailedPrecondition);
+  // Exactly on the boundary is not strictly interior either.
+  EXPECT_EQ(AnalyticCenter(hps, {0.0, 0.5}).status().code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+TEST(AnalyticCenter, DuplicatedConstraintPullsCenter) {
+  // Repeating the x <= 4 wall makes the barrier steeper there; the
+  // analytic center shifts away from the duplicated facet.
+  auto hps = SquarePlanes(0.0, 0.0, 4.0, 4.0);
+  const std::size_t base = hps.size();
+  auto shifted = hps;
+  for (std::size_t i = 0; i < base; ++i) {
+    if (shifted[i].a.x > 0.5) {  // The x <= 4 facet.
+      shifted.push_back(shifted[i]);
+      shifted.push_back(shifted[i]);
+    }
+  }
+  auto plain = AnalyticCenter(hps, {2.0, 2.0});
+  auto pulled = AnalyticCenter(shifted, {2.0, 2.0});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(pulled.ok());
+  EXPECT_LT(pulled->x, plain->x - 0.1);
+}
+
+// Property: the analytic center satisfies the stationarity condition
+// sum a_i / s_i = 0 and stays strictly inside random convex regions.
+TEST(AnalyticCenterProperty, StationaryAndInterior) {
+  common::Rng rng(71);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random half-planes all containing the origin with margin.
+    std::vector<HalfPlane> hps;
+    const std::size_t m = 4 + rng.UniformInt(6);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ang = rng.UniformAngle();
+      const Vec2 n{std::cos(ang), std::sin(ang)};
+      hps.push_back({n, rng.Uniform(0.5, 3.0)});
+    }
+    // Ensure boundedness with a surrounding box.
+    for (const HalfPlane& hp : SquarePlanes(-10, -10, 10, 10))
+      hps.push_back(hp);
+
+    auto center = AnalyticCenter(hps, {0.0, 0.0});
+    ASSERT_TRUE(center.ok()) << center.status().ToString();
+    double gx = 0.0, gy = 0.0;
+    for (const HalfPlane& hp : hps) {
+      const double s = hp.Slack(*center);
+      ASSERT_GT(s, 0.0);
+      gx += hp.a.x / s;
+      gy += hp.a.y / s;
+    }
+    EXPECT_NEAR(gx, 0.0, 1e-4);
+    EXPECT_NEAR(gy, 0.0, 1e-4);
+  }
+}
+
+TEST(Centers, AgreeOnSymmetricRegion) {
+  const auto hps = SquarePlanes(-1.0, -1.0, 1.0, 1.0);
+  auto cheb = ChebyshevCenter(hps);
+  auto ac = AnalyticCenter(hps, {0.1, -0.2});
+  ASSERT_TRUE(cheb.ok());
+  ASSERT_TRUE(ac.ok());
+  EXPECT_NEAR(cheb->center.x, ac->x, 1e-5);
+  EXPECT_NEAR(cheb->center.y, ac->y, 1e-5);
+}
+
+}  // namespace
+}  // namespace nomloc::lp

@@ -1,0 +1,172 @@
+#include "lp/interior_point.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace nomloc::lp {
+namespace {
+
+InequalityLp MakeLp(std::size_t m, std::size_t n) {
+  InequalityLp lp;
+  lp.a = Matrix(m, n);
+  lp.b.assign(m, 0.0);
+  lp.c.assign(n, 0.0);
+  lp.nonneg.assign(n, true);
+  return lp;
+}
+
+TEST(InteriorPoint, SolvesTextbookProblem) {
+  // Same program as the simplex test: optimum (2, 6), objective -36.
+  InequalityLp lp = MakeLp(3, 2);
+  lp.a(0, 0) = 1.0;
+  lp.a(1, 1) = 2.0;
+  lp.a(2, 0) = 3.0;
+  lp.a(2, 1) = 2.0;
+  lp.b = {4.0, 12.0, 18.0};
+  lp.c = {-3.0, -5.0};
+  auto sol = SolveInteriorPoint(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-5);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-5);
+  EXPECT_NEAR(sol->objective, -36.0, 1e-4);
+  EXPECT_LT(sol->duality_gap, 1e-8);
+}
+
+TEST(InteriorPoint, HandlesFreeVariables) {
+  // minimize x, x free, x >= -5.
+  InequalityLp lp = MakeLp(1, 1);
+  lp.a(0, 0) = -1.0;
+  lp.b = {5.0};
+  lp.c = {1.0};
+  lp.nonneg = {false};
+  auto sol = SolveInteriorPoint(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], -5.0, 1e-5);
+}
+
+TEST(InteriorPoint, NegativeRhsFeasibleProblem) {
+  // x >= 2, minimize x.
+  InequalityLp lp = MakeLp(1, 1);
+  lp.a(0, 0) = -1.0;
+  lp.b = {-2.0};
+  lp.c = {1.0};
+  auto sol = SolveInteriorPoint(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-5);
+}
+
+TEST(InteriorPoint, DetectsInfeasible) {
+  // x <= 1 and x >= 3.
+  InequalityLp lp = MakeLp(2, 1);
+  lp.a(0, 0) = 1.0;
+  lp.a(1, 0) = -1.0;
+  lp.b = {1.0, -3.0};
+  lp.c = {0.0};
+  const auto sol = SolveInteriorPoint(lp);
+  ASSERT_FALSE(sol.ok());
+  // Without a Farkas certificate the method signals infeasibility either
+  // directly or as divergence; all three are acceptable, success is not.
+  EXPECT_TRUE(sol.status().code() == common::StatusCode::kInfeasible ||
+              sol.status().code() == common::StatusCode::kExhausted ||
+              sol.status().code() == common::StatusCode::kNumericalError);
+}
+
+TEST(InteriorPoint, ValidatesShapes) {
+  InequalityLp lp = MakeLp(2, 2);
+  lp.b.resize(1);
+  EXPECT_EQ(SolveInteriorPoint(lp).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(InteriorPoint, RejectsBadOptions) {
+  InequalityLp lp = MakeLp(1, 1);
+  lp.a(0, 0) = 1.0;
+  lp.b = {1.0};
+  lp.c = {1.0};
+  InteriorPointOptions bad;
+  bad.sigma = 1.5;
+  EXPECT_THROW((void)SolveInteriorPoint(lp, bad), std::logic_error);
+  bad = InteriorPointOptions{};
+  bad.step_fraction = 1.0;
+  EXPECT_THROW((void)SolveInteriorPoint(lp, bad), std::logic_error);
+}
+
+TEST(InteriorPoint, SolvesRelaxationProgramShape) {
+  // The SP relaxation program: z free, t >= 0, A z - t <= b, min w^T t;
+  // contradictory constraints, heavy one kept.
+  InequalityLp lp = MakeLp(2, 3);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = -1.0;
+  lp.a(1, 0) = -1.0;
+  lp.a(1, 2) = -1.0;
+  lp.b = {1.0, -3.0};
+  lp.c = {0.0, 5.0, 1.0};
+  lp.nonneg = {false, true, true};
+  auto sol = SolveInteriorPoint(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 2.0, 1e-4);
+}
+
+// The money property: interior point and simplex agree on random feasible
+// bounded LPs — two independent solvers cross-validate each other.
+TEST(InteriorPointProperty, AgreesWithSimplex) {
+  common::Rng rng(101);
+  int solved = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(3);
+    const std::size_t m = 3 + rng.UniformInt(5);
+    InequalityLp lp = MakeLp(m + 2 * n, n);
+    lp.nonneg.assign(n, false);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) lp.a(r, c) = rng.Uniform(-1, 1);
+      lp.b[r] = rng.Uniform(0.5, 3.0);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      lp.a(m + 2 * i, i) = 1.0;
+      lp.b[m + 2 * i] = 5.0;
+      lp.a(m + 2 * i + 1, i) = -1.0;
+      lp.b[m + 2 * i + 1] = 5.0;
+    }
+    for (std::size_t c = 0; c < n; ++c) lp.c[c] = rng.Uniform(-1, 1);
+
+    auto simplex = SolveSimplex(lp);
+    auto ipm = SolveInteriorPoint(lp);
+    ASSERT_TRUE(simplex.ok()) << simplex.status().ToString();
+    ASSERT_TRUE(ipm.ok()) << ipm.status().ToString();
+    EXPECT_NEAR(ipm->objective, simplex->objective,
+                1e-5 * (1.0 + std::abs(simplex->objective)));
+    ++solved;
+  }
+  EXPECT_EQ(solved, 40);
+}
+
+TEST(InteriorPointProperty, SolutionIsPrimalFeasible) {
+  common::Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2;
+    const std::size_t m = 4 + rng.UniformInt(4);
+    InequalityLp lp = MakeLp(m + 2 * n, n);
+    lp.nonneg.assign(n, false);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) lp.a(r, c) = rng.Uniform(-1, 1);
+      lp.b[r] = rng.Uniform(0.5, 2.0);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      lp.a(m + 2 * i, i) = 1.0;
+      lp.b[m + 2 * i] = 4.0;
+      lp.a(m + 2 * i + 1, i) = -1.0;
+      lp.b[m + 2 * i + 1] = 4.0;
+    }
+    for (std::size_t c = 0; c < n; ++c) lp.c[c] = rng.Uniform(-1, 1);
+    auto sol = SolveInteriorPoint(lp);
+    ASSERT_TRUE(sol.ok());
+    const Vector ax = lp.a.MatVec(sol->x);
+    for (std::size_t r = 0; r < lp.b.size(); ++r)
+      EXPECT_LE(ax[r], lp.b[r] + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::lp

@@ -1,0 +1,182 @@
+#include "lp/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace nomloc::lp {
+namespace {
+
+TEST(Matrix, ZeroInitialised) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.Cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, FromRowMajorData) {
+  const Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, SizeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 2, {1.0}), std::logic_error);
+}
+
+TEST(Matrix, OutOfBoundsThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::logic_error);
+  EXPECT_THROW(m(0, 2), std::logic_error);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, RowSpanReadsAndWrites) {
+  Matrix m(2, 3);
+  auto row = m.Row(1);
+  row[2] = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+  const Matrix& cm = m;
+  EXPECT_EQ(cm.Row(1)[2], 5.0);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.Rows(), 3u);
+  EXPECT_EQ(t.Cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, MatVec) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Vector x{1.0, 0.0, -1.0};
+  const Vector y = m.MatVec(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, MatVecSizeMismatchThrows) {
+  const Matrix m(2, 3);
+  EXPECT_THROW(m.MatVec(Vector{1.0, 2.0}), std::logic_error);
+}
+
+TEST(Matrix, TransposedMatVec) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Vector y{1.0, 1.0};
+  const Vector x = m.TransposedMatVec(y);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], 7.0);
+  EXPECT_DOUBLE_EQ(x[2], 9.0);
+}
+
+TEST(Matrix, MatMul) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {0, 1, 1, 0});
+  const Matrix c = a.MatMul(b);
+  EXPECT_EQ(c(0, 0), 2.0);
+  EXPECT_EQ(c(0, 1), 1.0);
+  EXPECT_EQ(c(1, 0), 4.0);
+  EXPECT_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, MatMulIdentityIsNoOp) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix c = Matrix::Identity(2).MatMul(a);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t col = 0; col < 3; ++col)
+      EXPECT_EQ(c(r, col), a(r, col));
+}
+
+TEST(Matrix, AppendRow) {
+  Matrix m;
+  const double r1[] = {1.0, 2.0};
+  const double r2[] = {3.0, 4.0};
+  m.AppendRow(r1);
+  m.AppendRow(r2);
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.Cols(), 2u);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, AppendRowWrongWidthThrows) {
+  Matrix m(1, 3);
+  const double r[] = {1.0, 2.0};
+  EXPECT_THROW(m.AppendRow(r), std::logic_error);
+}
+
+TEST(SolveLinear, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  const Matrix a(2, 2, {2, 1, 1, -1});
+  auto x = SolveLinear(a, {5.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  const Matrix a(2, 2, {0, 1, 1, 0});
+  auto x = SolveLinear(a, {3.0, 7.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularFails) {
+  const Matrix a(2, 2, {1, 2, 2, 4});
+  const auto x = SolveLinear(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), common::StatusCode::kNumericalError);
+}
+
+TEST(SolveLinear, NonSquareFails) {
+  const Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinear(a, {1.0, 2.0}).ok());
+}
+
+TEST(SolveLinear, RhsSizeMismatchFails) {
+  const Matrix a(2, 2, {1, 0, 0, 1});
+  EXPECT_FALSE(SolveLinear(a, {1.0}).ok());
+}
+
+TEST(SolveLinearProperty, RandomSystemsRoundTrip) {
+  common::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(6);
+    Matrix a(n, n);
+    Vector x_true(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      x_true[r] = rng.Uniform(-5, 5);
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.Uniform(-5, 5);
+      a(r, r) += 10.0;  // Diagonally dominant: well conditioned.
+    }
+    const Vector b = a.MatVec(x_true);
+    auto x = SolveLinear(a, b);
+    ASSERT_TRUE(x.ok());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(VectorOps, Norm2AndDot) {
+  const Vector a{3.0, 4.0};
+  const Vector b{1.0, -1.0};
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(Dot(a, b), -1.0);
+  EXPECT_THROW(Dot(a, Vector{1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nomloc::lp

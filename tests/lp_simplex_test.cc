@@ -1,0 +1,322 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace nomloc::lp {
+namespace {
+
+InequalityLp MakeLp(std::size_t m, std::size_t n) {
+  InequalityLp lp;
+  lp.a = Matrix(m, n);
+  lp.b.assign(m, 0.0);
+  lp.c.assign(n, 0.0);
+  lp.nonneg.assign(n, true);
+  return lp;
+}
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6) with value 36  =>  minimize -3x - 5y gives -36.
+  InequalityLp lp = MakeLp(3, 2);
+  lp.a(0, 0) = 1.0;
+  lp.a(1, 1) = 2.0;
+  lp.a(2, 0) = 3.0;
+  lp.a(2, 1) = 2.0;
+  lp.b = {4.0, 12.0, 18.0};
+  lp.c = {-3.0, -5.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-9);
+  EXPECT_NEAR(sol->objective, -36.0, 1e-9);
+}
+
+TEST(Simplex, TrivialMinimumAtOrigin) {
+  InequalityLp lp = MakeLp(1, 2);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = 1.0;
+  lp.b = {10.0};
+  lp.c = {1.0, 1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNeedsPhase1) {
+  // x >= 2 (written -x <= -2), minimize x  =>  x = 2.
+  InequalityLp lp = MakeLp(1, 1);
+  lp.a(0, 0) = -1.0;
+  lp.b = {-2.0};
+  lp.c = {1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 3.
+  InequalityLp lp = MakeLp(2, 1);
+  lp.a(0, 0) = 1.0;
+  lp.a(1, 0) = -1.0;
+  lp.b = {1.0, -3.0};
+  lp.c = {0.0};
+  const auto sol = SolveSimplex(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), common::StatusCode::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // minimize -x with only x >= 0 and a vacuous constraint.
+  InequalityLp lp = MakeLp(1, 1);
+  lp.a(0, 0) = -1.0;
+  lp.b = {0.0};
+  lp.c = {-1.0};
+  const auto sol = SolveSimplex(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), common::StatusCode::kUnbounded);
+}
+
+TEST(Simplex, FreeVariableReachesNegativeValues) {
+  // minimize x with x free and x >= -5 (-x <= 5).
+  InequalityLp lp = MakeLp(1, 1);
+  lp.a(0, 0) = -1.0;
+  lp.b = {5.0};
+  lp.c = {1.0};
+  lp.nonneg = {false};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], -5.0, 1e-9);
+}
+
+TEST(Simplex, MixedFreeAndNonnegVariables) {
+  // minimize x + y, x free in [-3, inf) via -x <= 3; y >= 0, x + y >= -1.
+  InequalityLp lp = MakeLp(2, 2);
+  lp.a(0, 0) = -1.0;
+  lp.a(0, 1) = 0.0;
+  lp.a(1, 0) = -1.0;
+  lp.a(1, 1) = -1.0;
+  lp.b = {3.0, 1.0};
+  lp.c = {1.0, 1.0};
+  lp.nonneg = {false, true};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  // Optimum: x = -1 - y with y = 0 limited by x >= -3 and x+y >= -1:
+  // objective x + y >= -1, attained anywhere on the segment; value -1.
+  EXPECT_NEAR(sol->objective, -1.0, 1e-9);
+}
+
+TEST(Simplex, EqualityViaTwoInequalities) {
+  // x + y = 4 (as <= and >=), minimize 2x + y  =>  x=0, y=4.
+  InequalityLp lp = MakeLp(2, 2);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = 1.0;
+  lp.a(1, 0) = -1.0;
+  lp.a(1, 1) = -1.0;
+  lp.b = {4.0, -4.0};
+  lp.c = {2.0, 1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple constraints through the same vertex (degeneracy): Bland's
+  // rule must still terminate.
+  InequalityLp lp = MakeLp(3, 2);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = 1.0;
+  lp.a(1, 0) = 1.0;
+  lp.a(2, 1) = 1.0;
+  lp.b = {1.0, 1.0, 1.0};
+  lp.c = {-1.0, -1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, -1.0, 1e-9);
+}
+
+TEST(Simplex, ValidatesShapes) {
+  InequalityLp lp = MakeLp(2, 2);
+  lp.b.resize(1);
+  EXPECT_EQ(SolveSimplex(lp).status().code(),
+            common::StatusCode::kInvalidArgument);
+
+  lp = MakeLp(2, 2);
+  lp.c.resize(3);
+  EXPECT_EQ(SolveSimplex(lp).status().code(),
+            common::StatusCode::kInvalidArgument);
+
+  lp = MakeLp(2, 2);
+  lp.nonneg.resize(1);
+  EXPECT_EQ(SolveSimplex(lp).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(Simplex, RejectsNonFiniteEntries) {
+  InequalityLp lp = MakeLp(1, 1);
+  lp.b[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(SolveSimplex(lp).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(Simplex, RedundantConstraintsHandled) {
+  // The same constraint repeated should not confuse phase 1/2.
+  InequalityLp lp = MakeLp(3, 1);
+  for (std::size_t r = 0; r < 3; ++r) lp.a(r, 0) = -1.0;
+  lp.b = {-2.0, -2.0, -2.0};
+  lp.c = {1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+}
+
+// The relaxation program shape used by the SP solver: z free, t >= 0,
+// A z - t <= b, minimize w^T t.  With consistent constraints the optimum
+// cost must be 0; with contradictory ones the cheapest constraint breaks.
+TEST(Simplex, RelaxationProgramConsistentCaseCostsZero) {
+  // Constraints: x <= 3 and -x <= -1 (x >= 1), relaxed.
+  // Vars: [x, t0, t1].
+  InequalityLp lp = MakeLp(2, 3);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = -1.0;
+  lp.a(1, 0) = -1.0;
+  lp.a(1, 2) = -1.0;
+  lp.b = {3.0, -1.0};
+  lp.c = {0.0, 1.0, 2.0};
+  lp.nonneg = {false, true, true};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+  EXPECT_GE(sol->x[0], 1.0 - 1e-9);
+  EXPECT_LE(sol->x[0], 3.0 + 1e-9);
+}
+
+TEST(Simplex, RelaxationProgramBreaksCheapestConstraint) {
+  // Contradiction: x <= 1 (weight 5) and x >= 3 (weight 1).
+  // Optimal: satisfy the expensive one, pay 2 * 1 for the cheap one.
+  InequalityLp lp = MakeLp(2, 3);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = -1.0;
+  lp.a(1, 0) = -1.0;
+  lp.a(1, 2) = -1.0;
+  lp.b = {1.0, -3.0};
+  lp.c = {0.0, 5.0, 1.0};
+  lp.nonneg = {false, true, true};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-9);   // Sits at the heavy constraint.
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-9);   // Heavy constraint kept.
+  EXPECT_NEAR(sol->x[2], 2.0, 1e-9);   // Cheap constraint pays t = 2.
+}
+
+TEST(Simplex, DuplicateColumnsHandled) {
+  // Two identical variables: any split of the optimum between them is
+  // valid; the objective must still be right.
+  InequalityLp lp = MakeLp(1, 2);
+  lp.a(0, 0) = 1.0;
+  lp.a(0, 1) = 1.0;
+  lp.b = {4.0};
+  lp.c = {-1.0, -1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, -4.0, 1e-9);
+  EXPECT_NEAR(sol->x[0] + sol->x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, ZeroRowFeasible) {
+  // 0·x <= 1 is vacuous; 0·x <= -1 is a contradiction.
+  InequalityLp lp = MakeLp(2, 1);
+  lp.a(1, 0) = 1.0;
+  lp.b = {1.0, 2.0};
+  lp.c = {-1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+
+  lp.b = {-1.0, 2.0};
+  const auto infeasible = SolveSimplex(lp);
+  ASSERT_FALSE(infeasible.ok());
+  EXPECT_EQ(infeasible.status().code(), common::StatusCode::kInfeasible);
+}
+
+TEST(Simplex, WidelyScaledCoefficients) {
+  // Mixed 1e-6 / 1e+6 magnitudes: the solver must stay accurate.
+  InequalityLp lp = MakeLp(2, 2);
+  lp.a(0, 0) = 1e6;
+  lp.a(1, 1) = 1e-6;
+  lp.b = {2e6, 3e-6};
+  lp.c = {-1.0, -1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 3.0, 1e-6);
+}
+
+TEST(Simplex, ManyConstraintsSingleVariable) {
+  // 100 upper bounds: the binding one wins.
+  InequalityLp lp = MakeLp(100, 1);
+  for (std::size_t r = 0; r < 100; ++r) {
+    lp.a(r, 0) = 1.0;
+    lp.b[r] = 5.0 + double(r);
+  }
+  lp.b[37] = 2.5;  // The tightest.
+  lp.c = {-1.0};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 2.5, 1e-9);
+}
+
+// Property: for random feasible bounded LPs, the simplex solution is
+// feasible and no better than any random feasible point (optimality
+// certificate by sampling).
+TEST(SimplexProperty, FeasibleAndNotBeatenBySampling) {
+  common::Rng rng(47);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 2;
+    const std::size_t m = 3 + rng.UniformInt(4);
+    InequalityLp lp = MakeLp(m + 2 * n, n);
+    lp.nonneg.assign(n, false);
+    // Random constraints around a box plus explicit box bounds to keep the
+    // problem bounded and feasible (origin always satisfies b >= 0 rows).
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) lp.a(r, c) = rng.Uniform(-1, 1);
+      lp.b[r] = rng.Uniform(0.5, 3.0);  // Origin strictly feasible.
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      lp.a(m + 2 * i, i) = 1.0;       // x_i <= 5.
+      lp.b[m + 2 * i] = 5.0;
+      lp.a(m + 2 * i + 1, i) = -1.0;  // x_i >= -5.
+      lp.b[m + 2 * i + 1] = 5.0;
+    }
+    for (std::size_t c = 0; c < n; ++c) lp.c[c] = rng.Uniform(-1, 1);
+
+    auto sol = SolveSimplex(lp);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    // Feasibility.
+    const Vector ax = lp.a.MatVec(sol->x);
+    for (std::size_t r = 0; r < lp.b.size(); ++r)
+      EXPECT_LE(ax[r], lp.b[r] + 1e-7);
+    // Sampled points never beat the reported optimum.
+    for (int s = 0; s < 200; ++s) {
+      Vector p(n);
+      for (auto& v : p) v = rng.Uniform(-5, 5);
+      const Vector ap = lp.a.MatVec(p);
+      bool feasible = true;
+      for (std::size_t r = 0; r < lp.b.size(); ++r)
+        if (ap[r] > lp.b[r]) feasible = false;
+      if (feasible) {
+        EXPECT_GE(Dot(lp.c, p), sol->objective - 1e-7);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::lp

@@ -1,0 +1,313 @@
+#include "mobility/markov.h"
+#include "mobility/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nomloc::mobility {
+namespace {
+
+using geometry::Vec2;
+
+TEST(MarkovChain, CreateValidatesMatrix) {
+  EXPECT_FALSE(MarkovChain::Create({}).ok());
+  EXPECT_FALSE(MarkovChain::Create({{0.5, 0.5}, {1.0}}).ok());
+  EXPECT_FALSE(MarkovChain::Create({{0.7, 0.7}}).ok());     // Row sum != 1.
+  EXPECT_FALSE(MarkovChain::Create({{1.5, -0.5}}).ok());    // Negative.
+  EXPECT_TRUE(MarkovChain::Create({{0.3, 0.7}, {1.0, 0.0}}).ok());
+}
+
+TEST(MarkovChain, UniformTransitions) {
+  const MarkovChain chain = MarkovChain::Uniform(4);
+  EXPECT_EQ(chain.StateCount(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(chain.TransitionProb(i, j), 0.25);
+}
+
+TEST(MarkovChain, StayBiasedProbabilities) {
+  const MarkovChain chain = MarkovChain::StayBiased(3, 0.7);
+  EXPECT_DOUBLE_EQ(chain.TransitionProb(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(chain.TransitionProb(0, 1), 0.15);
+  EXPECT_DOUBLE_EQ(chain.TransitionProb(0, 2), 0.15);
+}
+
+TEST(MarkovChain, RingMovesForward) {
+  const MarkovChain ring = MarkovChain::Ring(4, 1.0);
+  common::Rng rng(1);
+  EXPECT_EQ(ring.NextState(0, rng), 1u);
+  EXPECT_EQ(ring.NextState(3, rng), 0u);
+}
+
+TEST(MarkovChain, RingBackwardProbability) {
+  const MarkovChain ring = MarkovChain::Ring(5, 0.0);
+  common::Rng rng(1);
+  EXPECT_EQ(ring.NextState(0, rng), 4u);
+  EXPECT_EQ(ring.NextState(2, rng), 1u);
+}
+
+TEST(MarkovChain, SingleStateChainStaysPut) {
+  const MarkovChain chain = MarkovChain::Uniform(1);
+  common::Rng rng(2);
+  EXPECT_EQ(chain.NextState(0, rng), 0u);
+  const auto walk = chain.Walk(0, 5, rng);
+  for (std::size_t s : walk) EXPECT_EQ(s, 0u);
+}
+
+TEST(MarkovChain, WalkStartsAtStartAndHasRightLength) {
+  const MarkovChain chain = MarkovChain::Uniform(3);
+  common::Rng rng(5);
+  const auto walk = chain.Walk(2, 10, rng);
+  EXPECT_EQ(walk.size(), 11u);
+  EXPECT_EQ(walk.front(), 2u);
+  for (std::size_t s : walk) EXPECT_LT(s, 3u);
+}
+
+TEST(MarkovChain, WalkFollowsTransitionSupport) {
+  // Deterministic cycle 0 -> 1 -> 2 -> 0.
+  auto chain = MarkovChain::Create(
+      {{0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}, {1.0, 0.0, 0.0}});
+  ASSERT_TRUE(chain.ok());
+  common::Rng rng(5);
+  const auto walk = chain->Walk(0, 6, rng);
+  const std::vector<std::size_t> expected{0, 1, 2, 0, 1, 2, 0};
+  EXPECT_EQ(walk, expected);
+}
+
+TEST(MarkovChain, InvalidStateThrows) {
+  const MarkovChain chain = MarkovChain::Uniform(2);
+  common::Rng rng(1);
+  EXPECT_THROW(chain.NextState(2, rng), std::logic_error);
+  EXPECT_THROW(chain.Walk(5, 3, rng), std::logic_error);
+  EXPECT_THROW(chain.TransitionProb(0, 9), std::logic_error);
+}
+
+TEST(MarkovChain, StationaryDistributionUniformChain) {
+  const MarkovChain chain = MarkovChain::Uniform(4);
+  auto pi = chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  for (double p : *pi) EXPECT_NEAR(p, 0.25, 1e-9);
+}
+
+TEST(MarkovChain, StationaryDistributionBiasedChain) {
+  // Two states: 0 -> 1 w.p. 0.5; 1 -> 0 w.p. 0.25.  pi = (1/3, 2/3).
+  auto chain = MarkovChain::Create({{0.5, 0.5}, {0.25, 0.75}});
+  ASSERT_TRUE(chain.ok());
+  auto pi = chain->StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR((*pi)[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR((*pi)[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(MarkovChain, EmpiricalFrequenciesMatchStationary) {
+  auto chain = MarkovChain::Create({{0.9, 0.1}, {0.3, 0.7}});
+  ASSERT_TRUE(chain.ok());
+  common::Rng rng(31);
+  const auto walk = chain->Walk(0, 200000, rng);
+  double ones = 0.0;
+  for (std::size_t s : walk) ones += double(s);
+  const double freq1 = ones / double(walk.size());
+  auto pi = chain->StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR(freq1, (*pi)[1], 0.01);
+}
+
+TEST(AddUniformDiscError, ZeroRadiusIsIdentity) {
+  common::Rng rng(1);
+  const Vec2 p{3.0, 4.0};
+  EXPECT_EQ(AddUniformDiscError(p, 0.0, rng), p);
+}
+
+TEST(AddUniformDiscError, StaysWithinRadius) {
+  common::Rng rng(2);
+  const Vec2 p{3.0, 4.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Vec2 q = AddUniformDiscError(p, 2.0, rng);
+    EXPECT_LE(Distance(p, q), 2.0 + 1e-12);
+  }
+}
+
+TEST(AddUniformDiscError, NegativeRadiusThrows) {
+  common::Rng rng(2);
+  EXPECT_THROW(AddUniformDiscError({0, 0}, -1.0, rng), std::logic_error);
+}
+
+std::vector<Vec2> FourSites() {
+  return {{0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0}, {0.0, 4.0}};
+}
+
+TEST(GenerateTrace, StartsAtHomeSite) {
+  common::Rng rng(3);
+  TraceConfig cfg;
+  cfg.dwell_count = 6;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->size(), 6u);
+  EXPECT_EQ(trace->front().site_index, 0u);
+  EXPECT_EQ(trace->front().true_position, Vec2(0.0, 0.0));
+}
+
+TEST(GenerateTrace, ValidatesInput) {
+  common::Rng rng(3);
+  EXPECT_FALSE(GenerateTrace({}, {}, rng).ok());
+  TraceConfig zero;
+  zero.dwell_count = 0;
+  EXPECT_FALSE(GenerateTrace(FourSites(), zero, rng).ok());
+}
+
+TEST(GenerateTrace, StationaryPatternNeverMoves) {
+  common::Rng rng(4);
+  TraceConfig cfg;
+  cfg.pattern = MobilityPattern::kStationary;
+  cfg.dwell_count = 8;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  for (const auto& rec : *trace) EXPECT_EQ(rec.site_index, 0u);
+}
+
+TEST(GenerateTrace, PatrolCyclesThroughSites) {
+  common::Rng rng(4);
+  TraceConfig cfg;
+  cfg.pattern = MobilityPattern::kPatrol;
+  cfg.dwell_count = 9;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  for (std::size_t i = 0; i < trace->size(); ++i)
+    EXPECT_EQ((*trace)[i].site_index, i % 4);
+}
+
+TEST(GenerateTrace, PositionErrorBoundsReportedPosition) {
+  common::Rng rng(5);
+  TraceConfig cfg;
+  cfg.dwell_count = 20;
+  cfg.position_error_m = 1.5;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  bool some_error = false;
+  for (const auto& rec : *trace) {
+    const double err = Distance(rec.true_position, rec.reported_position);
+    EXPECT_LE(err, 1.5 + 1e-12);
+    if (err > 1e-6) some_error = true;
+  }
+  EXPECT_TRUE(some_error);
+}
+
+TEST(GenerateTrace, NoErrorMeansExactReports) {
+  common::Rng rng(6);
+  TraceConfig cfg;
+  cfg.dwell_count = 10;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  for (const auto& rec : *trace)
+    EXPECT_EQ(rec.true_position, rec.reported_position);
+}
+
+TEST(GenerateTrace, DeadReckoningDriftAccumulatesAndResetsAtHome) {
+  common::Rng rng(9);
+  TraceConfig cfg;
+  cfg.pattern = MobilityPattern::kPatrol;  // Deterministic site sequence.
+  cfg.dwell_count = 16;
+  cfg.error_model = PositionErrorModel::kDeadReckoning;
+  cfg.odometry_drift_per_m = 0.3;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  bool some_drift = false;
+  for (const auto& rec : *trace) {
+    const double err = Distance(rec.true_position, rec.reported_position);
+    if (rec.site_index == 0) {
+      // Home site is a calibration point: drift resets to zero.
+      EXPECT_NEAR(err, 0.0, 1e-12);
+    } else if (err > 1e-6) {
+      some_drift = true;
+    }
+  }
+  EXPECT_TRUE(some_drift);
+}
+
+TEST(GenerateTrace, DeadReckoningZeroDriftIsExact) {
+  common::Rng rng(10);
+  TraceConfig cfg;
+  cfg.dwell_count = 10;
+  cfg.error_model = PositionErrorModel::kDeadReckoning;
+  cfg.odometry_drift_per_m = 0.0;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  for (const auto& rec : *trace)
+    EXPECT_EQ(rec.true_position, rec.reported_position);
+}
+
+TEST(GenerateTrace, DeadReckoningErrorGrowsWithDriftRate) {
+  auto mean_error = [](double drift) {
+    common::Rng rng(11);
+    TraceConfig cfg;
+    cfg.pattern = MobilityPattern::kPatrol;
+    cfg.dwell_count = 32;
+    cfg.error_model = PositionErrorModel::kDeadReckoning;
+    cfg.odometry_drift_per_m = drift;
+    const std::vector<Vec2> sites{{0, 0}, {8, 0}, {8, 8}, {0, 8}};
+    auto trace = GenerateTrace(sites, cfg, rng);
+    double total = 0.0;
+    for (const auto& rec : *trace)
+      total += Distance(rec.true_position, rec.reported_position);
+    return total / double(trace->size());
+  };
+  EXPECT_LT(mean_error(0.1), mean_error(0.6));
+}
+
+TEST(GenerateTrace, NegativeDriftThrows) {
+  common::Rng rng(12);
+  TraceConfig cfg;
+  cfg.error_model = PositionErrorModel::kDeadReckoning;
+  cfg.odometry_drift_per_m = -0.1;
+  EXPECT_THROW((void)GenerateTrace(FourSites(), cfg, rng),
+               std::logic_error);
+}
+
+TEST(GenerateTrace, MarkovWalkEventuallyVisitsAllSites) {
+  common::Rng rng(7);
+  TraceConfig cfg;
+  cfg.dwell_count = 64;
+  auto trace = GenerateTrace(FourSites(), cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(VisitedSites(*trace).size(), 4u);
+}
+
+TEST(VisitedSites, FirstVisitOrderAndUniqueness) {
+  std::vector<DwellRecord> trace;
+  for (std::size_t s : {2u, 0u, 2u, 1u, 0u}) {
+    DwellRecord rec;
+    rec.site_index = s;
+    trace.push_back(rec);
+  }
+  const auto visited = VisitedSites(trace);
+  const std::vector<std::size_t> expected{2, 0, 1};
+  EXPECT_EQ(visited, expected);
+}
+
+class MobilityPatternTest : public ::testing::TestWithParam<MobilityPattern> {
+};
+
+TEST_P(MobilityPatternTest, AllRecordsReferenceValidSites) {
+  common::Rng rng(11);
+  TraceConfig cfg;
+  cfg.pattern = GetParam();
+  cfg.dwell_count = 16;
+  cfg.position_error_m = 0.5;
+  const auto sites = FourSites();
+  auto trace = GenerateTrace(sites, cfg, rng);
+  ASSERT_TRUE(trace.ok());
+  for (const auto& rec : *trace) {
+    ASSERT_LT(rec.site_index, sites.size());
+    EXPECT_EQ(rec.true_position, sites[rec.site_index]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, MobilityPatternTest,
+                         ::testing::Values(MobilityPattern::kMarkovWalk,
+                                           MobilityPattern::kStayBiased,
+                                           MobilityPattern::kPatrol,
+                                           MobilityPattern::kStationary));
+
+}  // namespace
+}  // namespace nomloc::mobility

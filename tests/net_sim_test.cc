@@ -1,0 +1,116 @@
+#include "net/sim.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::net {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(2.0, [&] {
+    sim.ScheduleAfter(1.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(1.0, [&] { ++ran; });
+  sim.ScheduleAt(5.0, [&] { ++ran; });
+  EXPECT_EQ(sim.Run(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  // Time advances to the horizon even when no event fires there.
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+}
+
+TEST(Simulator, EventExactlyAtHorizonRuns) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(2.0, [&] { ++ran; });
+  sim.Run(2.0);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(1.0, [&] {
+    ++ran;
+    sim.Stop();
+  });
+  sim.ScheduleAt(2.0, [&] { ++ran; });
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  // A later Run resumes.
+  sim.Run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, SelfReschedulingChain) {
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 10) sim.ScheduleAfter(0.5, tick);
+  };
+  sim.ScheduleAt(0.0, tick);
+  sim.Run();
+  EXPECT_EQ(ticks, 10);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.5);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.ScheduleAt(5.0, [] {});
+  sim.Run();
+  EXPECT_THROW(sim.ScheduleAt(1.0, [] {}), std::logic_error);
+  EXPECT_THROW(sim.ScheduleAfter(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.ScheduleAt(1.0, nullptr), std::logic_error);
+}
+
+TEST(Simulator, ManyEventsProcessQuickly) {
+  Simulator sim;
+  std::size_t ran = 0;
+  for (int i = 0; i < 10000; ++i)
+    sim.ScheduleAt(double(i % 100), [&] { ++ran; });
+  EXPECT_EQ(sim.Run(), 10000u);
+  EXPECT_EQ(ran, 10000u);
+}
+
+}  // namespace
+}  // namespace nomloc::net

@@ -1,0 +1,292 @@
+#include "net/system.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+
+namespace nomloc::net {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+channel::IndoorEnvironment EmptyRoom() {
+  auto env =
+      channel::IndoorEnvironment::Create(Polygon::Rectangle(0, 0, 12, 8));
+  return std::move(env).value();
+}
+
+SystemConfig FastConfig() {
+  SystemConfig cfg;
+  cfg.probe_interval_s = 0.01;
+  cfg.frames_per_report = 8;
+  cfg.dwell_duration_s = 0.1;
+  cfg.trace.dwell_count = 4;
+  return cfg;
+}
+
+TEST(NomLocSystem, CreateValidatesInputs) {
+  const auto env = EmptyRoom();
+  // Too few APs.
+  EXPECT_FALSE(NomLocSystem::Create(env, {{1, 1}}, {}, FastConfig(), 1).ok());
+  // Empty nomadic site list.
+  EXPECT_FALSE(
+      NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {{}}, FastConfig(), 1)
+          .ok());
+  // Bad timing parameters.
+  SystemConfig bad = FastConfig();
+  bad.probe_interval_s = 0.0;
+  EXPECT_FALSE(
+      NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {}, bad, 1).ok());
+  bad = FastConfig();
+  bad.frames_per_report = 0;
+  EXPECT_FALSE(
+      NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {}, bad, 1).ok());
+  bad = FastConfig();
+  bad.trace.dwell_count = 0;
+  EXPECT_FALSE(
+      NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {}, bad, 1).ok());
+}
+
+TEST(NomLocSystem, StaticOnlyDeploymentLocalizes) {
+  const auto env = EmptyRoom();
+  auto sys = NomLocSystem::Create(
+      env, {{1, 1}, {11, 1}, {11, 7}, {1, 7}}, {}, FastConfig(), 42);
+  ASSERT_TRUE(sys.ok()) << sys.status().ToString();
+  auto est = sys->LocalizeOnce({5.0, 4.0});
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_TRUE(env.Boundary().Contains(est->position, 1e-5));
+  EXPECT_GT(sys->Stats().probes_sent, 0u);
+  EXPECT_GT(sys->Stats().reports_received, 0u);
+}
+
+TEST(NomLocSystem, NomadicDeploymentMovesAndLocalizes) {
+  const auto env = EmptyRoom();
+  auto sys = NomLocSystem::Create(
+      env, {{11, 1}, {11, 7}, {1, 7}},
+      {{{1.0, 1.0}, {4.0, 4.0}, {8.0, 4.0}}}, FastConfig(), 7);
+  ASSERT_TRUE(sys.ok());
+  auto est = sys->LocalizeOnce({5.0, 4.0});
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GT(sys->Stats().nomadic_moves, 0u);
+  // At least one observation was tagged nomadic.
+  bool has_nomadic = false;
+  for (const auto& a : est->anchors) has_nomadic |= a.is_nomadic_site;
+  EXPECT_TRUE(has_nomadic);
+}
+
+TEST(NomLocSystem, ProbeAndFrameAccounting) {
+  const auto env = EmptyRoom();
+  SystemConfig cfg = FastConfig();
+  auto sys = NomLocSystem::Create(env, {{1, 1}, {11, 1}, {11, 7}, {1, 7}},
+                                  {}, cfg, 3);
+  ASSERT_TRUE(sys.ok());
+  ASSERT_TRUE(sys->LocalizeOnce({4.0, 4.0}).ok());
+  // Epoch = 4 dwells * 0.1 s / 0.01 s per probe = 40 probes.
+  EXPECT_EQ(sys->Stats().probes_sent, 40u);
+  EXPECT_EQ(sys->Stats().frames_captured, 40u * 4u);
+}
+
+TEST(NomLocSystem, ReportsCarryPositions) {
+  const auto env = EmptyRoom();
+  auto sys = NomLocSystem::Create(
+      env, {{11, 1}, {11, 7}},
+      {{{1.0, 1.0}, {5.0, 5.0}}}, FastConfig(), 9);
+  ASSERT_TRUE(sys.ok());
+  ASSERT_TRUE(sys->LocalizeOnce({6.0, 4.0}).ok());
+  ASSERT_FALSE(sys->LastReports().empty());
+  for (const auto& report : sys->LastReports()) {
+    EXPECT_TRUE(env.Boundary().Contains(report.reported_position, 1e-6));
+    EXPECT_GE(report.timestamp_s, 0.0);
+  }
+}
+
+TEST(NomLocSystem, PositionErrorPropagatesToReports) {
+  const auto env = EmptyRoom();
+  SystemConfig cfg = FastConfig();
+  cfg.trace.position_error_m = 2.0;
+  auto sys = NomLocSystem::Create(
+      env, {{11, 1}, {11, 7}},
+      {{{3.0, 3.0}, {6.0, 5.0}}}, cfg, 11);
+  ASSERT_TRUE(sys.ok());
+  ASSERT_TRUE(sys->LocalizeOnce({6.0, 4.0}).ok());
+  bool any_offset = false;
+  for (const auto& report : sys->LastReports()) {
+    if (!report.is_nomadic) continue;
+    if (Distance(report.reported_position, {3.0, 3.0}) > 1e-6 &&
+        Distance(report.reported_position, {6.0, 5.0}) > 1e-6)
+      any_offset = true;
+  }
+  EXPECT_TRUE(any_offset);
+}
+
+TEST(NomLocSystem, RepeatedEpochsAreIndependentTrials) {
+  const auto env = EmptyRoom();
+  auto sys = NomLocSystem::Create(
+      env, {{11, 1}, {11, 7}, {1, 7}},
+      {{{1.0, 1.0}, {4.0, 4.0}, {8.0, 4.0}}}, FastConfig(), 21);
+  ASSERT_TRUE(sys.ok());
+  auto e1 = sys->LocalizeOnce({5.0, 4.0});
+  auto e2 = sys->LocalizeOnce({5.0, 4.0});
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  // Different RNG draws: estimates differ (with overwhelming probability).
+  EXPECT_NE(e1->position, e2->position);
+}
+
+TEST(NomLocSystem, FrameLossReducesCapturedFrames) {
+  const auto env = EmptyRoom();
+  SystemConfig cfg = FastConfig();
+  cfg.frame_loss_rate = 0.5;
+  auto sys = NomLocSystem::Create(env, {{1, 1}, {11, 1}, {11, 7}, {1, 7}},
+                                  {}, cfg, 5);
+  ASSERT_TRUE(sys.ok());
+  auto est = sys->LocalizeOnce({5.0, 4.0});
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  const auto& stats = sys->Stats();
+  EXPECT_GT(stats.frames_lost, 0u);
+  // Roughly half the 160 capture opportunities lost.
+  EXPECT_NEAR(double(stats.frames_lost),
+              double(stats.frames_captured), 40.0);
+}
+
+TEST(NomLocSystem, ReportLossDropsBatches) {
+  const auto env = EmptyRoom();
+  SystemConfig cfg = FastConfig();
+  cfg.report_loss_rate = 0.3;
+  auto sys = NomLocSystem::Create(env, {{1, 1}, {11, 1}, {11, 7}, {1, 7}},
+                                  {}, cfg, 6);
+  ASSERT_TRUE(sys.ok());
+  // Several epochs to accumulate loss statistics.
+  for (int i = 0; i < 5; ++i) (void)sys->LocalizeOnce({5.0, 4.0});
+  EXPECT_GT(sys->Stats().reports_lost, 0u);
+  EXPECT_GT(sys->Stats().reports_received, 0u);
+}
+
+TEST(NomLocSystem, LocalizationSurvivesModerateLoss) {
+  const auto env = EmptyRoom();
+  SystemConfig cfg = FastConfig();
+  cfg.frame_loss_rate = 0.2;
+  cfg.report_loss_rate = 0.1;
+  auto sys = NomLocSystem::Create(
+      env, {{11, 1}, {11, 7}, {1, 7}},
+      {{{1.0, 1.0}, {4.0, 4.0}, {8.0, 4.0}}}, cfg, 8);
+  ASSERT_TRUE(sys.ok());
+  auto est = sys->LocalizeOnce({5.0, 4.0});
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_TRUE(env.Boundary().Contains(est->position, 1e-5));
+}
+
+TEST(NomLocSystem, WalkingTransitSuppressesFrames) {
+  const auto env = EmptyRoom();
+  SystemConfig teleport = FastConfig();
+  SystemConfig walking = FastConfig();
+  // Slow walker: transit eats a large share of each dwell.
+  walking.walking_speed_mps = 5.0;
+  const std::vector<geometry::Vec2> statics{{11, 1}, {11, 7}};
+  const std::vector<std::vector<geometry::Vec2>> sites{
+      {{1.0, 1.0}, {9.0, 6.0}, {2.0, 7.0}}};
+  auto s_teleport = NomLocSystem::Create(env, statics, sites, teleport, 13);
+  auto s_walking = NomLocSystem::Create(env, statics, sites, walking, 13);
+  ASSERT_TRUE(s_teleport.ok());
+  ASSERT_TRUE(s_walking.ok());
+  ASSERT_TRUE(s_teleport->LocalizeOnce({6.0, 4.0}).ok());
+  auto est = s_walking->LocalizeOnce({6.0, 4.0});
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  // The walking AP misses probes while in transit.
+  EXPECT_LT(s_walking->Stats().frames_captured,
+            s_teleport->Stats().frames_captured);
+}
+
+TEST(NomLocSystem, WalkingSpeedValidation) {
+  const auto env = EmptyRoom();
+  SystemConfig bad = FastConfig();
+  bad.walking_speed_mps = -1.0;
+  EXPECT_FALSE(
+      NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {}, bad, 1).ok());
+}
+
+TEST(NomLocSystem, RejectsInvalidLossRates) {
+  const auto env = EmptyRoom();
+  SystemConfig bad = FastConfig();
+  bad.frame_loss_rate = 1.0;
+  EXPECT_FALSE(
+      NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {}, bad, 1).ok());
+  bad = FastConfig();
+  bad.report_loss_rate = -0.1;
+  EXPECT_FALSE(
+      NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {}, bad, 1).ok());
+}
+
+TEST(NomLocSystem, ConcurrentObjectsEachLocalized) {
+  const auto env = EmptyRoom();
+  SystemConfig cfg = FastConfig();
+  auto sys = NomLocSystem::Create(
+      env, {{11, 1}, {11, 7}, {1, 7}},
+      {{{1.0, 1.0}, {4.0, 4.0}, {8.0, 4.0}}}, cfg, 31);
+  ASSERT_TRUE(sys.ok());
+  const std::vector<geometry::Vec2> objects{{3.0, 2.0}, {8.0, 6.0},
+                                            {6.0, 4.0}};
+  auto estimates = sys->LocalizeConcurrent(objects);
+  ASSERT_TRUE(estimates.ok()) << estimates.status().ToString();
+  ASSERT_EQ(estimates->size(), 3u);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_TRUE(env.Boundary().Contains((*estimates)[i].position, 1e-5));
+    // Coarse sanity: each object's estimate is closer to its own truth
+    // than to the most distant other object.
+    double worst_other = 0.0;
+    for (std::size_t j = 0; j < objects.size(); ++j)
+      if (j != i)
+        worst_other =
+            std::max(worst_other, Distance(objects[i], objects[j]));
+    EXPECT_LT(Distance((*estimates)[i].position, objects[i]),
+              worst_other + 2.0);
+  }
+}
+
+TEST(NomLocSystem, ConcurrentSharesTheEpochProbes) {
+  const auto env = EmptyRoom();
+  SystemConfig cfg = FastConfig();
+  auto sys = NomLocSystem::Create(env, {{1, 1}, {11, 1}, {11, 7}, {1, 7}},
+                                  {}, cfg, 33);
+  ASSERT_TRUE(sys.ok());
+  const std::vector<geometry::Vec2> objects{{3.0, 2.0}, {8.0, 6.0}};
+  ASSERT_TRUE(sys->LocalizeConcurrent(objects).ok());
+  // Probes are time-shared: same probe budget as a single-object epoch.
+  EXPECT_EQ(sys->Stats().probes_sent, 40u);
+  // Reports carry both object ids.
+  bool saw[2] = {false, false};
+  for (const auto& report : sys->LastReports())
+    if (report.object_id < 2) saw[report.object_id] = true;
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+}
+
+TEST(NomLocSystem, ConcurrentEmptyRejected) {
+  const auto env = EmptyRoom();
+  auto sys = NomLocSystem::Create(env, {{1, 1}, {11, 7}}, {}, FastConfig(),
+                                  35);
+  ASSERT_TRUE(sys.ok());
+  EXPECT_FALSE(sys->LocalizeConcurrent({}).ok());
+}
+
+TEST(NomLocSystem, SameSeedSameResult) {
+  const auto env = EmptyRoom();
+  auto mk = [&] {
+    return NomLocSystem::Create(
+        env, {{11, 1}, {11, 7}, {1, 7}},
+        {{{1.0, 1.0}, {4.0, 4.0}}}, FastConfig(), 77);
+  };
+  auto s1 = mk();
+  auto s2 = mk();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  auto e1 = s1->LocalizeOnce({5.0, 4.0});
+  auto e2 = s2->LocalizeOnce({5.0, 4.0});
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e1->position, e2->position);
+}
+
+}  // namespace
+}  // namespace nomloc::net

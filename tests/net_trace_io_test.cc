@@ -1,0 +1,140 @@
+#include "net/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/csi_model.h"
+#include "common/rng.h"
+#include "eval/scenario.h"
+
+namespace nomloc::net {
+namespace {
+
+using geometry::Polygon;
+using geometry::Vec2;
+
+MeasurementTrace SmallTrace() {
+  MeasurementTrace trace;
+  trace.description = "unit-test trace";
+  EpochRecord epoch;
+  epoch.ground_truth = {3.0, 2.0};
+  epoch.anchors = {{{1.0, 1.0}, 4.0e-6, false},
+                   {{9.0, 1.0}, 1.0e-6, false},
+                   {{5.0, 7.0}, 2.0e-6, true}};
+  trace.epochs.push_back(epoch);
+  EpochRecord epoch2 = epoch;
+  epoch2.ground_truth = {7.0, 5.0};
+  epoch2.anchors[0].pdp = 0.5e-6;
+  epoch2.anchors[1].pdp = 3.0e-6;
+  trace.epochs.push_back(epoch2);
+  return trace;
+}
+
+TEST(TraceIo, RoundTripsThroughJsonText) {
+  const MeasurementTrace original = SmallTrace();
+  const common::Json json = TraceToJson(original);
+  auto parsed_json = common::Json::Parse(json.Dump());
+  ASSERT_TRUE(parsed_json.ok());
+  auto restored = TraceFromJson(*parsed_json);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->description, original.description);
+  ASSERT_EQ(restored->epochs.size(), original.epochs.size());
+  for (std::size_t e = 0; e < original.epochs.size(); ++e) {
+    EXPECT_EQ(restored->epochs[e].ground_truth,
+              original.epochs[e].ground_truth);
+    ASSERT_EQ(restored->epochs[e].anchors.size(),
+              original.epochs[e].anchors.size());
+    for (std::size_t a = 0; a < original.epochs[e].anchors.size(); ++a) {
+      EXPECT_EQ(restored->epochs[e].anchors[a].position,
+                original.epochs[e].anchors[a].position);
+      EXPECT_DOUBLE_EQ(restored->epochs[e].anchors[a].pdp,
+                       original.epochs[e].anchors[a].pdp);
+      EXPECT_EQ(restored->epochs[e].anchors[a].is_nomadic_site,
+                original.epochs[e].anchors[a].is_nomadic_site);
+    }
+  }
+}
+
+TEST(TraceIo, RejectsSchemaViolations) {
+  EXPECT_FALSE(TraceFromJson(common::Json(1.0)).ok());
+  auto wrong_version = common::Json::Parse(
+      R"({"schema_version": 99, "description": "", "epochs": []})");
+  ASSERT_TRUE(wrong_version.ok());
+  EXPECT_FALSE(TraceFromJson(*wrong_version).ok());
+  auto bad_anchor = common::Json::Parse(
+      R"({"schema_version": 1, "description": "", "epochs":
+          [{"truth_x": 0, "truth_y": 0,
+            "anchors": [{"x": 1, "y": 1, "pdp": -1, "nomadic": false}]}]})");
+  ASSERT_TRUE(bad_anchor.ok());
+  EXPECT_FALSE(TraceFromJson(*bad_anchor).ok());
+}
+
+TEST(TraceIo, ReplayScoresAgainstGroundTruth) {
+  auto engine = core::NomLocEngine::Create(Polygon::Rectangle(0, 0, 10, 8));
+  ASSERT_TRUE(engine.ok());
+  auto result = ReplayTrace(SmallTrace(), *engine);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->errors_m.size(), 2u);
+  for (double e : result->errors_m) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 13.0);  // Bounded by the room diagonal.
+  }
+  EXPECT_NEAR(result->mean_error_m,
+              (result->errors_m[0] + result->errors_m[1]) / 2.0, 1e-12);
+}
+
+TEST(TraceIo, EmptyTraceRejected) {
+  auto engine = core::NomLocEngine::Create(Polygon::Rectangle(0, 0, 4, 4));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(ReplayTrace({}, *engine).ok());
+}
+
+// The record/replay workflow end-to-end: record simulated epochs, encode,
+// decode, replay through two engine configurations, compare.
+TEST(TraceIo, RecordReplayWorkflow) {
+  const eval::Scenario lab = eval::LabScenario();
+  const channel::CsiSimulator sim(lab.env, {});
+  common::Rng rng(5);
+
+  MeasurementTrace trace;
+  trace.description = "lab campaign";
+  for (const Vec2 site : lab.test_sites) {
+    EpochRecord epoch;
+    epoch.ground_truth = site;
+    for (const Vec2 ap : lab.static_aps) {
+      const auto frames = sim.MakeLink(site, ap).SampleBatch(20, rng);
+      epoch.anchors.push_back(localization::MakeAnchor(
+          ap, frames, common::kBandwidth20MHz));
+    }
+    trace.epochs.push_back(std::move(epoch));
+  }
+
+  auto decoded = TraceFromJson(*common::Json::Parse(
+      TraceToJson(trace).Dump()));
+  ASSERT_TRUE(decoded.ok());
+
+  core::NomLocConfig centroid_cfg;
+  core::NomLocConfig chebyshev_cfg;
+  chebyshev_cfg.solver.center = localization::CenterMethod::kChebyshev;
+  auto engine_a =
+      core::NomLocEngine::Create(lab.env.Boundary(), centroid_cfg);
+  auto engine_b =
+      core::NomLocEngine::Create(lab.env.Boundary(), chebyshev_cfg);
+  ASSERT_TRUE(engine_a.ok());
+  ASSERT_TRUE(engine_b.ok());
+
+  auto replay_a = ReplayTrace(*decoded, *engine_a);
+  auto replay_b = ReplayTrace(*decoded, *engine_b);
+  ASSERT_TRUE(replay_a.ok());
+  ASSERT_TRUE(replay_b.ok());
+  // Same recorded data, two algorithm variants, both meter-scale.
+  EXPECT_LT(replay_a->mean_error_m, 4.0);
+  EXPECT_LT(replay_b->mean_error_m, 4.0);
+  // Replay of the same trace with the same engine is deterministic.
+  auto replay_a2 = ReplayTrace(*decoded, *engine_a);
+  ASSERT_TRUE(replay_a2.ok());
+  EXPECT_EQ(replay_a->errors_m, replay_a2->errors_m);
+}
+
+}  // namespace
+}  // namespace nomloc::net

@@ -1,0 +1,164 @@
+// nomloc_sim — command-line experiment driver.
+//
+//   nomloc_sim [--scenario lab|lobby|office] [--deployment static|nomadic]
+//              [--trials N] [--packets N] [--dwells N] [--er METERS]
+//              [--pattern markov|stay|patrol|stationary] [--seed N]
+//              [--nomadic-aps N] [--csv]
+//
+// Runs the full measurement + localization pipeline and prints per-site
+// mean errors, SLV, and CDF quantiles.  --csv emits machine-readable rows
+// instead of the human table.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "common/stats.h"
+#include "common/strings.h"
+#include "eval/export.h"
+#include "eval/render.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+
+using namespace nomloc;
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario lab|lobby|office] [--deployment static|nomadic]\n"
+      "          [--trials N] [--packets N] [--dwells N] [--er METERS]\n"
+      "          [--pattern markov|stay|patrol|stationary] [--seed N]\n"
+      "          [--nomadic-aps N] [--csv] [--map] [--json FILE]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "lab";
+  eval::RunConfig cfg;
+  cfg.packets_per_batch = 50;
+  cfg.trials = 12;
+  cfg.dwell_count = 8;
+  cfg.seed = 1;
+  bool csv = false;
+  bool map = false;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario_name = next();
+    } else if (arg == "--deployment") {
+      const std::string d = next();
+      if (d == "static") cfg.deployment = eval::Deployment::kStatic;
+      else if (d == "nomadic") cfg.deployment = eval::Deployment::kNomadic;
+      else Usage(argv[0]);
+    } else if (arg == "--trials") {
+      cfg.trials = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--packets") {
+      cfg.packets_per_batch = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--dwells") {
+      cfg.dwell_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--er") {
+      cfg.position_error_m = std::strtod(next(), nullptr);
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--nomadic-aps") {
+      cfg.nomadic_ap_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--pattern") {
+      const std::string p = next();
+      if (p == "markov") cfg.pattern = mobility::MobilityPattern::kMarkovWalk;
+      else if (p == "stay") cfg.pattern = mobility::MobilityPattern::kStayBiased;
+      else if (p == "patrol") cfg.pattern = mobility::MobilityPattern::kPatrol;
+      else if (p == "stationary")
+        cfg.pattern = mobility::MobilityPattern::kStationary;
+      else Usage(argv[0]);
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--map") {
+      map = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  auto scenario = eval::ScenarioByName(scenario_name);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "error: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  if (map) {
+    std::printf("%s\nlegend: # wall, o obstacle, A static AP, N nomadic "
+                "site, x test site\n\n",
+                eval::RenderScenario(*scenario).c_str());
+  }
+
+  auto result = eval::RunLocalization(*scenario, cfg);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    common::JsonObject doc;
+    doc["scenario"] = eval::ScenarioToJson(*scenario);
+    doc["result"] = eval::RunResultToJson(*result);
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << common::Json(std::move(doc)).DumpPretty() << "\n";
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  const auto site_errors = result->SiteMeanErrors();
+  if (csv) {
+    std::printf("site_index,x,y,mean_error_m\n");
+    for (std::size_t i = 0; i < result->sites.size(); ++i) {
+      const auto& s = result->sites[i];
+      std::printf("%zu,%.3f,%.3f,%.4f\n", i, s.site.x, s.site.y,
+                  s.mean_error_m);
+    }
+    std::printf("# slv=%.4f mean=%.4f p50=%.4f p90=%.4f\n", result->slv,
+                result->MeanError(), common::Percentile(site_errors, 0.5),
+                common::Percentile(site_errors, 0.9));
+    return 0;
+  }
+
+  std::printf("scenario=%s deployment=%s trials=%zu packets=%zu dwells=%zu "
+              "er=%.1fm seed=%llu\n\n",
+              scenario_name.c_str(),
+              cfg.deployment == eval::Deployment::kStatic ? "static"
+                                                          : "nomadic",
+              cfg.trials, cfg.packets_per_batch, cfg.dwell_count,
+              cfg.position_error_m,
+              static_cast<unsigned long long>(cfg.seed));
+  std::vector<std::string> header{"site", "position", "mean error"};
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < result->sites.size(); ++i) {
+    const auto& s = result->sites[i];
+    rows.push_back({std::to_string(i + 1),
+                    common::StrFormat("(%.1f, %.1f)", s.site.x, s.site.y),
+                    common::StrFormat("%.2f m", s.mean_error_m)});
+  }
+  std::printf("%s", common::AsciiTable(header, rows).c_str());
+  std::printf("\nmean error %.2f m | median %.2f m | 90th pct %.2f m | "
+              "SLV %.3f m^2\n",
+              result->MeanError(), common::Percentile(site_errors, 0.5),
+              common::Percentile(site_errors, 0.9), result->slv);
+  return 0;
+}
