@@ -1,0 +1,236 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace nomloc::common {
+
+namespace {
+
+// Relaxed CAS add for pre-C++20-style atomic doubles (fetch_add on
+// std::atomic<double> is not universally lock-free; the CAS loop is).
+void AtomicAdd(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x < cur && !target.compare_exchange_weak(cur, x,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x > cur && !target.compare_exchange_weak(cur, x,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+MetricHistogram::MetricHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets) {
+  NOMLOC_REQUIRE(lo > 0.0 && hi > lo && buckets >= 1);
+  const double growth = std::pow(hi / lo, 1.0 / double(buckets));
+  inv_log_growth_ = 1.0 / std::log(growth);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::size_t MetricHistogram::BucketOf(double x) const noexcept {
+  if (!(x > lo_)) return 0;
+  const std::size_t b =
+      std::size_t(std::log(x / lo_) * inv_log_growth_);
+  return std::min(b, buckets_.size() - 1);
+}
+
+double MetricHistogram::BucketLow(std::size_t b) const noexcept {
+  return lo_ * std::exp(double(b) / inv_log_growth_);
+}
+
+void MetricHistogram::Record(double x) noexcept {
+  if (std::isnan(x)) return;
+  buckets_[BucketOf(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, x);
+  AtomicMin(min_, x);
+  AtomicMax(max_, x);
+}
+
+double MetricHistogram::Mean() const noexcept {
+  const std::uint64_t n = Count();
+  return n ? Sum() / double(n) : 0.0;
+}
+
+double MetricHistogram::Min() const noexcept {
+  return Count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double MetricHistogram::Max() const noexcept {
+  return Count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double MetricHistogram::Quantile(double q) const {
+  const std::uint64_t n = Count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil), then walk the buckets.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const std::uint64_t c = buckets_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Linear interpolation across the bucket's span.
+      const double fraction = double(rank - seen) / double(c);
+      const double lo = BucketLow(b);
+      const double hi = b + 1 < buckets_.size() ? BucketLow(b + 1) : hi_;
+      const double v = lo + fraction * (hi - lo);
+      return std::clamp(v, Min(), Max());
+    }
+    seen += c;
+  }
+  return Max();
+}
+
+void MetricHistogram::Reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+std::string MetricRegistry::Key(std::string_view name,
+                                std::string_view label) {
+  std::string key(name);
+  if (!label.empty()) {
+    key += '{';
+    key += label;
+    key += '}';
+  }
+  return key;
+}
+
+MetricCounter& MetricRegistry::Counter(std::string_view name,
+                                       std::string_view label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[Key(name, label)];
+  if (!slot) slot = std::make_unique<MetricCounter>();
+  return *slot;
+}
+
+MetricHistogram& MetricRegistry::Histogram(std::string_view name,
+                                           std::string_view label, double lo,
+                                           double hi, std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[Key(name, label)];
+  if (!slot) slot = std::make_unique<MetricHistogram>(lo, hi, buckets);
+  return *slot;
+}
+
+MetricTimer& MetricRegistry::Timer(std::string_view name,
+                                   std::string_view label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = timers_[Key(name, label)];
+  if (!slot) slot = std::make_unique<MetricTimer>();
+  return *slot;
+}
+
+std::string MetricRegistry::DumpText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "# nomloc metrics\n";
+  for (const auto& [key, c] : counters_)
+    out += StrFormat("counter %s %llu\n", key.c_str(),
+                     static_cast<unsigned long long>(c->Value()));
+  for (const auto& [key, h] : histograms_)
+    out += StrFormat(
+        "histogram %s count=%llu mean=%.6g min=%.6g p50=%.6g p90=%.6g "
+        "p99=%.6g max=%.6g\n",
+        key.c_str(), static_cast<unsigned long long>(h->Count()), h->Mean(),
+        h->Min(), h->Quantile(0.5), h->Quantile(0.9), h->Quantile(0.99),
+        h->Max());
+  for (const auto& [key, t] : timers_)
+    out += StrFormat(
+        "timer %s count=%llu total_s=%.6g mean_s=%.6g p50_s=%.6g "
+        "p99_s=%.6g max_s=%.6g\n",
+        key.c_str(), static_cast<unsigned long long>(t->Count()),
+        t->TotalSeconds(), t->MeanSeconds(), t->Histogram().Quantile(0.5),
+        t->Histogram().Quantile(0.99), t->Histogram().Max());
+  return out;
+}
+
+std::string MetricRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject counters;
+  for (const auto& [key, c] : counters_)
+    counters[key] = double(c->Value());
+  auto histogram_json = [](const MetricHistogram& h) {
+    JsonObject o;
+    o["count"] = double(h.Count());
+    o["mean"] = h.Mean();
+    o["min"] = h.Min();
+    o["p50"] = h.Quantile(0.5);
+    o["p90"] = h.Quantile(0.9);
+    o["p99"] = h.Quantile(0.99);
+    o["max"] = h.Max();
+    return o;
+  };
+  JsonObject histograms;
+  for (const auto& [key, h] : histograms_)
+    histograms[key] = histogram_json(*h);
+  JsonObject timers;
+  for (const auto& [key, t] : timers_) {
+    JsonObject o = histogram_json(t->Histogram());
+    o["total_s"] = t->TotalSeconds();
+    timers[key] = std::move(o);
+  }
+  JsonObject doc;
+  doc["counters"] = std::move(counters);
+  doc["histograms"] = std::move(histograms);
+  doc["timers"] = std::move(timers);
+  return Json(std::move(doc)).DumpPretty();
+}
+
+void MetricRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, c] : counters_) c->Reset();
+  for (auto& [key, h] : histograms_) h->Reset();
+  for (auto& [key, t] : timers_) t->Reset();
+}
+
+double StageTrace::Stop() noexcept {
+  if (stopped_) return elapsed_s_;
+  elapsed_s_ = ElapsedSeconds();
+  stopped_ = true;
+  timer_->RecordSeconds(elapsed_s_);
+  return elapsed_s_;
+}
+
+double StageTrace::ElapsedSeconds() const noexcept {
+  if (stopped_) return elapsed_s_;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace nomloc::common

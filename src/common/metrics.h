@@ -1,0 +1,177 @@
+// Pipeline observability: a thread-safe registry of named counters,
+// histograms, and timers, plus a RAII scope timer (StageTrace).
+//
+// Every stage of the NomLoc pipeline (CIR/PDP extraction, proximity
+// judgement, LP relaxation, epoch assembly) records into the process-wide
+// registry so a run can report where its time and error budget went
+// (`nomloc_sim --metrics`).  Recording is wait-free on the hot path:
+// counters are relaxed atomics and histograms use atomic per-bucket
+// counts, so the engine's parallel batch path records without locks.
+//
+// Series are identified by name plus an optional label ("lp.solves" with
+// label "backend=simplex" is a different series from the same name with
+// "backend=ipm").  Lookup takes a mutex; call sites on hot paths cache the
+// returned reference (registered series are never deallocated while the
+// registry lives).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nomloc::common {
+
+/// Monotonic event counter.  Increment is wait-free.
+class MetricCounter {
+ public:
+  void Increment(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Histogram with geometrically spaced buckets over [lo, hi); samples
+/// outside the range clamp to the first/last bucket.  Record is wait-free
+/// (atomic bucket counts; sum/min/max via CAS).  Quantiles interpolate
+/// within the owning bucket and clamp to the exact observed [min, max], so
+/// they are accurate to one bucket width.
+class MetricHistogram {
+ public:
+  /// Requires 0 < lo < hi and buckets >= 1.
+  MetricHistogram(double lo, double hi, std::size_t buckets);
+
+  void Record(double x) noexcept;
+
+  std::uint64_t Count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const noexcept;
+  /// Smallest / largest recorded sample; 0 when empty.
+  double Min() const noexcept;
+  double Max() const noexcept;
+  /// Bucket-interpolated quantile, q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+  void Reset() noexcept;
+
+ private:
+  std::size_t BucketOf(double x) const noexcept;
+  /// Lower edge of bucket b (geometric grid).
+  double BucketLow(std::size_t b) const noexcept;
+
+  double lo_, hi_;
+  double inv_log_growth_;  ///< 1 / ln(per-bucket growth factor).
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  ///< Valid only when count_ > 0.
+  std::atomic<double> max_{0.0};
+};
+
+/// Accumulates wall-clock durations (seconds) of one pipeline stage.
+/// Backed by a histogram spanning 1 ns .. 1000 s.
+class MetricTimer {
+ public:
+  MetricTimer() : hist_(1e-9, 1e3, 96) {}
+
+  void RecordSeconds(double s) noexcept { hist_.Record(s); }
+
+  std::uint64_t Count() const noexcept { return hist_.Count(); }
+  double TotalSeconds() const noexcept { return hist_.Sum(); }
+  double MeanSeconds() const noexcept { return hist_.Mean(); }
+  const MetricHistogram& Histogram() const noexcept { return hist_; }
+  void Reset() noexcept { hist_.Reset(); }
+
+ private:
+  MetricHistogram hist_;
+};
+
+/// Registry of labelled metric series.  `Global()` is the process-wide
+/// instance the pipeline stages record into; components that need isolated
+/// counts (e.g. one NomLocSystem deployment) own their own instance.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  static MetricRegistry& Global();
+
+  /// Finds or creates a series.  References stay valid for the registry's
+  /// lifetime.  For histograms the [lo, hi)/bucket spec applies only on
+  /// first creation.
+  MetricCounter& Counter(std::string_view name, std::string_view label = {});
+  MetricHistogram& Histogram(std::string_view name,
+                             std::string_view label = {}, double lo = 1e-4,
+                             double hi = 1e4, std::size_t buckets = 64);
+  MetricTimer& Timer(std::string_view name, std::string_view label = {});
+
+  /// One line per series, sorted by key:
+  ///   counter <name>{<label>} <value>
+  ///   histogram <name> count=<n> mean=<m> min=… p50=… p90=… p99=… max=…
+  ///   timer <name> count=<n> total_s=… mean_s=… p50_s=… p99_s=… max_s=…
+  std::string DumpText() const;
+  /// {"counters": {...}, "histograms": {...}, "timers": {...}} with the
+  /// same per-series fields as DumpText.
+  std::string DumpJson() const;
+
+  /// Zeroes every series (registrations and references survive).
+  void ResetAll();
+
+ private:
+  static std::string Key(std::string_view name, std::string_view label);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<MetricTimer>> timers_;
+};
+
+/// RAII wall-clock scope timer: records the scope's duration into a
+/// MetricTimer on destruction (or on Stop(), whichever comes first).
+///
+///   void Solve() {
+///     common::StageTrace trace("sp.solve");   // Global() registry
+///     …
+///   }                                          // duration recorded here
+class StageTrace {
+ public:
+  explicit StageTrace(MetricTimer& timer) noexcept
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  /// Resolves `name` in the global registry.
+  explicit StageTrace(std::string_view name)
+      : StageTrace(MetricRegistry::Global().Timer(name)) {}
+
+  StageTrace(const StageTrace&) = delete;
+  StageTrace& operator=(const StageTrace&) = delete;
+
+  ~StageTrace() { Stop(); }
+
+  /// Records the elapsed time once and returns it in seconds; further
+  /// calls return the recorded duration without recording again.
+  double Stop() noexcept;
+
+  /// Seconds since construction (does not stop the trace).
+  double ElapsedSeconds() const noexcept;
+
+ private:
+  MetricTimer* timer_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace nomloc::common

@@ -127,6 +127,22 @@ class [[nodiscard]] Result {
   std::variant<T, Status> data_;
 };
 
+/// Result<void>: success-or-error with no payload — the return type of
+/// validation hooks (`Config::Validate()`).  Unlike the primary template it
+/// is constructible from an OK status and default-constructs to OK.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() noexcept = default;
+  Result(Status status) noexcept : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const noexcept { return status_.ok(); }
+  const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
 }  // namespace nomloc::common
 
 /// Propagate an error Status from an expression returning Status.

@@ -1,57 +1,140 @@
 #include "core/nomloc.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/assert.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "geometry/convex_decomp.h"
 
 namespace nomloc::core {
 
+common::Result<void> NomLocConfig::Validate() const {
+  if (bandwidth_hz <= 0.0)
+    return common::InvalidArgument("bandwidth must be positive");
+  if (pdp.first_path_threshold_db < 0.0)
+    return common::InvalidArgument(
+        "pdp.first_path_threshold_db must be >= 0");
+  if (solver.boundary_weight <= 0.0)
+    return common::InvalidArgument("solver.boundary_weight must be positive");
+  if (solver.region_slack < 0.0)
+    return common::InvalidArgument("solver.region_slack must be >= 0");
+  if (solver.merge_tolerance < 0.0)
+    return common::InvalidArgument("solver.merge_tolerance must be >= 0");
+  return {};
+}
+
 common::Result<NomLocEngine> NomLocEngine::Create(geometry::Polygon area,
                                                   NomLocConfig config) {
-  if (config.bandwidth_hz <= 0.0)
-    return common::InvalidArgument("bandwidth must be positive");
+  if (auto valid = config.Validate(); !valid.ok()) return valid.status();
   NOMLOC_ASSIGN_OR_RETURN(auto parts, geometry::DecomposeConvex(area));
   return NomLocEngine(std::move(area), std::move(parts), std::move(config));
 }
 
-common::Result<LocationEstimate> NomLocEngine::Locate(
-    std::span<const ApObservation> observations) const {
-  if (observations.size() < 2)
-    return common::InvalidArgument("need at least two AP observations");
-  std::vector<localization::Anchor> anchors;
-  anchors.reserve(observations.size());
-  for (const ApObservation& obs : observations) {
-    if (obs.frames.empty())
-      return common::InvalidArgument("observation without CSI frames");
-    anchors.push_back(localization::MakeAnchor(
-        obs.reported_position, obs.frames, config_.bandwidth_hz, config_.pdp,
-        obs.is_nomadic_site));
-  }
-  return LocateFromAnchors(anchors);
-}
+common::Result<LocateResponse> NomLocEngine::Locate(
+    const LocateRequest& request) const {
+  auto& registry = common::MetricRegistry::Global();
+  static auto& locate_counter = registry.Counter("engine.locates");
+  static auto& extract_timer = registry.Timer("engine.extract");
+  static auto& judge_timer = registry.Timer("engine.judge");
+  static auto& solve_timer = registry.Timer("engine.solve");
+  static auto& total_timer = registry.Timer("engine.locate");
 
-common::Result<LocationEstimate> NomLocEngine::LocateFromAnchors(
-    std::span<const localization::Anchor> anchors) const {
+  if (!request.observations.empty() && !request.anchors.empty())
+    return common::InvalidArgument(
+        "request carries both observations and anchors — set exactly one");
+
+  common::StageTrace total_trace(total_timer);
+  LocateResponse out;
+
+  // Stage 1 — PDP extraction (skipped when the caller pre-extracted).
+  std::vector<localization::Anchor> extracted;
+  std::span<const localization::Anchor> anchors = request.anchors;
+  if (anchors.empty()) {
+    common::StageTrace extract_trace(extract_timer);
+    if (request.observations.size() < 2)
+      return common::InvalidArgument("need at least two AP observations");
+    extracted.reserve(request.observations.size());
+    for (const ApObservation& obs : request.observations) {
+      if (obs.frames.empty())
+        return common::InvalidArgument("observation without CSI frames");
+      extracted.push_back(localization::MakeAnchor(
+          obs.reported_position, obs.frames, config_.bandwidth_hz,
+          config_.pdp, obs.is_nomadic_site));
+    }
+    anchors = extracted;
+    out.timings.extract_s = extract_trace.Stop();
+  }
   if (anchors.size() < 2)
     return common::InvalidArgument("need at least two anchors");
 
-  const auto judgements =
-      localization::JudgeProximity(anchors, config_.pair_policy);
+  // Stage 2 — pairwise proximity judgement + half-plane constraints.
+  common::StageTrace judge_trace(judge_timer);
+  const auto judgements = localization::JudgeProximity(
+      anchors, request.pair_policy.value_or(config_.pair_policy));
   const auto constraints =
       localization::ProximityConstraints(anchors, judgements);
+  out.timings.judge_s = judge_trace.Stop();
   if (constraints.empty())
     return common::FailedPrecondition(
         "all anchor positions coincide — no spatial information");
 
+  // Stage 3 — relaxed LP + region center.
+  common::StageTrace solve_trace(solve_timer);
   NOMLOC_ASSIGN_OR_RETURN(
       localization::SpSolution sol,
-      localization::SolveSp(parts_, constraints, config_.solver));
+      localization::SolveSp(parts_, constraints,
+                            request.solver ? *request.solver
+                                           : config_.solver));
+  out.timings.solve_s = solve_trace.Stop();
 
-  LocationEstimate out;
-  out.position = sol.estimate;
-  out.relaxation_cost = sol.relaxation_cost;
-  out.violated_constraints = sol.parts[sol.best_part].violated;
-  out.part_index = sol.best_part;
-  out.anchors.assign(anchors.begin(), anchors.end());
+  out.estimate.position = sol.estimate;
+  out.estimate.relaxation_cost = sol.relaxation_cost;
+  out.estimate.violated_constraints = sol.parts[sol.best_part].violated;
+  out.estimate.part_index = sol.best_part;
+  out.estimate.anchors.assign(anchors.begin(), anchors.end());
+  out.anchor_count = anchors.size();
+  out.judgement_count = judgements.size();
+  out.constraint_count = constraints.size();
+  out.lp_iterations = sol.lp_iterations;
+  out.timings.total_s = total_trace.Stop();
+  locate_counter.Increment();
+  return out;
+}
+
+common::Result<std::vector<LocateResponse>> NomLocEngine::LocateBatch(
+    std::span<const LocateRequest> requests, std::size_t threads) const {
+  auto& registry = common::MetricRegistry::Global();
+  static auto& batch_timer = registry.Timer("engine.batch");
+  static auto& batch_requests = registry.Counter("engine.batch.requests");
+
+  common::StageTrace batch_trace(batch_timer);
+  batch_requests.Increment(requests.size());
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, std::max<std::size_t>(1, requests.size()));
+
+  // Each request is independent and the pipeline is RNG-free, so slots can
+  // be filled in any order; the result only depends on the request.
+  std::vector<std::optional<common::Result<LocateResponse>>> slots(
+      requests.size());
+  auto run_one = [&](std::size_t i) { slots[i] = Locate(requests[i]); };
+  if (threads <= 1 || requests.size() <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) run_one(i);
+  } else {
+    common::ThreadPool pool(threads);
+    pool.ParallelFor(requests.size(), run_one);
+  }
+
+  // Deterministic error policy: the lowest-index failure wins — exactly
+  // the error a serial early-exit loop would have returned.
+  std::vector<LocateResponse> out;
+  out.reserve(requests.size());
+  for (auto& slot : slots) {
+    if (!slot->ok()) return slot->status();
+    out.push_back(std::move(*slot).value());
+  }
   return out;
 }
 

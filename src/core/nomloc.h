@@ -14,10 +14,17 @@
 //
 // Typical use:
 //   auto engine = core::NomLocEngine::Create(area_polygon, config);
-//   std::vector<core::ApObservation> obs = …;  // one per AP / dwell site
-//   auto estimate = engine->Locate(obs);
+//   core::LocateRequest request;
+//   request.observations = obs;            // one per AP / dwell site
+//   auto response = engine->Locate(request);
+//   // response->estimate.position, response->timings.solve_s, …
+//
+// Batches of independent epochs fan out over a thread pool with
+// bit-identical results:
+//   auto responses = engine->LocateBatch(requests, /*threads=*/8);
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -45,6 +52,10 @@ struct NomLocConfig {
   dsp::PdpOptions pdp;
   localization::SpSolverOptions solver;
   localization::PairPolicy pair_policy = localization::PairPolicy::kPaper;
+
+  /// Typed rejection of nonsense values (non-positive bandwidth, negative
+  /// thresholds/weights).  Called by NomLocEngine::Create.
+  common::Result<void> Validate() const;
 };
 
 struct LocationEstimate {
@@ -59,19 +70,63 @@ struct LocationEstimate {
   std::vector<localization::Anchor> anchors;
 };
 
+/// One localization epoch for the unified Locate entry point.  Provide
+/// EITHER raw per-AP observations (the engine extracts PDPs) OR
+/// pre-extracted anchors — setting both is an error.  The optional fields
+/// override the engine config for this call only.
+struct LocateRequest {
+  std::span<const ApObservation> observations;
+  std::span<const localization::Anchor> anchors;
+  std::optional<localization::PairPolicy> pair_policy;
+  std::optional<localization::SpSolverOptions> solver;
+};
+
+/// Wall-clock cost of each pipeline stage of one Locate call [s].
+struct StageTimings {
+  double extract_s = 0.0;  ///< CSI -> CIR -> PDP anchor extraction.
+  double judge_s = 0.0;    ///< Pairwise proximity + constraint assembly.
+  double solve_s = 0.0;    ///< Relaxed LP + region reconstruction.
+  double total_s = 0.0;
+};
+
+/// Estimate plus per-stage diagnostics for one LocateRequest.
+struct LocateResponse {
+  LocationEstimate estimate;
+  StageTimings timings;
+  std::size_t anchor_count = 0;
+  std::size_t judgement_count = 0;
+  std::size_t constraint_count = 0;  ///< Proximity constraints (no VAPs).
+  std::size_t lp_iterations = 0;     ///< Summed over all convex parts.
+};
+
 class NomLocEngine {
  public:
   /// Builds an engine for the given floor area (convex or not — non-convex
-  /// areas are decomposed once, here).
+  /// areas are decomposed once, here).  Validates `config`.
   static common::Result<NomLocEngine> Create(geometry::Polygon area,
                                              NomLocConfig config = {});
 
-  /// Estimates the object position from one epoch of observations.
-  /// Requires >= 2 observations, each with >= 1 frame.
+  /// Unified entry point: runs the full pipeline on one request and
+  /// returns the estimate with per-stage timings and diagnostics.
+  /// Requires >= 2 observations (each with >= 1 frame) or >= 2 anchors.
+  common::Result<LocateResponse> Locate(const LocateRequest& request) const;
+
+  /// Fans independent requests out over a common::ThreadPool.  The engine
+  /// is const and the pipeline is RNG-free, so the responses are
+  /// bit-identical to a serial Locate loop for any thread count.
+  /// `threads` = 0 picks the hardware concurrency.  If any request fails,
+  /// the error of the lowest-index failing request is returned (the same
+  /// error a serial loop would hit first).
+  common::Result<std::vector<LocateResponse>> LocateBatch(
+      std::span<const LocateRequest> requests, std::size_t threads = 0) const;
+
+  /// Deprecated wrapper (pre-LocateRequest API): estimates the object
+  /// position from one epoch of raw observations.
   common::Result<LocationEstimate> Locate(
       std::span<const ApObservation> observations) const;
 
-  /// Lower-level entry point when PDPs are already extracted.
+  /// Deprecated wrapper (pre-LocateRequest API): lower-level entry point
+  /// when PDPs are already extracted.
   common::Result<LocationEstimate> LocateFromAnchors(
       std::span<const localization::Anchor> anchors) const;
 
@@ -90,5 +145,21 @@ class NomLocEngine {
   std::vector<geometry::Polygon> parts_;
   NomLocConfig config_;
 };
+
+inline common::Result<LocationEstimate> NomLocEngine::Locate(
+    std::span<const ApObservation> observations) const {
+  LocateRequest request;
+  request.observations = observations;
+  NOMLOC_ASSIGN_OR_RETURN(LocateResponse response, Locate(request));
+  return std::move(response.estimate);
+}
+
+inline common::Result<LocationEstimate> NomLocEngine::LocateFromAnchors(
+    std::span<const localization::Anchor> anchors) const {
+  LocateRequest request;
+  request.anchors = anchors;
+  NOMLOC_ASSIGN_OR_RETURN(LocateResponse response, Locate(request));
+  return std::move(response.estimate);
+}
 
 }  // namespace nomloc::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/units.h"
 #include "dsp/fft.h"
 
@@ -48,6 +49,13 @@ double PdpOfCir(const ChannelImpulseResponse& cir, const PdpOptions& options) {
 double PdpOfBatch(std::span<const CsiFrame> frames, double bandwidth_hz,
                   const PdpOptions& options) {
   NOMLOC_REQUIRE(!frames.empty());
+  auto& registry = common::MetricRegistry::Global();
+  static auto& batches = registry.Counter("dsp.pdp.batches", "mode=siso");
+  static auto& frame_count = registry.Counter("dsp.pdp.frames");
+  static auto& extract_timer = registry.Timer("dsp.pdp.extract");
+  common::StageTrace trace(extract_timer);
+  batches.Increment();
+  frame_count.Increment(frames.size());
   double acc = 0.0;
   for (const CsiFrame& frame : frames)
     acc += PdpOfCir(CsiToCir(frame, bandwidth_hz), options);
@@ -59,6 +67,13 @@ double PdpOfMimoBatch(std::span<const std::vector<CsiFrame>> packets,
   NOMLOC_REQUIRE(!packets.empty());
   const std::size_t antennas = packets.front().size();
   NOMLOC_REQUIRE(antennas >= 1);
+  auto& registry = common::MetricRegistry::Global();
+  static auto& batches = registry.Counter("dsp.pdp.batches", "mode=mimo");
+  static auto& frame_count = registry.Counter("dsp.pdp.frames");
+  static auto& extract_timer = registry.Timer("dsp.pdp.extract");
+  common::StageTrace trace(extract_timer);
+  batches.Increment();
+  frame_count.Increment(packets.size() * antennas);
   double acc = 0.0;
   for (const std::vector<CsiFrame>& packet : packets) {
     NOMLOC_REQUIRE(packet.size() == antennas);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 #include "channel/csi_model.h"
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "localization/proximity.h"
 
@@ -45,9 +45,25 @@ std::vector<Vec2> NomadicSitesFor(const Scenario& scenario, std::size_t k) {
 
 }  // namespace
 
-common::Result<core::LocationEstimate> LocalizeEpoch(
-    const Scenario& scenario, const RunConfig& config,
-    const core::NomLocEngine& engine, Vec2 object, common::Rng& rng) {
+common::Result<void> RunConfig::Validate() const {
+  if (trials == 0) return common::InvalidArgument("trials must be >= 1");
+  if (packets_per_batch == 0)
+    return common::InvalidArgument("packets_per_batch must be >= 1");
+  if (dwell_count == 0)
+    return common::InvalidArgument("dwell_count must be >= 1");
+  if (threads == 0) return common::InvalidArgument("threads must be >= 1");
+  if (position_error_m < 0.0)
+    return common::InvalidArgument("position_error_m must be >= 0");
+  if (odometry_drift_per_m < 0.0)
+    return common::InvalidArgument("odometry_drift_per_m must be >= 0");
+  if (nomadic_ap_count == 0)
+    return common::InvalidArgument("nomadic_ap_count must be >= 1");
+  return engine.Validate();
+}
+
+common::Result<std::vector<localization::Anchor>> MeasureEpoch(
+    const Scenario& scenario, const RunConfig& config, Vec2 object,
+    common::Rng& rng) {
   const channel::CsiSimulator sim(scenario.env, config.channel);
   std::vector<localization::Anchor> anchors;
 
@@ -120,13 +136,20 @@ common::Result<core::LocationEstimate> LocalizeEpoch(
     }
   }
 
+  return anchors;
+}
+
+common::Result<core::LocationEstimate> LocalizeEpoch(
+    const Scenario& scenario, const RunConfig& config,
+    const core::NomLocEngine& engine, Vec2 object, common::Rng& rng) {
+  NOMLOC_ASSIGN_OR_RETURN(auto anchors,
+                          MeasureEpoch(scenario, config, object, rng));
   return engine.LocateFromAnchors(anchors);
 }
 
 common::Result<RunResult> RunLocalization(const Scenario& scenario,
                                           const RunConfig& config) {
-  if (config.trials == 0)
-    return common::InvalidArgument("trials must be >= 1");
+  if (auto valid = config.Validate(); !valid.ok()) return valid.status();
   core::NomLocConfig engine_cfg = config.engine;
   engine_cfg.bandwidth_hz = config.channel.bandwidth_hz;
   NOMLOC_ASSIGN_OR_RETURN(
@@ -134,40 +157,67 @@ common::Result<RunResult> RunLocalization(const Scenario& scenario,
       core::NomLocEngine::Create(scenario.env.Boundary(), engine_cfg));
 
   const common::Rng rng(config.seed);
+  const std::size_t site_count = scenario.test_sites.size();
+  const std::size_t trials = config.trials;
   RunResult result;
-  result.sites.resize(scenario.test_sites.size());
+  result.sites.resize(site_count);
 
-  // Each site gets an independent forked RNG stream, so the per-site loop
-  // parallelises with bit-identical results for any thread count.
-  common::Status first_error;
-  std::mutex error_mutex;
-  auto run_site = [&](std::size_t s) {
-    const Vec2 site = scenario.test_sites[s];
-    SiteResult site_result;
-    site_result.site = site;
+  // Phase 1 — measurement.  Each site gets an independent forked RNG
+  // stream, so the per-site loop parallelises with bit-identical anchors
+  // for any thread count.  Epochs are indexed site-major: epoch
+  // s * trials + t is trial t at site s.
+  std::vector<std::vector<localization::Anchor>> epoch_anchors(site_count *
+                                                               trials);
+  std::vector<common::Status> site_errors(site_count);
+  auto measure_site = [&](std::size_t s) {
     common::Rng site_rng = rng.Fork(s + 1);
-    for (std::size_t trial = 0; trial < config.trials; ++trial) {
-      auto est = LocalizeEpoch(scenario, config, engine, site, site_rng);
-      if (!est.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = est.status();
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      auto anchors =
+          MeasureEpoch(scenario, config, scenario.test_sites[s], site_rng);
+      if (!anchors.ok()) {
+        site_errors[s] = anchors.status();
         return;
       }
-      site_result.trial_errors_m.push_back(Distance(est->position, site));
+      epoch_anchors[s * trials + trial] = std::move(anchors).value();
     }
-    site_result.mean_error_m = common::Mean(site_result.trial_errors_m);
-    result.sites[s] = std::move(site_result);
   };
-
-  if (config.threads <= 1) {
-    for (std::size_t s = 0; s < scenario.test_sites.size(); ++s) {
-      run_site(s);
-      if (!first_error.ok()) return first_error;
+  {
+    common::StageTrace measure_trace(
+        common::MetricRegistry::Global().Timer("eval.measure"));
+    if (config.threads <= 1) {
+      for (std::size_t s = 0; s < site_count; ++s) measure_site(s);
+    } else {
+      common::ThreadPool pool(config.threads);
+      pool.ParallelFor(site_count, measure_site);
     }
-  } else {
-    common::ThreadPool pool(config.threads);
-    pool.ParallelFor(scenario.test_sites.size(), run_site);
-    if (!first_error.ok()) return first_error;
+  }
+  // Deterministic error policy: the lowest-index site's failure wins.
+  for (const common::Status& status : site_errors)
+    if (!status.ok()) return status;
+
+  // Phase 2 — solve.  The engine pipeline is RNG-free, so the epochs fan
+  // out over the batch path with bit-identical estimates.
+  std::vector<core::LocateRequest> requests(epoch_anchors.size());
+  for (std::size_t i = 0; i < epoch_anchors.size(); ++i)
+    requests[i].anchors = epoch_anchors[i];
+  common::StageTrace solve_trace(
+      common::MetricRegistry::Global().Timer("eval.solve"));
+  NOMLOC_ASSIGN_OR_RETURN(auto responses,
+                          engine.LocateBatch(requests, config.threads));
+  solve_trace.Stop();
+  common::MetricRegistry::Global().Counter("eval.epochs").Increment(
+      responses.size());
+
+  // Phase 3 — aggregate the paper's per-site metrics.
+  for (std::size_t s = 0; s < site_count; ++s) {
+    SiteResult& site_result = result.sites[s];
+    site_result.site = scenario.test_sites[s];
+    site_result.trial_errors_m.reserve(trials);
+    for (std::size_t trial = 0; trial < trials; ++trial)
+      site_result.trial_errors_m.push_back(
+          Distance(responses[s * trials + trial].estimate.position,
+                   site_result.site));
+    site_result.mean_error_m = common::Mean(site_result.trial_errors_m);
   }
 
   result.slv =
@@ -177,8 +227,7 @@ common::Result<RunResult> RunLocalization(const Scenario& scenario,
 
 common::Result<ProximityAccuracyResult> RunProximityAccuracy(
     const Scenario& scenario, const RunConfig& config) {
-  if (config.trials == 0)
-    return common::InvalidArgument("trials must be >= 1");
+  if (auto valid = config.Validate(); !valid.ok()) return valid.status();
   const channel::CsiSimulator sim(scenario.env, config.channel);
   common::Rng rng(config.seed);
 

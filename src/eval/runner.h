@@ -44,9 +44,14 @@ struct RunConfig {
   channel::ChannelConfig channel;
   core::NomLocConfig engine;
   std::uint64_t seed = 1;
-  /// Worker threads for the per-site loop.  Results are bit-identical for
-  /// any thread count: every site runs on its own forked RNG stream.
+  /// Worker threads for the measurement and solve phases.  Results are
+  /// bit-identical for any thread count: every site measures on its own
+  /// forked RNG stream and the engine's batch solve is RNG-free.
   std::size_t threads = 1;
+
+  /// Typed rejection of nonsense values (trials == 0, threads == 0,
+  /// negative error radius, …).  Called by the Run* entry points.
+  common::Result<void> Validate() const;
 };
 
 struct SiteResult {
@@ -79,9 +84,17 @@ struct ProximityAccuracyResult {
 common::Result<ProximityAccuracyResult> RunProximityAccuracy(
     const Scenario& scenario, const RunConfig& config);
 
-/// One localization epoch at `object`: collects CSI batches for the
-/// configured deployment and returns the engine estimate.  Exposed so
-/// examples and ablations can drive single epochs.
+/// Measurement half of one epoch at `object`: collects CSI batches for
+/// the configured deployment and extracts one anchor per AP / visited
+/// nomadic site.  Consumes `rng`; the returned anchors feed the RNG-free
+/// engine solve (LocateRequest.anchors), so measurement and solving can be
+/// pipelined and batched independently.
+common::Result<std::vector<localization::Anchor>> MeasureEpoch(
+    const Scenario& scenario, const RunConfig& config, geometry::Vec2 object,
+    common::Rng& rng);
+
+/// One localization epoch at `object`: MeasureEpoch + the engine solve.
+/// Exposed so examples and ablations can drive single epochs.
 common::Result<core::LocationEstimate> LocalizeEpoch(
     const Scenario& scenario, const RunConfig& config,
     const core::NomLocEngine& engine, geometry::Vec2 object,

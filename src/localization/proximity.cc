@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 
 namespace nomloc::localization {
 
@@ -16,6 +17,13 @@ std::vector<ProximityJudgement> JudgeProximity(std::span<const Anchor> anchors,
                                                PairPolicy policy) {
   NOMLOC_REQUIRE(anchors.size() >= 2);
   for (const Anchor& a : anchors) NOMLOC_REQUIRE(a.pdp > 0.0);
+
+  auto& registry = common::MetricRegistry::Global();
+  static auto& judgement_count = registry.Counter("proximity.judgements");
+  // Confidence lives in [0.5, 1); a tight geometric grid over that range
+  // resolves the distribution's shape (ties pile up at 0.5).
+  static auto& confidence_hist =
+      registry.Histogram("proximity.confidence", {}, 0.5, 1.0, 32);
 
   std::vector<ProximityJudgement> out;
   for (std::size_t i = 0; i < anchors.size(); ++i) {
@@ -35,9 +43,11 @@ std::vector<ProximityJudgement> JudgeProximity(std::span<const Anchor> anchors,
       // w -> 1 when one anchor dominates, w -> 1/2 when powers tie.
       judgement.confidence = ConfidenceF(anchors[judgement.loser].pdp /
                                          anchors[judgement.winner].pdp);
+      confidence_hist.Record(judgement.confidence);
       out.push_back(judgement);
     }
   }
+  judgement_count.Increment(out.size());
   return out;
 }
 

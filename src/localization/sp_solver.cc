@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "geometry/halfplane.h"
 #include "lp/center.h"
 #include "lp/interior_point.h"
@@ -104,6 +105,7 @@ common::Result<SpPartSolution> SolveSpPart(
 
   SpPartSolution out;
   out.relaxation_cost = lp_sol.objective;
+  out.lp_iterations = lp_sol.iterations;
   const Vec2 lp_point{lp_sol.x[0], lp_sol.x[1]};
 
   // Reconstruct the feasible region, implementing §IV-B4's "retain the
@@ -165,14 +167,23 @@ common::Result<SpSolution> SolveSp(
     const SpSolverOptions& options) {
   if (parts.empty()) return common::InvalidArgument("no area parts");
 
+  auto& registry = common::MetricRegistry::Global();
+  static auto& solve_timer = registry.Timer("sp.solve");
+  static auto& parts_counter = registry.Counter("sp.parts_solved");
+  static auto& cost_hist =
+      registry.Histogram("sp.relaxation_cost", {}, 1e-6, 1e3, 72);
+  common::StageTrace solve_trace(solve_timer);
+
   SpSolution out;
   out.parts.reserve(parts.size());
   for (const Polygon& part : parts) {
     NOMLOC_ASSIGN_OR_RETURN(
         SpPartSolution sol,
         SolveSpPart(part, proximity_constraints, options));
+    out.lp_iterations += sol.lp_iterations;
     out.parts.push_back(std::move(sol));
   }
+  parts_counter.Increment(parts.size());
 
   double best = out.parts.front().relaxation_cost;
   out.best_part = 0;
@@ -183,6 +194,7 @@ common::Result<SpSolution> SolveSp(
     }
   }
   out.relaxation_cost = best;
+  cost_hist.Record(best);
 
   // Merge parts whose cost ties the best: the merged estimate is the
   // area-weighted mean of the per-part centers (for disjoint regions this

@@ -50,6 +50,7 @@ struct SpPartSolution {
   geometry::Vec2 estimate;
   double relaxation_cost = 0.0;   ///< w^T t at the LP optimum.
   std::size_t violated = 0;       ///< Constraints with t_i > 0.
+  std::size_t lp_iterations = 0;  ///< Solver iterations for this part.
   /// The relaxed feasible region clipped to the part (CCW loop).  May be
   /// empty if reconstruction degenerated; `estimate` is still valid.
   std::vector<geometry::Vec2> region;
@@ -68,6 +69,7 @@ struct SpSolution {
   geometry::Vec2 estimate;
   double relaxation_cost = 0.0;    ///< Cost of the best part.
   std::size_t best_part = 0;
+  std::size_t lp_iterations = 0;   ///< Summed over all parts.
   std::vector<SpPartSolution> parts;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 
 namespace nomloc::lp {
 
@@ -68,6 +69,12 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
       out.objective = Dot(lp.c, x);
       out.iterations = iter;
       out.duality_gap = mu;
+      static auto& solves =
+          common::MetricRegistry::Global().Counter("lp.solves", "backend=ipm");
+      static auto& iter_hist = common::MetricRegistry::Global().Histogram(
+          "lp.iterations", "backend=ipm", 1.0, 1e5, 60);
+      solves.Increment();
+      iter_hist.Record(double(iter));
       return out;
     }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 
 namespace nomloc::lp {
 
@@ -241,6 +242,12 @@ common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
   }
   sol.objective = Dot(lp.c, sol.x);
   sol.iterations = iters;
+  static auto& solves =
+      common::MetricRegistry::Global().Counter("lp.solves", "backend=simplex");
+  static auto& iter_hist = common::MetricRegistry::Global().Histogram(
+      "lp.iterations", "backend=simplex", 1.0, 1e5, 60);
+  solves.Increment();
+  iter_hist.Record(double(iters));
   return sol;
 }
 

@@ -10,6 +10,26 @@ namespace nomloc::net {
 
 using geometry::Vec2;
 
+common::Result<void> SystemConfig::Validate() const {
+  if (probe_interval_s <= 0.0)
+    return common::InvalidArgument("probe interval must be positive");
+  if (dwell_duration_s <= 0.0)
+    return common::InvalidArgument("dwell duration must be positive");
+  if (frames_per_report == 0)
+    return common::InvalidArgument("frames_per_report must be >= 1");
+  if (trace.dwell_count == 0)
+    return common::InvalidArgument("trace.dwell_count must be >= 1");
+  if (frame_loss_rate < 0.0 || frame_loss_rate >= 1.0)
+    return common::InvalidArgument("frame_loss_rate must be in [0, 1)");
+  if (report_loss_rate < 0.0 || report_loss_rate >= 1.0)
+    return common::InvalidArgument("report_loss_rate must be in [0, 1)");
+  if (walking_speed_mps < 0.0)
+    return common::InvalidArgument("walking_speed_mps must be >= 0");
+  if (solver_threads == 0)
+    return common::InvalidArgument("solver_threads must be >= 1");
+  return engine.Validate();
+}
+
 common::Result<NomLocSystem> NomLocSystem::Create(
     const channel::IndoorEnvironment& env, std::vector<Vec2> static_aps,
     std::vector<std::vector<Vec2>> nomadic_site_sets, SystemConfig config,
@@ -19,20 +39,7 @@ common::Result<NomLocSystem> NomLocSystem::Create(
   for (const auto& sites : nomadic_site_sets)
     if (sites.empty())
       return common::InvalidArgument("nomadic AP with no sites");
-  if (config.probe_interval_s <= 0.0)
-    return common::InvalidArgument("probe interval must be positive");
-  if (config.dwell_duration_s <= 0.0)
-    return common::InvalidArgument("dwell duration must be positive");
-  if (config.frames_per_report == 0)
-    return common::InvalidArgument("frames_per_report must be >= 1");
-  if (config.trace.dwell_count == 0)
-    return common::InvalidArgument("trace.dwell_count must be >= 1");
-  if (config.frame_loss_rate < 0.0 || config.frame_loss_rate >= 1.0)
-    return common::InvalidArgument("frame_loss_rate must be in [0, 1)");
-  if (config.report_loss_rate < 0.0 || config.report_loss_rate >= 1.0)
-    return common::InvalidArgument("report_loss_rate must be in [0, 1)");
-  if (config.walking_speed_mps < 0.0)
-    return common::InvalidArgument("walking_speed_mps must be >= 0");
+  if (auto valid = config.Validate(); !valid.ok()) return valid.status();
 
   NomLocSystem sys(env, std::move(static_aps), std::move(nomadic_site_sets),
                    std::move(config), seed);
@@ -52,8 +59,20 @@ NomLocSystem::NomLocSystem(const channel::IndoorEnvironment& env,
       static_aps_(std::move(static_aps)),
       nomadic_site_sets_(std::move(nomadic_site_sets)),
       config_(std::move(config)),
-      rng_(seed) {
+      rng_(seed),
+      metrics_(std::make_unique<common::MetricRegistry>()) {
   csi_.emplace(*env_, config_.channel);
+}
+
+SystemStats NomLocSystem::Stats() const {
+  SystemStats s;
+  s.probes_sent = metrics_->Counter("net.probes_sent").Value();
+  s.frames_captured = metrics_->Counter("net.frames_captured").Value();
+  s.frames_lost = metrics_->Counter("net.frames_lost").Value();
+  s.reports_received = metrics_->Counter("net.reports_received").Value();
+  s.reports_lost = metrics_->Counter("net.reports_lost").Value();
+  s.nomadic_moves = metrics_->Counter("net.nomadic_moves").Value();
+  return s;
 }
 
 common::Result<core::LocationEstimate> NomLocSystem::LocalizeOnce(
@@ -69,6 +88,15 @@ NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
     return common::InvalidArgument("no objects to localize");
   const std::size_t object_count = object_positions.size();
   reports_.clear();
+
+  auto& probes_sent = metrics_->Counter("net.probes_sent");
+  auto& frames_captured = metrics_->Counter("net.frames_captured");
+  auto& frames_lost = metrics_->Counter("net.frames_lost");
+  auto& reports_received = metrics_->Counter("net.reports_received");
+  auto& reports_lost = metrics_->Counter("net.reports_lost");
+  auto& nomadic_moves = metrics_->Counter("net.nomadic_moves");
+  common::StageTrace epoch_trace(metrics_->Timer("net.epoch"));
+  metrics_->Counter("net.epochs").Increment();
 
   // Per-AP runtime state; ids: statics first, then nomadics.
   struct ApRuntime {
@@ -122,7 +150,7 @@ NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
     if (rng_.Bernoulli(config_.report_loss_rate)) {
       // Backhaul loss: the whole batch vanishes.
       buffer.clear();
-      ++stats_.reports_lost;
+      reports_lost.Increment();
       return;
     }
     CsiReport report;
@@ -135,7 +163,7 @@ NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
     report.timestamp_s = sim.Now();
     buffer.clear();
     reports_.push_back(std::move(report));
-    ++stats_.reports_received;
+    reports_received.Increment();
   };
   auto flush = [&](ApRuntime& ap) {
     for (std::size_t object = 0; object < object_count; ++object)
@@ -163,7 +191,7 @@ NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
           ap.in_transit = false;
           for (auto& link : ap.links)
             link.reset();  // Channel changed: retrace on next probe.
-          ++stats_.nomadic_moves;
+          nomadic_moves.Increment();
         };
         if (config_.walking_speed_mps <= 0.0 ||
             geometry::AlmostEqual(ap.true_position, rec.true_position,
@@ -188,19 +216,19 @@ NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
   // object's buffer.
   std::size_t probe_slot = 0;
   std::function<void()> probe = [&] {
-    ++stats_.probes_sent;
+    probes_sent.Increment();
     const std::size_t object = probe_slot++ % object_count;
     for (ApRuntime& ap : aps) {
       if (ap.in_transit) continue;  // Carrier is walking: radio stowed.
       if (rng_.Bernoulli(config_.frame_loss_rate)) {
-        ++stats_.frames_lost;
+        frames_lost.Increment();
         continue;
       }
       if (!ap.links[object])
         ap.links[object] =
             csi_->MakeLink(object_positions[object], ap.true_position);
       ap.buffers[object].push_back(ap.links[object]->Sample(rng_));
-      ++stats_.frames_captured;
+      frames_captured.Increment();
       if (ap.buffers[object].size() >= config_.frames_per_report)
         flush_object(ap, object);
     }
@@ -214,9 +242,10 @@ NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
 
   // Server side: per object, group reports into engine observations.
   // Static APs merge all their frames; nomadic APs contribute one
-  // observation per dwell.
-  std::vector<core::LocationEstimate> estimates;
-  estimates.reserve(object_count);
+  // observation per dwell.  The per-object solves are independent and the
+  // engine is RNG-free, so they fan out over the engine's batch path with
+  // bit-identical estimates for any solver_threads.
+  std::vector<std::vector<core::ApObservation>> per_object(object_count);
   for (std::size_t object = 0; object < object_count; ++object) {
     std::map<std::pair<int, std::size_t>, core::ApObservation> grouped;
     for (CsiReport& report : reports_) {
@@ -229,12 +258,21 @@ NomLocSystem::LocalizeConcurrent(std::span<const Vec2> object_positions) {
                         std::make_move_iterator(report.frames.begin()),
                         std::make_move_iterator(report.frames.end()));
     }
-    std::vector<core::ApObservation> observations;
-    observations.reserve(grouped.size());
-    for (auto& [key, obs] : grouped) observations.push_back(std::move(obs));
-    NOMLOC_ASSIGN_OR_RETURN(auto estimate, engine_->Locate(observations));
-    estimates.push_back(std::move(estimate));
+    per_object[object].reserve(grouped.size());
+    for (auto& [key, obs] : grouped)
+      per_object[object].push_back(std::move(obs));
   }
+  std::vector<core::LocateRequest> requests(object_count);
+  for (std::size_t object = 0; object < object_count; ++object)
+    requests[object].observations = per_object[object];
+  NOMLOC_ASSIGN_OR_RETURN(
+      auto responses,
+      engine_->LocateBatch(requests, config_.solver_threads));
+
+  std::vector<core::LocationEstimate> estimates;
+  estimates.reserve(object_count);
+  for (core::LocateResponse& response : responses)
+    estimates.push_back(std::move(response.estimate));
   return estimates;
 }
 

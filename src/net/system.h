@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "channel/csi_model.h"
+#include "common/metrics.h"
 #include "core/nomloc.h"
 #include "mobility/trace.h"
 #include "net/sim.h"
@@ -58,8 +59,20 @@ struct SystemConfig {
   mobility::TraceConfig trace;
   channel::ChannelConfig channel;
   core::NomLocConfig engine;
+  /// Worker threads for the server's per-object engine solves
+  /// (NomLocEngine::LocateBatch).  Estimates are bit-identical for any
+  /// value >= 1.
+  std::size_t solver_threads = 1;
+
+  /// Typed rejection of nonsense values (non-positive probe interval,
+  /// frames_per_report == 0, solver_threads == 0, loss rates outside
+  /// [0, 1), …).  Called by NomLocSystem::Create.
+  common::Result<void> Validate() const;
 };
 
+/// Snapshot of one deployment's event counters.  The counters themselves
+/// live in the system's MetricRegistry (`NomLocSystem::Metrics()`); this
+/// struct is the convenience view assembled by `Stats()`.
 struct SystemStats {
   std::uint64_t probes_sent = 0;
   std::uint64_t frames_captured = 0;
@@ -97,7 +110,11 @@ class NomLocSystem {
 
   /// Reports collected during the last epoch (diagnostics).
   std::span<const CsiReport> LastReports() const noexcept { return reports_; }
-  const SystemStats& Stats() const noexcept { return stats_; }
+  /// Snapshot of the deployment's event counters.
+  SystemStats Stats() const;
+  /// The system's own metric registry (counters behind Stats() plus
+  /// anything future stages record); dump with Metrics().DumpText().
+  common::MetricRegistry& Metrics() const noexcept { return *metrics_; }
   const core::NomLocEngine& Engine() const noexcept { return *engine_; }
 
  private:
@@ -114,7 +131,8 @@ class NomLocSystem {
   std::optional<channel::CsiSimulator> csi_;
   std::optional<core::NomLocEngine> engine_;
   std::vector<CsiReport> reports_;
-  SystemStats stats_;
+  /// unique_ptr keeps the system movable (the registry owns a mutex).
+  std::unique_ptr<common::MetricRegistry> metrics_;
 };
 
 }  // namespace nomloc::net

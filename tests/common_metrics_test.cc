@@ -1,0 +1,167 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nomloc::common {
+namespace {
+
+TEST(MetricCounter, ConcurrentIncrementsAreLossless) {
+  MetricRegistry registry;
+  MetricCounter& counter = registry.Counter("test.hits");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(MetricCounter, LabelledSeriesAreIndependent) {
+  MetricRegistry registry;
+  registry.Counter("lp.solves", "backend=simplex").Increment(3);
+  registry.Counter("lp.solves", "backend=ipm").Increment(5);
+  EXPECT_EQ(registry.Counter("lp.solves", "backend=simplex").Value(), 3u);
+  EXPECT_EQ(registry.Counter("lp.solves", "backend=ipm").Value(), 5u);
+  // The unlabelled series is yet another series.
+  EXPECT_EQ(registry.Counter("lp.solves").Value(), 0u);
+}
+
+TEST(MetricRegistry, ReturnsSameSeriesForSameKey) {
+  MetricRegistry registry;
+  MetricCounter& a = registry.Counter("x");
+  registry.Counter("y").Increment();  // Force a second node.
+  MetricCounter& b = registry.Counter("x");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricHistogram, MomentsAndExtremes) {
+  MetricHistogram hist(1e-3, 1e3, 60);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) hist.Record(x);
+  EXPECT_EQ(hist.Count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(hist.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Max(), 4.0);
+}
+
+TEST(MetricHistogram, QuantilesAccurateToOneBucket) {
+  // 1000 samples uniform over [1, 100]; with 40 buckets per two decades
+  // the geometric bucket width near x is ~12% of x.
+  MetricHistogram hist(0.1, 1000.0, 80);
+  for (int i = 1; i <= 1000; ++i) hist.Record(1.0 + 99.0 * (i - 1) / 999.0);
+  EXPECT_NEAR(hist.Quantile(0.5), 50.5, 50.5 * 0.15);
+  EXPECT_NEAR(hist.Quantile(0.9), 90.1, 90.1 * 0.15);
+  // Extreme quantiles clamp to the exact observed range.
+  EXPECT_GE(hist.Quantile(0.0), 1.0);
+  EXPECT_LE(hist.Quantile(1.0), 100.0);
+}
+
+TEST(MetricHistogram, ClampsOutOfRangeSamples) {
+  MetricHistogram hist(1.0, 10.0, 4);
+  hist.Record(0.001);   // Below lo -> first bucket.
+  hist.Record(1e9);     // Above hi -> last bucket.
+  EXPECT_EQ(hist.Count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.Min(), 0.001);
+  EXPECT_DOUBLE_EQ(hist.Max(), 1e9);
+}
+
+TEST(MetricHistogram, ConcurrentRecordsAreLossless) {
+  MetricHistogram hist(1e-3, 1e3, 60);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 5'000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back([&hist, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i)
+        hist.Record(double(t + 1));
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(hist.Count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(hist.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.Max(), 8.0);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 4.5);
+}
+
+TEST(MetricTimer, AccumulatesDurations) {
+  MetricRegistry registry;
+  MetricTimer& timer = registry.Timer("stage");
+  timer.RecordSeconds(0.5);
+  timer.RecordSeconds(1.5);
+  EXPECT_EQ(timer.Count(), 2u);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(timer.MeanSeconds(), 1.0);
+}
+
+TEST(StageTrace, RecordsScopeDurationOnce) {
+  MetricRegistry registry;
+  MetricTimer& timer = registry.Timer("scope");
+  {
+    StageTrace trace(timer);
+    const double elapsed = trace.Stop();
+    EXPECT_GE(elapsed, 0.0);
+    EXPECT_DOUBLE_EQ(trace.Stop(), elapsed);  // Idempotent.
+  }  // Destructor must not double-record after Stop().
+  EXPECT_EQ(timer.Count(), 1u);
+  {
+    StageTrace trace(timer);  // Records via destructor.
+  }
+  EXPECT_EQ(timer.Count(), 2u);
+}
+
+TEST(MetricRegistry, DumpTextFormat) {
+  MetricRegistry registry;
+  registry.Counter("alpha.count").Increment(7);
+  registry.Counter("lp.solves", "backend=simplex").Increment(2);
+  registry.Histogram("beta.dist", {}, 0.1, 10.0, 8).Record(1.0);
+  registry.Timer("gamma.stage").RecordSeconds(0.25);
+  const std::string dump = registry.DumpText();
+  EXPECT_NE(dump.find("counter alpha.count 7"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("counter lp.solves{backend=simplex} 2"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("histogram beta.dist count=1"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("timer gamma.stage count=1"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("p50="), std::string::npos) << dump;
+}
+
+TEST(MetricRegistry, DumpJsonIsValidAndComplete) {
+  MetricRegistry registry;
+  registry.Counter("alpha").Increment(3);
+  registry.Timer("beta").RecordSeconds(1.0);
+  const std::string dump = registry.DumpJson();
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"alpha\": 3"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"timers\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"total_s\": 1"), std::string::npos) << dump;
+}
+
+TEST(MetricRegistry, ResetAllZeroesButKeepsSeries) {
+  MetricRegistry registry;
+  MetricCounter& counter = registry.Counter("keep.me");
+  counter.Increment(9);
+  MetricHistogram& hist = registry.Histogram("keep.dist");
+  hist.Record(1.0);
+  registry.ResetAll();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  // The references stay usable.
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+TEST(MetricRegistry, GlobalIsASingleton) {
+  EXPECT_EQ(&MetricRegistry::Global(), &MetricRegistry::Global());
+}
+
+}  // namespace
+}  // namespace nomloc::common

@@ -61,7 +61,7 @@ TEST(EngineCreate, ConvexAreaIsOnePart) {
 
 TEST(Locate, RequiresTwoObservationsWithFrames) {
   const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
-  EXPECT_EQ(engine.Locate({}).status().code(),
+  EXPECT_EQ(engine.Locate(std::vector<ApObservation>{}).status().code(),
             common::StatusCode::kInvalidArgument);
 
   std::vector<ApObservation> no_frames(2);
@@ -158,6 +158,145 @@ TEST(LocateFromAnchors, NonConvexAreaEstimateInsideArea) {
   // Should land in the vertical arm, near the strong anchor's cell.
   EXPECT_LT(est->position.y, 15.0);
   EXPECT_GT(est->position.y, 4.0);
+}
+
+TEST(EngineCreate, ValidatesSolverOptions) {
+  NomLocConfig bad;
+  bad.solver.boundary_weight = -1.0;
+  EXPECT_EQ(NomLocEngine::Create(Polygon::Rectangle(0, 0, 1, 1), bad)
+                .status()
+                .code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(LocateRequest, RejectsObservationsAndAnchorsTogether) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  common::Rng rng(3);
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}};
+  const auto obs = Observe(env, {4.0, 3.0}, aps, 5, rng);
+  std::vector<localization::Anchor> anchors{{{1.0, 1.0}, 4.0, false},
+                                            {{9.0, 1.0}, 2.0, false}};
+  LocateRequest request;
+  request.observations = obs;
+  request.anchors = anchors;
+  EXPECT_EQ(engine.Locate(request).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(LocateRequest, ResponseCarriesDiagnosticsAndTimings) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  common::Rng rng(3);
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  const auto obs = Observe(env, {4.0, 3.0}, aps, 10, rng);
+  LocateRequest request;
+  request.observations = obs;
+  auto response = engine.Locate(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->anchor_count, 4u);
+  EXPECT_EQ(response->judgement_count, 6u);  // C(4,2), all static pairs.
+  EXPECT_EQ(response->constraint_count, 6u);
+  EXPECT_GT(response->lp_iterations, 0u);
+  EXPECT_GT(response->timings.extract_s, 0.0);
+  EXPECT_GT(response->timings.solve_s, 0.0);
+  EXPECT_GE(response->timings.total_s,
+            response->timings.extract_s + response->timings.solve_s);
+  EXPECT_TRUE(engine.Area().Contains(response->estimate.position, 1e-5));
+}
+
+TEST(LocateRequest, PerCallPolicyOverrideChangesJudgementSet) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
+  // Two nomadic sites: kPaper skips the nomadic–nomadic pair.
+  std::vector<localization::Anchor> anchors{{{1.0, 1.0}, 4.0, true},
+                                            {{9.0, 1.0}, 2.0, true},
+                                            {{5.0, 7.0}, 1.0, false}};
+  LocateRequest request;
+  request.anchors = anchors;
+  auto paper = engine.Locate(request);
+  request.pair_policy = localization::PairPolicy::kAllPairs;
+  auto all_pairs = engine.Locate(request);
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(all_pairs.ok());
+  EXPECT_EQ(paper->judgement_count, 2u);
+  EXPECT_EQ(all_pairs->judgement_count, 3u);
+}
+
+TEST(LocateRequest, WrappersMatchUnifiedEntryPoint) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  common::Rng rng(9);
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  const auto obs = Observe(env, {7.0, 5.0}, aps, 10, rng);
+  LocateRequest request;
+  request.observations = obs;
+  auto unified = engine.Locate(request);
+  auto wrapped = engine.Locate(obs);
+  ASSERT_TRUE(unified.ok());
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(unified->estimate.position, wrapped->position);
+  EXPECT_EQ(unified->estimate.relaxation_cost, wrapped->relaxation_cost);
+}
+
+TEST(LocateBatch, BitIdenticalToSerialLoopForAnyThreadCount) {
+  const channel::IndoorEnvironment env = EmptyRoom();
+  const NomLocEngine engine = MakeEngine(env.Boundary());
+  common::Rng rng(17);
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7}, {6, 4}};
+  const std::vector<Vec2> truths{{4, 3}, {9, 5}, {2, 6}, {6, 2},
+                                 {10, 3}, {3, 2}, {8, 6}, {5, 5}};
+  std::vector<std::vector<ApObservation>> observation_sets;
+  for (const Vec2 truth : truths)
+    observation_sets.push_back(Observe(env, truth, aps, 15, rng));
+  std::vector<LocateRequest> requests(observation_sets.size());
+  for (std::size_t i = 0; i < observation_sets.size(); ++i)
+    requests[i].observations = observation_sets[i];
+
+  // Reference: plain serial Locate loop.
+  std::vector<Vec2> serial;
+  for (const LocateRequest& request : requests) {
+    auto response = engine.Locate(request);
+    ASSERT_TRUE(response.ok());
+    serial.push_back(response->estimate.position);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    auto batch = engine.LocateBatch(requests, threads);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ((*batch)[i].estimate.position, serial[i])
+          << "request " << i << " with " << threads << " threads";
+      EXPECT_EQ((*batch)[i].estimate.relaxation_cost,
+                engine.Locate(requests[i])->estimate.relaxation_cost);
+    }
+  }
+}
+
+TEST(LocateBatch, LowestIndexErrorWins) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 10, 8));
+  std::vector<localization::Anchor> good{{{1.0, 1.0}, 4.0, false},
+                                         {{9.0, 1.0}, 2.0, false}};
+  // Coincident anchors -> kFailedPrecondition; too few -> kInvalidArgument.
+  std::vector<localization::Anchor> coincident{{{3.0, 3.0}, 2.0, false},
+                                               {{3.0, 3.0}, 1.0, false}};
+  std::vector<localization::Anchor> short_set{{{1.0, 1.0}, 4.0, false}};
+  std::vector<LocateRequest> requests(3);
+  requests[0].anchors = good;
+  requests[1].anchors = coincident;
+  requests[2].anchors = short_set;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    auto batch = engine.LocateBatch(requests, threads);
+    EXPECT_EQ(batch.status().code(), common::StatusCode::kFailedPrecondition)
+        << "with " << threads << " threads";
+  }
+}
+
+TEST(LocateBatch, EmptyBatchIsEmptySuccess) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 10, 8));
+  auto batch = engine.LocateBatch({}, 4);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->empty());
 }
 
 TEST(Locate, DeterministicGivenSameObservations) {

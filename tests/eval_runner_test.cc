@@ -139,13 +139,46 @@ TEST(LocalizeEpoch, SingleAntennaMimoCombiningEqualsSiso) {
   EXPECT_NEAR(pdp_mimo / pdp_siso, 1.0, 1e-9);
 }
 
-TEST(RunLocalization, ThreadsFieldValidatedImplicitly) {
-  // threads = 0 behaves like sequential (<= 1 branch).
+TEST(RunLocalization, RejectsZeroThreads) {
+  // threads = 0 used to silently mean sequential; it is now a typed error
+  // (RunConfig::Validate).
   RunConfig cfg = TinyConfig();
   cfg.threads = 0;
   auto result = RunLocalization(LabScenario(), cfg);
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->sites.size(), 10u);
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(RunLocalization, RejectsZeroTrialsAndBadEngineConfig) {
+  RunConfig zero_trials = TinyConfig();
+  zero_trials.trials = 0;
+  EXPECT_EQ(RunLocalization(LabScenario(), zero_trials).status().code(),
+            common::StatusCode::kInvalidArgument);
+
+  RunConfig negative_er = TinyConfig();
+  negative_er.position_error_m = -1.0;
+  EXPECT_EQ(RunLocalization(LabScenario(), negative_er).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(RunLocalization, ThreadCountDoesNotChangeResults) {
+  // Measurement forks one RNG stream per site and the engine solve is
+  // RNG-free, so the parallel path must be bit-identical to the serial
+  // one — not merely statistically equivalent.
+  const Scenario lab = LabScenario();
+  RunConfig serial = TinyConfig();
+  serial.threads = 1;
+  RunConfig parallel = TinyConfig();
+  parallel.threads = 4;
+  auto rs = RunLocalization(lab, serial);
+  auto rp = RunLocalization(lab, parallel);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rp.ok());
+  ASSERT_EQ(rs->sites.size(), rp->sites.size());
+  for (std::size_t i = 0; i < rs->sites.size(); ++i) {
+    EXPECT_EQ(rs->sites[i].trial_errors_m, rp->sites[i].trial_errors_m);
+    EXPECT_EQ(rs->sites[i].mean_error_m, rp->sites[i].mean_error_m);
+  }
+  EXPECT_EQ(rs->slv, rp->slv);
 }
 
 TEST(RunLocalization, DifferentSeedsDifferentResults) {

@@ -3,11 +3,15 @@
 //   nomloc_sim [--scenario lab|lobby|office] [--deployment static|nomadic]
 //              [--trials N] [--packets N] [--dwells N] [--er METERS]
 //              [--pattern markov|stay|patrol|stationary] [--seed N]
-//              [--nomadic-aps N] [--csv]
+//              [--nomadic-aps N] [--threads N] [--csv] [--metrics]
 //
 // Runs the full measurement + localization pipeline and prints per-site
 // mean errors, SLV, and CDF quantiles.  --csv emits machine-readable rows
-// instead of the human table.
+// instead of the human table.  --threads parallelises the measurement and
+// solve phases (bit-identical results for any count).  --metrics appends
+// the pipeline observability dump: per-stage timers (dsp.pdp.extract,
+// engine.judge, engine.solve, eval.measure, eval.solve, …), counters, and
+// distribution histograms.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +19,7 @@
 
 #include <fstream>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/strings.h"
 #include "eval/export.h"
@@ -32,7 +37,8 @@ namespace {
       "usage: %s [--scenario lab|lobby|office] [--deployment static|nomadic]\n"
       "          [--trials N] [--packets N] [--dwells N] [--er METERS]\n"
       "          [--pattern markov|stay|patrol|stationary] [--seed N]\n"
-      "          [--nomadic-aps N] [--csv] [--map] [--json FILE]\n",
+      "          [--nomadic-aps N] [--threads N] [--csv] [--map]\n"
+      "          [--json FILE] [--metrics]\n",
       argv0);
   std::exit(2);
 }
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
   cfg.seed = 1;
   bool csv = false;
   bool map = false;
+  bool metrics = false;
   std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +82,8 @@ int main(int argc, char** argv) {
       cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--nomadic-aps") {
       cfg.nomadic_ap_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      cfg.threads = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--pattern") {
       const std::string p = next();
       if (p == "markov") cfg.pattern = mobility::MobilityPattern::kMarkovWalk;
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
       else Usage(argv[0]);
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--map") {
       map = true;
     } else if (arg == "--json") {
@@ -136,6 +147,8 @@ int main(int argc, char** argv) {
     std::printf("# slv=%.4f mean=%.4f p50=%.4f p90=%.4f\n", result->slv,
                 result->MeanError(), common::Percentile(site_errors, 0.5),
                 common::Percentile(site_errors, 0.9));
+    if (metrics)
+      std::printf("%s", common::MetricRegistry::Global().DumpText().c_str());
     return 0;
   }
 
@@ -160,5 +173,7 @@ int main(int argc, char** argv) {
               "SLV %.3f m^2\n",
               result->MeanError(), common::Percentile(site_errors, 0.5),
               common::Percentile(site_errors, 0.9), result->slv);
+  if (metrics)
+    std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
   return 0;
 }
