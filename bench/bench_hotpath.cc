@@ -1,0 +1,228 @@
+// Cold-vs-warm timings for the three hot-path cache layers:
+//
+//   trace.repeated_link — CsiSimulator::MakeLink on recurring (tx, rx)
+//       pairs.  Cold clears the PropagationCache before every link, so
+//       each call pays the full image-method trace; warm hits the cache
+//       and only rebuilds the LinkModel.
+//   cir.batch — PDP extraction over a per-anchor CSI probe burst.  Cold
+//       models the pre-cache pipeline: every frame re-derives the FFT
+//       bit-reversal/twiddle tables and goes through the allocating
+//       per-frame CIR API; warm is PdpOfBatch running entirely from
+//       cached plans and reused scratch.
+//   lp.simplex / lp.interior_point — the SP relaxation LP (paper Eq. 19)
+//       solved without (cold) and with (warm) a reusable SolveWorkspace.
+//
+// Flags: --quick shrinks iteration counts (CI smoke), --json prints the
+// shared BenchReportJson document to stdout, --out PATH also writes it to
+// a file (the committed BENCH_hotpath.json snapshot).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "channel/csi_model.h"
+#include "channel/propagation_cache.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "dsp/cir.h"
+#include "dsp/fft_plan.h"
+#include "eval/scenario.h"
+#include "lp/interior_point.h"
+#include "lp/simplex.h"
+#include "lp/workspace.h"
+
+namespace {
+
+using nomloc::bench::BenchTiming;
+
+double RunMs(std::size_t iterations, const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+// Best-of-N timing: the minimum over repeats is the least noise-polluted
+// estimate of the true cost (interruptions only ever add time).
+double BestMs(std::size_t repeats, std::size_t iterations,
+              const std::function<void()>& body) {
+  double best = RunMs(iterations, body);
+  for (std::size_t r = 1; r < repeats; ++r)
+    best = std::min(best, RunMs(iterations, body));
+  return best;
+}
+
+// The SP relaxation program (Eq. 19) at a size typical of one area part:
+// variables [zx, zy, t_1..t_n], one row per proximity/boundary constraint.
+nomloc::lp::InequalityLp RelaxationLp(std::size_t n) {
+  nomloc::common::Rng rng(0xbe7c);
+  nomloc::lp::InequalityLp prog;
+  prog.a = nomloc::lp::Matrix(n, 2 + n);
+  prog.b.resize(n);
+  prog.c.assign(2 + n, 0.0);
+  prog.nonneg.assign(2 + n, true);
+  prog.nonneg[0] = prog.nonneg[1] = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = rng.Uniform(0.0, 6.28318);
+    prog.a(i, 0) = std::cos(angle);
+    prog.a(i, 1) = std::sin(angle);
+    prog.a(i, 2 + i) = -1.0;
+    prog.b[i] = rng.Uniform(1.0, 6.0);
+    prog.c[2 + i] = rng.Uniform(0.5, 2.0);
+  }
+  return prog;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t repeats = quick ? 3 : 5;
+
+  namespace channel = nomloc::channel;
+  namespace dsp = nomloc::dsp;
+  namespace lp = nomloc::lp;
+
+  const nomloc::eval::Scenario scenario = nomloc::eval::LabScenario();
+  const channel::ChannelConfig channel_config;
+  const channel::CsiSimulator sim(scenario.env, channel_config);
+  channel::PropagationCache& trace_cache = channel::PropagationCache::Global();
+  dsp::FftPlanCache& plan_cache = dsp::FftPlanCache::Global();
+
+  std::vector<BenchTiming> series;
+
+  // --- trace.repeated_link -------------------------------------------------
+  {
+    const std::size_t iterations = quick ? 40 : 400;
+    const auto& rx_sites = scenario.test_sites;
+    const nomloc::geometry::Vec2 tx = scenario.static_aps.front();
+    std::size_t i = 0;
+    auto one_link = [&] {
+      const auto link = sim.MakeLink(tx, rx_sites[i++ % rx_sites.size()]);
+      (void)link;
+    };
+    BenchTiming t;
+    t.name = "trace.repeated_link";
+    t.iterations = iterations;
+    trace_cache.Clear();
+    t.cold_ms = BestMs(repeats, iterations, [&] {
+      trace_cache.Clear();
+      one_link();
+    });
+    for (std::size_t k = 0; k < rx_sites.size(); ++k) one_link();  // Warm up.
+    t.warm_ms = BestMs(repeats, iterations, one_link);
+    series.push_back(t);
+  }
+
+  // --- cir.batch -----------------------------------------------------------
+  {
+    const std::size_t iterations = quick ? 100 : 1000;
+    const std::size_t batch = 16;  // One per-anchor probe burst.
+    nomloc::common::Rng rng(0xc18);
+    const channel::LinkModel link =
+        sim.MakeLink(scenario.static_aps.front(), scenario.test_sites.front());
+    const std::vector<dsp::CsiFrame> frames = link.SampleBatch(batch, rng);
+    const double bandwidth = channel_config.bandwidth_hz;
+    const dsp::PdpOptions pdp_options;
+    BenchTiming t;
+    t.name = "cir.batch";
+    t.iterations = iterations;
+    // Cold models the pre-cache pipeline: every frame re-derives the FFT
+    // kernel (a cache-free world recomputes per transform) and goes
+    // through the allocating per-frame CIR API.
+    t.cold_ms = BestMs(repeats, iterations, [&] {
+      double acc = 0.0;
+      for (const dsp::CsiFrame& frame : frames) {
+        plan_cache.Clear();
+        acc += dsp::PdpOfCir(dsp::CsiToCir(frame, bandwidth), pdp_options);
+      }
+      (void)acc;
+    });
+    auto one_batch = [&] { (void)dsp::PdpOfBatch(frames, bandwidth); };
+    one_batch();  // Warm up.
+    t.warm_ms = BestMs(repeats, iterations, one_batch);
+    series.push_back(t);
+  }
+
+  // --- lp.simplex / lp.interior_point --------------------------------------
+  {
+    const std::size_t iterations = quick ? 200 : 2000;
+    const lp::InequalityLp prog = RelaxationLp(16);
+    lp::SolveWorkspace ws;
+    {
+      BenchTiming t;
+      t.name = "lp.simplex";
+      t.iterations = iterations;
+      t.cold_ms = BestMs(repeats, iterations,
+                         [&] { (void)lp::SolveSimplex(prog).ok(); });
+      (void)lp::SolveSimplex(prog, {}, &ws).ok();  // Warm up.
+      t.warm_ms = BestMs(repeats, iterations,
+                         [&] { (void)lp::SolveSimplex(prog, {}, &ws).ok(); });
+      series.push_back(t);
+    }
+    {
+      BenchTiming t;
+      t.name = "lp.interior_point";
+      t.iterations = iterations;
+      t.cold_ms = BestMs(repeats, iterations,
+                         [&] { (void)lp::SolveInteriorPoint(prog).ok(); });
+      (void)lp::SolveInteriorPoint(prog, {}, &ws).ok();  // Warm up.
+      t.warm_ms = BestMs(
+          repeats, iterations,
+          [&] { (void)lp::SolveInteriorPoint(prog, {}, &ws).ok(); });
+      series.push_back(t);
+    }
+  }
+
+  // Cache counter readings accumulated over the run.
+  auto& registry = nomloc::common::MetricRegistry::Global();
+  nomloc::common::JsonObject counters;
+  for (const char* name :
+       {"dsp.fft.plan.hits", "dsp.fft.plan.misses", "channel.trace.cache.hits",
+        "channel.trace.cache.misses", "channel.trace.images.hits",
+        "channel.trace.images.misses", "lp.workspace.reused",
+        "lp.workspace.fresh"}) {
+    counters[name] = std::size_t(registry.Counter(name).Value());
+  }
+  nomloc::common::JsonObject extra;
+  extra["counters"] = nomloc::common::Json(std::move(counters));
+
+  const nomloc::common::Json report =
+      nomloc::bench::BenchReportJson("hotpath", quick, series, std::move(extra));
+
+  if (json) {
+    std::printf("%s\n", report.DumpPretty().c_str());
+  } else {
+    std::printf("hotpath cache benchmark (%s)\n", quick ? "quick" : "full");
+    nomloc::bench::PrintTimings(series);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report.DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

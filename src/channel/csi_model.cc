@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "channel/propagation_cache.h"
 #include "common/assert.h"
 #include "dsp/ofdm.h"
 
@@ -220,7 +221,12 @@ common::Result<dsp::CsiFrame> LinkModel::MeasurePhyCsi(
 }
 
 LinkModel CsiSimulator::MakeLink(geometry::Vec2 tx, geometry::Vec2 rx) const {
-  return LinkModel(TracePaths(*env_, tx, rx, config_.propagation), config_);
+  // Memoized: repeated links (every frame of a measurement epoch) skip the
+  // ray trace entirely.  Copying the cached path list into the LinkModel is
+  // a few dozen PODs — negligible next to the trace it replaces.
+  return LinkModel(*PropagationCache::Global().Trace(*env_, tx, rx,
+                                                     config_.propagation),
+                   config_);
 }
 
 dsp::CsiFrame CsiSimulator::SampleOne(geometry::Vec2 tx, geometry::Vec2 rx,

@@ -1,11 +1,24 @@
 #include "channel/environment.h"
 
+#include <atomic>
+
 #include "common/assert.h"
 
 namespace nomloc::channel {
 
 using geometry::Segment;
 using geometry::Vec2;
+
+namespace {
+
+// Process-unique content-version stamps; 0 is reserved for the
+// default-constructed placeholder.
+std::uint64_t NextEpoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 common::Result<IndoorEnvironment> IndoorEnvironment::Create(
     geometry::Polygon boundary, std::vector<Wall> interior_walls,
@@ -41,6 +54,7 @@ common::Result<IndoorEnvironment> IndoorEnvironment::Create(
       env.blocking_.push_back(w);
     }
   }
+  env.epoch_ = NextEpoch();
   return env;
 }
 
@@ -61,6 +75,7 @@ double IndoorEnvironment::PenetrationLossDb(Vec2 a, Vec2 b) const noexcept {
 }
 
 void IndoorEnvironment::PlaceScatterers(std::size_t count, common::Rng& rng) {
+  epoch_ = NextEpoch();  // Invalidates cached ray traces of this content.
   scatterers_.clear();
   scatterers_.reserve(count);
   const geometry::Aabb box = boundary_.BoundingBox();

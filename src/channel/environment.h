@@ -3,6 +3,7 @@
 // (channel/propagation.h) runs against.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -62,6 +63,14 @@ class IndoorEnvironment {
   /// True when p is inside the boundary and outside every obstacle.
   bool IsFreeSpace(geometry::Vec2 p) const noexcept;
 
+  /// Content-version stamp: equal Epoch() values guarantee identical
+  /// geometry and scatterers.  Every Create() and every mutation
+  /// (PlaceScatterers) draws a fresh process-unique value; copies inherit
+  /// their source's stamp, so identical copies legitimately share cached
+  /// ray-trace results (channel/propagation_cache.h) while any mutated
+  /// environment invalidates itself automatically.
+  std::uint64_t Epoch() const noexcept { return epoch_; }
+
  private:
   IndoorEnvironment() = default;
 
@@ -70,6 +79,7 @@ class IndoorEnvironment {
   std::vector<Wall> blocking_;     // Interior walls + obstacle edges only.
   std::vector<Obstacle> obstacles_;
   std::vector<geometry::Vec2> scatterers_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace nomloc::channel

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include "common/assert.h"
 
@@ -61,18 +62,12 @@ struct Tracer {
   }
 
   // Attempts the specular path reflecting off the wall sequence `seq`
-  // (indices into env.Walls(), in bounce order from the transmitter).
-  void TrySpecular(std::span<const std::size_t> seq) const {
+  // (indices into env.Walls(), in bounce order from the transmitter),
+  // with the forward transmitter images `images` precomputed by
+  // BuildTxImageTree (images[0] = tx, images[i] = mirror in seq[i-1]).
+  void TrySpecular(std::span<const std::size_t> seq,
+                   std::span<const Vec2> images) const {
     const auto walls = env.Walls();
-
-    // Forward images of the transmitter.
-    std::vector<Vec2> images;
-    images.reserve(seq.size() + 1);
-    images.push_back(tx);
-    for (std::size_t wi : seq) {
-      const Segment& s = walls[wi].segment;
-      images.push_back(Line::Through(s.a, s.b).Mirror(images.back()));
-    }
 
     // Back-trace reflection points from the receiver.
     std::vector<Vec2> points(seq.size());
@@ -115,19 +110,6 @@ struct Tracer {
     out->push_back(p);
   }
 
-  void EnumerateSpecular(std::vector<std::size_t>& seq, int depth) const {
-    if (depth == 0) return;
-    const std::size_t wall_count = env.Walls().size();
-    for (std::size_t wi = 0; wi < wall_count; ++wi) {
-      if (!seq.empty() && seq.back() == wi) continue;  // No double-bounce
-                                                       // off the same wall.
-      seq.push_back(wi);
-      TrySpecular(seq);
-      EnumerateSpecular(seq, depth - 1);
-      seq.pop_back();
-    }
-  }
-
   void AddScatterPaths() const {
     for (const Vec2 s : env.Scatterers()) {
       const double l1 = Distance(tx, s);
@@ -147,19 +129,59 @@ struct Tracer {
   }
 };
 
+// Depth-first enumeration of admissible wall sequences, emitting one
+// candidate per prefix — the same pre-order the tracer historically
+// visited, so tree-based tracing reproduces legacy results bit for bit.
+void EnumerateImages(const IndoorEnvironment& env,
+                     std::vector<std::size_t>& seq, std::vector<Vec2>& images,
+                     int depth, TxImageTree* tree) {
+  if (depth == 0) return;
+  const auto walls = env.Walls();
+  for (std::size_t wi = 0; wi < walls.size(); ++wi) {
+    if (!seq.empty() && seq.back() == wi) continue;  // No double-bounce
+                                                     // off the same wall.
+    const Segment& s = walls[wi].segment;
+    seq.push_back(wi);
+    images.push_back(Line::Through(s.a, s.b).Mirror(images.back()));
+    tree->candidates.push_back({seq, images});
+    EnumerateImages(env, seq, images, depth - 1, tree);
+    seq.pop_back();
+    images.pop_back();
+  }
+}
+
 }  // namespace
+
+TxImageTree BuildTxImageTree(const IndoorEnvironment& env, Vec2 tx,
+                             int max_order) {
+  NOMLOC_REQUIRE(max_order >= 0);
+  TxImageTree tree;
+  tree.tx = tx;
+  tree.max_order = max_order;
+  if (max_order > 0) {
+    std::vector<std::size_t> seq;
+    std::vector<Vec2> images{tx};
+    EnumerateImages(env, seq, images, max_order, &tree);
+  }
+  return tree;
+}
 
 std::vector<PropagationPath> TracePaths(const IndoorEnvironment& env,
                                         Vec2 tx, Vec2 rx,
                                         const PropagationConfig& config) {
-  NOMLOC_REQUIRE(config.max_reflection_order >= 0);
+  return TracePaths(env, BuildTxImageTree(env, tx, config.max_reflection_order),
+                    rx, config);
+}
+
+std::vector<PropagationPath> TracePaths(const IndoorEnvironment& env,
+                                        const TxImageTree& images, Vec2 rx,
+                                        const PropagationConfig& config) {
+  NOMLOC_REQUIRE(images.max_order == config.max_reflection_order);
   std::vector<PropagationPath> paths;
-  Tracer tracer{env, config, tx, rx, &paths};
+  Tracer tracer{env, config, images.tx, rx, &paths};
   tracer.AddDirect();
-  if (config.max_reflection_order > 0) {
-    std::vector<std::size_t> seq;
-    tracer.EnumerateSpecular(seq, config.max_reflection_order);
-  }
+  for (const TxImageTree::Candidate& c : images.candidates)
+    tracer.TrySpecular(c.walls, c.images);
   if (config.include_scatterers) tracer.AddScatterPaths();
 
   // Relative power cutoff.

@@ -55,10 +55,41 @@ struct PropagationConfig {
 double FreeSpacePathLossDb(double distance_m, double carrier_hz,
                            double min_distance_m = 0.1) noexcept;
 
+/// Forward specular images of one transmitter: for every admissible wall
+/// bounce sequence up to `max_order` (depth-first over env.Walls(), never
+/// repeating the immediately preceding wall), the chain of successively
+/// mirrored transmitter images.  This is the O(walls^order) half of the
+/// image method that depends only on tx and the wall geometry — every
+/// receiver probed against the same transmitter shares it, which is what
+/// makes the per-tx layer of PropagationCache pay.
+struct TxImageTree {
+  struct Candidate {
+    std::vector<std::size_t> walls;      ///< Bounce order from the TX.
+    /// images[0] = tx; images[i] = images[i-1] mirrored in walls[i-1].
+    std::vector<geometry::Vec2> images;
+  };
+
+  geometry::Vec2 tx;
+  int max_order = 0;
+  std::vector<Candidate> candidates;     ///< Depth-first enumeration order.
+};
+
+/// Enumerates the specular bounce candidates of `tx` up to `max_order`.
+TxImageTree BuildTxImageTree(const IndoorEnvironment& env, geometry::Vec2 tx,
+                             int max_order);
+
 /// Enumerates propagation paths from tx to rx.  Always returns at least
 /// the direct path.  Paths are sorted by increasing delay.
 std::vector<PropagationPath> TracePaths(const IndoorEnvironment& env,
                                         geometry::Vec2 tx, geometry::Vec2 rx,
+                                        const PropagationConfig& config);
+
+/// TracePaths against a precomputed image tree (`images` must have been
+/// built for the same environment, tx, and config.max_reflection_order).
+/// Bit-identical to the convenience overload, which delegates here.
+std::vector<PropagationPath> TracePaths(const IndoorEnvironment& env,
+                                        const TxImageTree& images,
+                                        geometry::Vec2 rx,
                                         const PropagationConfig& config);
 
 }  // namespace nomloc::channel

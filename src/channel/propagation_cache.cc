@@ -1,0 +1,156 @@
+#include "channel/propagation_cache.h"
+
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace nomloc::channel {
+
+namespace {
+
+constexpr double kPositionQuantumInv = 1e6;  // Quantize positions to 1e-6 m.
+
+std::int64_t Quantize(double v) noexcept {
+  return std::llround(v * kPositionQuantumInv);
+}
+
+std::uint64_t MixIn(std::uint64_t& state, std::uint64_t word) noexcept {
+  state ^= word;
+  return common::SplitMix64(state);
+}
+
+std::uint64_t DigestConfig(const PropagationConfig& c) noexcept {
+  std::uint64_t state = 0x6e6f6d6c6f633243ull;  // Arbitrary fixed seed.
+  std::uint64_t digest = MixIn(state, std::bit_cast<std::uint64_t>(c.carrier_hz));
+  digest = MixIn(state, std::uint64_t(c.max_reflection_order));
+  digest = MixIn(state, std::bit_cast<std::uint64_t>(c.scatter_loss_db));
+  digest = MixIn(state, std::uint64_t(c.include_scatterers));
+  digest = MixIn(state, std::bit_cast<std::uint64_t>(c.relative_cutoff_db));
+  digest = MixIn(state, std::bit_cast<std::uint64_t>(c.min_distance_m));
+  return digest;
+}
+
+// Makes room in `map` for a new entry of `epoch`: entries stamped with a
+// different (necessarily dead, since epochs are process-unique) epoch go
+// first; if the shard is still full the whole shard is dropped — entries
+// are shared_ptrs, so outstanding references stay valid.
+template <typename Map>
+void EvictIfFull(Map& map, std::uint64_t epoch, std::size_t max_entries) {
+  if (map.size() < max_entries) return;
+  for (auto it = map.begin(); it != map.end();) {
+    if (it->first.epoch != epoch)
+      it = map.erase(it);
+    else
+      ++it;
+  }
+  if (map.size() >= max_entries) map.clear();
+}
+
+}  // namespace
+
+std::size_t PropagationCache::KeyHash::operator()(const Key& k) const noexcept {
+  std::uint64_t state = k.epoch;
+  std::uint64_t h = MixIn(state, k.config_digest);
+  h = MixIn(state, std::uint64_t(k.qx0));
+  h = MixIn(state, std::uint64_t(k.qy0));
+  h = MixIn(state, std::uint64_t(k.qx1));
+  h = MixIn(state, std::uint64_t(k.qy1));
+  return std::size_t(h);
+}
+
+PropagationCache& PropagationCache::Global() {
+  static PropagationCache cache;
+  return cache;
+}
+
+std::shared_ptr<const std::vector<PropagationPath>> PropagationCache::Trace(
+    const IndoorEnvironment& env, geometry::Vec2 tx, geometry::Vec2 rx,
+    const PropagationConfig& config) {
+  static common::MetricCounter& hits =
+      common::MetricRegistry::Global().Counter("channel.trace.cache.hits");
+  static common::MetricCounter& misses =
+      common::MetricRegistry::Global().Counter("channel.trace.cache.misses");
+
+  const Key key{env.Epoch(),     DigestConfig(config), Quantize(tx.x),
+                Quantize(tx.y),  Quantize(rx.x),       Quantize(rx.y)};
+  PathShard& shard = path_shards_[KeyHash{}(key) % kShardCount];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.map.find(key); it != shard.map.end()) {
+      hits.Increment();
+      return it->second;
+    }
+  }
+  misses.Increment();
+
+  // Trace outside the lock — the tree-based overload is exactly what the
+  // uncached TracePaths(env, tx, rx, config) runs, so hits and misses are
+  // bit-identical to never having had a cache at all.
+  const std::shared_ptr<const TxImageTree> images =
+      Images(env, tx, config.max_reflection_order);
+  auto paths = std::make_shared<const std::vector<PropagationPath>>(
+      TracePaths(env, *images, rx, config));
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  EvictIfFull(shard.map, key.epoch, kMaxEntriesPerShard);
+  auto [it, inserted] = shard.map.emplace(key, std::move(paths));
+  // On a concurrent duplicate insert the first writer wins; both traced
+  // the same inputs, so adopting the winner changes nothing.
+  return it->second;
+}
+
+std::shared_ptr<const TxImageTree> PropagationCache::Images(
+    const IndoorEnvironment& env, geometry::Vec2 tx, int max_order) {
+  static common::MetricCounter& hits =
+      common::MetricRegistry::Global().Counter("channel.trace.images.hits");
+  static common::MetricCounter& misses =
+      common::MetricRegistry::Global().Counter("channel.trace.images.misses");
+
+  Key key;
+  key.epoch = env.Epoch();
+  key.config_digest = std::uint64_t(max_order);
+  key.qx0 = Quantize(tx.x);
+  key.qy0 = Quantize(tx.y);
+  ImageShard& shard = image_shards_[KeyHash{}(key) % kShardCount];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.map.find(key); it != shard.map.end()) {
+      hits.Increment();
+      return it->second;
+    }
+  }
+  misses.Increment();
+
+  auto images = std::make_shared<const TxImageTree>(
+      BuildTxImageTree(env, tx, max_order));
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  EvictIfFull(shard.map, key.epoch, kMaxEntriesPerShard);
+  auto [it, inserted] = shard.map.emplace(key, std::move(images));
+  return it->second;
+}
+
+void PropagationCache::Clear() {
+  for (PathShard& shard : path_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  for (ImageShard& shard : image_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+std::size_t PropagationCache::Entries() const {
+  std::size_t total = 0;
+  for (const PathShard& shard : path_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace nomloc::channel

@@ -1,0 +1,100 @@
+// Memoized ray tracing.  TracePaths dominates the measurement hot path —
+// every simulated CSI frame between an (anchor, object) pair re-traces the
+// same geometry — so the cache keys completed traces by the environment's
+// content epoch (channel/environment.h) plus quantized endpoint positions
+// and a digest of the PropagationConfig.  A second, cheaper layer memoizes
+// the per-transmitter specular image tree (BuildTxImageTree), which is
+// shared by every receiver probed against that transmitter.
+//
+// Correctness properties:
+//   * Cached results are bit-identical to uncached TracePaths: hits return
+//     the memoized vector, and misses run the exact same tree-based code
+//     path the uncached overload uses.
+//   * Environment mutation invalidates automatically: every mutation draws
+//     a fresh process-unique epoch, so stale entries can never be returned
+//     (they are evicted lazily when a shard fills up).
+//   * Positions are quantized to 1e-6 m.  Two probes closer than the
+//     quantum may alias to one entry; scenario coordinates are metres with
+//     far coarser spacing, so this is a non-issue in practice, but callers
+//     sweeping sub-micrometre grids should bypass the cache.
+//
+// Thread safety: fully thread-safe; the key space is sharded with one
+// mutex per shard so concurrent measurement threads rarely contend.
+//
+// Metrics (common/metrics.h): channel.trace.cache.{hits,misses},
+// channel.trace.images.{hits,misses}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/environment.h"
+#include "channel/propagation.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::channel {
+
+class PropagationCache {
+ public:
+  /// Process-wide instance used by CsiSimulator and the device-free
+  /// sampler.  Tests may construct private instances.
+  static PropagationCache& Global();
+
+  PropagationCache() = default;
+  PropagationCache(const PropagationCache&) = delete;
+  PropagationCache& operator=(const PropagationCache&) = delete;
+
+  /// Memoized TracePaths(env, tx, rx, config).  The returned vector is
+  /// immutable and shared; it stays valid after Clear() or eviction.
+  std::shared_ptr<const std::vector<PropagationPath>> Trace(
+      const IndoorEnvironment& env, geometry::Vec2 tx, geometry::Vec2 rx,
+      const PropagationConfig& config);
+
+  /// Memoized BuildTxImageTree(env, tx, max_order).
+  std::shared_ptr<const TxImageTree> Images(const IndoorEnvironment& env,
+                                            geometry::Vec2 tx, int max_order);
+
+  /// Drops every memoized trace and image tree.
+  void Clear();
+
+  /// Number of memoized traces (approximate under concurrent mutation).
+  std::size_t Entries() const;
+
+ private:
+  struct Key {
+    std::uint64_t epoch = 0;
+    std::uint64_t config_digest = 0;
+    std::int64_t qx0 = 0, qy0 = 0;  // Quantized tx.
+    std::int64_t qx1 = 0, qy1 = 0;  // Quantized rx (0 for image trees).
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  static constexpr std::size_t kShardCount = 16;  // Power of two.
+  /// Per-shard entry bound; on overflow same-shard entries from other
+  /// (stale) epochs are evicted first, then the shard is dropped whole.
+  static constexpr std::size_t kMaxEntriesPerShard = 4096;
+
+  struct PathShard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const std::vector<PropagationPath>>,
+                       KeyHash>
+        map;
+  };
+  struct ImageShard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const TxImageTree>, KeyHash> map;
+  };
+
+  std::array<PathShard, kShardCount> path_shards_;
+  std::array<ImageShard, kShardCount> image_shards_;
+};
+
+}  // namespace nomloc::channel

@@ -15,16 +15,27 @@ std::vector<double> ChannelImpulseResponse::PowerProfile() const {
 }
 
 ChannelImpulseResponse CsiToCir(const CsiFrame& frame, double bandwidth_hz) {
-  NOMLOC_REQUIRE(bandwidth_hz > 0.0);
   ChannelImpulseResponse cir;
-  cir.taps = Ifft(frame.ToFftGrid());
-  cir.tap_spacing_s = 1.0 / bandwidth_hz;
+  CsiToCir(frame, bandwidth_hz, cir);
   return cir;
+}
+
+void CsiToCir(const CsiFrame& frame, double bandwidth_hz,
+              ChannelImpulseResponse& out) {
+  NOMLOC_REQUIRE(bandwidth_hz > 0.0);
+  frame.ToFftGrid(out.taps);
+  IfftInPlace(std::span<Cplx>(out.taps));
+  out.tap_spacing_s = 1.0 / bandwidth_hz;
 }
 
 double PdpOfCir(const ChannelImpulseResponse& cir, const PdpOptions& options) {
   NOMLOC_REQUIRE(!cir.taps.empty());
-  const std::vector<double> profile = cir.PowerProfile();
+  return PdpOfProfile(cir.PowerProfile(), options);
+}
+
+double PdpOfProfile(std::span<const double> profile,
+                    const PdpOptions& options) {
+  NOMLOC_REQUIRE(!profile.empty());
   switch (options.method) {
     case PdpMethod::kMaxTap:
       return *std::max_element(profile.begin(), profile.end());
@@ -56,9 +67,15 @@ double PdpOfBatch(std::span<const CsiFrame> frames, double bandwidth_hz,
   common::StageTrace trace(extract_timer);
   batches.Increment();
   frame_count.Increment(frames.size());
+  // Grid, tap, and profile buffers are shared across the whole batch.
+  ChannelImpulseResponse cir;
+  std::vector<double> profile;
   double acc = 0.0;
-  for (const CsiFrame& frame : frames)
-    acc += PdpOfCir(CsiToCir(frame, bandwidth_hz), options);
+  for (const CsiFrame& frame : frames) {
+    CsiToCir(frame, bandwidth_hz, cir);
+    PowerSpectrum(cir.taps, profile);
+    acc += PdpOfProfile(profile, options);
+  }
   return acc / double(frames.size());
 }
 
@@ -74,27 +91,24 @@ double PdpOfMimoBatch(std::span<const std::vector<CsiFrame>> packets,
   common::StageTrace trace(extract_timer);
   batches.Increment();
   frame_count.Increment(packets.size() * antennas);
+  // All buffers shared across packets and antennas.
+  ChannelImpulseResponse cir;
+  std::vector<double> profile, extra;
   double acc = 0.0;
   for (const std::vector<CsiFrame>& packet : packets) {
     NOMLOC_REQUIRE(packet.size() == antennas);
-    // Sum the antennas' power profiles tap-by-tap (non-coherent MRC).
-    ChannelImpulseResponse combined = CsiToCir(packet.front(), bandwidth_hz);
-    std::vector<double> profile = combined.PowerProfile();
+    // Sum the antennas' power profiles tap-by-tap (non-coherent MRC),
+    // then run the picker on the combined profile.
+    CsiToCir(packet.front(), bandwidth_hz, cir);
+    PowerSpectrum(cir.taps, profile);
     for (std::size_t a = 1; a < antennas; ++a) {
-      const auto cir = CsiToCir(packet[a], bandwidth_hz);
+      CsiToCir(packet[a], bandwidth_hz, cir);
       NOMLOC_REQUIRE(cir.taps.size() == profile.size());
-      const auto extra = cir.PowerProfile();
+      PowerSpectrum(cir.taps, extra);
       for (std::size_t n = 0; n < profile.size(); ++n)
         profile[n] += extra[n];
     }
-    // Re-run the picker on the combined profile via a synthetic CIR whose
-    // tap magnitudes encode the summed powers.
-    ChannelImpulseResponse synthetic;
-    synthetic.tap_spacing_s = combined.tap_spacing_s;
-    synthetic.taps.reserve(profile.size());
-    for (double p : profile)
-      synthetic.taps.emplace_back(std::sqrt(p), 0.0);
-    acc += PdpOfCir(synthetic, options) / double(antennas);
+    acc += PdpOfProfile(profile, options) / double(antennas);
   }
   return acc / double(packets.size());
 }

@@ -32,6 +32,13 @@ struct ChannelImpulseResponse {
 /// tap spacing (fft_size bins span exactly the channel bandwidth).
 ChannelImpulseResponse CsiToCir(const CsiFrame& frame, double bandwidth_hz);
 
+/// CsiToCir into a caller-owned CIR: `out.taps` is reused as the FFT grid
+/// and transformed in place (plan-cached, see dsp/fft_plan.h), so batch
+/// extraction performs zero per-frame allocations in steady state.
+/// Bit-identical to the allocating overload.
+void CsiToCir(const CsiFrame& frame, double bandwidth_hz,
+              ChannelImpulseResponse& out);
+
 /// How PdpEstimate picks the direct-path power from a power profile.
 enum class PdpMethod {
   kMaxTap,     ///< Paper's choice: max |h[n]|^2.
@@ -49,6 +56,12 @@ struct PdpOptions {
 /// Direct-path power of one CIR according to `options`.  Requires
 /// non-empty taps.
 double PdpOfCir(const ChannelImpulseResponse& cir, const PdpOptions& options);
+
+/// The PDP pick applied directly to a |h[n]|^2 power profile (what
+/// PdpOfCir computes after squaring the taps).  Requires a non-empty
+/// profile.  Exposed so batch loops can reuse one profile buffer.
+double PdpOfProfile(std::span<const double> profile,
+                    const PdpOptions& options);
 
 /// Averages the PDP over a batch of CSI frames (one per received packet).
 /// Frames are converted to CIRs individually so per-packet noise and

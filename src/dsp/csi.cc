@@ -67,13 +67,18 @@ common::Result<CsiFrame> CsiFrame::ToIntel5300() const {
 }
 
 std::vector<Cplx> CsiFrame::ToFftGrid() const {
-  std::vector<Cplx> grid(std::size_t(fft_size_), Cplx(0.0, 0.0));
+  std::vector<Cplx> grid;
+  ToFftGrid(grid);
+  return grid;
+}
+
+void CsiFrame::ToFftGrid(std::vector<Cplx>& grid) const {
+  grid.assign(std::size_t(fft_size_), Cplx(0.0, 0.0));
   for (std::size_t i = 0; i < indices_.size(); ++i) {
     const int k = indices_[i];
     const int bin = k >= 0 ? k : fft_size_ + k;
     grid[std::size_t(bin)] = values_[i];
   }
-  return grid;
 }
 
 }  // namespace nomloc::dsp

@@ -53,6 +53,10 @@ class CsiFrame {
   /// standard FFT order: bin k for k >= 0, bin fft_size + k for k < 0.
   std::vector<Cplx> ToFftGrid() const;
 
+  /// ToFftGrid into a caller-owned buffer (resized to fft_size), so batch
+  /// extraction reuses one grid allocation across frames.
+  void ToFftGrid(std::vector<Cplx>& grid) const;
+
  private:
   CsiFrame(std::vector<int> indices, std::vector<Cplx> values, int fft_size)
       : indices_(std::move(indices)),

@@ -1,13 +1,21 @@
 #include "dsp/fft.h"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <numbers>
 
 #include "common/assert.h"
+#include "common/metrics.h"
+#include "dsp/fft_plan.h"
 
 namespace nomloc::dsp {
 
-std::size_t NextPowerOfTwo(std::size_t n) noexcept {
+std::size_t NextPowerOfTwo(std::size_t n) {
+  constexpr std::size_t kLargest =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  NOMLOC_REQUIRE(n <= kLargest);
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -48,65 +56,49 @@ void FftRadix2(std::span<Cplx> data, bool inverse) {
 
 namespace {
 
-// Bluestein's algorithm: DFT of arbitrary N as a convolution, evaluated
-// with a power-of-two FFT of length >= 2N-1.
-std::vector<Cplx> Bluestein(std::span<const Cplx> input, bool inverse) {
-  const std::size_t n = input.size();
-  const double sign = inverse ? 1.0 : -1.0;
-  const std::size_t m = NextPowerOfTwo(2 * n - 1);
-
-  // Chirp factors: forward uses c_k = e^{-j*pi*k^2/n} so that the kernel
-  // e^{-j2pi*kt/n} = c_k c_t conj(c_{k-t}); inverse conjugates everything.
-  std::vector<Cplx> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the angle argument small for large k.
-    const double kk = double((k * k) % (2 * n));
-    const double ang = sign * std::numbers::pi * kk / double(n);
-    chirp[k] = Cplx(std::cos(ang), std::sin(ang));
+// Plan lookup with a per-thread memo of the last length used: batch
+// extraction transforms thousands of same-length frames back to back, so
+// the steady state is one compare plus one relaxed load, no lock.
+const FftPlan& PlanFor(std::size_t n) {
+  thread_local std::shared_ptr<const FftPlan> last;
+  thread_local std::uint64_t last_generation = 0;
+  FftPlanCache& cache = FftPlanCache::Global();
+  const std::uint64_t generation = cache.Generation();
+  if (!last || last->Size() != n || last_generation != generation) {
+    last = cache.Plan(n);
+    last_generation = generation;
+  } else {
+    // The memo short-circuits the shared cache, so count its hits here —
+    // otherwise dsp.fft.plan.hits would read 0 in steady state.
+    static auto& memo_hits =
+        common::MetricRegistry::Global().Counter("dsp.fft.plan.hits");
+    memo_hits.Increment();
   }
-
-  std::vector<Cplx> a(m, Cplx(0.0, 0.0));
-  std::vector<Cplx> b(m, Cplx(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
-  for (std::size_t k = 0; k < n; ++k) {
-    const Cplx conj = std::conj(chirp[k]);
-    b[k] = conj;
-    if (k != 0) b[m - k] = conj;
-  }
-
-  FftRadix2(a, /*inverse=*/false);
-  FftRadix2(b, /*inverse=*/false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  FftRadix2(a, /*inverse=*/true);
-
-  std::vector<Cplx> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
-  if (inverse) {
-    for (Cplx& x : out) x /= double(n);
-  }
-  return out;
+  return *last;
 }
 
 }  // namespace
 
+void FftInPlace(std::span<Cplx> data) {
+  NOMLOC_REQUIRE(!data.empty());
+  PlanFor(data.size()).Forward(data);
+}
+
+void IfftInPlace(std::span<Cplx> data) {
+  NOMLOC_REQUIRE(!data.empty());
+  PlanFor(data.size()).Inverse(data);
+}
+
 std::vector<Cplx> Fft(std::span<const Cplx> input) {
-  NOMLOC_REQUIRE(!input.empty());
-  if (IsPowerOfTwo(input.size())) {
-    std::vector<Cplx> out(input.begin(), input.end());
-    FftRadix2(out, /*inverse=*/false);
-    return out;
-  }
-  return Bluestein(input, /*inverse=*/false);
+  std::vector<Cplx> out(input.begin(), input.end());
+  FftInPlace(std::span<Cplx>(out));
+  return out;
 }
 
 std::vector<Cplx> Ifft(std::span<const Cplx> input) {
-  NOMLOC_REQUIRE(!input.empty());
-  if (IsPowerOfTwo(input.size())) {
-    std::vector<Cplx> out(input.begin(), input.end());
-    FftRadix2(out, /*inverse=*/true);
-    return out;
-  }
-  return Bluestein(input, /*inverse=*/true);
+  std::vector<Cplx> out(input.begin(), input.end());
+  IfftInPlace(std::span<Cplx>(out));
+  return out;
 }
 
 std::vector<Cplx> DftNaive(std::span<const Cplx> input, bool inverse) {
@@ -127,9 +119,13 @@ std::vector<Cplx> DftNaive(std::span<const Cplx> input, bool inverse) {
 
 std::vector<double> PowerSpectrum(std::span<const Cplx> x) {
   std::vector<double> out;
-  out.reserve(x.size());
-  for (const Cplx& v : x) out.push_back(std::norm(v));
+  PowerSpectrum(x, out);
   return out;
+}
+
+void PowerSpectrum(std::span<const Cplx> x, std::vector<double>& out) {
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::norm(x[i]);
 }
 
 std::vector<double> Magnitudes(std::span<const Cplx> x) {
@@ -141,14 +137,19 @@ std::vector<double> Magnitudes(std::span<const Cplx> x) {
 
 std::vector<double> MovingAverage(std::span<const double> x,
                                   std::size_t half) {
+  // O(n) via a prefix-sum: window sum = P[hi+1] - P[lo].  The prefix array
+  // accumulates left to right, so each window matches the naive
+  // left-to-right summation to rounding.
   std::vector<double> out(x.size(), 0.0);
   const std::ptrdiff_t n = std::ptrdiff_t(x.size());
   const std::ptrdiff_t h = std::ptrdiff_t(half);
+  std::vector<double> prefix(x.size() + 1, 0.0);
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    prefix[std::size_t(i) + 1] = prefix[std::size_t(i)] + x[std::size_t(i)];
   for (std::ptrdiff_t i = 0; i < n; ++i) {
     const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - h);
     const std::ptrdiff_t hi = std::min(n - 1, i + h);
-    double sum = 0.0;
-    for (std::ptrdiff_t j = lo; j <= hi; ++j) sum += x[std::size_t(j)];
+    const double sum = prefix[std::size_t(hi) + 1] - prefix[std::size_t(lo)];
     out[std::size_t(i)] = sum / double(hi - lo + 1);
   }
   return out;

@@ -19,14 +19,30 @@ constexpr bool IsPowerOfTwo(std::size_t n) noexcept {
   return n != 0 && (n & (n - 1)) == 0;
 }
 
-/// Smallest power of two >= n.
-std::size_t NextPowerOfTwo(std::size_t n) noexcept;
+/// Smallest power of two >= n.  Requires n to be representable, i.e.
+/// n <= 2^(bits-1) — larger n has no power-of-two ceiling in std::size_t
+/// (the doubling search would otherwise overflow to 0 and spin forever).
+std::size_t NextPowerOfTwo(std::size_t n);
 
 /// In-place radix-2 FFT.  Requires power-of-two size.
 /// `inverse` selects the inverse transform (includes the 1/N scale).
 void FftRadix2(std::span<Cplx> data, bool inverse);
 
-/// Forward DFT of arbitrary length (radix-2 fast path, Bluestein otherwise).
+/// In-place forward DFT of arbitrary length.  Uses the process-wide
+/// FftPlanCache (dsp/fft_plan.h): after the first transform of a given
+/// length all twiddle/bit-reversal/chirp work is table lookups and, for
+/// power-of-two lengths, nothing is allocated.  (Named rather than an
+/// Fft overload: a span<Cplx> argument would make calls with non-const
+/// vectors ambiguous against the span<const Cplx> version.)
+void FftInPlace(std::span<Cplx> data);
+
+/// In-place inverse DFT of arbitrary length (scaled by 1/N).  Plan-cached
+/// like FftInPlace.
+void IfftInPlace(std::span<Cplx> data);
+
+/// Forward DFT of arbitrary length (radix-2 fast path, Bluestein
+/// otherwise).  Allocating convenience wrapper over the in-place overload;
+/// both produce bit-identical results for a given length.
 std::vector<Cplx> Fft(std::span<const Cplx> input);
 
 /// Inverse DFT of arbitrary length (scaled by 1/N).
@@ -37,6 +53,10 @@ std::vector<Cplx> DftNaive(std::span<const Cplx> input, bool inverse);
 
 /// Elementwise |x|^2.
 std::vector<double> PowerSpectrum(std::span<const Cplx> x);
+
+/// PowerSpectrum into a caller-owned buffer (resized to x.size()), for
+/// allocation-free batch loops.
+void PowerSpectrum(std::span<const Cplx> x, std::vector<double>& out);
 
 /// Elementwise |x|.
 std::vector<double> Magnitudes(std::span<const Cplx> x);

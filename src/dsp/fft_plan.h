@@ -1,0 +1,104 @@
+// FFT plan cache — layer 1 of the hot-path caching subsystem.
+//
+// Every localization epoch IFFTs a batch of CSI frames into CIRs; the
+// transform lengths repeat endlessly (the OFDM FFT size, the Bluestein
+// lengths of grouped CSI grids).  An FftPlan precomputes everything that
+// depends only on the length: the bit-reversal permutation and per-stage
+// twiddle factors for radix-2 lengths, plus the chirp sequences and the
+// pre-FFT'd convolution kernel for Bluestein lengths.  Executing a plan
+// touches no trigonometry and, for power-of-two lengths, allocates
+// nothing; Bluestein scratch lives in thread-local buffers that are
+// reused across calls.
+//
+// FftPlanCache::Global() memoizes one immutable plan per length behind a
+// mutex; plans are shared_ptr-owned so a reference obtained before a
+// Clear() stays valid.  Hot callers additionally keep a thread-local
+// pointer to the last plan used, so the steady-state lookup is a single
+// compare.  Cache traffic is exported through common::metrics as
+// dsp.fft.plan.hits / dsp.fft.plan.misses / dsp.fft.plan.entries.
+#pragma once
+
+#include <atomic>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace nomloc::dsp {
+
+using Cplx = std::complex<double>;
+
+/// Immutable transform plan for one length.  Thread-safe to execute
+/// concurrently (scratch is thread-local).
+class FftPlan {
+ public:
+  /// Builds a plan for length n >= 1.
+  explicit FftPlan(std::size_t n);
+
+  std::size_t Size() const noexcept { return n_; }
+
+  /// In-place forward DFT of data (data.size() must equal Size()).
+  void Forward(std::span<Cplx> data) const;
+  /// In-place inverse DFT (includes the 1/N scale).
+  void Inverse(std::span<Cplx> data) const;
+
+ private:
+  /// Table-driven radix-2 butterflies over the plan's power-of-two grid
+  /// (n_ when n_ is a power of two, the Bluestein length m_ otherwise).
+  void Radix2(std::span<Cplx> data, bool inverse) const;
+  /// Bluestein's chirp-z evaluation using the precomputed kernels.
+  void Chirp(std::span<Cplx> data, bool inverse) const;
+
+  std::size_t n_;
+  bool pow2_;
+
+  // Radix-2 machinery for the power-of-two grid (n_ or m_).
+  std::vector<std::size_t> bitrev_;  ///< Bit-reversed index of each bin.
+  std::vector<Cplx> twiddle_;        ///< Forward twiddles, stages concatenated.
+
+  // Bluestein machinery (pow2_ == false only).
+  std::size_t m_ = 0;                ///< Power-of-two convolution length.
+  std::vector<Cplx> chirp_fwd_;      ///< c_k = e^{-j pi k^2 / n}.
+  std::vector<Cplx> chirp_inv_;      ///< Conjugate chirp for the inverse.
+  std::vector<Cplx> kernel_fwd_;     ///< FFT_m of the forward kernel.
+  std::vector<Cplx> kernel_inv_;     ///< FFT_m of the inverse kernel.
+};
+
+/// Thread-safe memo of one FftPlan per length.
+class FftPlanCache {
+ public:
+  FftPlanCache() = default;
+  FftPlanCache(const FftPlanCache&) = delete;
+  FftPlanCache& operator=(const FftPlanCache&) = delete;
+
+  /// The process-wide cache used by the in-place Fft/Ifft overloads.
+  static FftPlanCache& Global();
+
+  /// Returns the plan for length n, building it on first use.
+  std::shared_ptr<const FftPlan> Plan(std::size_t n);
+
+  /// Drops every cached plan (outstanding shared_ptrs stay valid) and
+  /// bumps Generation() so thread-local plan memos re-resolve.
+  /// Benchmarks use this to measure the cold path.
+  void Clear();
+
+  /// Number of distinct lengths currently cached.
+  std::size_t Entries() const;
+
+  /// Incremented by every Clear(); lets lock-free memo layers detect that
+  /// their cached plan pointer predates the last invalidation.
+  std::uint64_t Generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace nomloc::dsp

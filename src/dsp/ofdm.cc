@@ -23,21 +23,22 @@ common::Status ValidateConfig(const OfdmConfig& config) {
 }
 
 // One OFDM symbol: values on the occupied subcarriers -> time samples
-// with cyclic prefix appended in front.
+// with cyclic prefix appended in front.  `grid` is caller-owned scratch
+// reused across symbols (and transformed in place).
 void EmitSymbol(std::span<const Cplx> values, const OfdmConfig& config,
-                std::vector<Cplx>* out) {
-  std::vector<Cplx> grid(std::size_t(config.fft_size), Cplx(0.0, 0.0));
+                std::vector<Cplx>& grid, std::vector<Cplx>* out) {
+  grid.assign(std::size_t(config.fft_size), Cplx(0.0, 0.0));
   for (std::size_t i = 0; i < config.subcarriers.size(); ++i) {
     const int k = config.subcarriers[i];
     const int bin = k >= 0 ? k : config.fft_size + k;
     grid[std::size_t(bin)] = i < values.size() ? values[i] : Cplx(0.0, 0.0);
   }
-  const std::vector<Cplx> time = Ifft(grid);
+  IfftInPlace(std::span<Cplx>(grid));
   // Cyclic prefix: the tail of the symbol precedes it.
   for (int n = config.fft_size - config.cyclic_prefix; n < config.fft_size;
        ++n)
-    out->push_back(time[std::size_t(n)]);
-  out->insert(out->end(), time.begin(), time.end());
+    out->push_back(grid[std::size_t(n)]);
+  out->insert(out->end(), grid.begin(), grid.end());
 }
 
 }  // namespace
@@ -70,11 +71,12 @@ common::Result<OfdmBurst> ModulateBurst(std::span<const Cplx> payload,
   burst.waveform.reserve((data_symbols + 1) *
                          std::size_t(config.fft_size + config.cyclic_prefix));
 
-  EmitSymbol(TrainingSequence(config), config, &burst.waveform);
+  std::vector<Cplx> grid;
+  EmitSymbol(TrainingSequence(config), config, grid, &burst.waveform);
   for (std::size_t s = 0; s < data_symbols; ++s) {
     const std::size_t begin = s * per_symbol;
     const std::size_t count = std::min(per_symbol, payload.size() - begin);
-    EmitSymbol(payload.subspan(begin, count), config, &burst.waveform);
+    EmitSymbol(payload.subspan(begin, count), config, grid, &burst.waveform);
   }
   return burst;
 }
@@ -111,7 +113,8 @@ common::Result<DemodResult> DemodulateBurst(std::span<const Cplx> rx,
     std::vector<Cplx> window(rx.begin() + std::ptrdiff_t(start),
                              rx.begin() + std::ptrdiff_t(start) +
                                  config.fft_size);
-    return Fft(window);
+    FftInPlace(std::span<Cplx>(window));
+    return window;
   };
   auto occupied = [&](const std::vector<Cplx>& grid) {
     std::vector<Cplx> vals;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "channel/propagation_cache.h"
 #include "common/assert.h"
 #include "geometry/line.h"
 
@@ -100,8 +101,11 @@ dsp::CsiFrame SampleWithPerson(const channel::CsiSimulator& sim,
                                geometry::Vec2 person, common::Rng& rng,
                                double blocking_radius_m) {
   NOMLOC_REQUIRE(blocking_radius_m >= 0.0);
-  std::vector<channel::PropagationPath> paths = channel::TracePaths(
-      sim.Environment(), tx, rx, sim.Config().propagation);
+  // The static link does not depend on the person, so the trace is
+  // memoized; the body perturbations below work on a private copy.
+  std::vector<channel::PropagationPath> paths =
+      *channel::PropagationCache::Global().Trace(sim.Environment(), tx, rx,
+                                                 sim.Config().propagation);
 
   // LOS blockage by the body.
   const geometry::Segment los{tx, rx};

@@ -9,6 +9,7 @@
 #include "lp/center.h"
 #include "lp/interior_point.h"
 #include "lp/simplex.h"
+#include "lp/workspace.h"
 
 namespace nomloc::localization {
 
@@ -21,7 +22,8 @@ namespace {
 // Builds and solves the relaxation LP (Eq. 19) for the given constraints.
 // Variables: [zx, zy, t_0 .. t_{N-1}].
 common::Result<lp::LpSolution> SolveRelaxation(
-    std::span<const SpConstraint> constraints, LpBackend backend) {
+    std::span<const SpConstraint> constraints, LpBackend backend,
+    lp::SolveWorkspace* ws) {
   const std::size_t n = constraints.size();
   NOMLOC_REQUIRE(n > 0);
   lp::InequalityLp prog;
@@ -39,14 +41,14 @@ common::Result<lp::LpSolution> SolveRelaxation(
     prog.c[2 + i] = sc.weight;
   }
   if (backend == LpBackend::kInteriorPoint) {
-    NOMLOC_ASSIGN_OR_RETURN(auto ipm, lp::SolveInteriorPoint(prog));
+    NOMLOC_ASSIGN_OR_RETURN(auto ipm, lp::SolveInteriorPoint(prog, {}, ws));
     lp::LpSolution out;
     out.x = std::move(ipm.x);
     out.objective = ipm.objective;
     out.iterations = ipm.iterations;
     return out;
   }
-  return lp::SolveSimplex(prog);
+  return lp::SolveSimplex(prog, {}, ws);
 }
 
 // Extracts the center of the relaxed region according to `options`.
@@ -81,7 +83,7 @@ common::Result<Vec2> RegionCenter(const Polygon& part,
 
 common::Result<SpPartSolution> SolveSpPart(
     const Polygon& part, std::span<const SpConstraint> proximity_constraints,
-    const SpSolverOptions& options) {
+    const SpSolverOptions& options, lp::SolveWorkspace* ws) {
   if (!part.IsConvex())
     return common::InvalidArgument("SolveSpPart needs a convex part");
   if (proximity_constraints.empty())
@@ -101,7 +103,7 @@ common::Result<SpPartSolution> SolveSpPart(
   for (SpConstraint& sc : all) sc.half_plane = sc.half_plane.Normalized();
 
   NOMLOC_ASSIGN_OR_RETURN(lp::LpSolution lp_sol,
-                          SolveRelaxation(all, options.lp_backend));
+                          SolveRelaxation(all, options.lp_backend, ws));
 
   SpPartSolution out;
   out.relaxation_cost = lp_sol.objective;
@@ -176,10 +178,11 @@ common::Result<SpSolution> SolveSp(
 
   SpSolution out;
   out.parts.reserve(parts.size());
+  lp::SolveWorkspace ws;  // One workspace serves every part's LP.
   for (const Polygon& part : parts) {
     NOMLOC_ASSIGN_OR_RETURN(
         SpPartSolution sol,
-        SolveSpPart(part, proximity_constraints, options));
+        SolveSpPart(part, proximity_constraints, options, &ws));
     out.lp_iterations += sol.lp_iterations;
     out.parts.push_back(std::move(sol));
   }

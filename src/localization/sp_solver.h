@@ -18,6 +18,10 @@
 #include "geometry/polygon.h"
 #include "localization/constraints.h"
 
+namespace nomloc::lp {
+struct SolveWorkspace;  // lp/workspace.h
+}
+
 namespace nomloc::localization {
 
 /// How the point estimate is extracted from the feasible region.  The
@@ -58,11 +62,12 @@ struct SpPartSolution {
 
 /// Solves one convex part.  Boundary VAP constraints for the part are
 /// added internally (reference point = part centroid).  Requires a convex
-/// part and at least one proximity constraint.
+/// part and at least one proximity constraint.  `ws` optionally recycles
+/// LP solver scratch across calls (one workspace per thread).
 common::Result<SpPartSolution> SolveSpPart(
     const geometry::Polygon& part,
     std::span<const SpConstraint> proximity_constraints,
-    const SpSolverOptions& options = {});
+    const SpSolverOptions& options = {}, lp::SolveWorkspace* ws = nullptr);
 
 /// Combined result over all parts of a (possibly non-convex) area.
 struct SpSolution {

@@ -5,14 +5,23 @@
 
 #include "common/assert.h"
 #include "common/metrics.h"
+#include "lp/workspace.h"
 
 namespace nomloc::lp {
 
 common::Result<InteriorPointSolution> SolveInteriorPoint(
-    const InequalityLp& lp, const InteriorPointOptions& options) {
+    const InequalityLp& lp, const InteriorPointOptions& options,
+    SolveWorkspace* ws) {
   NOMLOC_RETURN_IF_ERROR(lp.Validate());
   NOMLOC_REQUIRE(options.sigma > 0.0 && options.sigma < 1.0);
   NOMLOC_REQUIRE(options.step_fraction > 0.0 && options.step_fraction < 1.0);
+  static auto& ws_reused =
+      common::MetricRegistry::Global().Counter("lp.workspace.reused");
+  static auto& ws_fresh =
+      common::MetricRegistry::Global().Counter("lp.workspace.fresh");
+  (ws ? ws_reused : ws_fresh).Increment();
+  SolveWorkspace local;
+  SolveWorkspace& scratch = ws ? *ws : local;
 
   const std::size_t n = lp.a.Cols();
 
@@ -22,8 +31,10 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
     if (flag) ++extra;
   const std::size_t m = lp.a.Rows() + extra;
 
-  Matrix a(m, n);
-  Vector b(m, 0.0);
+  Matrix& a = scratch.fold_a;
+  a.Assign(m, n);
+  Vector& b = scratch.fold_b;
+  b.assign(m, 0.0);
   for (std::size_t r = 0; r < lp.a.Rows(); ++r) {
     for (std::size_t c = 0; c < n; ++c) a(r, c) = lp.a(r, c);
     b[r] = lp.b[r];
@@ -40,10 +51,15 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
   }
 
   // Infeasible start: x = 0, s/y positive.
-  Vector x(n, 0.0);
-  Vector s(m), y(m, 1.0);
+  Vector& x = scratch.ipm_x;
+  x.assign(n, 0.0);
+  Vector& s = scratch.ipm_s;
+  s.assign(m, 0.0);
+  Vector& y = scratch.ipm_y;
+  y.assign(m, 1.0);
+  Vector& ax = scratch.ax;
   {
-    const Vector ax = a.MatVec(x);
+    a.MatVecInto(x, ax);
     for (std::size_t i = 0; i < m; ++i)
       s[i] = std::max(1.0, b[i] - ax[i] + 1.0);
   }
@@ -51,10 +67,12 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
   InteriorPointSolution out;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Residuals.
-    const Vector ax = a.MatVec(x);
-    Vector rp(m);  // A x + s - b.
+    a.MatVecInto(x, ax);
+    Vector& rp = scratch.rp;  // A x + s - b.
+    rp.assign(m, 0.0);
     for (std::size_t i = 0; i < m; ++i) rp[i] = ax[i] + s[i] - b[i];
-    Vector rd = a.TransposedMatVec(y);  // c + A^T y.
+    Vector& rd = scratch.rd;  // c + A^T y.
+    a.TransposedMatVecInto(y, rd);
     for (std::size_t j = 0; j < n; ++j) rd[j] += lp.c[j];
 
     double mu = 0.0;
@@ -80,11 +98,13 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
 
     // Normal equations: (A^T D A) dx = -rd - A^T [ D rp + (sigma mu e - S Y e)/s ].
     const double target = options.sigma * mu;
-    Vector w(m);  // The bracketed per-row term, scaled by y/s later.
+    Vector& w = scratch.w;  // The bracketed per-row term, scaled by y/s later.
+    w.assign(m, 0.0);
     for (std::size_t i = 0; i < m; ++i)
       w[i] = (y[i] / s[i]) * rp[i] + (target - y[i] * s[i]) / s[i];
 
-    Matrix normal(n, n);
+    Matrix& normal = scratch.normal;
+    normal.Assign(n, n);
     for (std::size_t i = 0; i < m; ++i) {
       const double d = y[i] / s[i];
       const auto row = a.Row(i);
@@ -94,15 +114,19 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
         for (std::size_t q = 0; q < n; ++q) normal(p, q) += dp * row[q];
       }
     }
-    Vector rhs(n, 0.0);
+    Vector& rhs = scratch.rhs;
+    rhs.assign(n, 0.0);
     for (std::size_t i = 0; i < m; ++i) {
       const auto row = a.Row(i);
       for (std::size_t p = 0; p < n; ++p) rhs[p] -= row[p] * w[i];
     }
     for (std::size_t p = 0; p < n; ++p) rhs[p] -= rd[p];
 
-    auto dx_result = SolveLinear(std::move(normal), std::move(rhs));
-    if (!dx_result.ok()) {
+    // The normal matrix is rebuilt next iteration anyway, so factor it in
+    // place — no defensive copy.
+    Vector& dx = scratch.dx;
+    const common::Status solve_status = SolveLinearInPlace(normal, rhs, dx);
+    if (!solve_status.ok()) {
       // Infeasible problems drive the duals to infinity until the normal
       // matrix degenerates — classify before surfacing a numeric error.
       double max_violation = 0.0;
@@ -112,12 +136,15 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
         return common::Infeasible(
             "interior point diverged with persistent primal infeasibility");
       return common::NumericalError("interior-point normal equations: " +
-                                    dx_result.status().message());
+                                    solve_status.message());
     }
-    const Vector& dx = *dx_result;
 
-    const Vector adx = a.MatVec(dx);
-    Vector dy(m), ds(m);
+    Vector& adx = scratch.adx;
+    a.MatVecInto(dx, adx);
+    Vector& dy = scratch.dy;
+    Vector& ds = scratch.ds;
+    dy.assign(m, 0.0);
+    ds.assign(m, 0.0);
     for (std::size_t i = 0; i < m; ++i) {
       dy[i] = (y[i] / s[i]) * (adx[i] + rp[i]) +
               (target - y[i] * s[i]) / s[i];
@@ -145,7 +172,7 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
   }
 
   // Did not converge: classify.
-  const Vector ax = a.MatVec(x);
+  a.MatVecInto(x, ax);
   double max_violation = 0.0;
   for (std::size_t i = 0; i < m; ++i)
     max_violation = std::max(max_violation, ax[i] - b[i]);

@@ -42,7 +42,10 @@ struct InteriorPointSolution {
 /// driven to zero), kExhausted (iteration cap), kNumericalError (normal
 /// equations singular), kInvalidArgument (bad shapes).  Unbounded
 /// problems typically surface as kExhausted with a diverging objective.
+/// An optional workspace (lp/workspace.h) recycles the folded problem,
+/// normal matrix, and iterate vectors; results are bit-identical.
 common::Result<InteriorPointSolution> SolveInteriorPoint(
-    const InequalityLp& lp, const InteriorPointOptions& options = {});
+    const InequalityLp& lp, const InteriorPointOptions& options = {},
+    SolveWorkspace* ws = nullptr);
 
 }  // namespace nomloc::lp

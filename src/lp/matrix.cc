@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "lp/workspace.h"
 
 namespace nomloc::lp {
 
@@ -40,6 +41,12 @@ std::span<double> Matrix::Row(std::size_t r) {
   return {data_.data() + r * cols_, cols_};
 }
 
+void Matrix::Assign(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
 Matrix Matrix::Transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -48,25 +55,37 @@ Matrix Matrix::Transposed() const {
 }
 
 Vector Matrix::MatVec(std::span<const double> x) const {
+  Vector y;
+  MatVecInto(x, y);
+  return y;
+}
+
+void Matrix::MatVecInto(std::span<const double> x, Vector& y) const {
   NOMLOC_REQUIRE(x.size() == cols_);
-  Vector y(rows_, 0.0);
+  NOMLOC_REQUIRE(x.data() != y.data());
+  y.assign(rows_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     const double* row = data_.data() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
     y[r] = acc;
   }
-  return y;
 }
 
 Vector Matrix::TransposedMatVec(std::span<const double> y) const {
+  Vector x;
+  TransposedMatVecInto(y, x);
+  return x;
+}
+
+void Matrix::TransposedMatVecInto(std::span<const double> y, Vector& x) const {
   NOMLOC_REQUIRE(y.size() == rows_);
-  Vector x(cols_, 0.0);
+  NOMLOC_REQUIRE(y.data() != x.data());
+  x.assign(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = data_.data() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) x[c] += row[c] * y[r];
   }
-  return x;
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
@@ -89,7 +108,17 @@ void Matrix::AppendRow(std::span<const double> row) {
   ++rows_;
 }
 
-common::Result<Vector> SolveLinear(Matrix a, Vector b) {
+common::Result<Vector> SolveLinear(const Matrix& a, const Vector& b,
+                                   SolveWorkspace* ws) {
+  SolveWorkspace local;
+  SolveWorkspace& w = ws ? *ws : local;
+  w.lu = a;      // Copy-assign reuses capacity on repeated shapes.
+  w.lu_rhs = b;
+  NOMLOC_RETURN_IF_ERROR(SolveLinearInPlace(w.lu, w.lu_rhs, w.lu_x));
+  return w.lu_x;
+}
+
+common::Status SolveLinearInPlace(Matrix& a, Vector& b, Vector& x) {
   const std::size_t n = a.Rows();
   if (a.Cols() != n)
     return common::InvalidArgument("SolveLinear needs a square matrix");
@@ -97,9 +126,6 @@ common::Result<Vector> SolveLinear(Matrix a, Vector b) {
     return common::InvalidArgument("rhs size mismatch");
 
   // LU with partial pivoting, in place.
-  std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
-
   for (std::size_t col = 0; col < n; ++col) {
     std::size_t pivot = col;
     double best = std::abs(a(col, col));
@@ -125,13 +151,13 @@ common::Result<Vector> SolveLinear(Matrix a, Vector b) {
     }
   }
 
-  Vector x(n, 0.0);
+  x.assign(n, 0.0);
   for (std::size_t i = n; i-- > 0;) {
     double acc = b[i];
     for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
     x[i] = acc / a(i, i);
   }
-  return x;
+  return common::Status::Ok();
 }
 
 double Norm2(std::span<const double> x) noexcept {

@@ -12,6 +12,8 @@ namespace nomloc::lp {
 
 using Vector = std::vector<double>;
 
+struct SolveWorkspace;  // lp/workspace.h
+
 class Matrix {
  public:
   Matrix() = default;
@@ -32,11 +34,19 @@ class Matrix {
   std::span<const double> Row(std::size_t r) const;
   std::span<double> Row(std::size_t r);
 
+  /// Reshapes to rows x cols and zero-fills, reusing existing storage.
+  void Assign(std::size_t rows, std::size_t cols);
+
   Matrix Transposed() const;
   /// Matrix-vector product; x.size() must equal Cols().
   Vector MatVec(std::span<const double> x) const;
+  /// MatVec into a caller-owned buffer (resized); no allocation when `y`
+  /// already has capacity.  Bit-identical to MatVec.
+  void MatVecInto(std::span<const double> x, Vector& y) const;
   /// A^T y; y.size() must equal Rows().
   Vector TransposedMatVec(std::span<const double> y) const;
+  /// TransposedMatVec into a caller-owned buffer (resized).
+  void TransposedMatVecInto(std::span<const double> y, Vector& x) const;
   /// Matrix-matrix product; other.Rows() must equal Cols().
   Matrix MatMul(const Matrix& other) const;
 
@@ -50,8 +60,18 @@ class Matrix {
 };
 
 /// Solves A x = b by LU decomposition with partial pivoting.
-/// Fails with kNumericalError when A is (near-)singular.
-common::Result<Vector> SolveLinear(Matrix a, Vector b);
+/// Fails with kNumericalError when A is (near-)singular.  An optional
+/// workspace (lp/workspace.h) supplies the factorization scratch so
+/// repeated same-shape solves allocate nothing in steady state.
+common::Result<Vector> SolveLinear(const Matrix& a, const Vector& b,
+                                   SolveWorkspace* ws = nullptr);
+
+/// Destructive core of SolveLinear: factorizes `a` in place, pivots `b`
+/// along with it, and writes the solution into `x` (resized).  Exactly the
+/// arithmetic of SolveLinear — callers that already own a scratch copy of
+/// A (e.g. the interior-point normal matrix, rebuilt every iteration) can
+/// skip SolveLinear's defensive copy.
+common::Status SolveLinearInPlace(Matrix& a, Vector& b, Vector& x);
 
 /// Euclidean norm.
 double Norm2(std::span<const double> x) noexcept;

@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "common/metrics.h"
+#include "lp/workspace.h"
 
 namespace nomloc::lp {
 
@@ -33,10 +34,14 @@ namespace {
 
 // Dense simplex tableau in equality form:
 //   columns [structural | slack | artificial | rhs], one row per constraint.
+// Storage is borrowed from the caller (the workspace) and zero-filled on
+// construction, so repeated same-shape solves recycle the allocation.
 class Tableau {
  public:
-  Tableau(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  Tableau(std::size_t rows, std::size_t cols, std::vector<double>& storage)
+      : rows_(rows), cols_(cols), data_(storage) {
+    data_.assign(rows * cols, 0.0);
+  }
 
   double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   double At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
@@ -61,7 +66,7 @@ class Tableau {
 
  private:
   std::size_t rows_, cols_;
-  std::vector<double> data_;
+  std::vector<double>& data_;
 };
 
 struct Phase {
@@ -131,8 +136,16 @@ struct Phase {
 }  // namespace
 
 common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
-                                        const SimplexOptions& options) {
+                                        const SimplexOptions& options,
+                                        SolveWorkspace* ws) {
   NOMLOC_RETURN_IF_ERROR(lp.Validate());
+  static auto& ws_reused =
+      common::MetricRegistry::Global().Counter("lp.workspace.reused");
+  static auto& ws_fresh =
+      common::MetricRegistry::Global().Counter("lp.workspace.fresh");
+  (ws ? ws_reused : ws_fresh).Increment();
+  SolveWorkspace local;
+  SolveWorkspace& scratch = ws ? *ws : local;
 
   const std::size_t m = lp.a.Rows();
   const std::size_t n = lp.a.Cols();
@@ -140,8 +153,10 @@ common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
   // Column layout after free-variable splitting:
   //   for each variable i: one column (nonneg) or two columns u_i, v_i with
   //   x_i = u_i - v_i (free).
-  std::vector<std::size_t> col_of(n);      // First column of variable i.
-  std::vector<bool> is_split(n);
+  std::vector<std::size_t>& col_of = scratch.col_of;  // First column of var i.
+  std::vector<bool>& is_split = scratch.is_split;
+  col_of.assign(n, 0);
+  is_split.assign(n, false);
   std::size_t n_struct = 0;
   for (std::size_t i = 0; i < n; ++i) {
     col_of[i] = n_struct;
@@ -157,8 +172,9 @@ common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
   const std::size_t slack0 = n_struct;
   const std::size_t art0 = n_struct + m;
   const std::size_t ncols = n_struct + m + n_art;
-  Tableau t(m, ncols + 1);
-  std::vector<std::size_t> basis(m);
+  Tableau t(m, ncols + 1, scratch.tableau);
+  std::vector<std::size_t>& basis = scratch.basis;
+  basis.assign(m, 0);
 
   std::size_t art_next = art0;
   for (std::size_t r = 0; r < m; ++r) {
@@ -179,14 +195,18 @@ common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
   }
   NOMLOC_ASSERT(art_next == art0 + n_art);
 
-  std::vector<bool> allow_all(ncols, true);
+  // The cost and admissibility vectors are per-phase and strictly
+  // sequential, so the two phases share one pair of scratch buffers.
+  Vector& cost = scratch.cost;
+  std::vector<bool>& allowed = scratch.allowed;
   std::size_t iters = 0;
 
-  // Phase 1: minimize the sum of artificials.
+  // Phase 1: minimize the sum of artificials; every column may enter.
   if (n_art > 0) {
-    Vector cost1(ncols, 0.0);
-    for (std::size_t j = art0; j < art0 + n_art; ++j) cost1[j] = 1.0;
-    common::Status st = Phase::Run(t, basis, cost1, allow_all, options.eps,
+    cost.assign(ncols, 0.0);
+    for (std::size_t j = art0; j < art0 + n_art; ++j) cost[j] = 1.0;
+    allowed.assign(ncols, true);
+    common::Status st = Phase::Run(t, basis, cost, allowed, options.eps,
                                    options.max_iterations, iters);
     if (!st.ok()) {
       if (st.code() == common::StatusCode::kUnbounded)
@@ -219,19 +239,20 @@ common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
   }
 
   // Phase 2: original objective; artificial columns barred from entering.
-  Vector cost2(ncols, 0.0);
+  cost.assign(ncols, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    cost2[col_of[i]] = lp.c[i];
-    if (is_split[i]) cost2[col_of[i] + 1] = -lp.c[i];
+    cost[col_of[i]] = lp.c[i];
+    if (is_split[i]) cost[col_of[i] + 1] = -lp.c[i];
   }
-  std::vector<bool> allowed(ncols, true);
+  allowed.assign(ncols, true);
   for (std::size_t j = art0; j < art0 + n_art; ++j) allowed[j] = false;
 
-  NOMLOC_RETURN_IF_ERROR(Phase::Run(t, basis, cost2, allowed, options.eps,
+  NOMLOC_RETURN_IF_ERROR(Phase::Run(t, basis, cost, allowed, options.eps,
                                     options.max_iterations, iters));
 
   // Extract the solution.
-  Vector full(ncols, 0.0);
+  Vector& full = scratch.extract;
+  full.assign(ncols, 0.0);
   for (std::size_t i = 0; i < m; ++i) full[basis[i]] = t.At(i, ncols);
 
   LpSolution sol;

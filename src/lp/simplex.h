@@ -43,8 +43,11 @@ struct SimplexOptions {
 };
 
 /// Solves the LP.  Error codes: kInfeasible, kUnbounded, kExhausted
-/// (iteration cap), kInvalidArgument (bad shapes).
+/// (iteration cap), kInvalidArgument (bad shapes).  An optional workspace
+/// (lp/workspace.h) recycles the tableau and phase vectors across solves;
+/// results are bit-identical either way.
 common::Result<LpSolution> SolveSimplex(const InequalityLp& lp,
-                                        const SimplexOptions& options = {});
+                                        const SimplexOptions& options = {},
+                                        SolveWorkspace* ws = nullptr);
 
 }  // namespace nomloc::lp

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "common/rng.h"
+#include "dsp/fft_plan.h"
 
 namespace nomloc::dsp {
 namespace {
@@ -40,6 +42,17 @@ TEST(PowerOfTwo, NextPowerOfTwo) {
   EXPECT_EQ(NextPowerOfTwo(3), 4u);
   EXPECT_EQ(NextPowerOfTwo(56), 64u);
   EXPECT_EQ(NextPowerOfTwo(65), 128u);
+}
+
+TEST(PowerOfTwo, NextPowerOfTwoRejectsUnrepresentable) {
+  constexpr std::size_t kLargest =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  EXPECT_EQ(NextPowerOfTwo(kLargest), kLargest);
+  // One past the largest representable power of two has no ceiling; the
+  // guard must throw instead of overflowing the doubling loop to 0.
+  EXPECT_THROW(NextPowerOfTwo(kLargest + 1), std::logic_error);
+  EXPECT_THROW(NextPowerOfTwo(std::numeric_limits<std::size_t>::max()),
+               std::logic_error);
 }
 
 TEST(Fft, ImpulseGivesFlatSpectrum) {
@@ -86,6 +99,42 @@ TEST(Fft, MatchesNaiveDftArbitraryLengths) {
   for (std::size_t n : {3u, 5u, 7u, 12u, 30u, 56u}) {
     const auto x = RandomSignal(n, n);
     EXPECT_LT(MaxAbsDiff(Fft(x), DftNaive(x, false)), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Fft, PlanCachedTransformMatchesNaiveEveryLength) {
+  // Exhaustive small-length sweep plus representative larger lengths:
+  // covers the radix-2 fast path, every Bluestein residue class mod small
+  // powers of two, and a large power of two.  All transforms go through
+  // the process-wide FftPlanCache.
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 1; n <= 64; ++n) lengths.push_back(n);
+  lengths.push_back(100);
+  lengths.push_back(1024);
+  for (const std::size_t n : lengths) {
+    const auto x = RandomSignal(n, 0x5eed0 + n);
+    // Naive DFT error grows ~ n; scale the tolerance accordingly.
+    const double tol = 1e-9 * double(n);
+    EXPECT_LT(MaxAbsDiff(Fft(x), DftNaive(x, false)), tol) << "n=" << n;
+    EXPECT_LT(MaxAbsDiff(Ifft(x), DftNaive(x, true)), tol) << "n=" << n;
+  }
+}
+
+TEST(Fft, BitIdenticalAcrossPlanCacheClear) {
+  // A rebuilt plan must reproduce the exact same arithmetic: cached and
+  // freshly planned transforms are bit-for-bit identical.
+  for (const std::size_t n : {8u, 30u, 56u, 100u, 1024u}) {
+    const auto x = RandomSignal(n, 0xb17 + n);
+    const auto before_fwd = Fft(x);
+    const auto before_inv = Ifft(x);
+    FftPlanCache::Global().Clear();
+    const auto after_fwd = Fft(x);
+    const auto after_inv = Ifft(x);
+    ASSERT_EQ(before_fwd.size(), after_fwd.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(before_fwd[i], after_fwd[i]) << "n=" << n << " bin=" << i;
+      EXPECT_EQ(before_inv[i], after_inv[i]) << "n=" << n << " bin=" << i;
+    }
   }
 }
 
@@ -168,6 +217,40 @@ TEST(MovingAverage, SmoothsWithShrinkingEdges) {
 TEST(MovingAverage, ZeroHalfIsIdentity) {
   const std::vector<double> x{1.0, 2.0, 3.0};
   EXPECT_EQ(MovingAverage(x, 0), x);
+}
+
+// Pre-prefix-sum O(n * window) implementation, kept as the regression
+// reference for the O(n) rewrite.
+std::vector<double> MovingAverageNaive(std::span<const double> x,
+                                       std::size_t half) {
+  std::vector<double> out(x.size(), 0.0);
+  const std::ptrdiff_t n = std::ptrdiff_t(x.size());
+  const std::ptrdiff_t h = std::ptrdiff_t(half);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - h);
+    const std::ptrdiff_t hi = std::min(n - 1, i + h);
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) sum += x[std::size_t(j)];
+    out[std::size_t(i)] = sum / double(hi - lo + 1);
+  }
+  return out;
+}
+
+TEST(MovingAverage, PrefixSumMatchesNaiveWindowSums) {
+  common::Rng rng(0x30a);
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 257u}) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.Uniform(-5.0, 5.0);
+    for (const std::size_t half :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{10}, n}) {
+      const auto fast = MovingAverage(x, half);
+      const auto naive = MovingAverageNaive(x, half);
+      ASSERT_EQ(fast.size(), naive.size());
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(fast[i], naive[i], 1e-10)
+            << "n=" << n << " half=" << half << " i=" << i;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+#include "lp/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/interior_point.h"
+#include "lp/matrix.h"
+#include "lp/simplex.h"
+
+namespace nomloc::lp {
+namespace {
+
+// A solvable SP-relaxation-shaped program (paper Eq. 19): variables
+// [zx, zy, t_1..t_n], one half-plane row per constraint.
+InequalityLp RelaxationLp(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  InequalityLp prog;
+  prog.a = Matrix(n, 2 + n);
+  prog.b.resize(n);
+  prog.c.assign(2 + n, 0.0);
+  prog.nonneg.assign(2 + n, true);
+  prog.nonneg[0] = prog.nonneg[1] = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = rng.Uniform(0.0, 6.28318);
+    prog.a(i, 0) = std::cos(angle);
+    prog.a(i, 1) = std::sin(angle);
+    prog.a(i, 2 + i) = -1.0;
+    prog.b[i] = rng.Uniform(1.0, 6.0);
+    prog.c[2 + i] = rng.Uniform(0.5, 2.0);
+  }
+  return prog;
+}
+
+Matrix RandomSpdMatrix(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.Uniform(-1.0, 1.0);
+    m(i, i) += double(n);  // Diagonally dominant => nonsingular.
+  }
+  return m;
+}
+
+TEST(SolveWorkspace, SolveLinearBitIdenticalWithAndWithoutWorkspace) {
+  SolveWorkspace ws;
+  for (const std::size_t n : {1u, 3u, 8u, 20u}) {
+    const Matrix a = RandomSpdMatrix(n, 0xa0 + n);
+    common::Rng rng(0xb0 + n);
+    Vector b(n);
+    for (double& v : b) v = rng.Uniform(-3.0, 3.0);
+
+    const auto plain = SolveLinear(a, b);
+    const auto reused = SolveLinear(a, b, &ws);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(reused.ok());
+    ASSERT_EQ(plain->size(), reused->size());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ((*plain)[i], (*reused)[i]);
+  }
+}
+
+TEST(SolveWorkspace, SolveLinearWorkspaceSurvivesShrinkAndRegrow) {
+  // Reuse across sizes 20 -> 3 -> 20: stale capacity must never leak into
+  // the result.
+  SolveWorkspace ws;
+  for (const std::size_t n : {20u, 3u, 20u}) {
+    const Matrix a = RandomSpdMatrix(n, 0xc0 + n);
+    Vector b(n, 1.0);
+    const auto plain = SolveLinear(a, b);
+    const auto reused = SolveLinear(a, b, &ws);
+    ASSERT_TRUE(plain.ok() && reused.ok());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ((*plain)[i], (*reused)[i]);
+  }
+}
+
+TEST(SolveWorkspace, SimplexBitIdenticalWithAndWithoutWorkspace) {
+  SolveWorkspace ws;
+  for (const std::size_t n : {4u, 9u, 16u}) {
+    const InequalityLp prog = RelaxationLp(n, 0x51 + n);
+    const auto plain = SolveSimplex(prog);
+    const auto reused = SolveSimplex(prog, {}, &ws);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(reused.ok());
+    EXPECT_EQ(plain->objective, reused->objective);
+    EXPECT_EQ(plain->iterations, reused->iterations);
+    ASSERT_EQ(plain->x.size(), reused->x.size());
+    for (std::size_t i = 0; i < plain->x.size(); ++i)
+      EXPECT_EQ(plain->x[i], reused->x[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(SolveWorkspace, InteriorPointBitIdenticalWithAndWithoutWorkspace) {
+  SolveWorkspace ws;
+  for (const std::size_t n : {4u, 9u, 16u}) {
+    const InequalityLp prog = RelaxationLp(n, 0x1b + n);
+    const auto plain = SolveInteriorPoint(prog);
+    const auto reused = SolveInteriorPoint(prog, {}, &ws);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(reused.ok());
+    EXPECT_EQ(plain->objective, reused->objective);
+    EXPECT_EQ(plain->iterations, reused->iterations);
+    EXPECT_EQ(plain->duality_gap, reused->duality_gap);
+    ASSERT_EQ(plain->x.size(), reused->x.size());
+    for (std::size_t i = 0; i < plain->x.size(); ++i)
+      EXPECT_EQ(plain->x[i], reused->x[i]) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(SolveWorkspace, OneWorkspaceServesBothBackendsInterleaved) {
+  // The SP solver threads one workspace through simplex and IPM solves of
+  // varying size; interleaving must not perturb either backend.
+  SolveWorkspace ws;
+  const InequalityLp small = RelaxationLp(5, 0xe1);
+  const InequalityLp large = RelaxationLp(24, 0xe2);
+
+  const auto simplex_small = SolveSimplex(small);
+  const auto ipm_large = SolveInteriorPoint(large);
+  ASSERT_TRUE(simplex_small.ok() && ipm_large.ok());
+
+  for (int round = 0; round < 3; ++round) {
+    const auto s = SolveSimplex(small, {}, &ws);
+    const auto p = SolveInteriorPoint(large, {}, &ws);
+    ASSERT_TRUE(s.ok() && p.ok());
+    EXPECT_EQ(s->objective, simplex_small->objective);
+    EXPECT_EQ(p->objective, ipm_large->objective);
+    for (std::size_t i = 0; i < s->x.size(); ++i)
+      EXPECT_EQ(s->x[i], simplex_small->x[i]);
+    for (std::size_t i = 0; i < p->x.size(); ++i)
+      EXPECT_EQ(p->x[i], ipm_large->x[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::lp

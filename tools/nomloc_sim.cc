@@ -117,6 +117,39 @@ int main(int argc, char** argv) {
                 eval::RenderScenario(*scenario).c_str());
   }
 
+  // Hot-path cache effectiveness, derived from the counter pairs the
+  // cache layers export (see DESIGN.md "Hot-path caches").
+  const auto print_cache_hit_rates = [] {
+    auto& registry = common::MetricRegistry::Global();
+    struct Pair {
+      const char* label;
+      const char* hits;
+      const char* misses;
+    };
+    static constexpr Pair kPairs[] = {
+        {"dsp.fft.plan", "dsp.fft.plan.hits", "dsp.fft.plan.misses"},
+        {"channel.trace.cache", "channel.trace.cache.hits",
+         "channel.trace.cache.misses"},
+        {"channel.trace.images", "channel.trace.images.hits",
+         "channel.trace.images.misses"},
+        {"lp.workspace", "lp.workspace.reused", "lp.workspace.fresh"},
+    };
+    std::printf("cache hit rates:\n");
+    for (const Pair& p : kPairs) {
+      const std::uint64_t hits = registry.Counter(p.hits).Value();
+      const std::uint64_t misses = registry.Counter(p.misses).Value();
+      const std::uint64_t total = hits + misses;
+      if (total == 0) {
+        std::printf("  %-22s unused\n", p.label);
+      } else {
+        std::printf("  %-22s %5.1f %% (%llu of %llu)\n", p.label,
+                    100.0 * double(hits) / double(total),
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(total));
+      }
+    }
+  };
+
   auto result = eval::RunLocalization(*scenario, cfg);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
@@ -147,8 +180,10 @@ int main(int argc, char** argv) {
     std::printf("# slv=%.4f mean=%.4f p50=%.4f p90=%.4f\n", result->slv,
                 result->MeanError(), common::Percentile(site_errors, 0.5),
                 common::Percentile(site_errors, 0.9));
-    if (metrics)
+    if (metrics) {
       std::printf("%s", common::MetricRegistry::Global().DumpText().c_str());
+      print_cache_hit_rates();
+    }
     return 0;
   }
 
@@ -173,7 +208,9 @@ int main(int argc, char** argv) {
               "SLV %.3f m^2\n",
               result->MeanError(), common::Percentile(site_errors, 0.5),
               common::Percentile(site_errors, 0.9), result->slv);
-  if (metrics)
+  if (metrics) {
     std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
+    print_cache_hit_rates();
+  }
   return 0;
 }
