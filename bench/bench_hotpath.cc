@@ -9,12 +9,20 @@
 //       bit-reversal/twiddle tables and goes through the allocating
 //       per-frame CIR API; warm is PdpOfBatch running entirely from
 //       cached plans and reused scratch.
-//   lp.simplex / lp.interior_point — the SP relaxation LP (paper Eq. 19)
-//       solved without (cold) and with (warm) a reusable SolveWorkspace.
+//   solver.simplex / solver.interior_point — the SP relaxation LP (paper
+//       Eq. 19) solved without (cold) and with (warm) a reusable
+//       SolveWorkspace.  (Named solver.* because the contrast is the
+//       workspace reuse in the solver drivers, not the lp library per se.)
+//
+// --simd switches to the SIMD kernel microbenches: each series runs the
+// same body with the kernel table forced to scalar (reported as "cold")
+// and with the best runtime-dispatched target (reported as "warm"), so
+// the speedup column is the vectorization gain.  The committed snapshot
+// is BENCH_simd.json.
 //
 // Flags: --quick shrinks iteration counts (CI smoke), --json prints the
 // shared BenchReportJson document to stdout, --out PATH also writes it to
-// a file (the committed BENCH_hotpath.json snapshot).
+// a file (the committed BENCH_hotpath.json / BENCH_simd.json snapshots).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -33,9 +41,13 @@
 #include "dsp/cir.h"
 #include "dsp/fft_plan.h"
 #include "eval/scenario.h"
+#include "dsp/fft.h"
 #include "lp/interior_point.h"
+#include "lp/matrix.h"
 #include "lp/simplex.h"
 #include "lp/workspace.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 
 namespace {
 
@@ -79,23 +91,150 @@ nomloc::lp::InequalityLp RelaxationLp(std::size_t n) {
   return prog;
 }
 
+// Sink that keeps reduction results alive across optimization.
+volatile double g_sink = 0.0;
+
+// Times `body` with the kernel table forced to scalar (cold) and to the
+// best runtime-dispatched target (warm).  Restores the dispatched table.
+nomloc::bench::BenchTiming SimdPair(const char* name, std::size_t repeats,
+                                    std::size_t iterations,
+                                    const std::function<void()>& body) {
+  namespace simd = nomloc::simd;
+  const simd::Target best = simd::ResolveTarget();
+  BenchTiming t;
+  t.name = name;
+  t.iterations = iterations;
+  simd::ForceTarget(simd::Target::kScalar);
+  body();  // Warm up caches/scratch on the scalar table.
+  t.cold_ms = BestMs(repeats, iterations, body);
+  simd::ForceTarget(best);
+  body();
+  t.warm_ms = BestMs(repeats, iterations, body);
+  return t;
+}
+
+int RunSimdBench(bool quick, bool json, const std::string& out_path) {
+  namespace channel = nomloc::channel;
+  namespace dsp = nomloc::dsp;
+  namespace lp = nomloc::lp;
+  namespace simd = nomloc::simd;
+
+  const std::size_t repeats = quick ? 3 : 5;
+  std::vector<BenchTiming> series;
+
+  // --- kernel microbenches -------------------------------------------------
+  // L1-resident working set (1024 complexes = 16 KiB in, 8 KiB out) so the
+  // series measures kernel arithmetic, not the memory system.
+  const std::size_t n = 1024;
+  nomloc::common::Rng rng(0x51d0);
+  std::vector<dsp::Cplx> taps(n);
+  for (auto& v : taps) v = rng.ComplexGaussian(1.0);
+  std::vector<double> va(n), vb(n), vout(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    va[i] = rng.Uniform(-1.0, 1.0);
+    vb[i] = rng.Uniform(-1.0, 1.0);
+  }
+  const std::size_t kiters = quick ? 8000 : 80000;
+
+  series.push_back(SimdPair("kernel.power_spectrum", repeats, kiters, [&] {
+    simd::PowerSpectrum(n, taps.data(), vout.data());
+  }));
+  series.push_back(SimdPair("kernel.pdp_max", repeats, kiters, [&] {
+    g_sink = simd::MaxNorm(n, taps.data());
+  }));
+  series.push_back(SimdPair("kernel.dot", repeats, kiters, [&] {
+    g_sink = simd::Dot(va.data(), vb.data(), n);
+  }));
+  series.push_back(SimdPair("kernel.axpy", repeats, kiters, [&] {
+    simd::Axpy(n, 0.5, va.data(), vb.data());
+  }));
+  {
+    const std::size_t rows = 64, cols = 64;
+    std::vector<double> mat(rows * cols), x(cols), y(rows);
+    for (auto& v : mat) v = rng.Uniform(-1.0, 1.0);
+    for (auto& v : x) v = rng.Uniform(-1.0, 1.0);
+    series.push_back(SimdPair("kernel.mat_vec", repeats, kiters, [&] {
+      simd::MatVec(mat.data(), rows, cols, x.data(), y.data());
+    }));
+  }
+  {
+    std::vector<dsp::Cplx> grid(256);
+    for (auto& v : grid) v = rng.ComplexGaussian(1.0);
+    series.push_back(SimdPair("kernel.fft256", repeats, quick ? 500 : 5000,
+                              [&] {
+                                dsp::FftInPlace(std::span<dsp::Cplx>(grid));
+                              }));
+  }
+
+  // --- end-to-end: the two pipeline stages the kernels feed ---------------
+  {
+    const nomloc::eval::Scenario scenario = nomloc::eval::LabScenario();
+    const channel::ChannelConfig channel_config;
+    const channel::CsiSimulator sim(scenario.env, channel_config);
+    nomloc::common::Rng frame_rng(0xc18);
+    const channel::LinkModel link =
+        sim.MakeLink(scenario.static_aps.front(), scenario.test_sites.front());
+    const std::vector<dsp::CsiFrame> frames = link.SampleBatch(16, frame_rng);
+    series.push_back(
+        SimdPair("cir.batch", repeats, quick ? 100 : 1000, [&] {
+          g_sink = dsp::PdpOfBatch(frames, channel_config.bandwidth_hz);
+        }));
+  }
+  {
+    const lp::InequalityLp prog = RelaxationLp(16);
+    lp::SolveWorkspace ws;
+    series.push_back(
+        SimdPair("solver.interior_point", repeats, quick ? 200 : 2000, [&] {
+          (void)lp::SolveInteriorPoint(prog, {}, &ws).ok();
+        }));
+  }
+
+  nomloc::common::JsonObject extra;
+  extra["simd_target"] = std::string(simd::TargetName(simd::ResolveTarget()));
+  const nomloc::common::Json report =
+      nomloc::bench::BenchReportJson("simd", quick, series, std::move(extra));
+
+  if (json) {
+    std::printf("%s\n", report.DumpPretty().c_str());
+  } else {
+    std::printf("simd kernel benchmark (%s; cold=scalar, warm=%s)\n",
+                quick ? "quick" : "full",
+                simd::TargetName(simd::ResolveTarget()));
+    nomloc::bench::PrintTimings(series);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report.DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
+  bool simd_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--simd") == 0) simd_mode = true;
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json] [--out PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json] [--simd] [--out PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  if (simd_mode) return RunSimdBench(quick, json, out_path);
 
   const std::size_t repeats = quick ? 3 : 5;
 
@@ -164,14 +303,14 @@ int main(int argc, char** argv) {
     series.push_back(t);
   }
 
-  // --- lp.simplex / lp.interior_point --------------------------------------
+  // --- solver.simplex / solver.interior_point ------------------------------
   {
     const std::size_t iterations = quick ? 200 : 2000;
     const lp::InequalityLp prog = RelaxationLp(16);
     lp::SolveWorkspace ws;
     {
       BenchTiming t;
-      t.name = "lp.simplex";
+      t.name = "solver.simplex";
       t.iterations = iterations;
       t.cold_ms = BestMs(repeats, iterations,
                          [&] { (void)lp::SolveSimplex(prog).ok(); });
@@ -182,7 +321,7 @@ int main(int argc, char** argv) {
     }
     {
       BenchTiming t;
-      t.name = "lp.interior_point";
+      t.name = "solver.interior_point";
       t.iterations = iterations;
       t.cold_ms = BestMs(repeats, iterations,
                          [&] { (void)lp::SolveInteriorPoint(prog).ok(); });

@@ -6,6 +6,7 @@
 #include "channel/propagation_cache.h"
 #include "common/assert.h"
 #include "dsp/ofdm.h"
+#include "simd/kernels.h"
 
 namespace nomloc::channel {
 
@@ -35,6 +36,31 @@ LinkModel::LinkModel(std::vector<PropagationPath> paths,
     k_linear_.push_back(p.is_direct ? k_direct : k_bounce);
   }
   noise_variance_mw_ = common::DbmToMilliwatts(config_.noise_floor_dbm);
+  tones_ = std::make_shared<ToneTable>();
+}
+
+const LinkModel::ToneTable& LinkModel::Tones() const {
+  // Delay phasor tables: cos/sin of the exact angles Synthesize used to
+  // recompute per packet, so the hot loop is a pure complex axpy.  Values
+  // are bit-identical to the historical per-call trigonometry.  Built on
+  // first use rather than in the constructor: MakeLink stays cheap for
+  // callers that trace a link without ever sampling it (e.g. the
+  // trace.repeated_link bench), and copies of a model share one table.
+  std::call_once(tones_->once, [this] {
+    const double df = config_.bandwidth_hz / double(config_.fft_size);
+    const std::size_t stride = subcarriers_.size();
+    tones_->re.resize(paths_.size() * stride);
+    tones_->im.resize(paths_.size() * stride);
+    for (std::size_t p = 0; p < paths_.size(); ++p) {
+      for (std::size_t i = 0; i < stride; ++i) {
+        const double f = double(subcarriers_[i]) * df;
+        const double ang = -2.0 * std::numbers::pi * f * delay_s_[p];
+        tones_->re[p * stride + i] = std::cos(ang);
+        tones_->im[p * stride + i] = std::sin(ang);
+      }
+    }
+  });
+  return *tones_;
 }
 
 std::vector<Cplx> LinkModel::DrawGains(common::Rng& rng) const {
@@ -54,8 +80,13 @@ CsiFrame LinkModel::Synthesize(std::span<const Cplx> gains,
                                common::Rng* noise_rng, int antenna) const {
   NOMLOC_REQUIRE(gains.empty() || gains.size() == paths_.size());
   NOMLOC_REQUIRE(antenna >= 0 && antenna < config_.rx_antennas);
-  const double df = config_.bandwidth_hz / double(config_.fft_size);
-  std::vector<Cplx> values(subcarriers_.size(), Cplx(0.0, 0.0));
+  const std::size_t stride = subcarriers_.size();
+  const ToneTable& tones = Tones();
+
+  // Split-complex accumulators, reused across packets on each thread.
+  thread_local std::vector<double> acc_re, acc_im;
+  acc_re.assign(stride, 0.0);
+  acc_im.assign(stride, 0.0);
 
   for (std::size_t p = 0; p < paths_.size(); ++p) {
     const Cplx gain = gains.empty() ? Cplx(1.0, 0.0) : gains[p];
@@ -69,12 +100,14 @@ CsiFrame LinkModel::Synthesize(std::span<const Cplx> gains,
         array_phase;
     const Cplx base =
         gain * amp_[p] * Cplx(std::cos(carrier_phase), std::sin(carrier_phase));
-    for (std::size_t i = 0; i < subcarriers_.size(); ++i) {
-      const double f = double(subcarriers_[i]) * df;
-      const double ang = -2.0 * std::numbers::pi * f * delay_s_[p];
-      values[i] += base * Cplx(std::cos(ang), std::sin(ang));
-    }
+    // values[i] += base * tone(p, i), over the precomputed phasor table.
+    simd::CplxAxpy(stride, base.real(), base.imag(),
+                   tones.re.data() + p * stride, tones.im.data() + p * stride,
+                   acc_re.data(), acc_im.data());
   }
+
+  std::vector<Cplx> values(stride, Cplx(0.0, 0.0));
+  simd::Interleave(stride, acc_re.data(), acc_im.data(), values.data());
 
   if (noise_rng != nullptr) {
     for (Cplx& v : values) v += noise_rng->ComplexGaussian(noise_variance_mw_);

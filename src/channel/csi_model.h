@@ -10,6 +10,8 @@
 // it reproduces the LOS/NLOS power-delay dichotomy of the paper's Fig. 3.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "channel/environment.h"
@@ -121,6 +123,18 @@ class LinkModel {
   std::vector<double> amp_;        ///< Linear per-path amplitude [sqrt(mW)].
   std::vector<double> delay_s_;
   std::vector<double> k_linear_;   ///< Rician K per path (0 = Rayleigh).
+  /// Per-path per-subcarrier delay phasors e^{-j 2π f_k τ_p}, split-complex
+  /// with stride subcarriers_.size().  Built lazily on the first synthesized
+  /// packet (links that are traced but never sampled skip the trigonometry)
+  /// and shared across copies; afterwards packet synthesis runs
+  /// trigonometry-free through simd::CplxAxpy.
+  struct ToneTable {
+    std::once_flag once;
+    std::vector<double> re;
+    std::vector<double> im;
+  };
+  const ToneTable& Tones() const;
+  std::shared_ptr<ToneTable> tones_;
   double noise_variance_mw_ = 0.0;
 };
 

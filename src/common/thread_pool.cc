@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "common/assert.h"
 
@@ -45,8 +47,35 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   NOMLOC_REQUIRE(fn != nullptr);
-  for (std::size_t i = 0; i < count; ++i)
-    Submit([&fn, i] { fn(i); });
+  if (count == 0) {
+    Wait();
+    return;
+  }
+  // Chunk the index space into ~4 grains per worker instead of one task
+  // per index: queue/wake overhead stops scaling with count while enough
+  // grains remain for load balancing.  Exception semantics are unchanged
+  // from the one-task-per-index version: a throwing index does not stop
+  // the others, and Wait() rethrows the first exception.
+  const std::size_t grains = std::min(count, 4 * ThreadCount());
+  const std::size_t base = count / grains;
+  const std::size_t rem = count % grains;
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < grains; ++g) {
+    const std::size_t end = begin + base + (g < rem ? 1 : 0);
+    Submit([&fn, begin, end] {
+      std::exception_ptr grain_error;
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!grain_error) grain_error = std::current_exception();
+        }
+      }
+      if (grain_error) std::rethrow_exception(grain_error);
+    });
+    begin = end;
+  }
+  NOMLOC_ASSERT(begin == count);
   Wait();
 }
 

@@ -7,8 +7,35 @@
 #include "common/metrics.h"
 #include "common/units.h"
 #include "dsp/fft.h"
+#include "simd/kernels.h"
 
 namespace nomloc::dsp {
+
+namespace {
+
+// Fused tap->PDP extraction: max-tap and total-power reduce straight over
+// the complex taps (simd::MaxNorm / simd::SumNorm), skipping the profile
+// materialization entirely.  First-path needs the full profile for the
+// threshold scan, so it keeps the two-step shape.  Values are identical to
+// PowerSpectrum + PdpOfProfile: the reductions visit the same per-tap
+// norms in the same order.
+double PdpOfTaps(std::span<const Cplx> taps, const PdpOptions& options,
+                 std::vector<double>& profile) {
+  NOMLOC_REQUIRE(!taps.empty());
+  switch (options.method) {
+    case PdpMethod::kMaxTap:
+      return simd::MaxNorm(taps.size(), taps.data());
+    case PdpMethod::kTotalPower:
+      return simd::SumNorm(taps.size(), taps.data());
+    case PdpMethod::kFirstPath:
+      PowerSpectrum(taps, profile);
+      return PdpOfProfile(profile, options);
+  }
+  NOMLOC_ASSERT(false);
+  return 0.0;
+}
+
+}  // namespace
 
 std::vector<double> ChannelImpulseResponse::PowerProfile() const {
   return PowerSpectrum(taps);
@@ -30,7 +57,8 @@ void CsiToCir(const CsiFrame& frame, double bandwidth_hz,
 
 double PdpOfCir(const ChannelImpulseResponse& cir, const PdpOptions& options) {
   NOMLOC_REQUIRE(!cir.taps.empty());
-  return PdpOfProfile(cir.PowerProfile(), options);
+  std::vector<double> profile;
+  return PdpOfTaps(cir.taps, options, profile);
 }
 
 double PdpOfProfile(std::span<const double> profile,
@@ -73,8 +101,7 @@ double PdpOfBatch(std::span<const CsiFrame> frames, double bandwidth_hz,
   double acc = 0.0;
   for (const CsiFrame& frame : frames) {
     CsiToCir(frame, bandwidth_hz, cir);
-    PowerSpectrum(cir.taps, profile);
-    acc += PdpOfProfile(profile, options);
+    acc += PdpOfTaps(cir.taps, options, profile);
   }
   return acc / double(frames.size());
 }
@@ -93,20 +120,25 @@ double PdpOfMimoBatch(std::span<const std::vector<CsiFrame>> packets,
   frame_count.Increment(packets.size() * antennas);
   // All buffers shared across packets and antennas.
   ChannelImpulseResponse cir;
-  std::vector<double> profile, extra;
+  std::vector<double> profile, scratch;
   double acc = 0.0;
   for (const std::vector<CsiFrame>& packet : packets) {
     NOMLOC_REQUIRE(packet.size() == antennas);
+    if (antennas == 1) {
+      CsiToCir(packet.front(), bandwidth_hz, cir);
+      acc += PdpOfTaps(cir.taps, options, scratch);
+      continue;
+    }
     // Sum the antennas' power profiles tap-by-tap (non-coherent MRC),
-    // then run the picker on the combined profile.
+    // then run the picker on the combined profile.  The accumulation is
+    // fused into the spectrum kernel (no per-antenna scratch profile).
     CsiToCir(packet.front(), bandwidth_hz, cir);
     PowerSpectrum(cir.taps, profile);
     for (std::size_t a = 1; a < antennas; ++a) {
       CsiToCir(packet[a], bandwidth_hz, cir);
       NOMLOC_REQUIRE(cir.taps.size() == profile.size());
-      PowerSpectrum(cir.taps, extra);
-      for (std::size_t n = 0; n < profile.size(); ++n)
-        profile[n] += extra[n];
+      simd::PowerSpectrumAdd(cir.taps.size(), cir.taps.data(),
+                             profile.data());
     }
     acc += PdpOfProfile(profile, options) / double(antennas);
   }

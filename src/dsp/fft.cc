@@ -9,6 +9,7 @@
 #include "common/assert.h"
 #include "common/metrics.h"
 #include "dsp/fft_plan.h"
+#include "simd/kernels.h"
 
 namespace nomloc::dsp {
 
@@ -125,13 +126,12 @@ std::vector<double> PowerSpectrum(std::span<const Cplx> x) {
 
 void PowerSpectrum(std::span<const Cplx> x, std::vector<double>& out) {
   out.resize(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::norm(x[i]);
+  if (!x.empty()) simd::PowerSpectrum(x.size(), x.data(), out.data());
 }
 
 std::vector<double> Magnitudes(std::span<const Cplx> x) {
-  std::vector<double> out;
-  out.reserve(x.size());
-  for (const Cplx& v : x) out.push_back(std::abs(v));
+  std::vector<double> out(x.size());
+  if (!x.empty()) simd::Magnitudes(x.size(), x.data(), out.data());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "common/metrics.h"
 #include "dsp/fft.h"
+#include "simd/kernels.h"
 
 namespace nomloc::dsp {
 
@@ -45,6 +46,12 @@ FftPlan::FftPlan(std::size_t n) : n_(n), pow2_(IsPowerOfTwo(n)) {
   const std::size_t grid = pow2_ ? n_ : NextPowerOfTwo(2 * n_ - 1);
   bitrev_ = BitReversal(grid);
   twiddle_ = ForwardTwiddles(grid);
+  twiddle_re_.resize(twiddle_.size());
+  twiddle_im_.resize(twiddle_.size());
+  for (std::size_t k = 0; k < twiddle_.size(); ++k) {
+    twiddle_re_[k] = twiddle_[k].real();
+    twiddle_im_[k] = twiddle_[k].imag();
+  }
   if (pow2_) return;
 
   m_ = grid;
@@ -80,6 +87,13 @@ void FftPlan::Radix2(std::span<Cplx> data, bool inverse) const {
   NOMLOC_ASSERT(n == bitrev_.size());
   if (n == 1) return;
 
+  // The split-complex path only pays off once a butterfly stage spans at
+  // least one vector width; tiny transforms stay on the interleaved loop.
+  if (simd::ActiveKernels().target != simd::Target::kScalar && n >= 8) {
+    Radix2Simd(data, inverse);
+    return;
+  }
+
   for (std::size_t i = 1; i < n; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
@@ -103,6 +117,40 @@ void FftPlan::Radix2(std::span<Cplx> data, bool inverse) const {
   if (inverse) {
     for (Cplx& x : data) x /= double(n);
   }
+}
+
+void FftPlan::Radix2Simd(std::span<Cplx> data, bool inverse) const {
+  const std::size_t n = data.size();
+  // Split-complex scratch, reused across calls on each thread.  The
+  // deinterleave applies the bit-reversal permutation in the same pass
+  // (bitrev_ is an involution, so gathering data[bitrev_[i]] produces the
+  // exact array the swap loop in Radix2 would).
+  thread_local std::vector<double> re_scratch;
+  thread_local std::vector<double> im_scratch;
+  if (re_scratch.size() < n) {
+    re_scratch.resize(n);
+    im_scratch.resize(n);
+  }
+  double* re = re_scratch.data();
+  double* im = im_scratch.data();
+  simd::Deinterleave(n, data.data(), bitrev_.data(), re, im);
+
+  // The inverse transform conjugates every twiddle; FftPass folds that
+  // into wsign so one table serves both directions.
+  const double wsign = inverse ? -1.0 : 1.0;
+  const double* twr = twiddle_re_.data();
+  const double* twi = twiddle_im_.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    simd::FftPass(re, im, n, half, twr, twi, wsign);
+    twr += half;
+    twi += half;
+  }
+  if (inverse) {
+    simd::InvScale(n, double(n), re);
+    simd::InvScale(n, double(n), im);
+  }
+  simd::Interleave(n, re, im, data.data());
 }
 
 void FftPlan::Chirp(std::span<Cplx> data, bool inverse) const {

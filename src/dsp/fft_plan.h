@@ -49,7 +49,13 @@ class FftPlan {
  private:
   /// Table-driven radix-2 butterflies over the plan's power-of-two grid
   /// (n_ when n_ is a power of two, the Bluestein length m_ otherwise).
+  /// Dispatches to Radix2Simd when a SIMD kernel target is active; the
+  /// scalar target runs the historical interleaved loop bit-identically.
   void Radix2(std::span<Cplx> data, bool inverse) const;
+  /// Split-complex (SoA) butterflies through the simd::FftPass kernel,
+  /// using thread-local re/im scratch.  Matches the scalar path to a few
+  /// ULP (same mul/add expansion, lane-parallel).
+  void Radix2Simd(std::span<Cplx> data, bool inverse) const;
   /// Bluestein's chirp-z evaluation using the precomputed kernels.
   void Chirp(std::span<Cplx> data, bool inverse) const;
 
@@ -59,6 +65,8 @@ class FftPlan {
   // Radix-2 machinery for the power-of-two grid (n_ or m_).
   std::vector<std::size_t> bitrev_;  ///< Bit-reversed index of each bin.
   std::vector<Cplx> twiddle_;        ///< Forward twiddles, stages concatenated.
+  std::vector<double> twiddle_re_;   ///< Split-complex view of twiddle_,
+  std::vector<double> twiddle_im_;   ///< consumed by the SIMD butterflies.
 
   // Bluestein machinery (pow2_ == false only).
   std::size_t m_ = 0;                ///< Power-of-two convolution length.

@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "common/metrics.h"
 #include "lp/workspace.h"
+#include "simd/kernels.h"
 
 namespace nomloc::lp {
 
@@ -75,8 +76,7 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
     a.TransposedMatVecInto(y, rd);
     for (std::size_t j = 0; j < n; ++j) rd[j] += lp.c[j];
 
-    double mu = 0.0;
-    for (std::size_t i = 0; i < m; ++i) mu += s[i] * y[i];
+    double mu = simd::Dot(s.data(), y.data(), m);
     mu /= double(m);
 
     const double rp_norm = Norm2(rp);
@@ -110,16 +110,13 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
       const auto row = a.Row(i);
       for (std::size_t p = 0; p < n; ++p) {
         if (row[p] == 0.0) continue;
-        const double dp = d * row[p];
-        for (std::size_t q = 0; q < n; ++q) normal(p, q) += dp * row[q];
+        simd::Axpy(n, d * row[p], row.data(), &normal(p, 0));
       }
     }
     Vector& rhs = scratch.rhs;
     rhs.assign(n, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
-      const auto row = a.Row(i);
-      for (std::size_t p = 0; p < n; ++p) rhs[p] -= row[p] * w[i];
-    }
+    for (std::size_t i = 0; i < m; ++i)
+      simd::Axpy(n, -w[i], a.Row(i).data(), rhs.data());
     for (std::size_t p = 0; p < n; ++p) rhs[p] -= rd[p];
 
     // The normal matrix is rebuilt next iteration anyway, so factor it in
@@ -160,11 +157,9 @@ common::Result<InteriorPointSolution> SolveInteriorPoint(
     alpha_p = std::min(1.0, options.step_fraction * alpha_p);
     alpha_d = std::min(1.0, options.step_fraction * alpha_d);
 
-    for (std::size_t j = 0; j < n; ++j) x[j] += alpha_p * dx[j];
-    for (std::size_t i = 0; i < m; ++i) {
-      s[i] += alpha_p * ds[i];
-      y[i] += alpha_d * dy[i];
-    }
+    simd::Axpy(n, alpha_p, dx.data(), x.data());
+    simd::Axpy(m, alpha_p, ds.data(), s.data());
+    simd::Axpy(m, alpha_d, dy.data(), y.data());
 
     // Divergence heuristics.
     if (!std::isfinite(Dot(lp.c, x)))

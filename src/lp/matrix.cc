@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "lp/workspace.h"
+#include "simd/kernels.h"
 
 namespace nomloc::lp {
 
@@ -64,12 +65,7 @@ void Matrix::MatVecInto(std::span<const double> x, Vector& y) const {
   NOMLOC_REQUIRE(x.size() == cols_);
   NOMLOC_REQUIRE(x.data() != y.data());
   y.assign(rows_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const double* row = data_.data() + r * cols_;
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  simd::MatVec(data_.data(), rows_, cols_, x.data(), y.data());
 }
 
 Vector Matrix::TransposedMatVec(std::span<const double> y) const {
@@ -82,10 +78,7 @@ void Matrix::TransposedMatVecInto(std::span<const double> y, Vector& x) const {
   NOMLOC_REQUIRE(y.size() == rows_);
   NOMLOC_REQUIRE(y.data() != x.data());
   x.assign(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    for (std::size_t c = 0; c < cols_; ++c) x[c] += row[c] * y[r];
-  }
+  simd::TMatVec(data_.data(), rows_, cols_, y.data(), x.data());
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
@@ -95,8 +88,8 @@ Matrix Matrix::MatMul(const Matrix& other) const {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = (*this)(i, k);
       if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j)
-        out(i, j) += aik * other(k, j);
+      simd::Axpy(other.cols_, aik, other.data_.data() + k * other.cols_,
+                 out.data_.data() + i * other.cols_);
     }
   return out;
 }
@@ -146,7 +139,10 @@ common::Status SolveLinearInPlace(Matrix& a, Vector& b, Vector& x) {
       const double f = a(r, col) / a(col, col);
       if (f == 0.0) continue;
       a(r, col) = 0.0;
-      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      // a(r, c) += (-f) * a(col, c) is bit-identical to -= f * a(col, c):
+      // the sign flip is exact.
+      if (col + 1 < n)
+        simd::Axpy(n - col - 1, -f, &a(col, col + 1), &a(r, col + 1));
       b[r] -= f * b[col];
     }
   }
@@ -161,16 +157,12 @@ common::Status SolveLinearInPlace(Matrix& a, Vector& b, Vector& x) {
 }
 
 double Norm2(std::span<const double> x) noexcept {
-  double acc = 0.0;
-  for (double v : x) acc += v * v;
-  return std::sqrt(acc);
+  return std::sqrt(simd::Dot(x.data(), x.data(), x.size()));
 }
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   NOMLOC_REQUIRE(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 }  // namespace nomloc::lp

@@ -7,6 +7,7 @@
 #include "common/assert.h"
 #include "common/metrics.h"
 #include "lp/workspace.h"
+#include "simd/kernels.h"
 
 namespace nomloc::lp {
 
@@ -49,17 +50,20 @@ class Tableau {
   std::size_t Rows() const { return rows_; }
   std::size_t Cols() const { return cols_; }
 
-  // Gauss-Jordan pivot on (row, col).
+  // Gauss-Jordan pivot on (row, col).  Row operations run through the
+  // SIMD kernels: the divide keeps the historical x /= p rounding and the
+  // update is axpy with an exactly negated factor.
   void Pivot(std::size_t row, std::size_t col) {
     const double p = At(row, col);
     NOMLOC_ASSERT(std::abs(p) > 0.0);
-    for (std::size_t c = 0; c < cols_; ++c) At(row, c) /= p;
+    double* pivot_row = &data_[row * cols_];
+    simd::InvScale(cols_, p, pivot_row);
     At(row, col) = 1.0;  // Exactly, against round-off.
     for (std::size_t r = 0; r < rows_; ++r) {
       if (r == row) continue;
       const double f = At(r, col);
       if (f == 0.0) continue;
-      for (std::size_t c = 0; c < cols_; ++c) At(r, c) -= f * At(row, c);
+      simd::Axpy(cols_, -f, pivot_row, &data_[r * cols_]);
       At(r, col) = 0.0;
     }
   }

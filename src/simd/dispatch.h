@@ -1,0 +1,44 @@
+// Runtime CPU-feature dispatch for the SIMD kernel layer (kernels.h).
+//
+// The first call to ActiveKernels()/ActiveTarget() resolves the best
+// available target once:
+//
+//   1. NOMLOC_FORCE_SCALAR=1 (or true/yes/on)  -> scalar, always.
+//   2. NOMLOC_SIMD_TARGET=scalar|sse2|avx2|neon -> that target if this
+//      build and CPU support it, scalar otherwise.
+//   3. Otherwise the widest target the CPU supports (AVX2 > SSE2/NEON >
+//      scalar), probed via __builtin_cpu_supports on x86.
+//
+// The selection is exported through common::metrics as a
+// `simd.dispatch{target=…}` counter; benches and tests can override it at
+// runtime with ForceTarget().
+#pragma once
+
+#include "simd/kernels.h"
+
+namespace nomloc::simd {
+
+/// Lower-case target name ("scalar", "sse2", "avx2", "neon").
+const char* TargetName(Target t) noexcept;
+
+/// True when this build contains the target's kernels AND the running CPU
+/// supports the instruction set.  kScalar is always supported.
+bool TargetSupported(Target t) noexcept;
+
+/// Applies the dispatch policy above from scratch (environment + CPU
+/// probe).  Pure: does not touch the cached active table.
+Target ResolveTarget() noexcept;
+
+/// Target of the table ActiveKernels() currently returns.
+Target ActiveTarget();
+
+/// Replaces the active kernel table (bench/test hook; requires
+/// TargetSupported(t)).  Takes effect for all subsequent kernel calls.
+void ForceTarget(Target t);
+
+/// Copies the per-kernel call counters and the dispatch decision into the
+/// global common::MetricRegistry (`simd.kernel.calls{kernel=…}`,
+/// `simd.dispatch{target=…}`).  Call before dumping metrics.
+void PublishMetrics();
+
+}  // namespace nomloc::simd

@@ -1,0 +1,10 @@
+// AVX2 kernel table (256-bit, 4 double lanes).  Compiled with -mavx2
+// (see src/simd/CMakeLists.txt); only ever called after runtime dispatch
+// confirms CPU support, so the rest of the binary stays baseline-ISA.
+// No FMA intrinsics are used: separate mul/add keeps every element-wise
+// kernel rounding-identical to the scalar table.
+#define NOMLOC_VEC_AVX2 1
+#define NOMLOC_SIMD_NS avx2_impl
+#define NOMLOC_SIMD_TARGET_ENUM Target::kAvx2
+#define NOMLOC_SIMD_TABLE_FN Avx2Kernels
+#include "simd/kernels_body.inc"

@@ -1,0 +1,8 @@
+// NEON kernel table (128-bit, 2 double lanes).  Double-precision NEON is
+// architectural on AArch64, so no extra compile flags or runtime probe
+// are needed; CMake adds this TU on ARM builds only.
+#define NOMLOC_VEC_NEON 1
+#define NOMLOC_SIMD_NS neon_impl
+#define NOMLOC_SIMD_TARGET_ENUM Target::kNeon
+#define NOMLOC_SIMD_TABLE_FN NeonKernels
+#include "simd/kernels_body.inc"

@@ -1,0 +1,7 @@
+// Scalar kernel table: width-1 lanes, i.e. exactly the pre-SIMD loops.
+// This is the NOMLOC_FORCE_SCALAR=1 fallback and the bit-identity
+// reference every other target is tested against.
+#define NOMLOC_SIMD_NS scalar_impl
+#define NOMLOC_SIMD_TARGET_ENUM Target::kScalar
+#define NOMLOC_SIMD_TABLE_FN ScalarKernels
+#include "simd/kernels_body.inc"

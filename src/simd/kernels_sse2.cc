@@ -1,0 +1,8 @@
+// SSE2 kernel table (128-bit, 2 double lanes).  SSE2 is part of the
+// x86-64 baseline, so this TU needs no extra -m flags and is always a
+// safe wide(r) fallback when AVX2 is unavailable.
+#define NOMLOC_VEC_SSE2 1
+#define NOMLOC_SIMD_NS sse2_impl
+#define NOMLOC_SIMD_TARGET_ENUM Target::kSse2
+#define NOMLOC_SIMD_TABLE_FN Sse2Kernels
+#include "simd/kernels_body.inc"

@@ -1,0 +1,176 @@
+// Fixed-width double-lane vector type, one implementation per target.
+//
+// This header is included only by the per-target kernel translation units
+// (kernels_scalar.cc, kernels_sse2.cc, kernels_avx2.cc, kernels_neon.cc).
+// Each TU defines exactly one NOMLOC_VEC_* selector plus NOMLOC_SIMD_NS
+// (a TU-unique namespace, so the identically-named structs never collide
+// across targets) before including it, then includes kernels_body.inc to
+// instantiate the generic kernel bodies over this VecD.
+//
+// The interface is the minimal algebra the kernels need:
+//   Load/Store (unaligned), Broadcast, Zero, + - * /, Max, Sqrt,
+//   PairSum(a, b)  — adjacent-lane sums of a then b, in order; the
+//                    complex-norm building block ([a0+a1, a2+a3, b0+b1,
+//                    b2+b3] at width 4, [a0+a1, b0+b1] at width 2),
+//   HSum / HMax    — horizontal reduction of one vector.
+//
+// Width-1 (scalar) defines the same interface so the generic bodies
+// compile unchanged; its vector loops degenerate to exactly the original
+// element-order scalar loops, which is what makes NOMLOC_FORCE_SCALAR=1
+// bit-identical to the pre-SIMD code.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#if defined(NOMLOC_VEC_AVX2)
+#include <immintrin.h>
+#elif defined(NOMLOC_VEC_SSE2)
+#include <emmintrin.h>
+#elif defined(NOMLOC_VEC_NEON)
+#include <arm_neon.h>
+#endif
+
+#if !defined(NOMLOC_SIMD_NS)
+#error "Define NOMLOC_SIMD_NS before including simd/vec.h"
+#endif
+
+namespace nomloc::simd {
+namespace NOMLOC_SIMD_NS {
+
+#if defined(NOMLOC_VEC_AVX2)
+
+struct VecD {
+  __m256d v;
+  static constexpr std::size_t kWidth = 4;
+
+  static VecD Load(const double* p) noexcept { return {_mm256_loadu_pd(p)}; }
+  static VecD Broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+  static VecD Zero() noexcept { return {_mm256_setzero_pd()}; }
+  void Store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+
+  VecD operator+(VecD o) const noexcept { return {_mm256_add_pd(v, o.v)}; }
+  VecD operator-(VecD o) const noexcept { return {_mm256_sub_pd(v, o.v)}; }
+  VecD operator*(VecD o) const noexcept { return {_mm256_mul_pd(v, o.v)}; }
+  VecD operator/(VecD o) const noexcept { return {_mm256_div_pd(v, o.v)}; }
+
+  static VecD Max(VecD a, VecD b) noexcept {
+    return {_mm256_max_pd(a.v, b.v)};
+  }
+  static VecD Sqrt(VecD a) noexcept { return {_mm256_sqrt_pd(a.v)}; }
+
+  static VecD PairSum(VecD a, VecD b) noexcept {
+    // hadd gives [a0+a1, b0+b1, a2+a3, b2+b3]; permute restores source
+    // order [a0+a1, a2+a3, b0+b1, b2+b3].
+    const __m256d h = _mm256_hadd_pd(a.v, b.v);
+    return {_mm256_permute4x64_pd(h, _MM_SHUFFLE(3, 1, 2, 0))};
+  }
+
+  double HSum() const noexcept {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d s = _mm_add_pd(lo, hi);  // [v0+v2, v1+v3]
+    return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+  }
+  double HMax() const noexcept {
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d m = _mm_max_pd(lo, hi);
+    return _mm_cvtsd_f64(_mm_max_sd(m, _mm_unpackhi_pd(m, m)));
+  }
+};
+
+#elif defined(NOMLOC_VEC_SSE2)
+
+struct VecD {
+  __m128d v;
+  static constexpr std::size_t kWidth = 2;
+
+  static VecD Load(const double* p) noexcept { return {_mm_loadu_pd(p)}; }
+  static VecD Broadcast(double x) noexcept { return {_mm_set1_pd(x)}; }
+  static VecD Zero() noexcept { return {_mm_setzero_pd()}; }
+  void Store(double* p) const noexcept { _mm_storeu_pd(p, v); }
+
+  VecD operator+(VecD o) const noexcept { return {_mm_add_pd(v, o.v)}; }
+  VecD operator-(VecD o) const noexcept { return {_mm_sub_pd(v, o.v)}; }
+  VecD operator*(VecD o) const noexcept { return {_mm_mul_pd(v, o.v)}; }
+  VecD operator/(VecD o) const noexcept { return {_mm_div_pd(v, o.v)}; }
+
+  static VecD Max(VecD a, VecD b) noexcept { return {_mm_max_pd(a.v, b.v)}; }
+  static VecD Sqrt(VecD a) noexcept { return {_mm_sqrt_pd(a.v)}; }
+
+  static VecD PairSum(VecD a, VecD b) noexcept {
+    const __m128d lo = _mm_unpacklo_pd(a.v, b.v);  // [a0, b0]
+    const __m128d hi = _mm_unpackhi_pd(a.v, b.v);  // [a1, b1]
+    return {_mm_add_pd(lo, hi)};                   // [a0+a1, b0+b1]
+  }
+
+  double HSum() const noexcept {
+    return _mm_cvtsd_f64(_mm_add_sd(v, _mm_unpackhi_pd(v, v)));
+  }
+  double HMax() const noexcept {
+    return _mm_cvtsd_f64(_mm_max_sd(v, _mm_unpackhi_pd(v, v)));
+  }
+};
+
+#elif defined(NOMLOC_VEC_NEON)
+
+struct VecD {
+  float64x2_t v;
+  static constexpr std::size_t kWidth = 2;
+
+  static VecD Load(const double* p) noexcept { return {vld1q_f64(p)}; }
+  static VecD Broadcast(double x) noexcept { return {vdupq_n_f64(x)}; }
+  static VecD Zero() noexcept { return {vdupq_n_f64(0.0)}; }
+  void Store(double* p) const noexcept { vst1q_f64(p, v); }
+
+  VecD operator+(VecD o) const noexcept { return {vaddq_f64(v, o.v)}; }
+  VecD operator-(VecD o) const noexcept { return {vsubq_f64(v, o.v)}; }
+  VecD operator*(VecD o) const noexcept { return {vmulq_f64(v, o.v)}; }
+  VecD operator/(VecD o) const noexcept { return {vdivq_f64(v, o.v)}; }
+
+  static VecD Max(VecD a, VecD b) noexcept { return {vmaxq_f64(a.v, b.v)}; }
+  static VecD Sqrt(VecD a) noexcept { return {vsqrtq_f64(a.v)}; }
+
+  static VecD PairSum(VecD a, VecD b) noexcept {
+    return {vpaddq_f64(a.v, b.v)};  // [a0+a1, b0+b1]
+  }
+
+  double HSum() const noexcept { return vaddvq_f64(v); }
+  double HMax() const noexcept { return vmaxvq_f64(v); }
+};
+
+#else  // Scalar: width-1 lanes; the vector loops become the plain loops.
+
+struct VecD {
+  double v;
+  static constexpr std::size_t kWidth = 1;
+
+  static VecD Load(const double* p) noexcept { return {*p}; }
+  static VecD Broadcast(double x) noexcept { return {x}; }
+  static VecD Zero() noexcept { return {0.0}; }
+  void Store(double* p) const noexcept { *p = v; }
+
+  VecD operator+(VecD o) const noexcept { return {v + o.v}; }
+  VecD operator-(VecD o) const noexcept { return {v - o.v}; }
+  VecD operator*(VecD o) const noexcept { return {v * o.v}; }
+  VecD operator/(VecD o) const noexcept { return {v / o.v}; }
+
+  static VecD Max(VecD a, VecD b) noexcept {
+    return {a.v < b.v ? b.v : a.v};
+  }
+  static VecD Sqrt(VecD a) noexcept { return {std::sqrt(a.v)}; }
+
+  // Never reached at width 1 (the generic bodies guard on kWidth > 1),
+  // but must compile: `if constexpr` in a non-template function still
+  // type-checks the dead branch.
+  static VecD PairSum(VecD a, VecD) noexcept { return a; }
+
+  double HSum() const noexcept { return v; }
+  double HMax() const noexcept { return v; }
+};
+
+#endif
+
+}  // namespace NOMLOC_SIMD_NS
+}  // namespace nomloc::simd

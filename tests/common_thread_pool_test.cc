@@ -87,6 +87,41 @@ TEST(ThreadPool, SingleThreadPoolIsSequentialButComplete) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(ThreadPool, ParallelForChunkedCoversAwkwardCounts) {
+  // ParallelFor batches indices into ~4x ThreadCount grains; counts below,
+  // at, and just past the grain boundary must all cover every index
+  // exactly once.
+  ThreadPool pool(3);  // 12 grains
+  for (std::size_t count : {std::size_t(1), std::size_t(5), std::size_t(11),
+                            std::size_t(12), std::size_t(13),
+                            std::size_t(97)}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.ParallelFor(count, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "count=" << count << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForExceptionDoesNotAbortOtherIndices) {
+  // A throwing index surfaces from ParallelFor, but the remaining indices
+  // still run (the grain finishes its range before rethrowing, and other
+  // grains are unaffected) — callers can rely on partial results being
+  // complete outside the failed index.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](std::size_t i) {
+                                  if (i == 31)
+                                    throw std::runtime_error("thirty-one");
+                                  ++hits[i];
+                                }),
+               std::runtime_error);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (i == 31) continue;
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
 TEST(ThreadPool, ParallelSumMatchesSequential) {
   ThreadPool pool(8);
   std::vector<long> partial(1000, 0);

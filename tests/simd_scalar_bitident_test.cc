@@ -1,0 +1,152 @@
+// The scalar kernel table must reproduce the pre-SIMD results bit for bit.
+//
+// The golden arrays in simd_scalar_goldens.inc are raw IEEE-754 bit
+// patterns captured from this repository *before* the SIMD kernel layer
+// was introduced (generator: a small program running the same seeded
+// computations against the unmodified scalar loops).  Under
+// ForceTarget(kScalar) — the same table NOMLOC_FORCE_SCALAR=1 selects —
+// every pipeline below must match those patterns exactly: not close, not
+// within an ULP, but the identical 64 bits.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "dsp/cir.h"
+#include "dsp/fft.h"
+#include "gtest/gtest.h"
+#include "lp/interior_point.h"
+#include "lp/matrix.h"
+#include "lp/simplex.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+
+namespace nomloc {
+namespace {
+
+#include "simd_scalar_goldens.inc"
+
+class SimdScalarBitidentTest : public ::testing::Test {
+ protected:
+  void SetUp() override { simd::ForceTarget(simd::Target::kScalar); }
+  void TearDown() override {
+    simd::ForceTarget(simd::ResolveTarget());
+  }
+};
+
+void ExpectBits(std::span<const double> got,
+                std::span<const std::uint64_t> want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]), want[i])
+        << what << " element " << i << " (got " << got[i] << ")";
+  }
+}
+
+std::span<const double> AsDoubles(const std::vector<dsp::Cplx>& x) {
+  return {reinterpret_cast<const double*>(x.data()), 2 * x.size()};
+}
+
+TEST_F(SimdScalarBitidentTest, FftRoundTripsMatchPrePrBits) {
+  common::Rng rng(0x51dbeef);
+  for (std::size_t n : {std::size_t(64), std::size_t(30)}) {
+    std::vector<dsp::Cplx> x(n);
+    for (auto& v : x)
+      v = dsp::Cplx(rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0));
+    auto fwd = dsp::Fft(x);
+    auto inv = dsp::Ifft(fwd);
+    if (n == 64) {
+      ExpectBits(AsDoubles(fwd), kGoldenFft64, "fft64");
+      ExpectBits(AsDoubles(inv), kGoldenIfft64, "ifft64");
+    } else {
+      ExpectBits(AsDoubles(fwd), kGoldenFft30, "fft30");
+      ExpectBits(AsDoubles(inv), kGoldenIfft30, "ifft30");
+    }
+  }
+
+  // Power spectrum and fused PDP extraction over a 56-tap CIR (the Rng
+  // stream continues from the FFT draws above, as in the generator).
+  std::vector<dsp::Cplx> taps(56);
+  for (auto& v : taps)
+    v = dsp::Cplx(rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0));
+  auto ps = dsp::PowerSpectrum(taps);
+  ExpectBits(ps, kGoldenPowerSpectrum, "power_spectrum");
+
+  dsp::ChannelImpulseResponse cir;
+  cir.taps = taps;
+  cir.tap_spacing_s = 1.0;
+  dsp::PdpOptions max_opts;
+  max_opts.method = dsp::PdpMethod::kMaxTap;
+  dsp::PdpOptions total_opts;
+  total_opts.method = dsp::PdpMethod::kTotalPower;
+  const double pdp[2] = {dsp::PdpOfCir(cir, max_opts),
+                         dsp::PdpOfCir(cir, total_opts)};
+  ExpectBits(pdp, kGoldenPdp, "pdp");
+
+  // Dense linear algebra on the continued stream.
+  const std::size_t rows = 13, cols = 7;
+  lp::Matrix a(rows, cols);
+  std::vector<double> x(cols), y(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.Uniform(-3.0, 3.0);
+  for (auto& v : x) v = rng.Uniform(-3.0, 3.0);
+  for (auto& v : y) v = rng.Uniform(-3.0, 3.0);
+  const auto ax = a.MatVec(x);
+  const auto aty = a.TransposedMatVec(y);
+  const double scalars[2] = {
+      lp::Dot(std::span<const double>(x), std::span<const double>(aty)),
+      lp::Norm2(ax)};
+  ExpectBits(ax, kGoldenMatVec, "mat_vec");
+  ExpectBits(aty, kGoldenTMatVec, "t_mat_vec");
+  ExpectBits(scalars, kGoldenDotNorm, "dot_norm");
+
+  lp::Matrix sq(cols, cols);
+  for (std::size_t r = 0; r < cols; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      sq(r, c) = rng.Uniform(-2.0, 2.0) + (r == c ? 5.0 : 0.0);
+  std::vector<double> b(cols);
+  for (auto& v : b) v = rng.Uniform(-2.0, 2.0);
+  const auto sol = lp::SolveLinear(sq, b);
+  ASSERT_TRUE(sol.ok());
+  ExpectBits(*sol, kGoldenLuSolve, "lu_solve");
+}
+
+TEST_F(SimdScalarBitidentTest, LpSolversMatchPrePrBits) {
+  const std::size_t n = 12;
+  common::Rng lp_rng(0xbe7c);
+  lp::InequalityLp prog;
+  prog.a = lp::Matrix(n, 2 + n);
+  prog.b.resize(n);
+  prog.c.assign(2 + n, 0.0);
+  prog.nonneg.assign(2 + n, true);
+  prog.nonneg[0] = prog.nonneg[1] = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = lp_rng.Uniform(0.0, 6.28318);
+    prog.a(i, 0) = std::cos(angle);
+    prog.a(i, 1) = std::sin(angle);
+    prog.a(i, 2 + i) = -1.0;
+    prog.b[i] = lp_rng.Uniform(1.0, 6.0);
+    prog.c[2 + i] = lp_rng.Uniform(0.5, 2.0);
+  }
+  const auto sx = lp::SolveSimplex(prog);
+  const auto ip = lp::SolveInteriorPoint(prog);
+  ASSERT_TRUE(sx.ok());
+  ASSERT_TRUE(ip.ok());
+  ExpectBits(sx->x, kGoldenSimplexX, "simplex_x");
+  const double objs[2] = {sx->objective, ip->objective};
+  ExpectBits(objs, kGoldenLpObjectives, "lp_objectives");
+}
+
+// NOMLOC_FORCE_SCALAR=1 (the `simd-scalar` ctest label runs the whole
+// suite under it) must select exactly the table verified above.
+TEST_F(SimdScalarBitidentTest, ForceScalarEnvSelectsVerifiedTable) {
+  ::setenv("NOMLOC_FORCE_SCALAR", "1", 1);
+  EXPECT_EQ(simd::ResolveTarget(), simd::Target::kScalar);
+  ::unsetenv("NOMLOC_FORCE_SCALAR");
+}
+
+}  // namespace
+}  // namespace nomloc

@@ -26,6 +26,7 @@
 #include "eval/render.h"
 #include "eval/runner.h"
 #include "eval/scenario.h"
+#include "simd/dispatch.h"
 
 using namespace nomloc;
 
@@ -117,6 +118,16 @@ int main(int argc, char** argv) {
                 eval::RenderScenario(*scenario).c_str());
   }
 
+  // Metrics epilogue shared by the csv and table paths: flush the
+  // per-kernel SIMD call counters into the registry, dump every series,
+  // and name the dispatch target the run used.
+  const auto print_metrics = [] {
+    simd::PublishMetrics();
+    std::printf("%s", common::MetricRegistry::Global().DumpText().c_str());
+    std::printf("simd dispatch target: %s\n",
+                simd::TargetName(simd::ActiveTarget()));
+  };
+
   // Hot-path cache effectiveness, derived from the counter pairs the
   // cache layers export (see DESIGN.md "Hot-path caches").
   const auto print_cache_hit_rates = [] {
@@ -181,7 +192,7 @@ int main(int argc, char** argv) {
                 result->MeanError(), common::Percentile(site_errors, 0.5),
                 common::Percentile(site_errors, 0.9));
     if (metrics) {
-      std::printf("%s", common::MetricRegistry::Global().DumpText().c_str());
+      print_metrics();
       print_cache_hit_rates();
     }
     return 0;
@@ -209,7 +220,8 @@ int main(int argc, char** argv) {
               result->MeanError(), common::Percentile(site_errors, 0.5),
               common::Percentile(site_errors, 0.9), result->slv);
   if (metrics) {
-    std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
+    std::printf("\n");
+    print_metrics();
     print_cache_hit_rates();
   }
   return 0;
