@@ -1,0 +1,205 @@
+// Streaming serving-layer throughput bench: replays the same no-fault
+// packet stream (built once with serving::BuildReplayPlan) through
+// StreamingLocalizer at 1, 2, and hardware-concurrency workers and
+// reports packets/sec plus end-to-end latency percentiles per worker
+// count.
+//
+// The BenchTiming rows reuse the shared cold-vs-warm report shape:
+// "cold" is the single-worker wall time for the whole stream, "warm" is
+// the series' own worker count, so the speedup column reads as the
+// scaling factor over serial serving.  Per-series throughput and latency
+// percentiles are attached under "serving" in the JSON document.
+//
+// Flags: --quick shrinks the campaign (CI smoke), --json prints the
+// shared BenchReportJson document, --out PATH also writes it to a file
+// (the committed BENCH_serving.json snapshot).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/assert.h"
+#include "common/stats.h"
+#include "core/nomloc.h"
+#include "eval/scenario.h"
+#include "serving/clock.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+
+namespace {
+
+using nomloc::bench::BenchTiming;
+
+struct StreamRun {
+  double wall_ms = 0.0;
+  double packets_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t responses = 0;
+};
+
+// One full replay of the plan at `workers` threads.  A fresh service per
+// run keeps the session store clean (the logical clock restarts at 0, so
+// leftovers from a previous run would never age out).
+StreamRun RunStream(const nomloc::core::NomLocEngine& engine,
+                    const nomloc::serving::ReplayPlan& plan,
+                    std::size_t workers) {
+  nomloc::serving::ServingConfig config;
+  config.workers = workers;
+  config.queue_capacity = plan.packets.size() + 1;  // no backpressure here
+  config.store.anchor_ttl_s = plan.suggested_anchor_ttl_s;
+  config.expected_anchors = plan.expected_anchors;
+
+  nomloc::serving::ManualClock clock;
+  auto service =
+      nomloc::serving::StreamingLocalizer::Create(engine, config, &clock);
+  NOMLOC_REQUIRE(service.ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const nomloc::serving::IngestPacket& packet : plan.packets) {
+    clock.Set(packet.timestamp_s);
+    (*service)->Ingest(packet);
+  }
+  (*service)->Flush();
+  const auto stop = std::chrono::steady_clock::now();
+  (*service)->Shutdown();
+
+  StreamRun run;
+  run.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  run.packets_per_s = run.wall_ms > 0.0
+                          ? 1e3 * double(plan.packets.size()) / run.wall_ms
+                          : 0.0;
+  std::vector<double> latencies_ms;
+  for (const auto& response : (*service)->TakeResponses())
+    latencies_ms.push_back(1e3 * response.latency_s);
+  run.responses = latencies_ms.size();
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    run.p50_ms = nomloc::common::Percentile(latencies_ms, 0.5);
+    run.p95_ms = nomloc::common::Percentile(latencies_ms, 0.95);
+    run.p99_ms = nomloc::common::Percentile(latencies_ms, 0.99);
+  }
+  return run;
+}
+
+// Best wall time over `repeats`; the other fields come from the fastest
+// run (least scheduler pollution).
+StreamRun BestRun(const nomloc::core::NomLocEngine& engine,
+                  const nomloc::serving::ReplayPlan& plan,
+                  std::size_t workers, std::size_t repeats) {
+  StreamRun best = RunStream(engine, plan, workers);
+  for (std::size_t r = 1; r < repeats; ++r) {
+    StreamRun run = RunStream(engine, plan, workers);
+    if (run.wall_ms < best.wall_ms) best = run;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto scenario = nomloc::eval::ScenarioByName("lab");
+  NOMLOC_REQUIRE(scenario.ok());
+
+  nomloc::serving::ReplayConfig replay;
+  replay.objects = quick ? 3 : 6;
+  replay.epochs = quick ? 2 : 8;
+  replay.run.packets_per_batch = quick ? 5 : 20;
+  replay.run.dwell_count = quick ? 4 : 8;
+  replay.run.seed = 7;
+  auto plan = nomloc::serving::BuildReplayPlan(*scenario, replay);
+  NOMLOC_REQUIRE(plan.ok());
+
+  nomloc::core::NomLocConfig engine_cfg = replay.run.engine;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  auto engine = nomloc::core::NomLocEngine::Create(
+      scenario->env.Boundary(), engine_cfg);
+  NOMLOC_REQUIRE(engine.ok());
+
+  const std::size_t hw = std::max<std::size_t>(
+      std::thread::hardware_concurrency(), 1);
+  // 1 and 2 workers always (2 exercises the sharded MPSC path even on a
+  // single core), plus the full hardware width when it adds a new point.
+  std::vector<std::size_t> worker_counts{1, 2};
+  if (hw > 2) worker_counts.push_back(hw);
+
+  const std::size_t repeats = quick ? 2 : 5;
+  const StreamRun serial = BestRun(*engine, *plan, 1, repeats);
+
+  std::vector<BenchTiming> series;
+  std::vector<StreamRun> runs;
+  nomloc::common::JsonArray rows;
+  for (std::size_t workers : worker_counts) {
+    const StreamRun run =
+        workers == 1 ? serial : BestRun(*engine, *plan, workers, repeats);
+    runs.push_back(run);
+    BenchTiming timing;
+    timing.name = "serve.stream.w" + std::to_string(workers);
+    timing.iterations = plan->packets.size();
+    timing.cold_ms = serial.wall_ms;
+    timing.warm_ms = run.wall_ms;
+    series.push_back(timing);
+
+    nomloc::common::JsonObject row;
+    row["workers"] = workers;
+    row["packets"] = plan->packets.size();
+    row["responses"] = run.responses;
+    row["packets_per_s"] = run.packets_per_s;
+    row["latency_p50_ms"] = run.p50_ms;
+    row["latency_p95_ms"] = run.p95_ms;
+    row["latency_p99_ms"] = run.p99_ms;
+    rows.push_back(nomloc::common::Json(std::move(row)));
+  }
+
+  nomloc::common::JsonObject extra;
+  extra["serving"] = nomloc::common::Json(std::move(rows));
+  const nomloc::common::Json report = nomloc::bench::BenchReportJson(
+      "serving", quick, series, std::move(extra));
+
+  if (json) {
+    std::printf("%s\n", report.DumpPretty().c_str());
+  } else {
+    std::printf("serving stream benchmark (%s): %zu packets, "
+                "%zu queries per run\n",
+                quick ? "quick" : "full", plan->packets.size(),
+                serial.responses);
+    nomloc::bench::PrintTimings(series);
+    std::printf("  %-28s %12s %9s %9s %9s\n", "series", "packets/s",
+                "p50 [ms]", "p95 [ms]", "p99 [ms]");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      std::printf("  %-28s %12.0f %9.3f %9.3f %9.3f\n",
+                  series[i].name.c_str(), runs[i].packets_per_s,
+                  runs[i].p50_ms, runs[i].p95_ms, runs[i].p99_ms);
+    }
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report.DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -8,20 +8,30 @@
 
 namespace nomloc::common {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads) : thread_count_(threads) {
   NOMLOC_REQUIRE(threads >= 1);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { WorkerLoop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Joining twice is UB, so Shutdown() claims the worker handles exactly
+  // once; a second call (or the destructor after an explicit Shutdown)
+  // finds workers_ empty and returns.
+  std::vector<std::thread> workers;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -32,6 +42,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push_back(std::move(task));
   }
   task_available_.notify_one();
+}
+
+Status ThreadPool::TrySubmit(std::function<void()> task) {
+  NOMLOC_REQUIRE(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (shutting_down_)
+      return FailedPrecondition("thread pool is shutting down");
+    tasks_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+  return Status::Ok();
 }
 
 void ThreadPool::Wait() {

@@ -16,22 +16,38 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace nomloc::common {
 
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1).
   explicit ThreadPool(std::size_t threads);
-  /// Joins all workers; pending tasks are completed first.
+  /// Equivalent to Shutdown(): joins all workers; pending tasks complete
+  /// first.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t ThreadCount() const noexcept { return workers_.size(); }
+  std::size_t ThreadCount() const noexcept { return thread_count_; }
 
-  /// Enqueues a task.
+  /// Enqueues a task.  Calling after Shutdown() has begun is a contract
+  /// violation; concurrent producers should use TrySubmit.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task unless shutdown has begun, in which case the task is
+  /// rejected with a typed kFailedPrecondition error — never enqueued,
+  /// never silently dropped.  The accept/reject decision and the shutdown
+  /// flag share one mutex, so a TrySubmit racing Shutdown() lands on
+  /// exactly one side: either the task is accepted and will run to
+  /// completion before the workers join, or the caller gets the error.
+  Status TrySubmit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains everything already queued, and joins
+  /// the workers.  Idempotent and safe to call before destruction.
+  void Shutdown();
 
   /// Blocks until all submitted tasks have finished.  Rethrows the first
   /// captured task exception, if any.
@@ -50,6 +66,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  std::size_t thread_count_ = 0;  ///< Stable across Shutdown() (which
+                                  ///< clears workers_).
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
   std::exception_ptr first_error_;

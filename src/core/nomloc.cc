@@ -91,6 +91,7 @@ common::Result<LocateResponse> NomLocEngine::Locate(
 
   out.estimate.position = sol.estimate;
   out.estimate.relaxation_cost = sol.relaxation_cost;
+  out.estimate.feasible_area_m2 = sol.feasible_area_m2;
   out.estimate.violated_constraints = sol.parts[sol.best_part].violated;
   out.estimate.part_index = sol.best_part;
   out.estimate.anchors.assign(anchors.begin(), anchors.end());

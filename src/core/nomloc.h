@@ -63,6 +63,10 @@ struct LocationEstimate {
   /// Total relaxation cost w^T t of the winning convex part — a rough
   /// self-reported consistency score (0 = all judgements compatible).
   double relaxation_cost = 0.0;
+  /// Area of the merged relaxed feasible cell [m^2].  Fewer constraints
+  /// (e.g. under AP dropout) leave a larger cell; the serving layer turns
+  /// this into a per-response confidence.
+  double feasible_area_m2 = 0.0;
   std::size_t violated_constraints = 0;
   /// Index of the convex part the estimate fell in.
   std::size_t part_index = 0;

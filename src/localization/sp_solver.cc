@@ -209,6 +209,7 @@ common::Result<SpSolution> SolveSp(
     if (p.relaxation_cost > best + options.merge_tolerance) continue;
     const double area =
         p.region.size() >= 3 ? std::abs(geometry::SignedArea(p.region)) : 0.0;
+    out.feasible_area_m2 += area;
     const double weight = area > 0.0 ? area : 1e-12;
     acc += p.estimate * weight;
     total_weight += weight;

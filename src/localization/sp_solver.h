@@ -75,6 +75,10 @@ struct SpSolution {
   double relaxation_cost = 0.0;    ///< Cost of the best part.
   std::size_t best_part = 0;
   std::size_t lp_iterations = 0;   ///< Summed over all parts.
+  /// Total area of the merged (tied-cost) relaxed feasible regions [m^2] —
+  /// the size of the paper's feasible cell.  Smaller = more constrained =
+  /// a more confident estimate; the serving layer reports it per response.
+  double feasible_area_m2 = 0.0;
   std::vector<SpPartSolution> parts;
 };
 

@@ -1,0 +1,51 @@
+#include "serving/fault_injection.h"
+
+#include "common/metrics.h"
+
+namespace nomloc::serving {
+
+common::Result<void> FaultConfig::Validate() const {
+  const auto in_unit = [](double p) { return p >= 0.0 && p < 1.0; };
+  if (!in_unit(ap_dropout_rate))
+    return common::InvalidArgument("ap_dropout_rate must be in [0, 1)");
+  if (!in_unit(packet_loss_rate))
+    return common::InvalidArgument("packet_loss_rate must be in [0, 1)");
+  if (!in_unit(delay_rate))
+    return common::InvalidArgument("delay_rate must be in [0, 1)");
+  if (delay_s < 0.0)
+    return common::InvalidArgument("delay_s must be >= 0");
+  return {};
+}
+
+FaultDecision FaultInjector::OnObservation(int ap_id) {
+  auto& registry = common::MetricRegistry::Global();
+  FaultDecision decision;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, fresh] = ap_down_.try_emplace(ap_id, false);
+  if (fresh && config_.ap_dropout_rate > 0.0)
+    it->second = rng_.Bernoulli(config_.ap_dropout_rate);
+  if (it->second) {
+    decision.drop = true;
+    registry.Counter("serving.faults.ap_dropout").Increment();
+    return decision;
+  }
+  if (config_.packet_loss_rate > 0.0 &&
+      rng_.Bernoulli(config_.packet_loss_rate)) {
+    decision.drop = true;
+    registry.Counter("serving.faults.packet_loss").Increment();
+    return decision;
+  }
+  if (config_.delay_rate > 0.0 && rng_.Bernoulli(config_.delay_rate)) {
+    decision.extra_delay_s = config_.delay_s;
+    registry.Counter("serving.faults.delayed").Increment();
+  }
+  return decision;
+}
+
+bool FaultInjector::ApIsDown(int ap_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ap_down_.find(ap_id);
+  return it != ap_down_.end() && it->second;
+}
+
+}  // namespace nomloc::serving

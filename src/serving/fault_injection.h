@@ -1,0 +1,72 @@
+// Configurable fault injection at the serving ingest boundary.
+//
+// Real deployments lose CSI reports (backhaul loss), see them late
+// (queueing in the AP's WLAN stack), and lose whole APs (a nomadic AP's
+// battery dies, a static AP reboots) — CRISLoc and Hapi both treat these
+// as first-class operating conditions, not error paths.  The injector
+// models all three deterministically from a seed, so degraded-mode tests
+// and benches are reproducible:
+//
+//   * AP dropout    — each distinct ap_id is dropped forever with
+//                     probability `ap_dropout_rate`, decided once on first
+//                     sight (a dead AP stays dead).
+//   * packet loss   — each observation packet is dropped i.i.d. with
+//                     probability `packet_loss_rate`.
+//   * delayed       — each packet is delayed by `delay_s` with probability
+//                     `delay_rate` (it arrives, but late enough that its
+//                     deadline may have passed and its measurement may
+//                     already be stale).
+//
+// Query packets are never dropped: degradation must surface as a degraded
+// *response*, not as silence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace nomloc::serving {
+
+struct FaultConfig {
+  double ap_dropout_rate = 0.0;   ///< P(an AP is dead), per distinct ap_id.
+  double packet_loss_rate = 0.0;  ///< P(an observation packet is lost).
+  double delay_rate = 0.0;        ///< P(a packet is delivered late).
+  double delay_s = 0.0;           ///< Added delivery delay when delayed.
+  std::uint64_t seed = 0x5e21;
+
+  bool Enabled() const noexcept {
+    return ap_dropout_rate > 0.0 || packet_loss_rate > 0.0 ||
+           delay_rate > 0.0;
+  }
+  common::Result<void> Validate() const;
+};
+
+/// Per-packet injection decision.
+struct FaultDecision {
+  bool drop = false;       ///< Packet never reaches the session store.
+  double extra_delay_s = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Decides the fate of one observation packet from `ap_id`.  Increments
+  /// the serving.faults.* counters.
+  FaultDecision OnObservation(int ap_id);
+
+  /// True when `ap_id` has been decided dead (for diagnostics).
+  bool ApIsDown(int ap_id) const;
+
+ private:
+  FaultConfig config_;
+  mutable std::mutex mutex_;
+  common::Rng rng_;
+  std::map<int, bool> ap_down_;  ///< Memoized dropout decisions.
+};
+
+}  // namespace nomloc::serving

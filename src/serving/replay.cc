@@ -1,0 +1,95 @@
+#include "serving/replay.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace nomloc::serving {
+
+common::Result<void> ReplayConfig::Validate() const {
+  if (objects == 0) return common::InvalidArgument("objects must be >= 1");
+  if (epochs == 0) return common::InvalidArgument("epochs must be >= 1");
+  if (epoch_interval_s <= 0.0)
+    return common::InvalidArgument("epoch_interval_s must be positive");
+  if (deadline_s < 0.0)
+    return common::InvalidArgument("deadline_s must be >= 0");
+  return run.Validate();
+}
+
+common::Result<ReplayPlan> BuildReplayPlan(const eval::Scenario& scenario,
+                                           const ReplayConfig& config) {
+  if (auto valid = config.Validate(); !valid.ok()) return valid.status();
+  if (scenario.test_sites.empty())
+    return common::InvalidArgument("scenario has no test sites");
+
+  ReplayPlan plan;
+  plan.objects = config.objects;
+  plan.epoch_count = config.epochs;
+  plan.suggested_anchor_ttl_s = 0.5 * config.epoch_interval_s;
+  plan.epochs.reserve(config.objects * config.epochs);
+  const common::Rng rng(config.run.seed);
+
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    const double epoch_start_s = double(e) * config.epoch_interval_s;
+    for (std::size_t o = 0; o < config.objects; ++o) {
+      const geometry::Vec2 object_position =
+          scenario.test_sites[o % scenario.test_sites.size()];
+      // Same forking discipline as eval::RunLocalization: one independent
+      // stream per (object, epoch), so the plan is reproducible and
+      // insensitive to emission order.
+      common::Rng epoch_rng = rng.Fork(1 + e * config.objects + o);
+      NOMLOC_ASSIGN_OR_RETURN(
+          auto anchors, eval::MeasureEpoch(scenario, config.run,
+                                           object_position, epoch_rng));
+
+      ReplayEpoch golden;
+      golden.object_id = o;
+      golden.epoch = e;
+      golden.true_position = object_position;
+      golden.anchors = anchors;
+      plan.expected_anchors =
+          std::max(plan.expected_anchors, anchors.size());
+
+      // Observations spread evenly over the epoch's first quarter and the
+      // query lands at 0.4 T, so with the suggested TTL of 0.5 T every
+      // observation of this epoch is alive at query time (oldest age
+      // 0.4 T) while all of the previous epoch's have aged out (youngest
+      // age 1.15 T).
+      const double spacing =
+          0.25 * config.epoch_interval_s / double(anchors.size());
+      for (std::size_t a = 0; a < anchors.size(); ++a) {
+        IngestPacket packet;
+        packet.kind = PacketKind::kObservation;
+        packet.object_id = o;
+        // ap_id = anchor index keeps the session snapshot (sorted by
+        // AnchorKey) in MeasureEpoch's anchor order — the golden order.
+        packet.ap_id = static_cast<int>(a);
+        packet.site_index = 0;
+        packet.is_nomadic = anchors[a].is_nomadic_site;
+        packet.reported_position = anchors[a].position;
+        packet.pdp = anchors[a].pdp;
+        packet.weight = double(config.run.packets_per_batch);
+        packet.timestamp_s = epoch_start_s + double(a) * spacing;
+        if (config.deadline_s > 0.0)
+          packet.deadline_s = packet.timestamp_s + config.deadline_s;
+        plan.packets.push_back(packet);
+      }
+      IngestPacket query;
+      query.kind = PacketKind::kQuery;
+      query.object_id = o;
+      query.timestamp_s = epoch_start_s + 0.4 * config.epoch_interval_s;
+      if (config.deadline_s > 0.0)
+        query.deadline_s = query.timestamp_s + config.deadline_s;
+      plan.packets.push_back(query);
+      plan.epochs.push_back(std::move(golden));
+    }
+  }
+
+  std::stable_sort(plan.packets.begin(), plan.packets.end(),
+                   [](const IngestPacket& a, const IngestPacket& b) {
+                     return a.timestamp_s < b.timestamp_s;
+                   });
+  return plan;
+}
+
+}  // namespace nomloc::serving

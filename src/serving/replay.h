@@ -1,0 +1,67 @@
+// Scenario replay: turns an eval::Scenario into a timestamped ingest
+// stream for the streaming service, plus the golden per-epoch anchor sets
+// that make the no-fault stream provably equivalent to a LocateBatch call.
+//
+// Epoch model: every `epoch_interval_s`, each tracked object's epoch of
+// measurements (one batch-mean PDP per static AP and per visited nomadic
+// site, from eval::MeasureEpoch) is emitted as one observation packet per
+// anchor, followed by one query packet.  The session-store anchor TTL is
+// expected to be shorter than the epoch interval, so by the time epoch
+// e's query runs, epoch e-1's observations have aged out and the live
+// anchor set equals epoch e's — which is exactly the golden request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/runner.h"
+#include "eval/scenario.h"
+#include "serving/service.h"
+
+namespace nomloc::serving {
+
+struct ReplayConfig {
+  std::size_t objects = 4;   ///< Tracked objects (cycled over test sites).
+  std::size_t epochs = 3;    ///< Measurement epochs per object.
+  double epoch_interval_s = 1.0;
+  /// Per-packet deadline, relative to its timestamp (0 = no deadline).
+  double deadline_s = 0.0;
+  /// Measurement knobs (packets_per_batch, dwell_count, deployment, seed,
+  /// channel/engine config) — the same RunConfig the batch pipeline uses.
+  eval::RunConfig run;
+
+  common::Result<void> Validate() const;
+};
+
+/// One object-epoch of the plan: the golden anchors (ordered by ap_id =
+/// anchor index, matching the session snapshot's AnchorKey sort) and the
+/// true position the estimate should be compared against.
+struct ReplayEpoch {
+  std::uint64_t object_id = 0;
+  std::size_t epoch = 0;
+  geometry::Vec2 true_position;
+  std::vector<localization::Anchor> anchors;
+};
+
+struct ReplayPlan {
+  /// Timestamp-ordered stream: per epoch, all objects' observation
+  /// packets, then their query packets.
+  std::vector<IngestPacket> packets;
+  /// Row e * objects + o holds object o's epoch-e golden anchors.
+  std::vector<ReplayEpoch> epochs;
+  std::size_t objects = 0;
+  std::size_t epoch_count = 0;
+  /// An anchor-TTL upper bound that isolates consecutive epochs (half the
+  /// epoch interval) — hand to SessionStoreConfig::anchor_ttl_s when the
+  /// golden equivalence matters.
+  double suggested_anchor_ttl_s = 0.0;
+  /// Anchors per healthy epoch (for ServingConfig::expected_anchors).
+  std::size_t expected_anchors = 0;
+};
+
+/// Measures every (object, epoch) with eval::MeasureEpoch on forked RNG
+/// streams and lays the packets out on the logical timeline.
+common::Result<ReplayPlan> BuildReplayPlan(const eval::Scenario& scenario,
+                                           const ReplayConfig& config);
+
+}  // namespace nomloc::serving

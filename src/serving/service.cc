@@ -1,0 +1,348 @@
+#include "serving/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+
+#include "common/metrics.h"
+
+namespace nomloc::serving {
+
+namespace {
+
+constexpr std::string_view kCounterNames[] = {
+    "serving.ingest.accepted",      "serving.ingest.observations",
+    "serving.ingest.queries",       "serving.rejected.queue_full",
+    "serving.rejected.deadline",    "serving.sessions.created",
+    "serving.sessions.evicted",     "serving.observations.evicted",
+    "serving.degraded",             "serving.solve.failed",
+    "serving.faults.ap_dropout",    "serving.faults.packet_loss",
+    "serving.faults.delayed",
+};
+constexpr std::string_view kHistogramNames[] = {
+    "serving.queue.depth",
+    "serving.shard.occupancy",
+};
+constexpr std::string_view kTimerNames[] = {
+    "serving.queue.wait",
+    "serving.solve",
+    "serving.latency",
+};
+constexpr std::string_view kAllNames[] = {
+    "serving.ingest.accepted",      "serving.ingest.observations",
+    "serving.ingest.queries",       "serving.rejected.queue_full",
+    "serving.rejected.deadline",    "serving.sessions.created",
+    "serving.sessions.evicted",     "serving.observations.evicted",
+    "serving.degraded",             "serving.solve.failed",
+    "serving.faults.ap_dropout",    "serving.faults.packet_loss",
+    "serving.faults.delayed",       "serving.queue.depth",
+    "serving.shard.occupancy",      "serving.queue.wait",
+    "serving.solve",                "serving.latency",
+};
+
+double WallSecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::span<const std::string_view> AllMetricNames() { return kAllNames; }
+
+void TouchMetrics() {
+  auto& registry = common::MetricRegistry::Global();
+  for (std::string_view name : kCounterNames) registry.Counter(name);
+  for (std::string_view name : kHistogramNames)
+    registry.Histogram(name, {}, 1.0, 1e6, 48);
+  for (std::string_view name : kTimerNames) registry.Timer(name);
+}
+
+std::string_view AdmitStatusName(AdmitStatus status) noexcept {
+  switch (status) {
+    case AdmitStatus::kAccepted: return "ACCEPTED";
+    case AdmitStatus::kDroppedByFault: return "DROPPED_BY_FAULT";
+    case AdmitStatus::kRejectedQueueFull: return "REJECTED_QUEUE_FULL";
+    case AdmitStatus::kRejectedDeadline: return "REJECTED_DEADLINE";
+    case AdmitStatus::kRejectedShutdown: return "REJECTED_SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+common::Result<void> ServingConfig::Validate() const {
+  if (workers == 0) return common::InvalidArgument("workers must be >= 1");
+  if (queue_capacity == 0)
+    return common::InvalidArgument("queue_capacity must be >= 1");
+  if (auto valid = store.Validate(); !valid.ok()) return valid;
+  if (auto valid = faults.Validate(); !valid.ok()) return valid;
+  return {};
+}
+
+struct StreamingLocalizer::Job {
+  IngestPacket packet;
+  std::uint64_t seq = 0;
+  std::chrono::steady_clock::time_point enqueue_wall;
+};
+
+struct StreamingLocalizer::WorkerQueue {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::condition_variable drained;
+  std::deque<Job> jobs;
+  bool busy = false;
+};
+
+common::Result<std::unique_ptr<StreamingLocalizer>> StreamingLocalizer::
+    Create(const core::NomLocEngine& engine, ServingConfig config,
+           const Clock* clock) {
+  if (auto valid = config.Validate(); !valid.ok()) return valid.status();
+  return std::unique_ptr<StreamingLocalizer>(
+      new StreamingLocalizer(engine, std::move(config), clock));
+}
+
+StreamingLocalizer::StreamingLocalizer(const core::NomLocEngine& engine,
+                                       ServingConfig config,
+                                       const Clock* clock)
+    : engine_(engine),
+      config_(std::move(config)),
+      store_(config_.store),
+      faults_(config_.faults) {
+  if (clock == nullptr) {
+    owned_clock_ = std::make_unique<SteadyClock>();
+    clock = owned_clock_.get();
+  }
+  clock_ = clock;
+  paused_.store(config_.start_paused);
+  queues_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+}
+
+StreamingLocalizer::~StreamingLocalizer() { Shutdown(); }
+
+std::size_t StreamingLocalizer::WorkerCount() const noexcept {
+  return config_.workers;
+}
+
+AdmitStatus StreamingLocalizer::Ingest(const IngestPacket& packet) {
+  auto& registry = common::MetricRegistry::Global();
+  static auto& accepted = registry.Counter("serving.ingest.accepted");
+  static auto& observations = registry.Counter("serving.ingest.observations");
+  static auto& queries = registry.Counter("serving.ingest.queries");
+  static auto& queue_full = registry.Counter("serving.rejected.queue_full");
+  static auto& past_deadline = registry.Counter("serving.rejected.deadline");
+  static auto& depth_hist =
+      registry.Histogram("serving.queue.depth", {}, 1.0, 1e6, 48);
+
+  if (shutdown_.load(std::memory_order_acquire))
+    return AdmitStatus::kRejectedShutdown;
+
+  double arrival_delay_s = 0.0;
+  if (packet.kind == PacketKind::kObservation && config_.faults.Enabled()) {
+    const FaultDecision decision = faults_.OnObservation(packet.ap_id);
+    if (decision.drop) return AdmitStatus::kDroppedByFault;
+    arrival_delay_s = decision.extra_delay_s;
+  }
+  // A delayed packet is admitted as if it arrived `arrival_delay_s` later:
+  // if that lands past the deadline, the network already lost the race.
+  if (clock_->NowSeconds() + arrival_delay_s > packet.deadline_s) {
+    past_deadline.Increment();
+    return AdmitStatus::kRejectedDeadline;
+  }
+
+  const std::size_t shard = store_.ShardOf(packet.object_id);
+  WorkerQueue& queue = *queues_[shard % queues_.size()];
+  {
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.jobs.size() >= config_.queue_capacity) {
+      queue_full.Increment();
+      return AdmitStatus::kRejectedQueueFull;
+    }
+    Job job;
+    job.packet = packet;
+    job.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    job.enqueue_wall = std::chrono::steady_clock::now();
+    queue.jobs.push_back(std::move(job));
+    depth_hist.Record(static_cast<double>(queue.jobs.size()));
+  }
+  queue.ready.notify_one();
+  accepted.Increment();
+  (packet.kind == PacketKind::kObservation ? observations : queries)
+      .Increment();
+  return AdmitStatus::kAccepted;
+}
+
+void StreamingLocalizer::Start() {
+  paused_.store(false, std::memory_order_release);
+  for (auto& queue : queues_) queue->ready.notify_all();
+}
+
+void StreamingLocalizer::Flush() {
+  for (auto& queue : queues_) {
+    std::unique_lock<std::mutex> lock(queue->mutex);
+    queue->drained.wait(
+        lock, [&] { return queue->jobs.empty() && !queue->busy; });
+  }
+}
+
+void StreamingLocalizer::Shutdown() {
+  // Dedicated lifecycle mutex: workers lock responses_mutex_ while this
+  // thread joins them, so the join must not hold it.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  if (threads_.empty()) return;
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& queue : queues_) queue->ready.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+}
+
+std::vector<ServeResponse> StreamingLocalizer::TakeResponses() {
+  std::lock_guard<std::mutex> lock(responses_mutex_);
+  std::vector<ServeResponse> out;
+  out.swap(responses_);
+  return out;
+}
+
+std::size_t StreamingLocalizer::SweepSessions(double now_s) {
+  return store_.SweepAll(now_s);
+}
+
+void StreamingLocalizer::PushResponse(ServeResponse response) {
+  std::lock_guard<std::mutex> lock(responses_mutex_);
+  responses_.push_back(std::move(response));
+}
+
+void StreamingLocalizer::WorkerLoop(std::size_t worker_index) {
+  WorkerQueue& queue = *queues_[worker_index];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue.mutex);
+      queue.ready.wait(lock, [&] {
+        // Shutdown overrides pause so queued work still drains.
+        return shutdown_.load(std::memory_order_acquire) ||
+               (!paused_.load(std::memory_order_acquire) &&
+                !queue.jobs.empty());
+      });
+      if (queue.jobs.empty()) {
+        if (shutdown_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      job = std::move(queue.jobs.front());
+      queue.jobs.pop_front();
+      queue.busy = true;
+    }
+    Serve(job);
+    {
+      std::lock_guard<std::mutex> lock(queue.mutex);
+      queue.busy = false;
+      if (queue.jobs.empty()) queue.drained.notify_all();
+    }
+  }
+}
+
+void StreamingLocalizer::Serve(const Job& job) {
+  auto& registry = common::MetricRegistry::Global();
+  static auto& wait_timer = registry.Timer("serving.queue.wait");
+  static auto& solve_timer = registry.Timer("serving.solve");
+  static auto& latency_timer = registry.Timer("serving.latency");
+  static auto& past_deadline = registry.Counter("serving.rejected.deadline");
+  static auto& degraded_counter = registry.Counter("serving.degraded");
+  static auto& solve_failed = registry.Counter("serving.solve.failed");
+
+  const IngestPacket& packet = job.packet;
+  const double queue_wait_s = WallSecondsSince(job.enqueue_wall);
+  wait_timer.RecordSeconds(queue_wait_s);
+  const double now_s = clock_->NowSeconds();
+  const bool deadline_missed = now_s > packet.deadline_s;
+
+  if (packet.kind == PacketKind::kObservation) {
+    if (deadline_missed) {
+      // Stale by the time a worker got to it — never enters the session.
+      past_deadline.Increment();
+      return;
+    }
+    PdpObservation obs;
+    obs.pdp = packet.pdp;
+    obs.weight = packet.weight;
+    obs.timestamp_s = packet.timestamp_s;
+    store_.Upsert(packet.object_id,
+                  AnchorKey{packet.ap_id, packet.site_index},
+                  packet.reported_position, packet.is_nomadic, obs, now_s);
+    return;
+  }
+
+  ServeResponse response;
+  response.object_id = packet.object_id;
+  response.seq = job.seq;
+  response.timestamp_s = packet.timestamp_s;
+  response.queue_wait_s = queue_wait_s;
+
+  if (deadline_missed) {
+    past_deadline.Increment();
+    response.status = ServeStatus::kRejectedDeadline;
+    response.latency_s = WallSecondsSince(job.enqueue_wall);
+    latency_timer.RecordSeconds(response.latency_s);
+    PushResponse(std::move(response));
+    return;
+  }
+
+  common::StageTrace solve_trace(solve_timer);
+  auto snapshot = store_.Snapshot(packet.object_id, now_s);
+  if (!snapshot.ok()) {
+    response.status = ServeStatus::kFailed;
+    response.error = snapshot.status();
+    response.degraded = true;
+    solve_failed.Increment();
+  } else {
+    response.anchor_count = snapshot->anchors.size();
+    response.degraded =
+        snapshot->live_keys < snapshot->keys_ever ||
+        (config_.expected_anchors > 0 &&
+         snapshot->live_keys < config_.expected_anchors);
+    if (snapshot->anchors.size() < 2) {
+      response.status = ServeStatus::kFailed;
+      response.error = common::FailedPrecondition(
+          "fewer than two live anchors in the session");
+      response.degraded = true;
+      solve_failed.Increment();
+    } else {
+      core::LocateRequest request;
+      request.anchors = snapshot->anchors;
+      auto located = engine_.Locate(request);
+      if (!located.ok()) {
+        response.status = ServeStatus::kFailed;
+        response.error = located.status();
+        response.degraded = true;
+        solve_failed.Increment();
+      } else {
+        response.estimate = std::move(located->estimate);
+        // Confidence: perfect consistency (zero relaxation cost) with a
+        // pinpoint feasible cell scores 1; a cell as large as the whole
+        // floor, or a heavily relaxed program, scores toward 0.
+        const double total_area = engine_.Area().Area();
+        const double ratio =
+            total_area > 0.0
+                ? std::clamp(
+                      response.estimate.feasible_area_m2 / total_area, 0.0,
+                      1.0)
+                : 1.0;
+        response.confidence =
+            (1.0 / (1.0 + response.estimate.relaxation_cost)) *
+            (1.0 - ratio);
+      }
+    }
+  }
+  solve_trace.Stop();
+  if (response.degraded) degraded_counter.Increment();
+  store_.SweepShard(store_.ShardOf(packet.object_id), now_s);
+  response.latency_s = WallSecondsSince(job.enqueue_wall);
+  latency_timer.RecordSeconds(response.latency_s);
+  PushResponse(std::move(response));
+}
+
+}  // namespace nomloc::serving

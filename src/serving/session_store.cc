@@ -1,0 +1,159 @@
+#include "serving/session_store.h"
+
+#include "common/metrics.h"
+
+namespace nomloc::serving {
+
+common::Result<void> SessionStoreConfig::Validate() const {
+  if (shards == 0) return common::InvalidArgument("shards must be >= 1");
+  if (anchor_ttl_s <= 0.0)
+    return common::InvalidArgument("anchor_ttl_s must be positive");
+  if (session_idle_ttl_s <= 0.0)
+    return common::InvalidArgument("session_idle_ttl_s must be positive");
+  return {};
+}
+
+SessionStore::SessionStore(const SessionStoreConfig& config)
+    : config_(config) {
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t SessionStore::ShardOf(std::uint64_t object_id) const noexcept {
+  // splitmix64 finalizer: adjacent object ids spread over all shards.
+  std::uint64_t x = object_id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards_.size());
+}
+
+bool SessionStore::Upsert(std::uint64_t object_id, AnchorKey key,
+                          geometry::Vec2 position, bool is_nomadic,
+                          const PdpObservation& obs, double now_s) {
+  Shard& shard = *shards_[ShardOf(object_id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, created] = shard.sessions.try_emplace(object_id);
+  Session& session = it->second;
+  session.last_touch_s = now_s;
+  auto [anchor_it, new_key] = session.anchors.try_emplace(key);
+  AnchorState& anchor = anchor_it->second;
+  if (new_key) ++session.keys_ever;
+  anchor.position = position;
+  anchor.is_nomadic = is_nomadic;
+  anchor.observations.push_back(obs);
+  if (created)
+    common::MetricRegistry::Global()
+        .Counter("serving.sessions.created")
+        .Increment();
+  return created;
+}
+
+std::size_t SessionStore::PruneSession(Session& session, double now_s) const {
+  std::size_t evicted = 0;
+  for (auto it = session.anchors.begin(); it != session.anchors.end();) {
+    std::deque<PdpObservation>& obs = it->second.observations;
+    // Delay injection can land an old-timestamped observation behind a
+    // newer one, so expiry scans the whole deque, not just the front.
+    evicted += std::erase_if(obs, [&](const PdpObservation& o) {
+      return now_s - o.timestamp_s > config_.anchor_ttl_s;
+    });
+    if (obs.empty())
+      it = session.anchors.erase(it);
+    else
+      ++it;
+  }
+  return evicted;
+}
+
+common::Result<SessionSnapshot> SessionStore::Snapshot(
+    std::uint64_t object_id, double now_s) {
+  Shard& shard = *shards_[ShardOf(object_id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(object_id);
+  if (it == shard.sessions.end())
+    return common::NotFound("no session for object");
+  Session& session = it->second;
+  const std::size_t evicted = PruneSession(session, now_s);
+  if (evicted > 0)
+    common::MetricRegistry::Global()
+        .Counter("serving.observations.evicted")
+        .Increment(evicted);
+
+  SessionSnapshot snap;
+  snap.keys_ever = session.keys_ever;
+  snap.live_keys = session.anchors.size();
+  snap.last_touch_s = session.last_touch_s;
+  snap.anchors.reserve(session.anchors.size());
+  for (const auto& [key, anchor] : session.anchors) {
+    localization::Anchor out;
+    out.position = anchor.position;
+    out.is_nomadic_site = anchor.is_nomadic;
+    if (anchor.observations.size() == 1) {
+      // Bit-exact pass-through: the streaming path must reproduce the
+      // batch pipeline exactly when each anchor arrived as one report.
+      out.pdp = anchor.observations.front().pdp;
+    } else {
+      double weighted = 0.0, total = 0.0;
+      for (const PdpObservation& obs : anchor.observations) {
+        weighted += obs.pdp * obs.weight;
+        total += obs.weight;
+      }
+      out.pdp = total > 0.0 ? weighted / total : 0.0;
+    }
+    snap.anchors.push_back(out);
+  }
+  return snap;
+}
+
+std::size_t SessionStore::SweepShard(std::size_t shard_index, double now_s) {
+  auto& registry = common::MetricRegistry::Global();
+  Shard& shard = *shards_[shard_index];
+  std::size_t sessions_evicted = 0;
+  std::size_t observations_evicted = 0;
+  std::size_t occupancy = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+      Session& session = it->second;
+      observations_evicted += PruneSession(session, now_s);
+      const bool idle =
+          now_s - session.last_touch_s > config_.session_idle_ttl_s;
+      if (idle || session.anchors.empty()) {
+        it = shard.sessions.erase(it);
+        ++sessions_evicted;
+      } else {
+        ++it;
+      }
+    }
+    occupancy = shard.sessions.size();
+  }
+  if (observations_evicted > 0)
+    registry.Counter("serving.observations.evicted")
+        .Increment(observations_evicted);
+  if (sessions_evicted > 0)
+    registry.Counter("serving.sessions.evicted").Increment(sessions_evicted);
+  registry
+      .Histogram("serving.shard.occupancy", {}, 1.0, 1e6, 48)
+      .Record(static_cast<double>(occupancy));
+  return sessions_evicted;
+}
+
+std::size_t SessionStore::SweepAll(double now_s) {
+  std::size_t evicted = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    evicted += SweepShard(i, now_s);
+  return evicted;
+}
+
+std::size_t SessionStore::SessionCount() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->sessions.size();
+  }
+  return n;
+}
+
+}  // namespace nomloc::serving

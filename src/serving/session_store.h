@@ -1,0 +1,129 @@
+// Sharded per-object session store for streaming localization.
+//
+// A *session* is the server's evolving knowledge about one object: one
+// entry per measurement source (static AP, or one dwell site of a nomadic
+// AP), each holding the per-report PDP observations that arrived for it.
+// Because nomadic APs move on, old judgements must not pin the feasible
+// cell forever: observations older than `anchor_ttl_s` age out, the anchor
+// disappears once its last observation expires, and the SP solver then
+// runs on the reduced constraint set (the feasible cell re-expands).
+//
+// Sessions are sharded by object id.  Each shard has its own mutex, so
+// ingestion workers handling different shards never contend; the serving
+// engine additionally routes every shard to exactly one worker, which
+// makes per-object processing order deterministic (FIFO per queue).
+//
+// All timestamps are logical seconds (serving/clock.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/vec2.h"
+#include "localization/proximity.h"
+
+namespace nomloc::serving {
+
+/// Identifies one measurement source within a session.  Static APs use
+/// (ap_id, 0); a nomadic AP's dwell sites use (ap_id, site_index).
+struct AnchorKey {
+  int ap_id = 0;
+  std::size_t site_index = 0;
+
+  friend auto operator<=>(const AnchorKey&, const AnchorKey&) = default;
+};
+
+/// One ingested report's contribution to an anchor: the batch-mean PDP,
+/// how many frames backed it, and when it was measured.
+struct PdpObservation {
+  double pdp = 0.0;        ///< Mean PDP of the report's frames [mW].
+  double weight = 1.0;     ///< Frame count behind the mean.
+  double timestamp_s = 0.0;
+};
+
+struct SessionStoreConfig {
+  std::size_t shards = 8;
+  /// Observations older than this are evicted (the time-decay horizon for
+  /// a nomadic AP's old-site judgements).
+  double anchor_ttl_s = 30.0;
+  /// Sessions untouched for this long are evicted wholesale.
+  double session_idle_ttl_s = 300.0;
+
+  common::Result<void> Validate() const;
+};
+
+/// Deterministic view of one session at a given logical time: live anchors
+/// sorted by AnchorKey, ready to feed core::LocateRequest::anchors.
+struct SessionSnapshot {
+  std::vector<localization::Anchor> anchors;
+  /// Distinct anchor keys currently live / ever observed.  live < ever
+  /// means constraints have aged out — the response is degraded.
+  std::size_t live_keys = 0;
+  std::size_t keys_ever = 0;
+  double last_touch_s = 0.0;
+};
+
+class SessionStore {
+ public:
+  explicit SessionStore(const SessionStoreConfig& config);
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  std::size_t ShardCount() const noexcept { return shards_.size(); }
+  std::size_t ShardOf(std::uint64_t object_id) const noexcept;
+
+  /// Appends one observation to the object's session (creating the session
+  /// and anchor entry as needed).  `position` updates the anchor's
+  /// reported position (latest report wins).  Returns true when a new
+  /// session was created.
+  bool Upsert(std::uint64_t object_id, AnchorKey key, geometry::Vec2 position,
+              bool is_nomadic, const PdpObservation& obs, double now_s);
+
+  /// Prunes expired observations of the object's session and returns the
+  /// surviving anchors sorted by AnchorKey.  An anchor's PDP is its
+  /// observations' weight-averaged mean (a single observation passes
+  /// through bit-exactly).  kNotFound when the session does not exist.
+  common::Result<SessionSnapshot> Snapshot(std::uint64_t object_id,
+                                           double now_s);
+
+  /// Sweeps one shard: drops expired observations, empty anchors, and idle
+  /// sessions.  Returns the number of sessions evicted.  Also feeds the
+  /// serving.shard.occupancy histogram and eviction counters.
+  std::size_t SweepShard(std::size_t shard, double now_s);
+  /// Sweeps every shard.
+  std::size_t SweepAll(double now_s);
+
+  std::size_t SessionCount() const;
+
+ private:
+  struct AnchorState {
+    geometry::Vec2 position;
+    bool is_nomadic = false;
+    std::deque<PdpObservation> observations;
+  };
+  struct Session {
+    // std::map: snapshots iterate in AnchorKey order deterministically.
+    std::map<AnchorKey, AnchorState> anchors;
+    std::size_t keys_ever = 0;
+    double last_touch_s = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::uint64_t, Session> sessions;
+  };
+
+  /// Drops expired observations / empty anchors; returns #observations
+  /// evicted.  Caller holds the shard mutex.
+  std::size_t PruneSession(Session& session, double now_s) const;
+
+  SessionStoreConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nomloc::serving

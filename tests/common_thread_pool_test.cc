@@ -5,6 +5,9 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+
+#include "common/status.h"
 
 namespace nomloc::common {
 namespace {
@@ -120,6 +123,64 @@ TEST(ThreadPool, ParallelForExceptionDoesNotAbortOtherIndices) {
     if (i == 31) continue;
     EXPECT_EQ(hits[i].load(), 1) << i;
   }
+}
+
+TEST(ThreadPool, TrySubmitRunsLikeSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(pool.TrySubmit([&] { ++counter; }).ok());
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, TrySubmitAfterShutdownReturnsTypedError) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<int> counter{0};
+  const Status status = pool.TrySubmit([&] { ++counter; });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(counter.load(), 0);  // Rejected tasks never run.
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasksAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.Submit([&] { ++counter; });
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 50);
+  pool.Shutdown();  // Second call must be a no-op (no double join).
+  EXPECT_FALSE(pool.TrySubmit([] {}).ok());
+}
+
+TEST(ThreadPool, TrySubmitRacingDestructionIsRejectedOrRuns) {
+  // The shutdown-ordering regression: a producer submitting while the pool
+  // is destroyed must see every task either accepted (and executed before
+  // the join) or rejected with the typed error — accepted-but-never-run
+  // and crashes are both bugs.  Run under TSan via the sanitized build.
+  std::atomic<int> executed{0};
+  std::atomic<int> accepted{0};
+  std::atomic<bool> producer_started{false};
+  std::thread producer;
+  {
+    ThreadPool pool(2);
+    producer = std::thread([&] {
+      producer_started = true;
+      for (;;) {
+        const Status status = pool.TrySubmit([&] { ++executed; });
+        if (!status.ok()) {
+          EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+          return;
+        }
+        ++accepted;
+      }
+    });
+    while (!producer_started) std::this_thread::yield();
+    // Destructor races the producer's TrySubmit loop.
+  }
+  producer.join();
+  EXPECT_EQ(executed.load(), accepted.load());
 }
 
 TEST(ThreadPool, ParallelSumMatchesSequential) {

@@ -1,0 +1,290 @@
+#include "serving/service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/metrics.h"
+#include "core/nomloc.h"
+#include "eval/scenario.h"
+#include "serving/clock.h"
+#include "serving/fault_injection.h"
+#include "serving/replay.h"
+
+namespace nomloc::serving {
+namespace {
+
+IngestPacket Observation(std::uint64_t object_id, int ap_id,
+                         geometry::Vec2 position, double pdp, double t_s) {
+  IngestPacket packet;
+  packet.kind = PacketKind::kObservation;
+  packet.object_id = object_id;
+  packet.ap_id = ap_id;
+  packet.reported_position = position;
+  packet.pdp = pdp;
+  packet.timestamp_s = t_s;
+  return packet;
+}
+
+IngestPacket Query(std::uint64_t object_id, double t_s) {
+  IngestPacket packet;
+  packet.kind = PacketKind::kQuery;
+  packet.object_id = object_id;
+  packet.timestamp_s = t_s;
+  return packet;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() {
+    auto engine = core::NomLocEngine::Create(
+        geometry::Polygon::Rectangle(0.0, 0.0, 10.0, 10.0));
+    NOMLOC_REQUIRE(engine.ok());
+    engine_ = std::make_unique<core::NomLocEngine>(std::move(*engine));
+  }
+
+  std::unique_ptr<StreamingLocalizer> MakeService(ServingConfig config) {
+    auto service = StreamingLocalizer::Create(*engine_, config, &clock_);
+    NOMLOC_REQUIRE(service.ok());
+    return std::move(*service);
+  }
+
+  std::unique_ptr<core::NomLocEngine> engine_;
+  ManualClock clock_;
+};
+
+TEST_F(ServiceTest, ConfigValidation) {
+  ServingConfig config;
+  config.workers = 0;
+  EXPECT_FALSE(StreamingLocalizer::Create(*engine_, config).ok());
+  config = {};
+  config.queue_capacity = 0;
+  EXPECT_FALSE(StreamingLocalizer::Create(*engine_, config).ok());
+  config = {};
+  config.faults.ap_dropout_rate = 1.5;
+  EXPECT_FALSE(StreamingLocalizer::Create(*engine_, config).ok());
+}
+
+TEST_F(ServiceTest, ObservationsThenQueryProduceOneResponse) {
+  ServingConfig config;
+  config.workers = 2;
+  auto service = MakeService(config);
+
+  clock_.Set(0.0);
+  EXPECT_EQ(service->Ingest(Observation(1, 0, {1.0, 1.0}, 0.5, 0.0)),
+            AdmitStatus::kAccepted);
+  EXPECT_EQ(service->Ingest(Observation(1, 1, {9.0, 9.0}, 0.1, 0.0)),
+            AdmitStatus::kAccepted);
+  EXPECT_EQ(service->Ingest(Query(1, 0.1)), AdmitStatus::kAccepted);
+  service->Flush();
+
+  auto responses = service->TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kOk);
+  EXPECT_EQ(responses[0].object_id, 1u);
+  EXPECT_EQ(responses[0].anchor_count, 2u);
+  EXPECT_GE(responses[0].confidence, 0.0);
+  EXPECT_LE(responses[0].confidence, 1.0);
+  EXPECT_GT(responses[0].estimate.feasible_area_m2, 0.0);
+}
+
+TEST_F(ServiceTest, QueryWithTooFewAnchorsFailsTyped) {
+  auto service = MakeService({});
+  clock_.Set(0.0);
+  service->Ingest(Observation(1, 0, {1.0, 1.0}, 0.5, 0.0));
+  service->Ingest(Query(1, 0.0));
+  service->Flush();
+
+  auto responses = service->TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kFailed);
+  EXPECT_EQ(responses[0].error.code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(responses[0].degraded);
+}
+
+TEST_F(ServiceTest, QueueFullRejectsDeterministically) {
+  ServingConfig config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.start_paused = true;  // nothing drains until Start()
+  auto service = MakeService(config);
+
+  clock_.Set(0.0);
+  EXPECT_EQ(service->Ingest(Observation(1, 0, {1.0, 1.0}, 0.5, 0.0)),
+            AdmitStatus::kAccepted);
+  EXPECT_EQ(service->Ingest(Observation(1, 1, {9.0, 9.0}, 0.1, 0.0)),
+            AdmitStatus::kAccepted);
+  EXPECT_EQ(service->Ingest(Query(1, 0.0)),
+            AdmitStatus::kRejectedQueueFull);
+
+  service->Start();
+  service->Flush();
+  EXPECT_EQ(service->Ingest(Query(1, 0.1)), AdmitStatus::kAccepted);
+  service->Flush();
+  auto responses = service->TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kOk);
+}
+
+TEST_F(ServiceTest, DeadlineRejectedAtAdmission) {
+  auto service = MakeService({});
+  clock_.Set(5.0);
+  IngestPacket packet = Query(1, 4.0);
+  packet.deadline_s = 4.5;  // already past at ingest
+  EXPECT_EQ(service->Ingest(packet), AdmitStatus::kRejectedDeadline);
+}
+
+TEST_F(ServiceTest, DeadlineExpiringInQueueYieldsRejectionResponse) {
+  ServingConfig config;
+  config.workers = 1;
+  config.start_paused = true;
+  auto service = MakeService(config);
+
+  clock_.Set(0.0);
+  service->Ingest(Observation(1, 0, {1.0, 1.0}, 0.5, 0.0));
+  service->Ingest(Observation(1, 1, {9.0, 9.0}, 0.1, 0.0));
+  IngestPacket query = Query(1, 0.0);
+  query.deadline_s = 1.0;
+  EXPECT_EQ(service->Ingest(query), AdmitStatus::kAccepted);
+
+  clock_.Set(2.0);  // the queued query's deadline passes before it runs
+  service->Start();
+  service->Flush();
+
+  auto responses = service->TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kRejectedDeadline);
+}
+
+TEST_F(ServiceTest, ShutdownDrainsThenRejectsIngest) {
+  ServingConfig config;
+  config.workers = 1;
+  config.start_paused = true;
+  auto service = MakeService(config);
+
+  clock_.Set(0.0);
+  service->Ingest(Observation(1, 0, {1.0, 1.0}, 0.5, 0.0));
+  service->Ingest(Observation(1, 1, {9.0, 9.0}, 0.1, 0.0));
+  service->Ingest(Query(1, 0.0));
+  service->Shutdown();  // drains queued work even though never Start()ed
+
+  EXPECT_EQ(service->Ingest(Query(1, 0.1)), AdmitStatus::kRejectedShutdown);
+  auto responses = service->TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kOk);
+}
+
+TEST_F(ServiceTest, FaultInjectorIsDeterministicAndMemoizesDropout) {
+  FaultConfig config;
+  config.ap_dropout_rate = 0.5;
+  config.packet_loss_rate = 0.0;
+  config.seed = 42;
+  FaultInjector a(config), b(config);
+  for (int ap = 0; ap < 16; ++ap) {
+    const bool first = a.OnObservation(ap).drop;
+    EXPECT_EQ(first, b.OnObservation(ap).drop);  // same seed, same fate
+    EXPECT_EQ(first, a.OnObservation(ap).drop);  // memoized per AP
+    EXPECT_EQ(first, a.ApIsDown(ap));
+  }
+}
+
+// The tentpole equivalence property: with faults off, streaming the
+// replay plan produces estimates bit-identical to LocateBatch over the
+// plan's golden anchor sets.
+TEST_F(ServiceTest, StreamingMatchesLocateBatchBitExactly) {
+  auto scenario = eval::ScenarioByName("lab");
+  ASSERT_TRUE(scenario.ok());
+  ReplayConfig replay;
+  replay.objects = 2;
+  replay.epochs = 2;
+  replay.run.packets_per_batch = 3;
+  replay.run.dwell_count = 3;
+  auto plan = BuildReplayPlan(*scenario, replay);
+  ASSERT_TRUE(plan.ok());
+
+  core::NomLocConfig engine_cfg = replay.run.engine;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  auto engine = core::NomLocEngine::Create(scenario->env.Boundary(),
+                                           engine_cfg);
+  ASSERT_TRUE(engine.ok());
+
+  ServingConfig config;
+  config.workers = 2;
+  config.store.anchor_ttl_s = plan->suggested_anchor_ttl_s;
+  config.expected_anchors = plan->expected_anchors;
+  auto service = StreamingLocalizer::Create(*engine, config, &clock_);
+  ASSERT_TRUE(service.ok());
+
+  // Replay epoch by epoch; flushing at each boundary pins the logical
+  // time every query is served at.
+  std::size_t next = 0;
+  for (std::size_t e = 0; e < plan->epoch_count; ++e) {
+    const double epoch_end_s = double(e + 1) * replay.epoch_interval_s;
+    while (next < plan->packets.size() &&
+           plan->packets[next].timestamp_s < epoch_end_s) {
+      clock_.Set(plan->packets[next].timestamp_s);
+      EXPECT_EQ((*service)->Ingest(plan->packets[next]),
+                AdmitStatus::kAccepted);
+      ++next;
+    }
+    (*service)->Flush();
+  }
+  (*service)->Shutdown();
+
+  std::vector<core::LocateRequest> requests(plan->epochs.size());
+  for (std::size_t i = 0; i < plan->epochs.size(); ++i)
+    requests[i].anchors = plan->epochs[i].anchors;
+  auto batch = engine->LocateBatch(requests, 2);
+  ASSERT_TRUE(batch.ok());
+
+  auto responses = (*service)->TakeResponses();
+  ASSERT_EQ(responses.size(), plan->epochs.size());
+  for (const ServeResponse& response : responses) {
+    ASSERT_EQ(response.status, ServeStatus::kOk);
+    const std::size_t epoch =
+        std::size_t(response.timestamp_s / replay.epoch_interval_s);
+    const std::size_t row =
+        epoch * plan->objects + std::size_t(response.object_id);
+    const core::LocationEstimate& want = (*batch)[row].estimate;
+    EXPECT_EQ(std::memcmp(&response.estimate.position, &want.position,
+                          sizeof(want.position)),
+              0);
+    EXPECT_EQ(response.estimate.relaxation_cost, want.relaxation_cost);
+    EXPECT_EQ(response.estimate.feasible_area_m2, want.feasible_area_m2);
+    EXPECT_EQ(response.anchor_count, plan->epochs[row].anchors.size());
+  }
+}
+
+// Satellite (f): every serving metric is registered under the serving.*
+// namespace and a --metrics dump lists each exactly once.
+TEST(ServingMetrics, EveryMetricListedExactlyOnce) {
+  TouchMetrics();
+  const std::string dump = common::MetricRegistry::Global().DumpText();
+
+  std::map<std::string, int> second_tokens;
+  std::istringstream lines(dump);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream tokens(line);
+    std::string kind, name;
+    if (tokens >> kind >> name) ++second_tokens[name];
+  }
+
+  auto names = AllMetricNames();
+  EXPECT_FALSE(names.empty());
+  for (std::string_view name : names) {
+    EXPECT_EQ(second_tokens[std::string(name)], 1)
+        << "metric " << name << " not listed exactly once";
+    EXPECT_TRUE(name.starts_with("serving."))
+        << "metric " << name << " escapes the serving.* namespace";
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::serving

@@ -1,0 +1,167 @@
+#include "serving/session_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/nomloc.h"
+#include "geometry/polygon.h"
+#include "serving/clock.h"
+
+namespace nomloc::serving {
+namespace {
+
+SessionStoreConfig SmallStore(double ttl_s = 10.0) {
+  SessionStoreConfig config;
+  config.shards = 4;
+  config.anchor_ttl_s = ttl_s;
+  config.session_idle_ttl_s = 100.0;
+  return config;
+}
+
+PdpObservation Obs(double pdp, double weight, double t_s) {
+  PdpObservation obs;
+  obs.pdp = pdp;
+  obs.weight = weight;
+  obs.timestamp_s = t_s;
+  return obs;
+}
+
+TEST(SessionStoreConfig, ValidatesKnobs) {
+  EXPECT_TRUE(SmallStore().Validate().ok());
+  SessionStoreConfig bad = SmallStore();
+  bad.shards = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = SmallStore();
+  bad.anchor_ttl_s = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(SessionStore, ShardRoutingIsStableAndInRange) {
+  SessionStore store(SmallStore());
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::size_t shard = store.ShardOf(id);
+    EXPECT_LT(shard, store.ShardCount());
+    EXPECT_EQ(shard, store.ShardOf(id));
+  }
+}
+
+TEST(SessionStore, SnapshotSortsAnchorsByKeyAndPassesPdpThrough) {
+  SessionStore store(SmallStore());
+  // Inserted out of key order on purpose.
+  store.Upsert(7, {2, 0}, {2.0, 0.0}, false, Obs(0.3, 1.0, 0.0), 0.0);
+  store.Upsert(7, {0, 1}, {0.0, 1.0}, true, Obs(0.1, 1.0, 0.0), 0.0);
+  store.Upsert(7, {0, 0}, {0.0, 0.0}, true, Obs(0.2, 1.0, 0.0), 0.0);
+
+  auto snapshot = store.Snapshot(7, 1.0);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot->anchors.size(), 3u);
+  EXPECT_EQ(snapshot->live_keys, 3u);
+  EXPECT_EQ(snapshot->keys_ever, 3u);
+  // (0,0) < (0,1) < (2,0); single observations pass through bit-exactly.
+  EXPECT_EQ(snapshot->anchors[0].pdp, 0.2);
+  EXPECT_EQ(snapshot->anchors[1].pdp, 0.1);
+  EXPECT_EQ(snapshot->anchors[2].pdp, 0.3);
+  EXPECT_TRUE(snapshot->anchors[0].is_nomadic_site);
+  EXPECT_FALSE(snapshot->anchors[2].is_nomadic_site);
+
+  EXPECT_FALSE(store.Snapshot(8, 1.0).ok());  // unknown object
+}
+
+TEST(SessionStore, SnapshotWeightAveragesRepeatedReports) {
+  SessionStore store(SmallStore());
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 3.0, 0.0), 0.0);
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(2.0, 1.0, 1.0), 1.0);
+
+  auto snapshot = store.Snapshot(1, 2.0);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_EQ(snapshot->anchors.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot->anchors[0].pdp, (1.0 * 3.0 + 2.0 * 1.0) / 4.0);
+}
+
+TEST(SessionStore, LatestReportedPositionWins) {
+  SessionStore store(SmallStore());
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+  store.Upsert(1, {0, 0}, {3.0, 4.0}, false, Obs(1.0, 1.0, 1.0), 1.0);
+
+  auto snapshot = store.Snapshot(1, 2.0);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->anchors[0].position.x, 3.0);
+  EXPECT_EQ(snapshot->anchors[0].position.y, 4.0);
+}
+
+TEST(SessionStore, TimeDecayEvictsStaleObservationsAndAnchors) {
+  ManualClock clock;
+  SessionStore store(SmallStore(/*ttl_s=*/10.0));
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+  store.Upsert(1, {1, 0}, {1.0, 0.0}, false, Obs(2.0, 1.0, 8.0), 8.0);
+
+  clock.Set(9.0);  // both inside the TTL window
+  auto young = store.Snapshot(1, clock.NowSeconds());
+  ASSERT_TRUE(young.ok());
+  EXPECT_EQ(young->anchors.size(), 2u);
+
+  clock.Set(11.0);  // the t=0 observation is now 11 s old
+  auto aged = store.Snapshot(1, clock.NowSeconds());
+  ASSERT_TRUE(aged.ok());
+  ASSERT_EQ(aged->anchors.size(), 1u);
+  EXPECT_EQ(aged->anchors[0].pdp, 2.0);
+  EXPECT_EQ(aged->live_keys, 1u);
+  EXPECT_EQ(aged->keys_ever, 2u);  // the degradation signal
+}
+
+TEST(SessionStore, SweepEvictsIdleSessions) {
+  SessionStoreConfig config = SmallStore();
+  config.session_idle_ttl_s = 20.0;
+  SessionStore store(config);
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+  store.Upsert(2, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 15.0), 15.0);
+  EXPECT_EQ(store.SessionCount(), 2u);
+
+  EXPECT_EQ(store.SweepAll(21.0), 1u);  // only object 1 went idle
+  EXPECT_EQ(store.SessionCount(), 1u);
+  EXPECT_FALSE(store.Snapshot(1, 21.0).ok());
+  EXPECT_TRUE(store.Snapshot(2, 21.0).ok());
+}
+
+// The paper's core time-decay property: once a nomadic AP has moved on,
+// its old-site judgements must age out, and the SP feasible cell of a
+// query that only sees the surviving constraints re-expands (fewer
+// half-planes can only grow the intersection).
+TEST(SessionStore, NomadicJudgementDecayReexpandsFeasibleCell) {
+  auto engine = core::NomLocEngine::Create(
+      geometry::Polygon::Rectangle(0.0, 0.0, 10.0, 10.0));
+  ASSERT_TRUE(engine.ok());
+
+  ManualClock clock;
+  SessionStore store(SmallStore(/*ttl_s=*/10.0));
+  // Two static APs measured now, plus two nomadic dwell-site anchors
+  // measured early (they will age out first).  PDPs are consistent with
+  // an object near (4, 4).
+  store.Upsert(1, {0, 0}, {1.0, 1.0}, false, Obs(0.50, 1.0, 9.0), 9.0);
+  store.Upsert(1, {1, 0}, {9.0, 9.0}, false, Obs(0.10, 1.0, 9.0), 9.0);
+  store.Upsert(1, {2, 0}, {1.0, 9.0}, true, Obs(0.20, 1.0, 1.0), 1.0);
+  store.Upsert(1, {2, 1}, {9.0, 1.0}, true, Obs(0.25, 1.0, 2.0), 2.0);
+
+  const auto solve = [&](double now_s) {
+    clock.Set(now_s);
+    auto snapshot = store.Snapshot(1, clock.NowSeconds());
+    EXPECT_TRUE(snapshot.ok());
+    core::LocateRequest request;
+    request.anchors = snapshot->anchors;
+    auto response = engine->Locate(request);
+    EXPECT_TRUE(response.ok());
+    return std::pair(snapshot->anchors.size(),
+                     response->estimate.feasible_area_m2);
+  };
+
+  const auto [full_count, full_area] = solve(9.5);
+  const auto [decayed_count, decayed_area] = solve(13.0);
+  EXPECT_EQ(full_count, 4u);
+  EXPECT_EQ(decayed_count, 2u);  // the nomadic judgements aged out
+  EXPECT_GT(full_area, 0.0);
+  // Dropping constraints can only grow the relaxed feasible region.
+  EXPECT_GE(decayed_area, full_area);
+  EXPECT_GT(decayed_area, full_area * 1.01);  // and here it strictly does
+}
+
+}  // namespace
+}  // namespace nomloc::serving

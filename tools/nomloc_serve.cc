@@ -1,0 +1,281 @@
+// nomloc_serve — streaming serving-layer driver.
+//
+//   nomloc_serve [--scenario lab|lobby|office] [--objects N] [--epochs N]
+//                [--interval S] [--workers N] [--queue-capacity N]
+//                [--deadline S] [--dropout R] [--loss R] [--delay-rate R]
+//                [--delay S] [--packets N] [--dwells N] [--seed N]
+//                [--check] [--metrics]
+//
+// Replays a measurement campaign (objects x epochs, from the scenario's
+// test sites) as a timestamped packet stream through StreamingLocalizer
+// and prints admission counts, per-response outcomes, localization error,
+// throughput, and latency percentiles.
+//
+// --check (faults must be off) additionally runs the same anchor sets
+// through NomLocEngine::LocateBatch and exits non-zero unless every
+// streamed estimate is bit-identical to its batch twin — the serving
+// layer's end-to-end equivalence proof.
+//
+// Fault flags (--dropout / --loss / --delay-rate) exercise graceful
+// degradation: dead APs and lost packets shrink the constraint set, the
+// solver falls back to the reduced program, and each response carries a
+// confidence plus a `degraded` flag; --metrics shows the serving.* series
+// (queue depth, shard occupancy, rejections, degradation events).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/stats.h"
+#include "core/nomloc.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+#include "serving/clock.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+
+using namespace nomloc;
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario lab|lobby|office] [--objects N] [--epochs N]\n"
+      "          [--interval S] [--workers N] [--queue-capacity N]\n"
+      "          [--deadline S] [--dropout R] [--loss R] [--delay-rate R]\n"
+      "          [--delay S] [--packets N] [--dwells N] [--seed N]\n"
+      "          [--check] [--metrics]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "lab";
+  serving::ReplayConfig replay;
+  replay.run.packets_per_batch = 20;
+  replay.run.dwell_count = 6;
+  serving::ServingConfig serve;
+  bool check = false;
+  bool metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario_name = next();
+    } else if (arg == "--objects") {
+      replay.objects = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--epochs") {
+      replay.epochs = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--interval") {
+      replay.epoch_interval_s = std::strtod(next(), nullptr);
+    } else if (arg == "--deadline") {
+      replay.deadline_s = std::strtod(next(), nullptr);
+    } else if (arg == "--workers") {
+      serve.workers = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--queue-capacity") {
+      serve.queue_capacity = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--dropout") {
+      serve.faults.ap_dropout_rate = std::strtod(next(), nullptr);
+    } else if (arg == "--loss") {
+      serve.faults.packet_loss_rate = std::strtod(next(), nullptr);
+    } else if (arg == "--delay-rate") {
+      serve.faults.delay_rate = std::strtod(next(), nullptr);
+    } else if (arg == "--delay") {
+      serve.faults.delay_s = std::strtod(next(), nullptr);
+    } else if (arg == "--packets") {
+      replay.run.packets_per_batch = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--dwells") {
+      replay.run.dwell_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      replay.run.seed = std::strtoull(next(), nullptr, 10);
+      serve.faults.seed = replay.run.seed + 0x5e21;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  if (check && serve.faults.Enabled()) {
+    std::fprintf(stderr,
+                 "error: --check requires fault injection to be off\n");
+    return 2;
+  }
+
+  auto scenario = eval::ScenarioByName(scenario_name);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "error: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  auto plan = serving::BuildReplayPlan(*scenario, replay);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  core::NomLocConfig engine_cfg = replay.run.engine;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  auto engine =
+      core::NomLocEngine::Create(scenario->env.Boundary(), engine_cfg);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  serve.store.anchor_ttl_s = plan->suggested_anchor_ttl_s;
+  serve.store.session_idle_ttl_s = 10.0 * replay.epoch_interval_s;
+  serve.expected_anchors = plan->expected_anchors;
+
+  serving::ManualClock clock;
+  auto service = serving::StreamingLocalizer::Create(*engine, serve, &clock);
+  if (!service.ok()) {
+    std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  // Replay on the logical timeline.  Flushing at each epoch boundary
+  // pins the logical time every query is served at (its own timestamp),
+  // which is what makes the no-fault stream reproducible: the session
+  // TTL sees exactly the ages the plan promises.
+  std::size_t accepted = 0, dropped = 0, rejected = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t next_packet = 0;
+  for (std::size_t e = 0; e < plan->epoch_count; ++e) {
+    const double epoch_end_s = double(e + 1) * replay.epoch_interval_s;
+    while (next_packet < plan->packets.size() &&
+           plan->packets[next_packet].timestamp_s < epoch_end_s) {
+      const serving::IngestPacket& packet = plan->packets[next_packet++];
+      clock.Set(packet.timestamp_s);
+      switch ((*service)->Ingest(packet)) {
+        case serving::AdmitStatus::kAccepted: ++accepted; break;
+        case serving::AdmitStatus::kDroppedByFault: ++dropped; break;
+        default: ++rejected; break;
+      }
+    }
+    (*service)->Flush();
+  }
+  (*service)->Shutdown();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  auto responses = (*service)->TakeResponses();
+  std::sort(responses.begin(), responses.end(),
+            [](const serving::ServeResponse& a,
+               const serving::ServeResponse& b) { return a.seq < b.seq; });
+
+  std::size_t ok = 0, failed = 0, deadline_missed = 0, degraded = 0;
+  std::vector<double> errors_m, latencies_ms, confidences;
+  for (const serving::ServeResponse& r : responses) {
+    latencies_ms.push_back(1e3 * r.latency_s);
+    if (r.degraded) ++degraded;
+    if (r.status == serving::ServeStatus::kOk) {
+      ++ok;
+      confidences.push_back(r.confidence);
+      const std::size_t epoch =
+          std::size_t(r.timestamp_s / replay.epoch_interval_s);
+      const auto& golden =
+          plan->epochs[epoch * plan->objects + std::size_t(r.object_id)];
+      errors_m.push_back(
+          (r.estimate.position - golden.true_position).Norm());
+    } else if (r.status == serving::ServeStatus::kRejectedDeadline) {
+      ++deadline_missed;
+    } else {
+      ++failed;
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+
+  std::printf("scenario=%s objects=%zu epochs=%zu workers=%zu faults=%s\n",
+              scenario_name.c_str(), plan->objects, plan->epoch_count,
+              (*service)->WorkerCount(),
+              serve.faults.Enabled() ? "on" : "off");
+  std::printf("ingest: %zu accepted, %zu dropped by fault, %zu rejected\n",
+              accepted, dropped, rejected);
+  std::printf("responses: %zu ok, %zu failed, %zu past deadline, "
+              "%zu degraded\n",
+              ok, failed, deadline_missed, degraded);
+  if (!errors_m.empty()) {
+    std::printf("error: mean %.2f m | p50 %.2f m | p90 %.2f m | "
+                "mean confidence %.3f\n",
+                common::Mean(errors_m), common::Percentile(errors_m, 0.5),
+                common::Percentile(errors_m, 0.9),
+                common::Mean(confidences));
+  }
+  std::printf("throughput: %.0f packets/s (%zu packets in %.3f s)\n",
+              wall_s > 0.0 ? double(accepted) / wall_s : 0.0, accepted,
+              wall_s);
+  if (!latencies_ms.empty()) {
+    std::printf("latency: p50 %.3f ms | p95 %.3f ms | p99 %.3f ms\n",
+                common::Percentile(latencies_ms, 0.5),
+                common::Percentile(latencies_ms, 0.95),
+                common::Percentile(latencies_ms, 0.99));
+  }
+
+  int exit_code = 0;
+  if (check) {
+    // Batch twin: the exact anchor sets the plan promised each query.
+    std::vector<core::LocateRequest> requests(plan->epochs.size());
+    for (std::size_t i = 0; i < plan->epochs.size(); ++i)
+      requests[i].anchors = plan->epochs[i].anchors;
+    auto batch = (*engine).LocateBatch(requests, serve.workers);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "error: %s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    std::size_t compared = 0, mismatched = 0;
+    for (const serving::ServeResponse& r : responses) {
+      if (r.status != serving::ServeStatus::kOk) {
+        ++mismatched;  // the batch twin always succeeds
+        continue;
+      }
+      const std::size_t epoch =
+          std::size_t(r.timestamp_s / replay.epoch_interval_s);
+      const std::size_t row = epoch * plan->objects + std::size_t(r.object_id);
+      const core::LocationEstimate& want = (*batch)[row].estimate;
+      ++compared;
+      if (std::memcmp(&r.estimate.position, &want.position,
+                      sizeof(want.position)) != 0 ||
+          r.estimate.relaxation_cost != want.relaxation_cost ||
+          r.estimate.feasible_area_m2 != want.feasible_area_m2) {
+        ++mismatched;
+        std::fprintf(stderr,
+                     "check: object %llu epoch %zu: streamed (%.17g, %.17g) "
+                     "!= batch (%.17g, %.17g)\n",
+                     static_cast<unsigned long long>(r.object_id), epoch,
+                     r.estimate.position.x, r.estimate.position.y,
+                     want.position.x, want.position.y);
+      }
+    }
+    if (compared != plan->epochs.size() || mismatched != 0) {
+      std::fprintf(stderr,
+                   "check: FAILED (%zu of %zu compared, %zu mismatched)\n",
+                   compared, plan->epochs.size(), mismatched);
+      exit_code = 1;
+    } else {
+      std::printf("check: %zu streamed estimates bit-identical to "
+                  "LocateBatch\n",
+                  compared);
+    }
+  }
+
+  if (metrics) {
+    serving::TouchMetrics();
+    std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
+  }
+  return exit_code;
+}
