@@ -1,0 +1,207 @@
+// Resilience benchmark: replays seeded chaos schedules (serving::RunChaos)
+// against the streaming serving layer and reports, per seed, the recovery
+// latency — logical time from the last fault clearing to the first
+// full-fidelity (kOk, DegradationLevel::kNone) response — alongside the
+// injection and degradation tallies and the mean error of successful
+// queries, compared against the fault-free replay of the same plan.
+//
+// The BenchTiming rows reuse the shared cold-vs-warm report shape: "cold"
+// is the fault-free wall time for the stream, "warm" is the chaos run, so
+// the speedup column reads as the (usually ~1x) overhead of riding out
+// the fault schedule.
+//
+// Flags: --quick shrinks the campaign (CI smoke), --json prints the
+// shared BenchReportJson document, --out PATH also writes it to a file
+// (the committed BENCH_resilience.json snapshot).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/assert.h"
+#include "common/stats.h"
+#include "core/nomloc.h"
+#include "eval/scenario.h"
+#include "serving/chaos.h"
+#include "serving/replay.h"
+
+namespace {
+
+using nomloc::serving::ChaosConfig;
+using nomloc::serving::ChaosQueryOutcome;
+using nomloc::serving::ChaosReport;
+using nomloc::serving::ServeStatus;
+
+struct ChaosRun {
+  ChaosReport report;
+  double wall_ms = 0.0;
+};
+
+nomloc::serving::ServingConfig ResilienceServingConfig() {
+  nomloc::serving::ServingConfig config;
+  config.workers = 2;
+  // Breakers re-close within one epoch so recovery latency measures the
+  // pipeline, not the backoff floor.
+  config.breaker.failure_threshold = 2;
+  config.breaker.base_backoff_s = 0.2;
+  config.breaker.max_backoff_s = 1.0;
+  config.query_retry_budget = 1;
+  return config;
+}
+
+ChaosRun RunOnce(const nomloc::core::NomLocEngine& engine,
+                 const nomloc::serving::ReplayPlan& plan,
+                 double epoch_interval_s, const ChaosConfig& chaos) {
+  const auto start = std::chrono::steady_clock::now();
+  auto report = nomloc::serving::RunChaos(engine, plan, epoch_interval_s,
+                                          chaos, ResilienceServingConfig());
+  const auto stop = std::chrono::steady_clock::now();
+  NOMLOC_REQUIRE(report.ok());
+  ChaosRun run;
+  run.report = std::move(*report);
+  run.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return run;
+}
+
+double MeanOkError(const ChaosReport& report) {
+  std::vector<double> errors;
+  for (const ChaosQueryOutcome& outcome : report.outcomes)
+    if (outcome.status == ServeStatus::kOk) errors.push_back(outcome.error_m);
+  return errors.empty() ? 0.0 : nomloc::common::Mean(errors);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto scenario = nomloc::eval::ScenarioByName("lab");
+  NOMLOC_REQUIRE(scenario.ok());
+
+  nomloc::serving::ReplayConfig replay;
+  replay.objects = quick ? 2 : 4;
+  replay.epochs = quick ? 5 : 8;
+  replay.run.packets_per_batch = quick ? 3 : 10;
+  replay.run.dwell_count = quick ? 3 : 6;
+  replay.run.seed = 7;
+  auto plan = nomloc::serving::BuildReplayPlan(*scenario, replay);
+  NOMLOC_REQUIRE(plan.ok());
+
+  nomloc::core::NomLocConfig engine_cfg = replay.run.engine;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  auto engine = nomloc::core::NomLocEngine::Create(
+      scenario->env.Boundary(), engine_cfg);
+  NOMLOC_REQUIRE(engine.ok());
+
+  ChaosConfig fault_free;
+  fault_free.events = 0;
+  const ChaosRun baseline =
+      RunOnce(*engine, *plan, replay.epoch_interval_s, fault_free);
+  const double baseline_error_m = MeanOkError(baseline.report);
+
+  const std::vector<std::uint64_t> seeds =
+      quick ? std::vector<std::uint64_t>{1, 2, 3}
+            : std::vector<std::uint64_t>{1, 2, 3, 4, 5};
+
+  std::vector<nomloc::bench::BenchTiming> series;
+  std::vector<ChaosReport> reports;
+  nomloc::common::JsonArray rows;
+  std::vector<double> recoveries_s;
+  for (std::uint64_t seed : seeds) {
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.events = quick ? 6 : 10;
+    ChaosRun run = RunOnce(*engine, *plan, replay.epoch_interval_s, chaos);
+    const ChaosReport& report = run.report;
+
+    nomloc::bench::BenchTiming timing;
+    timing.name = "chaos.seed" + std::to_string(seed);
+    timing.iterations = report.outcomes.size();
+    timing.cold_ms = baseline.wall_ms;
+    timing.warm_ms = run.wall_ms;
+    series.push_back(timing);
+
+    if (report.recovery_latency_s >= 0.0)
+      recoveries_s.push_back(report.recovery_latency_s);
+
+    nomloc::common::JsonObject row;
+    row["seed"] = seed;
+    row["events"] = report.schedule.events.size();
+    row["recovery_latency_s"] = report.recovery_latency_s;
+    row["injected_drops"] = report.injected_drops;
+    row["injected_corruptions"] = report.injected_corruptions;
+    row["clock_jumps"] = report.clock_jumps;
+    row["saturation_bursts"] = report.saturation_bursts;
+    row["admit_accepted"] = report.admit_accepted;
+    row["admit_rejected_corrupt"] = report.admit_rejected_corrupt;
+    row["admit_rejected_breaker"] = report.admit_rejected_breaker;
+    row["degraded_none"] = report.degradation_counts[0];
+    row["degraded_relaxed"] = report.degradation_counts[1];
+    row["degraded_centroid"] = report.degradation_counts[2];
+    row["degraded_last_known_good"] = report.degradation_counts[3];
+    row["mean_ok_error_m"] = MeanOkError(report);
+    rows.push_back(nomloc::common::Json(std::move(row)));
+    reports.push_back(std::move(run.report));
+  }
+
+  nomloc::common::JsonObject summary;
+  summary["fault_free_mean_error_m"] = baseline_error_m;
+  summary["fault_free_queries"] = baseline.report.outcomes.size();
+  summary["seeds"] = seeds.size();
+  summary["recovered_seeds"] = recoveries_s.size();
+  summary["mean_recovery_latency_s"] =
+      recoveries_s.empty() ? -1.0 : nomloc::common::Mean(recoveries_s);
+
+  nomloc::common::JsonObject extra;
+  extra["resilience"] = nomloc::common::Json(std::move(rows));
+  extra["resilience_summary"] = nomloc::common::Json(std::move(summary));
+  const nomloc::common::Json report = nomloc::bench::BenchReportJson(
+      "resilience", quick, series, std::move(extra));
+
+  if (json) {
+    std::printf("%s\n", report.DumpPretty().c_str());
+  } else {
+    std::printf("resilience benchmark (%s): %zu packets, %zu queries, "
+                "fault-free mean error %.3f m\n",
+                quick ? "quick" : "full", plan->packets.size(),
+                baseline.report.outcomes.size(), baseline_error_m);
+    nomloc::bench::PrintTimings(series);
+    std::printf("  %-14s %12s %8s %10s %10s %11s\n", "series",
+                "recovery [s]", "drops", "corrupted", "degraded", "error [m]");
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const ChaosReport& r = reports[i];
+      const std::size_t degraded = r.degradation_counts[1] +
+                                   r.degradation_counts[2] +
+                                   r.degradation_counts[3];
+      std::printf("  %-14s %12.3f %8zu %10zu %10zu %11.3f\n",
+                  series[i].name.c_str(), r.recovery_latency_s,
+                  r.injected_drops, r.injected_corruptions, degraded,
+                  MeanOkError(r));
+    }
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report.DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

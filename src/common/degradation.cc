@@ -1,0 +1,25 @@
+#include "common/degradation.h"
+
+namespace nomloc::common {
+
+std::string_view DegradationLevelName(DegradationLevel level) noexcept {
+  switch (level) {
+    case DegradationLevel::kNone: return "NONE";
+    case DegradationLevel::kRelaxedConstraints: return "RELAXED_CONSTRAINTS";
+    case DegradationLevel::kWeightedCentroid: return "WEIGHTED_CENTROID";
+    case DegradationLevel::kLastKnownGood: return "LAST_KNOWN_GOOD";
+  }
+  return "UNKNOWN";
+}
+
+double DegradationConfidenceScale(DegradationLevel level) noexcept {
+  switch (level) {
+    case DegradationLevel::kNone: return 1.0;
+    case DegradationLevel::kRelaxedConstraints: return 0.7;
+    case DegradationLevel::kWeightedCentroid: return 0.4;
+    case DegradationLevel::kLastKnownGood: return 0.2;
+  }
+  return 0.0;
+}
+
+}  // namespace nomloc::common

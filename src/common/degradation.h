@@ -1,0 +1,43 @@
+// Typed failure domains: the degradation ladder.
+//
+// NomLoc's premise is graceful behavior under imperfect conditions —
+// wrong judgements are absorbed by constraint relaxation, missing
+// anchors enlarge the feasible cell, and a dead AP must never fail a
+// request outright.  Every layer that can recover from a fault tags its
+// output with the *degradation level* it had to fall to, and the levels
+// are strictly ordered so "how degraded is this response" is a single
+// comparable value carried from the solver through LocateResponse into
+// the serving layer's per-response confidence.
+#pragma once
+
+#include <string_view>
+
+namespace nomloc::common {
+
+/// How far down the fallback chain a response had to go.  Higher is
+/// worse; the order is the recovery order (each level is tried only
+/// after every level above it failed).
+enum class DegradationLevel {
+  /// The full SP program solved as posed.
+  kNone = 0,
+  /// The program was re-solved on a confidence-ranked subset of the
+  /// constraints (lowest-confidence judgements dropped first).
+  kRelaxedConstraints = 1,
+  /// No constraint subset solved: the estimate is the PDP-weighted
+  /// centroid of the anchor positions (no feasible-cell geometry).
+  kWeightedCentroid = 2,
+  /// Nothing solvable this epoch: the last successful estimate for the
+  /// object was replayed (serving layer only).
+  kLastKnownGood = 3,
+};
+
+/// Short stable name, e.g. "RELAXED_CONSTRAINTS".
+std::string_view DegradationLevelName(DegradationLevel level) noexcept;
+
+/// Multiplier applied to a response's confidence for having degraded:
+/// 1.0 at kNone, decreasing strictly with each level.  The serving layer
+/// multiplies its geometric confidence by this, so degraded responses
+/// never score above an equally-shaped healthy one.
+double DegradationConfidenceScale(DegradationLevel level) noexcept;
+
+}  // namespace nomloc::common

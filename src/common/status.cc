@@ -12,6 +12,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kUnbounded: return "UNBOUNDED";
     case StatusCode::kNumericalError: return "NUMERICAL_ERROR";
     case StatusCode::kExhausted: return "EXHAUSTED";
+    case StatusCode::kDataCorruption: return "DATA_CORRUPTION";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -26,6 +26,7 @@ enum class StatusCode {
   kUnbounded,         // optimization objective unbounded below
   kNumericalError,    // solver diverged / matrix singular
   kExhausted,         // iteration / resource limit hit
+  kDataCorruption,    // malformed/truncated/NaN input from outside
   kInternal,          // "should not happen" bucket
 };
 
@@ -79,6 +80,9 @@ inline Status NumericalError(std::string msg) {
 }
 inline Status Exhausted(std::string msg) {
   return {StatusCode::kExhausted, std::move(msg)};
+}
+inline Status DataCorruption(std::string msg) {
+  return {StatusCode::kDataCorruption, std::move(msg)};
 }
 inline Status Internal(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};

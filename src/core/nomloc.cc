@@ -1,6 +1,7 @@
 #include "core/nomloc.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 #include "common/assert.h"
@@ -22,6 +23,7 @@ common::Result<void> NomLocConfig::Validate() const {
     return common::InvalidArgument("solver.region_slack must be >= 0");
   if (solver.merge_tolerance < 0.0)
     return common::InvalidArgument("solver.merge_tolerance must be >= 0");
+  if (auto valid = fallback.Validate(); !valid.ok()) return valid;
   return {};
 }
 
@@ -40,6 +42,8 @@ common::Result<LocateResponse> NomLocEngine::Locate(
   static auto& judge_timer = registry.Timer("engine.judge");
   static auto& solve_timer = registry.Timer("engine.solve");
   static auto& total_timer = registry.Timer("engine.locate");
+  static auto& quarantine_counter =
+      registry.Counter("engine.quarantined_observations");
 
   if (!request.observations.empty() && !request.anchors.empty())
     return common::InvalidArgument(
@@ -49,6 +53,10 @@ common::Result<LocateResponse> NomLocEngine::Locate(
   LocateResponse out;
 
   // Stage 1 — PDP extraction (skipped when the caller pre-extracted).
+  // Extraction is hardened: corrupt observations either fail the request
+  // with a typed kDataCorruption error or — under the default
+  // quarantine-and-continue policy — are dropped and counted, so one bad
+  // capture cannot poison the epoch's remaining links.
   std::vector<localization::Anchor> extracted;
   std::span<const localization::Anchor> anchors = request.anchors;
   if (anchors.empty()) {
@@ -59,15 +67,52 @@ common::Result<LocateResponse> NomLocEngine::Locate(
     for (const ApObservation& obs : request.observations) {
       if (obs.frames.empty())
         return common::InvalidArgument("observation without CSI frames");
-      extracted.push_back(localization::MakeAnchor(
+      auto anchor = localization::MakeAnchorChecked(
           obs.reported_position, obs.frames, config_.bandwidth_hz,
-          config_.pdp, obs.is_nomadic_site));
+          config_.pdp, obs.is_nomadic_site);
+      if (!anchor.ok()) {
+        if (!config_.quarantine_corrupt_observations ||
+            anchor.status().code() != common::StatusCode::kDataCorruption)
+          return anchor.status();
+        ++out.quarantined_observations;
+        continue;
+      }
+      extracted.push_back(std::move(anchor).value());
     }
     anchors = extracted;
     out.timings.extract_s = extract_trace.Stop();
+  } else {
+    // Pre-extracted anchors get the same screen; copying only happens on
+    // the (rare) corrupt path, so the healthy path stays allocation-free.
+    bool any_corrupt = false;
+    for (const localization::Anchor& a : anchors)
+      if (!localization::ValidateAnchor(a).ok()) {
+        any_corrupt = true;
+        break;
+      }
+    if (any_corrupt) {
+      for (const localization::Anchor& a : anchors) {
+        auto valid = localization::ValidateAnchor(a);
+        if (valid.ok()) {
+          extracted.push_back(a);
+        } else if (config_.quarantine_corrupt_observations) {
+          ++out.quarantined_observations;
+        } else {
+          return valid.status();
+        }
+      }
+      anchors = extracted;
+    }
   }
-  if (anchors.size() < 2)
+  if (out.quarantined_observations > 0)
+    quarantine_counter.Increment(out.quarantined_observations);
+  if (anchors.size() < 2) {
+    if (out.quarantined_observations > 0)
+      return common::DataCorruption(
+          "fewer than two healthy anchors remain after quarantining " +
+          std::to_string(out.quarantined_observations) + " corrupt input(s)");
     return common::InvalidArgument("need at least two anchors");
+  }
 
   // Stage 2 — pairwise proximity judgement + half-plane constraints.
   common::StageTrace judge_trace(judge_timer);
@@ -80,14 +125,21 @@ common::Result<LocateResponse> NomLocEngine::Locate(
     return common::FailedPrecondition(
         "all anchor positions coincide — no spatial information");
 
-  // Stage 3 — relaxed LP + region center.
+  // Stage 3 — relaxed LP + region center, behind the degradation ladder
+  // (fallback only engages when the full solve fails or busts the
+  // policy's cost budget, so healthy-path results are bit-identical to
+  // plain SolveSp).
   common::StageTrace solve_trace(solve_timer);
   NOMLOC_ASSIGN_OR_RETURN(
-      localization::SpSolution sol,
-      localization::SolveSp(parts_, constraints,
-                            request.solver ? *request.solver
-                                           : config_.solver));
+      localization::ResilientSolution resilient,
+      localization::SolveSpResilient(
+          parts_, anchors, constraints,
+          request.solver ? *request.solver : config_.solver,
+          request.fallback ? *request.fallback : config_.fallback));
+  localization::SpSolution& sol = resilient.solution;
   out.timings.solve_s = solve_trace.Stop();
+  out.degradation = resilient.level;
+  out.dropped_constraints = resilient.dropped_constraints;
 
   out.estimate.position = sol.estimate;
   out.estimate.relaxation_cost = sol.relaxation_cost;

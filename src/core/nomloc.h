@@ -29,9 +29,11 @@
 #include <vector>
 
 #include "channel/csi_model.h"
+#include "common/degradation.h"
 #include "common/status.h"
 #include "dsp/cir.h"
 #include "geometry/polygon.h"
+#include "localization/fallback.h"
 #include "localization/proximity.h"
 #include "localization/sp_solver.h"
 
@@ -52,6 +54,17 @@ struct NomLocConfig {
   dsp::PdpOptions pdp;
   localization::SpSolverOptions solver;
   localization::PairPolicy pair_policy = localization::PairPolicy::kPaper;
+  /// Degradation ladder for the SP solve (localization/fallback.h).  The
+  /// default engages only on genuine solve failure, so healthy-input
+  /// results stay bit-identical to the pre-fallback engine.
+  localization::FallbackPolicy fallback;
+  /// Corrupt observations (NaN/Inf CSI, all-zero frames, non-finite
+  /// positions): quarantine-and-continue drops them (counted in
+  /// LocateResponse::quarantined_observations and the
+  /// `engine.quarantined_observations` counter) as long as >= 2 healthy
+  /// observations remain; off = the first corrupt observation fails the
+  /// whole request with its typed kDataCorruption error.
+  bool quarantine_corrupt_observations = true;
 
   /// Typed rejection of nonsense values (non-positive bandwidth, negative
   /// thresholds/weights).  Called by NomLocEngine::Create.
@@ -83,6 +96,7 @@ struct LocateRequest {
   std::span<const localization::Anchor> anchors;
   std::optional<localization::PairPolicy> pair_policy;
   std::optional<localization::SpSolverOptions> solver;
+  std::optional<localization::FallbackPolicy> fallback;
 };
 
 /// Wall-clock cost of each pipeline stage of one Locate call [s].
@@ -101,6 +115,15 @@ struct LocateResponse {
   std::size_t judgement_count = 0;
   std::size_t constraint_count = 0;  ///< Proximity constraints (no VAPs).
   std::size_t lp_iterations = 0;     ///< Summed over all convex parts.
+  /// How far down the degradation ladder this response came from
+  /// (kNone on the healthy path; the engine itself never reports
+  /// kLastKnownGood — that level needs state and lives in serving).
+  common::DegradationLevel degradation = common::DegradationLevel::kNone;
+  /// Corrupt observations dropped before extraction (see
+  /// NomLocConfig::quarantine_corrupt_observations).
+  std::size_t quarantined_observations = 0;
+  /// Constraints the fallback chain discarded (level >= 1 only).
+  std::size_t dropped_constraints = 0;
 };
 
 class NomLocEngine {

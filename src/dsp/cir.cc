@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/assert.h"
 #include "common/metrics.h"
@@ -104,6 +105,37 @@ double PdpOfBatch(std::span<const CsiFrame> frames, double bandwidth_hz,
     acc += PdpOfTaps(cir.taps, options, profile);
   }
   return acc / double(frames.size());
+}
+
+common::Result<double> PdpOfBatchChecked(std::span<const CsiFrame> frames,
+                                         double bandwidth_hz,
+                                         const PdpOptions& options) {
+  auto& registry = common::MetricRegistry::Global();
+  static auto& rejected = registry.Counter("pdp.rejected_links");
+  if (frames.empty()) return common::InvalidArgument("empty CSI batch");
+  if (bandwidth_hz <= 0.0)
+    return common::InvalidArgument("bandwidth must be positive");
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    bool any_energy = false;
+    for (const Cplx& v : frames[f].Values()) {
+      if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+        rejected.Increment();
+        return common::DataCorruption("non-finite CSI value in frame " +
+                                      std::to_string(f));
+      }
+      if (v != Cplx{0.0, 0.0}) any_energy = true;
+    }
+    if (!any_energy) {
+      rejected.Increment();
+      return common::DataCorruption("all-zero CSI frame " +
+                                    std::to_string(f) +
+                                    " — PDP would be zero");
+    }
+  }
+  // FFT of finite input is finite, so the batch mean needs no re-check;
+  // the all-zero guard above already rules out a zero PDP for kMaxTap and
+  // kTotalPower (some tap carries the frame's energy).
+  return PdpOfBatch(frames, bandwidth_hz, options);
 }
 
 double PdpOfMimoBatch(std::span<const std::vector<CsiFrame>> packets,

@@ -70,6 +70,17 @@ double PdpOfProfile(std::span<const double> profile,
 double PdpOfBatch(std::span<const CsiFrame> frames, double bandwidth_hz,
                   const PdpOptions& options = {});
 
+/// PdpOfBatch with input hardening for untrusted capture data: a batch
+/// whose CSI values contain NaN/Inf, or whose frames are entirely zero
+/// (no channel energy — the PDP would be 0 and the pairwise ratio
+/// w_ij = f(P_i/P_j) downstream would divide by it), yields a typed
+/// kDataCorruption error instead of propagating NaN into the judgement
+/// weights.  Every rejected batch increments the `pdp.rejected_links`
+/// counter.  Bit-identical to PdpOfBatch on healthy input.
+common::Result<double> PdpOfBatchChecked(std::span<const CsiFrame> frames,
+                                         double bandwidth_hz,
+                                         const PdpOptions& options = {});
+
 /// Multi-antenna PDP with non-coherent combining: per packet, the
 /// antennas' power-delay profiles are summed tap-by-tap before the pick
 /// (so a fade on one antenna is covered by the others), then averaged

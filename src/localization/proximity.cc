@@ -61,4 +61,30 @@ Anchor MakeAnchor(geometry::Vec2 reported_position,
   return anchor;
 }
 
+common::Result<Anchor> MakeAnchorChecked(geometry::Vec2 reported_position,
+                                         std::span<const dsp::CsiFrame> frames,
+                                         double bandwidth_hz,
+                                         const dsp::PdpOptions& pdp,
+                                         bool is_nomadic_site) {
+  if (!std::isfinite(reported_position.x) ||
+      !std::isfinite(reported_position.y))
+    return common::DataCorruption("non-finite reported anchor position");
+  Anchor anchor;
+  anchor.position = reported_position;
+  NOMLOC_ASSIGN_OR_RETURN(anchor.pdp,
+                          dsp::PdpOfBatchChecked(frames, bandwidth_hz, pdp));
+  anchor.is_nomadic_site = is_nomadic_site;
+  return anchor;
+}
+
+common::Result<void> ValidateAnchor(const Anchor& anchor) {
+  if (!std::isfinite(anchor.position.x) || !std::isfinite(anchor.position.y))
+    return common::DataCorruption("non-finite anchor position");
+  if (!std::isfinite(anchor.pdp))
+    return common::DataCorruption("non-finite anchor PDP");
+  if (anchor.pdp <= 0.0)
+    return common::DataCorruption("non-positive anchor PDP");
+  return {};
+}
+
 }  // namespace nomloc::localization

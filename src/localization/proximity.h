@@ -65,4 +65,20 @@ Anchor MakeAnchor(geometry::Vec2 reported_position,
                   const dsp::PdpOptions& pdp = {},
                   bool is_nomadic_site = false);
 
+/// MakeAnchor with input hardening (dsp::PdpOfBatchChecked): corrupted
+/// CSI (NaN/Inf values, all-zero frames) and non-finite reported
+/// positions yield a typed kDataCorruption error instead of an anchor
+/// whose PDP poisons every judgement it joins.  Bit-identical to
+/// MakeAnchor on healthy input.
+common::Result<Anchor> MakeAnchorChecked(geometry::Vec2 reported_position,
+                                         std::span<const dsp::CsiFrame> frames,
+                                         double bandwidth_hz,
+                                         const dsp::PdpOptions& pdp = {},
+                                         bool is_nomadic_site = false);
+
+/// Validation shared by every layer that accepts pre-extracted anchors
+/// (engine requests, session snapshots, recorded traces): the position
+/// must be finite and the PDP finite and strictly positive.
+common::Result<void> ValidateAnchor(const Anchor& anchor);
+
 }  // namespace nomloc::localization

@@ -1,6 +1,11 @@
 #include "net/trace_io.h"
 
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 
 namespace nomloc::net {
@@ -28,6 +33,11 @@ common::Result<localization::Anchor> AnchorFromJson(const Json& json) {
   NOMLOC_ASSIGN_OR_RETURN(anchor.position.y, json.GetDouble("y"));
   NOMLOC_ASSIGN_OR_RETURN(anchor.pdp, json.GetDouble("pdp"));
   NOMLOC_ASSIGN_OR_RETURN(anchor.is_nomadic_site, json.GetBool("nomadic"));
+  // The JSON grammar cannot encode NaN/Inf, but TraceFromJson also
+  // accepts hand-built DOMs — screen them like any untrusted capture.
+  if (!std::isfinite(anchor.position.x) || !std::isfinite(anchor.position.y) ||
+      !std::isfinite(anchor.pdp))
+    return common::DataCorruption("non-finite recorded anchor value");
   if (anchor.pdp <= 0.0)
     return common::InvalidArgument("recorded PDP must be positive");
   return anchor;
@@ -77,6 +87,44 @@ common::Result<MeasurementTrace> TraceFromJson(const Json& json) {
     trace.epochs.push_back(std::move(record));
   }
   return trace;
+}
+
+common::Result<MeasurementTrace> ParseTrace(std::string_view text) {
+  auto& registry = common::MetricRegistry::Global();
+  static auto& parse_failures = registry.Counter("trace.parse_failures");
+  auto json = Json::Parse(text);
+  if (!json.ok()) {
+    parse_failures.Increment();
+    // Re-type the parser's error: a trace file that does not even parse
+    // is corrupt capture data, not a caller mistake.  The parser's
+    // message already names the byte offset ("… at offset N").
+    return common::DataCorruption("corrupt trace: " +
+                                  json.status().message());
+  }
+  auto trace = TraceFromJson(*json);
+  if (!trace.ok()) parse_failures.Increment();
+  return trace;
+}
+
+common::Result<MeasurementTrace> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::NotFound("cannot open trace file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad())
+    return common::DataCorruption("I/O error reading trace file " + path);
+  return ParseTrace(buffer.str());
+}
+
+common::Result<void> SaveTraceFile(const MeasurementTrace& trace,
+                                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return common::NotFound("cannot write trace file " + path);
+  out << TraceToJson(trace).DumpPretty() << "\n";
+  out.flush();
+  if (!out)
+    return common::DataCorruption("I/O error writing trace file " + path);
+  return {};
 }
 
 common::Result<ReplayResult> ReplayTrace(const MeasurementTrace& trace,

@@ -31,8 +31,26 @@ struct MeasurementTrace {
 /// Serialises a trace (schema version tagged for forward compatibility).
 common::Json TraceToJson(const MeasurementTrace& trace);
 
-/// Parses a trace; fails with kInvalidArgument on schema mismatch.
+/// Parses a trace; fails with kInvalidArgument on schema mismatch and
+/// kDataCorruption on non-finite recorded values.
 common::Result<MeasurementTrace> TraceFromJson(const common::Json& json);
+
+/// Parses a trace straight from raw bytes.  Truncated or garbage input
+/// fails with a typed kDataCorruption error whose message carries the
+/// byte offset where parsing broke ("… at offset N"), so a corrupted
+/// capture file can be bisected without a hex editor.  Schema and value
+/// errors propagate from TraceFromJson.  Every failed parse increments
+/// the `trace.parse_failures` counter.
+common::Result<MeasurementTrace> ParseTrace(std::string_view text);
+
+/// Reads and parses a trace file: kNotFound when the file cannot be
+/// opened, otherwise ParseTrace semantics (byte-offset errors on
+/// truncation/garbage).
+common::Result<MeasurementTrace> LoadTraceFile(const std::string& path);
+
+/// Serialises `trace` to `path` (pretty-printed, trailing newline).
+common::Result<void> SaveTraceFile(const MeasurementTrace& trace,
+                                   const std::string& path);
 
 /// Replay statistics: per-epoch errors of the engine on the recorded data.
 struct ReplayResult {

@@ -1,0 +1,287 @@
+#include "serving/chaos.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::serving {
+
+std::string_view ChaosEventKindName(ChaosEventKind kind) noexcept {
+  switch (kind) {
+    case ChaosEventKind::kAnchorDeath: return "ANCHOR_DEATH";
+    case ChaosEventKind::kAnchorFlap: return "ANCHOR_FLAP";
+    case ChaosEventKind::kTraceCorruption: return "TRACE_CORRUPTION";
+    case ChaosEventKind::kClockJump: return "CLOCK_JUMP";
+    case ChaosEventKind::kQueueSaturation: return "QUEUE_SATURATION";
+  }
+  return "UNKNOWN";
+}
+
+common::Result<void> ChaosConfig::Validate() const {
+  const double weights = anchor_death_weight + anchor_flap_weight +
+                         corruption_weight + clock_jump_weight +
+                         queue_saturation_weight;
+  if (anchor_death_weight < 0.0 || anchor_flap_weight < 0.0 ||
+      corruption_weight < 0.0 || clock_jump_weight < 0.0 ||
+      queue_saturation_weight < 0.0)
+    return common::InvalidArgument("event weights must be >= 0");
+  if (events > 0 && weights <= 0.0)
+    return common::InvalidArgument("at least one event weight must be > 0");
+  if (max_window_fraction <= 0.0 || max_window_fraction > 1.0)
+    return common::InvalidArgument("max_window_fraction must be in (0, 1]");
+  if (max_clock_jump_s < 0.0)
+    return common::InvalidArgument("max_clock_jump_s must be >= 0");
+  return {};
+}
+
+ChaosSchedule BuildChaosSchedule(const ChaosConfig& config,
+                                 const ReplayPlan& plan,
+                                 double epoch_interval_s) {
+  ChaosSchedule schedule;
+  if (config.events == 0) return schedule;
+  common::Rng rng(config.seed);
+  const double duration_s = double(plan.epoch_count) * epoch_interval_s;
+  const std::size_t anchors = std::max<std::size_t>(1, plan.expected_anchors);
+  const std::array<double, 5> weights = {
+      config.anchor_death_weight, config.anchor_flap_weight,
+      config.corruption_weight, config.clock_jump_weight,
+      config.queue_saturation_weight};
+
+  schedule.events.reserve(config.events);
+  for (std::size_t i = 0; i < config.events; ++i) {
+    ChaosEvent event;
+    event.kind = ChaosEventKind(rng.Categorical(weights));
+    // Faults land in the run's first 70% so the tail epochs always
+    // measure post-clearance recovery.
+    event.start_s = rng.Uniform(0.1 * duration_s, 0.7 * duration_s);
+    const double window_s =
+        rng.Uniform(0.1, config.max_window_fraction) * epoch_interval_s;
+    switch (event.kind) {
+      case ChaosEventKind::kAnchorDeath:
+        event.end_s = event.start_s + window_s;
+        event.ap_id = int(rng.UniformInt(anchors));
+        break;
+      case ChaosEventKind::kAnchorFlap:
+        event.end_s = event.start_s + window_s;
+        event.ap_id = int(rng.UniformInt(anchors));
+        // Up/down period: a handful of flips per window.
+        event.magnitude = window_s / rng.Uniform(3.0, 8.0);
+        break;
+      case ChaosEventKind::kTraceCorruption:
+        event.end_s = event.start_s + window_s;
+        event.ap_id = int(rng.UniformInt(anchors));
+        break;
+      case ChaosEventKind::kClockJump:
+        // The jump skews whichever timestamp group comes next, so its
+        // effect window conservatively spans one epoch interval.
+        event.end_s = event.start_s + epoch_interval_s;
+        event.magnitude =
+            rng.Uniform(-config.max_clock_jump_s, config.max_clock_jump_s);
+        break;
+      case ChaosEventKind::kQueueSaturation:
+        event.end_s = event.start_s;
+        event.magnitude = double(config.saturation_burst);
+        break;
+    }
+    // Keep the whole effect window inside the first 70% of the run so the
+    // tail epochs always measure post-clearance recovery.
+    const double overshoot = event.end_s - 0.7 * duration_s;
+    if (overshoot > 0.0) {
+      const double shift = std::min(overshoot, event.start_s - 0.1 * duration_s);
+      event.start_s -= shift;
+      event.end_s -= shift;
+    }
+    schedule.last_event_end_s =
+        std::max(schedule.last_event_end_s, event.end_s);
+    schedule.events.push_back(event);
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.start_s < b.start_s;
+                   });
+  return schedule;
+}
+
+namespace {
+
+/// Object id for queue-saturation filler traffic — far above any replay
+/// object id, so filler sessions never collide with real ones.
+constexpr std::uint64_t kFillerObjectId = 0xC4405F111E7ULL;
+
+bool WindowCovers(const ChaosEvent& event, double t) {
+  return t >= event.start_s && t <= event.end_s;
+}
+
+/// Death drops everything in the window; flap drops the "down" half of
+/// each period.
+bool EatenByAnchorFault(const ChaosEvent& event, const IngestPacket& packet) {
+  if (packet.kind != PacketKind::kObservation) return false;
+  if (event.ap_id != packet.ap_id) return false;
+  if (!WindowCovers(event, packet.timestamp_s)) return false;
+  if (event.kind == ChaosEventKind::kAnchorDeath) return true;
+  if (event.kind != ChaosEventKind::kAnchorFlap) return false;
+  const double phase = (packet.timestamp_s - event.start_s) /
+                       std::max(event.magnitude, 1e-9);
+  return (std::int64_t(phase) % 2) == 1;
+}
+
+}  // namespace
+
+common::Result<ChaosReport> RunChaos(const core::NomLocEngine& engine,
+                                     const ReplayPlan& plan,
+                                     double epoch_interval_s,
+                                     const ChaosConfig& chaos,
+                                     ServingConfig serving) {
+  if (auto valid = chaos.Validate(); !valid.ok()) return valid.status();
+  if (plan.packets.empty())
+    return common::InvalidArgument("replay plan has no packets");
+
+  ChaosReport report;
+  report.schedule = BuildChaosSchedule(chaos, plan, epoch_interval_s);
+
+  serving.expected_anchors = plan.expected_anchors;
+  if (serving.store.anchor_ttl_s <= 0.0 ||
+      serving.store.anchor_ttl_s == SessionStoreConfig{}.anchor_ttl_s)
+    serving.store.anchor_ttl_s = plan.suggested_anchor_ttl_s;
+  serving.start_paused = false;
+
+  ManualClock clock(0.0);
+  NOMLOC_ASSIGN_OR_RETURN(auto service,
+                          StreamingLocalizer::Create(engine, serving, &clock));
+
+  // A clock jump skews the next timestamp group only: the service sees one
+  // batch at stepped time (stressing eviction and deadline math in both
+  // directions), then the harness resyncs.  A permanent skew would age
+  // every later epoch's anchors against their packet timestamps and keep
+  // the run degraded forever — that is drift, not a jump.
+  double pending_jump_s = 0.0;
+  std::size_t next_event = 0;
+  const auto& events = report.schedule.events;
+
+  std::size_t i = 0;
+  while (i < plan.packets.size()) {
+    const double t = plan.packets[i].timestamp_s;
+
+    // Fire instantaneous events scheduled before this timestamp group.
+    while (next_event < events.size() && events[next_event].start_s <= t) {
+      const ChaosEvent& event = events[next_event];
+      if (event.kind == ChaosEventKind::kClockJump) {
+        pending_jump_s += event.magnitude;
+        ++report.clock_jumps;
+      } else if (event.kind == ChaosEventKind::kQueueSaturation) {
+        ++report.saturation_bursts;
+        clock.Set(event.start_s);
+        IngestPacket filler;
+        filler.kind = PacketKind::kObservation;
+        filler.object_id = kFillerObjectId;
+        filler.ap_id = 0;
+        filler.reported_position = {0.0, 0.0};
+        filler.pdp = 1.0;
+        filler.timestamp_s = event.start_s;
+        for (std::size_t b = 0; b < std::size_t(event.magnitude); ++b)
+          (void)service->Ingest(filler);  // Queue-full rejections expected.
+        // Drain the burst so saturation stresses admission control
+        // without starving the real stream downstream of the event.
+        service->Flush();
+      }
+      ++next_event;
+    }
+
+    clock.Set(t + pending_jump_s);
+    pending_jump_s = 0.0;
+
+    // Ingest the whole same-timestamp group, then flush: every serve of
+    // this group runs at this exact logical time, independent of worker
+    // scheduling — chaos runs are reproducible.
+    for (; i < plan.packets.size() && plan.packets[i].timestamp_s == t; ++i) {
+      IngestPacket packet = plan.packets[i];
+      bool eaten = false;
+      bool corrupted = false;
+      for (const ChaosEvent& event : events) {
+        if (EatenByAnchorFault(event, packet)) {
+          eaten = true;
+          break;
+        }
+        if (event.kind == ChaosEventKind::kTraceCorruption &&
+            packet.kind == PacketKind::kObservation &&
+            event.ap_id == packet.ap_id &&
+            WindowCovers(event, packet.timestamp_s)) {
+          packet.pdp = std::numeric_limits<double>::quiet_NaN();
+          corrupted = true;
+        }
+      }
+      if (eaten) {
+        ++report.injected_drops;
+        continue;
+      }
+      if (corrupted) ++report.injected_corruptions;
+      switch (service->Ingest(packet)) {
+        case AdmitStatus::kAccepted: ++report.admit_accepted; break;
+        case AdmitStatus::kRejectedCorrupt:
+          ++report.admit_rejected_corrupt;
+          break;
+        case AdmitStatus::kRejectedBreakerOpen:
+          ++report.admit_rejected_breaker;
+          break;
+        case AdmitStatus::kRejectedQueueFull:
+          ++report.admit_rejected_queue_full;
+          break;
+        case AdmitStatus::kRejectedDeadline:
+          ++report.admit_rejected_deadline;
+          break;
+        case AdmitStatus::kDroppedByFault:
+          ++report.admit_dropped_by_fault;
+          break;
+        case AdmitStatus::kRejectedShutdown: break;
+      }
+    }
+    service->Flush();
+  }
+  service->Flush();
+  service->Shutdown();
+
+  auto responses = service->TakeResponses();
+  std::sort(responses.begin(), responses.end(),
+            [](const ServeResponse& a, const ServeResponse& b) {
+              if (a.timestamp_s != b.timestamp_s)
+                return a.timestamp_s < b.timestamp_s;
+              return a.object_id < b.object_id;
+            });
+  report.outcomes.reserve(responses.size());
+  for (const ServeResponse& response : responses) {
+    if (response.object_id == kFillerObjectId) continue;
+    ChaosQueryOutcome outcome;
+    outcome.object_id = response.object_id;
+    outcome.epoch = std::size_t(response.timestamp_s / epoch_interval_s);
+    outcome.timestamp_s = response.timestamp_s;
+    outcome.status = response.status;
+    outcome.degradation = response.degradation;
+    outcome.confidence = response.confidence;
+    const std::size_t row =
+        outcome.epoch * plan.objects + std::size_t(response.object_id);
+    if (response.status == ServeStatus::kOk && row < plan.epochs.size())
+      outcome.error_m = geometry::Distance(response.estimate.position,
+                                           plan.epochs[row].true_position);
+    const auto level = std::size_t(outcome.degradation);
+    if (level < 4) ++report.degradation_counts[level];
+    report.outcomes.push_back(outcome);
+  }
+
+  if (!events.empty()) {
+    for (const ChaosQueryOutcome& outcome : report.outcomes) {
+      if (outcome.timestamp_s < report.schedule.last_event_end_s) continue;
+      if (outcome.status != ServeStatus::kOk) continue;
+      if (outcome.degradation != common::DegradationLevel::kNone) continue;
+      report.recovery_latency_s =
+          outcome.timestamp_s - report.schedule.last_event_end_s;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace nomloc::serving

@@ -1,0 +1,107 @@
+#include "serving/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace nomloc::serving {
+
+common::Result<void> CircuitBreakerConfig::Validate() const {
+  if (failure_threshold == 0)
+    return common::InvalidArgument("failure_threshold must be >= 1");
+  if (base_backoff_s <= 0.0)
+    return common::InvalidArgument("base_backoff_s must be positive");
+  if (max_backoff_s < base_backoff_s)
+    return common::InvalidArgument("max_backoff_s must be >= base_backoff_s");
+  return {};
+}
+
+std::string_view BreakerStateName(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "CLOSED";
+    case BreakerState::kOpen: return "OPEN";
+    case BreakerState::kHalfOpen: return "HALF_OPEN";
+  }
+  return "UNKNOWN";
+}
+
+void CircuitBreaker::TripOpen(double now_s) noexcept {
+  state_ = BreakerState::kOpen;
+  retry_at_s_ = now_s + backoff_s_;
+  common::MetricRegistry::Global()
+      .Counter("serving.breaker.opened")
+      .Increment();
+}
+
+bool CircuitBreaker::Allow(double now_s) noexcept {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now_s < retry_at_s_) return false;
+      state_ = BreakerState::kHalfOpen;
+      return true;  // The single probe.
+    case BreakerState::kHalfOpen:
+      return false;  // Probe outstanding — hold everything else back.
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess(double /*now_s*/) noexcept {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    backoff_s_ = config_.base_backoff_s;
+    common::MetricRegistry::Global()
+        .Counter("serving.breaker.reclosed")
+        .Increment();
+  }
+}
+
+void CircuitBreaker::RecordFailure(double now_s) noexcept {
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back off twice as long before the next one.
+    backoff_s_ = std::min(backoff_s_ * 2.0, config_.max_backoff_s);
+    TripOpen(now_s);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // Already rejecting.
+  if (++consecutive_failures_ >= config_.failure_threshold) {
+    consecutive_failures_ = 0;
+    TripOpen(now_s);
+  }
+}
+
+bool BreakerBank::Allow(int ap_id, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, created] = breakers_.try_emplace(ap_id, config_);
+  return it->second.Allow(now_s);
+}
+
+void BreakerBank::RecordSuccess(int ap_id, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, created] = breakers_.try_emplace(ap_id, config_);
+  it->second.RecordSuccess(now_s);
+}
+
+void BreakerBank::RecordFailure(int ap_id, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, created] = breakers_.try_emplace(ap_id, config_);
+  it->second.RecordFailure(now_s);
+}
+
+BreakerState BreakerBank::StateOf(int ap_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = breakers_.find(ap_id);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.State();
+}
+
+std::size_t BreakerBank::UnhealthyCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [ap, breaker] : breakers_)
+    if (breaker.State() != BreakerState::kClosed) ++n;
+  return n;
+}
+
+}  // namespace nomloc::serving

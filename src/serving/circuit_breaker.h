@@ -1,0 +1,98 @@
+// Per-anchor circuit breakers for the serving ingest boundary.
+//
+// A flapping or corrupted AP should not get to churn every session it
+// touches: after `failure_threshold` *consecutive* failures (corrupt
+// reports, here) the breaker trips open and the AP's packets are rejected
+// outright.  Once the backoff window elapses the breaker moves to
+// half-open and admits exactly one probe packet; a healthy probe closes
+// the breaker again, a bad one re-opens it with the backoff doubled
+// (capped at `max_backoff_s`).  All times are logical seconds
+// (serving/clock.h), so the whole state machine is deterministic under
+// ManualClock replay.
+//
+// Thread safety: CircuitBreaker is externally synchronized (the serving
+// layer calls it under the ingest path with one breaker per AP inside
+// BreakerBank, which locks).  BreakerBank is thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace nomloc::serving {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip the breaker open.
+  std::size_t failure_threshold = 3;
+  /// First open->half-open backoff window [logical s].
+  double base_backoff_s = 5.0;
+  /// Backoff doubles on every re-trip, capped here.
+  double max_backoff_s = 60.0;
+
+  common::Result<void> Validate() const;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string_view BreakerStateName(BreakerState state) noexcept;
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerConfig& config) noexcept
+      : config_(config), backoff_s_(config.base_backoff_s) {}
+
+  /// May the caller admit a packet now?  Open breakers whose backoff has
+  /// elapsed transition to half-open and allow exactly one probe; further
+  /// calls while that probe is outstanding return false.
+  bool Allow(double now_s) noexcept;
+
+  /// Feedback for an admitted packet.  Success closes a half-open
+  /// breaker (and resets the backoff); failure re-opens it with the
+  /// backoff doubled, or — in the closed state — counts toward the
+  /// consecutive-failure threshold.
+  void RecordSuccess(double now_s) noexcept;
+  void RecordFailure(double now_s) noexcept;
+
+  BreakerState State() const noexcept { return state_; }
+  std::size_t ConsecutiveFailures() const noexcept {
+    return consecutive_failures_;
+  }
+  double CurrentBackoffSeconds() const noexcept { return backoff_s_; }
+  /// Logical time the open state ends (half-open probe becomes available).
+  double RetryAtSeconds() const noexcept { return retry_at_s_; }
+
+ private:
+  void TripOpen(double now_s) noexcept;
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  double backoff_s_ = 0.0;
+  double retry_at_s_ = 0.0;
+};
+
+/// One breaker per AP id, created on first use.  Thread-safe; the lock
+/// also serializes each breaker's state machine.
+class BreakerBank {
+ public:
+  explicit BreakerBank(const CircuitBreakerConfig& config) : config_(config) {}
+
+  /// Combined Allow + state bookkeeping under the bank lock.
+  bool Allow(int ap_id, double now_s);
+  void RecordSuccess(int ap_id, double now_s);
+  void RecordFailure(int ap_id, double now_s);
+
+  BreakerState StateOf(int ap_id) const;
+  /// APs currently not closed (open or half-open).
+  std::size_t UnhealthyCount() const;
+
+ private:
+  CircuitBreakerConfig config_;
+  mutable std::mutex mutex_;
+  std::map<int, CircuitBreaker> breakers_;
+};
+
+}  // namespace nomloc::serving

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 
@@ -18,7 +19,11 @@ constexpr std::string_view kCounterNames[] = {
     "serving.sessions.evicted",     "serving.observations.evicted",
     "serving.degraded",             "serving.solve.failed",
     "serving.faults.ap_dropout",    "serving.faults.packet_loss",
-    "serving.faults.delayed",
+    "serving.faults.delayed",       "serving.rejected.corrupt",
+    "serving.rejected.breaker",     "serving.breaker.opened",
+    "serving.breaker.reclosed",     "serving.retries",
+    "serving.fallback.last_known_good",
+    "serving.checkpoint.restored",
 };
 constexpr std::string_view kHistogramNames[] = {
     "serving.queue.depth",
@@ -36,7 +41,11 @@ constexpr std::string_view kAllNames[] = {
     "serving.sessions.evicted",     "serving.observations.evicted",
     "serving.degraded",             "serving.solve.failed",
     "serving.faults.ap_dropout",    "serving.faults.packet_loss",
-    "serving.faults.delayed",       "serving.queue.depth",
+    "serving.faults.delayed",       "serving.rejected.corrupt",
+    "serving.rejected.breaker",     "serving.breaker.opened",
+    "serving.breaker.reclosed",     "serving.retries",
+    "serving.fallback.last_known_good",
+    "serving.checkpoint.restored",  "serving.queue.depth",
     "serving.shard.occupancy",      "serving.queue.wait",
     "serving.solve",                "serving.latency",
 };
@@ -66,6 +75,8 @@ std::string_view AdmitStatusName(AdmitStatus status) noexcept {
     case AdmitStatus::kRejectedQueueFull: return "REJECTED_QUEUE_FULL";
     case AdmitStatus::kRejectedDeadline: return "REJECTED_DEADLINE";
     case AdmitStatus::kRejectedShutdown: return "REJECTED_SHUTDOWN";
+    case AdmitStatus::kRejectedCorrupt: return "REJECTED_CORRUPT";
+    case AdmitStatus::kRejectedBreakerOpen: return "REJECTED_BREAKER_OPEN";
   }
   return "UNKNOWN";
 }
@@ -76,6 +87,7 @@ common::Result<void> ServingConfig::Validate() const {
     return common::InvalidArgument("queue_capacity must be >= 1");
   if (auto valid = store.Validate(); !valid.ok()) return valid;
   if (auto valid = faults.Validate(); !valid.ok()) return valid;
+  if (auto valid = breaker.Validate(); !valid.ok()) return valid;
   return {};
 }
 
@@ -83,6 +95,8 @@ struct StreamingLocalizer::Job {
   IngestPacket packet;
   std::uint64_t seq = 0;
   std::chrono::steady_clock::time_point enqueue_wall;
+  std::size_t retries_left = 0;
+  std::size_t retries_used = 0;
 };
 
 struct StreamingLocalizer::WorkerQueue {
@@ -107,7 +121,8 @@ StreamingLocalizer::StreamingLocalizer(const core::NomLocEngine& engine,
     : engine_(engine),
       config_(std::move(config)),
       store_(config_.store),
-      faults_(config_.faults) {
+      faults_(config_.faults),
+      breakers_(config_.breaker) {
   if (clock == nullptr) {
     owned_clock_ = std::make_unique<SteadyClock>();
     clock = owned_clock_.get();
@@ -135,6 +150,8 @@ AdmitStatus StreamingLocalizer::Ingest(const IngestPacket& packet) {
   static auto& queries = registry.Counter("serving.ingest.queries");
   static auto& queue_full = registry.Counter("serving.rejected.queue_full");
   static auto& past_deadline = registry.Counter("serving.rejected.deadline");
+  static auto& corrupt_counter = registry.Counter("serving.rejected.corrupt");
+  static auto& breaker_rejected = registry.Counter("serving.rejected.breaker");
   static auto& depth_hist =
       registry.Histogram("serving.queue.depth", {}, 1.0, 1e6, 48);
 
@@ -146,6 +163,26 @@ AdmitStatus StreamingLocalizer::Ingest(const IngestPacket& packet) {
     const FaultDecision decision = faults_.OnObservation(packet.ap_id);
     if (decision.drop) return AdmitStatus::kDroppedByFault;
     arrival_delay_s = decision.extra_delay_s;
+  }
+  if (packet.kind == PacketKind::kObservation) {
+    // Anchor health: an open breaker short-circuits the AP entirely; a
+    // half-open one admits exactly one probe, judged by the corruption
+    // screen right below.
+    const double breaker_now_s = clock_->NowSeconds();
+    if (!breakers_.Allow(packet.ap_id, breaker_now_s)) {
+      breaker_rejected.Increment();
+      return AdmitStatus::kRejectedBreakerOpen;
+    }
+    const bool corrupt = !std::isfinite(packet.reported_position.x) ||
+                         !std::isfinite(packet.reported_position.y) ||
+                         !std::isfinite(packet.pdp) || packet.pdp <= 0.0 ||
+                         !std::isfinite(packet.weight) || packet.weight <= 0.0;
+    if (corrupt) {
+      corrupt_counter.Increment();
+      breakers_.RecordFailure(packet.ap_id, breaker_now_s);
+      return AdmitStatus::kRejectedCorrupt;
+    }
+    breakers_.RecordSuccess(packet.ap_id, breaker_now_s);
   }
   // A delayed packet is admitted as if it arrived `arrival_delay_s` later:
   // if that lands past the deadline, the network already lost the race.
@@ -166,6 +203,8 @@ AdmitStatus StreamingLocalizer::Ingest(const IngestPacket& packet) {
     job.packet = packet;
     job.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     job.enqueue_wall = std::chrono::steady_clock::now();
+    if (packet.kind == PacketKind::kQuery)
+      job.retries_left = config_.query_retry_budget;
     queue.jobs.push_back(std::move(job));
     depth_hist.Record(static_cast<double>(queue.jobs.size()));
   }
@@ -216,6 +255,19 @@ void StreamingLocalizer::PushResponse(ServeResponse response) {
   responses_.push_back(std::move(response));
 }
 
+bool StreamingLocalizer::TryRequeue(Job job) {
+  if (shutdown_.load(std::memory_order_acquire)) return false;
+  const std::size_t shard = store_.ShardOf(job.packet.object_id);
+  WorkerQueue& queue = *queues_[shard % queues_.size()];
+  {
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.jobs.size() >= config_.queue_capacity) return false;
+    queue.jobs.push_back(std::move(job));
+  }
+  queue.ready.notify_one();
+  return true;
+}
+
 void StreamingLocalizer::WorkerLoop(std::size_t worker_index) {
   WorkerQueue& queue = *queues_[worker_index];
   for (;;) {
@@ -253,6 +305,9 @@ void StreamingLocalizer::Serve(const Job& job) {
   static auto& past_deadline = registry.Counter("serving.rejected.deadline");
   static auto& degraded_counter = registry.Counter("serving.degraded");
   static auto& solve_failed = registry.Counter("serving.solve.failed");
+  static auto& retries_counter = registry.Counter("serving.retries");
+  static auto& lkg_counter =
+      registry.Counter("serving.fallback.last_known_good");
 
   const IngestPacket& packet = job.packet;
   const double queue_wait_s = WallSecondsSince(job.enqueue_wall);
@@ -281,6 +336,7 @@ void StreamingLocalizer::Serve(const Job& job) {
   response.seq = job.seq;
   response.timestamp_s = packet.timestamp_s;
   response.queue_wait_s = queue_wait_s;
+  response.retries = job.retries_used;
 
   if (deadline_missed) {
     past_deadline.Increment();
@@ -321,9 +377,15 @@ void StreamingLocalizer::Serve(const Job& job) {
         solve_failed.Increment();
       } else {
         response.estimate = std::move(located->estimate);
+        response.degradation = located->degradation;
         // Confidence: perfect consistency (zero relaxation cost) with a
         // pinpoint feasible cell scores 1; a cell as large as the whole
-        // floor, or a heavily relaxed program, scores toward 0.
+        // floor, or a heavily relaxed program, scores toward 0.  At the
+        // weighted-centroid rung there is no feasible cell — the area
+        // term would always read "whole floor" — so only the consistency
+        // term survives.  Every degraded rung additionally scales the
+        // result by the ladder's confidence factor (1.0 at kNone, so the
+        // healthy path is untouched).
         const double total_area = engine_.Area().Area();
         const double ratio =
             total_area > 0.0
@@ -331,12 +393,57 @@ void StreamingLocalizer::Serve(const Job& job) {
                       response.estimate.feasible_area_m2 / total_area, 0.0,
                       1.0)
                 : 1.0;
+        double base =
+            (1.0 / (1.0 + response.estimate.relaxation_cost)) * (1.0 - ratio);
+        if (response.degradation >= common::DegradationLevel::kWeightedCentroid)
+          base = 1.0 / (1.0 + response.estimate.relaxation_cost);
         response.confidence =
-            (1.0 / (1.0 + response.estimate.relaxation_cost)) *
-            (1.0 - ratio);
+            common::DegradationConfidenceScale(response.degradation) * base;
+        if (response.degradation != common::DegradationLevel::kNone)
+          response.degraded = true;
       }
     }
   }
+
+  if (response.status == ServeStatus::kFailed) {
+    // Retry-with-budget: put the query back on this worker's own queue —
+    // observations admitted in the meantime may complete the session.
+    if (job.retries_left > 0) {
+      Job retry = job;
+      --retry.retries_left;
+      ++retry.retries_used;
+      if (TryRequeue(std::move(retry))) {
+        retries_counter.Increment();
+        solve_trace.Stop();
+        return;  // The retried job owns the (single) response now.
+      }
+    }
+    // Last rung of the ladder: answer from the session's last successful
+    // estimate when one exists.
+    if (config_.last_known_good_fallback) {
+      auto last_good = store_.LastGood(packet.object_id);
+      if (last_good.ok()) {
+        response.status = ServeStatus::kOk;
+        response.error = common::Status::Ok();
+        response.estimate = core::LocationEstimate{};
+        response.estimate.position = last_good->position;
+        response.degradation = common::DegradationLevel::kLastKnownGood;
+        response.degraded = true;
+        response.confidence =
+            common::DegradationConfidenceScale(response.degradation) *
+            std::clamp(last_good->confidence, 0.0, 1.0);
+        lkg_counter.Increment();
+      }
+    }
+  } else if (response.status == ServeStatus::kOk &&
+             response.degradation < common::DegradationLevel::kLastKnownGood) {
+    LastKnownGood remembered;
+    remembered.position = response.estimate.position;
+    remembered.confidence = response.confidence;
+    remembered.timestamp_s = now_s;
+    store_.RecordEstimate(packet.object_id, remembered, now_s);
+  }
+
   solve_trace.Stop();
   if (response.degraded) degraded_counter.Increment();
   store_.SweepShard(store_.ShardOf(packet.object_id), now_s);

@@ -38,7 +38,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/degradation.h"
 #include "core/nomloc.h"
+#include "serving/circuit_breaker.h"
 #include "serving/clock.h"
 #include "serving/fault_injection.h"
 #include "serving/session_store.h"
@@ -75,6 +77,8 @@ enum class AdmitStatus {
   kRejectedQueueFull,  ///< Backpressure: the worker's queue is at capacity.
   kRejectedDeadline,   ///< Deadline already passed at admission.
   kRejectedShutdown,   ///< Service is shutting down.
+  kRejectedCorrupt,    ///< Observation carried NaN/Inf or non-positive PDP.
+  kRejectedBreakerOpen,///< The AP's circuit breaker is open.
 };
 
 std::string_view AdmitStatusName(AdmitStatus status) noexcept;
@@ -101,6 +105,15 @@ struct ServeResponse {
   /// True when the constraint set shrank below expectation — anchors aged
   /// out, or fewer than ServingConfig::expected_anchors are live.
   bool degraded = false;
+  /// Rung of the degradation ladder this estimate came from: the engine
+  /// reports levels 0–2 (full solve / relaxed constraints / weighted
+  /// centroid); the serving layer adds level 3 when it answered from the
+  /// session's last-known-good estimate.  Confidence is scaled by
+  /// common::DegradationConfidenceScale(degradation).
+  common::DegradationLevel degradation = common::DegradationLevel::kNone;
+  /// Solve attempts beyond the first that this response consumed
+  /// (ServingConfig::query_retry_budget).
+  std::size_t retries = 0;
   double queue_wait_s = 0.0;    ///< Wall time spent queued.
   double latency_s = 0.0;       ///< Wall time ingest -> completion.
 };
@@ -114,6 +127,19 @@ struct ServingConfig {
   /// Anchors a healthy session is expected to hold (0 = unknown).  Used
   /// only for the `degraded` flag, e.g. static APs + nomadic sites.
   std::size_t expected_anchors = 0;
+  /// Per-AP circuit breakers at the ingest boundary (corrupt reports trip
+  /// them; see serving/circuit_breaker.h).
+  CircuitBreakerConfig breaker;
+  /// Failed query solves are re-enqueued up to this many times before the
+  /// failure (or the last-known-good fallback) is surfaced.  0 = answer
+  /// on the first attempt, which keeps the no-fault streaming path
+  /// bit-identical to LocateBatch.
+  std::size_t query_retry_budget = 0;
+  /// When a query cannot be solved (session evicted, too few anchors,
+  /// engine failure), answer with the session's last successful estimate
+  /// at DegradationLevel::kLastKnownGood instead of failing — if one
+  /// exists.
+  bool last_known_good_fallback = true;
   /// Created paused: packets queue up but no worker drains them until
   /// Start().  Lets tests fill queues deterministically.
   bool start_paused = false;
@@ -159,6 +185,7 @@ class StreamingLocalizer {
   std::size_t SweepSessions(double now_s);
 
   SessionStore& Store() noexcept { return store_; }
+  BreakerBank& Breakers() noexcept { return breakers_; }
   const core::NomLocEngine& Engine() const noexcept { return engine_; }
   std::size_t WorkerCount() const noexcept;
 
@@ -172,6 +199,10 @@ class StreamingLocalizer {
   void WorkerLoop(std::size_t worker_index);
   void Serve(const Job& job);
   void PushResponse(ServeResponse response);
+  /// Puts a retried query back on its own worker's queue (capacity and
+  /// shutdown permitting).  Returns false when the retry could not be
+  /// enqueued — the caller must surface a response instead.
+  bool TryRequeue(Job job);
 
   const core::NomLocEngine& engine_;
   ServingConfig config_;
@@ -179,6 +210,7 @@ class StreamingLocalizer {
   const Clock* clock_;  ///< Never null.
   SessionStore store_;
   FaultInjector faults_;
+  BreakerBank breakers_;
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;

@@ -1,5 +1,8 @@
 #include "serving/session_store.h"
 
+#include <cmath>
+#include <utility>
+
 #include "common/metrics.h"
 
 namespace nomloc::serving {
@@ -154,6 +157,174 @@ std::size_t SessionStore::SessionCount() const {
     n += shard->sessions.size();
   }
   return n;
+}
+
+void SessionStore::RecordEstimate(std::uint64_t object_id,
+                                  const LastKnownGood& estimate,
+                                  double now_s) {
+  Shard& shard = *shards_[ShardOf(object_id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Session& session = shard.sessions[object_id];
+  session.last_touch_s = now_s;
+  session.last_good = estimate;
+}
+
+common::Result<LastKnownGood> SessionStore::LastGood(
+    std::uint64_t object_id) const {
+  const Shard& shard = *shards_[ShardOf(object_id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(object_id);
+  if (it == shard.sessions.end())
+    return common::NotFound("no session for object");
+  if (!it->second.last_good.has_value())
+    return common::NotFound("no recorded estimate for object");
+  return *it->second.last_good;
+}
+
+namespace {
+
+constexpr double kCheckpointSchemaVersion = 1.0;
+
+common::Json LastGoodToJson(const LastKnownGood& lkg) {
+  common::JsonObject obj;
+  obj["x"] = common::Json(lkg.position.x);
+  obj["y"] = common::Json(lkg.position.y);
+  obj["confidence"] = common::Json(lkg.confidence);
+  obj["t"] = common::Json(lkg.timestamp_s);
+  return common::Json(std::move(obj));
+}
+
+common::Result<LastKnownGood> LastGoodFromJson(const common::Json& json) {
+  LastKnownGood lkg;
+  NOMLOC_ASSIGN_OR_RETURN(lkg.position.x, json.GetDouble("x"));
+  NOMLOC_ASSIGN_OR_RETURN(lkg.position.y, json.GetDouble("y"));
+  NOMLOC_ASSIGN_OR_RETURN(lkg.confidence, json.GetDouble("confidence"));
+  NOMLOC_ASSIGN_OR_RETURN(lkg.timestamp_s, json.GetDouble("t"));
+  return lkg;
+}
+
+}  // namespace
+
+common::Json SessionStore::CheckpointJson() const {
+  common::JsonObject root;
+  root["schema_version"] = common::Json(kCheckpointSchemaVersion);
+  common::JsonArray sessions;
+  // Sessions are collected per shard, then keyed by object id via a map
+  // so the dump order is independent of the shard count.
+  std::map<std::uint64_t, common::Json> ordered;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [object_id, session] : shard->sessions) {
+      common::JsonObject s;
+      s["object_id"] = common::Json(double(object_id));
+      s["keys_ever"] = common::Json(session.keys_ever);
+      s["last_touch_s"] = common::Json(session.last_touch_s);
+      if (session.last_good.has_value())
+        s["last_good"] = LastGoodToJson(*session.last_good);
+      common::JsonArray anchors;
+      for (const auto& [key, anchor] : session.anchors) {
+        common::JsonObject a;
+        a["ap_id"] = common::Json(key.ap_id);
+        a["site_index"] = common::Json(key.site_index);
+        a["x"] = common::Json(anchor.position.x);
+        a["y"] = common::Json(anchor.position.y);
+        a["nomadic"] = common::Json(anchor.is_nomadic);
+        common::JsonArray observations;
+        for (const PdpObservation& obs : anchor.observations) {
+          common::JsonObject o;
+          o["pdp"] = common::Json(obs.pdp);
+          o["weight"] = common::Json(obs.weight);
+          o["t"] = common::Json(obs.timestamp_s);
+          observations.push_back(common::Json(std::move(o)));
+        }
+        a["observations"] = common::Json(std::move(observations));
+        anchors.push_back(common::Json(std::move(a)));
+      }
+      s["anchors"] = common::Json(std::move(anchors));
+      ordered.emplace(object_id, common::Json(std::move(s)));
+    }
+  }
+  for (auto& [object_id, json] : ordered)
+    sessions.push_back(std::move(json));
+  root["sessions"] = common::Json(std::move(sessions));
+  return common::Json(std::move(root));
+}
+
+common::Result<std::size_t> SessionStore::RestoreFromJson(
+    const common::Json& json) {
+  NOMLOC_ASSIGN_OR_RETURN(double version, json.GetDouble("schema_version"));
+  if (version != kCheckpointSchemaVersion)
+    return common::InvalidArgument("unsupported checkpoint schema version");
+  NOMLOC_ASSIGN_OR_RETURN(common::Json sessions_json, json.Get("sessions"));
+  if (!sessions_json.is_array())
+    return common::InvalidArgument("'sessions' must be an array");
+
+  // Decode into a staging map first so a corrupt checkpoint leaves the
+  // live store untouched.
+  std::map<std::uint64_t, Session> staged;
+  for (const common::Json& s : sessions_json.AsArray()) {
+    NOMLOC_ASSIGN_OR_RETURN(double id_raw, s.GetDouble("object_id"));
+    if (!(id_raw >= 0.0) || id_raw != std::floor(id_raw))
+      return common::DataCorruption("checkpoint object_id is not an integer");
+    const auto object_id = std::uint64_t(id_raw);
+    Session session;
+    NOMLOC_ASSIGN_OR_RETURN(double keys_ever, s.GetDouble("keys_ever"));
+    session.keys_ever = std::size_t(keys_ever);
+    NOMLOC_ASSIGN_OR_RETURN(session.last_touch_s,
+                            s.GetDouble("last_touch_s"));
+    if (auto lkg = s.Get("last_good"); lkg.ok()) {
+      NOMLOC_ASSIGN_OR_RETURN(LastKnownGood decoded,
+                              LastGoodFromJson(*lkg));
+      session.last_good = decoded;
+    }
+    NOMLOC_ASSIGN_OR_RETURN(common::Json anchors_json, s.Get("anchors"));
+    if (!anchors_json.is_array())
+      return common::InvalidArgument("'anchors' must be an array");
+    for (const common::Json& a : anchors_json.AsArray()) {
+      AnchorKey key;
+      NOMLOC_ASSIGN_OR_RETURN(double ap_id, a.GetDouble("ap_id"));
+      key.ap_id = int(ap_id);
+      NOMLOC_ASSIGN_OR_RETURN(double site_index, a.GetDouble("site_index"));
+      key.site_index = std::size_t(site_index);
+      AnchorState anchor;
+      NOMLOC_ASSIGN_OR_RETURN(anchor.position.x, a.GetDouble("x"));
+      NOMLOC_ASSIGN_OR_RETURN(anchor.position.y, a.GetDouble("y"));
+      NOMLOC_ASSIGN_OR_RETURN(anchor.is_nomadic, a.GetBool("nomadic"));
+      if (!std::isfinite(anchor.position.x) ||
+          !std::isfinite(anchor.position.y))
+        return common::DataCorruption("non-finite checkpoint position");
+      NOMLOC_ASSIGN_OR_RETURN(common::Json obs_json, a.Get("observations"));
+      if (!obs_json.is_array())
+        return common::InvalidArgument("'observations' must be an array");
+      for (const common::Json& o : obs_json.AsArray()) {
+        PdpObservation obs;
+        NOMLOC_ASSIGN_OR_RETURN(obs.pdp, o.GetDouble("pdp"));
+        NOMLOC_ASSIGN_OR_RETURN(obs.weight, o.GetDouble("weight"));
+        NOMLOC_ASSIGN_OR_RETURN(obs.timestamp_s, o.GetDouble("t"));
+        if (!std::isfinite(obs.pdp) || obs.pdp <= 0.0)
+          return common::DataCorruption("corrupt checkpoint PDP");
+        anchor.observations.push_back(obs);
+      }
+      session.anchors.emplace(key, std::move(anchor));
+    }
+    staged.emplace(object_id, std::move(session));
+  }
+
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sessions.clear();
+  }
+  std::size_t restored = 0;
+  for (auto& [object_id, session] : staged) {
+    Shard& shard = *shards_[ShardOf(object_id)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.sessions.emplace(object_id, std::move(session));
+    ++restored;
+  }
+  common::MetricRegistry::Global()
+      .Counter("serving.checkpoint.restored")
+      .Increment(restored);
+  return restored;
 }
 
 }  // namespace nomloc::serving

@@ -21,8 +21,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "common/json.h"
 #include "common/status.h"
 #include "geometry/vec2.h"
 #include "localization/proximity.h"
@@ -55,6 +57,14 @@ struct SessionStoreConfig {
   double session_idle_ttl_s = 300.0;
 
   common::Result<void> Validate() const;
+};
+
+/// The last successful estimate served for an object — degradation level
+/// 3's answer when everything newer has failed or aged out.
+struct LastKnownGood {
+  geometry::Vec2 position;
+  double confidence = 0.0;   ///< Confidence of the original response.
+  double timestamp_s = 0.0;  ///< Logical time it was served.
 };
 
 /// Deterministic view of one session at a given logical time: live anchors
@@ -101,6 +111,26 @@ class SessionStore {
 
   std::size_t SessionCount() const;
 
+  /// Remembers the object's most recent successful estimate (creating the
+  /// session if it was already evicted).  Serves the last rung of the
+  /// degradation ladder.
+  void RecordEstimate(std::uint64_t object_id, const LastKnownGood& estimate,
+                      double now_s);
+  /// kNotFound when the object has no session or no recorded estimate.
+  common::Result<LastKnownGood> LastGood(std::uint64_t object_id) const;
+
+  /// Serialises every shard's sessions (anchors, observations, last-known
+  /// -good estimates) into a schema-versioned JSON document.  Sessions
+  /// iterate in object-id order, so equal stores checkpoint to equal
+  /// bytes.
+  common::Json CheckpointJson() const;
+
+  /// Replaces the store's contents with a checkpoint produced by
+  /// CheckpointJson.  Returns the number of sessions restored; fails with
+  /// kInvalidArgument on schema mismatch and kDataCorruption on
+  /// non-finite recorded values, leaving the store unchanged on error.
+  common::Result<std::size_t> RestoreFromJson(const common::Json& json);
+
  private:
   struct AnchorState {
     geometry::Vec2 position;
@@ -112,6 +142,7 @@ class SessionStore {
     std::map<AnchorKey, AnchorState> anchors;
     std::size_t keys_ever = 0;
     double last_touch_s = 0.0;
+    std::optional<LastKnownGood> last_good;
   };
   struct Shard {
     mutable std::mutex mutex;

@@ -31,7 +31,7 @@ TEST(Status, AllCodeNamesAreDistinct) {
       StatusCode::kFailedPrecondition, StatusCode::kNotFound,
       StatusCode::kInfeasible, StatusCode::kUnbounded,
       StatusCode::kNumericalError, StatusCode::kExhausted,
-      StatusCode::kInternal};
+      StatusCode::kDataCorruption, StatusCode::kInternal};
   for (std::size_t i = 0; i < std::size(codes); ++i)
     for (std::size_t j = i + 1; j < std::size(codes); ++j)
       EXPECT_NE(StatusCodeName(codes[i]), StatusCodeName(codes[j]));
@@ -44,7 +44,14 @@ TEST(Status, FactoryHelpersSetExpectedCodes) {
   EXPECT_EQ(Unbounded("x").code(), StatusCode::kUnbounded);
   EXPECT_EQ(NumericalError("x").code(), StatusCode::kNumericalError);
   EXPECT_EQ(Exhausted("x").code(), StatusCode::kExhausted);
+  EXPECT_EQ(DataCorruption("x").code(), StatusCode::kDataCorruption);
   EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, DataCorruptionHasStableName) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataCorruption), "DATA_CORRUPTION");
+  EXPECT_NE(DataCorruption("bad taps").ToString().find("DATA_CORRUPTION"),
+            std::string::npos);
 }
 
 TEST(Result, HoldsValue) {

@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
+#include <string>
 
+#include "common/metrics.h"
 #include "common/units.h"
 
 namespace nomloc::dsp {
@@ -176,6 +179,73 @@ TEST(PdpDichotomy, NlosAttenuationLowersPdp) {
       CsiToCir(SyntheticChannel(nlos_amps, delays), common::kBandwidth20MHz),
       {});
   EXPECT_GT(pdp_los, 2.0 * pdp_nlos);
+}
+
+// --- PdpOfBatchChecked: the typed ingest guard -------------------------
+
+CsiFrame FrameWithValues(std::vector<Cplx> values) {
+  auto frame = CsiFrame::Create(CsiFrame::Ht20Indices(), std::move(values));
+  return std::move(frame).value();
+}
+
+TEST(PdpOfBatchChecked, HealthyBatchBitIdenticalToUnchecked) {
+  const double a1[] = {1.0};
+  const double a2[] = {0.5};
+  const double delays[] = {100e-9};
+  const std::vector<CsiFrame> frames{SyntheticChannel(a1, delays),
+                                     SyntheticChannel(a2, delays)};
+  auto checked = PdpOfBatchChecked(frames, common::kBandwidth20MHz);
+  ASSERT_TRUE(checked.ok());
+  const double unchecked = PdpOfBatch(frames, common::kBandwidth20MHz);
+  EXPECT_EQ(*checked, unchecked);  // bit-identical, not just close
+}
+
+TEST(PdpOfBatchChecked, TypedErrorsOnEmptyAndBadBandwidth) {
+  const double amps[] = {1.0};
+  const double delays[] = {0.0};
+  const std::vector<CsiFrame> frames{SyntheticChannel(amps, delays)};
+  auto empty = PdpOfBatchChecked({}, common::kBandwidth20MHz);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), common::StatusCode::kInvalidArgument);
+  auto bad_bw = PdpOfBatchChecked(frames, 0.0);
+  ASSERT_FALSE(bad_bw.ok());
+  EXPECT_EQ(bad_bw.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(PdpOfBatchChecked, RejectsNonFiniteTapsAndCountsThem) {
+  auto& rejected =
+      common::MetricRegistry::Global().Counter("pdp.rejected_links");
+  const std::size_t n = CsiFrame::Ht20Indices().size();
+
+  std::vector<Cplx> nan_values(n, Cplx(1.0, 0.0));
+  nan_values[7] = Cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  std::vector<Cplx> inf_values(n, Cplx(1.0, 0.0));
+  inf_values[3] = Cplx(0.0, std::numeric_limits<double>::infinity());
+
+  const std::uint64_t before = rejected.Value();
+  for (auto& values : {nan_values, inf_values}) {
+    const std::vector<CsiFrame> frames{FrameWithValues(values)};
+    auto pdp = PdpOfBatchChecked(frames, common::kBandwidth20MHz);
+    ASSERT_FALSE(pdp.ok());
+    EXPECT_EQ(pdp.status().code(), common::StatusCode::kDataCorruption);
+  }
+  EXPECT_EQ(rejected.Value(), before + 2);
+}
+
+TEST(PdpOfBatchChecked, RejectsAllZeroFrame) {
+  const std::size_t n = CsiFrame::Ht20Indices().size();
+  const double amps[] = {1.0};
+  const double delays[] = {0.0};
+  // A healthy frame first: the guard must name the offending frame, not
+  // just the batch.
+  const std::vector<CsiFrame> frames{
+      SyntheticChannel(amps, delays),
+      FrameWithValues(std::vector<Cplx>(n, Cplx(0.0, 0.0)))};
+  auto pdp = PdpOfBatchChecked(frames, common::kBandwidth20MHz);
+  ASSERT_FALSE(pdp.ok());
+  EXPECT_EQ(pdp.status().code(), common::StatusCode::kDataCorruption);
+  EXPECT_NE(pdp.status().message().find("frame 1"), std::string::npos)
+      << pdp.status().ToString();
 }
 
 }  // namespace

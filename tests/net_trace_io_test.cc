@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "channel/csi_model.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "eval/scenario.h"
 
@@ -134,6 +138,78 @@ TEST(TraceIo, RecordReplayWorkflow) {
   auto replay_a2 = ReplayTrace(*decoded, *engine_a);
   ASSERT_TRUE(replay_a2.ok());
   EXPECT_EQ(replay_a->errors_m, replay_a2->errors_m);
+}
+
+TEST(TraceIo, ParseTraceReportsByteOffsetOnGarbage) {
+  auto broken = ParseTrace(R"({"schema_version": 1, "epochs": [)");
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), common::StatusCode::kDataCorruption);
+  EXPECT_NE(broken.status().message().find("offset"), std::string::npos)
+      << broken.status().ToString();
+}
+
+// Fuzz-style: every strict prefix of a golden trace must come back as a
+// typed parse error (never a crash, never a silently truncated trace).
+TEST(TraceIo, EveryTruncationOfGoldenTraceIsTypedError) {
+  const std::string golden = TraceToJson(SmallTrace()).Dump();
+  ASSERT_GT(golden.size(), 100u);
+  for (std::size_t len = 0; len < golden.size(); ++len) {
+    auto parsed = ParseTrace(golden.substr(0, len));
+    ASSERT_FALSE(parsed.ok()) << "prefix of " << len << " bytes parsed";
+    EXPECT_EQ(parsed.status().code(), common::StatusCode::kDataCorruption)
+        << "prefix of " << len << " bytes: " << parsed.status().ToString();
+  }
+  // The full text still parses — the sweep proves truncation detection,
+  // not a broken golden.
+  EXPECT_TRUE(ParseTrace(golden).ok());
+}
+
+// Random single-byte corruptions: the parser may reject or (for benign
+// flips, e.g. inside the description string) still accept, but it must
+// yield a typed Result either way.  A flip can leave the JSON well formed
+// but mangle a key name (kNotFound) or a field value (kInvalidArgument);
+// anything syntactically broken must come back as kDataCorruption.
+TEST(TraceIo, RandomByteCorruptionNeverCrashes) {
+  const std::string golden = TraceToJson(SmallTrace()).Dump();
+  common::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = golden;
+    const std::size_t pos = rng.UniformInt(mutated.size());
+    mutated[pos] = char(rng.UniformInt(256));
+    auto parsed = ParseTrace(mutated);
+    if (!parsed.ok()) {
+      const auto code = parsed.status().code();
+      EXPECT_TRUE(code == common::StatusCode::kDataCorruption ||
+                  code == common::StatusCode::kInvalidArgument ||
+                  code == common::StatusCode::kNotFound)
+          << parsed.status().ToString();
+    }
+  }
+}
+
+TEST(TraceIo, ParseFailuresCounterTracksQuarantine) {
+  auto& counter =
+      common::MetricRegistry::Global().Counter("trace.parse_failures");
+  const std::uint64_t before = counter.Value();
+  EXPECT_FALSE(ParseTrace("{nope").ok());
+  EXPECT_FALSE(ParseTrace(R"({"schema_version": 99, "epochs": []})").ok());
+  EXPECT_EQ(counter.Value(), before + 2);
+}
+
+TEST(TraceIo, SaveLoadRoundTripAndTypedFileErrors) {
+  auto missing = LoadTraceFile("/nonexistent/nomloc-trace.json");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+
+  const std::string path =
+      testing::TempDir() + "/trace_io_roundtrip.json";
+  const MeasurementTrace original = SmallTrace();
+  ASSERT_TRUE(SaveTraceFile(original, path).ok());
+  auto restored = LoadTraceFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->epochs.size(), original.epochs.size());
+  EXPECT_EQ(restored->description, original.description);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+// Deterministic chaos suite (ISSUE 5 tentpole): seeded fault schedules
+// replayed through the streaming service, asserting the resilience
+// invariants — no crash, one response per query, a valid DegradationLevel
+// on every response with consistently scaled confidence, bounded error,
+// and post-clearance accuracy within 5% of the fault-free run.
+#include "serving/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/degradation.h"
+#include "eval/scenario.h"
+#include "serving/replay.h"
+
+namespace nomloc::serving {
+namespace {
+
+struct Harness {
+  eval::Scenario scenario;
+  ReplayConfig replay;
+  ReplayPlan plan;
+  core::NomLocEngine engine;
+};
+
+common::Result<Harness> MakeHarness(std::size_t epochs,
+                                    const core::NomLocConfig& engine_extra) {
+  NOMLOC_ASSIGN_OR_RETURN(eval::Scenario scenario,
+                          eval::ScenarioByName("lab"));
+  ReplayConfig replay;
+  replay.objects = 2;
+  replay.epochs = epochs;
+  replay.run.packets_per_batch = 3;
+  replay.run.dwell_count = 3;
+  NOMLOC_ASSIGN_OR_RETURN(ReplayPlan plan,
+                          BuildReplayPlan(scenario, replay));
+  core::NomLocConfig engine_cfg = engine_extra;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  NOMLOC_ASSIGN_OR_RETURN(
+      core::NomLocEngine engine,
+      core::NomLocEngine::Create(scenario.env.Boundary(), engine_cfg));
+  return Harness{std::move(scenario), replay, std::move(plan),
+                 std::move(engine)};
+}
+
+ServingConfig ChaosServingConfig() {
+  ServingConfig config;
+  config.workers = 2;
+  // Breakers must be able to re-close between epochs, or a corruption
+  // window would poison the post-clearance epochs.
+  config.breaker.failure_threshold = 2;
+  config.breaker.base_backoff_s = 0.2;
+  config.breaker.max_backoff_s = 1.0;
+  config.query_retry_budget = 1;
+  return config;
+}
+
+double AreaDiagonalM(const core::NomLocEngine& engine) {
+  const auto box = engine.Area().BoundingBox();
+  return geometry::Distance(box.lo, box.hi);
+}
+
+void AssertInvariants(const ChaosReport& report, const Harness& harness) {
+  // One response per query — nothing lost, nothing duplicated.
+  ASSERT_EQ(report.outcomes.size(),
+            harness.plan.objects * harness.plan.epoch_count);
+  const double diagonal_m = AreaDiagonalM(harness.engine);
+  for (const ChaosQueryOutcome& outcome : report.outcomes) {
+    const auto level = std::size_t(outcome.degradation);
+    ASSERT_LE(level, 3u) << "invalid degradation level";
+    EXPECT_GE(outcome.confidence, 0.0);
+    EXPECT_LE(outcome.confidence, 1.0);
+    // The ladder's scale caps the confidence of every degraded rung.
+    EXPECT_LE(outcome.confidence,
+              common::DegradationConfidenceScale(outcome.degradation) + 1e-12);
+    if (outcome.status == ServeStatus::kOk) {
+      // Bounded error: every estimate — last-known-good included — stays
+      // inside the floor, so its error cannot exceed the area diagonal.
+      EXPECT_TRUE(std::isfinite(outcome.error_m));
+      EXPECT_LE(outcome.error_m, diagonal_m);
+    }
+  }
+}
+
+TEST(ChaosSchedule, DeterministicPerSeed) {
+  auto harness = MakeHarness(5, {});
+  ASSERT_TRUE(harness.ok());
+  ChaosConfig chaos;
+  chaos.seed = 7;
+  const auto a =
+      BuildChaosSchedule(chaos, harness->plan, harness->replay.epoch_interval_s);
+  const auto b =
+      BuildChaosSchedule(chaos, harness->plan, harness->replay.epoch_interval_s);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_EQ(a.events.size(), chaos.events);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].start_s, b.events[i].start_s);
+    EXPECT_EQ(a.events[i].end_s, b.events[i].end_s);
+    EXPECT_EQ(a.events[i].ap_id, b.events[i].ap_id);
+    EXPECT_EQ(a.events[i].magnitude, b.events[i].magnitude);
+  }
+  // Faults clear before the run ends so recovery is always measurable.
+  const double duration_s =
+      double(harness->plan.epoch_count) * harness->replay.epoch_interval_s;
+  EXPECT_LT(a.last_event_end_s, duration_s);
+}
+
+TEST(ChaosRun, NoEventsIsFaultFree) {
+  auto harness = MakeHarness(3, {});
+  ASSERT_TRUE(harness.ok());
+  ChaosConfig chaos;
+  chaos.events = 0;
+  auto report = RunChaos(harness->engine, harness->plan,
+                         harness->replay.epoch_interval_s, chaos,
+                         ChaosServingConfig());
+  ASSERT_TRUE(report.ok());
+  AssertInvariants(*report, *harness);
+  EXPECT_EQ(report->injected_drops, 0u);
+  EXPECT_EQ(report->injected_corruptions, 0u);
+  for (const ChaosQueryOutcome& outcome : report->outcomes) {
+    EXPECT_EQ(outcome.status, ServeStatus::kOk);
+    EXPECT_EQ(outcome.degradation, common::DegradationLevel::kNone);
+  }
+  EXPECT_EQ(report->degradation_counts[0], report->outcomes.size());
+}
+
+// The acceptance gate: >= 3 seeds, zero crashes, valid degradation
+// everywhere, and post-clearance accuracy within 5% of the fault-free
+// replay.
+TEST(ChaosRun, InvariantsHoldAcrossSeeds) {
+  auto harness = MakeHarness(5, {});
+  ASSERT_TRUE(harness.ok());
+
+  ChaosConfig fault_free;
+  fault_free.events = 0;
+  auto baseline = RunChaos(harness->engine, harness->plan,
+                           harness->replay.epoch_interval_s, fault_free,
+                           ChaosServingConfig());
+  ASSERT_TRUE(baseline.ok());
+  std::map<std::pair<std::size_t, std::uint64_t>, double> baseline_errors;
+  for (const ChaosQueryOutcome& outcome : baseline->outcomes)
+    baseline_errors[{outcome.epoch, outcome.object_id}] = outcome.error_m;
+
+  std::size_t total_injected = 0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.events = 6;
+    auto report = RunChaos(harness->engine, harness->plan,
+                           harness->replay.epoch_interval_s, chaos,
+                           ChaosServingConfig());
+    ASSERT_TRUE(report.ok());
+    AssertInvariants(*report, *harness);
+    total_injected += report->injected_drops + report->injected_corruptions +
+                      report->clock_jumps + report->saturation_bursts;
+
+    // Post-clearance: every query issued at least one anchor TTL after
+    // the last fault cleared must match the fault-free error within 5%.
+    const double clear_s = report->schedule.last_event_end_s +
+                           harness->plan.suggested_anchor_ttl_s;
+    std::size_t post_clearance = 0;
+    for (const ChaosQueryOutcome& outcome : report->outcomes) {
+      if (outcome.timestamp_s < clear_s) continue;
+      ++post_clearance;
+      EXPECT_EQ(outcome.status, ServeStatus::kOk);
+      const double want =
+          baseline_errors[{outcome.epoch, outcome.object_id}];
+      EXPECT_NEAR(outcome.error_m, want,
+                  0.05 * std::max(want, 1e-6))
+          << "epoch " << outcome.epoch << " object " << outcome.object_id;
+    }
+    EXPECT_GT(post_clearance, 0u) << "no post-clearance epochs measured";
+  }
+  // The schedules actually did something across the seeds.
+  EXPECT_GT(total_injected, 0u);
+}
+
+// With a tight relaxation-cost budget the solver walks the ladder; the
+// chaos invariants must hold on degraded rungs too.
+TEST(ChaosRun, DegradationLadderEngagesUnderTightBudget) {
+  core::NomLocConfig engine_cfg;
+  engine_cfg.fallback.max_relaxation_cost = 1e-9;
+  auto harness = MakeHarness(4, engine_cfg);
+  ASSERT_TRUE(harness.ok());
+  ChaosConfig chaos;
+  chaos.seed = 2;
+  chaos.events = 4;
+  auto report = RunChaos(harness->engine, harness->plan,
+                         harness->replay.epoch_interval_s, chaos,
+                         ChaosServingConfig());
+  ASSERT_TRUE(report.ok());
+  AssertInvariants(*report, *harness);
+  const std::size_t degraded = report->degradation_counts[1] +
+                               report->degradation_counts[2] +
+                               report->degradation_counts[3];
+  EXPECT_GT(degraded, 0u)
+      << "tight budget should push responses down the ladder";
+}
+
+}  // namespace
+}  // namespace nomloc::serving

@@ -1,0 +1,110 @@
+#include "serving/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace nomloc::serving {
+namespace {
+
+CircuitBreakerConfig FastBreaker() {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.base_backoff_s = 2.0;
+  config.max_backoff_s = 8.0;
+  return config;
+}
+
+TEST(CircuitBreakerConfig, ValidatesKnobs) {
+  EXPECT_TRUE(FastBreaker().Validate().ok());
+  CircuitBreakerConfig bad = FastBreaker();
+  bad.failure_threshold = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = FastBreaker();
+  bad.base_backoff_s = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = FastBreaker();
+  bad.max_backoff_s = 1.0;  // below base
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(CircuitBreaker, TripsOnlyOnConsecutiveFailures) {
+  CircuitBreaker breaker(FastBreaker());
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(0.1);
+  EXPECT_EQ(breaker.State(), BreakerState::kClosed);
+  breaker.RecordSuccess(0.2);  // resets the run
+  EXPECT_EQ(breaker.ConsecutiveFailures(), 0u);
+  breaker.RecordFailure(0.3);
+  breaker.RecordFailure(0.4);
+  EXPECT_EQ(breaker.State(), BreakerState::kClosed);
+  breaker.RecordFailure(0.5);  // third consecutive
+  EXPECT_EQ(breaker.State(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow(0.6));
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0.0);
+  ASSERT_EQ(breaker.State(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.RetryAtSeconds(), 2.0);
+
+  EXPECT_FALSE(breaker.Allow(1.9));  // backoff not elapsed
+  EXPECT_TRUE(breaker.Allow(2.0));   // the probe
+  EXPECT_EQ(breaker.State(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(2.0));  // probe outstanding
+  EXPECT_FALSE(breaker.Allow(3.0));
+
+  breaker.RecordSuccess(3.0);
+  EXPECT_EQ(breaker.State(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow(3.0));
+  // The reclose reset the backoff for the next trip.
+  EXPECT_EQ(breaker.CurrentBackoffSeconds(), 2.0);
+}
+
+TEST(CircuitBreaker, FailedProbeDoublesBackoffUpToCap) {
+  CircuitBreaker breaker(FastBreaker());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0.0);
+
+  double now = 0.0;
+  const double expected_backoffs[] = {2.0, 4.0, 8.0, 8.0};  // capped at 8
+  for (double expected : expected_backoffs) {
+    EXPECT_EQ(breaker.CurrentBackoffSeconds(), expected);
+    now = breaker.RetryAtSeconds();
+    ASSERT_TRUE(breaker.Allow(now));
+    breaker.RecordFailure(now);  // probe fails, backoff doubles
+    EXPECT_EQ(breaker.State(), BreakerState::kOpen);
+  }
+}
+
+TEST(CircuitBreaker, StateNamesAreStable) {
+  EXPECT_EQ(BreakerStateName(BreakerState::kClosed), "CLOSED");
+  EXPECT_EQ(BreakerStateName(BreakerState::kOpen), "OPEN");
+  EXPECT_EQ(BreakerStateName(BreakerState::kHalfOpen), "HALF_OPEN");
+}
+
+TEST(BreakerBank, IsolatesApsAndCountsUnhealthy) {
+  BreakerBank bank(FastBreaker());
+  EXPECT_TRUE(bank.Allow(1, 0.0));
+  EXPECT_TRUE(bank.Allow(2, 0.0));
+  for (int i = 0; i < 3; ++i) bank.RecordFailure(1, 0.0);
+
+  EXPECT_EQ(bank.StateOf(1), BreakerState::kOpen);
+  EXPECT_EQ(bank.StateOf(2), BreakerState::kClosed);
+  EXPECT_FALSE(bank.Allow(1, 0.5));
+  EXPECT_TRUE(bank.Allow(2, 0.5));  // AP 2 unaffected
+  EXPECT_EQ(bank.UnhealthyCount(), 1u);
+
+  // AP 1 recovers through its half-open probe.
+  EXPECT_TRUE(bank.Allow(1, 2.0));
+  bank.RecordSuccess(1, 2.0);
+  EXPECT_EQ(bank.StateOf(1), BreakerState::kClosed);
+  EXPECT_EQ(bank.UnhealthyCount(), 0u);
+}
+
+TEST(BreakerBank, UnknownApIsClosedByDefault) {
+  BreakerBank bank(FastBreaker());
+  EXPECT_EQ(bank.StateOf(42), BreakerState::kClosed);
+  EXPECT_EQ(bank.UnhealthyCount(), 0u);
+}
+
+}  // namespace
+}  // namespace nomloc::serving

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -259,6 +260,122 @@ TEST_F(ServiceTest, StreamingMatchesLocateBatchBitExactly) {
     EXPECT_EQ(response.estimate.feasible_area_m2, want.feasible_area_m2);
     EXPECT_EQ(response.anchor_count, plan->epochs[row].anchors.size());
   }
+}
+
+TEST_F(ServiceTest, CorruptObservationsRejectedAtAdmission) {
+  auto service = MakeService({});
+  clock_.Set(0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  IngestPacket bad_pos = Observation(1, 0, {nan, 1.0}, 0.5, 0.0);
+  EXPECT_EQ(service->Ingest(bad_pos), AdmitStatus::kRejectedCorrupt);
+  IngestPacket bad_pdp = Observation(1, 0, {1.0, 1.0}, -0.5, 0.0);
+  EXPECT_EQ(service->Ingest(bad_pdp), AdmitStatus::kRejectedCorrupt);
+  IngestPacket bad_weight = Observation(1, 0, {1.0, 1.0}, 0.5, 0.0);
+  bad_weight.weight = 0.0;
+  EXPECT_EQ(service->Ingest(bad_weight), AdmitStatus::kRejectedCorrupt);
+  // A rejected observation never reaches the session store.
+  EXPECT_EQ(service->Store().SessionCount(), 0u);
+}
+
+TEST_F(ServiceTest, BreakerTripsIsolatesApAndRecloses) {
+  ServingConfig config;
+  config.workers = 1;
+  config.breaker.failure_threshold = 2;
+  config.breaker.base_backoff_s = 1.0;
+  config.breaker.max_backoff_s = 4.0;
+  auto service = MakeService(config);
+
+  clock_.Set(0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(service->Ingest(Observation(1, 7, {1.0, nan}, 0.5, 0.0)),
+            AdmitStatus::kRejectedCorrupt);
+  EXPECT_EQ(service->Ingest(Observation(1, 7, {1.0, nan}, 0.5, 0.0)),
+            AdmitStatus::kRejectedCorrupt);
+  EXPECT_EQ(service->Breakers().StateOf(7), BreakerState::kOpen);
+
+  // Even a healthy report from the tripped AP is short-circuited, while a
+  // sibling AP is untouched.
+  clock_.Set(0.5);
+  EXPECT_EQ(service->Ingest(Observation(1, 7, {1.0, 1.0}, 0.5, 0.5)),
+            AdmitStatus::kRejectedBreakerOpen);
+  EXPECT_EQ(service->Ingest(Observation(1, 8, {9.0, 9.0}, 0.5, 0.5)),
+            AdmitStatus::kAccepted);
+
+  // Backoff elapsed: the half-open probe is admitted, and its success
+  // recloses the breaker for normal traffic.
+  clock_.Set(1.0);
+  EXPECT_EQ(service->Ingest(Observation(1, 7, {1.0, 1.0}, 0.5, 1.0)),
+            AdmitStatus::kAccepted);
+  EXPECT_EQ(service->Breakers().StateOf(7), BreakerState::kClosed);
+  EXPECT_EQ(service->Ingest(Observation(1, 7, {1.5, 1.0}, 0.5, 1.0)),
+            AdmitStatus::kAccepted);
+}
+
+TEST_F(ServiceTest, RetryBudgetExhaustedAnswersFromLastKnownGood) {
+  ServingConfig config;
+  config.workers = 1;
+  config.query_retry_budget = 1;
+  config.store.anchor_ttl_s = 10.0;
+  auto service = MakeService(config);
+
+  clock_.Set(0.0);
+  service->Ingest(Observation(1, 0, {1.0, 1.0}, 0.5, 0.0));
+  service->Ingest(Observation(1, 1, {9.0, 9.0}, 0.1, 0.0));
+  service->Ingest(Query(1, 0.0));
+  service->Flush();
+  auto first = service->TakeResponses();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(first[0].status, ServeStatus::kOk);
+  ASSERT_EQ(first[0].degradation, common::DegradationLevel::kNone);
+
+  // Fifty seconds on: the original anchors aged out, one fresh report is
+  // not enough to solve, and the retry cannot fix that — the last rung of
+  // the ladder answers from the remembered estimate.
+  clock_.Set(50.0);
+  service->Ingest(Observation(1, 0, {2.0, 2.0}, 0.5, 50.0));
+  service->Ingest(Query(1, 50.0));
+  service->Flush();
+  auto second = service->TakeResponses();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].status, ServeStatus::kOk);
+  EXPECT_EQ(second[0].degradation, common::DegradationLevel::kLastKnownGood);
+  EXPECT_TRUE(second[0].degraded);
+  EXPECT_EQ(second[0].retries, 1u);
+  EXPECT_EQ(std::memcmp(&second[0].estimate.position,
+                        &first[0].estimate.position,
+                        sizeof(first[0].estimate.position)),
+            0);
+  EXPECT_DOUBLE_EQ(
+      second[0].confidence,
+      common::DegradationConfidenceScale(
+          common::DegradationLevel::kLastKnownGood) *
+          first[0].confidence);
+}
+
+TEST_F(ServiceTest, LkgDisabledSurfacesTypedFailure) {
+  ServingConfig config;
+  config.workers = 1;
+  config.store.anchor_ttl_s = 10.0;
+  config.last_known_good_fallback = false;
+  auto service = MakeService(config);
+
+  clock_.Set(0.0);
+  service->Ingest(Observation(1, 0, {1.0, 1.0}, 0.5, 0.0));
+  service->Ingest(Observation(1, 1, {9.0, 9.0}, 0.1, 0.0));
+  service->Ingest(Query(1, 0.0));
+  service->Flush();
+  ASSERT_EQ(service->TakeResponses().size(), 1u);
+
+  clock_.Set(50.0);
+  service->Ingest(Observation(1, 0, {2.0, 2.0}, 0.5, 50.0));
+  service->Ingest(Query(1, 50.0));
+  service->Flush();
+  auto responses = service->TakeResponses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::kFailed);
+  EXPECT_EQ(responses[0].error.code(),
+            common::StatusCode::kFailedPrecondition);
 }
 
 // Satellite (f): every serving metric is registered under the serving.*

@@ -163,5 +163,139 @@ TEST(SessionStore, NomadicJudgementDecayReexpandsFeasibleCell) {
   EXPECT_GT(decayed_area, full_area * 1.01);  // and here it strictly does
 }
 
+// --- TTL clock-edge behaviour ------------------------------------------
+
+// Eviction is `now - t > ttl`: an observation aged exactly one TTL is
+// still live — the boundary belongs to the survivor.
+TEST(SessionStore, ObservationExactlyAtTtlBoundarySurvives) {
+  SessionStore store(SmallStore(/*ttl_s=*/10.0));
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+
+  auto at_edge = store.Snapshot(1, 10.0);  // age == ttl, not older
+  ASSERT_TRUE(at_edge.ok());
+  EXPECT_EQ(at_edge->anchors.size(), 1u);
+
+  auto past_edge = store.Snapshot(1, 10.0 + 1e-9);
+  ASSERT_TRUE(past_edge.ok());
+  EXPECT_EQ(past_edge->anchors.size(), 0u);
+  EXPECT_EQ(past_edge->keys_ever, 1u);
+}
+
+// A backward clock jump must not evict anything: negative ages are
+// younger than any TTL, and the store must not crash or wrap.
+TEST(SessionStore, BackwardClockJumpEvictsNothing) {
+  SessionStore store(SmallStore(/*ttl_s=*/10.0));
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 50.0), 50.0);
+  store.Upsert(1, {1, 0}, {1.0, 0.0}, false, Obs(2.0, 1.0, 55.0), 55.0);
+
+  auto rewound = store.Snapshot(1, 3.0);  // clock stepped back 52 s
+  ASSERT_TRUE(rewound.ok());
+  EXPECT_EQ(rewound->anchors.size(), 2u);
+  EXPECT_EQ(store.SweepAll(3.0), 0u);
+
+  // Time resumes: the normal decay schedule still applies.
+  auto resumed = store.Snapshot(1, 61.0);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed->anchors.size(), 1u);
+  EXPECT_EQ(resumed->anchors[0].pdp, 2.0);
+}
+
+// After every observation ages out the session survives (keys_ever keeps
+// the degradation signal), and a fresh report re-populates it.
+TEST(SessionStore, RecreationAfterFullEviction) {
+  SessionStore store(SmallStore(/*ttl_s=*/10.0));
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+
+  auto empty = store.Snapshot(1, 20.0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->anchors.size(), 0u);
+  EXPECT_EQ(empty->keys_ever, 1u);
+
+  store.Upsert(1, {0, 0}, {2.0, 2.0}, false, Obs(3.0, 1.0, 21.0), 21.0);
+  auto reborn = store.Snapshot(1, 22.0);
+  ASSERT_TRUE(reborn.ok());
+  ASSERT_EQ(reborn->anchors.size(), 1u);
+  EXPECT_EQ(reborn->anchors[0].pdp, 3.0);
+  EXPECT_EQ(reborn->anchors[0].position.x, 2.0);
+}
+
+// --- last-known-good + checkpoint/restore ------------------------------
+
+TEST(SessionStore, LastGoodIsTypedNotFoundUntilRecorded) {
+  SessionStore store(SmallStore());
+  auto missing_session = store.LastGood(1);
+  ASSERT_FALSE(missing_session.ok());
+  EXPECT_EQ(missing_session.status().code(), common::StatusCode::kNotFound);
+
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+  auto no_estimate = store.LastGood(1);
+  ASSERT_FALSE(no_estimate.ok());
+  EXPECT_EQ(no_estimate.status().code(), common::StatusCode::kNotFound);
+
+  LastKnownGood lkg;
+  lkg.position = {4.0, 5.0};
+  lkg.confidence = 0.8;
+  lkg.timestamp_s = 1.0;
+  store.RecordEstimate(1, lkg, 1.0);
+  auto stored = store.LastGood(1);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->position.x, 4.0);
+  EXPECT_EQ(stored->confidence, 0.8);
+}
+
+TEST(SessionStore, CheckpointRestoreRoundTripsBitExactly) {
+  SessionStore store(SmallStore());
+  store.Upsert(7, {2, 0}, {2.0, 0.0}, false, Obs(0.3, 2.0, 1.0), 1.0);
+  store.Upsert(7, {0, 1}, {0.5, 1.0}, true, Obs(0.1, 1.0, 2.0), 2.0);
+  store.Upsert(9, {0, 0}, {3.0, 3.0}, false, Obs(0.7, 1.0, 2.5), 2.5);
+  LastKnownGood lkg;
+  lkg.position = {1.25, 2.5};
+  lkg.confidence = 0.625;
+  lkg.timestamp_s = 2.0;
+  store.RecordEstimate(7, lkg, 2.5);
+
+  const common::Json checkpoint = store.CheckpointJson();
+
+  // Restore into a store with a different shard count: the checkpoint is
+  // layout-independent.
+  SessionStoreConfig other = SmallStore();
+  other.shards = 2;
+  SessionStore restored(other);
+  auto count = restored.RestoreFromJson(checkpoint);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 2u);
+
+  auto a = store.Snapshot(7, 3.0);
+  auto b = restored.Snapshot(7, 3.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->anchors.size(), b->anchors.size());
+  for (std::size_t i = 0; i < a->anchors.size(); ++i) {
+    EXPECT_EQ(a->anchors[i].pdp, b->anchors[i].pdp);
+    EXPECT_EQ(a->anchors[i].position, b->anchors[i].position);
+    EXPECT_EQ(a->anchors[i].is_nomadic_site, b->anchors[i].is_nomadic_site);
+  }
+  auto lkg_restored = restored.LastGood(7);
+  ASSERT_TRUE(lkg_restored.ok());
+  EXPECT_EQ(lkg_restored->position.x, 1.25);
+  EXPECT_EQ(lkg_restored->confidence, 0.625);
+  // And the second checkpoint is byte-identical — restore is lossless.
+  EXPECT_EQ(restored.CheckpointJson().Dump(), checkpoint.Dump());
+}
+
+TEST(SessionStore, RestoreRejectsCorruptCheckpointAndKeepsStore) {
+  SessionStore store(SmallStore());
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+
+  auto bad = common::Json::Parse(
+      R"({"schema_version": 1, "sessions": [{"object_id": 3.5}]})");
+  ASSERT_TRUE(bad.ok());
+  auto restore = store.RestoreFromJson(*bad);
+  ASSERT_FALSE(restore.ok());
+  EXPECT_EQ(restore.status().code(), common::StatusCode::kDataCorruption);
+  // The failed restore left the existing sessions untouched.
+  EXPECT_TRUE(store.Snapshot(1, 1.0).ok());
+}
+
 }  // namespace
 }  // namespace nomloc::serving

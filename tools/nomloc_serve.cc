@@ -4,23 +4,36 @@
 //                [--interval S] [--workers N] [--queue-capacity N]
 //                [--deadline S] [--dropout R] [--loss R] [--delay-rate R]
 //                [--delay S] [--packets N] [--dwells N] [--seed N]
-//                [--check] [--metrics]
+//                [--breaker-threshold N] [--breaker-backoff S]
+//                [--retry-budget N] [--no-lkg]
+//                [--chaos SEED] [--chaos-events N]
+//                [--check] [--check-perturb] [--metrics]
 //
 // Replays a measurement campaign (objects x epochs, from the scenario's
 // test sites) as a timestamped packet stream through StreamingLocalizer
 // and prints admission counts, per-response outcomes, localization error,
-// throughput, and latency percentiles.
+// degradation-ladder counts, throughput, and latency percentiles.
 //
 // --check (faults must be off) additionally runs the same anchor sets
 // through NomLocEngine::LocateBatch and exits non-zero unless every
 // streamed estimate is bit-identical to its batch twin — the serving
-// layer's end-to-end equivalence proof.
+// layer's end-to-end equivalence proof.  --check-perturb intentionally
+// nudges one streamed estimate before comparing, proving the detector
+// trips (the process must exit non-zero).
 //
 // Fault flags (--dropout / --loss / --delay-rate) exercise graceful
 // degradation: dead APs and lost packets shrink the constraint set, the
 // solver falls back to the reduced program, and each response carries a
 // confidence plus a `degraded` flag; --metrics shows the serving.* series
 // (queue depth, shard occupancy, rejections, degradation events).
+//
+// Resilience knobs: --breaker-threshold / --breaker-backoff shape the
+// per-anchor circuit breakers, --retry-budget re-queues failed queries,
+// --no-lkg disables the last-known-good fallback.  --chaos SEED replays
+// the deterministic chaos schedule (anchor death/flap, trace corruption,
+// clock jumps, queue saturation) from serving::RunChaos instead of the
+// plain stream and reports injections, degradation counts, and recovery
+// latency.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,11 +42,13 @@
 #include <string>
 #include <vector>
 
+#include "common/degradation.h"
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "core/nomloc.h"
 #include "eval/runner.h"
 #include "eval/scenario.h"
+#include "serving/chaos.h"
 #include "serving/clock.h"
 #include "serving/replay.h"
 #include "serving/service.h"
@@ -49,7 +64,10 @@ namespace {
       "          [--interval S] [--workers N] [--queue-capacity N]\n"
       "          [--deadline S] [--dropout R] [--loss R] [--delay-rate R]\n"
       "          [--delay S] [--packets N] [--dwells N] [--seed N]\n"
-      "          [--check] [--metrics]\n",
+      "          [--breaker-threshold N] [--breaker-backoff S]\n"
+      "          [--retry-budget N] [--no-lkg]\n"
+      "          [--chaos SEED] [--chaos-events N]\n"
+      "          [--check] [--check-perturb] [--metrics]\n",
       argv0);
   std::exit(2);
 }
@@ -62,7 +80,10 @@ int main(int argc, char** argv) {
   replay.run.packets_per_batch = 20;
   replay.run.dwell_count = 6;
   serving::ServingConfig serve;
+  serving::ChaosConfig chaos;
+  bool chaos_mode = false;
   bool check = false;
+  bool check_perturb = false;
   bool metrics = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,8 +121,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       replay.run.seed = std::strtoull(next(), nullptr, 10);
       serve.faults.seed = replay.run.seed + 0x5e21;
+    } else if (arg == "--breaker-threshold") {
+      serve.breaker.failure_threshold = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--breaker-backoff") {
+      serve.breaker.base_backoff_s = std::strtod(next(), nullptr);
+      serve.breaker.max_backoff_s =
+          std::max(serve.breaker.max_backoff_s, serve.breaker.base_backoff_s);
+    } else if (arg == "--retry-budget") {
+      serve.query_retry_budget = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--no-lkg") {
+      serve.last_known_good_fallback = false;
+    } else if (arg == "--chaos") {
+      chaos.seed = std::strtoull(next(), nullptr, 10);
+      chaos_mode = true;
+    } else if (arg == "--chaos-events") {
+      chaos.events = std::strtoul(next(), nullptr, 10);
+      chaos_mode = true;
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--check-perturb") {
+      check = true;
+      check_perturb = true;
     } else if (arg == "--metrics") {
       metrics = true;
     } else {
@@ -112,6 +152,10 @@ int main(int argc, char** argv) {
   if (check && serve.faults.Enabled()) {
     std::fprintf(stderr,
                  "error: --check requires fault injection to be off\n");
+    return 2;
+  }
+  if (check && chaos_mode) {
+    std::fprintf(stderr, "error: --check requires --chaos to be off\n");
     return 2;
   }
 
@@ -134,6 +178,56 @@ int main(int argc, char** argv) {
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
+  }
+
+  if (chaos_mode) {
+    auto report = serving::RunChaos(*engine, *plan, replay.epoch_interval_s,
+                                    chaos, serve);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("chaos: seed=%llu events=%zu (last clears at %.2f s)\n",
+                static_cast<unsigned long long>(chaos.seed),
+                report->schedule.events.size(),
+                report->schedule.last_event_end_s);
+    for (const serving::ChaosEvent& event : report->schedule.events) {
+      std::printf("  %-16s ap=%d  [%.2f, %.2f] s  magnitude=%.3f\n",
+                  std::string(serving::ChaosEventKindName(event.kind)).c_str(),
+                  event.ap_id, event.start_s, event.end_s, event.magnitude);
+    }
+    std::printf("injected: %zu dropped, %zu corrupted, %zu clock jumps, "
+                "%zu saturation bursts\n",
+                report->injected_drops, report->injected_corruptions,
+                report->clock_jumps, report->saturation_bursts);
+    std::printf("ingest: %zu accepted, %zu corrupt, %zu breaker-open, "
+                "%zu queue-full\n",
+                report->admit_accepted, report->admit_rejected_corrupt,
+                report->admit_rejected_breaker,
+                report->admit_rejected_queue_full);
+    std::printf("degradation: none %zu, relaxed %zu, centroid %zu, "
+                "last-known-good %zu\n",
+                report->degradation_counts[0], report->degradation_counts[1],
+                report->degradation_counts[2], report->degradation_counts[3]);
+    std::vector<double> errors_m;
+    for (const serving::ChaosQueryOutcome& outcome : report->outcomes)
+      if (outcome.status == serving::ServeStatus::kOk)
+        errors_m.push_back(outcome.error_m);
+    if (!errors_m.empty()) {
+      std::printf("error: mean %.2f m | p50 %.2f m | p90 %.2f m "
+                  "(%zu of %zu ok)\n",
+                  common::Mean(errors_m), common::Percentile(errors_m, 0.5),
+                  common::Percentile(errors_m, 0.9), errors_m.size(),
+                  report->outcomes.size());
+    }
+    if (report->recovery_latency_s >= 0.0)
+      std::printf("recovery: full fidelity %.3f s after last fault cleared\n",
+                  report->recovery_latency_s);
+    if (metrics) {
+      serving::TouchMetrics();
+      std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
+    }
+    return 0;
   }
 
   serve.store.anchor_ttl_s = plan->suggested_anchor_ttl_s;
@@ -179,10 +273,12 @@ int main(int argc, char** argv) {
                const serving::ServeResponse& b) { return a.seq < b.seq; });
 
   std::size_t ok = 0, failed = 0, deadline_missed = 0, degraded = 0;
+  std::size_t ladder[4] = {0, 0, 0, 0};
   std::vector<double> errors_m, latencies_ms, confidences;
   for (const serving::ServeResponse& r : responses) {
     latencies_ms.push_back(1e3 * r.latency_s);
     if (r.degraded) ++degraded;
+    if (std::size_t(r.degradation) < 4) ++ladder[std::size_t(r.degradation)];
     if (r.status == serving::ServeStatus::kOk) {
       ++ok;
       confidences.push_back(r.confidence);
@@ -209,6 +305,9 @@ int main(int argc, char** argv) {
   std::printf("responses: %zu ok, %zu failed, %zu past deadline, "
               "%zu degraded\n",
               ok, failed, deadline_missed, degraded);
+  std::printf("degradation: none %zu, relaxed %zu, centroid %zu, "
+              "last-known-good %zu\n",
+              ladder[0], ladder[1], ladder[2], ladder[3]);
   if (!errors_m.empty()) {
     std::printf("error: mean %.2f m | p50 %.2f m | p90 %.2f m | "
                 "mean confidence %.3f\n",
@@ -227,6 +326,17 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
+  if (check_perturb) {
+    // Self-test of the divergence detector: nudge one streamed estimate
+    // by one ulp-scale step; the bit-compare below must now fail.
+    for (serving::ServeResponse& r : responses) {
+      if (r.status != serving::ServeStatus::kOk) continue;
+      r.estimate.position.x += 1e-9;
+      std::printf("check: perturbed object %llu by 1e-9 m\n",
+                  static_cast<unsigned long long>(r.object_id));
+      break;
+    }
+  }
   if (check) {
     // Batch twin: the exact anchor sets the plan promised each query.
     std::vector<core::LocateRequest> requests(plan->epochs.size());

@@ -11,8 +11,6 @@
 // no channel simulation, exactly like working from a recorded CSI dataset.
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "channel/csi_model.h"
@@ -79,12 +77,10 @@ int Record(int argc, char** argv) {
     }
   }
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+  if (auto saved = net::SaveTraceFile(trace, out_path); !saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.status().ToString().c_str());
     return 1;
   }
-  out << net::TraceToJson(trace).DumpPretty() << "\n";
   std::printf("recorded %zu epochs (%zu anchors each) to %s\n",
               trace.epochs.size(), scenario->static_aps.size(),
               out_path.c_str());
@@ -121,19 +117,9 @@ int Replay(int argc, char** argv) {
   }
   if (in_path.empty()) Usage(argv[0]);
 
-  std::ifstream in(in_path);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot read %s\n", in_path.c_str());
-    return 1;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  auto json = common::Json::Parse(buffer.str());
-  if (!json.ok()) {
-    std::fprintf(stderr, "error: %s\n", json.status().ToString().c_str());
-    return 1;
-  }
-  auto trace = net::TraceFromJson(*json);
+  // LoadTraceFile rejects truncated/garbage files with a typed
+  // kDataCorruption error naming the byte offset where parsing broke.
+  auto trace = net::LoadTraceFile(in_path);
   if (!trace.ok()) {
     std::fprintf(stderr, "error: %s\n", trace.status().ToString().c_str());
     return 1;

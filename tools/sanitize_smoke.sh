@@ -1,0 +1,39 @@
+#!/bin/sh
+# Sanitizer smoke: configure, build, and run the `sanitize-smoke` ctest
+# subset (status/json/trace-io/cir plus the whole serving + chaos suite)
+# under each requested sanitizer.
+#
+#   tools/sanitize_smoke.sh [asan|ubsan|tsan ...]
+#
+# With no arguments all three are run.  Each sanitizer uses its own build
+# tree (build-<name>), matching the CMakePresets.json presets of the same
+# names, so `cmake --preset ubsan && cmake --build --preset ubsan &&
+# ctest --preset ubsan` is the long-hand equivalent.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+sanitizers=${*:-"asan ubsan tsan"}
+
+flags_for() {
+  case "$1" in
+    asan) echo "address" ;;
+    ubsan) echo "undefined" ;;
+    tsan) echo "thread" ;;
+    *) echo "unknown sanitizer '$1' (expected asan, ubsan, or tsan)" >&2
+       exit 2 ;;
+  esac
+}
+
+for san in $sanitizers; do
+  sanitize=$(flags_for "$san")
+  build="$repo/build-$san"
+  echo "== $san: configuring $build (NOMLOC_SANITIZE=$sanitize)"
+  cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNOMLOC_SANITIZE="$sanitize" -DNOMLOC_BUILD_BENCH=OFF \
+        -DNOMLOC_BUILD_EXAMPLES=OFF >/dev/null
+  echo "== $san: building"
+  cmake --build "$build" -j >/dev/null
+  echo "== $san: ctest -L sanitize-smoke"
+  ctest --test-dir "$build" -L sanitize-smoke --output-on-failure
+done
+echo "== sanitize smoke passed: $sanitizers"
