@@ -20,9 +20,24 @@
 // the speedup column is the vectorization gain.  The committed snapshot
 // is BENCH_simd.json.
 //
+// --incremental switches to the streaming SP-solve benches: each series
+// replays a cyclic schedule of per-epoch constraint deltas, solving cold
+// (from-scratch SolveSp / engine Locate per epoch) vs warm (a stateful
+// SpSolverSession fed the delta via ReplaceConstraints).  The committed
+// snapshot is BENCH_incremental.json:
+//
+//   solver.fastpath.delta — consistent judgements; the warm side never
+//       touches the LP (geometric fast path).
+//   solver.dual_simplex.delta — contradictory judgements each epoch; the
+//       warm side re-optimizes the kept basis with dual-simplex pivots.
+//   serve.resolve.incremental — the serving resolve path end to end:
+//       anchors with drifting PDPs through NomLocEngine::Locate, stateless
+//       vs session-routed.
+//
 // Flags: --quick shrinks iteration counts (CI smoke), --json prints the
 // shared BenchReportJson document to stdout, --out PATH also writes it to
-// a file (the committed BENCH_hotpath.json / BENCH_simd.json snapshots).
+// a file (the committed BENCH_hotpath.json / BENCH_simd.json /
+// BENCH_incremental.json snapshots).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -38,10 +53,14 @@
 #include "channel/propagation_cache.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "core/nomloc.h"
 #include "dsp/cir.h"
 #include "dsp/fft_plan.h"
 #include "eval/scenario.h"
 #include "dsp/fft.h"
+#include "geometry/halfplane.h"
+#include "localization/sp_session.h"
+#include "localization/sp_solver.h"
 #include "lp/interior_point.h"
 #include "lp/matrix.h"
 #include "lp/simplex.h"
@@ -213,28 +232,219 @@ int RunSimdBench(bool quick, bool json, const std::string& out_path) {
   return 0;
 }
 
+int RunIncrementalBench(bool quick, bool json, const std::string& out_path) {
+  namespace core = nomloc::core;
+  namespace geometry = nomloc::geometry;
+  namespace localization = nomloc::localization;
+  using geometry::Vec2;
+  using localization::SpConstraint;
+
+  const std::size_t repeats = quick ? 3 : 5;
+  std::vector<BenchTiming> series;
+
+  const geometry::Polygon room =
+      geometry::Polygon::Rectangle(0.0, 0.0, 20.0, 16.0);
+  const std::vector<geometry::Polygon> parts{room};
+  // 12 anchors (static APs + nomadic dwell sites) — 66 pairwise
+  // judgements, the constraint count of a well-instrumented floor after a
+  // nomadic AP has visited a handful of dwell sites.
+  std::vector<Vec2> aps;
+  for (int k = 0; k < 12; ++k) {
+    const double a = 6.28318530718 * double(k) / 12.0;
+    const double r = (k % 2 == 0) ? 1.0 : 0.72;
+    aps.push_back(
+        {10.0 + 8.0 * r * std::cos(a), 8.0 + 6.5 * r * std::sin(a)});
+  }
+  const std::size_t kEpochs = 32;
+  // The tracked object orbits the floor center; `radius` sets how far it
+  // moves per epoch and therefore how many pairwise judgements flip per
+  // update (the delta size the warm session absorbs).
+  const auto truth_at = [&](std::size_t e, double radius) {
+    const double a = 6.28318530718 * double(e) / double(kEpochs);
+    return Vec2{10.0 + radius * std::cos(a),
+                8.0 + 0.75 * radius * std::sin(a)};
+  };
+  // Pairwise judgements with a fixed weight: a pair's half-plane only
+  // changes bits when the closer AP flips, so consecutive epochs share
+  // most constraints — exactly the streaming regime ReplaceConstraints
+  // keeps warm.
+  const std::size_t pair_count = aps.size() * (aps.size() - 1) / 2;
+  const auto pairwise = [&](Vec2 truth, std::size_t flips, std::size_t e) {
+    std::vector<SpConstraint> out;
+    std::size_t pair = 0;
+    for (std::size_t i = 0; i < aps.size(); ++i) {
+      for (std::size_t j = i + 1; j < aps.size(); ++j, ++pair) {
+        bool i_closer =
+            Distance(truth, aps[i]) <= Distance(truth, aps[j]);
+        // Contradictory series: a few low-confidence judgements are
+        // flipped (a marginal link judged wrong), so the LP must relax
+        // something.  The flipped subset rotates every 8 epochs — bad
+        // judgements persist for a while, as they do in a real stream —
+        // while the moving truth keeps flipping honest pairs each epoch.
+        double weight = 0.9;
+        for (std::size_t f = 0; f < flips; ++f) {
+          if (pair == ((e / 8) * 7 + f * 11) % pair_count) {
+            i_closer = !i_closer;
+            weight = 0.4;
+          }
+        }
+        const Vec2 w = i_closer ? aps[i] : aps[j];
+        const Vec2 l = i_closer ? aps[j] : aps[i];
+        out.push_back({geometry::HalfPlane::CloserTo(w, l), weight, false});
+      }
+    }
+    return out;
+  };
+
+  const std::size_t iterations = quick ? 64 : 512;
+  localization::SpSolverOptions batch_options;
+  localization::SpSolverOptions session_options;
+  session_options.session_mode = localization::SpSessionMode::kIncremental;
+
+  const auto delta_series = [&](const char* name, std::size_t flips,
+                                double radius) {
+    std::vector<std::vector<SpConstraint>> epochs(kEpochs);
+    for (std::size_t e = 0; e < kEpochs; ++e)
+      epochs[e] = pairwise(truth_at(e, radius), flips, e);
+    BenchTiming t;
+    t.name = name;
+    t.iterations = iterations;
+    std::size_t i = 0;
+    const auto cold = [&] {
+      (void)localization::SolveSp(parts, epochs[i++ % kEpochs],
+                                  batch_options);
+    };
+    cold();
+    t.cold_ms = BestMs(repeats, iterations, cold);
+    localization::SpSolverSession session(parts, session_options);
+    std::size_t j = 0;
+    const auto warm = [&] {
+      (void)session.ReplaceConstraints(epochs[j++ % kEpochs]);
+      (void)session.Solve();
+    };
+    warm();
+    t.warm_ms = BestMs(repeats, iterations, warm);
+    series.push_back(t);
+  };
+
+  // Fast orbit: several honest pairs flip per epoch, all judgements
+  // consistent — every update stays on the geometric fast path.
+  delta_series("solver.fastpath.delta", 0, 4.0);
+  // Slow orbit with two persistent contradictions: the LP is engaged, and
+  // each epoch changes only a handful of rows — the dual-simplex delta
+  // regime the warm basis is built for.
+  delta_series("solver.dual_simplex.delta", 2, 1.5);
+
+  // --- serve.resolve.incremental ------------------------------------------
+  // The serving resolve path end to end: per epoch one anchor's PDP
+  // updates (the others pass through bit-exactly, as in the session
+  // store), then the engine localizes — stateless Locate vs the same
+  // request routed through a warm solver session.
+  {
+    auto engine_result = core::NomLocEngine::Create(room);
+    if (!engine_result.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   engine_result.status().ToString().c_str());
+      return 1;
+    }
+    const core::NomLocEngine& engine = *engine_result;
+    const auto pdp_at = [&](Vec2 truth, Vec2 ap) {
+      return 1.0 / (1.0 + geometry::DistanceSq(truth, ap));
+    };
+    std::vector<std::vector<localization::Anchor>> anchor_epochs(kEpochs);
+    std::vector<localization::Anchor> current;
+    for (const Vec2 ap : aps)
+      current.push_back({ap, pdp_at(truth_at(0, 1.5), ap), false});
+    anchor_epochs[0] = current;
+    for (std::size_t e = 1; e < kEpochs; ++e) {
+      localization::Anchor& moved = current[e % aps.size()];
+      moved.pdp = pdp_at(truth_at(e, 1.5), moved.position);
+      anchor_epochs[e] = current;
+    }
+    BenchTiming t;
+    t.name = "serve.resolve.incremental";
+    t.iterations = iterations;
+    std::size_t i = 0;
+    const auto cold = [&] {
+      core::LocateRequest request;
+      request.anchors = anchor_epochs[i++ % kEpochs];
+      (void)engine.Locate(request);
+    };
+    cold();
+    t.cold_ms = BestMs(repeats, iterations, cold);
+    auto session = engine.MakeSolverSession(
+        localization::SpSessionMode::kIncremental);
+    std::size_t j = 0;
+    const auto warm = [&] {
+      core::LocateRequest request;
+      request.anchors = anchor_epochs[j++ % kEpochs];
+      (void)engine.Locate(request, &session);
+    };
+    warm();
+    t.warm_ms = BestMs(repeats, iterations, warm);
+    series.push_back(t);
+  }
+
+  // Solver counter readings accumulated over the run: the fast-path /
+  // warm-basis hit split is the explanation for the speedup column.
+  auto& registry = nomloc::common::MetricRegistry::Global();
+  nomloc::common::JsonObject counters;
+  for (const char* name :
+       {"solver.fastpath_hits", "solver.warm_hits", "solver.cold_solves",
+        "solver.lp_fallback", "lp.incremental.reset",
+        "lp.incremental.add_rows", "lp.incremental.deactivated"}) {
+    counters[name] = std::size_t(registry.Counter(name).Value());
+  }
+  nomloc::common::JsonObject extra;
+  extra["counters"] = nomloc::common::Json(std::move(counters));
+
+  const nomloc::common::Json report = nomloc::bench::BenchReportJson(
+      "incremental", quick, series, std::move(extra));
+  if (json) {
+    std::printf("%s\n", report.DumpPretty().c_str());
+  } else {
+    std::printf("incremental SP-solve benchmark (%s)\n",
+                quick ? "quick" : "full");
+    nomloc::bench::PrintTimings(series);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report.DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   bool simd_mode = false;
+  bool incremental_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     else if (std::strcmp(argv[i], "--json") == 0) json = true;
     else if (std::strcmp(argv[i], "--simd") == 0) simd_mode = true;
+    else if (std::strcmp(argv[i], "--incremental") == 0)
+      incremental_mode = true;
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--json] [--simd] [--out PATH]\n",
+                   "usage: %s [--quick] [--json] [--simd] [--incremental] "
+                   "[--out PATH]\n",
                    argv[0]);
       return 2;
     }
   }
 
   if (simd_mode) return RunSimdBench(quick, json, out_path);
+  if (incremental_mode) return RunIncrementalBench(quick, json, out_path);
 
   const std::size_t repeats = quick ? 3 : 5;
 

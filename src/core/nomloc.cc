@@ -36,6 +36,20 @@ common::Result<NomLocEngine> NomLocEngine::Create(geometry::Polygon area,
 
 common::Result<LocateResponse> NomLocEngine::Locate(
     const LocateRequest& request) const {
+  return Locate(request, nullptr);
+}
+
+localization::SpSolverSession NomLocEngine::MakeSolverSession(
+    std::optional<localization::SpSessionMode> mode) const {
+  localization::SpSolverOptions options = config_.solver;
+  options.fallback = config_.fallback;
+  if (mode) options.session_mode = *mode;
+  return localization::SpSolverSession(parts_, options);
+}
+
+common::Result<LocateResponse> NomLocEngine::Locate(
+    const LocateRequest& request,
+    localization::SpSolverSession* session) const {
   auto& registry = common::MetricRegistry::Global();
   static auto& locate_counter = registry.Counter("engine.locates");
   static auto& extract_timer = registry.Timer("engine.extract");
@@ -130,12 +144,28 @@ common::Result<LocateResponse> NomLocEngine::Locate(
   // policy's cost budget, so healthy-path results are bit-identical to
   // plain SolveSp).
   common::StageTrace solve_trace(solve_timer);
-  NOMLOC_ASSIGN_OR_RETURN(
-      localization::ResilientSolution resilient,
-      localization::SolveSpResilient(
-          parts_, anchors, constraints,
-          request.solver ? *request.solver : config_.solver,
-          request.fallback ? *request.fallback : config_.fallback));
+  auto resilient_result = [&]() -> common::Result<localization::ResilientSolution> {
+    if (session != nullptr) {
+      if (request.solver.has_value() || request.fallback.has_value())
+        return common::InvalidArgument(
+            "per-request solver/fallback overrides cannot apply to a "
+            "session — its options are fixed at MakeSolverSession time");
+      NOMLOC_RETURN_IF_ERROR(
+          session->ReplaceConstraints(constraints).status());
+      return localization::SolveSpResilient(*session, anchors);
+    }
+    // SpSolverOptions is the one options struct across batch, session,
+    // and resilient solving; the engine-level fallback policy (and any
+    // per-request override) folds into it here.
+    localization::SpSolverOptions solver_options =
+        request.solver ? *request.solver : config_.solver;
+    solver_options.fallback =
+        request.fallback ? *request.fallback : config_.fallback;
+    return localization::SolveSpResilient(parts_, anchors, constraints,
+                                          solver_options);
+  }();
+  if (!resilient_result.ok()) return resilient_result.status();
+  localization::ResilientSolution& resilient = resilient_result.value();
   localization::SpSolution& sol = resilient.solution;
   out.timings.solve_s = solve_trace.Stop();
   out.degradation = resilient.level;

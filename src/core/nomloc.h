@@ -35,6 +35,7 @@
 #include "geometry/polygon.h"
 #include "localization/fallback.h"
 #include "localization/proximity.h"
+#include "localization/sp_session.h"
 #include "localization/sp_solver.h"
 
 namespace nomloc::core {
@@ -56,7 +57,9 @@ struct NomLocConfig {
   localization::PairPolicy pair_policy = localization::PairPolicy::kPaper;
   /// Degradation ladder for the SP solve (localization/fallback.h).  The
   /// default engages only on genuine solve failure, so healthy-input
-  /// results stay bit-identical to the pre-fallback engine.
+  /// results stay bit-identical to the pre-fallback engine.  At solve
+  /// time this is folded into `solver.fallback` (and wins over it) —
+  /// SpSolverOptions is the single options struct the solver layer sees.
   localization::FallbackPolicy fallback;
   /// Corrupt observations (NaN/Inf CSI, all-zero frames, non-finite
   /// positions): quarantine-and-continue drops them (counted in
@@ -137,6 +140,27 @@ class NomLocEngine {
   /// returns the estimate with per-stage timings and diagnostics.
   /// Requires >= 2 observations (each with >= 1 frame) or >= 2 anchors.
   common::Result<LocateResponse> Locate(const LocateRequest& request) const;
+
+  /// Streaming entry point: the same pipeline, but the SP solve runs
+  /// through a stateful solver session (MakeSolverSession) instead of from
+  /// scratch.  The request's derived constraints replace the session's
+  /// active set (ReplaceConstraints keeps unchanged ones on their warm
+  /// solver rows), then the degradation ladder runs over the session.
+  /// Per-request solver/fallback overrides are rejected here — a session's
+  /// options are fixed at construction.  `session` may be null, in which
+  /// case this is exactly Locate(request).
+  common::Result<LocateResponse> Locate(
+      const LocateRequest& request,
+      localization::SpSolverSession* session) const;
+
+  /// Builds a stateful solver session over this engine's convex parts,
+  /// configured from the engine config (solver options, with the
+  /// engine-level fallback policy folded in).  `mode` overrides
+  /// config.solver.session_mode: kColdEachSolve keeps every Solve()
+  /// bit-identical to the batch path, kIncremental enables the warm
+  /// fast-path/dual-simplex machinery (equivalent to solver tolerance).
+  localization::SpSolverSession MakeSolverSession(
+      std::optional<localization::SpSessionMode> mode = std::nullopt) const;
 
   /// Fans independent requests out over a common::ThreadPool.  The engine
   /// is const and the pipeline is RNG-free, so the responses are

@@ -19,12 +19,18 @@ HalfPlane HalfPlane::CloserTo(Vec2 winner, Vec2 loser) {
   return {a, c};
 }
 
-std::vector<Vec2> ClipLoop(std::span<const Vec2> loop, const HalfPlane& hp,
-                           double eps) {
-  std::vector<Vec2> out;
+void ClipLoopInto(std::span<const Vec2> loop, const HalfPlane& hp,
+                  std::vector<Vec2>& out, double eps) {
+  NOMLOC_ASSERT(loop.empty() || loop.data() != out.data());
+  out.clear();
   const std::size_t n = loop.size();
-  if (n == 0) return out;
+  if (n == 0) return;
   out.reserve(n + 1);
+  // Emit with consecutive near-duplicates dropped in place (clipping
+  // introduces them where a crossing point lands on a vertex).
+  const auto emit = [&out](Vec2 v) {
+    if (out.empty() || !AlmostEqual(out.back(), v, 1e-12)) out.push_back(v);
+  };
   for (std::size_t i = 0; i < n; ++i) {
     const Vec2 cur = loop[i];
     const Vec2 nxt = loop[(i + 1) % n];
@@ -32,25 +38,25 @@ std::vector<Vec2> ClipLoop(std::span<const Vec2> loop, const HalfPlane& hp,
     const double sn = hp.Slack(nxt);
     const bool cur_in = sc >= -eps;
     const bool nxt_in = sn >= -eps;
-    if (cur_in) out.push_back(cur);
+    if (cur_in) emit(cur);
     // Edge crosses the boundary: emit the crossing point.
     if (cur_in != nxt_in) {
       const double denom = sc - sn;
       if (std::abs(denom) > 0.0) {
         const double t = sc / denom;
-        out.push_back(Lerp(cur, nxt, t));
+        emit(Lerp(cur, nxt, t));
       }
     }
   }
-  // Drop near-duplicate consecutive vertices introduced by clipping.
-  std::vector<Vec2> dedup;
-  dedup.reserve(out.size());
-  for (const Vec2 v : out) {
-    if (dedup.empty() || !AlmostEqual(dedup.back(), v, 1e-12)) dedup.push_back(v);
-  }
-  while (dedup.size() > 1 && AlmostEqual(dedup.front(), dedup.back(), 1e-12))
-    dedup.pop_back();
-  return dedup;
+  while (out.size() > 1 && AlmostEqual(out.front(), out.back(), 1e-12))
+    out.pop_back();
+}
+
+std::vector<Vec2> ClipLoop(std::span<const Vec2> loop, const HalfPlane& hp,
+                           double eps) {
+  std::vector<Vec2> out;
+  ClipLoopInto(loop, hp, out, eps);
+  return out;
 }
 
 std::optional<Polygon> IntersectConvex(const Polygon& convex,

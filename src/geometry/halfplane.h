@@ -47,6 +47,13 @@ struct HalfPlane {
 std::vector<Vec2> ClipLoop(std::span<const Vec2> loop, const HalfPlane& hp,
                            double eps = 1e-9);
 
+/// ClipLoop into a caller-owned buffer (cleared first; must not alias
+/// `loop`).  Lets clip chains double-buffer two vectors instead of
+/// allocating per plane — the solver clips O(constraints) planes per
+/// update, so the malloc per clip is measurable there.
+void ClipLoopInto(std::span<const Vec2> loop, const HalfPlane& hp,
+                  std::vector<Vec2>& out, double eps = 1e-9);
+
 /// Intersection of a convex polygon with a set of half-planes.
 /// Returns nullopt when the intersection is empty or degenerate
 /// (area below `min_area`).

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <functional>
 #include <numeric>
 
 #include "common/metrics.h"
+#include "localization/sp_session.h"
 
 namespace nomloc::localization {
 
@@ -126,12 +128,18 @@ SpSolution CentroidSolution(std::span<const geometry::Polygon> parts,
   return sol;
 }
 
-}  // namespace
-
-common::Result<ResilientSolution> SolveSpResilient(
-    std::span<const geometry::Polygon> parts, std::span<const Anchor> anchors,
+// The ladder, parameterized over how level 0 is obtained so the stateless
+// path (SolveSp) and the session path (SpSolverSession::Solve, possibly
+// incremental) share every other rung.  Retry levels always re-solve from
+// scratch with SolveSp — they run on unhealthy input, where a warm basis
+// is worthless anyway.
+common::Result<ResilientSolution> RunLadder(
+    std::span<const geometry::Polygon> parts,
+    std::span<const Anchor> anchors,
     std::span<const SpConstraint> proximity_constraints,
-    const SpSolverOptions& options, const FallbackPolicy& policy) {
+    const SpSolverOptions& options,
+    const std::function<common::Result<SpSolution>()>& level0) {
+  const FallbackPolicy& policy = options.fallback;
   if (auto valid = policy.Validate(); !valid.ok()) return valid.status();
   auto& registry = common::MetricRegistry::Global();
   static auto& engaged_relaxed =
@@ -144,9 +152,10 @@ common::Result<ResilientSolution> SolveSpResilient(
   ResilientSolution out;
 
   // Level 0 — the full program.  This is the only path the chain takes on
-  // healthy input, which keeps SolveSpResilient bit-identical to SolveSp
-  // there (fallback never perturbs a solve that succeeds within budget).
-  auto full = SolveSp(parts, proximity_constraints, options);
+  // healthy input, which keeps the resilient solve bit-identical to the
+  // plain one there (fallback never perturbs a solve that succeeds within
+  // budget — including its reported lp_iterations).
+  auto full = level0();
   const bool full_ok =
       full.ok() && full.value().relaxation_cost <= policy.max_relaxation_cost;
   if (full_ok || !policy.enable) {
@@ -155,6 +164,10 @@ common::Result<ResilientSolution> SolveSpResilient(
     out.level = common::DegradationLevel::kNone;
     return out;
   }
+  // LP work spent on attempts that did not win still happened; degraded
+  // responses report it so `lp_iterations` reflects true solver effort
+  // (previously ladder re-solves were invisible in the summed count).
+  std::size_t ladder_iterations = full.ok() ? full.value().lp_iterations : 0;
 
   // Level 1 — progressive constraint relaxation: keep only the most
   // confident judgements (boundary constraints carry a large weight and
@@ -187,12 +200,14 @@ common::Result<ResilientSolution> SolveSpResilient(
     if (retry.ok() &&
         retry.value().relaxation_cost <= policy.max_relaxation_cost) {
       out.solution = std::move(retry).value();
+      out.solution.lp_iterations += ladder_iterations;
       out.level = common::DegradationLevel::kRelaxedConstraints;
       out.dropped_constraints = n - keep;
       engaged_relaxed.Increment();
       dropped_counter.Increment(out.dropped_constraints);
       return out;
     }
+    if (retry.ok()) ladder_iterations += retry.value().lp_iterations;
   }
 
   // Level 2 — no program at all: PDP-weighted anchor centroid.
@@ -200,11 +215,41 @@ common::Result<ResilientSolution> SolveSpResilient(
   NOMLOC_ASSIGN_OR_RETURN(geometry::Vec2 estimate,
                           WeightedAnchorCentroid(parts, anchors));
   out.solution = CentroidSolution(parts, proximity_constraints, estimate);
+  out.solution.lp_iterations = ladder_iterations;
   out.level = common::DegradationLevel::kWeightedCentroid;
   out.dropped_constraints = n;
   engaged_centroid.Increment();
   dropped_counter.Increment(n);
   return out;
+}
+
+}  // namespace
+
+common::Result<ResilientSolution> SolveSpResilient(
+    std::span<const geometry::Polygon> parts, std::span<const Anchor> anchors,
+    std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options) {
+  return RunLadder(parts, anchors, proximity_constraints, options,
+                   [&] { return SolveSp(parts, proximity_constraints,
+                                        options); });
+}
+
+common::Result<ResilientSolution> SolveSpResilient(
+    std::span<const geometry::Polygon> parts, std::span<const Anchor> anchors,
+    std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options, const FallbackPolicy& policy) {
+  SpSolverOptions merged = options;
+  merged.fallback = policy;
+  return SolveSpResilient(parts, anchors, proximity_constraints, merged);
+}
+
+common::Result<ResilientSolution> SolveSpResilient(
+    SpSolverSession& session, std::span<const Anchor> anchors) {
+  // Materialize the active set once: the retry rungs and the level-2
+  // synthetic need it, and it must not shift under them.
+  const std::vector<SpConstraint> active = session.ActiveConstraints();
+  return RunLadder(session.parts(), anchors, active, session.options(),
+                   [&] { return session.Solve(); });
 }
 
 }  // namespace nomloc::localization

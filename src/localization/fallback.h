@@ -21,9 +21,12 @@
 // The chain engages ONLY when the full solve fails or exceeds the
 // caller's cost budget, so with the default (unlimited) budget the
 // healthy path is bit-identical to plain SolveSp.
+//
+// The policy knobs (FallbackPolicy) live in localization/sp_solver.h as
+// SpSolverOptions::fallback, so one options struct configures the batch,
+// session, and resilient paths alike.
 #pragma once
 
-#include <limits>
 #include <span>
 #include <vector>
 
@@ -36,23 +39,7 @@
 
 namespace nomloc::localization {
 
-/// When and how the fallback chain engages.
-struct FallbackPolicy {
-  /// Master switch.  Off = SolveSpResilient is exactly SolveSp (errors
-  /// propagate as errors).
-  bool enable = true;
-  /// A successful solve whose relaxation cost exceeds this budget counts
-  /// as failed and triggers the ladder.  The default (infinity) only
-  /// engages the chain on genuine solve errors, which keeps the golden
-  /// no-fault path bit-identical; tests and the chaos harness tighten it
-  /// to force degradation deterministically.
-  double max_relaxation_cost = std::numeric_limits<double>::infinity();
-  /// Constraint fractions (of the confidence-ranked list) each level-1
-  /// retry keeps, tried in order.  Must be in (0, 1], descending.
-  std::vector<double> keep_fractions = {0.75, 0.5, 0.25};
-
-  common::Result<void> Validate() const;
-};
+class SpSolverSession;  // localization/sp_session.h
 
 /// SolveSp result annotated with how degraded it is.
 struct ResilientSolution {
@@ -66,18 +53,40 @@ struct ResilientSolution {
   std::size_t fallback_attempts = 0;
 };
 
-/// Runs SolveSp with the degradation ladder described above.  `anchors`
-/// feeds the level-2 centroid (their PDPs are the weights) and may alias
-/// the anchors the constraints were built from.  Fails only when the
-/// policy is disabled and the full solve fails, or when even level 2 is
-/// impossible (no anchors and no parts).  Every engaged level increments
-/// `fallback.engaged{level=...}`; dropped constraints feed
-/// `fallback.dropped_constraints`.
+/// Runs SolveSp with the degradation ladder described above, configured by
+/// `options.fallback`.  `anchors` feeds the level-2 centroid (their PDPs
+/// are the weights) and may alias the anchors the constraints were built
+/// from.  Fails only when the policy is disabled and the full solve fails,
+/// or when even level 2 is impossible (no anchors and no parts).  Every
+/// engaged level increments `fallback.engaged{level=...}`; dropped
+/// constraints feed `fallback.dropped_constraints`.  The returned
+/// solution's lp_iterations also count the ladder's failed re-solve
+/// attempts, so degraded responses report their true LP work.
 common::Result<ResilientSolution> SolveSpResilient(
     std::span<const geometry::Polygon> parts,
     std::span<const Anchor> anchors,
     std::span<const SpConstraint> proximity_constraints,
-    const SpSolverOptions& options = {}, const FallbackPolicy& policy = {});
+    const SpSolverOptions& options = {});
+
+/// Compat overload taking the policy separately (pre-SpSolverOptions
+/// collapse).  Thin shim: copies `policy` onto `options.fallback` and
+/// delegates.
+[[deprecated(
+    "fold the policy into SpSolverOptions::fallback and call the "
+    "single-options overload")]]
+common::Result<ResilientSolution> SolveSpResilient(
+    std::span<const geometry::Polygon> parts,
+    std::span<const Anchor> anchors,
+    std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options, const FallbackPolicy& policy);
+
+/// The same degradation ladder over a stateful session: level 0 is the
+/// session's (possibly incremental) Solve(); the retry levels re-solve
+/// the session's active constraint subset from scratch, leaving the
+/// session's warm state untouched.  Policy and options come from the
+/// session (`session.options().fallback`).
+common::Result<ResilientSolution> SolveSpResilient(
+    SpSolverSession& session, std::span<const Anchor> anchors);
 
 /// The level-2 estimator, exposed for tests: PDP-weighted mean of the
 /// anchor positions, clamped to the nearest part centroid when it lands

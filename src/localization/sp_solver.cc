@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "common/metrics.h"
 #include "geometry/halfplane.h"
+#include "localization/sp_detail.h"
 #include "lp/center.h"
 #include "lp/interior_point.h"
 #include "lp/simplex.h"
@@ -17,13 +18,11 @@ using geometry::HalfPlane;
 using geometry::Polygon;
 using geometry::Vec2;
 
-namespace {
+namespace detail {
 
-// Builds and solves the relaxation LP (Eq. 19) for the given constraints.
-// Variables: [zx, zy, t_0 .. t_{N-1}].
 common::Result<lp::LpSolution> SolveRelaxation(
     std::span<const SpConstraint> constraints, LpBackend backend,
-    lp::SolveWorkspace* ws) {
+    lp::SolveWorkspace* ws, bool ipm_warm_start) {
   const std::size_t n = constraints.size();
   NOMLOC_REQUIRE(n > 0);
   lp::InequalityLp prog;
@@ -41,7 +40,10 @@ common::Result<lp::LpSolution> SolveRelaxation(
     prog.c[2 + i] = sc.weight;
   }
   if (backend == LpBackend::kInteriorPoint) {
-    NOMLOC_ASSIGN_OR_RETURN(auto ipm, lp::SolveInteriorPoint(prog, {}, ws));
+    lp::InteriorPointOptions ipm_options;
+    ipm_options.warm_start = ipm_warm_start;
+    NOMLOC_ASSIGN_OR_RETURN(auto ipm,
+                            lp::SolveInteriorPoint(prog, ipm_options, ws));
     lp::LpSolution out;
     out.x = std::move(ipm.x);
     out.objective = ipm.objective;
@@ -51,9 +53,8 @@ common::Result<lp::LpSolution> SolveRelaxation(
   return lp::SolveSimplex(prog, {}, ws);
 }
 
-// Extracts the center of the relaxed region according to `options`.
 common::Result<Vec2> RegionCenter(const Polygon& part,
-                                  std::span<const HalfPlane> relaxed,
+                                  std::span<const HalfPlane> region_planes,
                                   std::span<const Vec2> region_loop,
                                   Vec2 lp_point,
                                   const SpSolverOptions& options) {
@@ -66,7 +67,7 @@ common::Result<Vec2> RegionCenter(const Polygon& part,
     case CenterMethod::kChebyshev:
     case CenterMethod::kAnalytic: {
       std::vector<HalfPlane> all = geometry::ToHalfPlanes(part);
-      all.insert(all.end(), relaxed.begin(), relaxed.end());
+      all.insert(all.end(), region_planes.begin(), region_planes.end());
       auto cheb = lp::ChebyshevCenter(all);
       if (!cheb.ok()) return lp_point;
       if (options.center == CenterMethod::kChebyshev) return cheb->center;
@@ -79,68 +80,49 @@ common::Result<Vec2> RegionCenter(const Polygon& part,
   return lp_point;
 }
 
-}  // namespace
-
-common::Result<SpPartSolution> SolveSpPart(
-    const Polygon& part, std::span<const SpConstraint> proximity_constraints,
-    const SpSolverOptions& options, lp::SolveWorkspace* ws) {
-  if (!part.IsConvex())
-    return common::InvalidArgument("SolveSpPart needs a convex part");
-  if (proximity_constraints.empty())
-    return common::InvalidArgument("no proximity constraints");
-
-  // Assemble: proximity constraints + this part's VAP boundary
-  // constraints.  Every half-plane is normalised to a unit normal so the
-  // relaxation variable t_i is a Euclidean violation distance — otherwise
-  // the LP would preferentially break whichever constraint happens to
-  // have the shortest normal (e.g. a boundary edge near the centroid)
-  // regardless of its weight.
-  std::vector<SpConstraint> all(proximity_constraints.begin(),
-                                proximity_constraints.end());
-  const std::vector<SpConstraint> boundary = BoundaryConstraints(
-      part, part.Centroid(), options.boundary_weight);
-  all.insert(all.end(), boundary.begin(), boundary.end());
-  for (SpConstraint& sc : all) sc.half_plane = sc.half_plane.Normalized();
-
-  NOMLOC_ASSIGN_OR_RETURN(lp::LpSolution lp_sol,
-                          SolveRelaxation(all, options.lp_backend, ws));
-
+common::Result<SpPartSolution> ReconstructPart(
+    const Polygon& part, std::span<const SpConstraint> all,
+    std::span<const double> t, std::span<const std::size_t> region_rows,
+    double objective, std::size_t iterations, Vec2 lp_point,
+    const SpSolverOptions& options) {
+  NOMLOC_REQUIRE(t.size() == all.size());
   SpPartSolution out;
-  out.relaxation_cost = lp_sol.objective;
-  out.lp_iterations = lp_sol.iterations;
-  const Vec2 lp_point{lp_sol.x[0], lp_sol.x[1]};
+  out.relaxation_cost = objective;
+  out.lp_iterations = iterations;
 
-  // Reconstruct the feasible region, implementing §IV-B4's "retain the
-  // constraint with a larger weight while sacrificing the one with smaller
-  // weight": constraints the LP had to break (t_i > 0) are *dropped*, and
-  // the region is the part clipped by the constraints that held.  Clipping
-  // by the exact t_i-relaxed half-planes instead would collapse the region
-  // to the single LP vertex whenever judgements conflict, pinning the
-  // estimate to a constraint intersection rather than a cell center.
+  // §IV-B4's "retain the constraint with a larger weight while sacrificing
+  // the one with smaller weight": constraints the LP had to break
+  // (t_i > 0) are *dropped*, and the region is the part clipped by the
+  // constraints that held.  Clipping by the exact t_i-relaxed half-planes
+  // instead would collapse the region to the single LP vertex whenever
+  // judgements conflict, pinning the estimate to a constraint intersection
+  // rather than a cell center.
   std::vector<HalfPlane> kept;    // Satisfied constraints (t ~ 0).
   std::vector<HalfPlane> relaxed; // Every constraint, slackened by its t.
-  kept.reserve(proximity_constraints.size());
-  relaxed.reserve(proximity_constraints.size());
-  constexpr double kViolationTolerance = 1e-7;
-  for (std::size_t i = 0; i < proximity_constraints.size(); ++i) {
-    const double t = std::max(0.0, lp_sol.x[2 + i]);
-    // all[i] is the normalised twin of proximity_constraints[i], so t is a
-    // Euclidean slack here too.
-    relaxed.push_back(all[i].half_plane.Relaxed(t + options.region_slack));
-    if (t > kViolationTolerance) {
+  kept.reserve(region_rows.size());
+  relaxed.reserve(region_rows.size());
+  for (std::size_t idx : region_rows) {
+    const double ti = std::max(0.0, t[idx]);
+    // all[idx] is normalised, so t is a Euclidean slack here too.
+    relaxed.push_back(all[idx].half_plane.Relaxed(ti + options.region_slack));
+    if (ti > kViolationTolerance) {
       ++out.violated;
     } else {
-      kept.push_back(all[i].half_plane.Relaxed(options.region_slack));
+      kept.push_back(all[idx].half_plane.Relaxed(options.region_slack));
     }
   }
-  // Count violated boundary constraints too.
-  for (std::size_t i = proximity_constraints.size(); i < all.size(); ++i)
-    if (lp_sol.x[2 + i] > kViolationTolerance) ++out.violated;
+  // Count violated constraints outside the region set (boundary VAPs) too.
+  std::vector<char> in_region(all.size(), 0);
+  for (std::size_t idx : region_rows) in_region[idx] = 1;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (!in_region[i] && t[i] > kViolationTolerance) ++out.violated;
 
   auto clip_all = [&part](std::span<const HalfPlane> hps) {
     std::vector<Vec2> loop(part.Vertices().begin(), part.Vertices().end());
+    std::vector<Vec2> scratch;
     for (const HalfPlane& hp : hps) {
-      loop = geometry::ClipLoop(loop, hp);
+      geometry::ClipLoopInto(loop, hp, scratch);
+      std::swap(loop, scratch);
       if (loop.size() < 3) break;
     }
     return loop;
@@ -163,30 +145,46 @@ common::Result<SpPartSolution> SolveSpPart(
   return out;
 }
 
-common::Result<SpSolution> SolveSp(
-    std::span<const Polygon> parts,
-    std::span<const SpConstraint> proximity_constraints,
-    const SpSolverOptions& options) {
-  if (parts.empty()) return common::InvalidArgument("no area parts");
+common::Result<SpPartSolution> SolveSpPartImpl(
+    const Polygon& part, std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options, lp::SolveWorkspace* ws,
+    bool ipm_warm_start) {
+  if (!part.IsConvex())
+    return common::InvalidArgument("SolveSpPart needs a convex part");
+  if (proximity_constraints.empty())
+    return common::InvalidArgument("no proximity constraints");
 
-  auto& registry = common::MetricRegistry::Global();
-  static auto& solve_timer = registry.Timer("sp.solve");
-  static auto& parts_counter = registry.Counter("sp.parts_solved");
-  static auto& cost_hist =
-      registry.Histogram("sp.relaxation_cost", {}, 1e-6, 1e3, 72);
-  common::StageTrace solve_trace(solve_timer);
+  // Assemble: proximity constraints + this part's VAP boundary
+  // constraints.  Every half-plane is normalised to a unit normal so the
+  // relaxation variable t_i is a Euclidean violation distance — otherwise
+  // the LP would preferentially break whichever constraint happens to
+  // have the shortest normal (e.g. a boundary edge near the centroid)
+  // regardless of its weight.
+  std::vector<SpConstraint> all(proximity_constraints.begin(),
+                                proximity_constraints.end());
+  const std::vector<SpConstraint> boundary = BoundaryConstraints(
+      part, part.Centroid(), options.boundary_weight);
+  all.insert(all.end(), boundary.begin(), boundary.end());
+  for (SpConstraint& sc : all) sc.half_plane = sc.half_plane.Normalized();
 
-  SpSolution out;
-  out.parts.reserve(parts.size());
-  lp::SolveWorkspace ws;  // One workspace serves every part's LP.
-  for (const Polygon& part : parts) {
-    NOMLOC_ASSIGN_OR_RETURN(
-        SpPartSolution sol,
-        SolveSpPart(part, proximity_constraints, options, &ws));
-    out.lp_iterations += sol.lp_iterations;
-    out.parts.push_back(std::move(sol));
-  }
-  parts_counter.Increment(parts.size());
+  NOMLOC_ASSIGN_OR_RETURN(
+      lp::LpSolution lp_sol,
+      SolveRelaxation(all, options.lp_backend, ws, ipm_warm_start));
+
+  const Vec2 lp_point{lp_sol.x[0], lp_sol.x[1]};
+  std::vector<double> t(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) t[i] = lp_sol.x[2 + i];
+  std::vector<std::size_t> region_rows(proximity_constraints.size());
+  for (std::size_t i = 0; i < region_rows.size(); ++i) region_rows[i] = i;
+  return ReconstructPart(part, all, t, region_rows, lp_sol.objective,
+                         lp_sol.iterations, lp_point, options);
+}
+
+void MergeParts(std::span<const Polygon> parts,
+                const SpSolverOptions& options, SpSolution& out) {
+  NOMLOC_REQUIRE(!out.parts.empty());
+  static auto& cost_hist = common::MetricRegistry::Global().Histogram(
+      "sp.relaxation_cost", {}, 1e-6, 1e3, 72);
 
   double best = out.parts.front().relaxation_cost;
   out.best_part = 0;
@@ -202,6 +200,7 @@ common::Result<SpSolution> SolveSp(
   // Merge parts whose cost ties the best: the merged estimate is the
   // area-weighted mean of the per-part centers (for disjoint regions this
   // equals the centroid of the union when using kCentroid).
+  out.feasible_area_m2 = 0.0;
   double total_weight = 0.0;
   Vec2 acc{0.0, 0.0};
   for (std::size_t i = 0; i < out.parts.size(); ++i) {
@@ -224,6 +223,46 @@ common::Result<SpSolution> SolveSp(
   for (const Polygon& part : parts)
     if (part.Contains(out.estimate, 1e-9)) inside_some_part = true;
   if (!inside_some_part) out.estimate = out.parts[out.best_part].estimate;
+}
+
+}  // namespace detail
+
+common::Result<SpPartSolution> SolveSpPart(
+    const Polygon& part, std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options) {
+  return detail::SolveSpPartImpl(part, proximity_constraints, options,
+                                 nullptr);
+}
+
+common::Result<SpPartSolution> SolveSpPart(
+    const Polygon& part, std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options, lp::SolveWorkspace* ws) {
+  return detail::SolveSpPartImpl(part, proximity_constraints, options, ws);
+}
+
+common::Result<SpSolution> SolveSp(
+    std::span<const Polygon> parts,
+    std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options) {
+  if (parts.empty()) return common::InvalidArgument("no area parts");
+
+  auto& registry = common::MetricRegistry::Global();
+  static auto& solve_timer = registry.Timer("sp.solve");
+  static auto& parts_counter = registry.Counter("sp.parts_solved");
+  common::StageTrace solve_trace(solve_timer);
+
+  SpSolution out;
+  out.parts.reserve(parts.size());
+  lp::SolveWorkspace ws;  // One workspace serves every part's LP.
+  for (const Polygon& part : parts) {
+    NOMLOC_ASSIGN_OR_RETURN(
+        SpPartSolution sol,
+        detail::SolveSpPartImpl(part, proximity_constraints, options, &ws));
+    out.lp_iterations += sol.lp_iterations;
+    out.parts.push_back(std::move(sol));
+  }
+  parts_counter.Increment(parts.size());
+  detail::MergeParts(parts, options, out);
   return out;
 }
 

@@ -9,8 +9,18 @@
 // by clipping the area polygon, and reports its center.  Non-convex areas
 // are handled part-by-part; the parts with the lowest relaxation cost are
 // merged (§IV-B2).
+//
+// Two ways to drive it:
+//   * One-shot: SolveSp / SolveSpPart below — stateless, solves the full
+//     program from scratch.
+//   * Streaming: localization/sp_session.h wraps the same math in a
+//     stateful SpSolverSession that accepts constraint deltas and reuses
+//     the previous basis / region between solves.  SpSolverOptions is the
+//     single options struct shared by the batch, session, and resilient
+//     paths.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -35,6 +45,40 @@ enum class CenterMethod { kCentroid, kChebyshev, kAnalytic };
 /// tolerance and are cross-validated in the tests.
 enum class LpBackend { kSimplex, kInteriorPoint };
 
+/// How an SpSolverSession (localization/sp_session.h) turns constraint
+/// deltas into estimates.  Batch SolveSp/SolveSpPart ignore this field.
+enum class SpSessionMode {
+  /// Every Solve() rebuilds the full program from scratch — bit-identical
+  /// to calling SolveSp on the active constraint set.  The safe default.
+  kColdEachSolve,
+  /// Reuse state between solves: geometric fast path while the region
+  /// stays feasible, dual-simplex basis reuse / interior-point warm
+  /// starts otherwise.  Estimates agree with kColdEachSolve to solver
+  /// tolerance (see the equivalence suite), not bit-for-bit.
+  kIncremental,
+};
+
+/// When and how the resilient solve's degradation ladder engages (see
+/// localization/fallback.h for the ladder itself).  Lives here so
+/// SpSolverOptions can carry it — the batch, session, and resilient paths
+/// all read the same struct.
+struct FallbackPolicy {
+  /// Master switch.  Off = SolveSpResilient is exactly SolveSp (errors
+  /// propagate as errors).
+  bool enable = true;
+  /// A successful solve whose relaxation cost exceeds this budget counts
+  /// as failed and triggers the ladder.  The default (infinity) only
+  /// engages the chain on genuine solve errors, which keeps the golden
+  /// no-fault path bit-identical; tests and the chaos harness tighten it
+  /// to force degradation deterministically.
+  double max_relaxation_cost = std::numeric_limits<double>::infinity();
+  /// Constraint fractions (of the confidence-ranked list) each level-1
+  /// retry keeps, tried in order.  Must be in (0, 1], descending.
+  std::vector<double> keep_fractions = {0.75, 0.5, 0.25};
+
+  common::Result<void> Validate() const;
+};
+
 struct SpSolverOptions {
   CenterMethod center = CenterMethod::kCentroid;
   LpBackend lp_backend = LpBackend::kSimplex;
@@ -47,6 +91,15 @@ struct SpSolverOptions {
   double region_slack = 1e-6;
   /// Two part costs within this tolerance count as tied and are merged.
   double merge_tolerance = 1e-7;
+  /// Session solve strategy (sessions only; batch solves ignore it).
+  SpSessionMode session_mode = SpSessionMode::kColdEachSolve;
+  /// Incremental sessions skip the LP entirely while the exact feasible
+  /// region keeps at least this much area [m^2] — below it the region is
+  /// treated as empty and the relaxation LP decides what to sacrifice.
+  double fastpath_min_area = 1e-6;
+  /// Degradation ladder shared by SolveSpResilient and resilient session
+  /// solves.  Plain SolveSp ignores it.
+  FallbackPolicy fallback;
 };
 
 /// Result for one convex part.
@@ -62,12 +115,24 @@ struct SpPartSolution {
 
 /// Solves one convex part.  Boundary VAP constraints for the part are
 /// added internally (reference point = part centroid).  Requires a convex
-/// part and at least one proximity constraint.  `ws` optionally recycles
-/// LP solver scratch across calls (one workspace per thread).
+/// part and at least one proximity constraint.
 common::Result<SpPartSolution> SolveSpPart(
     const geometry::Polygon& part,
     std::span<const SpConstraint> proximity_constraints,
-    const SpSolverOptions& options = {}, lp::SolveWorkspace* ws = nullptr);
+    const SpSolverOptions& options = {});
+
+/// Compat overload with caller-provided LP scratch.  Deprecated: the
+/// workspace is an implementation detail the stateful session API now
+/// owns — construct an SpSolverSession (localization/sp_session.h) for
+/// repeated solves, or call the overload above for one-shots (scratch is
+/// managed internally either way).
+[[deprecated(
+    "pass scratch via an SpSolverSession instead of a raw SolveWorkspace*; "
+    "see localization/sp_session.h")]]
+common::Result<SpPartSolution> SolveSpPart(
+    const geometry::Polygon& part,
+    std::span<const SpConstraint> proximity_constraints,
+    const SpSolverOptions& options, lp::SolveWorkspace* ws);
 
 /// Combined result over all parts of a (possibly non-convex) area.
 struct SpSolution {

@@ -1,0 +1,362 @@
+#include "lp/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+#include "common/metrics.h"
+#include "simd/kernels.h"
+
+namespace nomloc::lp {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+RelaxationSolver::RelaxationSolver(const IncrementalOptions& options)
+    : options_(options) {
+  NOMLOC_REQUIRE(options_.eps > 0.0);
+  NOMLOC_REQUIRE(options_.never_bind_rhs > 0.0);
+}
+
+void RelaxationSolver::EnsureColumns(std::size_t cols) {
+  if (cols <= stride_) {
+    // Zero any cells newly exposed between the old and new live widths so
+    // appended columns start clean (Pivot writes full-stride rows, so
+    // stale values can survive in the slack area otherwise).
+    for (std::size_t r = 0; r < rhs_.size(); ++r)
+      for (std::size_t c = cols_; c < cols; ++c) At(r, c) = 0.0;
+    return;
+  }
+  // Geometric growth, re-striding existing rows in place (back to front).
+  std::size_t new_stride = std::max<std::size_t>(stride_ * 2, cols);
+  new_stride = std::max<std::size_t>(new_stride, 16);
+  const std::size_t rows = rhs_.size();
+  tab_.resize(rows * new_stride, 0.0);
+  for (std::size_t r = rows; r-- > 0;) {
+    double* src = tab_.data() + r * stride_;
+    double* dst = tab_.data() + r * new_stride;
+    for (std::size_t c = cols_; c-- > 0;) dst[c] = src[c];
+    for (std::size_t c = cols_; c < new_stride; ++c) dst[c] = 0.0;
+  }
+  // The first row's prefix overlaps itself; zero its slack area too.
+  if (rows > 0)
+    for (std::size_t c = cols_; c < new_stride; ++c) tab_[c] = 0.0;
+  stride_ = new_stride;
+}
+
+void RelaxationSolver::Pivot(std::size_t row, std::size_t col) {
+  const double p = At(row, col);
+  NOMLOC_ASSERT(std::abs(p) > 0.0);
+  double* pivot_row = &tab_[row * stride_];
+  simd::InvScale(cols_, p, pivot_row);
+  rhs_[row] /= p;
+  At(row, col) = 1.0;  // Exactly, against round-off.
+  const std::size_t rows = rhs_.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r == row) continue;
+    const double f = At(r, col);
+    if (f == 0.0) continue;
+    simd::Axpy(cols_, -f, pivot_row, &tab_[r * stride_]);
+    rhs_[r] -= f * rhs_[row];
+    At(r, col) = 0.0;
+  }
+  const double f = red_[col];
+  if (f != 0.0) simd::Axpy(cols_, -f, pivot_row, red_.data());
+  red_[col] = 0.0;  // Exactly: the entering column becomes basic.
+  row_of_col_[basis_[row]] = kNpos;
+  basis_[row] = col;
+  row_of_col_[col] = row;
+}
+
+void RelaxationSolver::RebuildReducedCosts() {
+  red_ = cost_;
+  const std::size_t rows = rhs_.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double c_b = cost_[basis_[i]];
+    if (c_b != 0.0) simd::Axpy(cols_, -c_b, &tab_[i * stride_], red_.data());
+  }
+  for (std::size_t i = 0; i < rows; ++i) red_[basis_[i]] = 0.0;
+}
+
+void RelaxationSolver::AppendReducedRow(const Term& term) {
+  const std::size_t row = rhs_.size();
+  const std::size_t t_col = ColOfT(row);
+  const std::size_t s_col = ColOfS(row);
+  EnsureColumns(s_col + 1);
+  cols_ = s_col + 1;
+  cost_.resize(cols_, 0.0);
+  cost_[t_col] = term.w;
+  cost_[s_col] = 0.0;
+  row_of_col_.resize(cols_, kNpos);
+
+  tab_.resize((row + 1) * stride_, 0.0);
+  double* raw = &tab_[row * stride_];
+  std::fill(raw, raw + stride_, 0.0);
+  raw[0] = term.ax;
+  raw[1] = -term.ax;
+  raw[2] = term.ay;
+  raw[3] = -term.ay;
+  raw[t_col] = -1.0;
+  raw[s_col] = 1.0;
+  double rhs = term.b;
+
+  // Reduce against the current basis: subtract f * row_i for each basic
+  // column the raw row touches.  Tableau rows carry exact unit columns on
+  // the basis, so a single pass cannot reintroduce eliminated entries.
+  for (std::size_t i = 0; i < row; ++i) {
+    const double f = raw[basis_[i]];
+    if (f == 0.0) continue;
+    simd::Axpy(cols_, -f, &tab_[i * stride_], raw);
+    rhs -= f * rhs_[i];
+    raw[basis_[i]] = 0.0;
+  }
+
+  rhs_.push_back(rhs);
+  basis_.push_back(s_col);
+  row_of_col_[s_col] = row;
+  // The new columns exist only in the appended row, which enters basic in
+  // its (cost-0) slack: existing reduced costs are unchanged, the new t
+  // column prices at its own weight, and the basic slack prices at zero.
+  red_.resize(cols_, 0.0);
+  red_[t_col] = term.w;
+  red_[s_col] = 0.0;
+}
+
+common::Result<void> RelaxationSolver::PrimalSimplex() {
+  const std::size_t rows = rhs_.size();
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Bland's rule: first column with an improving reduced cost.
+    std::size_t entering = cols_;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (row_of_col_[j] != kNpos) continue;  // Basic: reduced cost 0.
+      if (ReducedCost(j) < -options_.eps) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == cols_) {
+      last_iterations_ += iter;
+      total_iterations_ += iter;
+      return {};  // Optimal.
+    }
+    // Ratio test (Bland tie-break on smallest basis column).
+    std::size_t leaving = rows;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double a = At(i, entering);
+      if (a > options_.eps) {
+        const double ratio = rhs_[i] / a;
+        if (ratio < best_ratio - options_.eps ||
+            (ratio < best_ratio + options_.eps &&
+             (leaving == rows || basis_[i] < basis_[leaving]))) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+    }
+    if (leaving == rows)
+      return common::Unbounded(
+          "relaxation program unbounded (missing boundary rows?)");
+    Pivot(leaving, entering);
+  }
+  return common::Exhausted("incremental primal simplex iteration limit");
+}
+
+common::Result<void> RelaxationSolver::DualSimplex() {
+  const std::size_t rows = rhs_.size();
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Leaving row: Bland-style — smallest basis column among primal-
+    // infeasible rows.  Slower than Dantzig's most-negative rule but
+    // cycle-free, and these programs are tens of rows.
+    std::size_t leaving = rows;
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (rhs_[i] >= -options_.eps) continue;
+      if (leaving == rows || basis_[i] < basis_[leaving]) leaving = i;
+    }
+    if (leaving == rows) {
+      last_iterations_ += iter;
+      total_iterations_ += iter;
+      return {};  // Primal feasible (and still dual feasible): optimal.
+    }
+    // Entering column: dual ratio test over columns with a negative entry
+    // in the leaving row; smallest reduced-cost ratio, Bland tie-break.
+    std::size_t entering = cols_;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (row_of_col_[j] != kNpos) continue;
+      const double a = At(leaving, j);
+      if (a < -options_.eps) {
+        const double ratio = std::max(0.0, ReducedCost(j)) / (-a);
+        if (ratio < best_ratio - options_.eps ||
+            (ratio < best_ratio + options_.eps && j < entering)) {
+          best_ratio = ratio;
+          entering = j;
+        }
+      }
+    }
+    if (entering == cols_)
+      return common::Infeasible(
+          "dual simplex found no entering column (t rows should make the "
+          "program feasible)");
+    Pivot(leaving, entering);
+  }
+  return common::Exhausted("incremental dual simplex iteration limit");
+}
+
+void RelaxationSolver::ExtractSolution() {
+  const std::size_t rows = rhs_.size();
+  t_.assign(rows, 0.0);
+  double zxp = 0.0, zxn = 0.0, zyp = 0.0, zyn = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t col = basis_[i];
+    const double v = rhs_[i];
+    if (col == 0) zxp = v;
+    else if (col == 1) zxn = v;
+    else if (col == 2) zyp = v;
+    else if (col == 3) zyn = v;
+    else if ((col - kZCols) % 2 == 0) t_[(col - kZCols) / 2] = v;
+  }
+  zx_ = zxp - zxn;
+  zy_ = zyp - zyn;
+  solved_ = true;
+}
+
+common::Result<void> RelaxationSolver::Reset(std::span<const Term> terms,
+                                             double origin_x,
+                                             double origin_y) {
+  if (!std::isfinite(origin_x) || !std::isfinite(origin_y))
+    return common::InvalidArgument("non-finite origin hint");
+  for (const Term& term : terms) {
+    if (!std::isfinite(term.ax) || !std::isfinite(term.ay) ||
+        !std::isfinite(term.b) || !std::isfinite(term.w))
+      return common::InvalidArgument("non-finite relaxation term");
+    if (term.w < 0.0)
+      return common::InvalidArgument("relaxation weight must be >= 0");
+  }
+  origin_x_ = origin_x;
+  origin_y_ = origin_y;
+  terms_.assign(terms.begin(), terms.end());
+  // Shift rhs into origin-centered coordinates: b' = b - a . origin.
+  for (Term& term : terms_)
+    term.b -= term.ax * origin_x_ + term.ay * origin_y_;
+  row_active_.assign(terms.size(), true);
+  active_rows_ = terms.size();
+  // Drop old rows before EnsureColumns so re-striding has nothing to copy.
+  tab_.clear();
+  rhs_.clear();
+  cols_ = kZCols + 2 * terms.size();
+  EnsureColumns(cols_);
+  tab_.assign(terms.size() * stride_, 0.0);
+  rhs_.assign(terms.size(), 0.0);
+  cost_.assign(cols_, 0.0);
+  basis_.assign(terms.size(), 0);
+  row_of_col_.assign(cols_, kNpos);
+  solved_ = false;
+  last_iterations_ = 0;
+  total_iterations_ = 0;
+
+  // Primal-feasible start without artificials: rows with b >= 0 take their
+  // slack basic; rows with b < 0 are negated so their t is basic at -b.
+  for (std::size_t r = 0; r < terms_.size(); ++r) {
+    const Term& term = terms_[r];
+    const double sign = term.b < 0.0 ? -1.0 : 1.0;
+    At(r, 0) = sign * term.ax;
+    At(r, 1) = -sign * term.ax;
+    At(r, 2) = sign * term.ay;
+    At(r, 3) = -sign * term.ay;
+    At(r, ColOfT(r)) = -sign;
+    At(r, ColOfS(r)) = sign;
+    rhs_[r] = sign * term.b;
+    cost_[ColOfT(r)] = term.w;
+    basis_[r] = sign < 0.0 ? ColOfT(r) : ColOfS(r);
+    row_of_col_[basis_[r]] = r;
+  }
+  RebuildReducedCosts();
+  NOMLOC_RETURN_IF_ERROR(PrimalSimplex().status());
+  ExtractSolution();
+  static auto& cold = common::MetricRegistry::Global().Counter(
+      "lp.incremental.reset");
+  cold.Increment();
+  return {};
+}
+
+common::Result<void> RelaxationSolver::AddTerms(std::span<const Term> terms) {
+  if (!solved_) return Reset(terms);
+  for (const Term& term : terms) {
+    if (!std::isfinite(term.ax) || !std::isfinite(term.ay) ||
+        !std::isfinite(term.b) || !std::isfinite(term.w))
+      return common::InvalidArgument("non-finite relaxation term");
+    if (term.w < 0.0)
+      return common::InvalidArgument("relaxation weight must be >= 0");
+  }
+  last_iterations_ = 0;
+  for (Term term : terms) {
+    term.b -= term.ax * origin_x_ + term.ay * origin_y_;  // Same shift.
+    AppendReducedRow(term);
+    terms_.push_back(term);
+    row_active_.push_back(true);
+    ++active_rows_;
+  }
+  solved_ = false;
+  NOMLOC_RETURN_IF_ERROR(DualSimplex().status());
+  ExtractSolution();
+  static auto& adds = common::MetricRegistry::Global().Counter(
+      "lp.incremental.add_rows");
+  adds.Increment(terms.size());
+  return {};
+}
+
+common::Result<void> RelaxationSolver::Deactivate(
+    std::span<const std::size_t> rows) {
+  if (!solved_)
+    return common::FailedPrecondition(
+        "Deactivate requires a solved program (Reset first)");
+  last_iterations_ = 0;
+  bool changed = false;
+  for (std::size_t row : rows) {
+    if (row >= terms_.size())
+      return common::InvalidArgument("Deactivate: row id out of range");
+    if (!row_active_[row]) continue;
+    row_active_[row] = false;
+    --active_rows_;
+    changed = true;
+    // rhs update: b_row -> never_bind_rhs is a rank-one change along the
+    // tableau column of the row's slack (B^-1 e_row).
+    const double delta = options_.never_bind_rhs - terms_[row].b;
+    NOMLOC_ASSERT(delta > 0.0);
+    const std::size_t s_col = ColOfS(row);
+    const std::size_t m = rhs_.size();
+    for (std::size_t i = 0; i < m; ++i) {
+      const double a = At(i, s_col);
+      if (a != 0.0) rhs_[i] += delta * a;
+    }
+    terms_[row].b = options_.never_bind_rhs;
+  }
+  if (!changed) return {};
+  solved_ = false;
+  NOMLOC_RETURN_IF_ERROR(DualSimplex().status());
+  ExtractSolution();
+  static auto& drops = common::MetricRegistry::Global().Counter(
+      "lp.incremental.deactivated");
+  drops.Increment(rows.size());
+  return {};
+}
+
+double RelaxationSolver::Zx() const noexcept { return origin_x_ + zx_; }
+double RelaxationSolver::Zy() const noexcept { return origin_y_ + zy_; }
+
+double RelaxationSolver::RelaxationOf(std::size_t row) const noexcept {
+  if (row >= t_.size() || !row_active_[row]) return 0.0;
+  return std::max(0.0, t_[row]);
+}
+
+double RelaxationSolver::Objective() const noexcept {
+  double total = 0.0;
+  for (std::size_t r = 0; r < terms_.size(); ++r)
+    if (row_active_[r]) total += terms_[r].w * std::max(0.0, t_[r]);
+  return total;
+}
+
+}  // namespace nomloc::lp

@@ -1,0 +1,170 @@
+// Incremental simplex for the SP relaxation program (paper Eq. 19).
+//
+// The streaming serving layer re-solves one small LP per session update,
+// but consecutive programs differ by only a handful of rows: a nomadic-AP
+// judgement *adds* a few half-plane constraints and time-decay *retires*
+// a few old ones.  SolveSimplex/SolveInteriorPoint rebuild and re-solve
+// from scratch each time; this solver keeps the optimal basis (and the
+// full reduced tableau) alive across updates and re-optimizes with dual
+// simplex pivots instead:
+//
+//   AddTerms    — new rows enter with their slack basic, which preserves
+//                 dual feasibility exactly; primal feasibility is restored
+//                 by dual-simplex pivots from the retained basis.
+//   Deactivate  — a retired constraint is not deleted (row deletion would
+//                 invalidate the basis factorization); its right-hand side
+//                 is pushed to a never-binding bound, which is a pure rhs
+//                 update (rhs += delta * tableau-column of the row's
+//                 slack), again re-optimized by dual simplex.  Callers
+//                 compact (Reset) once deactivated rows pile up.
+//
+// The program structure makes this clean: variables are [zx, zy, t_0 ..],
+// each row r reads  a_r·z - t_r <= b_r  with relaxation weight w_r >= 0.
+// Splitting the free z into positive parts and choosing t_r basic for
+// rows with negative rhs gives a primal-feasible start with NO artificial
+// variables (z = 0, t_r = max(0, -b_r) is always feasible), so Reset is a
+// single-phase primal simplex.
+//
+// Determinism: Bland-style smallest-index rules everywhere, so a given
+// operation sequence always reproduces the same pivots.  Not thread-safe;
+// one instance per (session, area part).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nomloc::lp {
+
+struct IncrementalOptions {
+  /// Pivot budget per operation (Reset / AddTerms / Deactivate).
+  std::size_t max_iterations = 50'000;
+  double eps = 1e-9;
+  /// Right-hand side a deactivated row is relaxed to.  Must dominate every
+  /// |a_r·z| the program can reach so the row can never bind again.
+  double never_bind_rhs = 1e6;
+};
+
+/// Incremental dual-simplex solver for  minimize sum_r w_r t_r  subject to
+/// a_r·z - t_r <= b_r, t_r >= 0, z in R^2.  See file comment.
+class RelaxationSolver {
+ public:
+  /// One constraint row:  ax*zx + ay*zy - t <= b, relaxation weight w.
+  struct Term {
+    double ax = 0.0;
+    double ay = 0.0;
+    double b = 0.0;
+    double w = 1.0;
+  };
+
+  explicit RelaxationSolver(const IncrementalOptions& options = {});
+
+  /// Discards all state and solves the program over `terms` from scratch
+  /// (single-phase primal simplex).  Row ids are 0 .. terms.size()-1.
+  /// (origin_x, origin_y) shifts the solve into coordinates centered on a
+  /// hint point: rows satisfied at the hint start with nonnegative rhs and
+  /// keep their slack basic, so pivot count tracks the number of rows the
+  /// hint VIOLATES, not the row total.  Pass the previous optimum (or any
+  /// interior point) to make a re-factorization effectively warm; the
+  /// reported Zx()/Zy() are in original coordinates either way.
+  /// Errors: kExhausted (pivot budget), kInvalidArgument (non-finite or
+  /// negative-weight terms).
+  common::Result<void> Reset(std::span<const Term> terms,
+                             double origin_x = 0.0, double origin_y = 0.0);
+
+  /// Appends rows (ids continue from Rows()) and re-optimizes with dual
+  /// simplex from the current basis.  Requires a prior successful Reset
+  /// (or an empty solver, in which case this behaves like Reset).
+  common::Result<void> AddTerms(std::span<const Term> terms);
+
+  /// Deactivates rows by id: each row's rhs is pushed to the never-binding
+  /// bound and the program is re-optimized with dual simplex.  Deactivated
+  /// rows report RelaxationOf() == 0 and no longer contribute to
+  /// Objective().  Deactivating an already-inactive row is a no-op.
+  common::Result<void> Deactivate(std::span<const std::size_t> rows);
+
+  bool Solved() const noexcept { return solved_; }
+  std::size_t Rows() const noexcept { return terms_.size(); }
+  std::size_t ActiveRows() const noexcept { return active_rows_; }
+  std::size_t DeactivatedRows() const noexcept {
+    return terms_.size() - active_rows_;
+  }
+
+  /// Optimal point (valid after a successful operation).
+  double Zx() const noexcept;
+  double Zy() const noexcept;
+  /// Relaxation t_r of row `row` at the optimum (0 for deactivated rows).
+  double RelaxationOf(std::size_t row) const noexcept;
+  /// sum of w_r * t_r over active rows, recomputed from the solution (so
+  /// phantom deactivated rows cannot leak numerical dust into it).
+  double Objective() const noexcept;
+
+  /// Simplex pivots consumed by the most recent operation.
+  std::size_t LastIterations() const noexcept { return last_iterations_; }
+  /// Pivots consumed since the last Reset (inclusive).
+  std::size_t TotalIterations() const noexcept { return total_iterations_; }
+
+ private:
+  // Column layout: [zx+, zx-, zy+, zy-, t_0, s_0, t_1, s_1, ...].
+  static constexpr std::size_t kZCols = 4;
+  std::size_t ColOfT(std::size_t row) const noexcept {
+    return kZCols + 2 * row;
+  }
+  std::size_t ColOfS(std::size_t row) const noexcept {
+    return kZCols + 2 * row + 1;
+  }
+
+  double& At(std::size_t r, std::size_t c) noexcept {
+    return tab_[r * stride_ + c];
+  }
+  double At(std::size_t r, std::size_t c) const noexcept {
+    return tab_[r * stride_ + c];
+  }
+
+  /// Grows the column stride (re-striding rows) to hold `cols` columns.
+  void EnsureColumns(std::size_t cols);
+  /// Gauss-Jordan pivot on (row, col), updating basis maps, rhs, and the
+  /// maintained reduced-cost row.
+  void Pivot(std::size_t row, std::size_t col);
+  /// Reduced cost of column `col` under the current basis (O(1): read from
+  /// the maintained row).
+  double ReducedCost(std::size_t col) const noexcept { return red_[col]; }
+  /// Recomputes the reduced-cost row from scratch (used by Reset).
+  void RebuildReducedCosts();
+  /// Builds, reduces against the current basis, and appends one raw row.
+  void AppendReducedRow(const Term& term);
+  /// Primal simplex to optimality (Bland's rule).
+  common::Result<void> PrimalSimplex();
+  /// Dual simplex until primal-feasible (Bland-style tie-breaks).
+  common::Result<void> DualSimplex();
+  /// Refreshes the cached solution values after a successful solve.
+  void ExtractSolution();
+
+  IncrementalOptions options_;
+  std::vector<Term> terms_;          ///< All rows ever added (incl. inactive).
+  std::vector<bool> row_active_;
+  std::size_t active_rows_ = 0;
+
+  std::size_t cols_ = 0;             ///< Live columns (kZCols + 2 * rows).
+  std::size_t stride_ = 0;           ///< Allocated columns per row.
+  std::vector<double> tab_;          ///< Row-major reduced tableau.
+  std::vector<double> rhs_;          ///< B^-1 b, one per row.
+  std::vector<double> cost_;         ///< Objective coefficient per column.
+  std::vector<double> red_;          ///< Reduced cost per column, updated on
+                                     ///< every pivot (the objective row of a
+                                     ///< classic tableau).  Pricing a column
+                                     ///< is O(1) instead of O(rows).
+  std::vector<std::size_t> basis_;   ///< Basic column of each row.
+  std::vector<std::size_t> row_of_col_;  ///< Basis row of a column, or npos.
+
+  bool solved_ = false;
+  double origin_x_ = 0.0, origin_y_ = 0.0;  ///< Coordinate shift (hint).
+  double zx_ = 0.0, zy_ = 0.0;              ///< Optimum relative to origin.
+  std::vector<double> t_;            ///< Per-row relaxation at the optimum.
+  std::size_t last_iterations_ = 0;
+  std::size_t total_iterations_ = 0;
+};
+
+}  // namespace nomloc::lp

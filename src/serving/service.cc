@@ -7,6 +7,7 @@
 #include <deque>
 
 #include "common/metrics.h"
+#include "localization/sp_session.h"
 
 namespace nomloc::serving {
 
@@ -23,7 +24,7 @@ constexpr std::string_view kCounterNames[] = {
     "serving.rejected.breaker",     "serving.breaker.opened",
     "serving.breaker.reclosed",     "serving.retries",
     "serving.fallback.last_known_good",
-    "serving.checkpoint.restored",
+    "serving.checkpoint.restored",  "serving.solver.sessions",
 };
 constexpr std::string_view kHistogramNames[] = {
     "serving.queue.depth",
@@ -45,7 +46,8 @@ constexpr std::string_view kAllNames[] = {
     "serving.rejected.breaker",     "serving.breaker.opened",
     "serving.breaker.reclosed",     "serving.retries",
     "serving.fallback.last_known_good",
-    "serving.checkpoint.restored",  "serving.queue.depth",
+    "serving.checkpoint.restored",  "serving.solver.sessions",
+    "serving.queue.depth",
     "serving.shard.occupancy",      "serving.queue.wait",
     "serving.solve",                "serving.latency",
 };
@@ -369,7 +371,22 @@ void StreamingLocalizer::Serve(const Job& job) {
     } else {
       core::LocateRequest request;
       request.anchors = snapshot->anchors;
-      auto located = engine_.Locate(request);
+      auto located = [&]() -> common::Result<core::LocateResponse> {
+        if (config_.solver_mode != localization::SpSessionMode::kIncremental)
+          return engine_.Locate(request);
+        // Warm path: the object's solver session lives in the store (so
+        // eviction and solver state share a lifecycle) and sees only the
+        // constraint delta since the last query.
+        static auto& sessions_created =
+            registry.Counter("serving.solver.sessions");
+        auto solver = store_.SolverSession(packet.object_id, [&] {
+          sessions_created.Increment();
+          return std::make_shared<localization::SpSolverSession>(
+              engine_.MakeSolverSession(
+                  localization::SpSessionMode::kIncremental));
+        });
+        return engine_.Locate(request, solver.get());
+      }();
       if (!located.ok()) {
         response.status = ServeStatus::kFailed;
         response.error = located.status();

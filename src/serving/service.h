@@ -140,6 +140,17 @@ struct ServingConfig {
   /// at DegradationLevel::kLastKnownGood instead of failing — if one
   /// exists.
   bool last_known_good_fallback = true;
+  /// How queries drive the SP solver.  kColdEachSolve (the default)
+  /// solves every query statelessly through NomLocEngine::Locate, which
+  /// keeps the no-fault streaming path bit-identical to LocateBatch over
+  /// the same anchors.  kIncremental keeps one warm
+  /// localization::SpSolverSession per object inside the session store
+  /// and feeds it constraint deltas (ReplaceConstraints), so consecutive
+  /// queries on a slowly-changing session reuse the previous basis /
+  /// feasible polygon — equivalent to the stateless answer within solver
+  /// tolerance, and much cheaper on streaming updates.
+  localization::SpSessionMode solver_mode =
+      localization::SpSessionMode::kColdEachSolve;
   /// Created paused: packets queue up but no worker drains them until
   /// Start().  Lets tests fill queues deterministically.
   bool start_paused = false;

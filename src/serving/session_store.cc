@@ -181,6 +181,18 @@ common::Result<LastKnownGood> SessionStore::LastGood(
   return *it->second.last_good;
 }
 
+std::shared_ptr<localization::SpSolverSession> SessionStore::SolverSession(
+    std::uint64_t object_id,
+    const std::function<std::shared_ptr<localization::SpSolverSession>()>&
+        make) {
+  Shard& shard = *shards_[ShardOf(object_id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sessions.find(object_id);
+  if (it == shard.sessions.end()) return nullptr;
+  if (it->second.solver == nullptr) it->second.solver = make();
+  return it->second.solver;
+}
+
 namespace {
 
 constexpr double kCheckpointSchemaVersion = 1.0;

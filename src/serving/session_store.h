@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,10 @@
 #include "common/status.h"
 #include "geometry/vec2.h"
 #include "localization/proximity.h"
+
+namespace nomloc::localization {
+class SpSolverSession;  // localization/sp_session.h
+}
 
 namespace nomloc::serving {
 
@@ -119,6 +124,18 @@ class SessionStore {
   /// kNotFound when the object has no session or no recorded estimate.
   common::Result<LastKnownGood> LastGood(std::uint64_t object_id) const;
 
+  /// The object's stateful solver session, created with `make` on first
+  /// use (and again after an eviction dropped it).  Returns nullptr when
+  /// the object has no store session — there is nothing to solve then.
+  /// The shared_ptr keeps the solver alive even if a concurrent sweep
+  /// evicts the session while the caller is mid-solve.  Solver sessions
+  /// are scratch state: they are not checkpointed, and a restored store
+  /// rebuilds them lazily.
+  std::shared_ptr<localization::SpSolverSession> SolverSession(
+      std::uint64_t object_id,
+      const std::function<std::shared_ptr<localization::SpSolverSession>()>&
+          make);
+
   /// Serialises every shard's sessions (anchors, observations, last-known
   /// -good estimates) into a schema-versioned JSON document.  Sessions
   /// iterate in object-id order, so equal stores checkpoint to equal
@@ -143,6 +160,8 @@ class SessionStore {
     std::size_t keys_ever = 0;
     double last_touch_s = 0.0;
     std::optional<LastKnownGood> last_good;
+    /// Warm SP solver state for streaming queries (never checkpointed).
+    std::shared_ptr<localization::SpSolverSession> solver;
   };
   struct Shard {
     mutable std::mutex mutex;

@@ -299,6 +299,86 @@ TEST(LocateBatch, EmptyBatchIsEmptySuccess) {
   EXPECT_TRUE(batch->empty());
 }
 
+// Deterministic anchors without the channel simulator: PDP falls off
+// with distance from the truth point.
+std::vector<localization::Anchor> AnchorsAt(Vec2 truth,
+                                            std::span<const Vec2> aps) {
+  std::vector<localization::Anchor> out;
+  for (const Vec2 ap : aps)
+    out.push_back({ap, 1.0 / (1.0 + geometry::DistanceSq(truth, ap)), false});
+  return out;
+}
+
+TEST(LocateSession, ColdSessionIsBitIdenticalToStateless) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7}};
+  for (const Vec2 truth : {Vec2{3.0, 2.0}, Vec2{8.5, 6.0}}) {
+    const auto anchors = AnchorsAt(truth, aps);
+    LocateRequest request;
+    request.anchors = anchors;
+    auto session = engine.MakeSolverSession();  // default: kColdEachSolve
+    auto via_session = engine.Locate(request, &session);
+    auto stateless = engine.Locate(request);
+    ASSERT_TRUE(via_session.ok()) << via_session.status().ToString();
+    ASSERT_TRUE(stateless.ok());
+    EXPECT_EQ(via_session->estimate.position, stateless->estimate.position);
+    EXPECT_EQ(via_session->estimate.relaxation_cost,
+              stateless->estimate.relaxation_cost);
+    EXPECT_EQ(via_session->lp_iterations, stateless->lp_iterations);
+  }
+}
+
+TEST(LocateSession, IncrementalSessionTracksMovingObject) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}, {1, 7}, {6, 4}};
+  auto session =
+      engine.MakeSolverSession(localization::SpSessionMode::kIncremental);
+  // One warm session follows the object; every fix must agree with the
+  // stateless answer to solver tolerance.
+  for (double s = 0.0; s <= 1.0; s += 0.125) {
+    const Vec2 truth{2.0 + 8.0 * s, 2.0 + 4.0 * s};
+    const auto anchors = AnchorsAt(truth, aps);
+    LocateRequest request;
+    request.anchors = anchors;
+    auto warm = engine.Locate(request, &session);
+    auto cold = engine.Locate(request);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    ASSERT_TRUE(cold.ok());
+    EXPECT_NEAR(warm->estimate.position.x, cold->estimate.position.x, 1e-6);
+    EXPECT_NEAR(warm->estimate.position.y, cold->estimate.position.y, 1e-6);
+    EXPECT_NEAR(warm->estimate.relaxation_cost,
+                cold->estimate.relaxation_cost, 1e-6);
+    EXPECT_EQ(warm->degradation, cold->degradation);
+  }
+}
+
+TEST(LocateSession, RejectsPerRequestOverrides) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}};
+  const auto anchors = AnchorsAt({4.0, 3.0}, aps);
+  LocateRequest request;
+  request.anchors = anchors;
+  request.solver = localization::SpSolverOptions{};
+  auto session = engine.MakeSolverSession();
+  EXPECT_EQ(engine.Locate(request, &session).status().code(),
+            common::StatusCode::kInvalidArgument);
+  // Without a session the override is honoured as before.
+  EXPECT_TRUE(engine.Locate(request).ok());
+}
+
+TEST(LocateSession, NullSessionIsPlainLocate) {
+  const NomLocEngine engine = MakeEngine(Polygon::Rectangle(0, 0, 12, 8));
+  const std::vector<Vec2> aps{{1, 1}, {11, 1}, {11, 7}};
+  const auto anchors = AnchorsAt({4.0, 3.0}, aps);
+  LocateRequest request;
+  request.anchors = anchors;
+  auto with_null = engine.Locate(request, nullptr);
+  auto plain = engine.Locate(request);
+  ASSERT_TRUE(with_null.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(with_null->estimate.position, plain->estimate.position);
+}
+
 TEST(Locate, DeterministicGivenSameObservations) {
   const channel::IndoorEnvironment env = EmptyRoom();
   const NomLocEngine engine = MakeEngine(env.Boundary());

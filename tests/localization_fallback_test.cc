@@ -64,7 +64,7 @@ TEST(SolveSpResilient, HealthyPathBitIdenticalToSolveSp) {
 
   auto plain = SolveSp(parts, constraints, {});
   ASSERT_TRUE(plain.ok());
-  auto resilient = SolveSpResilient(parts, {}, constraints, {}, {});
+  auto resilient = SolveSpResilient(parts, {}, constraints, {});
   ASSERT_TRUE(resilient.ok()) << resilient.status().ToString();
 
   EXPECT_EQ(resilient->level, common::DegradationLevel::kNone);
@@ -89,9 +89,9 @@ TEST(SolveSpResilient, TightBudgetShedsLowConfidenceContradictions) {
   constraints.push_back(
       {HalfPlane::CloserTo({-200.0, 4.0}, {0.0, 4.0}), 0.05, false});
 
-  FallbackPolicy policy;
-  policy.max_relaxation_cost = 1e-6;
-  auto resilient = SolveSpResilient(parts, {}, constraints, {}, policy);
+  SpSolverOptions options;
+  options.fallback.max_relaxation_cost = 1e-6;
+  auto resilient = SolveSpResilient(parts, {}, constraints, options);
   ASSERT_TRUE(resilient.ok()) << resilient.status().ToString();
   EXPECT_EQ(resilient->level, common::DegradationLevel::kRelaxedConstraints);
   EXPECT_GT(resilient->dropped_constraints, 0u);
@@ -119,9 +119,9 @@ TEST(SolveSpResilient, ExhaustedLadderFallsBackToWeightedCentroid) {
   const std::vector<Anchor> anchors{{{2.0, 2.0}, 3.0, false},
                                     {{8.0, 6.0}, 1.0, true}};
 
-  FallbackPolicy policy;
-  policy.max_relaxation_cost = 0.0;
-  auto resilient = SolveSpResilient(parts, anchors, constraints, {}, policy);
+  SpSolverOptions options;
+  options.fallback.max_relaxation_cost = 0.0;
+  auto resilient = SolveSpResilient(parts, anchors, constraints, options);
   ASSERT_TRUE(resilient.ok()) << resilient.status().ToString();
   EXPECT_EQ(resilient->level, common::DegradationLevel::kWeightedCentroid);
   EXPECT_EQ(resilient->dropped_constraints, constraints.size());
@@ -139,13 +139,37 @@ TEST(SolveSpResilient, ExhaustedLadderFallsBackToWeightedCentroid) {
 TEST(SolveSpResilient, DisabledPolicyPropagatesSolveErrors) {
   std::vector<SpConstraint> constraints{
       {HalfPlane::CloserTo({1.0, 1.0}, {9.0, 7.0}), 0.5, false}};
-  FallbackPolicy policy;
-  policy.enable = false;
+  SpSolverOptions options;
+  options.fallback.enable = false;
   // No parts: the full solve fails, and with the chain disabled the error
   // must surface instead of degrading.
-  auto resilient = SolveSpResilient({}, {}, constraints, {}, policy);
+  auto resilient = SolveSpResilient({}, {}, constraints, options);
   EXPECT_FALSE(resilient.ok());
 }
+
+// The pre-SpSolverOptions-collapse compat overload (separate policy
+// argument) must keep delegating to the collapsed one until it is
+// removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SolveSpResilient, DeprecatedPolicyOverloadMatchesCollapsedOptions) {
+  const auto parts = Room();
+  const auto constraints = IdealConstraints({4.0, 3.0}, kAps);
+
+  SpSolverOptions options;
+  options.fallback.max_relaxation_cost = 1e-6;
+  auto collapsed = SolveSpResilient(parts, {}, constraints, options);
+
+  FallbackPolicy policy = options.fallback;
+  auto shim = SolveSpResilient(parts, {}, constraints, SpSolverOptions{},
+                               policy);
+  ASSERT_TRUE(collapsed.ok()) << collapsed.status().ToString();
+  ASSERT_TRUE(shim.ok()) << shim.status().ToString();
+  EXPECT_EQ(shim->level, collapsed->level);
+  EXPECT_EQ(shim->solution.estimate.x, collapsed->solution.estimate.x);
+  EXPECT_EQ(shim->solution.estimate.y, collapsed->solution.estimate.y);
+}
+#pragma GCC diagnostic pop
 
 TEST(WeightedAnchorCentroid, PdpWeightedMeanInsideArea) {
   const auto parts = Room();

@@ -1,0 +1,245 @@
+#include "lp/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace nomloc::lp {
+namespace {
+
+using Term = RelaxationSolver::Term;
+
+// Reference: the same relaxation program in inequality form, solved from
+// scratch by the two-phase simplex.  Variables [zx, zy, t_0 .. t_{m-1}],
+// rows a_r·z - t_r <= b_r over the active terms only.
+struct Reference {
+  double zx = 0.0;
+  double zy = 0.0;
+  double objective = 0.0;
+};
+
+Reference SolveFromScratch(const std::vector<Term>& terms,
+                           const std::vector<bool>& active) {
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < terms.size(); ++r)
+    if (active.empty() || active[r]) ++m;
+  InequalityLp lp;
+  lp.a = Matrix(m, 2 + m);
+  lp.b.assign(m, 0.0);
+  lp.c.assign(2 + m, 0.0);
+  lp.nonneg.assign(2 + m, true);
+  lp.nonneg[0] = lp.nonneg[1] = false;
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < terms.size(); ++r) {
+    if (!active.empty() && !active[r]) continue;
+    lp.a(i, 0) = terms[r].ax;
+    lp.a(i, 1) = terms[r].ay;
+    lp.a(i, 2 + i) = -1.0;
+    lp.b[i] = terms[r].b;
+    lp.c[2 + i] = terms[r].w;
+    ++i;
+  }
+  auto sol = SolveSimplex(lp);
+  EXPECT_TRUE(sol.ok()) << sol.status().ToString();
+  Reference out;
+  if (sol.ok()) {
+    out.zx = sol->x[0];
+    out.zy = sol->x[1];
+    out.objective = sol->objective;
+  }
+  return out;
+}
+
+Term RandomTerm(common::Rng& rng) {
+  // Random normalized half-plane through a point near the origin, as the
+  // SP constraint builder produces.
+  const double angle = rng.UniformAngle();
+  Term t;
+  t.ax = std::cos(angle);
+  t.ay = std::sin(angle);
+  t.b = rng.Uniform(-3.0, 6.0);
+  t.w = rng.Bernoulli(0.2) ? 100.0 : rng.Uniform(0.5, 2.0);
+  return t;
+}
+
+// A frame the solver can never escape: |zx|,|zy| <= 10 with the boundary
+// weight the SP program uses, so every reference program is bounded.
+std::vector<Term> BoxTerms() {
+  return {{1.0, 0.0, 10.0, 100.0},
+          {-1.0, 0.0, 10.0, 100.0},
+          {0.0, 1.0, 10.0, 100.0},
+          {0.0, -1.0, 10.0, 100.0}};
+}
+
+TEST(RelaxationSolver, FeasibleProgramHasZeroObjective) {
+  // Unit box around the origin: z = 0 satisfies everything, t = 0.
+  RelaxationSolver solver;
+  std::vector<Term> terms = BoxTerms();
+  auto st = solver.Reset(terms);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_NEAR(solver.Objective(), 0.0, 1e-9);
+  EXPECT_EQ(solver.ActiveRows(), 4u);
+}
+
+TEST(RelaxationSolver, InfeasibleRowIsRelaxedByWeight) {
+  // zx <= -1 and -zx <= -1 conflict; the cheaper row should take all the
+  // relaxation: t = 2 on the weight-1 row, objective 2.
+  std::vector<Term> terms = {{1.0, 0.0, -1.0, 1.0}, {-1.0, 0.0, -1.0, 5.0}};
+  RelaxationSolver solver;
+  ASSERT_TRUE(solver.Reset(terms).ok());
+  const Reference ref = SolveFromScratch(terms, {});
+  EXPECT_NEAR(solver.Objective(), ref.objective, 1e-8);
+  EXPECT_NEAR(solver.Objective(), 2.0, 1e-8);
+  EXPECT_NEAR(solver.RelaxationOf(0), 2.0, 1e-8);
+  EXPECT_NEAR(solver.RelaxationOf(1), 0.0, 1e-8);
+}
+
+TEST(RelaxationSolver, AddTermsMatchesScratchSolve) {
+  common::Rng rng(42);
+  RelaxationSolver solver;
+  std::vector<Term> terms = BoxTerms();
+  ASSERT_TRUE(solver.Reset(terms).ok());
+  for (int step = 0; step < 40; ++step) {
+    std::vector<Term> batch;
+    const std::size_t count = 1 + rng.UniformInt(3);
+    for (std::size_t i = 0; i < count; ++i) batch.push_back(RandomTerm(rng));
+    auto st = solver.AddTerms(batch);
+    ASSERT_TRUE(st.ok()) << "step " << step << ": " << st.status().ToString();
+    terms.insert(terms.end(), batch.begin(), batch.end());
+    const Reference ref = SolveFromScratch(terms, {});
+    EXPECT_NEAR(solver.Objective(), ref.objective, 1e-6)
+        << "step " << step << " rows " << terms.size();
+  }
+}
+
+TEST(RelaxationSolver, DeactivateMatchesScratchSolve) {
+  common::Rng rng(7);
+  RelaxationSolver solver;
+  std::vector<Term> terms = BoxTerms();
+  for (int i = 0; i < 24; ++i) terms.push_back(RandomTerm(rng));
+  ASSERT_TRUE(solver.Reset(terms).ok());
+  std::vector<bool> active(terms.size(), true);
+  // Retire the non-box rows a few at a time, oldest first (the decay
+  // pattern the session layer produces).
+  for (std::size_t next = 4; next + 2 <= terms.size(); next += 2) {
+    const std::size_t rows[] = {next, next + 1};
+    auto st = solver.Deactivate(rows);
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    active[next] = active[next + 1] = false;
+    const Reference ref = SolveFromScratch(terms, active);
+    EXPECT_NEAR(solver.Objective(), ref.objective, 1e-6)
+        << "after deactivating " << next + 1;
+    EXPECT_EQ(solver.DeactivatedRows(), next - 2);
+  }
+}
+
+TEST(RelaxationSolver, InterleavedAddAndDecaySchedule) {
+  for (std::uint64_t seed : {1ull, 9ull, 1234ull}) {
+    common::Rng rng(seed);
+    RelaxationSolver solver;
+    std::vector<Term> terms = BoxTerms();
+    ASSERT_TRUE(solver.Reset(terms).ok());
+    std::vector<bool> active(terms.size(), true);
+    std::size_t oldest = 4;  // Never retire the box.
+    for (int step = 0; step < 60; ++step) {
+      if (rng.Bernoulli(0.6) || oldest >= terms.size()) {
+        std::vector<Term> batch;
+        const std::size_t count = 1 + rng.UniformInt(2);
+        for (std::size_t i = 0; i < count; ++i)
+          batch.push_back(RandomTerm(rng));
+        ASSERT_TRUE(solver.AddTerms(batch).ok());
+        terms.insert(terms.end(), batch.begin(), batch.end());
+        active.resize(terms.size(), true);
+      } else {
+        const std::size_t rows[] = {oldest};
+        ASSERT_TRUE(solver.Deactivate(rows).ok());
+        active[oldest++] = false;
+      }
+      const Reference ref = SolveFromScratch(terms, active);
+      ASSERT_NEAR(solver.Objective(), ref.objective, 1e-6)
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(RelaxationSolver, DeactivateAlreadyInactiveIsNoop) {
+  RelaxationSolver solver;
+  std::vector<Term> terms = BoxTerms();
+  terms.push_back({1.0, 0.0, -20.0, 1.0});  // zx <= -20 vs box zx >= -10.
+  ASSERT_TRUE(solver.Reset(terms).ok());
+  EXPECT_NEAR(solver.Objective(), 10.0, 1e-8);  // t_4 = 10 at zx = -10.
+  const std::size_t rows[] = {4};
+  ASSERT_TRUE(solver.Deactivate(rows).ok());
+  const double obj = solver.Objective();
+  const std::size_t pivots = solver.TotalIterations();
+  ASSERT_TRUE(solver.Deactivate(rows).ok());
+  EXPECT_EQ(solver.Objective(), obj);
+  EXPECT_EQ(solver.TotalIterations(), pivots);
+  EXPECT_NEAR(obj, 0.0, 1e-9);  // Conflict retired: nothing to relax.
+}
+
+TEST(RelaxationSolver, AddOnEmptySolverActsAsReset) {
+  RelaxationSolver solver;
+  std::vector<Term> terms = BoxTerms();
+  ASSERT_TRUE(solver.AddTerms(terms).ok());
+  EXPECT_TRUE(solver.Solved());
+  EXPECT_NEAR(solver.Objective(), 0.0, 1e-9);
+}
+
+TEST(RelaxationSolver, RejectsNonFiniteAndNegativeWeight) {
+  RelaxationSolver solver;
+  std::vector<Term> bad = {{std::nan(""), 0.0, 0.0, 1.0}};
+  EXPECT_EQ(solver.Reset(bad).status().code(),
+            common::StatusCode::kInvalidArgument);
+  std::vector<Term> neg = {{1.0, 0.0, 0.0, -1.0}};
+  EXPECT_EQ(solver.Reset(neg).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(RelaxationSolver, DeactivateBeforeResetFails) {
+  RelaxationSolver solver;
+  const std::size_t rows[] = {0};
+  EXPECT_EQ(solver.Deactivate(rows).status().code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+TEST(RelaxationSolver, DeterministicAcrossInstances) {
+  auto run = [] {
+    common::Rng rng(5);
+    RelaxationSolver solver;
+    std::vector<Term> terms = BoxTerms();
+    auto ignored = solver.Reset(terms);
+    (void)ignored;
+    for (int i = 0; i < 20; ++i) {
+      std::vector<Term> batch = {RandomTerm(rng)};
+      auto st = solver.AddTerms(batch);
+      (void)st;
+    }
+    return std::pair<double, double>(solver.Zx(), solver.Zy());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);    // Bit-identical, not just close.
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(RelaxationSolver, SolutionPointMatchesReferenceWhenUnique) {
+  // A tight infeasible pinch has a unique optimal z; check coordinates,
+  // not just the objective.
+  std::vector<Term> terms = {{1.0, 0.0, 2.0, 100.0},
+                             {-1.0, 0.0, -2.0, 1.0},   // zx >= 2.
+                             {0.0, 1.0, 1.0, 100.0},
+                             {0.0, -1.0, -1.0, 100.0}};  // zy == 1.
+  RelaxationSolver solver;
+  ASSERT_TRUE(solver.Reset(terms).ok());
+  EXPECT_NEAR(solver.Zx(), 2.0, 1e-8);
+  EXPECT_NEAR(solver.Zy(), 1.0, 1e-8);
+  EXPECT_NEAR(solver.Objective(), 0.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace nomloc::lp

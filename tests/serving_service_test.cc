@@ -380,6 +380,64 @@ TEST_F(ServiceTest, LkgDisabledSurfacesTypedFailure) {
 
 // Satellite (f): every serving metric is registered under the serving.*
 // namespace and a --metrics dump lists each exactly once.
+TEST_F(ServiceTest, IncrementalSolverModeMatchesColdMode) {
+  // The same packet stream served under both solver modes must produce
+  // the same estimates to solver tolerance; the incremental service keeps
+  // one warm solver session per object in the store.
+  const auto fire = [&](localization::SpSessionMode mode) {
+    ServingConfig config;
+    config.workers = 1;
+    config.solver_mode = mode;
+    auto service = MakeService(config);
+    clock_.Set(0.0);
+    const std::vector<geometry::Vec2> aps{{1, 1}, {9, 1}, {9, 9}, {1, 9}};
+    // Drifting PDPs: each epoch updates every anchor, then queries.
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      const double t = 0.1 * epoch;
+      for (int ap = 0; ap < 4; ++ap) {
+        const double pdp = 0.2 + 0.1 * ((ap + epoch) % 4);
+        EXPECT_EQ(service->Ingest(
+                      Observation(1, ap, aps[std::size_t(ap)], pdp, t)),
+                  AdmitStatus::kAccepted);
+      }
+      EXPECT_EQ(service->Ingest(Query(1, t)), AdmitStatus::kAccepted);
+    }
+    service->Flush();
+    auto responses = service->TakeResponses();
+    std::sort(responses.begin(), responses.end(),
+              [](const ServeResponse& a, const ServeResponse& b) {
+                return a.seq < b.seq;
+              });
+    return responses;
+  };
+
+  const auto sessions_before = common::MetricRegistry::Global()
+                                   .Counter("serving.solver.sessions")
+                                   .Value();
+  const auto cold = fire(localization::SpSessionMode::kColdEachSolve);
+  const auto warm = fire(localization::SpSessionMode::kIncremental);
+  ASSERT_EQ(cold.size(), warm.size());
+  ASSERT_EQ(cold.size(), 6u);
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    ASSERT_EQ(cold[i].status, ServeStatus::kOk) << "epoch " << i;
+    ASSERT_EQ(warm[i].status, ServeStatus::kOk) << "epoch " << i;
+    EXPECT_NEAR(warm[i].estimate.position.x, cold[i].estimate.position.x,
+                1e-6)
+        << "epoch " << i;
+    EXPECT_NEAR(warm[i].estimate.position.y, cold[i].estimate.position.y,
+                1e-6)
+        << "epoch " << i;
+    EXPECT_NEAR(warm[i].confidence, cold[i].confidence, 1e-6)
+        << "epoch " << i;
+    EXPECT_EQ(warm[i].degradation, cold[i].degradation) << "epoch " << i;
+  }
+  // One object, one warm session — created once, reused across queries.
+  EXPECT_EQ(common::MetricRegistry::Global()
+                .Counter("serving.solver.sessions")
+                .Value(),
+            sessions_before + 1);
+}
+
 TEST(ServingMetrics, EveryMetricListedExactlyOnce) {
   TouchMetrics();
   const std::string dump = common::MetricRegistry::Global().DumpText();

@@ -5,7 +5,7 @@
 //                [--deadline S] [--dropout R] [--loss R] [--delay-rate R]
 //                [--delay S] [--packets N] [--dwells N] [--seed N]
 //                [--breaker-threshold N] [--breaker-backoff S]
-//                [--retry-budget N] [--no-lkg]
+//                [--retry-budget N] [--no-lkg] [--incremental]
 //                [--chaos SEED] [--chaos-events N]
 //                [--check] [--check-perturb] [--metrics]
 //
@@ -26,6 +26,11 @@
 // solver falls back to the reduced program, and each response carries a
 // confidence plus a `degraded` flag; --metrics shows the serving.* series
 // (queue depth, shard occupancy, rejections, degradation events).
+//
+// --incremental switches the per-object solver sessions to
+// SpSessionMode::kIncremental (warm constraint deltas instead of a cold
+// LP per update — see DESIGN.md "Incremental session solver"); --metrics
+// then shows the solver.fastpath / solver.warm_lp hit rates.
 //
 // Resilience knobs: --breaker-threshold / --breaker-backoff shape the
 // per-anchor circuit breakers, --retry-budget re-queues failed queries,
@@ -65,7 +70,7 @@ namespace {
       "          [--deadline S] [--dropout R] [--loss R] [--delay-rate R]\n"
       "          [--delay S] [--packets N] [--dwells N] [--seed N]\n"
       "          [--breaker-threshold N] [--breaker-backoff S]\n"
-      "          [--retry-budget N] [--no-lkg]\n"
+      "          [--retry-budget N] [--no-lkg] [--incremental]\n"
       "          [--chaos SEED] [--chaos-events N]\n"
       "          [--check] [--check-perturb] [--metrics]\n",
       argv0);
@@ -131,6 +136,8 @@ int main(int argc, char** argv) {
       serve.query_retry_budget = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--no-lkg") {
       serve.last_known_good_fallback = false;
+    } else if (arg == "--incremental") {
+      serve.solver_mode = localization::SpSessionMode::kIncremental;
     } else if (arg == "--chaos") {
       chaos.seed = std::strtoull(next(), nullptr, 10);
       chaos_mode = true;
@@ -156,6 +163,12 @@ int main(int argc, char** argv) {
   }
   if (check && chaos_mode) {
     std::fprintf(stderr, "error: --check requires --chaos to be off\n");
+    return 2;
+  }
+  if (check && serve.solver_mode != localization::SpSessionMode::kColdEachSolve) {
+    // Warm sessions are equivalent within solver tolerance, not
+    // bit-identical; the equivalence suite covers that contract.
+    std::fprintf(stderr, "error: --check requires the default solver mode\n");
     return 2;
   }
 

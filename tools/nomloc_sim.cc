@@ -144,6 +144,10 @@ int main(int argc, char** argv) {
         {"channel.trace.images", "channel.trace.images.hits",
          "channel.trace.images.misses"},
         {"lp.workspace", "lp.workspace.reused", "lp.workspace.fresh"},
+        // Session-solver short-circuits: a "hit" avoided a cold LP solve
+        // (geometric fast path, or a warm dual-simplex delta).
+        {"solver.fastpath", "solver.fastpath_hits", "solver.cold_solves"},
+        {"solver.warm_lp", "solver.warm_hits", "solver.cold_solves"},
     };
     std::printf("cache hit rates:\n");
     for (const Pair& p : kPairs) {
