@@ -1,9 +1,10 @@
 // Cold-vs-warm timings for the three hot-path cache layers:
 //
 //   trace.repeated_link — CsiSimulator::MakeLink on recurring (tx, rx)
-//       pairs.  Cold clears the PropagationCache before every link, so
-//       each call pays the full image-method trace; warm hits the cache
-//       and only rebuilds the LinkModel.
+//       pairs.  Cold drops the cached traces before every link
+//       (ClearTraces — the per-tx image trees stay memoized, as they do
+//       in production), so each call pays a full back-trace; warm hits
+//       the trace cache and only rebuilds the LinkModel.
 //   cir.batch — PDP extraction over a per-anchor CSI probe burst.  Cold
 //       models the pre-cache pipeline: every frame re-derives the FFT
 //       bit-reversal/twiddle tables and goes through the allocating
@@ -34,10 +35,20 @@
 //       anchors with drifting PDPs through NomLocEngine::Locate, stateless
 //       vs session-routed.
 //
+// --bigworld switches to the campus-scale cold-trace benches over
+// procedurally generated worlds (world/worldgen.h): per room count, the
+// same TracePaths links are traced with the geometry backend forced to
+// the brute linear wall scan (reported as "cold") and to the spatial
+// index (reported as "warm"), so the speedup column is the indexing
+// gain on a from-scratch trace.  A companion series contrasts
+// PropagationCache::Clear against ClearTraces on repeated cold links —
+// the cost of thrashing the shared per-tx image trees.  The committed
+// snapshot is BENCH_bigworld.json.
+//
 // Flags: --quick shrinks iteration counts (CI smoke), --json prints the
 // shared BenchReportJson document to stdout, --out PATH also writes it to
 // a file (the committed BENCH_hotpath.json / BENCH_simd.json /
-// BENCH_incremental.json snapshots).
+// BENCH_incremental.json / BENCH_bigworld.json snapshots).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -45,11 +56,14 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "channel/csi_model.h"
+#include "channel/propagation.h"
 #include "channel/propagation_cache.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -67,6 +81,7 @@
 #include "lp/workspace.h"
 #include "simd/dispatch.h"
 #include "simd/kernels.h"
+#include "world/worldgen.h"
 
 namespace {
 
@@ -418,6 +433,171 @@ int RunIncrementalBench(bool quick, bool json, const std::string& out_path) {
   return 0;
 }
 
+int RunBigworldBench(bool quick, bool json, const std::string& out_path) {
+  namespace channel = nomloc::channel;
+  namespace world = nomloc::world;
+  using nomloc::geometry::Vec2;
+
+  const std::size_t repeats = quick ? 3 : 5;
+  std::vector<std::size_t> sizes{10, 100};
+  if (!quick) sizes.push_back(500);
+
+  // Restore whatever the dispatcher picked (env override included) on exit.
+  const channel::TraceGeometry dispatched = channel::ActiveTraceGeometry();
+
+  std::vector<BenchTiming> series;
+  nomloc::common::JsonObject worlds;
+
+  for (const std::size_t rooms : sizes) {
+    world::WorldSpec spec;
+    spec.layout = world::Layout::kOfficeGrid;
+    spec.rooms = rooms;
+    spec.seed = 0xb16 + rooms;
+    spec.max_test_sites = 16;
+    auto gen = world::Generate(spec);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "worldgen(%zu rooms): %s\n", rooms,
+                   gen.status().ToString().c_str());
+      return 1;
+    }
+    const channel::IndoorEnvironment& env = gen->env;
+
+    {
+      nomloc::common::JsonObject w;
+      w["rooms"] = rooms;
+      w["walls"] = env.Walls().size();
+      w["blocking_walls"] = env.BlockingWalls().size();
+      w["scatterers"] = env.Scatterers().size();
+      w["ap_sites"] = gen->ap_sites.size();
+      w["test_sites"] = gen->test_sites.size();
+      worlds[gen->name] = nomloc::common::Json(std::move(w));
+    }
+
+    // The link set a survey of this floor would trace: every AP against a
+    // spread of test sites, cycled one link per iteration.
+    std::vector<std::pair<Vec2, Vec2>> links;
+    for (const Vec2 tx : gen->ap_sites)
+      for (const Vec2 rx : gen->test_sites) links.push_back({tx, rx});
+
+    // Per-tx image trees are built once outside the timed loop: in
+    // production the PropagationCache keeps them across cold traces (the
+    // ClearTraces() split exists for exactly that), and the tree content
+    // is identical under both geometry backends — only the per-trace wall
+    // queries differ.  trace.tree_reuse below times the tree builds.
+    const channel::PropagationConfig cfg;
+    std::vector<channel::TxImageTree> trees;
+    for (const Vec2 tx : gen->ap_sites)
+      trees.push_back(
+          channel::BuildTxImageTree(env, tx, cfg.max_reflection_order));
+    // Brute cold traces are O(walls^2) per link, so iteration counts
+    // shrink with world size to keep wall-clock bounded.
+    const std::size_t iterations = rooms <= 10   ? (quick ? 40 : 200)
+                                   : rooms <= 100 ? (quick ? 8 : 40)
+                                                  : 8;
+    // Stride the link grid down to exactly `iterations` links (the grid
+    // is tx-major, so a stride spreads the sample across APs).  Every
+    // repeat then cycles the same set whatever phase it starts at, and
+    // cold and warm time identical work.
+    const std::size_t n_rx = gen->test_sites.size();
+    std::vector<std::size_t> sample;
+    const std::size_t stride =
+        std::max<std::size_t>(1, links.size() / iterations);
+    for (std::size_t k = 0; sample.size() < iterations;
+         k += stride)
+      sample.push_back(k % links.size());
+    std::size_t i = 0;
+    const auto one_trace = [&] {
+      const std::size_t k = sample[i++ % sample.size()];
+      (void)channel::TracePaths(env, trees[k / n_rx], links[k].second, cfg);
+    };
+
+    BenchTiming t;
+    t.name = "trace.cold.bigworld.rooms" + std::to_string(rooms);
+    t.iterations = iterations;
+    // The cold/warm ratio is the headline number of BENCH_bigworld.json,
+    // so it gets extra rounds, and brute/indexed measurements alternate
+    // instead of running one side after the other: machine-speed drift
+    // over the bench's lifetime then lands on both minima alike and
+    // cancels in the ratio instead of skewing it.
+    const std::size_t rounds = quick ? 3 : 2 * repeats;
+    t.cold_ms = t.warm_ms = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      channel::ForceTraceGeometry(channel::TraceGeometry::kBrute);
+      one_trace();  // Warm up allocator/caches after the switch.
+      t.cold_ms = std::min(t.cold_ms, RunMs(iterations, one_trace));
+      channel::ForceTraceGeometry(channel::TraceGeometry::kIndexed);
+      one_trace();
+      t.warm_ms = std::min(t.warm_ms, RunMs(iterations, one_trace));
+    }
+    series.push_back(t);
+
+    // trace.tree_reuse — the image-tree thrash the ClearTraces() split
+    // exists for: repeated cold links through the simulator with the
+    // whole cache dropped per link (cold) vs only the traces dropped,
+    // per-tx image trees kept (warm).  One representative size.
+    if (rooms == 100) {
+      const channel::ChannelConfig channel_config;
+      const channel::CsiSimulator sim(env, channel_config);
+      channel::PropagationCache& cache = channel::PropagationCache::Global();
+      std::size_t j = 0;
+      const auto one_link = [&] {
+        const auto& [tx, rx] = links[sample[j++ % sample.size()]];
+        (void)sim.MakeLink(tx, rx);
+      };
+      BenchTiming reuse;
+      reuse.name = "trace.tree_reuse.rooms" + std::to_string(rooms);
+      reuse.iterations = iterations;
+      cache.Clear();
+      one_link();
+      reuse.cold_ms = BestMs(repeats, iterations, [&] {
+        cache.Clear();
+        one_link();
+      });
+      cache.Clear();
+      one_link();
+      reuse.warm_ms = BestMs(repeats, iterations, [&] {
+        cache.ClearTraces();
+        one_link();
+      });
+      series.push_back(reuse);
+    }
+  }
+  channel::ForceTraceGeometry(dispatched);
+
+  auto& registry = nomloc::common::MetricRegistry::Global();
+  nomloc::common::JsonObject counters;
+  for (const char* name :
+       {"channel.trace.cache.hits", "channel.trace.cache.misses",
+        "channel.trace.images.hits", "channel.trace.images.misses"}) {
+    counters[name] = std::size_t(registry.Counter(name).Value());
+  }
+  nomloc::common::JsonObject extra;
+  extra["trace_geometry"] =
+      std::string(channel::TraceGeometryName(dispatched));
+  extra["worlds"] = nomloc::common::Json(std::move(worlds));
+  extra["counters"] = nomloc::common::Json(std::move(counters));
+
+  const nomloc::common::Json report = nomloc::bench::BenchReportJson(
+      "bigworld", quick, series, std::move(extra));
+  if (json) {
+    std::printf("%s\n", report.DumpPretty().c_str());
+  } else {
+    std::printf(
+        "big-world cold-trace benchmark (%s; cold=brute scan, warm=indexed)\n",
+        quick ? "quick" : "full");
+    nomloc::bench::PrintTimings(series);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << report.DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -425,6 +605,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool simd_mode = false;
   bool incremental_mode = false;
+  bool bigworld_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
@@ -432,12 +613,13 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--simd") == 0) simd_mode = true;
     else if (std::strcmp(argv[i], "--incremental") == 0)
       incremental_mode = true;
+    else if (std::strcmp(argv[i], "--bigworld") == 0) bigworld_mode = true;
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--json] [--simd] [--incremental] "
-                   "[--out PATH]\n",
+                   "[--bigworld] [--out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -445,6 +627,7 @@ int main(int argc, char** argv) {
 
   if (simd_mode) return RunSimdBench(quick, json, out_path);
   if (incremental_mode) return RunIncrementalBench(quick, json, out_path);
+  if (bigworld_mode) return RunBigworldBench(quick, json, out_path);
 
   const std::size_t repeats = quick ? 3 : 5;
 
@@ -474,8 +657,12 @@ int main(int argc, char** argv) {
     t.name = "trace.repeated_link";
     t.iterations = iterations;
     trace_cache.Clear();
+    // ClearTraces, not Clear: cold pays the per-link back-trace but keeps
+    // the shared per-tx image trees, exactly like a production cache miss.
+    // (Clear would also rebuild the tx tree every link — that thrash is
+    // what trace.tree_reuse in --bigworld quantifies.)
     t.cold_ms = BestMs(repeats, iterations, [&] {
-      trace_cache.Clear();
+      trace_cache.ClearTraces();
       one_link();
     });
     for (std::size_t k = 0; k < rx_sites.size(); ++k) one_link();  // Warm up.

@@ -1,8 +1,12 @@
 #include "channel/environment.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "common/assert.h"
+#include "common/metrics.h"
 
 namespace nomloc::channel {
 
@@ -18,7 +22,57 @@ std::uint64_t NextEpoch() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+constexpr int kGeometryUnresolved = -1;
+
+// The backend every segment query reads.  -1 until first resolution.
+std::atomic<int> g_trace_geometry{kGeometryUnresolved};
+
+int ResolveAndPublishGeometry() noexcept {
+  const TraceGeometry mode = ResolveTraceGeometry();
+  int expected = kGeometryUnresolved;
+  if (g_trace_geometry.compare_exchange_strong(expected, int(mode),
+                                               std::memory_order_acq_rel)) {
+    // Record the startup decision once (racing first callers adopt the
+    // winner's mode and skip the metric).
+    common::MetricRegistry::Global()
+        .Counter("channel.trace.geom",
+                 std::string("mode=") + TraceGeometryName(mode))
+        .Increment();
+    return int(mode);
+  }
+  return expected;
+}
+
 }  // namespace
+
+const char* TraceGeometryName(TraceGeometry mode) noexcept {
+  switch (mode) {
+    case TraceGeometry::kIndexed:
+      return "indexed";
+    case TraceGeometry::kBrute:
+      return "brute";
+  }
+  return "unknown";
+}
+
+TraceGeometry ResolveTraceGeometry() noexcept {
+  const char* v = std::getenv("NOMLOC_FORCE_BRUTE_TRACE");
+  if (v != nullptr &&
+      (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+       std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0))
+    return TraceGeometry::kBrute;
+  return TraceGeometry::kIndexed;
+}
+
+TraceGeometry ActiveTraceGeometry() noexcept {
+  int mode = g_trace_geometry.load(std::memory_order_acquire);
+  if (mode == kGeometryUnresolved) mode = ResolveAndPublishGeometry();
+  return TraceGeometry(mode);
+}
+
+void ForceTraceGeometry(TraceGeometry mode) noexcept {
+  g_trace_geometry.store(int(mode), std::memory_order_release);
+}
 
 common::Result<IndoorEnvironment> IndoorEnvironment::Create(
     geometry::Polygon boundary, std::vector<Wall> interior_walls,
@@ -54,12 +108,22 @@ common::Result<IndoorEnvironment> IndoorEnvironment::Create(
       env.blocking_.push_back(w);
     }
   }
+  if (env.blocking_.size() >= kIndexMinSegments) {
+    std::vector<Segment> segments;
+    segments.reserve(env.blocking_.size());
+    for (const Wall& w : env.blocking_) segments.push_back(w.segment);
+    env.blocking_index_ = geometry::SegmentIndex::Build(segments);
+    common::MetricRegistry::Global()
+        .Counter("channel.geom.index.builds")
+        .Increment();
+  }
   env.epoch_ = NextEpoch();
   return env;
 }
 
 bool IndoorEnvironment::HasLineOfSight(Vec2 a, Vec2 b) const noexcept {
   const Segment link{a, b};
+  if (UseIndexedQueries()) return !blocking_index_.AnyCrossing(link);
   for (const Wall& w : blocking_)
     if (geometry::SegmentsIntersect(link, w.segment)) return false;
   return true;
@@ -68,6 +132,16 @@ bool IndoorEnvironment::HasLineOfSight(Vec2 a, Vec2 b) const noexcept {
 double IndoorEnvironment::PenetrationLossDb(Vec2 a, Vec2 b) const noexcept {
   const Segment link{a, b};
   double loss = 0.0;
+  if (UseIndexedQueries()) {
+    // CrossingIndices reports matches in ascending wall order — the same
+    // order the brute scan visits — so this sum is bit-identical to it.
+    thread_local std::vector<std::uint32_t> crossed;
+    crossed.clear();
+    blocking_index_.CrossingIndices(link, crossed);
+    for (const std::uint32_t i : crossed)
+      loss += blocking_[i].material.transmission_loss_db;
+    return loss;
+  }
   for (const Wall& w : blocking_)
     if (geometry::SegmentsIntersect(link, w.segment))
       loss += w.material.transmission_loss_db;

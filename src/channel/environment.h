@@ -12,8 +12,28 @@
 #include "channel/material.h"
 #include "geometry/line.h"
 #include "geometry/polygon.h"
+#include "geometry/segment_index.h"
 
 namespace nomloc::channel {
+
+/// Geometry backend for the segment queries under ray tracing
+/// (HasLineOfSight / PenetrationLossDb): the spatial index, or the
+/// brute-force linear wall scan.  Both are bit-identical; the brute path
+/// stays available as the oracle for equivalence tests and benchmarks.
+enum class TraceGeometry { kIndexed, kBrute };
+
+/// Startup decision: kBrute when NOMLOC_FORCE_BRUTE_TRACE is set in the
+/// environment (mirroring the SIMD NOMLOC_FORCE_SCALAR idiom), else
+/// kIndexed.  Re-reads the environment on every call.
+TraceGeometry ResolveTraceGeometry() noexcept;
+
+/// The backend queries currently use (resolved once, then cached).
+TraceGeometry ActiveTraceGeometry() noexcept;
+
+/// Overrides the backend (tests/benchmarks).  Takes effect immediately.
+void ForceTraceGeometry(TraceGeometry mode) noexcept;
+
+const char* TraceGeometryName(TraceGeometry mode) noexcept;
 
 /// A reflecting/attenuating planar surface (2-D: a segment).
 struct Wall {
@@ -43,6 +63,16 @@ class IndoorEnvironment {
   /// then obstacle edges.
   std::span<const Wall> Walls() const noexcept { return walls_; }
   std::span<const Obstacle> Obstacles() const noexcept { return obstacles_; }
+  /// The attenuating subset of Walls(): interior walls + obstacle edges.
+  std::span<const Wall> BlockingWalls() const noexcept { return blocking_; }
+
+  /// Spatial index over BlockingWalls(); empty for worlds below
+  /// kIndexMinSegments, where the linear scan is already faster.
+  const geometry::SegmentIndex& BlockingIndex() const noexcept {
+    return blocking_index_;
+  }
+  /// Smallest blocking-wall count for which Create() builds the index.
+  static constexpr std::size_t kIndexMinSegments = 16;
 
   /// True when the straight segment a–b crosses no interior wall and no
   /// obstacle edge (boundary edges do not block interior links).
@@ -74,9 +104,15 @@ class IndoorEnvironment {
  private:
   IndoorEnvironment() = default;
 
+  bool UseIndexedQueries() const noexcept {
+    return !blocking_index_.Empty() &&
+           ActiveTraceGeometry() == TraceGeometry::kIndexed;
+  }
+
   geometry::Polygon boundary_ = geometry::Polygon::Rectangle(0, 0, 1, 1);
   std::vector<Wall> walls_;        // Boundary + interior + obstacle edges.
   std::vector<Wall> blocking_;     // Interior walls + obstacle edges only.
+  geometry::SegmentIndex blocking_index_;  // Over blocking_ segments.
   std::vector<Obstacle> obstacles_;
   std::vector<geometry::Vec2> scatterers_;
   std::uint64_t epoch_ = 0;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 #include <span>
 
 #include "common/assert.h"
+#include "geometry/segment_index_scan.h"
 
 namespace nomloc::channel {
 
@@ -34,6 +36,9 @@ struct Tracer {
   const PropagationConfig& config;
   Vec2 tx, rx;
   std::vector<PropagationPath>* out;
+  // Back-traced reflection points, reused across TrySpecular calls: one
+  // allocation per link instead of one per image candidate.
+  mutable std::vector<Vec2> points;
 
   void AddDirect() const {
     PropagationPath p;
@@ -70,12 +75,34 @@ struct Tracer {
     const auto walls = env.Walls();
 
     // Back-trace reflection points from the receiver.
-    std::vector<Vec2> points(seq.size());
+    points.assign(seq.size(), Vec2{});
     Vec2 target = rx;
     for (std::size_t j = seq.size(); j-- > 0;) {
       const Segment& s = walls[seq[j]].segment;
-      const auto hit =
-          geometry::IntersectSegments({images[j + 1], target}, s, 1e-12);
+      const Vec2 leg_a = images[j + 1];
+      // Conservative straddle pretests (the spatial index's scan-kernel
+      // tests; tolerance proof in segment_index_scan.h / DESIGN.md), so
+      // the out-of-line exact call below runs only for the few image
+      // candidates that can geometrically reflect.  First: wall endpoints
+      // vs the leg's supporting line — the leg's line misses the wall
+      // span.  Second: leg endpoints vs the wall's line — the reflection
+      // point falls behind the image or past the receiver; only valid
+      // when |denom| = |gamma - delta| is provably transversal.
+      // Rejections cannot disagree with the eps-tolerant exact test.
+      const Vec2 r = target - leg_a;
+      const double alpha = Cross(r, s.a - leg_a);
+      const double beta = Cross(r, s.b - leg_a);
+      const double tol = 4e-12 * (std::abs(alpha) + std::abs(beta) + 1.0);
+      if ((alpha > tol && beta > tol) || (alpha < -tol && beta < -tol))
+        return;
+      const Vec2 w = s.b - s.a;
+      const double gamma = Cross(w, leg_a - s.a);
+      const double delta = Cross(w, target - s.a);
+      const double tol2 = 4e-12 * (std::abs(gamma) + std::abs(delta) + 1.0);
+      if (std::abs(gamma - delta) > tol2 &&
+          ((gamma > tol2 && delta > tol2) || (gamma < -tol2 && delta < -tol2)))
+        return;
+      const auto hit = geometry::IntersectSegments({leg_a, target}, s, 1e-12);
       if (!hit) return;  // Geometrically impossible bounce.
       // Reject grazing/degenerate reflections at segment endpoints.
       if (Distance(*hit, s.a) < 1e-9 || Distance(*hit, s.b) < 1e-9) return;
@@ -152,6 +179,16 @@ void EnumerateImages(const IndoorEnvironment& env,
 
 }  // namespace
 
+std::size_t TxImageTree::ApproxBytes() const noexcept {
+  std::size_t bytes = sizeof(TxImageTree) +
+                      candidates.capacity() * sizeof(Candidate) +
+                      prune_lanes.capacity() * sizeof(double);
+  for (const Candidate& c : candidates)
+    bytes += c.walls.capacity() * sizeof(std::size_t) +
+             c.images.capacity() * sizeof(Vec2);
+  return bytes;
+}
+
 TxImageTree BuildTxImageTree(const IndoorEnvironment& env, Vec2 tx,
                              int max_order) {
   NOMLOC_REQUIRE(max_order >= 0);
@@ -162,6 +199,35 @@ TxImageTree BuildTxImageTree(const IndoorEnvironment& env, Vec2 tx,
     std::vector<std::size_t> seq;
     std::vector<Vec2> images{tx};
     EnumerateImages(env, seq, images, max_order, &tree);
+  }
+  // Flatten each candidate's final bounce wall + final image into the
+  // point-pretest lane blocks TracePaths prunes with (layout doc in
+  // propagation.h / segment_index_scan.h).  The +8 over-allocation leaves
+  // room to shift group 0 onto a cache-line boundary.
+  if (!tree.candidates.empty()) {
+    const std::size_t n = tree.candidates.size();
+    const std::size_t slots = (n + 3) & ~std::size_t(3);
+    tree.prune_lanes.assign(slots * 6 + 8, 0.0);
+    tree.prune_lane_base =
+        (64 - (reinterpret_cast<std::uintptr_t>(tree.prune_lanes.data()) &
+               63)) %
+        64 / sizeof(double);
+    double* lanes = tree.prune_lanes.data() + tree.prune_lane_base;
+    const auto walls = env.Walls();
+    for (std::size_t s = 0; s < slots; ++s) {
+      const TxImageTree::Candidate& c = tree.candidates[std::min(s, n - 1)];
+      const Segment& seg = walls[c.walls.back()].segment;
+      const Vec2 o = c.images.back();
+      double* g = lanes + (s & ~std::size_t(3)) * 6;
+      const std::size_t lane = s & 3;
+      g[lane] = seg.a.x;
+      g[4 + lane] = seg.a.y;
+      g[8 + lane] = seg.b.x;
+      g[12 + lane] = seg.b.y;
+      g[16 + lane] = o.x;
+      g[20 + lane] = o.y;
+    }
+    tree.prune_slots = slots;
   }
   return tree;
 }
@@ -178,10 +244,35 @@ std::vector<PropagationPath> TracePaths(const IndoorEnvironment& env,
                                         const PropagationConfig& config) {
   NOMLOC_REQUIRE(images.max_order == config.max_reflection_order);
   std::vector<PropagationPath> paths;
-  Tracer tracer{env, config, images.tx, rx, &paths};
+  paths.reserve(1 + (config.include_scatterers ? env.Scatterers().size() : 0) +
+                8);
+  Tracer tracer{env, config, images.tx, rx, &paths, {}};
   tracer.AddDirect();
-  for (const TxImageTree::Candidate& c : images.candidates)
-    tracer.TrySpecular(c.walls, c.images);
+  if (images.prune_slots != 0) {
+    // Vectorized final-bounce prune: one pass of the point-pretest kernel
+    // over the flattened (last wall, last image) lanes rejects every
+    // candidate whose last bounce wall cannot straddle the image-to-
+    // receiver line — the same conservative test TrySpecular's first
+    // back-trace step applies, so the surviving path set is identical and
+    // still visited in enumeration (slot) order.
+    thread_local std::vector<std::uint32_t> survivors;
+    if (survivors.size() < images.prune_slots)
+      survivors.resize(images.prune_slots);
+    const std::size_t n_candidates = images.candidates.size();
+    const std::size_t n =
+        geometry::detail::ActiveScanKernel().point_fn(
+            images.PruneLanes(), images.prune_slots, rx.x, rx.y,
+            survivors.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t s = survivors[i];
+      if (s >= n_candidates) break;  // Tail padding slots.
+      const TxImageTree::Candidate& c = images.candidates[s];
+      tracer.TrySpecular(c.walls, c.images);
+    }
+  } else {
+    for (const TxImageTree::Candidate& c : images.candidates)
+      tracer.TrySpecular(c.walls, c.images);
+  }
   if (config.include_scatterers) tracer.AddScatterPaths();
 
   // Relative power cutoff.

@@ -14,6 +14,7 @@
 // + reflection/scattering losses + wall penetration on each leg.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "channel/environment.h"
@@ -72,6 +73,28 @@ struct TxImageTree {
   geometry::Vec2 tx;
   int max_order = 0;
   std::vector<Candidate> candidates;     ///< Depth-first enumeration order.
+
+  /// Final-bounce prune lanes: candidate c's last bounce wall and last
+  /// transmitter image, flattened into the point-pretest lane-block
+  /// layout (geometry/segment_index_scan.h), so TracePaths can reject
+  /// the bulk of the candidate list with one vectorized straddle scan
+  /// against the receiver before touching any Candidate's heap storage.
+  /// Slot count is candidates.size() rounded up to a multiple of 4; tail
+  /// slots repeat the last candidate and are filtered by slot number.
+  /// Empty on a hand-assembled tree — TracePaths then falls back to the
+  /// plain per-candidate loop (same results, the prune is conservative).
+  std::vector<double> prune_lanes;
+  std::size_t prune_lane_base = 0;  ///< Offset aligning group 0 to 64 B.
+  std::size_t prune_slots = 0;
+
+  const double* PruneLanes() const noexcept {
+    return prune_lanes.data() + prune_lane_base;
+  }
+
+  /// Approximate heap footprint [bytes] — the number the cache's per-shard
+  /// byte budget accounts against.  Trees grow as O(walls^order), so large
+  /// generated worlds make this the binding constraint, not entry count.
+  std::size_t ApproxBytes() const noexcept;
 };
 
 /// Enumerates the specular bounce candidates of `tx` up to `max_order`.

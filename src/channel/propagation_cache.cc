@@ -126,22 +126,59 @@ std::shared_ptr<const TxImageTree> PropagationCache::Images(
 
   auto images = std::make_shared<const TxImageTree>(
       BuildTxImageTree(env, tx, max_order));
+  const std::size_t tree_bytes = images->ApproxBytes();
 
   std::lock_guard<std::mutex> lock(shard.mu);
-  EvictIfFull(shard.map, key.epoch, kMaxEntriesPerShard);
+  // Entry bound plus byte budget: trees scale as O(walls^order), so in
+  // large generated worlds a handful of trees can dwarf the entry bound.
+  // Stale-epoch entries go first; a same-epoch overflow drops the shard
+  // whole (outstanding shared_ptrs stay valid either way).
+  const auto over_budget = [&] {
+    return shard.map.size() >= kMaxEntriesPerShard ||
+           shard.bytes + tree_bytes > image_bytes_per_shard_;
+  };
+  if (over_budget()) {
+    for (auto it = shard.map.begin(); it != shard.map.end() && over_budget();) {
+      if (it->first.epoch != key.epoch) {
+        shard.bytes -= it->second->ApproxBytes();
+        it = shard.map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (over_budget()) {
+      shard.map.clear();
+      shard.bytes = 0;
+    }
+  }
   auto [it, inserted] = shard.map.emplace(key, std::move(images));
+  if (inserted) shard.bytes += tree_bytes;
   return it->second;
 }
 
 void PropagationCache::Clear() {
+  ClearTraces();
+  for (ImageShard& shard : image_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
+void PropagationCache::ClearTraces() {
   for (PathShard& shard : path_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
   }
-  for (ImageShard& shard : image_shards_) {
+}
+
+std::size_t PropagationCache::ImageBytes() const {
+  std::size_t total = 0;
+  for (const ImageShard& shard : image_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map.clear();
+    total += shard.bytes;
   }
+  return total;
 }
 
 std::size_t PropagationCache::Entries() const {

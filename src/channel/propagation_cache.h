@@ -44,7 +44,13 @@ class PropagationCache {
   /// sampler.  Tests may construct private instances.
   static PropagationCache& Global();
 
-  PropagationCache() = default;
+  /// `image_bytes_per_shard` bounds the memory held by memoized per-tx
+  /// image trees (which grow as O(walls^order) in large generated worlds):
+  /// when a shard's trees exceed the budget, stale-epoch entries are
+  /// evicted first, then the shard is dropped whole.
+  explicit PropagationCache(
+      std::size_t image_bytes_per_shard = kDefaultImageBytesPerShard) noexcept
+      : image_bytes_per_shard_(image_bytes_per_shard) {}
   PropagationCache(const PropagationCache&) = delete;
   PropagationCache& operator=(const PropagationCache&) = delete;
 
@@ -61,8 +67,21 @@ class PropagationCache {
   /// Drops every memoized trace and image tree.
   void Clear();
 
+  /// Drops memoized traces but keeps the per-tx image trees: every
+  /// receiver probed against a transmitter shares its tree, so callers
+  /// forcing cold re-traces (benchmarks, epoch-local invalidation) should
+  /// prefer this over Clear() — see the image-tree thrash note in
+  /// DESIGN.md.
+  void ClearTraces();
+
   /// Number of memoized traces (approximate under concurrent mutation).
   std::size_t Entries() const;
+
+  /// Approximate bytes held by memoized image trees across all shards.
+  std::size_t ImageBytes() const;
+
+  /// Default per-shard image-tree byte budget (kShardCount shards total).
+  static constexpr std::size_t kDefaultImageBytesPerShard = 4u << 20;
 
  private:
   struct Key {
@@ -91,10 +110,12 @@ class PropagationCache {
   struct ImageShard {
     mutable std::mutex mu;
     std::unordered_map<Key, std::shared_ptr<const TxImageTree>, KeyHash> map;
+    std::size_t bytes = 0;  ///< Sum of ApproxBytes() over map values.
   };
 
   std::array<PathShard, kShardCount> path_shards_;
   std::array<ImageShard, kShardCount> image_shards_;
+  std::size_t image_bytes_per_shard_ = kDefaultImageBytesPerShard;
 };
 
 }  // namespace nomloc::channel

@@ -180,4 +180,40 @@ common::Result<Scenario> ScenarioByName(const std::string& name) {
   return common::NotFound("unknown scenario: " + name);
 }
 
+common::Result<Scenario> GeneratedScenario(const world::WorldSpec& spec) {
+  // Generate uncapped so the AP/nomadic pool sees every room, then apply
+  // the caller's test-site cap afterwards.
+  world::WorldSpec uncapped = spec;
+  uncapped.max_test_sites = 0;
+  auto world = world::Generate(uncapped);
+  if (!world.ok()) return world.status();
+
+  // Candidate pool: corridor AP placements first, then per-room test
+  // sites (already spread across the building by the generator).
+  std::vector<Vec2> pool = world->ap_sites;
+  for (const Vec2 p : world->test_sites) pool.push_back(p);
+  constexpr std::size_t kNeeded = 7;  // 4 AP homes + 3 extra nomadic sites.
+  if (pool.size() < kNeeded)
+    return common::InvalidArgument(
+        "generated world too small to seat 4 APs and 4 nomadic sites; "
+        "raise rooms");
+
+  std::vector<Vec2> sites = std::move(world->test_sites);
+  if (spec.max_test_sites > 0 && sites.size() > spec.max_test_sites) {
+    std::vector<Vec2> kept;
+    kept.reserve(spec.max_test_sites);
+    const double stride = double(sites.size()) / double(spec.max_test_sites);
+    for (std::size_t i = 0; i < spec.max_test_sites; ++i)
+      kept.push_back(sites[std::size_t(double(i) * stride)]);
+    sites = std::move(kept);
+  }
+
+  Scenario s{.name = world->name,
+             .env = std::move(world->env),
+             .static_aps = {pool[0], pool[1], pool[2], pool[3]},
+             .nomadic_sites = {pool[0], pool[4], pool[5], pool[6]},
+             .test_sites = std::move(sites)};
+  return s;
+}
+
 }  // namespace nomloc::eval

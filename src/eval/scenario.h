@@ -17,6 +17,7 @@
 
 #include "channel/environment.h"
 #include "geometry/vec2.h"
+#include "world/worldgen.h"
 
 namespace nomloc::eval {
 
@@ -44,5 +45,12 @@ Scenario OfficeScenario(std::uint64_t seed = 0x0ff1);
 
 /// Looks a scenario up by name ("lab", "lobby" or "office").
 common::Result<Scenario> ScenarioByName(const std::string& name);
+
+/// Wraps a procedurally generated world (world/worldgen.h) as a runnable
+/// scenario: AP homes and the nomadic site set are drawn from the
+/// generator's candidate AP placements, topped up with strided test sites
+/// when the world has too few corridors.  Fails when the world cannot
+/// seat 4 APs plus 3 extra nomadic sites at distinct positions.
+common::Result<Scenario> GeneratedScenario(const world::WorldSpec& spec);
 
 }  // namespace nomloc::eval

@@ -19,9 +19,12 @@ std::vector<Vec2> ConvexHull(std::span<const Vec2> points);
 /// box).  Requires a polygon with positive area.
 Vec2 RandomPointIn(const Polygon& polygon, common::Rng& rng);
 
-/// `count` evenly spread grid points inside the polygon (row-major scan of
-/// a grid sized to yield roughly `count` interior points).  Useful for
-/// Monte-Carlo-free coverage sweeps.
+/// Grid points with spacing `step_m` inside the polygon, in row-major
+/// order.  Useful for Monte-Carlo-free coverage sweeps.  Each row's scan
+/// is clipped to the polygon's slice at that scanline, so the per-point
+/// O(edges) containment test only runs where points can actually fall;
+/// the returned points are bit-identical to an unclipped scan of the full
+/// bounding box.
 std::vector<Vec2> GridPointsIn(const Polygon& polygon, double step_m);
 
 }  // namespace nomloc::geometry

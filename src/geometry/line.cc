@@ -82,7 +82,26 @@ std::optional<Vec2> IntersectSegments(const Segment& s1, const Segment& s2,
 
 bool SegmentsIntersect(const Segment& s1, const Segment& s2,
                        double eps) noexcept {
-  return IntersectSegments(s1, s2, eps).has_value();
+  // Decision-equivalent to IntersectSegments (the same comparisons, in
+  // the same order, negated), skipping the intersection-point arithmetic
+  // and the optional — this is the hot predicate of both the brute wall
+  // scans and the spatial index.
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = Cross(r, s);
+  const Vec2 qp = s2.a - s1.a;
+  if (std::abs(denom) <= eps) {
+    if (std::abs(Cross(qp, r)) > eps) return false;
+    const double r2 = r.NormSq();
+    if (r2 == 0.0) return s2.DistanceTo(s1.a) <= eps;
+    double t0 = Dot(qp, r) / r2;
+    double t1 = t0 + Dot(s, r) / r2;
+    if (t0 > t1) std::swap(t0, t1);
+    return !(std::max(t0, 0.0) > std::min(t1, 1.0) + eps);
+  }
+  const double t = Cross(qp, s) / denom;
+  const double u = Cross(qp, r) / denom;
+  return !(t < -eps || t > 1.0 + eps || u < -eps || u > 1.0 + eps);
 }
 
 }  // namespace nomloc::geometry

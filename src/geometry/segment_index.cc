@@ -1,0 +1,498 @@
+#include "geometry/segment_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "geometry/segment_index_scan.h"
+
+namespace nomloc::geometry {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Clips the parametric segment a + t*d, t in [t0, t1], to the box
+// [blo, bhi].  Returns false when the clipped interval is empty.
+bool ClipToBox(Vec2 a, Vec2 d, Vec2 blo, Vec2 bhi, double& t0,
+               double& t1) noexcept {
+  const double orig[2] = {a.x, a.y};
+  const double dir[2] = {d.x, d.y};
+  const double mins[2] = {blo.x, blo.y};
+  const double maxs[2] = {bhi.x, bhi.y};
+  for (int axis = 0; axis < 2; ++axis) {
+    if (dir[axis] == 0.0) {
+      if (orig[axis] < mins[axis] || orig[axis] > maxs[axis]) return false;
+      continue;
+    }
+    double ta = (mins[axis] - orig[axis]) / dir[axis];
+    double tb = (maxs[axis] - orig[axis]) / dir[axis];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+bool SegmentOverlapsBox(const Segment& s, Vec2 blo, Vec2 bhi) noexcept {
+  double t0 = 0.0, t1 = 1.0;
+  return ClipToBox(s.a, s.b - s.a, blo, bhi, t0, t1);
+}
+
+// Parameter of `p` along the query a -> b (0 at a, 1 at b; 0 for a
+// zero-length query).
+double ParamAlong(Vec2 a, Vec2 d, Vec2 p) noexcept {
+  const double d2 = d.NormSq();
+  if (d2 == 0.0) return 0.0;
+  return std::clamp(Dot(p - a, d) / d2, 0.0, 1.0);
+}
+
+// Candidate endpoints of `slot` out of the interleaved lane blocks (see
+// segment_index.h for the layout).
+inline Segment CandidateAt(const double* lanes, std::uint32_t slot) noexcept {
+  const double* g = lanes + std::size_t(slot & ~3u) * 4;
+  const std::uint32_t l = slot & 3u;
+  return Segment{{g[l], g[4 + l]}, {g[8 + l], g[12 + l]}};
+}
+
+// Decision-identical copy of geometry::SegmentsIntersect at the default
+// 1e-12 eps, with the query direction `r` hoisted out of the survivor
+// loop (r == q.b - q.a, the same value SegmentsIntersect would compute).
+// Kept in lockstep with line.cc; the randomized brute-vs-indexed
+// equivalence suite would catch any drift.
+//
+// The transversal branch replaces the two IEEE divides with sign-aware
+// multiply-form bounds plus a conservative guard band: the reference
+// comparisons nt/denom vs {-eps, 1+eps} and the multiply-form nt vs
+// {-eps*denom, (1+eps)*denom} can disagree only within a few ulp of a
+// boundary (each form carries <= ~2 ulp of rounding, < 1e-15*|denom|),
+// so outcomes more than band = 1e-14*|denom| away from both boundaries
+// are certain under either form.  Only the razor-thin ambiguous band
+// falls back to the exact divides, so results match line.cc bit for bit
+// while the common case runs divide-free.
+inline bool CrossesQuery(Vec2 qa, Vec2 r, const Segment& s2) noexcept {
+  constexpr double eps = 1e-12;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = Cross(r, s);
+  const Vec2 qp = s2.a - qa;
+  if (std::abs(denom) <= eps) {
+    if (std::abs(Cross(qp, r)) > eps) return false;
+    const double r2 = r.NormSq();
+    if (r2 == 0.0) return s2.DistanceTo(qa) <= eps;
+    double t0 = Dot(qp, r) / r2;
+    double t1 = t0 + Dot(s, r) / r2;
+    if (t0 > t1) std::swap(t0, t1);
+    return !(std::max(t0, 0.0) > std::min(t1, 1.0) + eps);
+  }
+  const double nt = Cross(qp, s);
+  const double nu = Cross(qp, r);
+  // Accept iff both t = nt/denom and u = nu/denom land in [-eps, 1+eps];
+  // in multiply form that interval is [tmin, tmax] regardless of the
+  // sign of denom.
+  const double lo = -eps * denom;
+  const double hi = (1.0 + eps) * denom;
+  const double tmin = std::min(lo, hi), tmax = std::max(lo, hi);
+  const double band = 1e-14 * std::abs(denom);
+  const double in_lo = tmin + band, in_hi = tmax - band;
+  if (nt > in_lo && nt < in_hi && nu > in_lo && nu < in_hi) return true;
+  const double out_lo = tmin - band, out_hi = tmax + band;
+  if (nt < out_lo || nt > out_hi || nu < out_lo || nu > out_hi) return false;
+  const double t = nt / denom;
+  const double u = nu / denom;
+  return !(t < -eps || t > 1.0 + eps || u < -eps || u > 1.0 + eps);
+}
+
+// Per-thread query scratch: the epoch-stamped dedupe table and the
+// pretest-survivor buffer.  32-bit stamps halve the table's cache
+// footprint; the epoch clears the table when it wraps, so a stale stamp
+// can never alias a live one.
+struct QueryScratch {
+  std::vector<std::uint32_t> stamps;
+  std::vector<std::uint32_t> survivors;
+  std::uint32_t epoch = 0;
+
+  std::uint32_t NextEpoch() {
+    if (++epoch == 0) {
+      std::fill(stamps.begin(), stamps.end(), 0u);
+      epoch = 1;
+    }
+    return epoch;
+  }
+};
+
+QueryScratch& Scratch() {
+  thread_local QueryScratch scratch;
+  return scratch;
+}
+
+bool EnvFlagSet(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::size_t PretestScanScalar(const double* lanes, std::size_t begin,
+                              std::size_t end, double qax, double qay,
+                              double rx, double ry, std::uint32_t* out) {
+  // Conservative straddle pretest: a candidate is excluded only when both
+  // endpoints lie strictly on one side of the query's supporting line,
+  // which proves it cannot pass the eps-tolerant IntersectSegments test.
+  // The tolerance dominates the exact test's parameter eps (1e-12) in
+  // both its branches — |cross| <= eps * |alpha - beta| for the
+  // transversal accept and |cross| <= eps absolute for the collinear
+  // accept — with 4x margin.  False survivors fall through to the exact
+  // test; rejections are provably safe.
+  std::size_t n_out = 0;
+  for (std::size_t s = begin; s < end; s += 4) {
+    const double* g = lanes + s * 4;
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const double dax = g[lane] - qax, day = g[4 + lane] - qay;
+      const double dbx = g[8 + lane] - qax, dby = g[12 + lane] - qay;
+      const double alpha = rx * day - ry * dax;
+      const double beta = rx * dby - ry * dbx;
+      const double tol = 4e-12 * (std::abs(alpha) + std::abs(beta) + 1.0);
+      if (!((alpha > tol && beta > tol) || (alpha < -tol && beta < -tol)))
+        out[n_out++] = std::uint32_t(s + lane);
+    }
+  }
+  return n_out;
+}
+
+std::size_t PointPretestScanScalar(const double* lanes, std::size_t count,
+                                   double px, double py, std::uint32_t* out) {
+  // Same conservative straddle pretest as PretestScanScalar (and the same
+  // tolerance argument), but each slot brings its own ray origin o: the
+  // query line is o -> (px, py) and the endpoints tested are the slot's
+  // segment.  Rejections prove the eps-tolerant exact test would reject.
+  std::size_t n_out = 0;
+  for (std::size_t s = 0; s < count; s += 4) {
+    const double* g = lanes + s * 6;
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      const double ox = g[16 + lane], oy = g[20 + lane];
+      const double rx = px - ox, ry = py - oy;
+      const double dax = g[lane] - ox, day = g[4 + lane] - oy;
+      const double dbx = g[8 + lane] - ox, dby = g[12 + lane] - oy;
+      const double alpha = rx * day - ry * dax;
+      const double beta = rx * dby - ry * dbx;
+      const double tol = 4e-12 * (std::abs(alpha) + std::abs(beta) + 1.0);
+      if (!((alpha > tol && beta > tol) || (alpha < -tol && beta < -tol)))
+        out[n_out++] = std::uint32_t(s + lane);
+    }
+  }
+  return n_out;
+}
+
+const ScanKernel& ActiveScanKernel() noexcept {
+  static const ScanKernel kernel = [] {
+    // Wider kernels make candidate visits cheap relative to DDA steps, so
+    // they prefer coarser cells: ~4 segments per scalar cell vs ~16 per
+    // AVX2 cell measured best on the generated office worlds.
+    ScanKernel k{&PretestScanScalar, &PointPretestScanScalar, "scalar", 2.0};
+#if defined(NOMLOC_GEOMETRY_HAVE_X86) && (defined(__GNUC__) || defined(__clang__))
+    bool want_avx2 = !EnvFlagSet("NOMLOC_FORCE_SCALAR");
+    if (const char* name = std::getenv("NOMLOC_SIMD_TARGET"))
+      want_avx2 = want_avx2 && std::strcmp(name, "avx2") == 0;
+    if (want_avx2 && __builtin_cpu_supports("avx2") != 0)
+      k = ScanKernel{&PretestScanAvx2, &PointPretestScanAvx2, "avx2", 4.0};
+#endif
+    return k;
+  }();
+  return kernel;
+}
+
+}  // namespace detail
+
+std::size_t SegmentIndex::CellX(double x) const noexcept {
+  return std::size_t(
+      std::clamp((x - lo_.x) / cell_w_, 0.0, double(nx_ - 1)));
+}
+
+std::size_t SegmentIndex::CellY(double y) const noexcept {
+  return std::size_t(
+      std::clamp((y - lo_.y) / cell_h_, 0.0, double(ny_ - 1)));
+}
+
+SegmentIndex SegmentIndex::Build(std::span<const Segment> segments) {
+  SegmentIndex idx;
+  idx.segments_.assign(segments.begin(), segments.end());
+  const std::size_t n = idx.segments_.size();
+  if (n == 0) return idx;
+
+  Aabb box{idx.segments_.front().a, idx.segments_.front().a};
+  for (const Segment& s : idx.segments_) {
+    box.Expand(s.a);
+    box.Expand(s.b);
+  }
+  // Outer margin well beyond any ε-tolerant touch of a stored segment, so
+  // every reachable intersection point lies strictly inside the grid.
+  constexpr double kMarginM = 1e-3;
+  idx.lo_ = box.lo - Vec2{kMarginM, kMarginM};
+  idx.hi_ = box.hi + Vec2{kMarginM, kMarginM};
+  const double w = idx.hi_.x - idx.lo_.x;
+  const double h = idx.hi_.y - idx.lo_.y;
+
+  // Cell edge targets cell_factor * sqrt(area / n): candidate pretests
+  // cost a few ns (less with the vector kernel) while every extra DDA
+  // step costs a min/branch/bounds round, so coarse cells beat the
+  // 1-per-cell ideal (measured on the generated office worlds).  Clamp
+  // cell size to sane indoor scales and the grid to a bounded allocation.
+  idx.scan_fn_ = detail::ActiveScanKernel().fn;
+  double target = detail::ActiveScanKernel().cell_factor *
+                  std::sqrt(std::max(w * h, 1e-12) / double(n));
+  target = std::clamp(target, 0.25, 64.0);
+  idx.nx_ = std::clamp<std::size_t>(std::size_t(std::ceil(w / target)), 1,
+                                    2048);
+  idx.ny_ = std::clamp<std::size_t>(std::size_t(std::ceil(h / target)), 1,
+                                    2048);
+  idx.cell_w_ = std::max(w / double(idx.nx_), 1e-9);
+  idx.cell_h_ = std::max(h / double(idx.ny_), 1e-9);
+
+  // Conservative registration: a segment joins every cell its kPadM-padded
+  // box overlaps.  Two CSR passes: count, then fill.
+  const auto for_each_covered_cell = [&](const Segment& s, auto&& cell_fn) {
+    const double x0 = std::min(s.a.x, s.b.x) - kPadM;
+    const double x1 = std::max(s.a.x, s.b.x) + kPadM;
+    const double y0 = std::min(s.a.y, s.b.y) - kPadM;
+    const double y1 = std::max(s.a.y, s.b.y) + kPadM;
+    const std::size_t ix0 = idx.CellX(x0), ix1 = idx.CellX(x1);
+    const std::size_t iy0 = idx.CellY(y0), iy1 = idx.CellY(y1);
+    for (std::size_t cy = iy0; cy <= iy1; ++cy) {
+      for (std::size_t cx = ix0; cx <= ix1; ++cx) {
+        const Vec2 blo{idx.lo_.x + double(cx) * idx.cell_w_ - kPadM,
+                       idx.lo_.y + double(cy) * idx.cell_h_ - kPadM};
+        const Vec2 bhi{idx.lo_.x + double(cx + 1) * idx.cell_w_ + kPadM,
+                       idx.lo_.y + double(cy + 1) * idx.cell_h_ + kPadM};
+        if (SegmentOverlapsBox(s, blo, bhi)) cell_fn(cy * idx.nx_ + cx);
+      }
+    }
+  };
+
+  // Count registrations, then round every cell up to whole 4-wide lanes
+  // so the vector kernel never reads past its cell.
+  const std::size_t cells = idx.nx_ * idx.ny_;
+  std::vector<std::uint32_t> count(cells, 0);
+  for (const Segment& s : idx.segments_)
+    for_each_covered_cell(s, [&](std::size_t cell) { ++count[cell]; });
+  idx.cell_start_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c)
+    idx.cell_start_[c + 1] = idx.cell_start_[c] + ((count[c] + 3u) & ~3u);
+  const std::size_t slots = idx.cell_start_.back();
+  // Over-allocate by one cache line and offset group 0 onto a 64-byte
+  // boundary, so every 16-double group is exactly two lines.
+  idx.cand_lanes_.assign(slots * 4 + 8, 0.0);
+  idx.lane_base_ =
+      (64 - (reinterpret_cast<std::uintptr_t>(idx.cand_lanes_.data()) & 63)) %
+      64 / sizeof(double);
+  idx.cand_idx_.assign(slots, 0);
+  const auto set_slot = [&](std::size_t s, const Segment& seg) {
+    double* g = idx.cand_lanes_.data() + idx.lane_base_ +
+                (s & ~std::size_t(3)) * 4;
+    const std::size_t lane = s & 3;
+    g[lane] = seg.a.x;
+    g[4 + lane] = seg.a.y;
+    g[8 + lane] = seg.b.x;
+    g[12 + lane] = seg.b.y;
+  };
+  std::vector<std::uint32_t> cursor(idx.cell_start_.begin(),
+                                    idx.cell_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    for_each_covered_cell(idx.segments_[i], [&](std::size_t cell) {
+      const std::uint32_t s = cursor[cell]++;
+      set_slot(s, idx.segments_[i]);
+      idx.cand_idx_[s] = std::uint32_t(i);
+    });
+  // Pad each cell's tail lanes with copies of its first entry: a
+  // duplicate either fails the pretest with its twin or is deduped /
+  // re-tested downstream with an identical outcome.
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (count[c] == 0) continue;
+    const std::size_t first = idx.cell_start_[c];
+    const Segment fill = CandidateAt(idx.LaneData(),
+                                     std::uint32_t(first));
+    for (std::size_t s = first + count[c]; s < idx.cell_start_[c + 1]; ++s) {
+      set_slot(s, fill);
+      idx.cand_idx_[s] = idx.cand_idx_[first];
+    }
+  }
+  return idx;
+}
+
+// Amanatides–Woo traversal of the cells along `q` (clipped to the grid),
+// emitting same-row *runs*: consecutive x-steps stay within one grid row,
+// whose cells are adjacent in the CSR, so the whole run is the single
+// contiguous slot range [slot_begin, slot_end) — one kernel scan instead
+// of one per cell.  `fn(slot_begin, slot_end, next_t)` receives the
+// parameter at which the walk leaves the run; returning true stops the
+// walk.  Runs preserve the result contract: every query method is
+// order-independent within a range (dedupe + exact test for crossings,
+// min-with-tie-break for first hit), so merging cells cannot change
+// outputs.
+template <typename RunFn>
+void SegmentIndex::WalkCells(const Segment& q, RunFn&& fn) const {
+  if (Empty()) return;
+  const Vec2 d = q.b - q.a;
+  double t0 = 0.0, t1 = 1.0;
+  if (!ClipToBox(q.a, d, lo_, hi_, t0, t1)) return;
+
+  const Vec2 entry = q.a + d * t0;
+  std::size_t cx = CellX(entry.x);
+  std::size_t cy = CellY(entry.y);
+
+  // Parameter at which the walk leaves the current cell along each axis.
+  double tmax_x = kInf, tmax_y = kInf, tdelta_x = kInf, tdelta_y = kInf;
+  std::ptrdiff_t step_x = 0, step_y = 0;
+  if (d.x != 0.0) {
+    const double inv = 1.0 / d.x;
+    step_x = d.x > 0.0 ? 1 : -1;
+    const std::size_t edge = d.x > 0.0 ? cx + 1 : cx;
+    tmax_x = (lo_.x + double(edge) * cell_w_ - q.a.x) * inv;
+    tdelta_x = double(step_x) * cell_w_ * inv;
+  }
+  if (d.y != 0.0) {
+    const double inv = 1.0 / d.y;
+    step_y = d.y > 0.0 ? 1 : -1;
+    const std::size_t edge = d.y > 0.0 ? cy + 1 : cy;
+    tmax_y = (lo_.y + double(edge) * cell_h_ - q.a.y) * inv;
+    tdelta_y = double(step_y) * cell_h_ * inv;
+  }
+
+  // The walk cannot visit more cells than one full row plus one column.
+  std::size_t steps_left = nx_ + ny_ + 4;
+  std::size_t run_lo = cx, run_hi = cx;  // Inclusive cx span of the run.
+  while (steps_left-- > 0) {
+    const double boundary_t = std::min(tmax_x, tmax_y);
+    const double exit_t = std::min(boundary_t, t1);
+    if (boundary_t <= t1 && tmax_x < tmax_y &&
+        (step_x > 0 ? cx + 1 < nx_ : cx > 0)) {
+      // Next crossing stays in this row: extend the run.
+      cx = std::size_t(std::ptrdiff_t(cx) + step_x);
+      tmax_x += tdelta_x;
+      run_lo = std::min(run_lo, cx);
+      run_hi = std::max(run_hi, cx);
+      continue;
+    }
+    const std::size_t base = cy * nx_;
+    if (fn(cell_start_[base + run_lo], cell_start_[base + run_hi + 1],
+           exit_t))
+      return;
+    if (boundary_t > t1) return;  // Clip end reached.
+    if (tmax_x < tmax_y) return;  // Grid edge in x.
+    if (step_y > 0 ? cy + 1 >= ny_ : cy == 0) return;
+    cy = std::size_t(std::ptrdiff_t(cy) + step_y);
+    tmax_y += tdelta_y;
+    run_lo = run_hi = cx;
+  }
+}
+
+void SegmentIndex::CrossingIndices(const Segment& q,
+                                   std::vector<std::uint32_t>& out) const {
+  if (Empty()) return;
+  // Per run: pretest-scan the candidate lanes, then exact-test the
+  // survivors once each (candidates repeat across cells; the epoch stamp
+  // dedupes them).  Only the matches are sorted back into ascending input
+  // order — the crossing set is far smaller than the candidate set, and
+  // ascending order is what lets callers summing over matches reproduce
+  // the brute-force scan bit for bit.
+  const auto scan = scan_fn_;
+  const double* lanes = LaneData();
+  QueryScratch& scratch = Scratch();
+  if (scratch.stamps.size() < segments_.size())
+    scratch.stamps.resize(segments_.size(), 0);
+  if (scratch.survivors.size() < cand_idx_.size())
+    scratch.survivors.resize(cand_idx_.size());
+  const std::uint32_t epoch = scratch.NextEpoch();
+  const Vec2 r = q.b - q.a;
+  const std::size_t first = out.size();
+  WalkCells(q, [&](std::size_t slot_begin, std::size_t slot_end, double) {
+    const std::size_t n_surv = scan(lanes, slot_begin, slot_end, q.a.x, q.a.y,
+                                    r.x, r.y, scratch.survivors.data());
+    for (std::size_t k = 0; k < n_surv; ++k) {
+      const std::uint32_t slot = scratch.survivors[k];
+      const std::uint32_t seg = cand_idx_[slot];
+      if (scratch.stamps[seg] == epoch) continue;
+      scratch.stamps[seg] = epoch;
+      if (CrossesQuery(q.a, r, CandidateAt(lanes, slot))) out.push_back(seg);
+    }
+    return false;
+  });
+  // Insertion sort: the typical crossing set is a handful of indices, far
+  // below where std::sort's dispatch overhead pays for itself.
+  for (std::size_t i = first + 1; i < out.size(); ++i) {
+    const std::uint32_t v = out[i];
+    std::size_t j = i;
+    for (; j > first && out[j - 1] > v; --j) out[j] = out[j - 1];
+    out[j] = v;
+  }
+}
+
+bool SegmentIndex::AnyCrossing(const Segment& q) const {
+  if (Empty()) return false;
+  const auto scan = scan_fn_;
+  const double* lanes = LaneData();
+  QueryScratch& scratch = Scratch();
+  if (scratch.survivors.size() < cand_idx_.size())
+    scratch.survivors.resize(cand_idx_.size());
+  const Vec2 r = q.b - q.a;
+  bool found = false;
+  WalkCells(q, [&](std::size_t slot_begin, std::size_t slot_end, double) {
+    const std::size_t n_surv = scan(lanes, slot_begin, slot_end, q.a.x, q.a.y,
+                                    r.x, r.y, scratch.survivors.data());
+    for (std::size_t k = 0; k < n_surv; ++k) {
+      if (CrossesQuery(q.a, r, CandidateAt(lanes, scratch.survivors[k]))) {
+        found = true;
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+std::optional<SegmentIndex::Hit> SegmentIndex::FirstHit(
+    const Segment& q) const {
+  if (Empty()) return std::nullopt;
+  const auto scan = scan_fn_;
+  const double* lanes = LaneData();
+  QueryScratch& scratch = Scratch();
+  if (scratch.survivors.size() < cand_idx_.size())
+    scratch.survivors.resize(cand_idx_.size());
+  std::optional<Hit> best;
+  const Vec2 d = q.b - q.a;
+  WalkCells(q, [&](std::size_t slot_begin, std::size_t slot_end,
+                   double next_t) {
+    const std::size_t n_surv = scan(lanes, slot_begin, slot_end, q.a.x, q.a.y,
+                                    d.x, d.y, scratch.survivors.data());
+    for (std::size_t k = 0; k < n_surv; ++k) {
+      const std::uint32_t slot = scratch.survivors[k];
+      const Segment s = CandidateAt(lanes, slot);
+      const auto hit = IntersectSegments(q, s);
+      if (!hit) continue;
+      const std::uint32_t idx = cand_idx_[slot];
+      const double t = ParamAlong(q.a, d, *hit);
+      if (!best || t < best->t || (t == best->t && idx < best->index))
+        best = Hit{idx, *hit, t};
+    }
+    // Runs are visited in increasing entry order; once the best hit
+    // strictly precedes the next run's entry (with margin for the
+    // ε-tolerant intersection test), no later run can beat it.
+    return best && best->t + 1e-9 < next_t;
+  });
+  return best;
+}
+
+std::size_t SegmentIndex::ApproxBytes() const noexcept {
+  return segments_.capacity() * sizeof(Segment) +
+         cell_start_.capacity() * sizeof(std::uint32_t) +
+         cand_lanes_.capacity() * sizeof(double) +
+         cand_idx_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace nomloc::geometry

@@ -1,0 +1,119 @@
+// Static spatial index over a fixed set of segments (walls, obstacle
+// edges): a uniform grid with conservative cell registration, traversed
+// with an Amanatides–Woo DDA.  Built once, queried read-only from many
+// threads.
+//
+// The index is an *acceleration structure, not an oracle*: every query
+// narrows the candidate set with the grid and then applies the exact same
+// predicate (geometry::IntersectSegments at the default tolerance) the
+// brute-force scan would, so results are bit-identical to a linear pass
+// over the input — CrossingIndices even reports matches in ascending input
+// order, which keeps floating-point sums over the results reproducible.
+// Cells are registered conservatively (segment AABBs padded by kPadM), so
+// ε-tolerant touches at cell boundaries cannot be missed.
+//
+// Structure choice (vs a BVH) is argued in DESIGN.md: indoor wall soups
+// are near-uniform in density and axis-dominated, a grid builds in O(n)
+// with a single CSR allocation, and the DDA visits O(path length / cell)
+// cells per query with no stack or pointer chasing.
+//
+// The per-cell candidate scan runs through a runtime-dispatched pretest
+// kernel (segment_index_scan.h): candidates are stored as interleaved
+// lane blocks (two cache lines per 4-candidate group) so an AVX2 build
+// scans four at a time off a single forward stream, with a scalar kernel
+// as the portable fallback.  Kernel choice cannot affect results — the
+// pretest is conservative by a 4x tolerance margin and the exact
+// predicate always decides.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geometry/line.h"
+#include "geometry/segment_index_scan.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::geometry {
+
+class SegmentIndex {
+ public:
+  /// First-hit result of a directed cast along a query segment.
+  struct Hit {
+    std::size_t index = 0;  ///< Index of the hit segment in the build span.
+    Vec2 point;             ///< Intersection point.
+    double t = 0.0;         ///< Parameter along the query, in [0, 1].
+  };
+
+  /// An empty index; every query reports no crossings.
+  SegmentIndex() = default;
+
+  /// Builds an index over `segments`; reported indices are positions in
+  /// this span.  Zero-length segments are allowed (they occupy one cell).
+  static SegmentIndex Build(std::span<const Segment> segments);
+
+  bool Empty() const noexcept { return segments_.empty(); }
+  std::size_t SegmentCount() const noexcept { return segments_.size(); }
+
+  /// Appends the indices of every stored segment crossing `q` (exact
+  /// IntersectSegments test) to `out`, in ascending index order with no
+  /// duplicates.  `out` is not cleared.
+  void CrossingIndices(const Segment& q, std::vector<std::uint32_t>& out) const;
+
+  /// True when any stored segment crosses `q`.  Early-outs on the first
+  /// crossing found along the traversal.
+  bool AnyCrossing(const Segment& q) const;
+
+  /// Nearest crossing along the directed query a -> b; ties on the
+  /// parameter break toward the smaller segment index.
+  std::optional<Hit> FirstHit(const Segment& q) const;
+
+  /// Approximate heap footprint of the index [bytes].
+  std::size_t ApproxBytes() const noexcept;
+
+  /// Grid shape, for stats/reporting.
+  std::size_t CellCount() const noexcept { return nx_ * ny_; }
+  double CellWidthM() const noexcept { return cell_w_; }
+  double CellHeightM() const noexcept { return cell_h_; }
+
+ private:
+  /// Conservative registration/query padding [m]; large against the 1e-12
+  /// intersection tolerance, small against any real wall spacing.
+  static constexpr double kPadM = 1e-6;
+
+  template <typename CellFn>
+  void WalkCells(const Segment& q, CellFn&& fn) const;
+
+  std::size_t CellX(double x) const noexcept;
+  std::size_t CellY(double y) const noexcept;
+
+  std::vector<Segment> segments_;
+  // Pretest kernel resolved at Build (segment_index_scan.h) — hoisted
+  // off the per-query path.
+  detail::PretestScanFn scan_fn_ = nullptr;
+  Vec2 lo_, hi_;                      // Padded grid bounds.
+  std::size_t nx_ = 0, ny_ = 0;
+  double cell_w_ = 1.0, cell_h_ = 1.0;
+
+  // Per-cell candidate registrations as interleaved lane blocks: every
+  // group of 4 slots is 16 contiguous doubles [ax*4][ay*4][bx*4][by*4]
+  // (two cache lines), so the pretest scan (segment_index_scan.h) streams
+  // one forward run of memory per cell, and every cell's slot range is
+  // padded to a multiple of 4 with copies of the cell's first entry
+  // (duplicates are conservative: they fail the pretest or dedupe
+  // downstream).  cell_start_ holds slot offsets; slot s lives at
+  // cand_lanes_[(s & ~3) * 4 + lane_offset + (s & 3)].
+  std::vector<std::uint32_t> cell_start_;  // CSR slot offsets, nx*ny + 1.
+  std::vector<double> cand_lanes_;         // 16 doubles per 4-slot group.
+  std::size_t lane_base_ = 0;  // Offset into cand_lanes_ that puts group 0
+                               // on a cache-line boundary, so every group
+                               // is exactly two 64-byte lines.
+  std::vector<std::uint32_t> cand_idx_;    // Candidate -> segment index.
+
+  const double* LaneData() const noexcept {
+    return cand_lanes_.data() + lane_base_;
+  }
+};
+
+}  // namespace nomloc::geometry

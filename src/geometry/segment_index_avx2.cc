@@ -1,0 +1,126 @@
+// AVX2 pretest-scan kernel for SegmentIndex.  This is the only geometry
+// translation unit compiled with -mavx2; it is reached exclusively via
+// the runtime dispatch in segment_index_scan.h, so the rest of the
+// library stays baseline-ISA (the simd/ module uses the same scheme).
+#if defined(NOMLOC_GEOMETRY_HAVE_X86)
+
+#include <immintrin.h>
+
+#include "geometry/segment_index_scan.h"
+
+namespace nomloc::geometry::detail {
+
+namespace {
+
+// Survivor lane ids per 4-bit keep mask, packed for a branchless
+// compress: four unconditional stores (the tail beyond the popcount is
+// overwritten by the next group or ignored), so a sparse survivor
+// pattern costs no mispredicted branches.
+constexpr std::uint8_t kCompress[16][4] = {
+    {0, 0, 0, 0}, {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0},
+    {2, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}, {0, 1, 2, 0},
+    {3, 0, 0, 0}, {0, 3, 0, 0}, {1, 3, 0, 0}, {0, 1, 3, 0},
+    {2, 3, 0, 0}, {0, 2, 3, 0}, {1, 2, 3, 0}, {0, 1, 2, 3},
+};
+
+}  // namespace
+
+std::size_t PretestScanAvx2(const double* lanes, std::size_t begin,
+                            std::size_t end, double qax, double qay, double rx,
+                            double ry, std::uint32_t* out) {
+  // Four candidates per iteration, running the conservative straddle
+  // pretest lane-parallel with the same arithmetic as the scalar kernel
+  // (see PretestScanScalar for why the rejection is safe against the
+  // exact test's tolerances).  Each 4-candidate group is 16 contiguous
+  // doubles, so the four loads below walk one forward stream two cache
+  // lines at a time.
+  const __m256d vqax = _mm256_set1_pd(qax), vqay = _mm256_set1_pd(qay);
+  const __m256d vrx = _mm256_set1_pd(rx), vry = _mm256_set1_pd(ry);
+  const __m256d scale = _mm256_set1_pd(4e-12);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  std::size_t n_out = 0;
+  for (std::size_t s = begin; s < end; s += 4) {
+    const double* g = lanes + s * 4;
+    const __m256d dax = _mm256_sub_pd(_mm256_loadu_pd(g), vqax);
+    const __m256d day = _mm256_sub_pd(_mm256_loadu_pd(g + 4), vqay);
+    const __m256d dbx = _mm256_sub_pd(_mm256_loadu_pd(g + 8), vqax);
+    const __m256d dby = _mm256_sub_pd(_mm256_loadu_pd(g + 12), vqay);
+    const __m256d alpha =
+        _mm256_sub_pd(_mm256_mul_pd(vrx, day), _mm256_mul_pd(vry, dax));
+    const __m256d beta =
+        _mm256_sub_pd(_mm256_mul_pd(vrx, dby), _mm256_mul_pd(vry, dbx));
+    const __m256d tol = _mm256_mul_pd(
+        scale, _mm256_add_pd(_mm256_add_pd(_mm256_and_pd(alpha, abs_mask),
+                                           _mm256_and_pd(beta, abs_mask)),
+                             one));
+    const __m256d ntol = _mm256_sub_pd(_mm256_setzero_pd(), tol);
+    const __m256d pos = _mm256_and_pd(_mm256_cmp_pd(alpha, tol, _CMP_GT_OQ),
+                                      _mm256_cmp_pd(beta, tol, _CMP_GT_OQ));
+    const __m256d neg = _mm256_and_pd(_mm256_cmp_pd(alpha, ntol, _CMP_LT_OQ),
+                                      _mm256_cmp_pd(beta, ntol, _CMP_LT_OQ));
+    const unsigned m =
+        unsigned(~_mm256_movemask_pd(_mm256_or_pd(pos, neg))) & 0xFu;
+    const std::uint8_t* c = kCompress[m];
+    const std::uint32_t base = std::uint32_t(s);
+    out[n_out] = base + c[0];
+    out[n_out + 1] = base + c[1];
+    out[n_out + 2] = base + c[2];
+    out[n_out + 3] = base + c[3];
+    n_out += std::size_t(__builtin_popcount(m));
+  }
+  return n_out;
+}
+
+std::size_t PointPretestScanAvx2(const double* lanes, std::size_t count,
+                                 double px, double py, std::uint32_t* out) {
+  // Per-slot ray origins against one shared target point (the image-tree
+  // prune; see PointPretestScanScalar for the tolerance argument).  Each
+  // 4-slot group is 24 contiguous doubles — three cache lines on one
+  // forward stream.
+  const __m256d vpx = _mm256_set1_pd(px), vpy = _mm256_set1_pd(py);
+  const __m256d scale = _mm256_set1_pd(4e-12);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  std::size_t n_out = 0;
+  for (std::size_t s = 0; s < count; s += 4) {
+    const double* g = lanes + s * 6;
+    const __m256d ox = _mm256_loadu_pd(g + 16);
+    const __m256d oy = _mm256_loadu_pd(g + 20);
+    const __m256d rx = _mm256_sub_pd(vpx, ox);
+    const __m256d ry = _mm256_sub_pd(vpy, oy);
+    const __m256d dax = _mm256_sub_pd(_mm256_loadu_pd(g), ox);
+    const __m256d day = _mm256_sub_pd(_mm256_loadu_pd(g + 4), oy);
+    const __m256d dbx = _mm256_sub_pd(_mm256_loadu_pd(g + 8), ox);
+    const __m256d dby = _mm256_sub_pd(_mm256_loadu_pd(g + 12), oy);
+    const __m256d alpha =
+        _mm256_sub_pd(_mm256_mul_pd(rx, day), _mm256_mul_pd(ry, dax));
+    const __m256d beta =
+        _mm256_sub_pd(_mm256_mul_pd(rx, dby), _mm256_mul_pd(ry, dbx));
+    const __m256d tol = _mm256_mul_pd(
+        scale, _mm256_add_pd(_mm256_add_pd(_mm256_and_pd(alpha, abs_mask),
+                                           _mm256_and_pd(beta, abs_mask)),
+                             one));
+    const __m256d ntol = _mm256_sub_pd(_mm256_setzero_pd(), tol);
+    const __m256d pos = _mm256_and_pd(_mm256_cmp_pd(alpha, tol, _CMP_GT_OQ),
+                                      _mm256_cmp_pd(beta, tol, _CMP_GT_OQ));
+    const __m256d neg = _mm256_and_pd(_mm256_cmp_pd(alpha, ntol, _CMP_LT_OQ),
+                                      _mm256_cmp_pd(beta, ntol, _CMP_LT_OQ));
+    const unsigned m =
+        unsigned(~_mm256_movemask_pd(_mm256_or_pd(pos, neg))) & 0xFu;
+    const std::uint8_t* c = kCompress[m];
+    const std::uint32_t base = std::uint32_t(s);
+    out[n_out] = base + c[0];
+    out[n_out + 1] = base + c[1];
+    out[n_out + 2] = base + c[2];
+    out[n_out + 3] = base + c[3];
+    n_out += std::size_t(__builtin_popcount(m));
+  }
+  return n_out;
+}
+
+}  // namespace nomloc::geometry::detail
+
+#endif  // NOMLOC_GEOMETRY_HAVE_X86

@@ -1,0 +1,90 @@
+// Internal pretest-scan kernels for SegmentIndex (see segment_index.h).
+//
+// The per-cell candidate scan is the hot loop of every index query: for
+// each registered candidate it evaluates the conservative straddle
+// pretest (both endpoints strictly on one side of the query's supporting
+// line => provably no crossing) and collects the survivors for the exact
+// IntersectSegments test.  Candidates are stored as interleaved lane
+// blocks — each group of 4 slots is 16 contiguous doubles
+// [ax0..3][ay0..3][bx0..3][by0..3], exactly two cache lines — so a cell
+// scan is one forward stream the hardware prefetcher tracks, and the
+// vector kernel's four loads per group all hit the same pair of lines.
+// This header declares the scalar and AVX2 kernels plus the one-shot
+// runtime dispatch that picks between them, mirroring the simd/ module's
+// idiom (per-source -mavx2, __builtin_cpu_supports probe,
+// NOMLOC_FORCE_SCALAR / NOMLOC_SIMD_TARGET overrides).
+//
+// Conservativeness is the only contract: a kernel may pass extra
+// candidates through (they fail the exact test downstream) but must never
+// reject a true eps-tolerant crossing.  The pretest tolerance
+// 4e-12 * (|alpha| + |beta| + 1) dominates the exact test's 1e-12 eps in
+// both its branches with 4x margin, so the <= 2-ulp differences between
+// scalar and vector evaluation orders cannot change a query result.
+// (A classifying variant that also proved certain *hits* with the second
+// straddle pair was tried and reverted: in-situ counts show survivors
+// are ~95% true crossings plus cell-duplicates, so the extra per-slot
+// arithmetic bought almost no exact-test savings.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nomloc::geometry::detail {
+
+/// Scans candidate slots [begin, end) (multiples of 4) of the interleaved
+/// lane-block array `lanes` (slot s lives in the 16-double group at
+/// lanes + (s & ~3) * 4, lane s & 3) against the query ray a=(qax,qay),
+/// r=(rx,ry) and appends the slot numbers the pretest cannot exclude to
+/// `out` (caller-sized for the worst case end-begin).  Returns the number
+/// written.
+using PretestScanFn = std::size_t (*)(const double* lanes, std::size_t begin,
+                                      std::size_t end, double qax, double qay,
+                                      double rx, double ry,
+                                      std::uint32_t* out);
+
+std::size_t PretestScanScalar(const double* lanes, std::size_t begin,
+                              std::size_t end, double qax, double qay,
+                              double rx, double ry, std::uint32_t* out);
+
+/// Variant for per-candidate query origins against one shared target
+/// point: slot s carries its own segment (a, b) *and* ray origin o in a
+/// 24-double group [ax0..3][ay0..3][bx0..3][by0..3][ox0..3][oy0..3]
+/// (three cache lines), and the straddle pretest runs against the ray
+/// o -> p.  This is the image-method prune: o is a mirrored transmitter
+/// image, p the receiver, (a, b) the bounce wall, and a candidate whose
+/// wall lies strictly on one side of its image-to-receiver line cannot
+/// host the reflection point.  Scans slots [0, count) — count a multiple
+/// of 4, tail slots padded by the caller — with the same conservative
+/// tolerance contract as the cell-scan kernel above.
+using PointPretestScanFn = std::size_t (*)(const double* lanes,
+                                           std::size_t count, double px,
+                                           double py, std::uint32_t* out);
+
+std::size_t PointPretestScanScalar(const double* lanes, std::size_t count,
+                                   double px, double py, std::uint32_t* out);
+
+#if defined(NOMLOC_GEOMETRY_HAVE_X86)
+std::size_t PretestScanAvx2(const double* lanes, std::size_t begin,
+                            std::size_t end, double qax, double qay, double rx,
+                            double ry, std::uint32_t* out);
+std::size_t PointPretestScanAvx2(const double* lanes, std::size_t count,
+                                 double px, double py, std::uint32_t* out);
+#endif
+
+/// The resolved scan kernel plus its build-time tuning: wider kernels
+/// make candidate visits cheap relative to DDA steps, so they prefer
+/// coarser grid cells (cell_factor scales the target cell edge).
+struct ScanKernel {
+  PretestScanFn fn = nullptr;
+  PointPretestScanFn point_fn = nullptr;
+  const char* name = "scalar";
+  double cell_factor = 2.0;
+};
+
+/// Widest kernel this build and CPU support, resolved once per process.
+/// NOMLOC_FORCE_SCALAR=1 pins scalar; NOMLOC_SIMD_TARGET names a target
+/// exactly like simd/dispatch.h (anything but "avx2" falls back to
+/// scalar here, since these are the only two pretest kernels).
+const ScanKernel& ActiveScanKernel() noexcept;
+
+}  // namespace nomloc::geometry::detail

@@ -1,0 +1,387 @@
+#include "world/worldgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "geometry/polygon.h"
+
+namespace nomloc::world {
+
+using channel::IndoorEnvironment;
+using channel::Material;
+using channel::Obstacle;
+using channel::Wall;
+using geometry::Polygon;
+using geometry::Vec2;
+
+namespace {
+
+constexpr double kDoorWidthM = 0.9;
+constexpr double kDoorEndMarginM = 0.35;
+constexpr double kClutterWallMarginM = 0.4;
+constexpr double kSiteJitterFrac = 0.12;  // Test-site jitter, room fraction.
+struct Out {
+  std::vector<Wall>* walls;
+  std::vector<Obstacle>* obstacles;
+  std::vector<Vec2>* ap_sites;
+  std::vector<Vec2>* test_sites;
+  /// Per-quadrant furniture probability, WorldSpec::furniture_per_room / 4.
+  double clutter_quadrant_prob = 0.8;
+};
+
+void EmitWall(Out& out, Vec2 a, Vec2 b, const Material& m) {
+  if (Distance(a, b) < 1e-6) return;
+  out.walls->push_back({{a, b}, m});
+}
+
+// Emits the corridor-facing wall of a room: the edge runs along the fixed
+// coordinate from `lo` to `hi`, with a door gap jittered inside
+// [allowed_lo, allowed_hi] (the sub-span actually adjacent to the
+// corridor — matters for atrium corner rooms).  Falls back to a centred
+// gap when the allowed span is too short for a door.
+void EmitFrontWall(Out& out, common::Rng& rng, bool vertical, double fixed,
+                   double lo, double hi, double allowed_lo, double allowed_hi,
+                   const Material& m) {
+  const double a = std::max(lo, allowed_lo) + kDoorEndMarginM;
+  const double b = std::min(hi, allowed_hi) - kDoorEndMarginM - kDoorWidthM;
+  double g0;
+  if (b >= a) {
+    g0 = rng.Uniform(a, b);
+  } else {
+    rng.Uniform();  // Keep the stream aligned across branches.
+    g0 = std::clamp(0.5 * (lo + hi) - 0.5 * kDoorWidthM, lo, hi - kDoorWidthM);
+  }
+  const double g1 = g0 + kDoorWidthM;
+  const auto at = [&](double t) {
+    return vertical ? Vec2{fixed, t} : Vec2{t, fixed};
+  };
+  EmitWall(out, at(lo), at(g0), m);
+  EmitWall(out, at(g1), at(hi), m);
+}
+
+Material PartitionMaterial(common::Rng& rng) {
+  return rng.Bernoulli(0.15) ? channel::materials::Glass()
+                             : channel::materials::Drywall();
+}
+
+// Clutter obstacles in the room's corner quadrants plus a jittered
+// near-centre test site.  Each quadrant independently hosts a furniture
+// box (desk, cabinet, rack); every box keeps kClutterWallMarginM off the
+// room walls and is confined to its own quadrant's corner region, which
+// stays strictly outside both the other quadrants and the central jitter
+// region — so boxes never overlap each other and test sites are free
+// space by construction (no rejection sampling).
+void EmitRoomInterior(Out& out, common::Rng& rng, double x0, double y0,
+                      double x1, double y1) {
+  const double w = x1 - x0, d = y1 - y0;
+  const double max_w = std::min(1.2, (0.5 - kSiteJitterFrac) * w - 0.5);
+  const double max_d = std::min(1.2, (0.5 - kSiteJitterFrac) * d - 0.5);
+  for (std::uint64_t quadrant = 0; quadrant < 4; ++quadrant) {
+    if (!rng.Bernoulli(out.clutter_quadrant_prob)) continue;
+    if (max_w < 0.5 || max_d < 0.5) continue;
+    const double sw = rng.Uniform(0.5, max_w);
+    const double sd = rng.Uniform(0.5, max_d);
+    const double bx0 = (quadrant & 1) ? x1 - kClutterWallMarginM - sw
+                                      : x0 + kClutterWallMarginM;
+    const double by0 = (quadrant & 2) ? y1 - kClutterWallMarginM - sd
+                                      : y0 + kClutterWallMarginM;
+    const Material m = rng.Bernoulli(0.3) ? channel::materials::Metal()
+                                          : channel::materials::Wood();
+    out.obstacles->push_back(
+        {Polygon::Rectangle(bx0, by0, bx0 + sw, by0 + sd), m});
+  }
+  const double jx = rng.Uniform(-kSiteJitterFrac, kSiteJitterFrac);
+  const double jy = rng.Uniform(-kSiteJitterFrac, kSiteJitterFrac);
+  out.test_sites->push_back({0.5 * (x0 + x1) + jx * w,
+                             0.5 * (y0 + y1) + jy * d});
+}
+
+struct GridDims {
+  std::size_t cols = 1, bands = 1;
+  double width = 0.0, height = 0.0, band_h = 0.0;
+};
+
+GridDims OfficeDims(const WorldSpec& spec, std::size_t bands) {
+  GridDims g;
+  g.bands = std::max<std::size_t>(1, bands);
+  g.cols = std::max<std::size_t>(
+      1, std::size_t(std::ceil(double(spec.rooms) / double(2 * g.bands))));
+  g.band_h = 2.0 * spec.room_d_m + spec.corridor_w_m;
+  g.width = double(g.cols) * spec.room_w_m;
+  g.height = double(g.bands) * g.band_h;
+  return g;
+}
+
+// Emits one office-grid block (double-loaded corridor bands) with its
+// south-west corner at (ox, oy).  Returns the realised room count
+// (== spec.rooms; truncation leaves trailing grid slots open).
+std::size_t EmitOfficeBlock(Out& out, common::Rng& rng, const WorldSpec& spec,
+                            const GridDims& g, double ox, double oy) {
+  const double rw = spec.room_w_m, rd = spec.room_d_m, cw = spec.corridor_w_m;
+  const Material concrete = channel::materials::Concrete();
+  std::size_t emitted = 0;
+  for (std::size_t b = 0; b < g.bands && emitted < spec.rooms; ++b) {
+    const double band_y = oy + double(b) * g.band_h;
+    if (b > 0)  // Back-to-back rooms across bands share a solid wall.
+      EmitWall(out, {ox, band_y}, {ox + g.width, band_y}, concrete);
+    for (int row = 0; row < 2 && emitted < spec.rooms; ++row) {
+      const double ry0 = band_y + (row == 0 ? 0.0 : rd + cw);
+      const double front_y = row == 0 ? ry0 + rd : ry0;  // Corridor side.
+      for (std::size_t col = 0; col < g.cols && emitted < spec.rooms; ++col) {
+        const double rx0 = ox + double(col) * rw;
+        const double rx1 = rx0 + rw;
+        EmitFrontWall(out, rng, /*vertical=*/false, front_y, rx0, rx1, rx0,
+                      rx1, PartitionMaterial(rng));
+        if (col > 0)
+          EmitWall(out, {rx0, ry0}, {rx0, ry0 + rd},
+                   channel::materials::Drywall());
+        ++emitted;
+        // Close the east side when truncation ends the block mid-row.
+        if (emitted == spec.rooms && col + 1 < g.cols)
+          EmitWall(out, {rx1, ry0}, {rx1, ry0 + rd},
+                   channel::materials::Drywall());
+        EmitRoomInterior(out, rng, rx0, ry0, rx1, ry0 + rd);
+      }
+    }
+    // AP sites along the corridor centreline, roughly every three rooms.
+    const double ap_y = band_y + rd + 0.5 * cw;
+    const double spacing = 3.0 * rw;
+    const std::size_t count =
+        std::max<std::size_t>(1, std::size_t(std::floor(g.width / spacing)));
+    for (std::size_t k = 0; k < count; ++k)
+      out.ap_sites->push_back({ox + (double(k) + 0.5) * (g.width / count),
+                               ap_y});
+  }
+  return emitted;
+}
+
+std::size_t OfficeBands(std::size_t rooms) {
+  return std::max<std::size_t>(
+      1, std::size_t(std::llround(std::sqrt(double(rooms) / 8.0))));
+}
+
+struct Sites {
+  std::vector<Vec2> ap, test;
+};
+
+common::Result<GeneratedWorld> Finish(const WorldSpec& spec, Polygon boundary,
+                                      std::vector<Wall> walls,
+                                      std::vector<Obstacle> obstacles,
+                                      Sites sites, std::size_t floors,
+                                      common::Rng& rng,
+                                      std::size_t realised_rooms) {
+  auto env = IndoorEnvironment::Create(std::move(boundary), std::move(walls),
+                                       std::move(obstacles));
+  if (!env.ok()) return env.status();
+  GeneratedWorld world{.name = {},
+                       .env = std::move(env).value(),
+                       .ap_sites = std::move(sites.ap),
+                       .test_sites = std::move(sites.test),
+                       .rooms = realised_rooms,
+                       .floors = floors};
+
+  const std::size_t scatterers = std::size_t(std::clamp(
+      std::llround(spec.scatterers_per_room * double(realised_rooms)), 1LL,
+      5000LL));
+  world.env.PlaceScatterers(scatterers, rng);
+
+  if (spec.max_test_sites > 0 &&
+      world.test_sites.size() > spec.max_test_sites) {
+    // Stride across the building instead of clustering at one end.
+    std::vector<Vec2> kept;
+    kept.reserve(spec.max_test_sites);
+    const double stride =
+        double(world.test_sites.size()) / double(spec.max_test_sites);
+    for (std::size_t i = 0; i < spec.max_test_sites; ++i)
+      kept.push_back(world.test_sites[std::size_t(double(i) * stride)]);
+    world.test_sites = std::move(kept);
+  }
+
+  for (const Vec2 p : world.ap_sites) NOMLOC_ASSERT(world.env.IsFreeSpace(p));
+  for (const Vec2 p : world.test_sites) NOMLOC_ASSERT(world.env.IsFreeSpace(p));
+  return world;
+}
+
+common::Result<GeneratedWorld> GenerateOfficeLike(const WorldSpec& spec,
+                                                  std::size_t bands) {
+  const GridDims g = OfficeDims(spec, bands);
+  common::Rng rng(spec.seed);
+  Sites sites;
+  std::vector<Wall> walls;
+  std::vector<Obstacle> obstacles;
+  Out out{&walls, &obstacles, &sites.ap, &sites.test,
+          std::clamp(spec.furniture_per_room / 4.0, 0.0, 1.0)};
+  const std::size_t realised = EmitOfficeBlock(out, rng, spec, g, 0.0, 0.0);
+  return Finish(spec, Polygon::Rectangle(0.0, 0.0, g.width, g.height),
+                std::move(walls), std::move(obstacles), std::move(sites), 1,
+                rng, realised);
+}
+
+common::Result<GeneratedWorld> GenerateMultiFloor(const WorldSpec& spec) {
+  const GridDims g = OfficeDims(spec, OfficeBands(spec.rooms));
+  common::Rng rng(spec.seed);
+  Sites sites;
+  std::vector<Wall> walls;
+  std::vector<Obstacle> obstacles;
+  Out out{&walls, &obstacles, &sites.ap, &sites.test,
+          std::clamp(spec.furniture_per_room / 4.0, 0.0, 1.0)};
+  const Material concrete = channel::materials::Concrete();
+  std::size_t realised = 0;
+  for (std::size_t f = 0; f < spec.floors; ++f) {
+    const double ox = double(f) * g.width;
+    if (f > 0) {
+      // Slab wall between floor projections, with a stairwell gap.
+      const double gap_h = 1.5;
+      const double gy0 = rng.Uniform(0.5, std::max(0.6, g.height - gap_h - 0.5));
+      EmitWall(out, {ox, 0.0}, {ox, gy0}, concrete);
+      EmitWall(out, {ox, gy0 + gap_h}, {ox, g.height}, concrete);
+    }
+    realised += EmitOfficeBlock(out, rng, spec, g, ox, 0.0);
+  }
+  return Finish(spec,
+                Polygon::Rectangle(0.0, 0.0, double(spec.floors) * g.width,
+                                   g.height),
+                std::move(walls), std::move(obstacles), std::move(sites),
+                spec.floors, rng, realised);
+}
+
+common::Result<GeneratedWorld> GenerateAtrium(const WorldSpec& spec) {
+  const double rw = spec.room_w_m, rd = spec.room_d_m, cw = spec.corridor_w_m;
+  // Perimeter capacity: cx rooms on each of top/bottom, cy on each side.
+  std::size_t cx = std::max<std::size_t>(
+      3, std::size_t(std::ceil(double(spec.rooms) / 4.0)));
+  while (double(cx) * rw < 2.0 * rd + 2.0 * cw + 3.0) ++cx;
+  std::size_t cy = std::max<std::size_t>(
+      1, spec.rooms > 2 * cx
+             ? std::size_t(std::ceil(double(spec.rooms - 2 * cx) / 2.0))
+             : 1);
+  while (double(cy) * rw < 2.0 * cw + 3.0) ++cy;
+  const double W = double(cx) * rw;
+  const double H = 2.0 * rd + double(cy) * rw;
+
+  common::Rng rng(spec.seed);
+  Sites sites;
+  std::vector<Wall> walls;
+  std::vector<Obstacle> obstacles;
+  Out out{&walls, &obstacles, &sites.ap, &sites.test,
+          std::clamp(spec.furniture_per_room / 4.0, 0.0, 1.0)};
+  const Material drywall = channel::materials::Drywall();
+  std::size_t emitted = 0;
+
+  // Top and bottom rows (full width; door gaps clamped to the ring
+  // corridor's x-range so corner rooms never open into a side room).
+  for (int row = 0; row < 2 && emitted < spec.rooms; ++row) {
+    const double ry0 = row == 0 ? 0.0 : H - rd;
+    const double front_y = row == 0 ? rd : H - rd;
+    for (std::size_t col = 0; col < cx && emitted < spec.rooms; ++col) {
+      const double rx0 = double(col) * rw, rx1 = rx0 + rw;
+      EmitFrontWall(out, rng, /*vertical=*/false, front_y, rx0, rx1, rd,
+                    W - rd, PartitionMaterial(rng));
+      if (col > 0) EmitWall(out, {rx0, ry0}, {rx0, ry0 + rd}, drywall);
+      ++emitted;
+      if (emitted == spec.rooms && col + 1 < cx)
+        EmitWall(out, {rx1, ry0}, {rx1, ry0 + rd}, drywall);
+      EmitRoomInterior(out, rng, rx0, ry0, rx1, ry0 + rd);
+    }
+  }
+  // Left and right columns between the rows.
+  const double wy = (H - 2.0 * rd) / double(cy);
+  for (int side = 0; side < 2 && emitted < spec.rooms; ++side) {
+    const double rx0 = side == 0 ? 0.0 : W - rd;
+    const double front_x = side == 0 ? rd : W - rd;
+    for (std::size_t j = 0; j < cy && emitted < spec.rooms; ++j) {
+      const double ry0 = rd + double(j) * wy, ry1 = ry0 + wy;
+      EmitFrontWall(out, rng, /*vertical=*/true, front_x, ry0, ry1, rd,
+                    H - rd, PartitionMaterial(rng));
+      if (j > 0) EmitWall(out, {rx0, ry0}, {rx0 + rd, ry0}, drywall);
+      ++emitted;
+      if (emitted == spec.rooms && j + 1 < cy)
+        EmitWall(out, {rx0, ry1}, {rx0 + rd, ry1}, drywall);
+      EmitRoomInterior(out, rng, rx0, ry0, rx0 + rd, ry1);
+    }
+  }
+
+  // Glass balustrade around the open atrium, one opening per side.
+  const double ax0 = rd + cw, ay0 = rd + cw, ax1 = W - rd - cw,
+               ay1 = H - rd - cw;
+  const Material glass = channel::materials::Glass();
+  const auto balustrade = [&](Vec2 a, Vec2 b) {
+    const Vec2 mid = {0.5 * (a.x + b.x), 0.5 * (a.y + b.y)};
+    const double open = std::min(2.0, Distance(a, b) / 3.0);
+    const Vec2 dir = (b - a).Normalized();
+    EmitWall(out, a, mid - dir * (0.5 * open), glass);
+    EmitWall(out, mid + dir * (0.5 * open), b, glass);
+  };
+  balustrade({ax0, ay0}, {ax1, ay0});
+  balustrade({ax1, ay0}, {ax1, ay1});
+  balustrade({ax1, ay1}, {ax0, ay1});
+  balustrade({ax0, ay1}, {ax0, ay0});
+
+  // APs: the four ring-corridor corners plus the atrium centre.
+  const double m = rd + 0.5 * cw;
+  sites.ap = {{m, m},
+              {W - m, m},
+              {W - m, H - m},
+              {m, H - m},
+              {0.5 * W, 0.5 * H}};
+  return Finish(spec, Polygon::Rectangle(0.0, 0.0, W, H), std::move(walls),
+                std::move(obstacles), std::move(sites), 1, rng, emitted);
+}
+
+}  // namespace
+
+common::Result<Layout> LayoutByName(const std::string& name) {
+  if (name == "office") return Layout::kOfficeGrid;
+  if (name == "corridor") return Layout::kCorridorSpine;
+  if (name == "atrium") return Layout::kAtrium;
+  if (name == "multifloor") return Layout::kMultiFloor;
+  return common::NotFound("unknown world layout: " + name);
+}
+
+const char* LayoutName(Layout layout) noexcept {
+  switch (layout) {
+    case Layout::kOfficeGrid: return "office";
+    case Layout::kCorridorSpine: return "corridor";
+    case Layout::kAtrium: return "atrium";
+    case Layout::kMultiFloor: return "multifloor";
+  }
+  return "?";
+}
+
+common::Result<GeneratedWorld> Generate(const WorldSpec& spec) {
+  if (spec.rooms == 0) return common::InvalidArgument("rooms must be >= 1");
+  if (spec.floors == 0) return common::InvalidArgument("floors must be >= 1");
+  if (spec.room_w_m < 2.5 || spec.room_d_m < 2.5)
+    return common::InvalidArgument("rooms must be at least 2.5 m on a side");
+  if (spec.corridor_w_m < 1.0)
+    return common::InvalidArgument("corridor must be at least 1 m wide");
+
+  auto world = [&] {
+    switch (spec.layout) {
+      case Layout::kOfficeGrid:
+        return GenerateOfficeLike(spec, OfficeBands(spec.rooms));
+      case Layout::kCorridorSpine:
+        return GenerateOfficeLike(spec, 1);
+      case Layout::kAtrium:
+        return GenerateAtrium(spec);
+      case Layout::kMultiFloor:
+        return GenerateMultiFloor(spec);
+    }
+    return common::Result<GeneratedWorld>(
+        common::InvalidArgument("unknown layout"));
+  }();
+  if (!world.ok()) return world;
+
+  std::string name = LayoutName(spec.layout);
+  name += "-" + std::to_string(world.value().rooms);
+  if (world.value().floors > 1)
+    name += "x" + std::to_string(world.value().floors);
+  name += "-s" + std::to_string(spec.seed);
+  world.value().name = std::move(name);
+  return world;
+}
+
+}  // namespace nomloc::world

@@ -1,0 +1,87 @@
+// Seeded procedural world generation: campus-scale indoor floor plans for
+// benchmarking and randomized testing, far beyond the hand-drawn Lab /
+// Lobby / Office scenarios (eval/scenario.h).
+//
+// A WorldSpec names a layout family, a target room count, and a seed; the
+// generator deterministically emits an IndoorEnvironment (boundary,
+// interior partition walls with door gaps, obstacle clutter, scatterers)
+// plus candidate AP sites and per-room test sites.  Layouts:
+//
+//   * kOfficeGrid    — double-loaded corridor bands: each band is a
+//                      corridor with a row of rooms on either side; bands
+//                      stack vertically, separated by concrete walls.
+//   * kCorridorSpine — a single long double-loaded corridor (office grid
+//                      with one band): maximally elongated, so most links
+//                      cross many partitions.
+//   * kAtrium        — perimeter rooms around a ring corridor enclosing an
+//                      open glass-balustraded atrium: mixes long LOS links
+//                      across the void with heavily-partitioned ones.
+//   * kMultiFloor    — `floors` office-grid blocks laid side by side
+//                      (a 2-D projection of a multi-storey building),
+//                      separated by concrete slab walls with stair gaps.
+//
+// Determinism: equal WorldSpec values (including seed) produce bit-equal
+// geometry, sites, and scatterers.  Everything is derived from one
+// common::Rng stream, so generated worlds are reproducible across runs —
+// the property the randomized brute-vs-indexed equivalence suite and the
+// trace.cold.bigworld bench depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/environment.h"
+#include "common/status.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::world {
+
+enum class Layout { kOfficeGrid, kCorridorSpine, kAtrium, kMultiFloor };
+
+/// Layout from its CLI name ("office", "corridor", "atrium", "multifloor").
+common::Result<Layout> LayoutByName(const std::string& name);
+const char* LayoutName(Layout layout) noexcept;
+
+struct WorldSpec {
+  Layout layout = Layout::kOfficeGrid;
+  /// Target room count (per floor for kMultiFloor).  The generator may
+  /// round the realised count up slightly to fill a rectangular grid.
+  std::size_t rooms = 10;
+  /// Floor count; only kMultiFloor uses values > 1.
+  std::size_t floors = 1;
+  std::uint64_t seed = 0xb16;
+
+  double room_w_m = 6.0;      ///< Nominal room width along the corridor.
+  double room_d_m = 5.0;      ///< Nominal room depth off the corridor.
+  double corridor_w_m = 2.4;
+  /// Expected diffuse scatterers per room (clutter density).
+  double scatterers_per_room = 1.5;
+  /// Expected furniture boxes per room (desks, cabinets, racks; each box
+  /// adds four blocking wall segments).  Rooms host at most one box per
+  /// corner quadrant, so values above 4 saturate.  The default models a
+  /// fully furnished office.
+  double furniture_per_room = 3.2;
+  /// Cap on emitted test sites (0 = one per room).  When capped, sites
+  /// are strided across the building rather than clustered at one end.
+  std::size_t max_test_sites = 0;
+};
+
+struct GeneratedWorld {
+  std::string name;           ///< e.g. "office-100-s2748".
+  channel::IndoorEnvironment env;
+  /// Candidate AP placements (corridor spine / atrium ring positions).
+  std::vector<geometry::Vec2> ap_sites;
+  /// Object test sites, one per room (jittered off the room centre),
+  /// possibly strided down to WorldSpec::max_test_sites.
+  std::vector<geometry::Vec2> test_sites;
+  std::size_t rooms = 0;      ///< Realised room count (all floors).
+  std::size_t floors = 1;
+};
+
+/// Generates the world described by `spec`.  Fails on malformed specs
+/// (zero rooms/floors, non-positive dimensions); never fails for valid
+/// specs of any size.
+common::Result<GeneratedWorld> Generate(const WorldSpec& spec);
+
+}  // namespace nomloc::world

@@ -143,6 +143,58 @@ TEST(PropagationCache, MemoizedImagesMatchDirectBuild) {
   EXPECT_NE(cache.Images(env, {1.5, 2.5}, 1).get(), memo.get());
 }
 
+TEST(PropagationCache, ClearTracesKeepsImageTrees) {
+  const IndoorEnvironment env = OfficeRoom();
+  const PropagationConfig cfg;
+  PropagationCache cache;
+  (void)cache.Trace(env, {1, 1}, {9, 7}, cfg);
+  const auto tree = cache.Images(env, {1, 1}, cfg.max_reflection_order);
+  ASSERT_EQ(cache.Entries(), 1u);
+
+  cache.ClearTraces();
+  EXPECT_EQ(cache.Entries(), 0u);  // Traces gone...
+  // ...but the per-tx image tree survives: the same pointer comes back.
+  EXPECT_EQ(cache.Images(env, {1, 1}, cfg.max_reflection_order).get(),
+            tree.get());
+
+  cache.Clear();  // Full clear drops the trees too.
+  EXPECT_NE(cache.Images(env, {1, 1}, cfg.max_reflection_order).get(),
+            tree.get());
+}
+
+TEST(PropagationCache, ImageBytesTracksMemoizedTrees) {
+  const IndoorEnvironment env = OfficeRoom();
+  PropagationCache cache;
+  EXPECT_EQ(cache.ImageBytes(), 0u);
+  const auto tree = cache.Images(env, {1, 1}, 2);
+  EXPECT_EQ(cache.ImageBytes(), tree->ApproxBytes());
+  (void)cache.Images(env, {2, 2}, 2);
+  EXPECT_GT(cache.ImageBytes(), tree->ApproxBytes());
+  cache.Clear();
+  EXPECT_EQ(cache.ImageBytes(), 0u);
+}
+
+TEST(PropagationCache, ImageByteBudgetBoundsMemory) {
+  // A deliberately tiny budget: the cache must keep working (outstanding
+  // shared_ptrs stay valid) while never holding more than one shard's
+  // budget worth of trees per shard.
+  const IndoorEnvironment env = OfficeRoom();
+  const std::size_t tree_bytes = BuildTxImageTree(env, {0.5, 1.0}, 2)
+                                     .ApproxBytes();  // All trees equal here.
+  const std::size_t budget = 2 * tree_bytes + 64;  // Two trees per shard.
+  PropagationCache cache(budget);
+  std::vector<std::shared_ptr<const TxImageTree>> held;
+  for (int i = 0; i < 64; ++i) {
+    held.push_back(cache.Images(env, {0.5 + 0.1 * double(i), 1.0}, 2));
+    ASSERT_LE(cache.ImageBytes(), 16u * budget);  // kShardCount shards.
+  }
+  // Eviction actually fired: far fewer than 64 trees remain memoized.
+  EXPECT_LT(cache.ImageBytes(), 64u * tree_bytes);
+  // Every handed-out tree is still alive and matches a fresh build.
+  const TxImageTree direct = BuildTxImageTree(env, {0.5, 1.0}, 2);
+  ASSERT_EQ(held.front()->candidates.size(), direct.candidates.size());
+}
+
 TEST(PropagationCache, ConcurrentHammerStaysConsistent) {
   // Many threads trace a small working set while one periodically clears;
   // every result must equal the uncached reference.  Run under TSan to

@@ -104,5 +104,42 @@ TEST(GridPointsIn, InvalidStepThrows) {
   EXPECT_THROW(GridPointsIn(sq, 0.0), std::logic_error);
 }
 
+TEST(GridPointsIn, ClippedScanMatchesFullScanOnJaggedPolygon) {
+  // A comb-like non-convex polygon whose per-row slice is much narrower
+  // than its bounding box, so the clipped scan actually skips candidates.
+  auto comb = Polygon::Create({{0.0, 0.0},
+                               {9.0, 0.0},
+                               {9.0, 6.0},
+                               {7.5, 6.0},
+                               {7.5, 1.5},
+                               {6.0, 1.5},
+                               {6.0, 6.0},
+                               {4.5, 6.0},
+                               {4.5, 1.5},
+                               {3.0, 1.5},
+                               {3.0, 6.0},
+                               {1.5, 6.0},
+                               {1.5, 1.5},
+                               {0.0, 1.5}});
+  ASSERT_TRUE(comb.ok());
+  const double step = 0.4;
+  const auto pts = GridPointsIn(*comb, step);
+
+  // Unclipped reference: the row-major bounding-box scan the clipped
+  // implementation must reproduce bit for bit.
+  const Aabb box = comb->BoundingBox();
+  std::vector<Vec2> want;
+  for (double y = box.lo.y + step / 2.0; y < box.hi.y; y += step)
+    for (double x = box.lo.x + step / 2.0; x < box.hi.x; x += step)
+      if (comb->Contains({x, y})) want.push_back({x, y});
+
+  ASSERT_EQ(pts.size(), want.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].x, want[i].x);
+    EXPECT_EQ(pts[i].y, want[i].y);
+  }
+  EXPECT_EQ(pts.size(), 209u);  // Pinned: teeth only, nothing in the gaps.
+}
+
 }  // namespace
 }  // namespace nomloc::geometry

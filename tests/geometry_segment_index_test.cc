@@ -1,0 +1,151 @@
+#include "geometry/segment_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/line.h"
+
+namespace nomloc::geometry {
+namespace {
+
+// Brute-force oracle: the linear scan the index must reproduce exactly.
+std::vector<std::uint32_t> BruteCrossings(std::span<const Segment> segs,
+                                          const Segment& q) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < segs.size(); ++i)
+    if (SegmentsIntersect(q, segs[i])) out.push_back(std::uint32_t(i));
+  return out;
+}
+
+std::vector<Segment> RandomSegments(common::Rng& rng, std::size_t n,
+                                    double extent) {
+  std::vector<Segment> segs;
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a{rng.Uniform(0.0, extent), rng.Uniform(0.0, extent)};
+    const Vec2 d{rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)};
+    segs.push_back({a, a + d});
+  }
+  return segs;
+}
+
+TEST(SegmentIndex, EmptyIndexReportsNothing) {
+  const SegmentIndex index;
+  EXPECT_TRUE(index.Empty());
+  std::vector<std::uint32_t> out;
+  index.CrossingIndices({{0, 0}, {10, 10}}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(index.AnyCrossing({{0, 0}, {10, 10}}));
+  EXPECT_FALSE(index.FirstHit({{0, 0}, {10, 10}}).has_value());
+}
+
+TEST(SegmentIndex, CrossingsMatchBruteOnGridOfWalls) {
+  // A lattice of short walls; queries cut across at varied angles.
+  std::vector<Segment> segs;
+  for (int i = 0; i < 10; ++i) {
+    segs.push_back({{double(i), 0.0}, {double(i), 8.0}});    // Vertical.
+    segs.push_back({{0.0, double(i)}, {9.0, double(i)}});    // Horizontal.
+  }
+  const auto index = SegmentIndex::Build(segs);
+  EXPECT_EQ(index.SegmentCount(), segs.size());
+
+  common::Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Segment q{{rng.Uniform(-1.0, 10.0), rng.Uniform(-1.0, 9.0)},
+                    {rng.Uniform(-1.0, 10.0), rng.Uniform(-1.0, 9.0)}};
+    std::vector<std::uint32_t> got;
+    index.CrossingIndices(q, got);
+    EXPECT_EQ(got, BruteCrossings(segs, q));
+    EXPECT_EQ(index.AnyCrossing(q), !got.empty());
+  }
+}
+
+TEST(SegmentIndex, CrossingsMatchBruteOnRandomSoup) {
+  common::Rng rng(42);
+  for (const std::size_t n : {1u, 7u, 40u, 300u}) {
+    const auto segs = RandomSegments(rng, n, 30.0);
+    const auto index = SegmentIndex::Build(segs);
+    for (int trial = 0; trial < 100; ++trial) {
+      const Segment q{{rng.Uniform(-2.0, 32.0), rng.Uniform(-2.0, 32.0)},
+                      {rng.Uniform(-2.0, 32.0), rng.Uniform(-2.0, 32.0)}};
+      std::vector<std::uint32_t> got;
+      index.CrossingIndices(q, got);
+      EXPECT_EQ(got, BruteCrossings(segs, q)) << "n=" << n;
+    }
+  }
+}
+
+TEST(SegmentIndex, FirstHitMatchesBruteMinimum) {
+  common::Rng rng(7);
+  const auto segs = RandomSegments(rng, 120, 20.0);
+  const auto index = SegmentIndex::Build(segs);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Segment q{{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)},
+                    {rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)}};
+    // Brute first hit: smallest (t, index) over exact intersections.
+    std::optional<SegmentIndex::Hit> want;
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const auto p = IntersectSegments(q, segs[i]);
+      if (!p) continue;
+      const Vec2 d = q.b - q.a;
+      const double len2 = Dot(d, d);
+      const double t =
+          len2 > 0.0 ? std::clamp(Dot(*p - q.a, d) / len2, 0.0, 1.0) : 0.0;
+      if (!want || t < want->t) want = {i, *p, t};
+    }
+    const auto got = index.FirstHit(q);
+    ASSERT_EQ(got.has_value(), want.has_value());
+    if (got) {
+      EXPECT_EQ(got->index, want->index);
+      EXPECT_EQ(got->point.x, want->point.x);
+      EXPECT_EQ(got->point.y, want->point.y);
+    }
+  }
+}
+
+TEST(SegmentIndex, HandlesDegenerateSegments) {
+  // Zero-length segments, collinear overlapping walls, and a query
+  // touching an endpoint exactly.
+  const std::vector<Segment> segs{{{2, 2}, {2, 2}},          // Point.
+                                  {{0, 1}, {4, 1}},          // Base wall.
+                                  {{1, 1}, {3, 1}},          // Collinear overlap.
+                                  {{4, 0}, {4, 4}}};
+  const auto index = SegmentIndex::Build(segs);
+  for (const Segment q : {Segment{{2, 0}, {2, 4}},   // Through the point.
+                          Segment{{0, 0}, {4, 4}},   // Diagonal.
+                          Segment{{4, 1}, {5, 1}},   // Starts on a wall.
+                          Segment{{0, 1}, {4, 1}}})  // Collinear with walls.
+  {
+    std::vector<std::uint32_t> got;
+    index.CrossingIndices(q, got);
+    EXPECT_EQ(got, BruteCrossings(segs, q));
+  }
+}
+
+TEST(SegmentIndex, AppendsWithoutClearing) {
+  const std::vector<Segment> segs{{{0, 1}, {2, 1}}};
+  const auto index = SegmentIndex::Build(segs);
+  std::vector<std::uint32_t> out{99};
+  index.CrossingIndices({{1, 0}, {1, 2}}, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 99u);
+  EXPECT_EQ(out[1], 0u);
+}
+
+TEST(SegmentIndex, ReportsShapeAndFootprint) {
+  common::Rng rng(3);
+  const auto segs = RandomSegments(rng, 64, 40.0);
+  const auto index = SegmentIndex::Build(segs);
+  EXPECT_GT(index.CellCount(), 0u);
+  EXPECT_GT(index.CellWidthM(), 0.0);
+  EXPECT_GT(index.CellHeightM(), 0.0);
+  EXPECT_GT(index.ApproxBytes(), 64 * sizeof(Segment));
+}
+
+}  // namespace
+}  // namespace nomloc::geometry

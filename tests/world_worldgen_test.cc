@@ -1,0 +1,133 @@
+#include "world/worldgen.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel/environment.h"
+#include "geometry/vec2.h"
+
+namespace nomloc::world {
+namespace {
+
+using geometry::Vec2;
+
+WorldSpec Spec(Layout layout, std::size_t rooms, std::uint64_t seed = 7) {
+  WorldSpec s;
+  s.layout = layout;
+  s.rooms = rooms;
+  s.seed = seed;
+  return s;
+}
+
+TEST(Worldgen, EveryLayoutGeneratesAcrossSizes) {
+  for (const Layout layout : {Layout::kOfficeGrid, Layout::kCorridorSpine,
+                              Layout::kAtrium, Layout::kMultiFloor}) {
+    for (const std::size_t rooms : {1u, 3u, 10u, 57u, 100u}) {
+      auto world = Generate(Spec(layout, rooms));
+      ASSERT_TRUE(world.ok()) << LayoutName(layout) << " rooms=" << rooms
+                              << ": " << world.status().message();
+      EXPECT_GE(world->rooms, rooms);
+      EXPECT_EQ(world->test_sites.size(), world->rooms);
+      EXPECT_FALSE(world->ap_sites.empty());
+      EXPECT_FALSE(world->env.Walls().empty());
+      for (const Vec2 p : world->ap_sites)
+        EXPECT_TRUE(world->env.IsFreeSpace(p));
+      for (const Vec2 p : world->test_sites)
+        EXPECT_TRUE(world->env.IsFreeSpace(p));
+    }
+  }
+}
+
+TEST(Worldgen, DeterministicForEqualSpecs) {
+  const WorldSpec spec = Spec(Layout::kOfficeGrid, 40, 0xfeed);
+  auto a = Generate(spec);
+  auto b = Generate(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->env.Walls().size(), b->env.Walls().size());
+  for (std::size_t i = 0; i < a->env.Walls().size(); ++i) {
+    EXPECT_EQ(a->env.Walls()[i].segment.a.x, b->env.Walls()[i].segment.a.x);
+    EXPECT_EQ(a->env.Walls()[i].segment.a.y, b->env.Walls()[i].segment.a.y);
+    EXPECT_EQ(a->env.Walls()[i].segment.b.x, b->env.Walls()[i].segment.b.x);
+    EXPECT_EQ(a->env.Walls()[i].segment.b.y, b->env.Walls()[i].segment.b.y);
+  }
+  ASSERT_EQ(a->env.Scatterers().size(), b->env.Scatterers().size());
+  for (std::size_t i = 0; i < a->env.Scatterers().size(); ++i) {
+    EXPECT_EQ(a->env.Scatterers()[i].x, b->env.Scatterers()[i].x);
+    EXPECT_EQ(a->env.Scatterers()[i].y, b->env.Scatterers()[i].y);
+  }
+  ASSERT_EQ(a->test_sites.size(), b->test_sites.size());
+  for (std::size_t i = 0; i < a->test_sites.size(); ++i) {
+    EXPECT_EQ(a->test_sites[i].x, b->test_sites[i].x);
+    EXPECT_EQ(a->test_sites[i].y, b->test_sites[i].y);
+  }
+}
+
+TEST(Worldgen, SeedChangesGeometryDetails) {
+  auto a = Generate(Spec(Layout::kOfficeGrid, 30, 1));
+  auto b = Generate(Spec(Layout::kOfficeGrid, 30, 2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Same structural plan, different jitter: at least one test site moves.
+  ASSERT_EQ(a->test_sites.size(), b->test_sites.size());
+  bool any_moved = false;
+  for (std::size_t i = 0; i < a->test_sites.size(); ++i)
+    any_moved |= Distance(a->test_sites[i], b->test_sites[i]) > 1e-12;
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Worldgen, TestSiteCapStridesAcrossBuilding) {
+  WorldSpec spec = Spec(Layout::kOfficeGrid, 100);
+  spec.max_test_sites = 12;
+  auto world = Generate(spec);
+  ASSERT_TRUE(world.ok());
+  ASSERT_EQ(world->test_sites.size(), 12u);
+  // Strided selection spans the building rather than one corner: the
+  // kept sites' x-extent covers most of the boundary's width.
+  const auto bbox = world->env.Boundary().BoundingBox();
+  double lo = world->test_sites.front().x, hi = lo;
+  for (const Vec2 p : world->test_sites) {
+    lo = std::min(lo, p.x);
+    hi = std::max(hi, p.x);
+  }
+  EXPECT_GT(hi - lo, 0.5 * bbox.Width());
+}
+
+TEST(Worldgen, MultiFloorMultipliesRooms) {
+  WorldSpec spec = Spec(Layout::kMultiFloor, 20);
+  spec.floors = 3;
+  auto world = Generate(spec);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->rooms, 60u);
+  EXPECT_EQ(world->floors, 3u);
+}
+
+TEST(Worldgen, LargeWorldBuildsSpatialIndex) {
+  auto world = Generate(Spec(Layout::kOfficeGrid, 100));
+  ASSERT_TRUE(world.ok());
+  EXPECT_GE(world->env.BlockingWalls().size(),
+            channel::IndoorEnvironment::kIndexMinSegments);
+  EXPECT_FALSE(world->env.BlockingIndex().Empty());
+}
+
+TEST(Worldgen, LayoutNamesRoundTrip) {
+  for (const Layout layout : {Layout::kOfficeGrid, Layout::kCorridorSpine,
+                              Layout::kAtrium, Layout::kMultiFloor}) {
+    auto parsed = LayoutByName(LayoutName(layout));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, layout);
+  }
+  EXPECT_FALSE(LayoutByName("warehouse").ok());
+}
+
+TEST(Worldgen, RejectsMalformedSpecs) {
+  EXPECT_FALSE(Generate(Spec(Layout::kOfficeGrid, 0)).ok());
+  WorldSpec tiny = Spec(Layout::kOfficeGrid, 4);
+  tiny.room_w_m = 1.0;
+  EXPECT_FALSE(Generate(tiny).ok());
+  WorldSpec no_floors = Spec(Layout::kMultiFloor, 4);
+  no_floors.floors = 0;
+  EXPECT_FALSE(Generate(no_floors).ok());
+}
+
+}  // namespace
+}  // namespace nomloc::world

@@ -1,9 +1,16 @@
 // nomloc_sim — command-line experiment driver.
 //
 //   nomloc_sim [--scenario lab|lobby|office] [--deployment static|nomadic]
+//              [--world office|corridor|atrium|multifloor] [--rooms N]
+//              [--floors N] [--world-seed N] [--sites N]
 //              [--trials N] [--packets N] [--dwells N] [--er METERS]
 //              [--pattern markov|stay|patrol|stationary] [--seed N]
 //              [--nomadic-aps N] [--threads N] [--csv] [--metrics]
+//
+// --world replaces the hand-drawn --scenario testbeds with a procedurally
+// generated building (world/worldgen.h): --rooms sizes it, --floors
+// applies to multifloor, --world-seed fixes the geometry, and --sites
+// caps the object test sites (default 12, strided across the building).
 //
 // Runs the full measurement + localization pipeline and prints per-site
 // mean errors, SLV, and CDF quantiles.  --csv emits machine-readable rows
@@ -27,6 +34,7 @@
 #include "eval/runner.h"
 #include "eval/scenario.h"
 #include "simd/dispatch.h"
+#include "world/worldgen.h"
 
 using namespace nomloc;
 
@@ -36,6 +44,8 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [--scenario lab|lobby|office] [--deployment static|nomadic]\n"
+      "          [--world office|corridor|atrium|multifloor] [--rooms N]\n"
+      "          [--floors N] [--world-seed N] [--sites N]\n"
       "          [--trials N] [--packets N] [--dwells N] [--er METERS]\n"
       "          [--pattern markov|stay|patrol|stationary] [--seed N]\n"
       "          [--nomadic-aps N] [--threads N] [--csv] [--map]\n"
@@ -48,6 +58,9 @@ namespace {
 
 int main(int argc, char** argv) {
   std::string scenario_name = "lab";
+  std::string world_name;
+  world::WorldSpec world_spec;
+  world_spec.max_test_sites = 12;
   eval::RunConfig cfg;
   cfg.packets_per_batch = 50;
   cfg.trials = 12;
@@ -66,6 +79,16 @@ int main(int argc, char** argv) {
     };
     if (arg == "--scenario") {
       scenario_name = next();
+    } else if (arg == "--world") {
+      world_name = next();
+    } else if (arg == "--rooms") {
+      world_spec.rooms = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--floors") {
+      world_spec.floors = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--world-seed") {
+      world_spec.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--sites") {
+      world_spec.max_test_sites = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--deployment") {
       const std::string d = next();
       if (d == "static") cfg.deployment = eval::Deployment::kStatic;
@@ -106,11 +129,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto scenario = eval::ScenarioByName(scenario_name);
+  auto scenario = [&]() -> common::Result<eval::Scenario> {
+    if (world_name.empty()) return eval::ScenarioByName(scenario_name);
+    auto layout = world::LayoutByName(world_name);
+    if (!layout.ok()) return layout.status();
+    world_spec.layout = *layout;
+    return eval::GeneratedScenario(world_spec);
+  }();
   if (!scenario.ok()) {
     std::fprintf(stderr, "error: %s\n", scenario.status().ToString().c_str());
     return 1;
   }
+  if (!world_name.empty()) scenario_name = scenario->name;
 
   if (map) {
     std::printf("%s\nlegend: # wall, o obstacle, A static AP, N nomadic "
@@ -141,7 +171,7 @@ int main(int argc, char** argv) {
         {"dsp.fft.plan", "dsp.fft.plan.hits", "dsp.fft.plan.misses"},
         {"channel.trace.cache", "channel.trace.cache.hits",
          "channel.trace.cache.misses"},
-        {"channel.trace.images", "channel.trace.images.hits",
+        {"channel.trace.images.hit_rate", "channel.trace.images.hits",
          "channel.trace.images.misses"},
         {"lp.workspace", "lp.workspace.reused", "lp.workspace.fresh"},
         // Session-solver short-circuits: a "hit" avoided a cold LP solve
@@ -155,9 +185,9 @@ int main(int argc, char** argv) {
       const std::uint64_t misses = registry.Counter(p.misses).Value();
       const std::uint64_t total = hits + misses;
       if (total == 0) {
-        std::printf("  %-22s unused\n", p.label);
+        std::printf("  %-29s unused\n", p.label);
       } else {
-        std::printf("  %-22s %5.1f %% (%llu of %llu)\n", p.label,
+        std::printf("  %-29s %5.1f %% (%llu of %llu)\n", p.label,
                     100.0 * double(hits) / double(total),
                     static_cast<unsigned long long>(hits),
                     static_cast<unsigned long long>(total));
