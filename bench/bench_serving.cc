@@ -4,11 +4,24 @@
 // reports packets/sec plus end-to-end latency percentiles per worker
 // count.
 //
+// Latency percentiles are coordinated-omission free: every packet is
+// stamped with its intended send time (IngestPacket::scheduled_wall)
+// before submission, so time the sender spends blocked on admission is
+// charged to the packet instead of silently vanishing.  The bench JSON
+// notes this via "latency_origin": "scheduled_send".
+//
 // The BenchTiming rows reuse the shared cold-vs-warm report shape:
 // "cold" is the single-worker wall time for the whole stream, "warm" is
 // the series' own worker count, so the speedup column reads as the
 // scaling factor over serial serving.  Per-series throughput and latency
 // percentiles are attached under "serving" in the JSON document.
+//
+// --open-loop additionally runs the million-session scale campaign
+// (serving/loadgen.h): per session count it stands up the population,
+// measures closed-loop ingest capacity, replays a paced open-loop
+// schedule for CO-free latency percentiles, race-tests binary vs JSON
+// wire decoding, and reports bytes/session from SessionStore::Memory().
+// Results land under "scale" in the JSON document.
 //
 // Flags: --quick shrinks the campaign (CI smoke), --json prints the
 // shared BenchReportJson document, --out PATH also writes it to a file
@@ -24,12 +37,15 @@
 
 #include "bench_util.h"
 #include "common/assert.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "core/nomloc.h"
 #include "eval/scenario.h"
 #include "serving/clock.h"
+#include "serving/loadgen.h"
 #include "serving/replay.h"
 #include "serving/service.h"
+#include "serving/wire.h"
 
 namespace {
 
@@ -64,7 +80,11 @@ StreamRun RunStream(const nomloc::core::NomLocEngine& engine,
   const auto start = std::chrono::steady_clock::now();
   for (const nomloc::serving::IngestPacket& packet : plan.packets) {
     clock.Set(packet.timestamp_s);
-    (*service)->Ingest(packet);
+    nomloc::serving::IngestPacket stamped = packet;
+    // Intended send time, stamped before submission: admission stalls
+    // count against the packet (no coordinated omission).
+    stamped.scheduled_wall = std::chrono::steady_clock::now();
+    (*service)->Ingest(stamped);
   }
   (*service)->Flush();
   const auto stop = std::chrono::steady_clock::now();
@@ -101,19 +121,208 @@ StreamRun BestRun(const nomloc::core::NomLocEngine& engine,
   return best;
 }
 
+// ---------------------------------------------------------------------
+// Open-loop scale campaign.
+
+struct ScaleRun {
+  std::size_t sessions = 0;
+  double populate_packets_per_s = 0.0;
+  double capacity_packets_per_s = 0.0;
+  double paced_rate_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t responses = 0;
+  std::size_t live_bytes = 0;
+  std::size_t resident_bytes = 0;
+  double bytes_per_session = 0.0;
+  std::size_t shard_bytes_budget = 0;
+  std::uint64_t evictions_pressure = 0;
+  std::uint64_t sessions_evicted = 0;
+  double wire_binary_packets_per_s = 0.0;
+  double wire_json_packets_per_s = 0.0;
+  double wire_speedup = 0.0;
+};
+
+// Decode-only throughput of one wire encoding (best of `repeats`).
+double DecodeThroughput(const std::string& bytes,
+                        nomloc::serving::WireFormat format,
+                        std::size_t packets, std::size_t repeats) {
+  double best_s = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    auto decoded = nomloc::serving::DecodeWire(bytes, format);
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    NOMLOC_REQUIRE(decoded.ok());
+    NOMLOC_REQUIRE(decoded->size() == packets);
+    if (r == 0 || s < best_s) best_s = s;
+  }
+  return best_s > 0.0 ? double(packets) / best_s : 0.0;
+}
+
+ScaleRun RunScale(const nomloc::core::NomLocEngine& engine,
+                  std::size_t sessions, bool quick) {
+  auto& registry = nomloc::common::MetricRegistry::Global();
+  auto& pressure_counter = registry.Counter("serving.evictions.pressure");
+  auto& evicted_counter = registry.Counter("serving.sessions.evicted");
+  const std::uint64_t pressure_before = pressure_counter.Value();
+  const std::uint64_t evicted_before = evicted_counter.Value();
+
+  nomloc::serving::LoadGenConfig load;
+  load.objects = sessions;
+  load.anchors_per_object = 3;
+  load.packets = quick ? 20'000 : 200'000;
+  load.rate_per_s = 100'000.0;  // logical-timeline rate
+  load.arrival = nomloc::serving::ArrivalProcess::kPoisson;
+  load.zipf_s = 0.99;
+  load.query_fraction = 0.02;
+  load.seed = 7;
+  const nomloc::serving::LoadSchedule schedule =
+      nomloc::serving::BuildLoadSchedule(load);
+
+  nomloc::serving::ServingConfig config;
+  config.workers = 1;
+  config.queue_capacity =
+      std::max(schedule.populate.size(), schedule.steady.size()) + 1;
+  config.store.shards = 64;
+  config.store.reserve_sessions = sessions;
+  config.store.reserve_anchors = sessions * load.anchors_per_object;
+  config.store.reserve_observations =
+      sessions * load.anchors_per_object + schedule.steady.size();
+  // The stated budget: 512 B/session across the shard's share of the
+  // population (headroom factor 2 keeps steady-state churn off the
+  // eviction path; the scale test exercises the eviction path itself).
+  config.store.shard_bytes_budget =
+      2 * 512 * std::max<std::size_t>(sessions / config.store.shards, 1);
+  config.expected_anchors = load.anchors_per_object;
+
+  nomloc::serving::ManualClock clock;
+  auto service =
+      nomloc::serving::StreamingLocalizer::Create(engine, config, &clock);
+  NOMLOC_REQUIRE(service.ok());
+
+  ScaleRun run;
+  run.sessions = sessions;
+  run.shard_bytes_budget = config.store.shard_bytes_budget;
+
+  // Phase 1: populate the full session population at maximum rate.
+  clock.Set(0.0);
+  auto populate_start = std::chrono::steady_clock::now();
+  for (const nomloc::serving::IngestPacket& packet : schedule.populate) {
+    nomloc::serving::IngestPacket stamped = packet;
+    stamped.scheduled_wall = std::chrono::steady_clock::now();
+    NOMLOC_REQUIRE((*service)->Ingest(stamped) ==
+                   nomloc::serving::AdmitStatus::kAccepted);
+  }
+  (*service)->Flush();
+  const double populate_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    populate_start)
+          .count();
+  run.populate_packets_per_s =
+      populate_s > 0.0 ? double(schedule.populate.size()) / populate_s : 0.0;
+
+  const nomloc::serving::MemoryStats memory = (*service)->Store().Memory();
+  run.live_bytes = memory.live_bytes;
+  run.resident_bytes = memory.resident_bytes;
+  run.bytes_per_session =
+      memory.sessions > 0 ? double(memory.live_bytes) / double(memory.sessions)
+                          : 0.0;
+
+  // Phase 2: closed-loop capacity probe over the steady schedule.
+  const auto capacity_start = std::chrono::steady_clock::now();
+  for (const nomloc::serving::ScheduledPacket& scheduled : schedule.steady) {
+    clock.Set(scheduled.packet.timestamp_s);
+    nomloc::serving::IngestPacket stamped = scheduled.packet;
+    stamped.scheduled_wall = std::chrono::steady_clock::now();
+    (*service)->Ingest(stamped);
+  }
+  (*service)->Flush();
+  const double capacity_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    capacity_start)
+          .count();
+  run.capacity_packets_per_s =
+      capacity_s > 0.0 ? double(schedule.steady.size()) / capacity_s : 0.0;
+  (void)(*service)->TakeResponses();  // drain the capacity probe
+
+  // Phase 3: paced open-loop replay at half of measured capacity.
+  // Wall send times follow the schedule (scaled from the logical
+  // timeline); latency runs from the *scheduled* stamp even when the
+  // sender falls behind, so backlog is charged to the percentiles.
+  run.paced_rate_per_s = 0.5 * run.capacity_packets_per_s;
+  if (run.paced_rate_per_s > 0.0) {
+    const double stretch = load.rate_per_s / run.paced_rate_per_s;
+    const auto paced_start = std::chrono::steady_clock::now();
+    for (const nomloc::serving::ScheduledPacket& scheduled :
+         schedule.steady) {
+      const auto due =
+          paced_start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                scheduled.send_offset_s * stretch));
+      while (std::chrono::steady_clock::now() < due) {
+        // Open loop: spin — never skip or defer a scheduled send.
+      }
+      clock.Set(scheduled.packet.timestamp_s);
+      nomloc::serving::IngestPacket stamped = scheduled.packet;
+      stamped.scheduled_wall = due;
+      (*service)->Ingest(stamped);
+    }
+    (*service)->Flush();
+    std::vector<double> latencies_ms;
+    for (const auto& response : (*service)->TakeResponses())
+      latencies_ms.push_back(1e3 * response.latency_s);
+    run.responses = latencies_ms.size();
+    if (!latencies_ms.empty()) {
+      std::sort(latencies_ms.begin(), latencies_ms.end());
+      run.p50_ms = nomloc::common::Percentile(latencies_ms, 0.5);
+      run.p95_ms = nomloc::common::Percentile(latencies_ms, 0.95);
+      run.p99_ms = nomloc::common::Percentile(latencies_ms, 0.99);
+    }
+  }
+  (*service)->Shutdown();
+
+  run.evictions_pressure = pressure_counter.Value() - pressure_before;
+  run.sessions_evicted = evicted_counter.Value() - evicted_before;
+
+  // Phase 4: binary vs JSON wire decode throughput over the steady slice.
+  std::vector<nomloc::serving::IngestPacket> slice;
+  slice.reserve(schedule.steady.size());
+  for (const nomloc::serving::ScheduledPacket& scheduled : schedule.steady)
+    slice.push_back(scheduled.packet);
+  const std::string binary = nomloc::serving::EncodeWireBinary(slice);
+  const std::string ndjson = nomloc::serving::EncodeWireJson(slice);
+  const std::size_t repeats = quick ? 2 : 3;
+  run.wire_binary_packets_per_s = DecodeThroughput(
+      binary, nomloc::serving::WireFormat::kBinary, slice.size(), repeats);
+  run.wire_json_packets_per_s = DecodeThroughput(
+      ndjson, nomloc::serving::WireFormat::kJson, slice.size(), repeats);
+  run.wire_speedup = run.wire_json_packets_per_s > 0.0
+                         ? run.wire_binary_packets_per_s /
+                               run.wire_json_packets_per_s
+                         : 0.0;
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
+  bool open_loop = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     else if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--open-loop") == 0) open_loop = true;
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json] [--out PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--open-loop] [--json] [--out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -172,8 +381,47 @@ int main(int argc, char** argv) {
     rows.push_back(nomloc::common::Json(std::move(row)));
   }
 
+  std::vector<ScaleRun> scale_runs;
+  if (open_loop) {
+    std::vector<std::size_t> scales{10'000};
+    if (!quick) {
+      scales.push_back(100'000);
+      scales.push_back(1'000'000);
+    }
+    for (std::size_t sessions : scales)
+      scale_runs.push_back(RunScale(*engine, sessions, quick));
+  }
+
   nomloc::common::JsonObject extra;
   extra["serving"] = nomloc::common::Json(std::move(rows));
+  // Latency percentiles are measured from the scheduled send time, not
+  // the successful submit (coordinated-omission fix; PR 8).
+  extra["latency_origin"] = nomloc::common::Json("scheduled_send");
+  if (!scale_runs.empty()) {
+    nomloc::common::JsonArray scale_rows;
+    for (const ScaleRun& run : scale_runs) {
+      nomloc::common::JsonObject row;
+      row["sessions"] = run.sessions;
+      row["populate_packets_per_s"] = run.populate_packets_per_s;
+      row["capacity_packets_per_s"] = run.capacity_packets_per_s;
+      row["paced_rate_per_s"] = run.paced_rate_per_s;
+      row["responses"] = run.responses;
+      row["latency_p50_ms"] = run.p50_ms;
+      row["latency_p95_ms"] = run.p95_ms;
+      row["latency_p99_ms"] = run.p99_ms;
+      row["live_bytes"] = run.live_bytes;
+      row["resident_bytes"] = run.resident_bytes;
+      row["bytes_per_session"] = run.bytes_per_session;
+      row["shard_bytes_budget"] = run.shard_bytes_budget;
+      row["evictions_pressure"] = std::size_t(run.evictions_pressure);
+      row["sessions_evicted"] = std::size_t(run.sessions_evicted);
+      row["wire_binary_packets_per_s"] = run.wire_binary_packets_per_s;
+      row["wire_json_packets_per_s"] = run.wire_json_packets_per_s;
+      row["wire_speedup"] = run.wire_speedup;
+      scale_rows.push_back(nomloc::common::Json(std::move(row)));
+    }
+    extra["scale"] = nomloc::common::Json(std::move(scale_rows));
+  }
   const nomloc::common::Json report = nomloc::bench::BenchReportJson(
       "serving", quick, series, std::move(extra));
 
@@ -191,6 +439,20 @@ int main(int argc, char** argv) {
       std::printf("  %-28s %12.0f %9.3f %9.3f %9.3f\n",
                   series[i].name.c_str(), runs[i].packets_per_s,
                   runs[i].p50_ms, runs[i].p95_ms, runs[i].p99_ms);
+    }
+    if (!scale_runs.empty()) {
+      std::printf("\n  open-loop scale campaign "
+                  "(CO-free latency from scheduled send)\n");
+      std::printf("  %10s %12s %12s %9s %9s %11s %9s %9s\n", "sessions",
+                  "ingest/s", "paced/s", "p50 [ms]", "p99 [ms]", "B/session",
+                  "evict", "wire x");
+      for (const ScaleRun& run : scale_runs) {
+        std::printf("  %10zu %12.0f %12.0f %9.3f %9.3f %11.1f %9zu %9.2f\n",
+                    run.sessions, run.capacity_packets_per_s,
+                    run.paced_rate_per_s, run.p50_ms, run.p99_ms,
+                    run.bytes_per_session,
+                    std::size_t(run.evictions_pressure), run.wire_speedup);
+      }
     }
   }
   if (!out_path.empty()) {

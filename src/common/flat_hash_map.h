@@ -1,0 +1,177 @@
+// Open-addressing flat hash map for hot-path lookup tables.
+//
+// std::map costs one cache-missing pointer chase per tree level plus ~48
+// bytes of node overhead per entry — at a million serving sessions that is
+// both the dominant lookup cost and a third of the memory bill.  This map
+// stores entries inline in one contiguous slot array (linear probing,
+// power-of-two capacity) so a lookup is one hash plus a short linear scan
+// of adjacent cache lines, and the only per-entry overhead is the table's
+// load-factor headroom.
+//
+// Deletion uses backward-shift (no tombstones): when a slot is freed,
+// subsequent entries of the same probe chain slide back into it, so probe
+// chains never accumulate dead slots and lookup cost stays bounded by the
+// live load factor no matter how many erasures happened.
+//
+// Iteration order is the probe layout — it depends on insertion history.
+// Callers that need deterministic output (e.g. checkpoints) must extract
+// the keys and sort them; see SessionStore::CheckpointJson.
+//
+// Not thread-safe; callers shard and lock (see serving/session_store.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace nomloc::common {
+
+/// Default hash: splitmix64 finalizer — cheap, and strong enough to spread
+/// adjacent integer keys over all slots.
+struct SplitMix64Hash {
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = SplitMix64Hash>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// Allocated slot count (power of two; 0 before first insert).
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Bytes held by the slot array — the map's contribution to a shard's
+  /// resident-memory accounting.
+  std::size_t CapacityBytes() const noexcept {
+    return slots_.size() * sizeof(Slot);
+  }
+
+  /// Ensures capacity for `n` entries without rehashing on the way there.
+  void Reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    while (want * 3 < n * 4) want <<= 1;  // keep load factor <= 0.75
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  void Clear() noexcept {
+    for (Slot& slot : slots_) slot.used = false;
+    size_ = 0;
+  }
+
+  /// Pointer to the mapped value, or nullptr when absent.  Stable only
+  /// until the next insert (rehash moves slots).
+  Value* Find(const Key& key) noexcept {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const Value* Find(const Key& key) const noexcept {
+    return const_cast<FlatHashMap*>(this)->Find(key);
+  }
+
+  /// try_emplace: returns the value slot plus whether it was created (the
+  /// value is default-constructed then).
+  std::pair<Value*, bool> Insert(const Key& key) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3)
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return {&slots_[i].value, false};
+      i = (i + 1) & mask;
+    }
+    slots_[i].used = true;
+    slots_[i].key = key;
+    slots_[i].value = Value{};
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  /// Backward-shift erase; false when the key was absent.
+  bool Erase(const Key& key) noexcept {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key) & mask;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask;
+    }
+    if (!slots_[i].used) return false;
+    // Slide the rest of the probe chain back over the gap.  An entry may
+    // move into the gap only if its home slot lies cyclically at or before
+    // the gap — otherwise it would land in front of its home and become
+    // unreachable.
+    std::size_t gap = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!slots_[j].used) break;
+      const std::size_t home = Hash{}(slots_[j].key) & mask;
+      if (((j - home) & mask) >= ((j - gap) & mask)) {
+        slots_[gap].key = std::move(slots_[j].key);
+        slots_[gap].value = std::move(slots_[j].value);
+        gap = j;
+      }
+    }
+    slots_[gap].used = false;
+    --size_;
+    return true;
+  }
+
+  /// Visits every live entry (layout order — NOT deterministic across
+  /// different insertion histories).  `fn(const Key&, Value&)`.  The map
+  /// must not be mutated during the walk.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& slot : slots_)
+      if (slot.used) fn(static_cast<const Key&>(slot.key), slot.value);
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_)
+      if (slot.used) fn(slot.key, slot.value);
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    bool used = false;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  void Rehash(std::size_t new_capacity) {
+    NOMLOC_REQUIRE((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    const std::size_t mask = new_capacity - 1;
+    for (Slot& slot : old) {
+      if (!slot.used) continue;
+      std::size_t i = Hash{}(slot.key) & mask;
+      while (slots_[i].used) i = (i + 1) & mask;
+      slots_[i].used = true;
+      slots_[i].key = std::move(slot.key);
+      slots_[i].value = std::move(slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nomloc::common

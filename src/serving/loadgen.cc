@@ -1,0 +1,183 @@
+#include "serving/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace nomloc::serving {
+
+namespace {
+
+std::uint64_t NextRandom(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t x = state;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1).
+double UniformDouble(std::uint64_t& state) noexcept {
+  return double(NextRandom(state) >> 11) * 0x1.0p-53;
+}
+
+/// Exponential inter-arrival with mean 1/rate.
+double Exponential(std::uint64_t& state, double rate) noexcept {
+  return -std::log1p(-UniformDouble(state)) / rate;
+}
+
+/// Zipf(s) sampler over ranks [0, n): precomputed CDF + binary search.
+/// O(n) setup, O(log n) per draw, exact distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      total += s == 0.0 ? 1.0 : std::pow(double(rank + 1), -s);
+      cdf_[rank] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t Draw(std::uint64_t& state) const noexcept {
+    const double u = UniformDouble(state);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return std::size_t(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::string_view ArrivalProcessName(ArrivalProcess process) noexcept {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+    case ArrivalProcess::kFlashCrowd: return "flash";
+  }
+  return "unknown";
+}
+
+common::Result<ArrivalProcess> ParseArrivalProcessName(
+    std::string_view name) {
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "diurnal") return ArrivalProcess::kDiurnal;
+  if (name == "flash") return ArrivalProcess::kFlashCrowd;
+  return common::InvalidArgument("unknown arrival process '" +
+                                 std::string(name) +
+                                 "' (expected poisson|diurnal|flash)");
+}
+
+common::Result<void> LoadGenConfig::Validate() const {
+  if (objects == 0) return common::InvalidArgument("objects must be >= 1");
+  if (anchors_per_object == 0)
+    return common::InvalidArgument("anchors_per_object must be >= 1");
+  if (!(rate_per_s > 0.0))
+    return common::InvalidArgument("rate_per_s must be positive");
+  if (zipf_s < 0.0)
+    return common::InvalidArgument("zipf_s must be non-negative");
+  if (query_fraction < 0.0 || query_fraction > 1.0)
+    return common::InvalidArgument("query_fraction must be in [0, 1]");
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0)
+    return common::InvalidArgument("diurnal_amplitude must be in [0, 1)");
+  if (!(diurnal_period_s > 0.0))
+    return common::InvalidArgument("diurnal_period_s must be positive");
+  if (flash_multiplier < 1.0)
+    return common::InvalidArgument("flash_multiplier must be >= 1");
+  if (flash_duration_s < 0.0 || flash_start_s < 0.0)
+    return common::InvalidArgument("flash window must be non-negative");
+  if (!(area_m > 0.0))
+    return common::InvalidArgument("area_m must be positive");
+  return {};
+}
+
+LoadSchedule BuildLoadSchedule(const LoadGenConfig& config) {
+  NOMLOC_REQUIRE(config.Validate().ok());
+  LoadSchedule schedule;
+  std::uint64_t rng = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+
+  // Populate: one observation per (object, anchor) at t = 0.  Anchor
+  // geometry is per-AP, shared across objects (a floor has few APs, many
+  // objects); PDP values are positive and finite so the ingest corruption
+  // screen admits everything.
+  schedule.populate.reserve(config.objects * config.anchors_per_object);
+  std::vector<geometry::Vec2> anchor_positions(config.anchors_per_object);
+  for (geometry::Vec2& position : anchor_positions)
+    position = {UniformDouble(rng) * config.area_m,
+                UniformDouble(rng) * config.area_m};
+  for (std::size_t object = 0; object < config.objects; ++object) {
+    for (std::size_t a = 0; a < config.anchors_per_object; ++a) {
+      IngestPacket packet;
+      packet.kind = PacketKind::kObservation;
+      packet.object_id = object;
+      packet.ap_id = int(a);
+      packet.site_index = 0;
+      packet.is_nomadic = a == 0;  // one nomadic source per constraint set
+      packet.reported_position = anchor_positions[a];
+      packet.pdp = 0.5 + UniformDouble(rng);
+      packet.weight = 1.0;
+      packet.timestamp_s = 0.0;
+      schedule.populate.push_back(packet);
+    }
+  }
+
+  // Steady phase: arrival offsets by the chosen process.  Diurnal and
+  // flash-crowd rates are inhomogeneous-Poisson via thinning: candidates
+  // arrive at the peak rate and survive with probability
+  // lambda(t) / lambda_peak.
+  const double peak_rate =
+      config.arrival == ArrivalProcess::kDiurnal
+          ? config.rate_per_s * (1.0 + config.diurnal_amplitude)
+          : config.arrival == ArrivalProcess::kFlashCrowd
+                ? config.rate_per_s * config.flash_multiplier
+                : config.rate_per_s;
+  auto rate_at = [&](double t) {
+    switch (config.arrival) {
+      case ArrivalProcess::kPoisson:
+        return config.rate_per_s;
+      case ArrivalProcess::kDiurnal:
+        return config.rate_per_s *
+               (1.0 + config.diurnal_amplitude *
+                          std::sin(2.0 * M_PI * t / config.diurnal_period_s));
+      case ArrivalProcess::kFlashCrowd:
+        return t >= config.flash_start_s &&
+                       t < config.flash_start_s + config.flash_duration_s
+                   ? config.rate_per_s * config.flash_multiplier
+                   : config.rate_per_s;
+    }
+    return config.rate_per_s;
+  };
+
+  const ZipfSampler popularity(config.objects, config.zipf_s);
+  schedule.steady.reserve(config.packets);
+  double t = 0.0;
+  while (schedule.steady.size() < config.packets) {
+    t += Exponential(rng, peak_rate);
+    if (UniformDouble(rng) * peak_rate > rate_at(t)) continue;  // thinned
+    ScheduledPacket scheduled;
+    scheduled.send_offset_s = t;
+    IngestPacket& packet = scheduled.packet;
+    packet.object_id = popularity.Draw(rng);
+    packet.timestamp_s = t;
+    if (UniformDouble(rng) < config.query_fraction) {
+      packet.kind = PacketKind::kQuery;
+    } else {
+      packet.kind = PacketKind::kObservation;
+      const auto a = std::size_t(NextRandom(rng) % config.anchors_per_object);
+      packet.ap_id = int(a);
+      packet.site_index = 0;
+      packet.is_nomadic = a == 0;
+      packet.reported_position = anchor_positions[a];
+      packet.pdp = 0.5 + UniformDouble(rng);
+      packet.weight = 1.0;
+    }
+    schedule.steady.push_back(scheduled);
+  }
+  schedule.horizon_s = t;
+  return schedule;
+}
+
+}  // namespace nomloc::serving

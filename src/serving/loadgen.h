@@ -1,0 +1,93 @@
+// Open-loop load generation for the serving layer.
+//
+// A closed-loop driver (send, wait for the response, send again) lets a
+// slow server throttle its own load: the one request that stalled 100 ms
+// also *delayed every request behind it out of existence*, so the
+// percentiles never see the queue that would have formed.  This is
+// coordinated omission.  The open-loop generator instead fixes the
+// arrival schedule up front — packet k is due at offset t_k regardless of
+// how the server is doing — and latency is measured from the *scheduled*
+// send time (IngestPacket::scheduled_wall), so a sender running behind
+// charges the backlog to every late packet.
+//
+// Arrival processes (offsets are logical seconds from stream start):
+//
+//   * Poisson      — exponential inter-arrivals at a constant mean rate;
+//   * diurnal      — inhomogeneous Poisson via thinning with
+//                    lambda(t) = rate (1 + A sin(2 pi t / period));
+//   * flash crowd  — constant rate with a multiplier burst inside
+//                    [flash_start_s, flash_start_s + flash_duration_s).
+//
+// Object popularity is Zipf(s) over the object population (rank-1 object
+// hottest), the standard skew model for serving workloads; s = 0 degrades
+// to uniform.  Everything is seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/service.h"
+
+namespace nomloc::serving {
+
+enum class ArrivalProcess {
+  kPoisson,
+  kDiurnal,
+  kFlashCrowd,
+};
+
+std::string_view ArrivalProcessName(ArrivalProcess process) noexcept;
+/// Parses "poisson" / "diurnal" / "flash" (kInvalidArgument otherwise).
+common::Result<ArrivalProcess> ParseArrivalProcessName(std::string_view name);
+
+struct LoadGenConfig {
+  /// Concurrent sessions: the populate phase creates exactly this many.
+  std::size_t objects = 10'000;
+  /// Constraint sources per object (static APs / dwell sites).
+  std::size_t anchors_per_object = 3;
+  /// Steady-phase packets to schedule.
+  std::size_t packets = 100'000;
+  /// Mean arrival rate lambda_0 [packets/s] on the logical timeline.
+  double rate_per_s = 100'000.0;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Zipf skew exponent over object popularity (0 = uniform).
+  double zipf_s = 0.99;
+  /// Fraction of steady-phase packets that are queries (the rest are
+  /// observations).
+  double query_fraction = 0.02;
+  /// Diurnal modulation: lambda(t) = rate (1 + amplitude sin(2 pi t / T)).
+  double diurnal_period_s = 1.0;
+  double diurnal_amplitude = 0.5;  ///< Must stay in [0, 1).
+  /// Flash crowd: rate is multiplied inside the window.
+  double flash_start_s = 0.2;
+  double flash_duration_s = 0.2;
+  double flash_multiplier = 8.0;
+  /// Synthetic anchor positions are drawn from [0, area_m)^2.
+  double area_m = 30.0;
+  std::uint64_t seed = 1;
+
+  common::Result<void> Validate() const;
+};
+
+/// One steady-phase packet with its scheduled send offset.
+struct ScheduledPacket {
+  double send_offset_s = 0.0;  ///< Offset from stream start (sorted).
+  IngestPacket packet;         ///< timestamp_s == send_offset_s.
+};
+
+struct LoadSchedule {
+  /// Populate phase: one observation per (object, anchor), all at t = 0,
+  /// ingested at full speed to stand up `objects` sessions.
+  std::vector<IngestPacket> populate;
+  /// Steady phase, sorted by send_offset_s.
+  std::vector<ScheduledPacket> steady;
+  /// Logical duration of the steady phase (last offset).
+  double horizon_s = 0.0;
+};
+
+/// Builds the full deterministic schedule.  Validate() the config first;
+/// this asserts on invalid input.
+LoadSchedule BuildLoadSchedule(const LoadGenConfig& config);
+
+}  // namespace nomloc::serving

@@ -25,10 +25,12 @@ constexpr std::string_view kCounterNames[] = {
     "serving.breaker.reclosed",     "serving.retries",
     "serving.fallback.last_known_good",
     "serving.checkpoint.restored",  "serving.solver.sessions",
+    "serving.evictions.pressure",   "serving.wire.parse_failures",
 };
 constexpr std::string_view kHistogramNames[] = {
     "serving.queue.depth",
     "serving.shard.occupancy",
+    "serving.shard.bytes",
 };
 constexpr std::string_view kTimerNames[] = {
     "serving.queue.wait",
@@ -47,8 +49,10 @@ constexpr std::string_view kAllNames[] = {
     "serving.breaker.reclosed",     "serving.retries",
     "serving.fallback.last_known_good",
     "serving.checkpoint.restored",  "serving.solver.sessions",
+    "serving.evictions.pressure",   "serving.wire.parse_failures",
     "serving.queue.depth",
-    "serving.shard.occupancy",      "serving.queue.wait",
+    "serving.shard.occupancy",      "serving.shard.bytes",
+    "serving.queue.wait",
     "serving.solve",                "serving.latency",
 };
 
@@ -65,8 +69,13 @@ std::span<const std::string_view> AllMetricNames() { return kAllNames; }
 void TouchMetrics() {
   auto& registry = common::MetricRegistry::Global();
   for (std::string_view name : kCounterNames) registry.Counter(name);
-  for (std::string_view name : kHistogramNames)
-    registry.Histogram(name, {}, 1.0, 1e6, 48);
+  for (std::string_view name : kHistogramNames) {
+    // Shard byte footprints span far past the 1e6 sessions/depth range.
+    if (name == "serving.shard.bytes")
+      registry.Histogram(name, {}, 1.0, 1e9, 64);
+    else
+      registry.Histogram(name, {}, 1.0, 1e6, 48);
+  }
   for (std::string_view name : kTimerNames) registry.Timer(name);
 }
 
@@ -312,6 +321,13 @@ void StreamingLocalizer::Serve(const Job& job) {
       registry.Counter("serving.fallback.last_known_good");
 
   const IngestPacket& packet = job.packet;
+  // Latency runs from the *scheduled* send time when the producer stamped
+  // one (open-loop load), so sender stalls count against the percentiles
+  // instead of silently vanishing (coordinated omission).
+  const auto latency_origin =
+      packet.scheduled_wall.time_since_epoch().count() != 0
+          ? packet.scheduled_wall
+          : job.enqueue_wall;
   const double queue_wait_s = WallSecondsSince(job.enqueue_wall);
   wait_timer.RecordSeconds(queue_wait_s);
   const double now_s = clock_->NowSeconds();
@@ -343,7 +359,7 @@ void StreamingLocalizer::Serve(const Job& job) {
   if (deadline_missed) {
     past_deadline.Increment();
     response.status = ServeStatus::kRejectedDeadline;
-    response.latency_s = WallSecondsSince(job.enqueue_wall);
+    response.latency_s = WallSecondsSince(latency_origin);
     latency_timer.RecordSeconds(response.latency_s);
     PushResponse(std::move(response));
     return;
@@ -463,8 +479,12 @@ void StreamingLocalizer::Serve(const Job& job) {
 
   solve_trace.Stop();
   if (response.degraded) degraded_counter.Increment();
-  store_.SweepShard(store_.ShardOf(packet.object_id), now_s);
-  response.latency_s = WallSecondsSince(job.enqueue_wall);
+  // Bounded incremental sweep: a full SweepShard is O(sessions/shard) and
+  // would dominate query latency at millions of sessions.  64 slots per
+  // query still covers small shards completely (capacity <= 64) and
+  // cycles a 125k-session shard in ~2k queries.
+  store_.SweepStep(store_.ShardOf(packet.object_id), now_s, 64);
+  response.latency_s = WallSecondsSince(latency_origin);
   latency_timer.RecordSeconds(response.latency_s);
   PushResponse(std::move(response));
 }

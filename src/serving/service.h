@@ -29,6 +29,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -68,6 +69,13 @@ struct IngestPacket {
   /// Absolute logical deadline; the packet is dropped/rejected once the
   /// clock passes it.  Defaults to "never".
   double deadline_s = std::numeric_limits<double>::infinity();
+  /// Wall time this packet was *scheduled* to be sent.  When set, served
+  /// latency is measured from here instead of the admission time, so a
+  /// stalled sender cannot hide queueing delay from the percentiles
+  /// (coordinated omission).  Open-loop load generation stamps this;
+  /// epoch-zero (the default) means "unset" and latency falls back to the
+  /// admission timestamp.
+  std::chrono::steady_clock::time_point scheduled_wall{};
 };
 
 /// Synchronous admission verdict returned by Ingest().

@@ -8,6 +8,20 @@
 // disappears once its last observation expires, and the SP solver then
 // runs on the reduced constraint set (the feasible cell re-expands).
 //
+// Storage is built for millions of concurrent sessions (bytes/session is
+// a first-class, benchmarked number — see DESIGN.md "Serving at scale"):
+//
+//   * object id -> session is an open-addressing flat hash map
+//     (common/flat_hash_map.h), not a node-based tree;
+//   * sessions, anchors (the constraint set), and PDP observations (the
+//     judgement history) live in per-shard slab arenas of fixed-width,
+//     index-linked records (common/slab.h) — a uint32 "next" instead of
+//     pointers, freelist reuse instead of per-node malloc;
+//   * each shard can carry a live-byte budget: when an ingest pushes the
+//     shard past it, least-recently-touched sessions are evicted under
+//     pressure (`serving.evictions.pressure`), and `serving.shard.bytes`
+//     tracks the live footprint.
+//
 // Sessions are sharded by object id.  Each shard has its own mutex, so
 // ingestion workers handling different shards never contend; the serving
 // engine additionally routes every shard to exactly one worker, which
@@ -17,15 +31,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "common/json.h"
+#include "common/slab.h"
 #include "common/status.h"
 #include "geometry/vec2.h"
 #include "localization/proximity.h"
@@ -60,6 +73,16 @@ struct SessionStoreConfig {
   double anchor_ttl_s = 30.0;
   /// Sessions untouched for this long are evicted wholesale.
   double session_idle_ttl_s = 300.0;
+  /// Live-byte budget per shard (0 = unlimited).  An Upsert that pushes a
+  /// shard past its budget evicts least-recently-touched sessions until
+  /// the shard fits again (`serving.evictions.pressure`).
+  std::size_t shard_bytes_budget = 0;
+  /// Expected steady-state totals (across all shards).  Pre-sizes the
+  /// index and slabs so resident bytes track live bytes instead of
+  /// vector-doubling past them; 0 = grow on demand.
+  std::size_t reserve_sessions = 0;
+  std::size_t reserve_anchors = 0;
+  std::size_t reserve_observations = 0;
 
   common::Result<void> Validate() const;
 };
@@ -81,6 +104,19 @@ struct SessionSnapshot {
   std::size_t live_keys = 0;
   std::size_t keys_ever = 0;
   double last_touch_s = 0.0;
+};
+
+/// Aggregated footprint of the store (see also the per-shard
+/// `serving.shard.bytes` histogram).
+struct MemoryStats {
+  std::size_t sessions = 0;
+  std::size_t anchors = 0;
+  std::size_t observations = 0;
+  /// Bytes of live records + index load (the budgeted quantity).
+  std::size_t live_bytes = 0;
+  /// Bytes actually allocated (slab capacity, freelist slack, index
+  /// headroom included).
+  std::size_t resident_bytes = 0;
 };
 
 class SessionStore {
@@ -107,14 +143,25 @@ class SessionStore {
   common::Result<SessionSnapshot> Snapshot(std::uint64_t object_id,
                                            double now_s);
 
-  /// Sweeps one shard: drops expired observations, empty anchors, and idle
-  /// sessions.  Returns the number of sessions evicted.  Also feeds the
-  /// serving.shard.occupancy histogram and eviction counters.
+  /// Sweeps one shard completely: drops expired observations, empty
+  /// anchors, and idle sessions.  Returns the number of sessions evicted.
+  /// Also feeds the serving.shard.occupancy / serving.shard.bytes
+  /// histograms and eviction counters.
   std::size_t SweepShard(std::size_t shard, double now_s);
   /// Sweeps every shard.
   std::size_t SweepAll(double now_s);
+  /// Incremental sweep: examines at most `max_sessions` session slots of
+  /// the shard, resuming where the previous step stopped (a round-robin
+  /// cursor).  This is the per-query sweep the serving hot path uses — a
+  /// full SweepShard is O(sessions/shard) and would dominate query latency
+  /// at millions of sessions.  Returns sessions evicted.
+  std::size_t SweepStep(std::size_t shard, double now_s,
+                        std::size_t max_sessions);
 
   std::size_t SessionCount() const;
+
+  /// Live/resident footprint aggregated over all shards.
+  MemoryStats Memory() const;
 
   /// Remembers the object's most recent successful estimate (creating the
   /// session if it was already evicted).  Serves the last rung of the
@@ -137,40 +184,82 @@ class SessionStore {
           make);
 
   /// Serialises every shard's sessions (anchors, observations, last-known
-  /// -good estimates) into a schema-versioned JSON document.  Sessions
-  /// iterate in object-id order, so equal stores checkpoint to equal
-  /// bytes.
+  /// -good estimates) into a schema-versioned JSON document.  Object ids
+  /// are extracted and sorted first (flat-map iteration order depends on
+  /// insertion history), so equal stores checkpoint to equal bytes no
+  /// matter how their contents were built up.
   common::Json CheckpointJson() const;
 
   /// Replaces the store's contents with a checkpoint produced by
   /// CheckpointJson.  Returns the number of sessions restored; fails with
   /// kInvalidArgument on schema mismatch and kDataCorruption on
-  /// non-finite recorded values, leaving the store unchanged on error.
+  /// non-finite recorded values or duplicate object/anchor ids, leaving
+  /// the store unchanged on error.
   common::Result<std::size_t> RestoreFromJson(const common::Json& json);
 
  private:
-  struct AnchorState {
-    geometry::Vec2 position;
-    bool is_nomadic = false;
-    std::deque<PdpObservation> observations;
+  /// One PDP report, index-linked into its anchor's history chain.
+  struct ObsRec {
+    double pdp = 0.0;
+    double weight = 0.0;
+    double timestamp_s = 0.0;
+    std::uint32_t next = common::kSlabNil;
   };
-  struct Session {
-    // std::map: snapshots iterate in AnchorKey order deterministically.
-    std::map<AnchorKey, AnchorState> anchors;
-    std::size_t keys_ever = 0;
+  /// One constraint source, fixed width, index-linked into its session's
+  /// key-sorted chain.
+  struct AnchorRec {
+    double x = 0.0;
+    double y = 0.0;
+    std::int32_t ap_id = 0;
+    std::uint32_t site = 0;
+    std::uint32_t next = common::kSlabNil;
+    std::uint32_t obs_head = common::kSlabNil;
+    std::uint32_t obs_tail = common::kSlabNil;
+    bool is_nomadic = false;
+  };
+  struct SessionRec {
+    std::uint64_t object_id = 0;
     double last_touch_s = 0.0;
-    std::optional<LastKnownGood> last_good;
+    double lkg_x = 0.0, lkg_y = 0.0, lkg_confidence = 0.0, lkg_t = 0.0;
+    std::uint32_t anchor_head = common::kSlabNil;
+    std::uint32_t keys_ever = 0;
+    bool has_lkg = false;
     /// Warm SP solver state for streaming queries (never checkpointed).
     std::shared_ptr<localization::SpSolverSession> solver;
   };
   struct Shard {
     mutable std::mutex mutex;
-    std::map<std::uint64_t, Session> sessions;
+    common::FlatHashMap<std::uint64_t, std::uint32_t> index;
+    common::Slab<SessionRec> sessions;
+    common::Slab<AnchorRec> anchors;
+    common::Slab<ObsRec> observations;
+    /// Round-robin cursor for SweepStep.
+    std::size_t sweep_cursor = 0;
+    /// Deterministic per-shard stream for pressure-eviction sampling.
+    std::uint64_t rng_state = 0;
   };
+
+  /// Bytes of live records + index load in one shard (caller holds the
+  /// shard mutex).
+  std::size_t ShardLiveBytes(const Shard& shard) const noexcept;
+  std::size_t ShardResidentBytes(const Shard& shard) const noexcept;
 
   /// Drops expired observations / empty anchors; returns #observations
   /// evicted.  Caller holds the shard mutex.
-  std::size_t PruneSession(Session& session, double now_s) const;
+  std::size_t PruneSession(Shard& shard, SessionRec& session,
+                           double now_s) const;
+  /// Frees the session and everything it links (caller holds the mutex
+  /// and must erase the index entry itself when needed).
+  void FreeSessionRecords(Shard& shard, SessionRec& session) const;
+  /// Evicts least-recently-touched sessions (sampled) until the shard is
+  /// back under its byte budget.  `keep` is never evicted (it is the
+  /// session the triggering ingest just touched).  Caller holds the
+  /// mutex.  Returns sessions evicted.
+  std::size_t EvictForPressure(Shard& shard, std::uint32_t keep_slot);
+  /// Prunes one session slot and evicts it when idle/empty.  Returns true
+  /// when the slot was evicted.  Caller holds the mutex.
+  bool SweepSlot(Shard& shard, std::uint32_t slot, double now_s,
+                 std::size_t& observations_evicted);
 
   SessionStoreConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

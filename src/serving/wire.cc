@@ -1,0 +1,282 @@
+#include "serving/wire.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/json.h"
+#include "common/metrics.h"
+
+namespace nomloc::serving {
+
+namespace {
+
+constexpr char kWireMagic[3] = {'N', 'L', 'W'};
+
+common::MetricCounter& ParseFailures() {
+  static auto& counter =
+      common::MetricRegistry::Global().Counter("serving.wire.parse_failures");
+  return counter;
+}
+
+common::Status CorruptAt(std::string_view what, std::size_t offset) {
+  ParseFailures().Increment();
+  return common::DataCorruption(std::string(what) + " at offset " +
+                                std::to_string(offset));
+}
+
+void PutU32(std::uint32_t v, std::string& out) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void PutU64(std::uint64_t v, std::string& out) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void PutF64(double v, std::string& out) {
+  PutU64(std::bit_cast<std::uint64_t>(v), out);
+}
+
+std::uint32_t GetU32(const char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+double GetF64(const char* p) noexcept {
+  return std::bit_cast<double>(GetU64(p));
+}
+
+/// 32-bit FNV-1a over the frame bytes preceding the checksum field.
+std::uint32_t Fnv1a(std::string_view bytes) noexcept {
+  std::uint32_t hash = 2166136261u;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string_view WireFormatName(WireFormat format) noexcept {
+  switch (format) {
+    case WireFormat::kBinary: return "binary";
+    case WireFormat::kJson: return "json";
+  }
+  return "unknown";
+}
+
+common::Result<WireFormat> ParseWireFormatName(std::string_view name) {
+  if (name == "binary") return WireFormat::kBinary;
+  if (name == "json") return WireFormat::kJson;
+  return common::InvalidArgument("unknown wire format '" + std::string(name) +
+                                 "' (expected binary|json)");
+}
+
+void AppendWireFrame(const IngestPacket& packet, std::string& out) {
+  const std::size_t frame_start = out.size();
+  if (packet.kind == PacketKind::kObservation) {
+    out.push_back(static_cast<char>(kWireObservationFrame));
+    PutU64(packet.object_id, out);
+    PutU32(std::bit_cast<std::uint32_t>(
+               static_cast<std::int32_t>(packet.ap_id)),
+           out);
+    PutU32(static_cast<std::uint32_t>(packet.site_index), out);
+    out.push_back(static_cast<char>(packet.is_nomadic ? 0x01 : 0x00));
+    PutF64(packet.reported_position.x, out);
+    PutF64(packet.reported_position.y, out);
+    PutF64(packet.pdp, out);
+    PutF64(packet.weight, out);
+    PutF64(packet.timestamp_s, out);
+    PutF64(packet.deadline_s, out);
+  } else {
+    out.push_back(static_cast<char>(kWireQueryFrame));
+    PutU64(packet.object_id, out);
+    PutF64(packet.timestamp_s, out);
+    PutF64(packet.deadline_s, out);
+  }
+  PutU32(Fnv1a(std::string_view(out).substr(frame_start)), out);
+}
+
+std::string EncodeWireBinary(std::span<const IngestPacket> packets) {
+  std::string out;
+  std::size_t observations = 0;
+  for (const IngestPacket& packet : packets)
+    if (packet.kind == PacketKind::kObservation) ++observations;
+  out.reserve(kWireHeaderBytes + observations * kWireObservationBytes +
+              (packets.size() - observations) * kWireQueryBytes);
+  out.append(kWireMagic, sizeof(kWireMagic));
+  out.push_back(static_cast<char>(kWireVersion));
+  for (const IngestPacket& packet : packets) AppendWireFrame(packet, out);
+  return out;
+}
+
+common::Result<std::vector<IngestPacket>> DecodeWireBinary(
+    std::string_view bytes) {
+  if (bytes.size() < kWireHeaderBytes)
+    return CorruptAt("truncated wire header", bytes.size());
+  if (bytes.compare(0, sizeof(kWireMagic),
+                    std::string_view(kWireMagic, sizeof(kWireMagic))) != 0)
+    return CorruptAt("bad wire magic", 0);
+  const auto version = static_cast<std::uint8_t>(bytes[3]);
+  if (version != kWireVersion) {
+    ParseFailures().Increment();
+    return common::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+
+  std::vector<IngestPacket> packets;
+  std::size_t offset = kWireHeaderBytes;
+  while (offset < bytes.size()) {
+    const auto kind = static_cast<std::uint8_t>(bytes[offset]);
+    std::size_t frame_bytes;
+    if (kind == kWireObservationFrame) {
+      frame_bytes = kWireObservationBytes;
+    } else if (kind == kWireQueryFrame) {
+      frame_bytes = kWireQueryBytes;
+    } else {
+      return CorruptAt("unknown wire frame kind", offset);
+    }
+    if (bytes.size() - offset < frame_bytes)
+      return CorruptAt("truncated wire frame", offset);
+    const std::string_view frame = bytes.substr(offset, frame_bytes);
+    const std::uint32_t want =
+        GetU32(frame.data() + frame_bytes - sizeof(std::uint32_t));
+    if (Fnv1a(frame.substr(0, frame_bytes - sizeof(std::uint32_t))) != want)
+      return CorruptAt("wire checksum mismatch", offset);
+
+    IngestPacket packet;
+    const char* p = frame.data() + 1;
+    if (kind == kWireObservationFrame) {
+      packet.kind = PacketKind::kObservation;
+      packet.object_id = GetU64(p);
+      packet.ap_id = std::bit_cast<std::int32_t>(GetU32(p + 8));
+      packet.site_index = GetU32(p + 12);
+      packet.is_nomadic = (static_cast<unsigned char>(p[16]) & 0x01) != 0;
+      packet.reported_position.x = GetF64(p + 17);
+      packet.reported_position.y = GetF64(p + 25);
+      packet.pdp = GetF64(p + 33);
+      packet.weight = GetF64(p + 41);
+      packet.timestamp_s = GetF64(p + 49);
+      packet.deadline_s = GetF64(p + 57);
+    } else {
+      packet.kind = PacketKind::kQuery;
+      packet.object_id = GetU64(p);
+      packet.timestamp_s = GetF64(p + 8);
+      packet.deadline_s = GetF64(p + 16);
+    }
+    packets.push_back(packet);
+    offset += frame_bytes;
+  }
+  return packets;
+}
+
+std::string EncodeWireJson(std::span<const IngestPacket> packets) {
+  std::string out;
+  for (const IngestPacket& packet : packets) {
+    common::JsonObject obj;
+    obj["object_id"] = common::Json(double(packet.object_id));
+    obj["t"] = common::Json(packet.timestamp_s);
+    // JSON has no Inf literal: the default "never" deadline is encoded
+    // by omission.
+    if (std::isfinite(packet.deadline_s))
+      obj["deadline"] = common::Json(packet.deadline_s);
+    if (packet.kind == PacketKind::kObservation) {
+      obj["kind"] = common::Json("obs");
+      obj["ap_id"] = common::Json(packet.ap_id);
+      obj["site"] = common::Json(packet.site_index);
+      obj["nomadic"] = common::Json(packet.is_nomadic);
+      obj["x"] = common::Json(packet.reported_position.x);
+      obj["y"] = common::Json(packet.reported_position.y);
+      obj["pdp"] = common::Json(packet.pdp);
+      obj["weight"] = common::Json(packet.weight);
+    } else {
+      obj["kind"] = common::Json("query");
+    }
+    out += common::Json(std::move(obj)).Dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+common::Result<std::vector<IngestPacket>> DecodeWireJson(
+    std::string_view text) {
+  std::vector<IngestPacket> packets;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      ParseFailures().Increment();
+      return common::DataCorruption("corrupt wire line " +
+                                    std::to_string(line_number) + ": " + why);
+    };
+    auto parsed = common::Json::Parse(line);
+    if (!parsed.ok()) return fail(parsed.status().message());
+    auto decoded = [&]() -> common::Result<IngestPacket> {
+      IngestPacket packet;
+      NOMLOC_ASSIGN_OR_RETURN(std::string kind, parsed->GetString("kind"));
+      NOMLOC_ASSIGN_OR_RETURN(double object_id,
+                              parsed->GetDouble("object_id"));
+      if (!(object_id >= 0.0) || object_id != std::floor(object_id))
+        return common::DataCorruption("object_id is not an integer");
+      packet.object_id = std::uint64_t(object_id);
+      NOMLOC_ASSIGN_OR_RETURN(packet.timestamp_s, parsed->GetDouble("t"));
+      if (auto deadline = parsed->GetDouble("deadline"); deadline.ok())
+        packet.deadline_s = *deadline;
+      if (kind == "obs") {
+        packet.kind = PacketKind::kObservation;
+        NOMLOC_ASSIGN_OR_RETURN(double ap_id, parsed->GetDouble("ap_id"));
+        packet.ap_id = int(ap_id);
+        NOMLOC_ASSIGN_OR_RETURN(double site, parsed->GetDouble("site"));
+        packet.site_index = std::size_t(site);
+        NOMLOC_ASSIGN_OR_RETURN(packet.is_nomadic,
+                                parsed->GetBool("nomadic"));
+        NOMLOC_ASSIGN_OR_RETURN(packet.reported_position.x,
+                                parsed->GetDouble("x"));
+        NOMLOC_ASSIGN_OR_RETURN(packet.reported_position.y,
+                                parsed->GetDouble("y"));
+        NOMLOC_ASSIGN_OR_RETURN(packet.pdp, parsed->GetDouble("pdp"));
+        NOMLOC_ASSIGN_OR_RETURN(packet.weight, parsed->GetDouble("weight"));
+      } else if (kind == "query") {
+        packet.kind = PacketKind::kQuery;
+      } else {
+        return common::DataCorruption("unknown packet kind '" + kind + "'");
+      }
+      return packet;
+    }();
+    if (!decoded.ok()) return fail(decoded.status().message());
+    packets.push_back(*decoded);
+  }
+  return packets;
+}
+
+std::string EncodeWire(std::span<const IngestPacket> packets,
+                       WireFormat format) {
+  return format == WireFormat::kBinary ? EncodeWireBinary(packets)
+                                       : EncodeWireJson(packets);
+}
+
+common::Result<std::vector<IngestPacket>> DecodeWire(std::string_view bytes,
+                                                     WireFormat format) {
+  return format == WireFormat::kBinary ? DecodeWireBinary(bytes)
+                                       : DecodeWireJson(bytes);
+}
+
+}  // namespace nomloc::serving

@@ -1,0 +1,91 @@
+// Hot-ingest wire format: a versioned little-endian binary framing for
+// IngestPacket streams, with an NDJSON fallback.
+//
+// The serving layer's ingest path is fan-in bound: at millions of
+// sessions the cost of *parsing* each report dominates the cost of
+// storing it.  JSON burns that budget on tokenising doubles; the binary
+// format is a fixed-width frame per packet (70 B observation / 29 B
+// query) that decodes with bit_cast and a checksum — no allocation, no
+// number grammar.  See DESIGN.md "Serving at scale" for the field table.
+//
+// Stream layout:
+//
+//   header   : 'N' 'L' 'W' <version u8>                        (4 bytes)
+//   frame*   : <kind u8> <body> <checksum u32>
+//
+// All integers and IEEE-754 doubles are little-endian.  The checksum is
+// 32-bit FNV-1a over the frame bytes preceding it, so truncation and
+// bit-flips surface as typed kDataCorruption errors with the byte offset
+// where decoding broke (mirroring net::ParseTrace).  Every failed decode
+// — binary or JSON — increments `serving.wire.parse_failures`.
+//
+// Doubles round-trip bit-exactly in both formats (the JSON fallback
+// prints shortest-round-trip decimals), with two JSON-side caveats:
+// object ids above 2^53 lose precision, and an infinite deadline is
+// encoded by omitting the field (JSON has no Inf literal).
+//
+// `scheduled_wall` is deliberately not part of the wire: it is a
+// process-local steady_clock stamp the open-loop generator applies at
+// send time, meaningless across a byte boundary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/service.h"
+
+namespace nomloc::serving {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Frame kinds (first byte of every frame).
+inline constexpr std::uint8_t kWireObservationFrame = 0x01;
+inline constexpr std::uint8_t kWireQueryFrame = 0x02;
+
+/// Encoded frame sizes, checksum included.
+inline constexpr std::size_t kWireHeaderBytes = 4;
+inline constexpr std::size_t kWireObservationBytes = 70;
+inline constexpr std::size_t kWireQueryBytes = 29;
+
+enum class WireFormat {
+  kBinary,  ///< The fixed-width frame format above (the hot path).
+  kJson,    ///< NDJSON fallback: one compact JSON object per line.
+};
+
+std::string_view WireFormatName(WireFormat format) noexcept;
+/// Parses "binary" / "json" (kInvalidArgument otherwise).
+common::Result<WireFormat> ParseWireFormatName(std::string_view name);
+
+/// Appends one binary frame for `packet` to `out` (no stream header).
+void AppendWireFrame(const IngestPacket& packet, std::string& out);
+
+/// Encodes a full stream: header + one frame per packet.
+std::string EncodeWireBinary(std::span<const IngestPacket> packets);
+
+/// Decodes a binary stream.  Fails with kInvalidArgument on an
+/// unsupported version and kDataCorruption (with "at offset N") on bad
+/// magic, unknown frame kinds, truncation, or checksum mismatch.
+common::Result<std::vector<IngestPacket>> DecodeWireBinary(
+    std::string_view bytes);
+
+/// Encodes the NDJSON fallback: one compact JSON object per line,
+/// trailing newline after each.
+std::string EncodeWireJson(std::span<const IngestPacket> packets);
+
+/// Decodes the NDJSON fallback.  Blank lines are skipped; any
+/// unparseable or schema-violating line fails with kDataCorruption
+/// naming the 1-based line number.
+common::Result<std::vector<IngestPacket>> DecodeWireJson(
+    std::string_view text);
+
+/// Dispatch helpers for tools that take a --wire flag.
+std::string EncodeWire(std::span<const IngestPacket> packets,
+                       WireFormat format);
+common::Result<std::vector<IngestPacket>> DecodeWire(std::string_view bytes,
+                                                     WireFormat format);
+
+}  // namespace nomloc::serving

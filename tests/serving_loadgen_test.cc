@@ -1,0 +1,185 @@
+// Open-loop load generator: deterministic schedules, monotone arrival
+// offsets, Zipf popularity skew, and arrival-process shaping.
+#include "serving/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace nomloc::serving {
+namespace {
+
+LoadGenConfig SmallConfig() {
+  LoadGenConfig config;
+  config.objects = 100;
+  config.anchors_per_object = 3;
+  config.packets = 5000;
+  config.rate_per_s = 10'000.0;
+  config.seed = 42;
+  return config;
+}
+
+TEST(LoadGen, SameSeedSameSchedule) {
+  const LoadSchedule a = BuildLoadSchedule(SmallConfig());
+  const LoadSchedule b = BuildLoadSchedule(SmallConfig());
+  ASSERT_EQ(a.populate.size(), b.populate.size());
+  ASSERT_EQ(a.steady.size(), b.steady.size());
+  EXPECT_EQ(a.horizon_s, b.horizon_s);
+  for (std::size_t i = 0; i < a.steady.size(); ++i) {
+    EXPECT_EQ(a.steady[i].send_offset_s, b.steady[i].send_offset_s);
+    EXPECT_EQ(a.steady[i].packet.object_id, b.steady[i].packet.object_id);
+    EXPECT_EQ(a.steady[i].packet.kind, b.steady[i].packet.kind);
+  }
+}
+
+TEST(LoadGen, DifferentSeedDifferentSchedule) {
+  LoadGenConfig other = SmallConfig();
+  other.seed = 43;
+  const LoadSchedule a = BuildLoadSchedule(SmallConfig());
+  const LoadSchedule b = BuildLoadSchedule(other);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.steady.size() && !any_difference; ++i)
+    any_difference = a.steady[i].send_offset_s != b.steady[i].send_offset_s;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(LoadGen, PopulateCoversEveryObjectAnchorPair) {
+  const LoadGenConfig config = SmallConfig();
+  const LoadSchedule schedule = BuildLoadSchedule(config);
+  ASSERT_EQ(schedule.populate.size(),
+            config.objects * config.anchors_per_object);
+  std::map<std::pair<std::uint64_t, int>, int> seen;
+  for (const IngestPacket& packet : schedule.populate) {
+    EXPECT_EQ(packet.kind, PacketKind::kObservation);
+    EXPECT_EQ(packet.timestamp_s, 0.0);
+    EXPECT_GT(packet.pdp, 0.0);
+    ++seen[{packet.object_id, packet.ap_id}];
+  }
+  EXPECT_EQ(seen.size(), config.objects * config.anchors_per_object);
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(LoadGen, SteadyOffsetsAreSortedAndPositive) {
+  const LoadSchedule schedule = BuildLoadSchedule(SmallConfig());
+  double previous = 0.0;
+  for (const ScheduledPacket& scheduled : schedule.steady) {
+    EXPECT_GE(scheduled.send_offset_s, previous);
+    EXPECT_EQ(scheduled.packet.timestamp_s, scheduled.send_offset_s);
+    previous = scheduled.send_offset_s;
+  }
+  EXPECT_EQ(schedule.horizon_s, previous);
+}
+
+TEST(LoadGen, PoissonRateMatchesMean) {
+  LoadGenConfig config = SmallConfig();
+  config.packets = 20'000;
+  const LoadSchedule schedule = BuildLoadSchedule(config);
+  const double empirical =
+      double(schedule.steady.size()) / schedule.horizon_s;
+  EXPECT_NEAR(empirical, config.rate_per_s, 0.05 * config.rate_per_s);
+}
+
+TEST(LoadGen, ZipfSkewsTowardLowRanks) {
+  LoadGenConfig config = SmallConfig();
+  config.zipf_s = 1.0;
+  config.packets = 20'000;
+  const LoadSchedule schedule = BuildLoadSchedule(config);
+  std::vector<std::size_t> hits(config.objects, 0);
+  for (const ScheduledPacket& scheduled : schedule.steady)
+    ++hits[std::size_t(scheduled.packet.object_id)];
+  // Rank 0 must dominate the median object by a wide margin.
+  std::vector<std::size_t> sorted = hits;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(hits[0], 10 * sorted[config.objects / 2]);
+  // s = 0 degrades to uniform: the hottest object stays near 1/n.
+  LoadGenConfig uniform = config;
+  uniform.zipf_s = 0.0;
+  const LoadSchedule flat = BuildLoadSchedule(uniform);
+  std::vector<std::size_t> flat_hits(config.objects, 0);
+  for (const ScheduledPacket& scheduled : flat.steady)
+    ++flat_hits[std::size_t(scheduled.packet.object_id)];
+  const double expected = double(config.packets) / double(config.objects);
+  EXPECT_LT(double(*std::max_element(flat_hits.begin(), flat_hits.end())),
+            3.0 * expected);
+}
+
+TEST(LoadGen, FlashCrowdDensifiesTheWindow) {
+  LoadGenConfig config = SmallConfig();
+  config.arrival = ArrivalProcess::kFlashCrowd;
+  config.packets = 20'000;
+  config.rate_per_s = 10'000.0;
+  config.flash_start_s = 0.5;
+  config.flash_duration_s = 0.5;
+  config.flash_multiplier = 8.0;
+  const LoadSchedule schedule = BuildLoadSchedule(config);
+  // Compare equal-width 0.1 s slices just before and just inside the
+  // window; the flash slice should be ~8x denser.
+  std::size_t inside = 0, before = 0;
+  for (const ScheduledPacket& scheduled : schedule.steady) {
+    const double t = scheduled.send_offset_s;
+    if (t >= config.flash_start_s - 0.1 && t < config.flash_start_s)
+      ++before;
+    else if (t >= config.flash_start_s && t < config.flash_start_s + 0.1)
+      ++inside;
+  }
+  ASSERT_GT(before, 0u);
+  ASSERT_GT(inside, 0u);
+  EXPECT_GT(double(inside), 4.0 * double(before));
+}
+
+TEST(LoadGen, DiurnalKeepsMeanRate) {
+  LoadGenConfig config = SmallConfig();
+  config.arrival = ArrivalProcess::kDiurnal;
+  config.packets = 20'000;
+  config.diurnal_period_s = 0.25;  // several full cycles in the horizon
+  config.diurnal_amplitude = 0.8;
+  const LoadSchedule schedule = BuildLoadSchedule(config);
+  const double empirical =
+      double(schedule.steady.size()) / schedule.horizon_s;
+  // Over whole cycles the sin term integrates away.
+  EXPECT_NEAR(empirical, config.rate_per_s, 0.10 * config.rate_per_s);
+}
+
+TEST(LoadGen, QueryFractionRespected) {
+  LoadGenConfig config = SmallConfig();
+  config.query_fraction = 0.25;
+  config.packets = 20'000;
+  const LoadSchedule schedule = BuildLoadSchedule(config);
+  std::size_t queries = 0;
+  for (const ScheduledPacket& scheduled : schedule.steady)
+    if (scheduled.packet.kind == PacketKind::kQuery) ++queries;
+  EXPECT_NEAR(double(queries) / double(config.packets), 0.25, 0.03);
+}
+
+TEST(LoadGen, ValidateRejectsBadKnobs) {
+  LoadGenConfig config = SmallConfig();
+  config.objects = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.rate_per_s = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.query_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.diurnal_amplitude = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SmallConfig();
+  config.flash_multiplier = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(LoadGen, ArrivalProcessNames) {
+  EXPECT_EQ(ArrivalProcessName(ArrivalProcess::kPoisson), "poisson");
+  EXPECT_EQ(ArrivalProcessName(ArrivalProcess::kDiurnal), "diurnal");
+  EXPECT_EQ(ArrivalProcessName(ArrivalProcess::kFlashCrowd), "flash");
+  ASSERT_TRUE(ParseArrivalProcessName("poisson").ok());
+  ASSERT_TRUE(ParseArrivalProcessName("diurnal").ok());
+  ASSERT_TRUE(ParseArrivalProcessName("flash").ok());
+  EXPECT_FALSE(ParseArrivalProcessName("bursty").ok());
+}
+
+}  // namespace
+}  // namespace nomloc::serving

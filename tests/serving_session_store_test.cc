@@ -1,5 +1,7 @@
 #include "serving/session_store.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/nomloc.h"
@@ -281,6 +283,60 @@ TEST(SessionStore, CheckpointRestoreRoundTripsBitExactly) {
   EXPECT_EQ(lkg_restored->confidence, 0.625);
   // And the second checkpoint is byte-identical — restore is lossless.
   EXPECT_EQ(restored.CheckpointJson().Dump(), checkpoint.Dump());
+}
+
+// Regression: a checkpoint listing the same object twice must be rejected
+// as corruption (the second entry would silently clobber the first), and
+// the failed restore must leave the store untouched.
+TEST(SessionStore, RestoreRejectsDuplicateObjectId) {
+  SessionStore source(SmallStore());
+  source.Upsert(42, {0, 0}, {1.0, 2.0}, false, Obs(0.5, 1.0, 0.0), 0.0);
+  common::Json checkpoint = source.CheckpointJson();
+  common::JsonArray& sessions =
+      checkpoint.AsObject().at("sessions").AsArray();
+  ASSERT_EQ(sessions.size(), 1u);
+  sessions.push_back(sessions[0]);  // object 42 now listed twice
+
+  SessionStore store(SmallStore());
+  store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);
+  auto restore = store.RestoreFromJson(checkpoint);
+  ASSERT_FALSE(restore.ok());
+  EXPECT_EQ(restore.status().code(), common::StatusCode::kDataCorruption);
+  EXPECT_NE(restore.status().message().find("duplicate object_id 42"),
+            std::string::npos);
+  EXPECT_TRUE(store.Snapshot(1, 1.0).ok());
+  EXPECT_FALSE(store.Snapshot(42, 1.0).ok());
+}
+
+// Checkpoint determinism: flat-map iteration order depends on insertion
+// history, so CheckpointJson must sort by object id — two stores holding
+// the same sessions inserted in opposite orders checkpoint to identical
+// bytes.  (Golden byte-compare, not structural compare: downstream
+// tooling hashes checkpoint files.)
+TEST(SessionStore, CheckpointBytesIndependentOfInsertOrder) {
+  const std::vector<std::uint64_t> ids = {901, 3, 77, 12, 450, 8, 1024};
+  const auto build = [&](bool reversed) {
+    auto store = std::make_unique<SessionStore>(SmallStore());
+    std::vector<std::uint64_t> order = ids;
+    if (reversed) std::reverse(order.begin(), order.end());
+    for (const std::uint64_t id : order) {
+      store->Upsert(id, {int(id % 5), 0}, {double(id % 7), 1.0}, false,
+                    Obs(0.25 * double(id % 4 + 1), 1.0, 0.0), 0.0);
+      store->Upsert(id, {int(id % 5), 1}, {double(id % 3), 2.0}, true,
+                    Obs(0.125, 2.0, 0.5), 0.5);
+    }
+    return store;
+  };
+  const std::string forward = build(false)->CheckpointJson().Dump();
+  const std::string backward = build(true)->CheckpointJson().Dump();
+  EXPECT_EQ(forward, backward);
+  // And the bytes survive a restore round-trip through a store whose
+  // insertion history is the restore itself.
+  auto parsed = common::Json::Parse(forward);
+  ASSERT_TRUE(parsed.ok());
+  SessionStore restored(SmallStore());
+  ASSERT_TRUE(restored.RestoreFromJson(*parsed).ok());
+  EXPECT_EQ(restored.CheckpointJson().Dump(), forward);
 }
 
 TEST(SessionStore, RestoreRejectsCorruptCheckpointAndKeepsStore) {

@@ -6,13 +6,20 @@
 //                [--delay S] [--packets N] [--dwells N] [--seed N]
 //                [--breaker-threshold N] [--breaker-backoff S]
 //                [--retry-budget N] [--no-lkg] [--incremental]
-//                [--chaos SEED] [--chaos-events N]
+//                [--chaos SEED] [--chaos-events N] [--wire binary|json]
 //                [--check] [--check-perturb] [--metrics]
 //
 // Replays a measurement campaign (objects x epochs, from the scenario's
 // test sites) as a timestamped packet stream through StreamingLocalizer
 // and prints admission counts, per-response outcomes, localization error,
 // degradation-ladder counts, throughput, and latency percentiles.
+//
+// --wire binary|json round-trips the whole packet stream through the
+// hot-ingest wire codec (serving/wire.h) before replay, so the served
+// stream is exactly what a decoder would hand the service.  Combined
+// with --check this proves end-to-end that a wire-framed stream is
+// bit-identical to the in-memory path — run it with both formats and the
+// binary and JSON paths are bit-identical to each other by transitivity.
 //
 // --check (faults must be off) additionally runs the same anchor sets
 // through NomLocEngine::LocateBatch and exits non-zero unless every
@@ -57,6 +64,7 @@
 #include "serving/clock.h"
 #include "serving/replay.h"
 #include "serving/service.h"
+#include "serving/wire.h"
 
 using namespace nomloc;
 
@@ -71,7 +79,7 @@ namespace {
       "          [--delay S] [--packets N] [--dwells N] [--seed N]\n"
       "          [--breaker-threshold N] [--breaker-backoff S]\n"
       "          [--retry-budget N] [--no-lkg] [--incremental]\n"
-      "          [--chaos SEED] [--chaos-events N]\n"
+      "          [--chaos SEED] [--chaos-events N] [--wire binary|json]\n"
       "          [--check] [--check-perturb] [--metrics]\n",
       argv0);
   std::exit(2);
@@ -87,6 +95,8 @@ int main(int argc, char** argv) {
   serving::ServingConfig serve;
   serving::ChaosConfig chaos;
   bool chaos_mode = false;
+  bool use_wire = false;
+  serving::WireFormat wire_format = serving::WireFormat::kBinary;
   bool check = false;
   bool check_perturb = false;
   bool metrics = false;
@@ -144,6 +154,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--chaos-events") {
       chaos.events = std::strtoul(next(), nullptr, 10);
       chaos_mode = true;
+    } else if (arg == "--wire") {
+      auto parsed = serving::ParseWireFormatName(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      wire_format = *parsed;
+      use_wire = true;
     } else if (arg == "--check") {
       check = true;
     } else if (arg == "--check-perturb") {
@@ -163,6 +182,12 @@ int main(int argc, char** argv) {
   }
   if (check && chaos_mode) {
     std::fprintf(stderr, "error: --check requires --chaos to be off\n");
+    return 2;
+  }
+  if (use_wire && chaos_mode) {
+    // Chaos builds its own corrupted stream; the wire round-trip only
+    // makes sense on the plain replay.
+    std::fprintf(stderr, "error: --wire requires --chaos to be off\n");
     return 2;
   }
   if (check && serve.solver_mode != localization::SpSessionMode::kColdEachSolve) {
@@ -254,6 +279,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --wire: serve the stream a decoder hands back, not the in-memory one.
+  std::vector<serving::IngestPacket> stream = plan->packets;
+  if (use_wire) {
+    const std::string encoded = serving::EncodeWire(plan->packets,
+                                                    wire_format);
+    auto decoded = serving::DecodeWire(encoded, wire_format);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   decoded.status().ToString().c_str());
+      return 1;
+    }
+    stream = std::move(*decoded);
+    std::printf("wire: %s round-trip, %zu packets in %zu bytes "
+                "(%.1f B/packet)\n",
+                std::string(serving::WireFormatName(wire_format)).c_str(),
+                stream.size(), encoded.size(),
+                stream.empty() ? 0.0
+                               : double(encoded.size()) / double(stream.size()));
+  }
+
   // Replay on the logical timeline.  Flushing at each epoch boundary
   // pins the logical time every query is served at (its own timestamp),
   // which is what makes the no-fault stream reproducible: the session
@@ -263,9 +308,9 @@ int main(int argc, char** argv) {
   std::size_t next_packet = 0;
   for (std::size_t e = 0; e < plan->epoch_count; ++e) {
     const double epoch_end_s = double(e + 1) * replay.epoch_interval_s;
-    while (next_packet < plan->packets.size() &&
-           plan->packets[next_packet].timestamp_s < epoch_end_s) {
-      const serving::IngestPacket& packet = plan->packets[next_packet++];
+    while (next_packet < stream.size() &&
+           stream[next_packet].timestamp_s < epoch_end_s) {
+      const serving::IngestPacket& packet = stream[next_packet++];
       clock.Set(packet.timestamp_s);
       switch ((*service)->Ingest(packet)) {
         case serving::AdmitStatus::kAccepted: ++accepted; break;
