@@ -23,6 +23,16 @@
 // wire decoding, and reports bytes/session from SessionStore::Memory().
 // Results land under "scale" in the JSON document.
 //
+// --cluster replays the same stream through a Cluster (src/cluster/) at
+// 1, 2, and 4 loopback shards and reports routed packets/s plus CO-free
+// response latency: query send stamps are kept router-side in a map
+// keyed (object id, timestamp bits) — the stamp cannot cross the wire —
+// and closed by ClusterResponse::received_wall when the response frame
+// arrives.  Responses ride the per-epoch flush cadence, so the
+// percentiles measure the sharded serving loop end to end (encode,
+// transport, host serve, response frame, decode), not a bare RPC.
+// Results land under "cluster" in the JSON document.
+//
 // Flags: --quick shrinks the campaign (CI smoke), --json prints the
 // shared BenchReportJson document, --out PATH also writes it to a file
 // (the committed BENCH_serving.json snapshot).
@@ -31,11 +41,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
+#include "cluster/cluster.h"
 #include "common/assert.h"
 #include "common/metrics.h"
 #include "common/stats.h"
@@ -116,6 +129,103 @@ StreamRun BestRun(const nomloc::core::NomLocEngine& engine,
   StreamRun best = RunStream(engine, plan, workers);
   for (std::size_t r = 1; r < repeats; ++r) {
     StreamRun run = RunStream(engine, plan, workers);
+    if (run.wall_ms < best.wall_ms) best = run;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// Cluster sharding campaign.
+
+struct ClusterRunResult {
+  std::size_t shards = 0;
+  double wall_ms = 0.0;
+  double packets_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t responses = 0;
+};
+
+// One full replay through an N-shard loopback cluster, flushed on every
+// epoch boundary (the serving cadence responses actually ride on).
+ClusterRunResult RunCluster(const nomloc::core::NomLocEngine& engine,
+                            const nomloc::serving::ReplayPlan& plan,
+                            double epoch_interval_s, std::size_t shards) {
+  nomloc::cluster::ClusterConfig config;
+  config.shards = shards;
+  config.serving.workers = 1;
+  config.serving.queue_capacity = plan.packets.size() + 1;
+  config.serving.store.anchor_ttl_s = plan.suggested_anchor_ttl_s;
+  config.serving.expected_anchors = plan.expected_anchors;
+
+  nomloc::serving::ManualClock clock;
+  auto cluster = nomloc::cluster::Cluster::Create(engine, config, &clock);
+  NOMLOC_REQUIRE(cluster.ok());
+
+  // Query send stamps, router-side: the wall stamp cannot cross the wire,
+  // so the latency loop closes here against received_wall.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::chrono::steady_clock::time_point>
+      sent;
+  const auto key_of = [](std::uint64_t object_id, double timestamp_s) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &timestamp_s, sizeof bits);
+    return std::make_pair(object_id, bits);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t next = 0;
+  for (std::size_t e = 0; e < plan.epoch_count; ++e) {
+    const double epoch_end_s = double(e + 1) * epoch_interval_s;
+    while (next < plan.packets.size() &&
+           plan.packets[next].timestamp_s < epoch_end_s) {
+      const nomloc::serving::IngestPacket& packet = plan.packets[next++];
+      clock.Set(packet.timestamp_s);
+      if (packet.kind == nomloc::serving::PacketKind::kQuery)
+        sent[key_of(packet.object_id, packet.timestamp_s)] =
+            std::chrono::steady_clock::now();
+      (*cluster)->Ingest(packet);
+    }
+    (*cluster)->Flush();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  std::vector<double> latencies_ms;
+  for (const nomloc::cluster::ClusterResponse& response :
+       (*cluster)->TakeResponses()) {
+    const auto it = sent.find(
+        key_of(response.response.object_id, response.response.timestamp_s));
+    if (it == sent.end()) continue;
+    latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                               response.received_wall - it->second)
+                               .count());
+  }
+  (*cluster)->Shutdown();
+
+  ClusterRunResult run;
+  run.shards = shards;
+  run.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  run.packets_per_s = run.wall_ms > 0.0
+                          ? 1e3 * double(plan.packets.size()) / run.wall_ms
+                          : 0.0;
+  run.responses = latencies_ms.size();
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    run.p50_ms = nomloc::common::Percentile(latencies_ms, 0.5);
+    run.p95_ms = nomloc::common::Percentile(latencies_ms, 0.95);
+    run.p99_ms = nomloc::common::Percentile(latencies_ms, 0.99);
+  }
+  return run;
+}
+
+ClusterRunResult BestClusterRun(const nomloc::core::NomLocEngine& engine,
+                                const nomloc::serving::ReplayPlan& plan,
+                                double epoch_interval_s, std::size_t shards,
+                                std::size_t repeats) {
+  ClusterRunResult best = RunCluster(engine, plan, epoch_interval_s, shards);
+  for (std::size_t r = 1; r < repeats; ++r) {
+    ClusterRunResult run = RunCluster(engine, plan, epoch_interval_s, shards);
     if (run.wall_ms < best.wall_ms) best = run;
   }
   return best;
@@ -313,16 +423,19 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   bool open_loop = false;
+  bool cluster_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     else if (std::strcmp(argv[i], "--json") == 0) json = true;
     else if (std::strcmp(argv[i], "--open-loop") == 0) open_loop = true;
+    else if (std::strcmp(argv[i], "--cluster") == 0) cluster_mode = true;
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
     else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--open-loop] [--json] [--out PATH]\n",
+                   "usage: %s [--quick] [--open-loop] [--cluster] [--json] "
+                   "[--out PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -381,6 +494,13 @@ int main(int argc, char** argv) {
     rows.push_back(nomloc::common::Json(std::move(row)));
   }
 
+  std::vector<ClusterRunResult> cluster_runs;
+  if (cluster_mode) {
+    for (std::size_t shards : {std::size_t(1), std::size_t(2), std::size_t(4)})
+      cluster_runs.push_back(BestClusterRun(
+          *engine, *plan, replay.epoch_interval_s, shards, repeats));
+  }
+
   std::vector<ScaleRun> scale_runs;
   if (open_loop) {
     std::vector<std::size_t> scales{10'000};
@@ -397,6 +517,33 @@ int main(int argc, char** argv) {
   // Latency percentiles are measured from the scheduled send time, not
   // the successful submit (coordinated-omission fix; PR 8).
   extra["latency_origin"] = nomloc::common::Json("scheduled_send");
+  if (!cluster_runs.empty()) {
+    nomloc::common::JsonArray cluster_rows;
+    const double one_shard_pps = cluster_runs.front().packets_per_s;
+    for (const ClusterRunResult& run : cluster_runs) {
+      nomloc::common::JsonObject row;
+      row["shards"] = run.shards;
+      row["packets"] = plan->packets.size();
+      row["responses"] = run.responses;
+      row["packets_per_s"] = run.packets_per_s;
+      row["speedup_vs_1shard"] =
+          one_shard_pps > 0.0 ? run.packets_per_s / one_shard_pps : 0.0;
+      row["latency_p50_ms"] = run.p50_ms;
+      row["latency_p95_ms"] = run.p95_ms;
+      row["latency_p99_ms"] = run.p99_ms;
+      cluster_rows.push_back(nomloc::common::Json(std::move(row)));
+    }
+    nomloc::common::JsonObject cluster_doc;
+    cluster_doc["transport"] = nomloc::common::Json("loopback");
+    cluster_doc["host_workers"] = std::size_t(1);
+    // Latency closes router-side: query send stamp (it cannot cross the
+    // wire) to ClusterResponse::received_wall, flush cadence included.
+    cluster_doc["latency_origin"] =
+        nomloc::common::Json("send_wall_to_received_wall");
+    cluster_doc["hardware_cores"] = hw;
+    cluster_doc["series"] = nomloc::common::Json(std::move(cluster_rows));
+    extra["cluster"] = nomloc::common::Json(std::move(cluster_doc));
+  }
   if (!scale_runs.empty()) {
     nomloc::common::JsonArray scale_rows;
     for (const ScaleRun& run : scale_runs) {
@@ -439,6 +586,20 @@ int main(int argc, char** argv) {
       std::printf("  %-28s %12.0f %9.3f %9.3f %9.3f\n",
                   series[i].name.c_str(), runs[i].packets_per_s,
                   runs[i].p50_ms, runs[i].p95_ms, runs[i].p99_ms);
+    }
+    if (!cluster_runs.empty()) {
+      std::printf("\n  cluster sharding campaign "
+                  "(loopback transport, 1 worker per shard host)\n");
+      std::printf("  %8s %12s %9s %9s %9s %9s\n", "shards", "packets/s",
+                  "speedup", "p50 [ms]", "p95 [ms]", "p99 [ms]");
+      const double one_shard_pps = cluster_runs.front().packets_per_s;
+      for (const ClusterRunResult& run : cluster_runs) {
+        std::printf("  %8zu %12.0f %9.2f %9.3f %9.3f %9.3f\n", run.shards,
+                    run.packets_per_s,
+                    one_shard_pps > 0.0 ? run.packets_per_s / one_shard_pps
+                                        : 0.0,
+                    run.p50_ms, run.p95_ms, run.p99_ms);
+      }
     }
     if (!scale_runs.empty()) {
       std::printf("\n  open-loop scale campaign "

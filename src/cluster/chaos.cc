@@ -1,0 +1,222 @@
+#include "cluster/chaos.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/vec2.h"
+#include "serving/clock.h"
+
+namespace nomloc::cluster {
+
+std::string_view ClusterChaosEventKindName(
+    ClusterChaosEventKind kind) noexcept {
+  switch (kind) {
+    case ClusterChaosEventKind::kShardKill: return "SHARD_KILL";
+    case ClusterChaosEventKind::kShardMigrate: return "SHARD_MIGRATE";
+    case ClusterChaosEventKind::kTransportStall: return "TRANSPORT_STALL";
+  }
+  return "UNKNOWN";
+}
+
+common::Result<void> ClusterChaosConfig::Validate() const {
+  if (kill_weight < 0.0 || migrate_weight < 0.0 || stall_weight < 0.0)
+    return common::InvalidArgument("event weights must be >= 0");
+  if (events > 0 && kill_weight + migrate_weight + stall_weight <= 0.0)
+    return common::InvalidArgument("at least one event weight must be > 0");
+  if (max_window_epochs <= 0.0)
+    return common::InvalidArgument("max_window_epochs must be > 0");
+  return {};
+}
+
+ClusterChaosSchedule BuildClusterChaosSchedule(
+    const ClusterChaosConfig& config, const serving::ReplayPlan& plan,
+    double epoch_interval_s, std::size_t shards) {
+  ClusterChaosSchedule schedule;
+  if (config.events == 0 || plan.epoch_count < 3 || shards == 0)
+    return schedule;
+  common::Rng rng(config.seed);
+  const std::array<double, 3> weights = {config.kill_weight,
+                                         config.migrate_weight,
+                                         config.stall_weight};
+  // Event starts land on epoch boundaries in the run's first 70%, and
+  // windows close by the second-to-last epoch, so the tail always
+  // measures post-recovery behaviour.
+  const std::size_t first_epoch = 1;
+  const std::size_t last_start =
+      std::max<std::size_t>(first_epoch + 1,
+                            std::size_t(0.7 * double(plan.epoch_count)));
+  const std::size_t max_window = std::max<std::size_t>(
+      1, std::size_t(std::ceil(config.max_window_epochs)));
+
+  schedule.events.reserve(config.events);
+  for (std::size_t i = 0; i < config.events; ++i) {
+    ClusterChaosEvent event;
+    event.kind = ClusterChaosEventKind(rng.Categorical(weights));
+    event.shard = rng.UniformInt(shards);
+    const std::size_t start_epoch =
+        first_epoch + rng.UniformInt(last_start - first_epoch);
+    event.start_s = double(start_epoch) * epoch_interval_s;
+    if (event.kind == ClusterChaosEventKind::kShardMigrate) {
+      event.end_s = event.start_s;
+    } else {
+      std::size_t end_epoch = start_epoch + 1 + rng.UniformInt(max_window);
+      end_epoch = std::min(end_epoch, plan.epoch_count - 1);
+      event.end_s = double(end_epoch) * epoch_interval_s;
+    }
+    schedule.last_event_end_s =
+        std::max(schedule.last_event_end_s, event.end_s);
+    schedule.events.push_back(event);
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const ClusterChaosEvent& a, const ClusterChaosEvent& b) {
+                     return a.start_s < b.start_s;
+                   });
+  return schedule;
+}
+
+common::Result<ClusterChaosReport> RunClusterChaos(
+    const core::NomLocEngine& engine, const serving::ReplayPlan& plan,
+    double epoch_interval_s, const ClusterChaosConfig& chaos,
+    ClusterConfig cluster_config) {
+  if (auto valid = chaos.Validate(); !valid.ok()) return valid.status();
+  if (plan.packets.empty())
+    return common::InvalidArgument("replay plan has no packets");
+
+  ClusterChaosReport report;
+  report.schedule = BuildClusterChaosSchedule(
+      chaos, plan, epoch_interval_s, cluster_config.shards);
+
+  cluster_config.serving.expected_anchors = plan.expected_anchors;
+  if (cluster_config.serving.store.anchor_ttl_s <= 0.0 ||
+      cluster_config.serving.store.anchor_ttl_s ==
+          serving::SessionStoreConfig{}.anchor_ttl_s)
+    cluster_config.serving.store.anchor_ttl_s = plan.suggested_anchor_ttl_s;
+  cluster_config.serving.start_paused = false;
+
+  serving::ManualClock clock(0.0);
+  NOMLOC_ASSIGN_OR_RETURN(
+      auto cluster, Cluster::Create(engine, std::move(cluster_config), &clock));
+
+  const auto& events = report.schedule.events;
+  std::vector<bool> started(events.size(), false);
+  std::vector<bool> ended(events.size(), false);
+
+  std::size_t i = 0;
+  while (i < plan.packets.size()) {
+    const double t = plan.packets[i].timestamp_s;
+
+    // Fire event edges due at or before this timestamp group.  Everything
+    // up to here is flushed, so a kill loses no in-flight work.
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const ClusterChaosEvent& event = events[e];
+      if (!started[e] && event.start_s <= t) {
+        started[e] = true;
+        switch (event.kind) {
+          case ClusterChaosEventKind::kShardKill:
+            if (cluster->ShardLive(event.shard) &&
+                cluster->Checkpoint(event.shard).ok()) {
+              cluster->Kill(event.shard);
+              ++report.kills;
+            } else {
+              ended[e] = true;  // Already down (overlapping kill): no-op.
+            }
+            break;
+          case ClusterChaosEventKind::kShardMigrate:
+            if (cluster->Migrate(event.shard).ok()) ++report.migrations;
+            ended[e] = true;
+            break;
+          case ClusterChaosEventKind::kTransportStall:
+            ++report.stall_windows;
+            break;
+        }
+      }
+      if (started[e] && !ended[e] && event.end_s <= t) {
+        ended[e] = true;
+        if (event.kind == ClusterChaosEventKind::kShardKill &&
+            !cluster->ShardLive(event.shard) &&
+            cluster->Restart(event.shard, /*restore=*/true).ok())
+          ++report.restores;
+      }
+    }
+    // (Re-)apply stalls whose window covers this group.
+    for (std::size_t e = 0; e < events.size(); ++e)
+      if (started[e] && !ended[e] &&
+          events[e].kind == ClusterChaosEventKind::kTransportStall)
+        cluster->SetStalled(events[e].shard, true);
+
+    clock.Set(t);
+
+    for (; i < plan.packets.size() && plan.packets[i].timestamp_s == t; ++i) {
+      const serving::IngestPacket& packet = plan.packets[i];
+      switch (cluster->Ingest(packet)) {
+        case serving::AdmitStatus::kAccepted:
+          ++report.admit_accepted;
+          if (packet.kind == serving::PacketKind::kQuery)
+            ++report.accepted_queries;
+          break;
+        case serving::AdmitStatus::kRejectedQueueFull:
+          ++report.admit_rejected_backpressure;
+          break;
+        case serving::AdmitStatus::kRejectedBreakerOpen:
+          ++report.admit_rejected_breaker;
+          break;
+        case serving::AdmitStatus::kRejectedDeadline:
+          ++report.admit_rejected_deadline;
+          break;
+        default:
+          break;
+      }
+    }
+
+    // A flush through a stalled pipe would never ack: clear every active
+    // stall first (the window re-applies it on the next group).
+    for (std::size_t e = 0; e < events.size(); ++e)
+      if (started[e] && !ended[e] &&
+          events[e].kind == ClusterChaosEventKind::kTransportStall)
+        cluster->SetStalled(events[e].shard, false);
+    cluster->Flush();
+  }
+  cluster->Flush();
+  std::vector<ClusterResponse> responses = cluster->TakeResponses();
+  cluster->Shutdown();
+
+  std::sort(responses.begin(), responses.end(),
+            [](const ClusterResponse& a, const ClusterResponse& b) {
+              if (a.response.timestamp_s != b.response.timestamp_s)
+                return a.response.timestamp_s < b.response.timestamp_s;
+              return a.response.object_id < b.response.object_id;
+            });
+  const auto ok_status =
+      static_cast<std::uint8_t>(serving::ServeStatus::kOk);
+  double tail_error_sum = 0.0;
+  std::size_t tail_error_count = 0;
+  report.outcomes.reserve(responses.size());
+  for (const ClusterResponse& received : responses) {
+    const serving::WireResponse& response = received.response;
+    ClusterChaosOutcome outcome;
+    outcome.object_id = response.object_id;
+    outcome.epoch = std::size_t(response.timestamp_s / epoch_interval_s);
+    outcome.timestamp_s = response.timestamp_s;
+    outcome.status = response.status;
+    outcome.degradation = response.degradation;
+    outcome.confidence = response.confidence;
+    const std::size_t row =
+        outcome.epoch * plan.objects + std::size_t(response.object_id);
+    if (response.status == ok_status && row < plan.epochs.size())
+      outcome.error_m = geometry::Distance(response.position,
+                                           plan.epochs[row].true_position);
+    if (response.status == ok_status &&
+        outcome.timestamp_s > report.schedule.last_event_end_s) {
+      tail_error_sum += outcome.error_m;
+      ++tail_error_count;
+    }
+    report.outcomes.push_back(outcome);
+  }
+  if (tail_error_count > 0)
+    report.tail_mean_error_m = tail_error_sum / double(tail_error_count);
+  return report;
+}
+
+}  // namespace nomloc::cluster

@@ -1,0 +1,121 @@
+// Deterministic shard-level chaos harness for the cluster layer.
+//
+// Where serving/chaos.h perturbs the *data* plane (anchor death, trace
+// corruption), this harness perturbs the *topology*: shard kills with
+// later checkpoint-restores, live migrations, and transport stalls, all
+// drawn from a seeded schedule over a ReplayPlan's timeline.  A run is a
+// pure function of (plan, chaos config, cluster config), so every seed is
+// a reproducible topology-failure scenario.
+//
+// The ctest suite (labels `cluster` + `chaos`) replays several seeds and
+// asserts the resilience invariants:
+//
+//   * no crash, and exactly one response per accepted query — events fire
+//     on flushed epoch boundaries, so no in-flight work is ever lost;
+//   * monotone degradation: while a shard is down its packets reroute to
+//     the next shard in rendezvous preference order (or reject with a
+//     typed verdict) — they are never silently dropped;
+//   * post-recovery parity: after the last event clears, tail-epoch
+//     accuracy returns to the fault-free run's.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "serving/replay.h"
+
+namespace nomloc::cluster {
+
+enum class ClusterChaosEventKind {
+  /// Checkpoint + kill at start_s; restart-with-restore at end_s.
+  kShardKill,
+  /// Live migration (drain, filtered checkpoint, host swap) at start_s.
+  kShardMigrate,
+  /// Ingest-direction transport stall over [start_s, end_s): packets queue
+  /// in the pipe and overflow as typed backpressure.  The harness clears
+  /// the stall before each epoch flush (a flush through a stalled pipe
+  /// would never ack) and re-applies it while the window lasts.
+  kTransportStall,
+};
+
+std::string_view ClusterChaosEventKindName(
+    ClusterChaosEventKind kind) noexcept;
+
+struct ClusterChaosEvent {
+  ClusterChaosEventKind kind = ClusterChaosEventKind::kShardKill;
+  std::size_t shard = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;  ///< Migrations are instantaneous: end_s == start_s.
+};
+
+struct ClusterChaosConfig {
+  std::uint64_t seed = 1;
+  std::size_t events = 4;
+  /// Event-kind mix (relative weights; zero disables a kind).
+  double kill_weight = 3.0;
+  double migrate_weight = 2.0;
+  double stall_weight = 2.0;
+  /// Kill / stall windows last up to this many epoch intervals.
+  double max_window_epochs = 2.0;
+
+  common::Result<void> Validate() const;
+};
+
+struct ClusterChaosSchedule {
+  std::vector<ClusterChaosEvent> events;  ///< Sorted by start_s.
+  double last_event_end_s = 0.0;
+};
+
+/// Derives the deterministic event schedule for one replay plan.  Targets
+/// are drawn from [0, shards); windows snap to the epoch grid so every
+/// event fires on a flushed boundary.
+ClusterChaosSchedule BuildClusterChaosSchedule(
+    const ClusterChaosConfig& config, const serving::ReplayPlan& plan,
+    double epoch_interval_s, std::size_t shards);
+
+/// One query's outcome, joined against the plan's golden truth.
+struct ClusterChaosOutcome {
+  std::uint64_t object_id = 0;
+  std::size_t epoch = 0;
+  double timestamp_s = 0.0;
+  std::uint8_t status = 0;       ///< serving::ServeStatus.
+  std::uint8_t degradation = 0;  ///< common::DegradationLevel.
+  double confidence = 0.0;
+  /// Distance to the epoch's true position [m]; meaningful when status
+  /// is kOk.
+  double error_m = 0.0;
+};
+
+struct ClusterChaosReport {
+  ClusterChaosSchedule schedule;
+  std::vector<ClusterChaosOutcome> outcomes;
+  /// Topology-event tallies (as executed, not just scheduled).
+  std::size_t kills = 0;
+  std::size_t restores = 0;
+  std::size_t migrations = 0;
+  std::size_t stall_windows = 0;
+  /// Admission tallies over the whole stream.
+  std::size_t admit_accepted = 0;
+  std::size_t admit_rejected_backpressure = 0;
+  std::size_t admit_rejected_breaker = 0;
+  std::size_t admit_rejected_deadline = 0;
+  /// Accepted queries (every one must produce exactly one outcome).
+  std::size_t accepted_queries = 0;
+  /// Mean kOk error over epochs strictly after the last event cleared;
+  /// negative when no such epoch produced a kOk response.
+  double tail_mean_error_m = -1.0;
+};
+
+/// Replays `plan` through a fresh Cluster while applying the schedule.
+/// The harness drives router admission on a ManualClock stepped to each
+/// timestamp group and flushes every group, so events only ever fire on
+/// drained boundaries.  Fully deterministic for a given configuration.
+common::Result<ClusterChaosReport> RunClusterChaos(
+    const core::NomLocEngine& engine, const serving::ReplayPlan& plan,
+    double epoch_interval_s, const ClusterChaosConfig& chaos,
+    ClusterConfig cluster_config);
+
+}  // namespace nomloc::cluster

@@ -1,0 +1,436 @@
+#include "cluster/cluster.h"
+
+#include <optional>
+
+#include "common/metrics.h"
+
+namespace nomloc::cluster {
+
+namespace {
+
+constexpr std::string_view kCounterNames[] = {
+    "cluster.routed",
+    "cluster.rerouted",
+    "cluster.rejected.backpressure",
+    "cluster.rejected.breaker",
+    "cluster.rejected.deadline",
+    "cluster.shard_trips",
+    "cluster.migrations",
+    "cluster.checkpoints",
+    "cluster.restarts",
+    "cluster.kills",
+    "cluster.flushes",
+    "cluster.responses",
+    "cluster.host.rejected",
+};
+
+common::MetricCounter& Metric(std::string_view name) {
+  return common::MetricRegistry::Global().Counter(name);
+}
+
+}  // namespace
+
+std::span<const std::string_view> AllMetricNames() { return kCounterNames; }
+
+void TouchMetrics() {
+  for (std::string_view name : kCounterNames) Metric(name);
+}
+
+common::Result<void> ClusterConfig::Validate() const {
+  if (shards == 0)
+    return common::InvalidArgument("cluster needs at least one shard");
+  NOMLOC_RETURN_IF_ERROR(transport.Validate().status());
+  NOMLOC_RETURN_IF_ERROR(serving.Validate().status());
+  NOMLOC_RETURN_IF_ERROR(shard_breaker.Validate().status());
+  return {};
+}
+
+/// Everything the router knows about one shard slot.  `mutex` guards the
+/// write side (link, header, breaker, live flag); the read side is the
+/// slot's dedicated reader thread, which owns the raw Link pointer it was
+/// spawned with and never touches these fields.
+struct Cluster::Slot {
+  explicit Slot(const serving::CircuitBreakerConfig& breaker_config)
+      : breaker(breaker_config) {}
+
+  std::mutex mutex;
+  std::unique_ptr<ShardHost> host;
+  std::unique_ptr<Link> link;  ///< Router end.
+  bool header_sent = false;
+  bool live = false;
+  serving::CircuitBreaker breaker;
+  std::thread reader;
+  /// Guarded by Cluster::ack_mutex_.
+  std::uint64_t acked_token = 0;
+  bool reader_done = true;
+  /// Last Checkpoint()/Migrate() dump, for Restart(restore=true).
+  std::string checkpoint;
+};
+
+common::Result<std::unique_ptr<Cluster>> Cluster::Create(
+    const core::NomLocEngine& engine, ClusterConfig config,
+    const serving::Clock* clock) {
+  NOMLOC_RETURN_IF_ERROR(config.Validate().status());
+  NOMLOC_ASSIGN_OR_RETURN(
+      PlacementTable table,
+      PlacementTable::Create(config.shards, config.placement_seed));
+  auto cluster = std::unique_ptr<Cluster>(
+      new Cluster(engine, std::move(config), clock, std::move(table)));
+  for (std::size_t shard = 0; shard < cluster->config_.shards; ++shard) {
+    auto status = cluster->AttachHost(shard, nullptr);
+    if (!status.ok()) {
+      cluster->Shutdown();
+      return status.status();
+    }
+  }
+  return cluster;
+}
+
+Cluster::Cluster(const core::NomLocEngine& engine, ClusterConfig config,
+                 const serving::Clock* clock, PlacementTable table)
+    : engine_(engine), config_(std::move(config)), clock_(clock),
+      table_(std::move(table)) {
+  if (clock_ == nullptr) {
+    owned_clock_ = std::make_unique<serving::SteadyClock>();
+    clock_ = owned_clock_.get();
+  }
+  slots_.reserve(config_.shards);
+  for (std::size_t shard = 0; shard < config_.shards; ++shard)
+    slots_.push_back(std::make_unique<Slot>(config_.shard_breaker));
+}
+
+Cluster::~Cluster() { Shutdown(); }
+
+common::Result<void> Cluster::AttachHost(std::size_t shard,
+                                         const std::string* dump) {
+  NOMLOC_ASSIGN_OR_RETURN(LinkPair pair, ConnectLinkPair(config_.transport));
+  NOMLOC_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardHost> host,
+      ShardHost::Create(engine_, config_.serving, std::move(pair.host_end),
+                        config_.clock_from_packets));
+  if (dump != nullptr && !dump->empty()) {
+    NOMLOC_ASSIGN_OR_RETURN(common::Json checkpoint,
+                            common::Json::Parse(*dump));
+    auto restored = host->Store().RestoreFromJson(checkpoint);
+    if (!restored.ok()) {
+      host->Stop();
+      return restored.status();
+    }
+  }
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.host = std::move(host);
+  slot.link = std::move(pair.router_end);
+  slot.header_sent = false;
+  slot.live = true;
+  {
+    std::lock_guard<std::mutex> ack_lock(ack_mutex_);
+    slot.reader_done = false;
+  }
+  slot.reader = std::thread([this, shard] { ReaderLoop(shard); });
+  return {};
+}
+
+void Cluster::DetachHost(std::size_t shard) {
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (!slot.live && slot.host == nullptr) return;
+  slot.live = false;
+  if (slot.link) slot.link->Close();
+  if (slot.reader.joinable()) slot.reader.join();
+  if (slot.host) slot.host->Stop();
+  slot.host.reset();
+  slot.link.reset();
+  ack_cv_.notify_all();
+}
+
+void Cluster::ReaderLoop(std::size_t shard) {
+  Slot& slot = *slots_[shard];
+  // The attach that spawned this thread set the link before the spawn
+  // (thread creation synchronizes), and DetachHost joins us before
+  // resetting it — a plain read is race-free for the thread's lifetime.
+  Link* const link = slot.link.get();
+  serving::WireDecoder decoder(serving::WireDecoderAccept{
+      .packets = false, .responses = true, .controls = true, .ordered = true});
+  std::string incoming;
+  static auto& responses_counter = Metric("cluster.responses");
+  while (true) {
+    incoming.clear();
+    if (link->Read(incoming) == 0) break;
+    if (!decoder.Feed(incoming).ok()) break;
+    for (const serving::WireEvent& event : decoder.TakeEvents()) {
+      if (event.kind == serving::kWireResponseFrame) {
+        ClusterResponse response;
+        response.response = event.response;
+        response.shard = shard;
+        response.received_wall = std::chrono::steady_clock::now();
+        responses_counter.Increment();
+        std::lock_guard<std::mutex> lock(responses_mutex_);
+        responses_.push_back(response);
+      } else if (event.kind == serving::kWireControlFrame &&
+                 event.control.op == serving::WireControlOp::kFlushAck) {
+        std::lock_guard<std::mutex> lock(ack_mutex_);
+        if (event.control.token > slot.acked_token)
+          slot.acked_token = event.control.token;
+        ack_cv_.notify_all();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(ack_mutex_);
+    slot.reader_done = true;
+  }
+  ack_cv_.notify_all();
+}
+
+LinkWrite Cluster::WriteToSlot(Slot& slot, std::string_view bytes) {
+  if (!slot.header_sent) {
+    std::string first = serving::WireHeader();
+    first.append(bytes.data(), bytes.size());
+    const LinkWrite verdict = slot.link->Write(first);
+    if (verdict == LinkWrite::kOk) slot.header_sent = true;
+    return verdict;
+  }
+  return slot.link->Write(bytes);
+}
+
+serving::AdmitStatus Cluster::Ingest(const serving::IngestPacket& packet) {
+  static auto& routed = Metric("cluster.routed");
+  static auto& rerouted = Metric("cluster.rerouted");
+  static auto& rejected_backpressure = Metric("cluster.rejected.backpressure");
+  static auto& rejected_breaker = Metric("cluster.rejected.breaker");
+  static auto& rejected_deadline = Metric("cluster.rejected.deadline");
+  static auto& trips = Metric("cluster.shard_trips");
+
+  if (shutdown_.load(std::memory_order_acquire))
+    return serving::AdmitStatus::kRejectedShutdown;
+  const double now_s = clock_->NowSeconds();
+  // Same admission comparison as StreamingLocalizer::Ingest, so a
+  // router-side rejection is exactly the rejection the unsharded run
+  // would have issued (neither produces a response).
+  if (now_s > packet.deadline_s) {
+    rejected_deadline.Increment();
+    return serving::AdmitStatus::kRejectedDeadline;
+  }
+
+  std::string frame;
+  serving::AppendWireFrame(packet, frame);
+
+  // nullopt = this candidate cannot take the packet (dead / breaker
+  // open / transport closed); a definite verdict stops the walk.
+  auto try_slot =
+      [&](std::size_t index) -> std::optional<serving::AdmitStatus> {
+    Slot& slot = *slots_[index];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.breaker.Allow(now_s)) return std::nullopt;
+    if (!slot.live || slot.link == nullptr) {
+      // A dead shard fails its candidates like a broken transport: the
+      // breaker counts toward a trip, then Allow() short-circuits.
+      const bool was_open =
+          slot.breaker.State() == serving::BreakerState::kOpen;
+      slot.breaker.RecordFailure(now_s);
+      if (!was_open && slot.breaker.State() == serving::BreakerState::kOpen)
+        trips.Increment();
+      return std::nullopt;
+    }
+    const LinkWrite verdict = WriteToSlot(slot, frame);
+    if (verdict == LinkWrite::kOk) {
+      slot.breaker.RecordSuccess(now_s);
+      return serving::AdmitStatus::kAccepted;
+    }
+    if (verdict == LinkWrite::kBackpressure) {
+      // Typed backpressure, no reroute: scattering an object's session
+      // across shards over a transient full pipe would split its anchor
+      // history.  The sender retries; the owner keeps the session.
+      return serving::AdmitStatus::kRejectedQueueFull;
+    }
+    const bool was_open = slot.breaker.State() == serving::BreakerState::kOpen;
+    slot.breaker.RecordFailure(now_s);
+    if (!was_open && slot.breaker.State() == serving::BreakerState::kOpen)
+      trips.Increment();
+    return std::nullopt;
+  };
+
+  const std::size_t primary = table_.ShardOf(packet.object_id);
+  if (auto verdict = try_slot(primary)) {
+    if (*verdict == serving::AdmitStatus::kAccepted)
+      routed.Increment();
+    else if (*verdict == serving::AdmitStatus::kRejectedQueueFull)
+      rejected_backpressure.Increment();
+    return *verdict;
+  }
+  if (config_.route_around) {
+    std::vector<std::size_t> order;
+    table_.PreferenceOrder(packet.object_id, order);
+    for (std::size_t index : order) {
+      if (index == primary) continue;
+      if (auto verdict = try_slot(index)) {
+        if (*verdict == serving::AdmitStatus::kAccepted)
+          rerouted.Increment();
+        else if (*verdict == serving::AdmitStatus::kRejectedQueueFull)
+          rejected_backpressure.Increment();
+        return *verdict;
+      }
+    }
+  }
+  rejected_breaker.Increment();
+  return serving::AdmitStatus::kRejectedBreakerOpen;
+}
+
+void Cluster::SetLogicalTime(double now_s) {
+  serving::WireControl control;
+  control.op = serving::WireControlOp::kClockSet;
+  control.value = now_s;
+  std::string frame;
+  serving::AppendWireControlFrame(control, frame);
+  for (const auto& slot_ptr : slots_) {
+    Slot& slot = *slot_ptr;
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.live || slot.link == nullptr) continue;
+    // Clock frames ride the same stream as packets (ordering matters);
+    // a brief backpressure window is waited out, a dead link is skipped
+    // (the restarted host gets a fresh clock from the next broadcast).
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const LinkWrite verdict = WriteToSlot(slot, frame);
+      if (verdict != LinkWrite::kBackpressure) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Cluster::Flush() {
+  static auto& flushes = Metric("cluster.flushes");
+  flushes.Increment();
+  std::vector<std::pair<std::size_t, std::uint64_t>> waits;
+  for (std::size_t shard = 0; shard < slots_.size(); ++shard) {
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.live || slot.link == nullptr) continue;
+    const std::uint64_t token =
+        flush_token_.fetch_add(1, std::memory_order_relaxed) + 1;
+    serving::WireControl control;
+    control.op = serving::WireControlOp::kFlush;
+    control.token = token;
+    std::string frame;
+    serving::AppendWireControlFrame(control, frame);
+    LinkWrite verdict = LinkWrite::kClosed;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      verdict = WriteToSlot(slot, frame);
+      if (verdict != LinkWrite::kBackpressure) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (verdict == LinkWrite::kOk) waits.emplace_back(shard, token);
+  }
+  std::unique_lock<std::mutex> lock(ack_mutex_);
+  for (const auto& [shard, token] : waits) {
+    Slot& slot = *slots_[shard];
+    ack_cv_.wait(lock, [&] {
+      return slot.acked_token >= token || slot.reader_done;
+    });
+  }
+}
+
+std::vector<ClusterResponse> Cluster::TakeResponses() {
+  std::lock_guard<std::mutex> lock(responses_mutex_);
+  std::vector<ClusterResponse> out;
+  out.swap(responses_);
+  return out;
+}
+
+common::Result<void> Cluster::Checkpoint(std::size_t shard) {
+  if (shard >= slots_.size())
+    return common::InvalidArgument("no such shard");
+  Flush();
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (!slot.live || slot.host == nullptr)
+    return common::FailedPrecondition("shard is not live");
+  // Filtered to the ids this placement slot owns: sessions that landed
+  // here via route-around belong to (and will re-form on) other shards.
+  const common::Json checkpoint = slot.host->Store().CheckpointJson(
+      [this, shard](std::uint64_t object_id) {
+        return table_.ShardOf(object_id) == shard;
+      });
+  slot.checkpoint = checkpoint.Dump();
+  Metric("cluster.checkpoints").Increment();
+  return {};
+}
+
+common::Result<void> Cluster::Migrate(std::size_t shard) {
+  NOMLOC_RETURN_IF_ERROR(Checkpoint(shard).status());
+  // The flush above drained every in-flight frame, so between here and
+  // the swap the slot only has to hold new ingest off (AttachHost takes
+  // the slot mutex for the flip itself).
+  DetachHost(shard);
+  std::string dump;
+  {
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    dump = slot.checkpoint;
+  }
+  NOMLOC_RETURN_IF_ERROR(AttachHost(shard, &dump).status());
+  Metric("cluster.migrations").Increment();
+  return {};
+}
+
+void Cluster::Kill(std::size_t shard) {
+  if (shard >= slots_.size()) return;
+  DetachHost(shard);
+  Metric("cluster.kills").Increment();
+}
+
+common::Result<void> Cluster::Restart(std::size_t shard, bool restore) {
+  if (shard >= slots_.size())
+    return common::InvalidArgument("no such shard");
+  {
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.live) return common::FailedPrecondition("shard is still live");
+  }
+  std::string dump;
+  if (restore) {
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    dump = slot.checkpoint;
+  }
+  NOMLOC_RETURN_IF_ERROR(AttachHost(shard, restore ? &dump : nullptr)
+                             .status());
+  Metric("cluster.restarts").Increment();
+  return {};
+}
+
+bool Cluster::SetStalled(std::size_t shard, bool stalled) {
+  if (shard >= slots_.size()) return false;
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  if (!slot.live || slot.link == nullptr) return false;
+  return slot.link->SetStalled(stalled);
+}
+
+std::size_t Cluster::ShardCount() const noexcept { return slots_.size(); }
+
+std::size_t Cluster::ShardOf(std::uint64_t object_id) const noexcept {
+  return table_.ShardOf(object_id);
+}
+
+bool Cluster::ShardLive(std::size_t shard) const {
+  if (shard >= slots_.size()) return false;
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.live;
+}
+
+serving::SessionStore* Cluster::StoreOf(std::size_t shard) {
+  if (shard >= slots_.size()) return nullptr;
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.host ? &slot.host->Store() : nullptr;
+}
+
+void Cluster::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  for (std::size_t shard = 0; shard < slots_.size(); ++shard)
+    DetachHost(shard);
+}
+
+}  // namespace nomloc::cluster

@@ -1,0 +1,187 @@
+// The shard router and the Cluster that owns it.
+//
+// A Cluster is N shard hosts (each a StreamingLocalizer behind a wire
+// transport — see shard_host.h) plus the router: every IngestPacket is
+// encoded once and written to the shard the rendezvous placement table
+// owns its object id to.  The router is the cluster's admission boundary
+// and reuses the serving layer's typed verdicts:
+//
+//   kRejectedShutdown   after Shutdown()
+//   kRejectedDeadline   deadline already passed on the router clock
+//   kRejectedQueueFull  transport backpressure (loopback reject-not-block)
+//   kRejectedBreakerOpen no healthy candidate shard remained
+//
+// Per-shard health is a CircuitBreaker (PR 5 idiom): a transport write
+// failure is RecordFailure — `failure_threshold` consecutive ones trip
+// the breaker open (`cluster.shard_trips`), a restarted shard is probed
+// half-open after the backoff, and a successful write re-closes it.
+// While a shard is unhealthy the router walks the object's rendezvous
+// preference order and delivers to the best healthy shard instead
+// (`cluster.rerouted`) — sessions re-form there from subsequent traffic.
+// Backpressure deliberately does NOT reroute: scattering an object's
+// session over a transient full queue would split its anchor history.
+//
+// Responses flow back asynchronously: one router-side reader thread per
+// shard reassembles response frames (WireDecoder) into TakeResponses().
+// Flush() is a token round-trip — every live shard gets kFlush(token) and
+// the call blocks until each kFlushAck(token) arrives, so after Flush()
+// every accepted query's response is in TakeResponses().
+//
+// Live migration (Migrate): flush, checkpoint the shard's SessionStore
+// *filtered to the ids its placement slot owns*, build a replacement host
+// on a fresh link, restore the checkpoint, then atomically swap the slot
+// (ingest holds the slot mutex for the swap only).  The placement table
+// itself never changes — a slot keeps its id range; only the host behind
+// it is replaced, which is why a migrated cluster stays bit-identical to
+// an unsharded golden run.
+//
+// All cluster metrics are namespaced `cluster.*`; AllMetricNames() is the
+// canonical list (tested against --metrics output).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "cluster/shard_host.h"
+#include "cluster/transport.h"
+#include "core/nomloc.h"
+#include "serving/clock.h"
+#include "serving/service.h"
+#include "serving/wire.h"
+
+namespace nomloc::cluster {
+
+struct ClusterConfig {
+  std::size_t shards = 4;
+  TransportConfig transport;
+  /// Per-host serving config (workers, queue bounds, store, faults...).
+  serving::ServingConfig serving;
+  /// Per-shard transport health breakers.
+  serving::CircuitBreakerConfig shard_breaker;
+  /// Walk the rendezvous preference order around unhealthy shards.  Off,
+  /// an unhealthy owner rejects with kRejectedBreakerOpen instead.
+  bool route_around = true;
+  /// Hosts advance their logical clock from packet timestamps.  Turn off
+  /// when the driver steers time via SetLogicalTime (chaos clock jumps).
+  bool clock_from_packets = true;
+  std::uint64_t placement_seed = kDefaultPlacementSeed;
+
+  common::Result<void> Validate() const;
+};
+
+/// One response received from a shard, stamped on arrival for
+/// coordinated-omission-free latency measurement (the scheduled send wall
+/// time cannot cross the wire, so the *router* closes the loop).
+struct ClusterResponse {
+  serving::WireResponse response;
+  std::size_t shard = 0;
+  std::chrono::steady_clock::time_point received_wall{};
+};
+
+class Cluster {
+ public:
+  /// `engine` and `clock` must outlive the cluster.  `clock` may be null
+  /// (router admission then runs on wall time).
+  static common::Result<std::unique_ptr<Cluster>> Create(
+      const core::NomLocEngine& engine, ClusterConfig config,
+      const serving::Clock* clock = nullptr);
+
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Routes one packet (see the admission table above).
+  serving::AdmitStatus Ingest(const serving::IngestPacket& packet);
+
+  /// Broadcasts kClockSet(now_s) to every live shard, in-band (ordered
+  /// with respect to later Ingest calls on each stream).
+  void SetLogicalTime(double now_s);
+
+  /// Token round-trip on every live shard; on return all responses to
+  /// previously accepted packets are available via TakeResponses().
+  void Flush();
+
+  std::vector<ClusterResponse> TakeResponses();
+
+  /// Flush + filtered checkpoint of `shard`'s store (only ids its
+  /// placement slot owns); the dump is kept for Restart(restore=true).
+  common::Result<void> Checkpoint(std::size_t shard);
+
+  /// Live migration: drain, checkpoint (filtered), restore into a fresh
+  /// host on a fresh link, swap atomically.  Bit-identity is preserved —
+  /// the replacement answers exactly as the original would have.
+  common::Result<void> Migrate(std::size_t shard);
+
+  /// Chaos: abrupt shard death.  The host and both link ends die; later
+  /// writes fail and trip the shard's breaker.
+  void Kill(std::size_t shard);
+
+  /// Brings a killed shard back on a fresh host + link.  With `restore`,
+  /// the last Checkpoint()/Migrate() dump is loaded first (sessions since
+  /// that dump are lost — they age out via TTL).  The shard's breaker is
+  /// kept: the router re-admits it through the half-open probe path.
+  common::Result<void> Restart(std::size_t shard, bool restore);
+
+  /// Chaos: stall `shard`'s ingest direction (bytes queue up to the
+  /// loopback capacity, then writes see backpressure).  Returns false on
+  /// transports that cannot stall.
+  bool SetStalled(std::size_t shard, bool stalled);
+
+  std::size_t ShardCount() const noexcept;
+  std::size_t ShardOf(std::uint64_t object_id) const noexcept;
+  bool ShardLive(std::size_t shard) const;
+  const PlacementTable& Placement() const noexcept { return table_; }
+  /// Test/tool introspection; null while the shard is killed.
+  serving::SessionStore* StoreOf(std::size_t shard);
+
+  /// Closes every link and joins every thread.  Idempotent; Ingest
+  /// afterwards returns kRejectedShutdown.
+  void Shutdown();
+
+ private:
+  struct Slot;
+
+  Cluster(const core::NomLocEngine& engine, ClusterConfig config,
+          const serving::Clock* clock, PlacementTable table);
+
+  /// Builds a connected host (+ its router-side reader) for `slot`.
+  common::Result<void> AttachHost(std::size_t shard, const std::string* dump);
+  void DetachHost(std::size_t shard);
+  void ReaderLoop(std::size_t shard);
+  /// Write under the slot mutex, stream header included on first use.
+  LinkWrite WriteToSlot(Slot& slot, std::string_view bytes);
+
+  const core::NomLocEngine& engine_;
+  ClusterConfig config_;
+  std::unique_ptr<serving::SteadyClock> owned_clock_;
+  const serving::Clock* clock_;  ///< Never null.
+  PlacementTable table_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> flush_token_{0};
+
+  std::mutex ack_mutex_;
+  std::condition_variable ack_cv_;
+
+  std::mutex responses_mutex_;
+  std::vector<ClusterResponse> responses_;
+};
+
+/// Canonical names of every cluster metric, for drift tests and tooling.
+std::span<const std::string_view> AllMetricNames();
+
+/// Registers every cluster metric in the global registry so a --metrics
+/// dump lists the full cluster surface even before traffic.
+void TouchMetrics();
+
+}  // namespace nomloc::cluster

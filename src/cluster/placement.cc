@@ -1,0 +1,66 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nomloc::cluster {
+
+namespace {
+
+/// splitmix64 finalizer: the same full-avalanche mix SessionStore uses
+/// for shard routing, so placement quality matches the in-process shards.
+std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+common::Result<PlacementTable> PlacementTable::Create(std::size_t shards,
+                                                      std::uint64_t seed) {
+  if (shards == 0)
+    return common::InvalidArgument("placement needs at least one shard");
+  std::vector<std::uint64_t> salts;
+  salts.reserve(shards);
+  // Each slot's salt is a mixed function of (seed, slot index): stable
+  // under resize — slot i's salt is the same in an N-slot and an
+  // (N+1)-slot table, which is what bounds the remap to the new slot's
+  // winners.
+  for (std::size_t slot = 0; slot < shards; ++slot)
+    salts.push_back(Mix64(seed ^ Mix64(std::uint64_t(slot) + 1)));
+  return PlacementTable(std::move(salts));
+}
+
+std::uint64_t PlacementTable::Weight(std::size_t slot,
+                                     std::uint64_t object_id) const noexcept {
+  return Mix64(salts_[slot] ^ Mix64(object_id));
+}
+
+std::size_t PlacementTable::ShardOf(std::uint64_t object_id) const noexcept {
+  std::size_t best = 0;
+  std::uint64_t best_weight = Weight(0, object_id);
+  for (std::size_t slot = 1; slot < salts_.size(); ++slot) {
+    const std::uint64_t weight = Weight(slot, object_id);
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = slot;
+    }
+  }
+  return best;
+}
+
+void PlacementTable::PreferenceOrder(std::uint64_t object_id,
+                                     std::vector<std::size_t>& out) const {
+  out.resize(salts_.size());
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+    const std::uint64_t wa = Weight(a, object_id);
+    const std::uint64_t wb = Weight(b, object_id);
+    if (wa != wb) return wa > wb;
+    return a < b;  // 64-bit ties are ~impossible; keep the order total.
+  });
+}
+
+}  // namespace nomloc::cluster

@@ -1,0 +1,65 @@
+// Rendezvous-hash placement of object ids onto shard slots.
+//
+// Every object id is owned by exactly one of N shard slots: the slot
+// whose keyed hash of (slot salt, object id) is largest — highest random
+// weight / rendezvous hashing.  Two properties make this the right
+// placement for a serving cluster:
+//
+//   1. No coordination state.  Ownership is a pure function of
+//      (seed, slot count, object id); every router instance computes the
+//      same table with no directory service.
+//   2. Minimal remap on resize.  Growing N to N+1 moves exactly the ids
+//      whose argmax is the new slot (≈ 1/(N+1) of them); every other id
+//      keeps its owner.  A consistent-hash ring gives the same bound with
+//      more machinery.
+//
+// PreferenceOrder() ranks all slots by descending weight.  The router
+// walks that order when routing around an unhealthy shard: the first
+// healthy slot wins, so each object has a deterministic fallback chain
+// and a recovered shard automatically reclaims its objects.
+//
+// Live migration does not change the table: a migrated shard keeps its
+// slot (and therefore its id range) — only the host process behind the
+// slot is replaced and the router's endpoint array is flipped atomically
+// (see cluster.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nomloc::cluster {
+
+/// Default placement seed (arbitrary odd constant; routers and tools must
+/// agree on it for a shared table).
+inline constexpr std::uint64_t kDefaultPlacementSeed = 0x9e3779b97f4a7c15ull;
+
+class PlacementTable {
+ public:
+  /// `shards` must be >= 1.
+  static common::Result<PlacementTable> Create(
+      std::size_t shards, std::uint64_t seed = kDefaultPlacementSeed);
+
+  std::size_t ShardCount() const noexcept { return salts_.size(); }
+
+  /// The slot that owns `object_id` (the rendezvous winner).
+  std::size_t ShardOf(std::uint64_t object_id) const noexcept;
+
+  /// All slots ranked by descending rendezvous weight for `object_id`;
+  /// out[0] == ShardOf(object_id).  `out` is overwritten.
+  void PreferenceOrder(std::uint64_t object_id,
+                       std::vector<std::size_t>& out) const;
+
+  /// The weight the rendezvous argmax compares (exposed for tests).
+  std::uint64_t Weight(std::size_t slot,
+                       std::uint64_t object_id) const noexcept;
+
+ private:
+  explicit PlacementTable(std::vector<std::uint64_t> salts)
+      : salts_(std::move(salts)) {}
+
+  std::vector<std::uint64_t> salts_;  ///< One keyed salt per slot.
+};
+
+}  // namespace nomloc::cluster

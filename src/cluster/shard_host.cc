@@ -1,0 +1,157 @@
+#include "cluster/shard_host.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "serving/wire.h"
+
+namespace nomloc::cluster {
+
+namespace {
+
+common::MetricCounter& HostRejected() {
+  static auto& counter =
+      common::MetricRegistry::Global().Counter("cluster.host.rejected");
+  return counter;
+}
+
+serving::WireResponse ToWire(const serving::ServeResponse& response) {
+  serving::WireResponse wire;
+  wire.object_id = response.object_id;
+  wire.timestamp_s = response.timestamp_s;
+  wire.status = static_cast<std::uint8_t>(response.status);
+  wire.degradation = static_cast<std::uint8_t>(response.degradation);
+  wire.degraded = response.degraded;
+  wire.anchor_count = static_cast<std::uint32_t>(response.anchor_count);
+  wire.position = response.estimate.position;
+  wire.relaxation_cost = response.estimate.relaxation_cost;
+  wire.feasible_area_m2 = response.estimate.feasible_area_m2;
+  wire.confidence = response.confidence;
+  return wire;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<ShardHost>> ShardHost::Create(
+    const core::NomLocEngine& engine, serving::ServingConfig serving_config,
+    std::unique_ptr<Link> link, bool clock_from_packets) {
+  if (link == nullptr)
+    return common::InvalidArgument("shard host needs a transport link");
+  auto host = std::unique_ptr<ShardHost>(
+      new ShardHost(engine, std::move(link), clock_from_packets));
+  NOMLOC_ASSIGN_OR_RETURN(
+      host->localizer_,
+      serving::StreamingLocalizer::Create(engine, std::move(serving_config),
+                                          &host->clock_));
+  host->reader_ = std::thread([raw = host.get()] { raw->ReaderLoop(); });
+  return host;
+}
+
+ShardHost::ShardHost(const core::NomLocEngine& /*engine*/,
+                     std::unique_ptr<Link> link, bool clock_from_packets)
+    : link_(std::move(link)), clock_from_packets_(clock_from_packets) {}
+
+ShardHost::~ShardHost() { Stop(); }
+
+void ShardHost::Stop() {
+  if (stopped_.exchange(true)) {
+    if (reader_.joinable()) reader_.join();
+    return;
+  }
+  link_->Close();
+  if (reader_.joinable()) reader_.join();
+  if (localizer_) localizer_->Shutdown();  // Null if Create failed early.
+}
+
+void ShardHost::WriteOut(std::string& outbound) {
+  if (outbound.empty()) return;
+  // The router's per-shard reader drains continuously, so backpressure on
+  // the response direction is transient — but a flush batch (responses +
+  // ack) can exceed the pipe's *total* capacity, in which case a whole-
+  // buffer write would never fit.  Halve the chunk size on every reject:
+  // the decoder is incremental, so byte-level splits mid-frame are fine,
+  // and a 1-byte chunk always makes progress against a draining reader.
+  // A closed link means the router is gone and the bytes have nowhere to
+  // go.
+  std::size_t offset = 0;
+  std::size_t chunk = outbound.size();
+  for (int stalls = 0; offset < outbound.size() && stalls < 10000;) {
+    const std::size_t n = std::min(chunk, outbound.size() - offset);
+    const LinkWrite verdict =
+        link_->Write(std::string_view(outbound).substr(offset, n));
+    if (verdict == LinkWrite::kClosed) break;
+    if (verdict == LinkWrite::kOk) {
+      offset += n;
+      continue;
+    }
+    ++stalls;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  outbound.clear();
+}
+
+void ShardHost::HandleFlush(std::uint64_t token, std::string& outbound) {
+  localizer_->Flush();
+  std::vector<serving::ServeResponse> responses = localizer_->TakeResponses();
+  std::sort(responses.begin(), responses.end(),
+            [](const serving::ServeResponse& a,
+               const serving::ServeResponse& b) { return a.seq < b.seq; });
+  if (!header_sent_) {
+    outbound += serving::WireHeader();
+    header_sent_ = true;
+  }
+  for (const serving::ServeResponse& response : responses)
+    serving::AppendWireResponseFrame(ToWire(response), outbound);
+  serving::WireControl ack;
+  ack.op = serving::WireControlOp::kFlushAck;
+  ack.token = token;
+  serving::AppendWireControlFrame(ack, outbound);
+  WriteOut(outbound);
+}
+
+void ShardHost::ReaderLoop() {
+  serving::WireDecoder decoder(serving::WireDecoderAccept{
+      .packets = true, .responses = false, .controls = true, .ordered = true});
+  std::string incoming;
+  std::string outbound;
+  while (true) {
+    incoming.clear();
+    if (link_->Read(incoming) == 0) break;
+    if (!decoder.Feed(incoming).ok()) break;  // Poisoned stream: tear down.
+    for (const serving::WireEvent& event : decoder.TakeEvents()) {
+      switch (event.kind) {
+        case serving::kWireObservationFrame:
+        case serving::kWireQueryFrame: {
+          if (clock_from_packets_)
+            clock_.Set(std::max(clock_.NowSeconds(),
+                                event.packet.timestamp_s));
+          const serving::AdmitStatus admit =
+              localizer_->Ingest(event.packet);
+          if (admit != serving::AdmitStatus::kAccepted &&
+              admit != serving::AdmitStatus::kDroppedByFault)
+            HostRejected().Increment();
+          break;
+        }
+        case serving::kWireControlFrame:
+          switch (event.control.op) {
+            case serving::WireControlOp::kClockSet:
+              clock_.Set(event.control.value);
+              break;
+            case serving::WireControlOp::kFlush:
+              HandleFlush(event.control.token, outbound);
+              break;
+            case serving::WireControlOp::kFlushAck:
+              break;  // Router-direction verb; ignore.
+          }
+          break;
+        default:
+          break;  // Response frames are rejected by the decoder already.
+      }
+    }
+  }
+}
+
+}  // namespace nomloc::cluster

@@ -1,0 +1,86 @@
+// One shard host: a StreamingLocalizer behind a wire-format byte stream.
+//
+// The host owns a reader thread that drains its transport Link, feeds an
+// incremental serving::WireDecoder, and applies the decoded frames in
+// exact stream order:
+//
+//   observation / query  -> StreamingLocalizer::Ingest (after advancing
+//                           the host's logical clock to the packet
+//                           timestamp, when clock_from_packets is on)
+//   kClockSet            -> ManualClock::Set(value) — the router's way to
+//                           drive logical time out-of-band (chaos clock
+//                           jumps, which packet timestamps cannot carry)
+//   kFlush               -> Flush the localizer, write one response frame
+//                           per completed query (ordered by ingest seq),
+//                           then a kFlushAck echoing the token
+//
+// Logical time therefore travels *in-band*: each host sees exactly the
+// timestamps of its own shard's packets, and because the replay stream is
+// globally timestamp-sorted, the host clock at every serve is the same as
+// the unsharded run's — the keystone of the cluster's bit-identity
+// guarantee (see DESIGN.md "Cluster shard topology").
+//
+// The host never reads the router's clock and shares no memory with the
+// router beyond the Link: everything it needs crosses the wire, so the
+// same code serves an in-process loopback shard and a socket-connected
+// one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "cluster/transport.h"
+#include "core/nomloc.h"
+#include "serving/clock.h"
+#include "serving/service.h"
+
+namespace nomloc::cluster {
+
+class ShardHost {
+ public:
+  /// `engine` must outlive the host.  Takes ownership of the host end of
+  /// a Link pair.  `clock_from_packets` advances the host clock to each
+  /// packet's timestamp (monotone max); turn it off when the router
+  /// drives time purely via kClockSet (cluster chaos).
+  static common::Result<std::unique_ptr<ShardHost>> Create(
+      const core::NomLocEngine& engine, serving::ServingConfig serving_config,
+      std::unique_ptr<Link> link, bool clock_from_packets = true);
+
+  ~ShardHost();
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  /// Graceful stop: closes the link, joins the reader (which drains every
+  /// byte already in flight), and shuts the localizer down.  Idempotent.
+  void Stop();
+
+  /// The host's session store — the router checkpoints it for migration
+  /// while the host is quiesced (flushed, or stopped).
+  serving::SessionStore& Store() { return localizer_->Store(); }
+  serving::StreamingLocalizer& Localizer() { return *localizer_; }
+  serving::ManualClock& LogicalClock() { return clock_; }
+
+ private:
+  ShardHost(const core::NomLocEngine& engine, std::unique_ptr<Link> link,
+            bool clock_from_packets);
+
+  void ReaderLoop();
+  /// Flush + encode responses + ack.  Runs on the reader thread.
+  void HandleFlush(std::uint64_t token, std::string& outbound);
+  /// Writes with bounded retries on backpressure (the response pipe is
+  /// drained by the router's reader, so pressure is transient).
+  void WriteOut(std::string& outbound);
+
+  serving::ManualClock clock_;
+  std::unique_ptr<serving::StreamingLocalizer> localizer_;
+  std::unique_ptr<Link> link_;
+  const bool clock_from_packets_;
+  bool header_sent_ = false;
+  std::atomic<bool> stopped_{false};
+  std::thread reader_;
+};
+
+}  // namespace nomloc::cluster

@@ -1,0 +1,242 @@
+#include "cluster/transport.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+namespace nomloc::cluster {
+
+std::string_view TransportKindName(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kLoopback: return "loopback";
+    case TransportKind::kUnixSocket: return "unix";
+    case TransportKind::kTcpSocket: return "tcp";
+  }
+  return "unknown";
+}
+
+common::Result<TransportKind> ParseTransportKindName(std::string_view name) {
+  if (name == "loopback") return TransportKind::kLoopback;
+  if (name == "unix") return TransportKind::kUnixSocket;
+  if (name == "tcp") return TransportKind::kTcpSocket;
+  return common::InvalidArgument("unknown transport '" + std::string(name) +
+                                 "' (expected loopback|unix|tcp)");
+}
+
+common::Result<void> TransportConfig::Validate() const {
+  if (kind == TransportKind::kLoopback && loopback_capacity_bytes == 0)
+    return common::InvalidArgument(
+        "loopback_capacity_bytes must be positive");
+  return {};
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Loopback: two bounded in-process byte buffers.
+
+/// One direction of a loopback pair.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::string buffer;
+  std::size_t capacity = 0;
+  bool closed = false;
+  bool stalled = false;
+};
+
+class LoopbackLink final : public Link {
+ public:
+  LoopbackLink(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~LoopbackLink() override { Close(); }
+
+  LinkWrite Write(std::string_view bytes) override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    if (out_->closed) return LinkWrite::kClosed;
+    if (out_->buffer.size() + bytes.size() > out_->capacity)
+      return LinkWrite::kBackpressure;
+    out_->buffer.append(bytes.data(), bytes.size());
+    out_->cv.notify_all();
+    return LinkWrite::kOk;
+  }
+
+  std::size_t Read(std::string& out) override {
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    in_->cv.wait(lock, [&] {
+      return in_->closed || (!in_->stalled && !in_->buffer.empty());
+    });
+    // A closed pipe still drains buffered bytes first (SHUT_WR
+    // semantics): a graceful stop must not drop frames in flight.
+    if (in_->buffer.empty()) return 0;
+    const std::size_t n = in_->buffer.size();
+    out.append(in_->buffer);
+    in_->buffer.clear();
+    in_->cv.notify_all();
+    return n;
+  }
+
+  void Close() override {
+    for (const auto& pipe : {out_, in_}) {
+      std::lock_guard<std::mutex> lock(pipe->mutex);
+      pipe->closed = true;
+      pipe->cv.notify_all();
+    }
+  }
+
+  bool SetStalled(bool stalled) override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    out_->stalled = stalled;
+    out_->cv.notify_all();
+    return true;
+  }
+
+ private:
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+};
+
+// ---------------------------------------------------------------------------
+// Sockets: a connected fd per end, blocking IO.
+
+class FdLink final : public Link {
+ public:
+  explicit FdLink(int fd) : fd_(fd) {}
+
+  ~FdLink() override {
+    Close();
+    ::close(fd_);
+  }
+
+  LinkWrite Write(std::string_view bytes) override {
+    if (closed_.load(std::memory_order_acquire)) return LinkWrite::kClosed;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += std::size_t(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // EPIPE/ECONNRESET/shutdown: the stream is gone.  A frame may have
+      // been partially transmitted, but the peer tearing down is the
+      // only way here, so no reader ever sees the torn frame.
+      return LinkWrite::kClosed;
+    }
+    return LinkWrite::kOk;
+  }
+
+  std::size_t Read(std::string& out) override {
+    char chunk[65536];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        out.append(chunk, std::size_t(n));
+        return std::size_t(n);
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return 0;  // EOF or error: stream over.
+    }
+  }
+
+  void Close() override {
+    if (!closed_.exchange(true, std::memory_order_acq_rel))
+      ::shutdown(fd_, SHUT_RDWR);  // Wakes a blocked recv with EOF.
+  }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+common::Result<LinkPair> ConnectUnixPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    return common::FailedPrecondition(
+        std::string("socketpair failed: ") + std::strerror(errno));
+  LinkPair pair;
+  pair.router_end = std::make_unique<FdLink>(fds[0]);
+  pair.host_end = std::make_unique<FdLink>(fds[1]);
+  return pair;
+}
+
+common::Result<LinkPair> ConnectTcpPair() {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0)
+    return common::FailedPrecondition(std::string("socket failed: ") +
+                                      std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // Ephemeral.
+  auto fail = [&](const char* what) {
+    const int err = errno;
+    ::close(listener);
+    return common::FailedPrecondition(std::string(what) + " failed: " +
+                                      std::strerror(err));
+  };
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return fail("bind");
+  if (::listen(listener, 1) != 0) return fail("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0)
+    return fail("getsockname");
+
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (client < 0) return fail("socket");
+  if (::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(client);
+    ::close(listener);
+    return common::FailedPrecondition(std::string("connect failed: ") +
+                                      std::strerror(err));
+  }
+  const int accepted = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (accepted < 0) {
+    const int err = errno;
+    ::close(client);
+    return common::FailedPrecondition(std::string("accept failed: ") +
+                                      std::strerror(err));
+  }
+  LinkPair pair;
+  pair.router_end = std::make_unique<FdLink>(client);
+  pair.host_end = std::make_unique<FdLink>(accepted);
+  return pair;
+}
+
+}  // namespace
+
+common::Result<LinkPair> ConnectLinkPair(const TransportConfig& config) {
+  if (auto valid = config.Validate(); !valid.ok()) return valid.status();
+  switch (config.kind) {
+    case TransportKind::kLoopback: {
+      auto forward = std::make_shared<Pipe>();
+      auto backward = std::make_shared<Pipe>();
+      forward->capacity = config.loopback_capacity_bytes;
+      backward->capacity = config.loopback_capacity_bytes;
+      LinkPair pair;
+      pair.router_end = std::make_unique<LoopbackLink>(forward, backward);
+      pair.host_end = std::make_unique<LoopbackLink>(backward, forward);
+      return pair;
+    }
+    case TransportKind::kUnixSocket:
+      return ConnectUnixPair();
+    case TransportKind::kTcpSocket:
+      return ConnectTcpPair();
+  }
+  return common::InvalidArgument("unknown transport kind");
+}
+
+}  // namespace nomloc::cluster

@@ -1,0 +1,96 @@
+// Byte-stream transports between the shard router and its shard hosts.
+//
+// A transport hands out connected pairs of Link endpoints — one end for
+// the router, one for the host.  Each Link is a bidirectional byte pipe
+// with stream semantics: writes are ordered, reads return whatever bytes
+// have arrived (any partition of the stream), and closing one end wakes
+// the peer's blocked reader with EOF.  Frame reassembly is the reader's
+// job (serving::WireDecoder); the transport never tears a frame — a
+// write is either appended whole or rejected whole.
+//
+// Three implementations:
+//
+//   * kLoopback — an in-process pair of bounded mutex/condvar byte
+//     buffers.  Fully deterministic content, sanitizer-friendly (plain
+//     locks, no fds), and the only transport with *typed* backpressure:
+//     a write that would overflow the buffer returns kBackpressure
+//     instead of blocking, which the router surfaces as
+//     kRejectedQueueFull.  Also the chaos handle: SetStalled(true)
+//     starves the reader so stall windows are reproducible.
+//   * kUnixSocket — a socketpair(AF_UNIX, SOCK_STREAM) pair.
+//   * kTcpSocket — a loopback TCP connection (127.0.0.1, ephemeral port).
+//
+// Socket writes block in the kernel when the peer is slow (natural
+// backpressure); only the loopback transport models reject-not-block
+// admission, which is why the deterministic suites run on it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace nomloc::cluster {
+
+enum class TransportKind {
+  kLoopback,    ///< Deterministic in-process byte pipes.
+  kUnixSocket,  ///< socketpair(AF_UNIX, SOCK_STREAM).
+  kTcpSocket,   ///< TCP over 127.0.0.1.
+};
+
+std::string_view TransportKindName(TransportKind kind) noexcept;
+/// Parses "loopback" / "unix" / "tcp" (kInvalidArgument otherwise).
+common::Result<TransportKind> ParseTransportKindName(std::string_view name);
+
+/// Verdict of a non-blocking-or-kernel-buffered Link write.
+enum class LinkWrite {
+  kOk,            ///< All bytes accepted in order.
+  kBackpressure,  ///< Nothing accepted: the pipe is at capacity (loopback).
+  kClosed,        ///< Nothing accepted: the peer is gone.
+};
+
+/// One endpoint of a connected byte-stream pair.  Write/Read may be
+/// called from different threads; each direction has a single writer and
+/// a single reader in this codebase.
+class Link {
+ public:
+  virtual ~Link() = default;
+
+  /// Appends `bytes` to the outgoing stream, all or nothing.
+  virtual LinkWrite Write(std::string_view bytes) = 0;
+
+  /// Blocks until incoming bytes are available or the stream ends, then
+  /// appends them to `out`.  Returns the byte count; 0 means EOF (peer
+  /// closed or this end was closed under the reader).
+  virtual std::size_t Read(std::string& out) = 0;
+
+  /// Closes both directions; the peer's (and this end's) blocked Read
+  /// wakes with EOF, and later writes on either end return kClosed.
+  virtual void Close() = 0;
+
+  /// Chaos hook: while stalled, this end's *peer* reads nothing (bytes
+  /// keep queuing up to capacity).  Returns false when the transport
+  /// cannot stall (sockets).
+  virtual bool SetStalled(bool) { return false; }
+};
+
+struct LinkPair {
+  std::unique_ptr<Link> router_end;
+  std::unique_ptr<Link> host_end;
+};
+
+struct TransportConfig {
+  TransportKind kind = TransportKind::kLoopback;
+  /// Loopback per-direction byte capacity (typed backpressure beyond it).
+  std::size_t loopback_capacity_bytes = 1 << 20;
+
+  common::Result<void> Validate() const;
+};
+
+/// Creates one connected Link pair.  Socket transports fail with
+/// kFailedPrecondition when the OS refuses the socket.
+common::Result<LinkPair> ConnectLinkPair(const TransportConfig& config);
+
+}  // namespace nomloc::cluster

@@ -26,6 +26,7 @@ constexpr std::string_view kCounterNames[] = {
     "serving.fallback.last_known_good",
     "serving.checkpoint.restored",  "serving.solver.sessions",
     "serving.evictions.pressure",   "serving.wire.parse_failures",
+    "serving.wire.bytes_in",        "serving.wire.bytes_out",
 };
 constexpr std::string_view kHistogramNames[] = {
     "serving.queue.depth",
@@ -50,6 +51,7 @@ constexpr std::string_view kAllNames[] = {
     "serving.fallback.last_known_good",
     "serving.checkpoint.restored",  "serving.solver.sessions",
     "serving.evictions.pressure",   "serving.wire.parse_failures",
+    "serving.wire.bytes_in",        "serving.wire.bytes_out",
     "serving.queue.depth",
     "serving.shard.occupancy",      "serving.shard.bytes",
     "serving.queue.wait",

@@ -479,6 +479,11 @@ common::Result<LastKnownGood> LastGoodFromJson(const common::Json& json) {
 }  // namespace
 
 common::Json SessionStore::CheckpointJson() const {
+  return CheckpointJson(nullptr);
+}
+
+common::Json SessionStore::CheckpointJson(
+    const std::function<bool(std::uint64_t)>& owned) const {
   common::JsonObject root;
   root["schema_version"] = common::Json(kCheckpointSchemaVersion);
   // Flat-map iteration order depends on insertion history, so sessions
@@ -490,6 +495,7 @@ common::Json SessionStore::CheckpointJson() const {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.index.ForEach([&](std::uint64_t object_id,
                             const std::uint32_t& slot) {
+      if (owned && !owned(object_id)) return;
       const SessionRec& session = shard.sessions[slot];
       common::JsonObject s;
       s["object_id"] = common::Json(double(object_id));
@@ -541,6 +547,16 @@ common::Json SessionStore::CheckpointJson() const {
 
 common::Result<std::size_t> SessionStore::RestoreFromJson(
     const common::Json& json) {
+  return RestoreImpl(json, /*merge=*/false);
+}
+
+common::Result<std::size_t> SessionStore::MergeFromJson(
+    const common::Json& json) {
+  return RestoreImpl(json, /*merge=*/true);
+}
+
+common::Result<std::size_t> SessionStore::RestoreImpl(const common::Json& json,
+                                                      bool merge) {
   NOMLOC_ASSIGN_OR_RETURN(double version, json.GetDouble("schema_version"));
   if (version != kCheckpointSchemaVersion)
     return common::InvalidArgument("unsupported checkpoint schema version");
@@ -629,13 +645,26 @@ common::Result<std::size_t> SessionStore::RestoreFromJson(
     staged.push_back(std::move(session));
   }
 
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->index.Clear();
-    shard->sessions.Clear();
-    shard->anchors.Clear();
-    shard->observations.Clear();
-    shard->sweep_cursor = 0;
+  if (merge) {
+    // All-or-nothing: a collision with a live session fails before any
+    // staged session has been linked in.
+    for (const StagedSession& session : staged) {
+      const Shard& shard = *shards_[ShardOf(session.object_id)];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.index.Find(session.object_id) != nullptr)
+        return common::DataCorruption(
+            "merge checkpoint object_id " +
+            std::to_string(session.object_id) + " already has a session");
+    }
+  } else {
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->index.Clear();
+      shard->sessions.Clear();
+      shard->anchors.Clear();
+      shard->observations.Clear();
+      shard->sweep_cursor = 0;
+    }
   }
   std::size_t restored = 0;
   for (const StagedSession& session : staged) {

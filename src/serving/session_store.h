@@ -190,12 +190,28 @@ class SessionStore {
   /// matter how their contents were built up.
   common::Json CheckpointJson() const;
 
+  /// Filtered checkpoint: only sessions whose object id satisfies `owned`
+  /// are serialised (same document schema and byte layout).  This is the
+  /// shard-migration path — a cluster router checkpoints just the ids a
+  /// placement range owns instead of the whole store.  Checkpoints taken
+  /// with complementary predicates and merged via MergeFromJson dump to
+  /// the same bytes as one full checkpoint (sessions are sorted by id).
+  /// A null predicate means "everything" (== CheckpointJson()).
+  common::Json CheckpointJson(
+      const std::function<bool(std::uint64_t)>& owned) const;
+
   /// Replaces the store's contents with a checkpoint produced by
   /// CheckpointJson.  Returns the number of sessions restored; fails with
   /// kInvalidArgument on schema mismatch and kDataCorruption on
   /// non-finite recorded values or duplicate object/anchor ids, leaving
   /// the store unchanged on error.
   common::Result<std::size_t> RestoreFromJson(const common::Json& json);
+
+  /// Adds a checkpoint's sessions to the store *without* clearing it —
+  /// the merge half of filtered checkpoints.  An object id that already
+  /// has a live session fails with kDataCorruption (two owners claimed
+  /// it); like RestoreFromJson the store is unchanged on any error.
+  common::Result<std::size_t> MergeFromJson(const common::Json& json);
 
  private:
   /// One PDP report, index-linked into its anchor's history chain.
@@ -260,6 +276,9 @@ class SessionStore {
   /// when the slot was evicted.  Caller holds the mutex.
   bool SweepSlot(Shard& shard, std::uint32_t slot, double now_s,
                  std::size_t& observations_evicted);
+  /// Shared body of RestoreFromJson / MergeFromJson.
+  common::Result<std::size_t> RestoreImpl(const common::Json& json,
+                                          bool merge);
 
   SessionStoreConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/json.h"
 #include "common/metrics.h"
@@ -16,6 +17,18 @@ constexpr char kWireMagic[3] = {'N', 'L', 'W'};
 common::MetricCounter& ParseFailures() {
   static auto& counter =
       common::MetricRegistry::Global().Counter("serving.wire.parse_failures");
+  return counter;
+}
+
+common::MetricCounter& BytesIn() {
+  static auto& counter =
+      common::MetricRegistry::Global().Counter("serving.wire.bytes_in");
+  return counter;
+}
+
+common::MetricCounter& BytesOut() {
+  static auto& counter =
+      common::MetricRegistry::Global().Counter("serving.wire.bytes_out");
   return counter;
 }
 
@@ -107,6 +120,44 @@ void AppendWireFrame(const IngestPacket& packet, std::string& out) {
     PutF64(packet.deadline_s, out);
   }
   PutU32(Fnv1a(std::string_view(out).substr(frame_start)), out);
+  BytesOut().Increment(out.size() - frame_start);
+}
+
+std::string WireHeader() {
+  std::string out;
+  out.reserve(kWireHeaderBytes);
+  out.append(kWireMagic, sizeof(kWireMagic));
+  out.push_back(static_cast<char>(kWireVersion));
+  BytesOut().Increment(kWireHeaderBytes);
+  return out;
+}
+
+void AppendWireResponseFrame(const WireResponse& response, std::string& out) {
+  const std::size_t frame_start = out.size();
+  out.push_back(static_cast<char>(kWireResponseFrame));
+  PutU64(response.object_id, out);
+  PutF64(response.timestamp_s, out);
+  out.push_back(static_cast<char>(response.status));
+  out.push_back(static_cast<char>(response.degradation));
+  out.push_back(static_cast<char>(response.degraded ? 0x01 : 0x00));
+  PutU32(response.anchor_count, out);
+  PutF64(response.position.x, out);
+  PutF64(response.position.y, out);
+  PutF64(response.relaxation_cost, out);
+  PutF64(response.feasible_area_m2, out);
+  PutF64(response.confidence, out);
+  PutU32(Fnv1a(std::string_view(out).substr(frame_start)), out);
+  BytesOut().Increment(out.size() - frame_start);
+}
+
+void AppendWireControlFrame(const WireControl& control, std::string& out) {
+  const std::size_t frame_start = out.size();
+  out.push_back(static_cast<char>(kWireControlFrame));
+  out.push_back(static_cast<char>(control.op));
+  PutU64(control.token, out);
+  PutF64(control.value, out);
+  PutU32(Fnv1a(std::string_view(out).substr(frame_start)), out);
+  BytesOut().Increment(out.size() - frame_start);
 }
 
 std::string EncodeWireBinary(std::span<const IngestPacket> packets) {
@@ -118,12 +169,14 @@ std::string EncodeWireBinary(std::span<const IngestPacket> packets) {
               (packets.size() - observations) * kWireQueryBytes);
   out.append(kWireMagic, sizeof(kWireMagic));
   out.push_back(static_cast<char>(kWireVersion));
+  BytesOut().Increment(kWireHeaderBytes);
   for (const IngestPacket& packet : packets) AppendWireFrame(packet, out);
   return out;
 }
 
 common::Result<std::vector<IngestPacket>> DecodeWireBinary(
     std::string_view bytes) {
+  BytesIn().Increment(bytes.size());
   if (bytes.size() < kWireHeaderBytes)
     return CorruptAt("truncated wire header", bytes.size());
   if (bytes.compare(0, sizeof(kWireMagic),
@@ -207,11 +260,13 @@ std::string EncodeWireJson(std::span<const IngestPacket> packets) {
     out += common::Json(std::move(obj)).Dump();
     out.push_back('\n');
   }
+  BytesOut().Increment(out.size());
   return out;
 }
 
 common::Result<std::vector<IngestPacket>> DecodeWireJson(
     std::string_view text) {
+  BytesIn().Increment(text.size());
   std::vector<IngestPacket> packets;
   std::size_t line_number = 0;
   std::size_t start = 0;
@@ -277,6 +332,169 @@ common::Result<std::vector<IngestPacket>> DecodeWire(std::string_view bytes,
                                                      WireFormat format) {
   return format == WireFormat::kBinary ? DecodeWireBinary(bytes)
                                        : DecodeWireJson(bytes);
+}
+
+common::Status WireDecoder::Poison(std::string_view what, std::size_t offset) {
+  poisoned_ = true;
+  poison_status_ = CorruptAt(what, offset);
+  return poison_status_;
+}
+
+common::Result<void> WireDecoder::Feed(std::string_view chunk) {
+  if (poisoned_) return poison_status_;
+  BytesIn().Increment(chunk.size());
+  buffer_.append(chunk.data(), chunk.size());
+
+  if (!header_done_) {
+    // Header fields are only validated once all four bytes are in, so a
+    // short prefix of a bad stream reports the same truncation offset
+    // DecodeWireBinary would (the fuzz suite splits streams everywhere).
+    if (buffer_.size() < kWireHeaderBytes) return {};
+    if (buffer_.compare(0, sizeof(kWireMagic),
+                        std::string_view(kWireMagic, sizeof(kWireMagic))) != 0)
+      return Poison("bad wire magic", 0);
+    const auto version = static_cast<std::uint8_t>(buffer_[3]);
+    if (version != kWireVersion) {
+      poisoned_ = true;
+      ParseFailures().Increment();
+      poison_status_ = common::InvalidArgument("unsupported wire version " +
+                                               std::to_string(version));
+      return poison_status_;
+    }
+    buffer_.erase(0, kWireHeaderBytes);
+    stream_offset_ = kWireHeaderBytes;
+    header_done_ = true;
+  }
+
+  std::size_t cursor = 0;
+  while (cursor < buffer_.size()) {
+    const auto kind = static_cast<std::uint8_t>(buffer_[cursor]);
+    std::size_t frame_bytes;
+    if (kind == kWireObservationFrame && accept_.packets) {
+      frame_bytes = kWireObservationBytes;
+    } else if (kind == kWireQueryFrame && accept_.packets) {
+      frame_bytes = kWireQueryBytes;
+    } else if (kind == kWireResponseFrame && accept_.responses) {
+      frame_bytes = kWireResponseBytes;
+    } else if (kind == kWireControlFrame && accept_.controls) {
+      frame_bytes = kWireControlBytes;
+    } else {
+      buffer_.erase(0, cursor);
+      stream_offset_ += cursor;
+      return Poison("unknown wire frame kind", stream_offset_);
+    }
+    if (buffer_.size() - cursor < frame_bytes) break;  // Partial frame.
+    const std::string_view frame =
+        std::string_view(buffer_).substr(cursor, frame_bytes);
+    const std::uint32_t want =
+        GetU32(frame.data() + frame_bytes - sizeof(std::uint32_t));
+    if (Fnv1a(frame.substr(0, frame_bytes - sizeof(std::uint32_t))) != want) {
+      buffer_.erase(0, cursor);
+      stream_offset_ += cursor;
+      return Poison("wire checksum mismatch", stream_offset_);
+    }
+
+    const char* p = frame.data() + 1;
+    if (kind == kWireObservationFrame) {
+      IngestPacket packet;
+      packet.kind = PacketKind::kObservation;
+      packet.object_id = GetU64(p);
+      packet.ap_id = std::bit_cast<std::int32_t>(GetU32(p + 8));
+      packet.site_index = GetU32(p + 12);
+      packet.is_nomadic = (static_cast<unsigned char>(p[16]) & 0x01) != 0;
+      packet.reported_position.x = GetF64(p + 17);
+      packet.reported_position.y = GetF64(p + 25);
+      packet.pdp = GetF64(p + 33);
+      packet.weight = GetF64(p + 41);
+      packet.timestamp_s = GetF64(p + 49);
+      packet.deadline_s = GetF64(p + 57);
+      if (accept_.ordered) {
+        WireEvent event;
+        event.kind = kind;
+        event.packet = packet;
+        events_.push_back(event);
+      } else {
+        packets_.push_back(packet);
+      }
+    } else if (kind == kWireQueryFrame) {
+      IngestPacket packet;
+      packet.kind = PacketKind::kQuery;
+      packet.object_id = GetU64(p);
+      packet.timestamp_s = GetF64(p + 8);
+      packet.deadline_s = GetF64(p + 16);
+      if (accept_.ordered) {
+        WireEvent event;
+        event.kind = kind;
+        event.packet = packet;
+        events_.push_back(event);
+      } else {
+        packets_.push_back(packet);
+      }
+    } else if (kind == kWireResponseFrame) {
+      WireResponse response;
+      response.object_id = GetU64(p);
+      response.timestamp_s = GetF64(p + 8);
+      response.status = static_cast<std::uint8_t>(p[16]);
+      response.degradation = static_cast<std::uint8_t>(p[17]);
+      response.degraded = (static_cast<unsigned char>(p[18]) & 0x01) != 0;
+      response.anchor_count = GetU32(p + 19);
+      response.position.x = GetF64(p + 23);
+      response.position.y = GetF64(p + 31);
+      response.relaxation_cost = GetF64(p + 39);
+      response.feasible_area_m2 = GetF64(p + 47);
+      response.confidence = GetF64(p + 55);
+      if (accept_.ordered) {
+        WireEvent event;
+        event.kind = kind;
+        event.response = response;
+        events_.push_back(event);
+      } else {
+        responses_.push_back(response);
+      }
+    } else {
+      WireControl control;
+      control.op = static_cast<WireControlOp>(p[0]);
+      control.token = GetU64(p + 1);
+      control.value = GetF64(p + 9);
+      if (accept_.ordered) {
+        WireEvent event;
+        event.kind = kind;
+        event.control = control;
+        events_.push_back(event);
+      } else {
+        controls_.push_back(control);
+      }
+    }
+    cursor += frame_bytes;
+  }
+  buffer_.erase(0, cursor);
+  stream_offset_ += cursor;
+  return {};
+}
+
+common::Result<void> WireDecoder::Finish() {
+  if (poisoned_) return poison_status_;
+  if (!header_done_)
+    return Poison("truncated wire header", buffer_.size());
+  if (!buffer_.empty())
+    return Poison("truncated wire frame", stream_offset_);
+  return {};
+}
+
+std::vector<IngestPacket> WireDecoder::TakePackets() {
+  return std::exchange(packets_, {});
+}
+
+std::vector<WireResponse> WireDecoder::TakeResponses() {
+  return std::exchange(responses_, {});
+}
+
+std::vector<WireControl> WireDecoder::TakeControls() {
+  return std::exchange(controls_, {});
+}
+
+std::vector<WireEvent> WireDecoder::TakeEvents() {
+  return std::exchange(events_, {});
 }
 
 }  // namespace nomloc::serving

@@ -42,14 +42,21 @@ namespace nomloc::serving {
 
 inline constexpr std::uint8_t kWireVersion = 1;
 
-/// Frame kinds (first byte of every frame).
+/// Frame kinds (first byte of every frame).  Observation/query frames are
+/// the ingest direction; response and control frames exist for the
+/// cluster transport (shard host -> router results, router <-> host flush
+/// and clock coordination) and are rejected by the ingest-only decoders.
 inline constexpr std::uint8_t kWireObservationFrame = 0x01;
 inline constexpr std::uint8_t kWireQueryFrame = 0x02;
+inline constexpr std::uint8_t kWireResponseFrame = 0x03;
+inline constexpr std::uint8_t kWireControlFrame = 0x04;
 
 /// Encoded frame sizes, checksum included.
 inline constexpr std::size_t kWireHeaderBytes = 4;
 inline constexpr std::size_t kWireObservationBytes = 70;
 inline constexpr std::size_t kWireQueryBytes = 29;
+inline constexpr std::size_t kWireResponseBytes = 68;
+inline constexpr std::size_t kWireControlBytes = 22;
 
 enum class WireFormat {
   kBinary,  ///< The fixed-width frame format above (the hot path).
@@ -87,5 +94,116 @@ std::string EncodeWire(std::span<const IngestPacket> packets,
                        WireFormat format);
 common::Result<std::vector<IngestPacket>> DecodeWire(std::string_view bytes,
                                                      WireFormat format);
+
+/// A shard host's answer to one accepted query, reduced to the fields a
+/// router (or a bit-identity check against an unsharded golden run) needs.
+/// Process-local fields of ServeResponse — seq, queue_wait_s, latency_s,
+/// the error Status text — deliberately stay off the wire, mirroring the
+/// scheduled_wall rule above.
+struct WireResponse {
+  std::uint64_t object_id = 0;
+  double timestamp_s = 0.0;      ///< The query packet's timestamp.
+  std::uint8_t status = 0;       ///< serving::ServeStatus.
+  std::uint8_t degradation = 0;  ///< common::DegradationLevel.
+  bool degraded = false;
+  std::uint32_t anchor_count = 0;
+  geometry::Vec2 position;
+  double relaxation_cost = 0.0;
+  double feasible_area_m2 = 0.0;
+  double confidence = 0.0;
+};
+
+/// Control-plane verbs carried in-band on a cluster channel.
+enum class WireControlOp : std::uint8_t {
+  kFlush = 1,     ///< Router -> host: drain, reply responses + kFlushAck.
+  kFlushAck = 2,  ///< Host -> router: every frame before this is answered.
+  kClockSet = 3,  ///< Router -> host: set the host's logical clock to value.
+};
+
+struct WireControl {
+  WireControlOp op = WireControlOp::kFlush;
+  std::uint64_t token = 0;  ///< Correlates kFlush with its kFlushAck.
+  double value = 0.0;       ///< kClockSet's logical time; otherwise unused.
+};
+
+/// The 4-byte stream header each direction of a transport starts with.
+std::string WireHeader();
+
+/// Appends one response / control frame to `out` (no stream header).
+void AppendWireResponseFrame(const WireResponse& response, std::string& out);
+void AppendWireControlFrame(const WireControl& control, std::string& out);
+
+/// Incremental binary-stream decoder: accepts arbitrary partial byte
+/// chunks (whatever a socket read returned) and reassembles frames across
+/// chunk boundaries.  Fed the same bytes in any partition, it produces
+/// packets bit-identical to DecodeWireBinary over the whole stream, and
+/// fails with the same typed kDataCorruption errors at the same stream
+/// byte offsets.  A decode error poisons the decoder: every later Feed /
+/// Finish returns the same status (a byte stream has no frame resync
+/// point — the transport must be torn down).
+/// Which frame kinds a WireDecoder's channel may carry.  The ingest
+/// default matches DecodeWireBinary: response/control frames are
+/// "unknown".
+struct WireDecoderAccept {
+  bool packets = true;
+  bool responses = false;
+  bool controls = false;
+  /// Deliver frames via TakeEvents() in exact stream order instead of the
+  /// per-kind Take*() vectors.  Cluster channels need this: a kClockSet
+  /// must be applied before the packets that followed it on the wire.
+  bool ordered = false;
+};
+
+/// One decoded frame in stream order (ordered mode).  `kind` selects
+/// which member is meaningful.
+struct WireEvent {
+  std::uint8_t kind = 0;
+  IngestPacket packet;    ///< kWireObservationFrame / kWireQueryFrame.
+  WireResponse response;  ///< kWireResponseFrame.
+  WireControl control;    ///< kWireControlFrame.
+};
+
+class WireDecoder {
+ public:
+  using Accept = WireDecoderAccept;
+
+  explicit WireDecoder(Accept accept = Accept{}) noexcept
+      : accept_(accept) {}
+
+  /// Consumes one chunk.  Complete frames are queued on the Take*()
+  /// buffers; a trailing partial frame is held for the next chunk.
+  common::Result<void> Feed(std::string_view chunk);
+
+  /// Declares end-of-stream.  Fails with the truncation error
+  /// DecodeWireBinary would report if a partial header or frame remains.
+  common::Result<void> Finish();
+
+  /// Moves out the frames decoded so far (stream order).
+  std::vector<IngestPacket> TakePackets();
+  std::vector<WireResponse> TakeResponses();
+  std::vector<WireControl> TakeControls();
+  /// Ordered mode only: every decoded frame, interleaved in stream order.
+  std::vector<WireEvent> TakeEvents();
+
+  /// Total bytes fully decoded (header + completed frames); the offset
+  /// the next frame starts at.
+  std::size_t BytesDecoded() const noexcept { return stream_offset_; }
+  /// Bytes buffered waiting for the rest of their frame.
+  std::size_t PendingBytes() const noexcept { return buffer_.size(); }
+
+ private:
+  common::Status Poison(std::string_view what, std::size_t offset);
+
+  Accept accept_;
+  bool header_done_ = false;
+  bool poisoned_ = false;
+  common::Status poison_status_;
+  std::string buffer_;
+  std::size_t stream_offset_ = 0;  ///< Stream offset of buffer_[0].
+  std::vector<IngestPacket> packets_;
+  std::vector<WireResponse> responses_;
+  std::vector<WireControl> controls_;
+  std::vector<WireEvent> events_;
+};
 
 }  // namespace nomloc::serving

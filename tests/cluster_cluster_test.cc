@@ -1,0 +1,389 @@
+// Cluster router contract (ISSUE 9 tentpole): a multi-shard topology over
+// byte-stream transports must answer bit-identically to one unsharded
+// StreamingLocalizer — plain, across a live migration, and across a
+// kill/checkpoint-restore cycle — with typed admission, per-shard breaker
+// route-around, and an exactly-once cluster.* metrics surface.
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "eval/scenario.h"
+#include "serving/clock.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+
+namespace nomloc::cluster {
+namespace {
+
+struct Harness {
+  eval::Scenario scenario;
+  serving::ReplayConfig replay;
+  serving::ReplayPlan plan;
+  core::NomLocEngine engine;
+};
+
+common::Result<Harness> MakeHarness(std::size_t objects, std::size_t epochs) {
+  NOMLOC_ASSIGN_OR_RETURN(eval::Scenario scenario,
+                          eval::ScenarioByName("lab"));
+  serving::ReplayConfig replay;
+  replay.objects = objects;
+  replay.epochs = epochs;
+  replay.run.packets_per_batch = 3;
+  replay.run.dwell_count = 3;
+  NOMLOC_ASSIGN_OR_RETURN(serving::ReplayPlan plan,
+                          BuildReplayPlan(scenario, replay));
+  core::NomLocConfig engine_cfg;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  NOMLOC_ASSIGN_OR_RETURN(
+      core::NomLocEngine engine,
+      core::NomLocEngine::Create(scenario.env.Boundary(), engine_cfg));
+  return Harness{std::move(scenario), replay, std::move(plan),
+                 std::move(engine)};
+}
+
+ClusterConfig FourShardConfig() {
+  ClusterConfig config;
+  config.shards = 4;
+  config.serving.workers = 2;
+  return config;
+}
+
+void TuneServing(const Harness& harness, serving::ServingConfig& serving) {
+  serving.store.anchor_ttl_s = harness.plan.suggested_anchor_ttl_s;
+  serving.store.session_idle_ttl_s =
+      10.0 * harness.replay.epoch_interval_s;
+  serving.expected_anchors = harness.plan.expected_anchors;
+}
+
+/// Replays the plan epoch-by-epoch (flush at each boundary), invoking
+/// `at_boundary(epoch_just_finished)` between epochs.
+template <typename Sink, typename AtBoundary>
+void Replay(const Harness& harness, serving::ManualClock& clock, Sink&& sink,
+            AtBoundary&& at_boundary) {
+  std::size_t next = 0;
+  const auto& stream = harness.plan.packets;
+  for (std::size_t e = 0; e < harness.plan.epoch_count; ++e) {
+    const double epoch_end_s =
+        double(e + 1) * harness.replay.epoch_interval_s;
+    while (next < stream.size() &&
+           stream[next].timestamp_s < epoch_end_s) {
+      clock.Set(stream[next].timestamp_s);
+      sink(stream[next]);
+      ++next;
+    }
+    at_boundary(e + 1);
+  }
+}
+
+using ResponseKey = std::pair<std::uint64_t, std::uint64_t>;
+
+ResponseKey KeyOf(std::uint64_t object_id, double timestamp_s) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &timestamp_s, sizeof(bits));
+  return {object_id, bits};
+}
+
+/// Unsharded golden twin of the same replay.
+std::map<ResponseKey, serving::ServeResponse> GoldenRun(
+    const Harness& harness, serving::ServingConfig serving) {
+  serving::ManualClock clock;
+  auto service =
+      serving::StreamingLocalizer::Create(harness.engine, serving, &clock);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  Replay(
+      harness, clock,
+      [&](const serving::IngestPacket& p) { (void)(*service)->Ingest(p); },
+      [&](std::size_t) { (*service)->Flush(); });
+  (*service)->Shutdown();
+  std::map<ResponseKey, serving::ServeResponse> golden;
+  for (const serving::ServeResponse& r : (*service)->TakeResponses())
+    golden[KeyOf(r.object_id, r.timestamp_s)] = r;
+  return golden;
+}
+
+void ExpectBitIdentical(
+    const std::vector<ClusterResponse>& responses,
+    const std::map<ResponseKey, serving::ServeResponse>& golden) {
+  ASSERT_EQ(responses.size(), golden.size());
+  std::set<ResponseKey> seen;
+  auto bits_equal = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(a)) == 0;
+  };
+  for (const ClusterResponse& received : responses) {
+    const serving::WireResponse& r = received.response;
+    const ResponseKey key = KeyOf(r.object_id, r.timestamp_s);
+    ASSERT_TRUE(seen.insert(key).second)
+        << "duplicate response for object " << r.object_id;
+    const auto golden_it = golden.find(key);
+    ASSERT_NE(golden_it, golden.end())
+        << "no golden twin for object " << r.object_id;
+    const serving::ServeResponse& want = golden_it->second;
+    EXPECT_EQ(r.status, static_cast<std::uint8_t>(want.status));
+    EXPECT_TRUE(bits_equal(r.position.x, want.estimate.position.x));
+    EXPECT_TRUE(bits_equal(r.position.y, want.estimate.position.y));
+    EXPECT_TRUE(
+        bits_equal(r.relaxation_cost, want.estimate.relaxation_cost));
+    EXPECT_TRUE(
+        bits_equal(r.feasible_area_m2, want.estimate.feasible_area_m2));
+    EXPECT_TRUE(bits_equal(r.confidence, want.confidence));
+  }
+}
+
+TEST(Cluster, FourShardsBitIdenticalToUnsharded) {
+  auto harness = MakeHarness(4, 2);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = FourShardConfig();
+  TuneServing(*harness, config.serving);
+
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        EXPECT_EQ((*cluster)->Ingest(p), serving::AdmitStatus::kAccepted);
+      },
+      [&](std::size_t) { (*cluster)->Flush(); });
+  const auto responses = (*cluster)->TakeResponses();
+  (*cluster)->Shutdown();
+
+  ExpectBitIdentical(responses, GoldenRun(*harness, config.serving));
+}
+
+TEST(Cluster, LiveMigrationPreservesBitIdentity) {
+  auto harness = MakeHarness(4, 4);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = FourShardConfig();
+  TuneServing(*harness, config.serving);
+
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  const auto migrations_before = common::MetricRegistry::Global()
+                                     .Counter("cluster.migrations")
+                                     .Value();
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        EXPECT_EQ((*cluster)->Ingest(p), serving::AdmitStatus::kAccepted);
+      },
+      [&](std::size_t finished) {
+        (*cluster)->Flush();
+        if (finished == 2) {
+          // Migrate every shard mid-replay — each host is drained,
+          // checkpointed (filtered to its placement slot), and replaced.
+          for (std::size_t shard = 0; shard < 4; ++shard) {
+            auto migrated = (*cluster)->Migrate(shard);
+            ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+          }
+        }
+      });
+  const auto responses = (*cluster)->TakeResponses();
+  (*cluster)->Shutdown();
+
+  EXPECT_EQ(common::MetricRegistry::Global()
+                .Counter("cluster.migrations")
+                .Value(),
+            migrations_before + 4);
+  ExpectBitIdentical(responses, GoldenRun(*harness, config.serving));
+}
+
+TEST(Cluster, KillRestoreCycleRoutesAroundAndStaysBitIdentical) {
+  auto harness = MakeHarness(4, 4);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = FourShardConfig();
+  TuneServing(*harness, config.serving);
+  // A short backoff so the restored shard is re-admitted through the
+  // half-open probe within the remaining epochs.
+  config.shard_breaker.failure_threshold = 2;
+  config.shard_breaker.base_backoff_s = 0.2;
+  config.shard_breaker.max_backoff_s = 0.4;
+
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto& registry = common::MetricRegistry::Global();
+  const auto rerouted_before = registry.Counter("cluster.rerouted").Value();
+  const auto trips_before = registry.Counter("cluster.shard_trips").Value();
+
+  // Kill the shard that owns object 0, so the kill provably disrupts
+  // live traffic (the hash may park all four objects away from slot 0).
+  const std::size_t victim = (*cluster)->ShardOf(0);
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        // Route-around keeps every packet deliverable while the victim
+        // is down: admission stays kAccepted for the whole stream.
+        EXPECT_EQ((*cluster)->Ingest(p), serving::AdmitStatus::kAccepted);
+      },
+      [&](std::size_t finished) {
+        (*cluster)->Flush();
+        if (finished == 2) {
+          ASSERT_TRUE((*cluster)->Checkpoint(victim).ok());
+          (*cluster)->Kill(victim);
+          EXPECT_FALSE((*cluster)->ShardLive(victim));
+        } else if (finished == 3) {
+          ASSERT_TRUE((*cluster)->Restart(victim, /*restore=*/true).ok());
+          EXPECT_TRUE((*cluster)->ShardLive(victim));
+        }
+      });
+  const auto responses = (*cluster)->TakeResponses();
+  (*cluster)->Shutdown();
+
+  // The victim owns some objects in a 4-object plan with near-certainty;
+  // their killed-epoch packets must have rerouted (and tripped the
+  // breaker once the failure threshold was crossed).
+  EXPECT_GT(registry.Counter("cluster.rerouted").Value(), rerouted_before);
+  EXPECT_GT(registry.Counter("cluster.shard_trips").Value(), trips_before);
+  ExpectBitIdentical(responses, GoldenRun(*harness, config.serving));
+}
+
+TEST(Cluster, BreakerOpenRejectionWhenRouteAroundDisabled) {
+  auto harness = MakeHarness(4, 2);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = FourShardConfig();
+  TuneServing(*harness, config.serving);
+  config.route_around = false;
+  config.shard_breaker.failure_threshold = 1;
+
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  const std::size_t victim = (*cluster)->ShardOf(0);
+  (*cluster)->Kill(victim);
+
+  std::size_t rejected = 0, accepted = 0;
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        const auto admit = (*cluster)->Ingest(p);
+        if ((*cluster)->ShardOf(p.object_id) == victim) {
+          EXPECT_EQ(admit, serving::AdmitStatus::kRejectedBreakerOpen);
+          ++rejected;
+        } else {
+          EXPECT_EQ(admit, serving::AdmitStatus::kAccepted);
+          ++accepted;
+        }
+      },
+      [&](std::size_t) { (*cluster)->Flush(); });
+  (*cluster)->Shutdown();
+  EXPECT_GT(rejected, 0u);  // The victim owns someone in 4 objects.
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(Cluster, LoopbackBackpressureIsTypedQueueFull) {
+  auto harness = MakeHarness(2, 1);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config;
+  config.shards = 1;
+  TuneServing(*harness, config.serving);
+  // A pipe too small for even one observation frame: every data packet
+  // sees typed backpressure (header-only writes still fit).
+  config.transport.loopback_capacity_bytes = serving::kWireHeaderBytes + 8;
+
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  // Stall the pipe so the host cannot drain it.
+  ASSERT_TRUE((*cluster)->SetStalled(0, true));
+  const serving::IngestPacket& packet = harness->plan.packets.front();
+  clock.Set(packet.timestamp_s);
+  EXPECT_EQ((*cluster)->Ingest(packet),
+            serving::AdmitStatus::kRejectedQueueFull);
+  ASSERT_TRUE((*cluster)->SetStalled(0, false));
+  (*cluster)->Shutdown();
+}
+
+TEST(Cluster, ShutdownRejectsIngest) {
+  auto harness = MakeHarness(2, 1);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config;
+  config.shards = 2;
+  TuneServing(*harness, config.serving);
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  (*cluster)->Shutdown();
+  EXPECT_EQ((*cluster)->Ingest(harness->plan.packets.front()),
+            serving::AdmitStatus::kRejectedShutdown);
+}
+
+TEST(Cluster, DeadlineRejectionMatchesUnshardedComparison) {
+  auto harness = MakeHarness(2, 1);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config;
+  config.shards = 2;
+  TuneServing(*harness, config.serving);
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  serving::IngestPacket late = harness->plan.packets.front();
+  late.deadline_s = late.timestamp_s + 0.5;
+  clock.Set(late.deadline_s + 1.0);  // Router time already past it.
+  EXPECT_EQ((*cluster)->Ingest(late),
+            serving::AdmitStatus::kRejectedDeadline);
+  (*cluster)->Shutdown();
+}
+
+TEST(Cluster, FilteredCheckpointOnlyHoldsOwnedSessions) {
+  auto harness = MakeHarness(4, 2);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = FourShardConfig();
+  TuneServing(*harness, config.serving);
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) { (void)(*cluster)->Ingest(p); },
+      [&](std::size_t) { (*cluster)->Flush(); });
+  // Each live store only ever holds sessions its placement slot owns
+  // (no route-around happened), so migrating every shard keeps every
+  // session: total live sessions is invariant across the flips.
+  std::size_t before = 0;
+  for (std::size_t shard = 0; shard < 4; ++shard)
+    before += (*cluster)->StoreOf(shard)->SessionCount();
+  EXPECT_GT(before, 0u);
+  for (std::size_t shard = 0; shard < 4; ++shard)
+    ASSERT_TRUE((*cluster)->Migrate(shard).ok());
+  std::size_t after = 0;
+  for (std::size_t shard = 0; shard < 4; ++shard)
+    after += (*cluster)->StoreOf(shard)->SessionCount();
+  EXPECT_EQ(after, before);
+  (*cluster)->Shutdown();
+}
+
+TEST(ClusterMetrics, EveryMetricListedExactlyOnce) {
+  TouchMetrics();
+  const std::string dump = common::MetricRegistry::Global().DumpText();
+
+  std::map<std::string, int> second_tokens;
+  std::istringstream lines(dump);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream tokens(line);
+    std::string kind, name;
+    if (tokens >> kind >> name) ++second_tokens[name];
+  }
+
+  auto names = AllMetricNames();
+  EXPECT_FALSE(names.empty());
+  for (std::string_view name : names) {
+    EXPECT_EQ(second_tokens[std::string(name)], 1)
+        << "metric " << name << " not listed exactly once";
+    EXPECT_TRUE(name.starts_with("cluster."))
+        << "metric " << name << " escapes the cluster.* namespace";
+  }
+}
+
+}  // namespace
+}  // namespace nomloc::cluster

@@ -1,0 +1,89 @@
+// Rendezvous placement contract: deterministic, reasonably balanced,
+// preference-ordered, and minimally disruptive on resize.
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nomloc::cluster {
+namespace {
+
+TEST(Placement, RejectsZeroShards) {
+  EXPECT_FALSE(PlacementTable::Create(0).ok());
+}
+
+TEST(Placement, DeterministicAcrossInstances) {
+  auto a = PlacementTable::Create(8);
+  auto b = PlacementTable::Create(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::uint64_t id = 0; id < 5000; ++id)
+    EXPECT_EQ(a->ShardOf(id), b->ShardOf(id)) << "object " << id;
+}
+
+TEST(Placement, SeedChangesTheTable) {
+  auto a = PlacementTable::Create(8, 1);
+  auto b = PlacementTable::Create(8, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::size_t moved = 0;
+  for (std::uint64_t id = 0; id < 5000; ++id)
+    if (a->ShardOf(id) != b->ShardOf(id)) ++moved;
+  EXPECT_GT(moved, 2500u);  // Independent tables agree ~1/8 of the time.
+}
+
+TEST(Placement, ReasonablyBalanced) {
+  auto table = PlacementTable::Create(4);
+  ASSERT_TRUE(table.ok());
+  constexpr std::size_t kIds = 40000;
+  std::vector<std::size_t> counts(4, 0);
+  for (std::uint64_t id = 0; id < kIds; ++id) ++counts[table->ShardOf(id)];
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    // Expected 10000 per shard; a keyed hash stays within a few percent.
+    EXPECT_GT(counts[shard], kIds / 4 - kIds / 40) << "shard " << shard;
+    EXPECT_LT(counts[shard], kIds / 4 + kIds / 40) << "shard " << shard;
+  }
+}
+
+TEST(Placement, PreferenceOrderRanksAllShardsByWeight) {
+  auto table = PlacementTable::Create(6);
+  ASSERT_TRUE(table.ok());
+  std::vector<std::size_t> order;
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    table->PreferenceOrder(id, order);
+    ASSERT_EQ(order.size(), 6u);
+    EXPECT_EQ(order[0], table->ShardOf(id));
+    EXPECT_EQ(std::set<std::size_t>(order.begin(), order.end()).size(), 6u);
+    for (std::size_t i = 1; i < order.size(); ++i)
+      EXPECT_GE(table->Weight(order[i - 1], id), table->Weight(order[i], id));
+  }
+}
+
+TEST(Placement, ResizeMovesOnlyTheNewShardsIds) {
+  // Growing N -> N+1 must move exactly the ids the new slot wins: every
+  // other id keeps its owner (the minimal-remap property that makes the
+  // table safe to recompute with no directory service).
+  auto small = PlacementTable::Create(4);
+  auto big = PlacementTable::Create(5);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  constexpr std::uint64_t kIds = 20000;
+  std::size_t moved = 0;
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    const std::size_t before = small->ShardOf(id);
+    const std::size_t after = big->ShardOf(id);
+    if (before != after) {
+      EXPECT_EQ(after, 4u) << "object " << id << " moved to an old shard";
+      ++moved;
+    }
+  }
+  // ~1/5 of ids move to the new slot.
+  EXPECT_GT(moved, kIds / 5 - kIds / 25);
+  EXPECT_LT(moved, kIds / 5 + kIds / 25);
+}
+
+}  // namespace
+}  // namespace nomloc::cluster

@@ -1,0 +1,153 @@
+// Transport contract: ordered byte streams, whole-frame writes, typed
+// loopback backpressure, deterministic stall windows, EOF on close with
+// buffered bytes drained first, and socket round-trips.
+#include "cluster/transport.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nomloc::cluster {
+namespace {
+
+TEST(Transport, NamesRoundTrip) {
+  for (TransportKind kind : {TransportKind::kLoopback,
+                             TransportKind::kUnixSocket,
+                             TransportKind::kTcpSocket}) {
+    auto parsed = ParseTransportKindName(TransportKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseTransportKindName("carrier-pigeon").ok());
+}
+
+TEST(Transport, ConfigValidates) {
+  TransportConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.loopback_capacity_bytes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(LoopbackTransport, BytesFlowBothWays) {
+  TransportConfig config;
+  auto pair = ConnectLinkPair(config);
+  ASSERT_TRUE(pair.ok());
+  ASSERT_EQ(pair->router_end->Write("ping"), LinkWrite::kOk);
+  std::string got;
+  EXPECT_EQ(pair->host_end->Read(got), 4u);
+  EXPECT_EQ(got, "ping");
+  ASSERT_EQ(pair->host_end->Write("pong!"), LinkWrite::kOk);
+  got.clear();
+  EXPECT_EQ(pair->router_end->Read(got), 5u);
+  EXPECT_EQ(got, "pong!");
+}
+
+TEST(LoopbackTransport, BackpressureIsTypedAndAllOrNothing) {
+  TransportConfig config;
+  config.loopback_capacity_bytes = 8;
+  auto pair = ConnectLinkPair(config);
+  ASSERT_TRUE(pair.ok());
+  ASSERT_EQ(pair->router_end->Write("12345678"), LinkWrite::kOk);
+  // At capacity: the next write is rejected whole, not truncated.
+  EXPECT_EQ(pair->router_end->Write("x"), LinkWrite::kBackpressure);
+  std::string got;
+  EXPECT_EQ(pair->host_end->Read(got), 8u);
+  EXPECT_EQ(got, "12345678");
+  // Drained: writes flow again.
+  EXPECT_EQ(pair->router_end->Write("x"), LinkWrite::kOk);
+}
+
+TEST(LoopbackTransport, StallStarvesThePeerDeterministically) {
+  TransportConfig config;
+  auto pair = ConnectLinkPair(config);
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(pair->router_end->SetStalled(true));
+  ASSERT_EQ(pair->router_end->Write("held"), LinkWrite::kOk);
+  // The peer's reader blocks while stalled; unstall releases the bytes.
+  std::string got;
+  std::thread reader([&] { EXPECT_EQ(pair->host_end->Read(got), 4u); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(pair->router_end->SetStalled(false));
+  reader.join();
+  EXPECT_EQ(got, "held");
+}
+
+TEST(LoopbackTransport, CloseDrainsBufferedBytesThenEof) {
+  TransportConfig config;
+  auto pair = ConnectLinkPair(config);
+  ASSERT_TRUE(pair.ok());
+  ASSERT_EQ(pair->router_end->Write("tail"), LinkWrite::kOk);
+  pair->router_end->Close();
+  // SHUT_WR semantics: bytes written before the close still arrive...
+  std::string got;
+  EXPECT_EQ(pair->host_end->Read(got), 4u);
+  EXPECT_EQ(got, "tail");
+  // ...then the stream ends, and writes in either direction fail typed.
+  got.clear();
+  EXPECT_EQ(pair->host_end->Read(got), 0u);
+  EXPECT_EQ(pair->host_end->Write("x"), LinkWrite::kClosed);
+  EXPECT_EQ(pair->router_end->Write("x"), LinkWrite::kClosed);
+}
+
+TEST(LoopbackTransport, CloseWakesABlockedReader) {
+  TransportConfig config;
+  auto pair = ConnectLinkPair(config);
+  ASSERT_TRUE(pair.ok());
+  std::thread reader([&] {
+    std::string got;
+    EXPECT_EQ(pair->host_end->Read(got), 0u);  // EOF, not a hang.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  pair->router_end->Close();
+  reader.join();
+}
+
+class SocketTransportTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(SocketTransportTest, RoundTripAndEof) {
+  TransportConfig config;
+  config.kind = GetParam();
+  auto pair = ConnectLinkPair(config);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // Sockets cannot stall (the chaos hook is loopback-only).
+  EXPECT_FALSE(pair->router_end->SetStalled(true));
+
+  const std::string payload(100000, 'z');  // Multiple kernel buffers.
+  std::string got;
+  std::thread reader([&] {
+    std::string chunk;
+    while (got.size() < payload.size()) {
+      chunk.clear();
+      const std::size_t n = pair->host_end->Read(chunk);
+      if (n == 0) break;
+      got += chunk;
+    }
+  });
+  ASSERT_EQ(pair->router_end->Write(payload), LinkWrite::kOk);
+  reader.join();
+  EXPECT_EQ(got, payload);
+
+  pair->router_end->Close();
+  std::string after;
+  EXPECT_EQ(pair->host_end->Read(after), 0u);
+  // Writes into a dead peer end up kClosed.  TCP may accept one send
+  // into the kernel buffer before the reset comes back, so poll.
+  LinkWrite write = LinkWrite::kOk;
+  for (int i = 0; i < 200 && write != LinkWrite::kClosed; ++i) {
+    write = pair->host_end->Write("x");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(write, LinkWrite::kClosed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sockets, SocketTransportTest,
+                         ::testing::Values(TransportKind::kUnixSocket,
+                                           TransportKind::kTcpSocket),
+                         [](const auto& info) {
+                           return std::string(TransportKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace nomloc::cluster

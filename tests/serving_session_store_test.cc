@@ -339,6 +339,66 @@ TEST(SessionStore, CheckpointBytesIndependentOfInsertOrder) {
   EXPECT_EQ(restored.CheckpointJson().Dump(), forward);
 }
 
+// Shard migration's checkpoint path (ISSUE 9): a checkpoint filtered to
+// an ownership predicate holds exactly the owned sessions, and two
+// complementary filtered checkpoints merge back into byte-for-byte the
+// full checkpoint — the golden proof that a cluster-wide set of per-shard
+// dumps loses nothing.
+TEST(SessionStore, FilteredCheckpointsMergeToFullCheckpointBytes) {
+  SessionStore store(SmallStore());
+  for (std::uint64_t id = 0; id < 12; ++id) {
+    store.Upsert(id, {int(id % 3), 0}, {double(id), 0.5}, id % 2 == 0,
+                 Obs(0.1 * double(id + 1), 1.0, 1.0), 1.0);
+    if (id % 3 == 0) {
+      LastKnownGood lkg;
+      lkg.position = {double(id), double(id)};
+      lkg.confidence = 0.5;
+      lkg.timestamp_s = 1.0;
+      store.RecordEstimate(id, lkg, 1.0);
+    }
+  }
+  const std::string full = store.CheckpointJson().Dump();
+  // A null predicate is the full checkpoint.
+  EXPECT_EQ(store.CheckpointJson(nullptr).Dump(), full);
+
+  const auto even = [](std::uint64_t id) { return id % 2 == 0; };
+  const auto odd = [](std::uint64_t id) { return id % 2 == 1; };
+  const common::Json evens = store.CheckpointJson(even);
+  const common::Json odds = store.CheckpointJson(odd);
+  EXPECT_LT(evens.Dump().size(), full.size());
+  EXPECT_LT(odds.Dump().size(), full.size());
+
+  SessionStore rebuilt(SmallStore());
+  auto restored = rebuilt.RestoreFromJson(evens);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, 6u);
+  auto merged = rebuilt.MergeFromJson(odds);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(*merged, 6u);
+  EXPECT_EQ(rebuilt.CheckpointJson().Dump(), full);
+}
+
+TEST(SessionStore, MergeRejectsCollidingObjectId) {
+  SessionStore store(SmallStore());
+  store.Upsert(5, {0, 0}, {1.0, 1.0}, false, Obs(0.5, 1.0, 0.0), 0.0);
+  store.Upsert(6, {0, 0}, {2.0, 2.0}, false, Obs(0.6, 1.0, 0.0), 0.0);
+  const common::Json overlap =
+      store.CheckpointJson([](std::uint64_t id) { return id == 5; });
+
+  // Object 5 already lives in the target: merging it again would clobber
+  // state, so the merge must fail typed and change nothing — not even
+  // the non-colliding entries of the incoming dump.
+  auto merge = store.MergeFromJson(overlap);
+  ASSERT_FALSE(merge.ok());
+  EXPECT_EQ(merge.status().code(), common::StatusCode::kDataCorruption);
+  EXPECT_EQ(store.SessionCount(), 2u);
+
+  SessionStore fresh(SmallStore());
+  auto merged = fresh.MergeFromJson(overlap);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(*merged, 1u);
+}
+
 TEST(SessionStore, RestoreRejectsCorruptCheckpointAndKeepsStore) {
   SessionStore store(SmallStore());
   store.Upsert(1, {0, 0}, {0.0, 0.0}, false, Obs(1.0, 1.0, 0.0), 0.0);

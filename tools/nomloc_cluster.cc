@@ -1,0 +1,428 @@
+// nomloc_cluster — multi-shard serving topology driver.
+//
+//   nomloc_cluster [--scenario lab|lobby|office] [--objects N] [--epochs N]
+//                  [--interval S] [--workers N] [--packets N] [--dwells N]
+//                  [--seed N] [--shards N] [--transport loopback|unix|tcp]
+//                  [--breaker-threshold N] [--breaker-backoff S]
+//                  [--migrate] [--kill] [--chaos SEED] [--chaos-events N]
+//                  [--check] [--metrics]
+//
+// Replays the same measurement campaign nomloc_serve drives, but through
+// a Cluster: N shard hosts (each a StreamingLocalizer behind a byte-stream
+// transport speaking the NLW wire format) fronted by the rendezvous-hash
+// router.  Prints the shard topology, routing/admission tallies,
+// localization error, and throughput.
+//
+// --check runs the identical stream through one unsharded
+// StreamingLocalizer and exits non-zero unless every sharded response is
+// bit-identical to its golden twin (position, relaxation cost, feasible
+// area, confidence — all compared as raw bits).  Because the replay
+// stream is globally timestamp-sorted and every epoch is self-contained
+// under the anchor TTL, sharding, live migration (--migrate), and even a
+// kill/checkpoint-restore cycle (--kill) must not change a single bit.
+//
+// --migrate live-migrates one shard at the middle epoch boundary (drain,
+// filtered checkpoint, restore into a fresh host, atomic flip).  --kill
+// checkpoints and kills a shard at the middle boundary and restores it
+// one epoch later; in between the router routes its objects around the
+// dead shard along their rendezvous preference order.
+//
+// --chaos SEED runs the seeded shard-level chaos schedule (kills with
+// later restores, migrations, transport stalls) from
+// cluster::RunClusterChaos instead of the plain replay and reports event
+// and admission tallies plus post-recovery accuracy.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/chaos.h"
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+#include "common/stats.h"
+#include "core/nomloc.h"
+#include "eval/runner.h"
+#include "eval/scenario.h"
+#include "serving/clock.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+#include "serving/wire.h"
+
+using namespace nomloc;
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario lab|lobby|office] [--objects N] [--epochs N]\n"
+      "          [--interval S] [--workers N] [--packets N] [--dwells N]\n"
+      "          [--seed N] [--shards N] [--transport loopback|unix|tcp]\n"
+      "          [--breaker-threshold N] [--breaker-backoff S]\n"
+      "          [--migrate] [--kill] [--chaos SEED] [--chaos-events N]\n"
+      "          [--check] [--metrics]\n",
+      argv0);
+  std::exit(2);
+}
+
+/// Bit-compare key: a response answers exactly one (object, query time).
+using ResponseKey = std::pair<std::uint64_t, std::uint64_t>;
+
+ResponseKey KeyOf(std::uint64_t object_id, double timestamp_s) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &timestamp_s, sizeof(bits));
+  return {object_id, bits};
+}
+
+bool BitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+void PrintMetricsSummary() {
+  auto& registry = common::MetricRegistry::Global();
+  std::printf("summary: routed=%llu rerouted=%llu shard_trips=%llu "
+              "migrations=%llu\n",
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.routed").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.rerouted").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.shard_trips").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.migrations").Value()));
+  std::printf("summary: wire bytes in=%llu out=%llu\n",
+              static_cast<unsigned long long>(
+                  registry.Counter("serving.wire.bytes_in").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("serving.wire.bytes_out").Value()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "lab";
+  serving::ReplayConfig replay;
+  replay.run.packets_per_batch = 20;
+  replay.run.dwell_count = 6;
+  cluster::ClusterConfig config;
+  cluster::ClusterChaosConfig chaos;
+  bool chaos_mode = false;
+  bool migrate = false;
+  bool kill = false;
+  bool check = false;
+  bool metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario_name = next();
+    } else if (arg == "--objects") {
+      replay.objects = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--epochs") {
+      replay.epochs = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--interval") {
+      replay.epoch_interval_s = std::strtod(next(), nullptr);
+    } else if (arg == "--workers") {
+      config.serving.workers = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--packets") {
+      replay.run.packets_per_batch = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--dwells") {
+      replay.run.dwell_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      replay.run.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--shards") {
+      config.shards = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--transport") {
+      auto parsed = cluster::ParseTransportKindName(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      config.transport.kind = *parsed;
+    } else if (arg == "--breaker-threshold") {
+      config.shard_breaker.failure_threshold =
+          std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--breaker-backoff") {
+      config.shard_breaker.base_backoff_s = std::strtod(next(), nullptr);
+      config.shard_breaker.max_backoff_s =
+          std::max(config.shard_breaker.max_backoff_s,
+                   config.shard_breaker.base_backoff_s);
+    } else if (arg == "--migrate") {
+      migrate = true;
+    } else if (arg == "--kill") {
+      kill = true;
+    } else if (arg == "--chaos") {
+      chaos.seed = std::strtoull(next(), nullptr, 10);
+      chaos_mode = true;
+    } else if (arg == "--chaos-events") {
+      chaos.events = std::strtoul(next(), nullptr, 10);
+      chaos_mode = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  if (chaos_mode && (check || migrate || kill)) {
+    std::fprintf(stderr,
+                 "error: --chaos schedules its own topology events\n");
+    return 2;
+  }
+
+  auto scenario = eval::ScenarioByName(scenario_name);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "error: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto plan = serving::BuildReplayPlan(*scenario, replay);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  core::NomLocConfig engine_cfg = replay.run.engine;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  auto engine =
+      core::NomLocEngine::Create(scenario->env.Boundary(), engine_cfg);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  if (chaos_mode) {
+    auto report = cluster::RunClusterChaos(*engine, *plan,
+                                           replay.epoch_interval_s, chaos,
+                                           config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("chaos: seed=%llu events=%zu (last clears at %.2f s)\n",
+                static_cast<unsigned long long>(chaos.seed),
+                report->schedule.events.size(),
+                report->schedule.last_event_end_s);
+    for (const cluster::ClusterChaosEvent& event : report->schedule.events) {
+      std::printf(
+          "  %-16s shard=%zu  [%.2f, %.2f] s\n",
+          std::string(cluster::ClusterChaosEventKindName(event.kind)).c_str(),
+          event.shard, event.start_s, event.end_s);
+    }
+    std::printf("executed: %zu kills, %zu restores, %zu migrations, "
+                "%zu stall windows\n",
+                report->kills, report->restores, report->migrations,
+                report->stall_windows);
+    std::printf("ingest: %zu accepted, %zu backpressure, %zu breaker-open, "
+                "%zu past deadline\n",
+                report->admit_accepted, report->admit_rejected_backpressure,
+                report->admit_rejected_breaker,
+                report->admit_rejected_deadline);
+    std::printf("responses: %zu (accepted queries %zu)\n",
+                report->outcomes.size(), report->accepted_queries);
+    if (report->tail_mean_error_m >= 0.0)
+      std::printf("recovery: tail mean error %.2f m\n",
+                  report->tail_mean_error_m);
+    if (metrics) {
+      serving::TouchMetrics();
+      cluster::TouchMetrics();
+      std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
+      PrintMetricsSummary();
+    }
+    return 0;
+  }
+
+  config.serving.store.anchor_ttl_s = plan->suggested_anchor_ttl_s;
+  config.serving.store.session_idle_ttl_s = 10.0 * replay.epoch_interval_s;
+  config.serving.expected_anchors = plan->expected_anchors;
+
+  serving::ManualClock clock;
+  auto cluster_result = cluster::Cluster::Create(*engine, config, &clock);
+  if (!cluster_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 cluster_result.status().ToString().c_str());
+    return 1;
+  }
+  cluster::Cluster& cluster = **cluster_result;
+
+  // Topology events fire on flushed epoch boundaries: migration after the
+  // middle epoch, kill after the middle epoch + restore one epoch later.
+  const std::size_t event_boundary = plan->epoch_count / 2;
+  const std::size_t event_shard = 0;
+
+  std::size_t accepted = 0, rejected = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t next_packet = 0;
+  const auto& stream = plan->packets;
+  for (std::size_t e = 0; e < plan->epoch_count; ++e) {
+    const double epoch_end_s = double(e + 1) * replay.epoch_interval_s;
+    while (next_packet < stream.size() &&
+           stream[next_packet].timestamp_s < epoch_end_s) {
+      const serving::IngestPacket& packet = stream[next_packet++];
+      clock.Set(packet.timestamp_s);
+      if (cluster.Ingest(packet) == serving::AdmitStatus::kAccepted)
+        ++accepted;
+      else
+        ++rejected;
+    }
+    cluster.Flush();
+    if (e + 1 == event_boundary) {
+      if (migrate) {
+        if (auto ok = cluster.Migrate(event_shard); !ok.ok()) {
+          std::fprintf(stderr, "error: %s\n", ok.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("migrated shard %zu after epoch %zu\n", event_shard,
+                    e + 1);
+      }
+      if (kill) {
+        if (auto ok = cluster.Checkpoint(event_shard); !ok.ok()) {
+          std::fprintf(stderr, "error: %s\n", ok.status().ToString().c_str());
+          return 1;
+        }
+        cluster.Kill(event_shard);
+        std::printf("killed shard %zu after epoch %zu\n", event_shard, e + 1);
+      }
+    } else if (kill && e == event_boundary &&
+               !cluster.ShardLive(event_shard)) {
+      if (auto ok = cluster.Restart(event_shard, /*restore=*/true);
+          !ok.ok()) {
+        std::fprintf(stderr, "error: %s\n", ok.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("restored shard %zu after epoch %zu\n", event_shard, e + 1);
+    }
+  }
+  cluster.Flush();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::vector<cluster::ClusterResponse> responses = cluster.TakeResponses();
+  cluster.Shutdown();
+
+  std::printf("scenario=%s objects=%zu epochs=%zu shards=%zu transport=%s\n",
+              scenario_name.c_str(), plan->objects, plan->epoch_count,
+              cluster.ShardCount(),
+              std::string(cluster::TransportKindName(config.transport.kind))
+                  .c_str());
+  std::printf("ingest: %zu accepted, %zu rejected\n", accepted, rejected);
+
+  const auto ok_status = static_cast<std::uint8_t>(serving::ServeStatus::kOk);
+  std::size_t ok_count = 0;
+  std::vector<double> errors_m;
+  for (const cluster::ClusterResponse& received : responses) {
+    const serving::WireResponse& r = received.response;
+    if (r.status != ok_status) continue;
+    ++ok_count;
+    const std::size_t epoch =
+        std::size_t(r.timestamp_s / replay.epoch_interval_s);
+    const std::size_t row = epoch * plan->objects + std::size_t(r.object_id);
+    if (row < plan->epochs.size())
+      errors_m.push_back(
+          (r.position - plan->epochs[row].true_position).Norm());
+  }
+  std::printf("responses: %zu (%zu ok)\n", responses.size(), ok_count);
+  if (!errors_m.empty())
+    std::printf("error: mean %.2f m | p50 %.2f m | p90 %.2f m\n",
+                common::Mean(errors_m), common::Percentile(errors_m, 0.5),
+                common::Percentile(errors_m, 0.9));
+  std::printf("throughput: %.0f packets/s (%zu packets in %.3f s)\n",
+              wall_s > 0.0 ? double(accepted) / wall_s : 0.0, accepted,
+              wall_s);
+
+  int exit_code = 0;
+  if (check) {
+    // Golden twin: the identical stream through one unsharded localizer.
+    serving::ManualClock golden_clock;
+    serving::ServingConfig golden_config = config.serving;
+    auto golden = serving::StreamingLocalizer::Create(*engine, golden_config,
+                                                      &golden_clock);
+    if (!golden.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   golden.status().ToString().c_str());
+      return 1;
+    }
+    std::size_t golden_next = 0;
+    for (std::size_t e = 0; e < plan->epoch_count; ++e) {
+      const double epoch_end_s = double(e + 1) * replay.epoch_interval_s;
+      while (golden_next < stream.size() &&
+             stream[golden_next].timestamp_s < epoch_end_s) {
+        const serving::IngestPacket& packet = stream[golden_next++];
+        golden_clock.Set(packet.timestamp_s);
+        (void)(*golden)->Ingest(packet);
+      }
+      (*golden)->Flush();
+    }
+    (*golden)->Shutdown();
+
+    std::map<ResponseKey, serving::ServeResponse> golden_by_key;
+    for (const serving::ServeResponse& r : (*golden)->TakeResponses())
+      golden_by_key[KeyOf(r.object_id, r.timestamp_s)] = r;
+
+    std::size_t compared = 0, mismatched = 0;
+    std::map<ResponseKey, std::size_t> seen;
+    for (const cluster::ClusterResponse& received : responses) {
+      const serving::WireResponse& r = received.response;
+      const ResponseKey key = KeyOf(r.object_id, r.timestamp_s);
+      if (++seen[key] > 1) {
+        ++mismatched;
+        std::fprintf(stderr, "check: duplicate response for object %llu\n",
+                     static_cast<unsigned long long>(r.object_id));
+        continue;
+      }
+      auto golden_it = golden_by_key.find(key);
+      if (golden_it == golden_by_key.end()) {
+        ++mismatched;
+        std::fprintf(stderr,
+                     "check: object %llu t=%.6f has no golden twin\n",
+                     static_cast<unsigned long long>(r.object_id),
+                     r.timestamp_s);
+        continue;
+      }
+      const serving::ServeResponse& want = golden_it->second;
+      ++compared;
+      if (r.status != static_cast<std::uint8_t>(want.status) ||
+          !BitsEqual(r.position.x, want.estimate.position.x) ||
+          !BitsEqual(r.position.y, want.estimate.position.y) ||
+          !BitsEqual(r.relaxation_cost, want.estimate.relaxation_cost) ||
+          !BitsEqual(r.feasible_area_m2, want.estimate.feasible_area_m2) ||
+          !BitsEqual(r.confidence, want.confidence)) {
+        ++mismatched;
+        std::fprintf(stderr,
+                     "check: object %llu t=%.6f: sharded (%.17g, %.17g) "
+                     "!= golden (%.17g, %.17g)\n",
+                     static_cast<unsigned long long>(r.object_id),
+                     r.timestamp_s, r.position.x, r.position.y,
+                     want.estimate.position.x, want.estimate.position.y);
+      }
+    }
+    if (compared != golden_by_key.size() || mismatched != 0) {
+      std::fprintf(stderr,
+                   "check: FAILED (%zu of %zu compared, %zu mismatched)\n",
+                   compared, golden_by_key.size(), mismatched);
+      exit_code = 1;
+    } else {
+      std::printf("check: %zu sharded responses bit-identical to the "
+                  "unsharded golden run\n",
+                  compared);
+    }
+  }
+
+  if (metrics) {
+    serving::TouchMetrics();
+    cluster::TouchMetrics();
+    std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
+    PrintMetricsSummary();
+  }
+  return exit_code;
+}

@@ -443,7 +443,13 @@ int main(int argc, char** argv) {
 
   if (metrics) {
     serving::TouchMetrics();
-    std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
+    auto& registry = common::MetricRegistry::Global();
+    std::printf("\n%s", registry.DumpText().c_str());
+    std::printf("summary: wire bytes in=%llu out=%llu\n",
+                static_cast<unsigned long long>(
+                    registry.Counter("serving.wire.bytes_in").Value()),
+                static_cast<unsigned long long>(
+                    registry.Counter("serving.wire.bytes_out").Value()));
   }
   return exit_code;
 }

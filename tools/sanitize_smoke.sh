@@ -1,7 +1,8 @@
 #!/bin/sh
 # Sanitizer smoke: configure, build, and run the `sanitize-smoke` ctest
-# subset (status/json/trace-io/cir plus the whole serving + chaos suite)
-# under each requested sanitizer.
+# subset (status/json/trace-io/cir plus the whole serving + cluster +
+# chaos suite, loopback transports included) under each requested
+# sanitizer.
 #
 #   tools/sanitize_smoke.sh [asan|ubsan|tsan ...]
 #
