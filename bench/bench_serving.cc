@@ -151,9 +151,11 @@ struct ClusterRunResult {
 // epoch boundary (the serving cadence responses actually ride on).
 ClusterRunResult RunCluster(const nomloc::core::NomLocEngine& engine,
                             const nomloc::serving::ReplayPlan& plan,
-                            double epoch_interval_s, std::size_t shards) {
+                            double epoch_interval_s, std::size_t shards,
+                            bool replicate = false) {
   nomloc::cluster::ClusterConfig config;
   config.shards = shards;
+  config.replicate = replicate;
   config.serving.workers = 1;
   config.serving.queue_capacity = plan.packets.size() + 1;
   config.serving.store.anchor_ttl_s = plan.suggested_anchor_ttl_s;
@@ -222,13 +224,105 @@ ClusterRunResult RunCluster(const nomloc::core::NomLocEngine& engine,
 ClusterRunResult BestClusterRun(const nomloc::core::NomLocEngine& engine,
                                 const nomloc::serving::ReplayPlan& plan,
                                 double epoch_interval_s, std::size_t shards,
-                                std::size_t repeats) {
-  ClusterRunResult best = RunCluster(engine, plan, epoch_interval_s, shards);
+                                std::size_t repeats, bool replicate = false) {
+  ClusterRunResult best =
+      RunCluster(engine, plan, epoch_interval_s, shards, replicate);
   for (std::size_t r = 1; r < repeats; ++r) {
-    ClusterRunResult run = RunCluster(engine, plan, epoch_interval_s, shards);
+    ClusterRunResult run =
+        RunCluster(engine, plan, epoch_interval_s, shards, replicate);
     if (run.wall_ms < best.wall_ms) best = run;
   }
   return best;
+}
+
+// ---------------------------------------------------------------------
+// Replication campaign: what synchronous dual-writes cost in throughput,
+// and how long a crash-failover takes end to end.
+
+struct ReplicationResult {
+  std::size_t shards = 0;
+  double baseline_packets_per_s = 0.0;    ///< replicate off
+  double replicated_packets_per_s = 0.0;  ///< replicate on (dual-write)
+  double dual_write_overhead_pct = 0.0;
+  /// Wall time of the ingest that trips failover: flush fence, epoch
+  /// bump + broadcast, anti-entropy standby promotion — all inline.
+  double failover_promote_ms = 0.0;
+  /// Wall time of Recover(): host restart + anti-entropy hand-back.
+  double recover_ms = 0.0;
+};
+
+// Crash-kill probe: replay to the middle epoch boundary, kill the shard
+// owning the next packet WITHOUT a checkpoint, then time (a) the first
+// ingest that routes to it (inline promotion) and (b) the Recover() one
+// epoch later.  Best (fastest) of `repeats`.
+ReplicationResult RunReplicationProbe(const nomloc::core::NomLocEngine& engine,
+                                      const nomloc::serving::ReplayPlan& plan,
+                                      double epoch_interval_s,
+                                      std::size_t shards,
+                                      std::size_t repeats) {
+  ReplicationResult result;
+  result.shards = shards;
+
+  for (std::size_t r = 0; r < repeats; ++r) {
+    nomloc::cluster::ClusterConfig config;
+    config.shards = shards;
+    config.replicate = true;
+    config.serving.workers = 1;
+    config.serving.queue_capacity = plan.packets.size() + 1;
+    config.serving.store.anchor_ttl_s = plan.suggested_anchor_ttl_s;
+    config.serving.expected_anchors = plan.expected_anchors;
+    nomloc::serving::ManualClock clock;
+    auto cluster = nomloc::cluster::Cluster::Create(engine, config, &clock);
+    NOMLOC_REQUIRE(cluster.ok());
+
+    const std::size_t kill_epoch = plan.epoch_count / 2;
+    std::size_t victim = shards;  // sentinel: not yet chosen
+    bool promoted = false;
+    double promote_ms = 0.0;
+    double recover_ms = 0.0;
+    std::size_t next = 0;
+    for (std::size_t e = 0; e < plan.epoch_count; ++e) {
+      if (e == kill_epoch && next < plan.packets.size()) {
+        victim = (*cluster)->ShardOf(plan.packets[next].object_id);
+        (*cluster)->Kill(victim, /*unclean=*/true);
+      }
+      if (victim < shards && e == kill_epoch + 1 &&
+          !(*cluster)->ShardLive(victim)) {
+        const auto start = std::chrono::steady_clock::now();
+        NOMLOC_REQUIRE((*cluster)->Recover(victim).ok());
+        recover_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      }
+      const double epoch_end_s = double(e + 1) * epoch_interval_s;
+      while (next < plan.packets.size() &&
+             plan.packets[next].timestamp_s < epoch_end_s) {
+        const nomloc::serving::IngestPacket& packet = plan.packets[next++];
+        clock.Set(packet.timestamp_s);
+        if (!promoted && victim < shards &&
+            (*cluster)->ShardOf(packet.object_id) == victim) {
+          // This ingest finds the owner dead and promotes its standbys
+          // before the route-around delivers the packet.
+          const auto start = std::chrono::steady_clock::now();
+          (*cluster)->Ingest(packet);
+          promote_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+          promoted = true;
+          continue;
+        }
+        (*cluster)->Ingest(packet);
+      }
+      (*cluster)->Flush();
+    }
+    (*cluster)->Shutdown();
+    NOMLOC_REQUIRE(promoted);
+    if (r == 0 || promote_ms < result.failover_promote_ms)
+      result.failover_promote_ms = promote_ms;
+    if (r == 0 || recover_ms < result.recover_ms)
+      result.recover_ms = recover_ms;
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------
@@ -495,10 +589,26 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ClusterRunResult> cluster_runs;
+  ReplicationResult replication;
+  ClusterRunResult replicated_run;
   if (cluster_mode) {
     for (std::size_t shards : {std::size_t(1), std::size_t(2), std::size_t(4)})
       cluster_runs.push_back(BestClusterRun(
           *engine, *plan, replay.epoch_interval_s, shards, repeats));
+    // Replication campaign: same 4-shard replay with synchronous
+    // dual-writes on, plus the crash-failover latency probe.
+    const std::size_t rep_shards = 4;
+    replicated_run =
+        BestClusterRun(*engine, *plan, replay.epoch_interval_s, rep_shards,
+                       repeats, /*replicate=*/true);
+    replication = RunReplicationProbe(*engine, *plan, replay.epoch_interval_s,
+                                      rep_shards, repeats);
+    replication.baseline_packets_per_s = cluster_runs.back().packets_per_s;
+    replication.replicated_packets_per_s = replicated_run.packets_per_s;
+    if (replication.baseline_packets_per_s > 0.0)
+      replication.dual_write_overhead_pct =
+          100.0 * (1.0 - replication.replicated_packets_per_s /
+                             replication.baseline_packets_per_s);
   }
 
   std::vector<ScaleRun> scale_runs;
@@ -543,6 +653,22 @@ int main(int argc, char** argv) {
     cluster_doc["hardware_cores"] = hw;
     cluster_doc["series"] = nomloc::common::Json(std::move(cluster_rows));
     extra["cluster"] = nomloc::common::Json(std::move(cluster_doc));
+
+    nomloc::common::JsonObject rep;
+    rep["shards"] = replication.shards;
+    rep["baseline_packets_per_s"] = replication.baseline_packets_per_s;
+    rep["replicated_packets_per_s"] = replication.replicated_packets_per_s;
+    rep["dual_write_overhead_pct"] = replication.dual_write_overhead_pct;
+    rep["replicated_responses"] = replicated_run.responses;
+    rep["replicated_latency_p50_ms"] = replicated_run.p50_ms;
+    rep["replicated_latency_p99_ms"] = replicated_run.p99_ms;
+    // Failover probe: crash-kill the owner of the next packet at the
+    // middle epoch boundary; promote latency is the single ingest that
+    // trips failover (flush fence + epoch bump + standby promotion),
+    // recover latency is the Recover() call one epoch later.
+    rep["failover_promote_ms"] = replication.failover_promote_ms;
+    rep["recover_ms"] = replication.recover_ms;
+    extra["replication"] = nomloc::common::Json(std::move(rep));
   }
   if (!scale_runs.empty()) {
     nomloc::common::JsonArray scale_rows;
@@ -600,6 +726,14 @@ int main(int argc, char** argv) {
                                         : 0.0,
                     run.p50_ms, run.p95_ms, run.p99_ms);
       }
+      std::printf("\n  replication (4 shards, synchronous dual-write)\n");
+      std::printf("  %-28s %12.0f\n  %-28s %12.0f\n  %-28s %11.2f%%\n"
+                  "  %-28s %12.3f\n  %-28s %12.3f\n",
+                  "baseline packets/s", replication.baseline_packets_per_s,
+                  "replicated packets/s", replication.replicated_packets_per_s,
+                  "dual-write overhead", replication.dual_write_overhead_pct,
+                  "failover promote [ms]", replication.failover_promote_ms,
+                  "recover [ms]", replication.recover_ms);
     }
     if (!scale_runs.empty()) {
       std::printf("\n  open-loop scale campaign "

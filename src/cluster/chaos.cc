@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
 
 #include "common/rng.h"
 #include "geometry/vec2.h"
@@ -16,14 +21,19 @@ std::string_view ClusterChaosEventKindName(
     case ClusterChaosEventKind::kShardKill: return "SHARD_KILL";
     case ClusterChaosEventKind::kShardMigrate: return "SHARD_MIGRATE";
     case ClusterChaosEventKind::kTransportStall: return "TRANSPORT_STALL";
+    case ClusterChaosEventKind::kShardKillUnclean:
+      return "SHARD_KILL_UNCLEAN";
   }
   return "UNKNOWN";
 }
 
 common::Result<void> ClusterChaosConfig::Validate() const {
-  if (kill_weight < 0.0 || migrate_weight < 0.0 || stall_weight < 0.0)
+  if (kill_weight < 0.0 || migrate_weight < 0.0 || stall_weight < 0.0 ||
+      kill_unclean_weight < 0.0)
     return common::InvalidArgument("event weights must be >= 0");
-  if (events > 0 && kill_weight + migrate_weight + stall_weight <= 0.0)
+  if (events > 0 && kill_weight + migrate_weight + stall_weight +
+                            kill_unclean_weight <=
+                        0.0)
     return common::InvalidArgument("at least one event weight must be > 0");
   if (max_window_epochs <= 0.0)
     return common::InvalidArgument("max_window_epochs must be > 0");
@@ -37,9 +47,10 @@ ClusterChaosSchedule BuildClusterChaosSchedule(
   if (config.events == 0 || plan.epoch_count < 3 || shards == 0)
     return schedule;
   common::Rng rng(config.seed);
-  const std::array<double, 3> weights = {config.kill_weight,
+  const std::array<double, 4> weights = {config.kill_weight,
                                          config.migrate_weight,
-                                         config.stall_weight};
+                                         config.stall_weight,
+                                         config.kill_unclean_weight};
   // Event starts land on epoch boundaries in the run's first 70%, and
   // windows close by the second-to-last epoch, so the tail always
   // measures post-recovery behaviour.
@@ -51,17 +62,53 @@ ClusterChaosSchedule BuildClusterChaosSchedule(
       1, std::size_t(std::ceil(config.max_window_epochs)));
 
   schedule.events.reserve(config.events);
+  std::set<std::size_t> unclean_epochs;
   for (std::size_t i = 0; i < config.events; ++i) {
     ClusterChaosEvent event;
     event.kind = ClusterChaosEventKind(rng.Categorical(weights));
     event.shard = rng.UniformInt(shards);
-    const std::size_t start_epoch =
+    std::size_t start_epoch =
         first_epoch + rng.UniformInt(last_start - first_epoch);
-    event.start_s = double(start_epoch) * epoch_interval_s;
+    if (event.kind == ClusterChaosEventKind::kShardKillUnclean) {
+      // One crash per trigger group: replication factor one tolerates a
+      // single unclean kill per flush group — two crashes landing in the
+      // same group can destroy both copies of an in-flight observation
+      // (the primary's bytes and the standby's replicate frame die in
+      // their pipes together), which is a double fault outside the
+      // declared tolerance, not a replication bug.  Probe to a free
+      // trigger epoch; with none left, draw a migration instead.
+      const std::size_t span = last_start - first_epoch;
+      std::size_t tried = 0;
+      while (unclean_epochs.count(start_epoch) != 0 && tried < span) {
+        start_epoch = first_epoch + (start_epoch - first_epoch + 1) % span;
+        ++tried;
+      }
+      if (unclean_epochs.count(start_epoch) != 0)
+        event.kind = ClusterChaosEventKind::kShardMigrate;
+      else
+        unclean_epochs.insert(start_epoch);
+    }
+    if (event.kind == ClusterChaosEventKind::kShardKillUnclean) {
+      // Deliberately OFF the epoch grid: the crash lands in the middle of
+      // an epoch, between flushed groups.  Queries sit at 0.4 of the
+      // interval, so the [0.5, 0.9) trigger window is observation-only —
+      // the crash can lose in-flight observations (replication keeps
+      // them) but never an accepted query's response.
+      event.start_s =
+          (double(start_epoch) + 0.5 + 0.4 * rng.Uniform()) *
+          epoch_interval_s;
+    } else {
+      event.start_s = double(start_epoch) * epoch_interval_s;
+    }
     if (event.kind == ClusterChaosEventKind::kShardMigrate) {
       event.end_s = event.start_s;
     } else {
       std::size_t end_epoch = start_epoch + 1 + rng.UniformInt(max_window);
+      // An unclean kill only fires at the first group past start_s (epoch
+      // start_epoch + 1), so its recovery edge needs a strictly later
+      // group or the window would collapse to nothing.
+      if (event.kind == ClusterChaosEventKind::kShardKillUnclean)
+        end_epoch = std::max(end_epoch, start_epoch + 2);
       end_epoch = std::min(end_epoch, plan.epoch_count - 1);
       event.end_s = double(end_epoch) * epoch_interval_s;
     }
@@ -96,12 +143,26 @@ common::Result<ClusterChaosReport> RunClusterChaos(
   cluster_config.serving.start_paused = false;
 
   serving::ManualClock clock(0.0);
+  // The golden twin: one unsharded localizer fed the same accepted
+  // packets at the same clock steps and flush cadence.  Any bit
+  // difference between its responses and the cluster's is a replication
+  // or recovery bug.
+  serving::ManualClock golden_clock(0.0);
+  std::unique_ptr<serving::StreamingLocalizer> golden;
+  if (chaos.check_parity) {
+    serving::ServingConfig golden_config = cluster_config.serving;
+    NOMLOC_ASSIGN_OR_RETURN(
+        golden, serving::StreamingLocalizer::Create(
+                    engine, std::move(golden_config), &golden_clock));
+  }
   NOMLOC_ASSIGN_OR_RETURN(
       auto cluster, Cluster::Create(engine, std::move(cluster_config), &clock));
 
   const auto& events = report.schedule.events;
   std::vector<bool> started(events.size(), false);
   std::vector<bool> ended(events.size(), false);
+  std::vector<std::size_t> unclean_pending;
+  std::vector<serving::ServeResponse> golden_responses;
 
   std::size_t i = 0;
   while (i < plan.packets.size()) {
@@ -130,14 +191,34 @@ common::Result<ClusterChaosReport> RunClusterChaos(
           case ClusterChaosEventKind::kTransportStall:
             ++report.stall_windows;
             break;
+          case ClusterChaosEventKind::kShardKillUnclean:
+            // Deferred: the crash fires after this group's packets are
+            // written but before the group is flushed, so bytes in
+            // flight to the primary die unapplied.
+            if (cluster->ShardLive(event.shard)) {
+              unclean_pending.push_back(e);
+            } else {
+              ended[e] = true;  // Already down: no-op window.
+            }
+            break;
         }
       }
       if (started[e] && !ended[e] && event.end_s <= t) {
+        // A deferred crash that hasn't fired yet keeps its window open:
+        // the recovery edge must land on a group after the kill.
+        if (event.kind == ClusterChaosEventKind::kShardKillUnclean &&
+            std::find(unclean_pending.begin(), unclean_pending.end(), e) !=
+                unclean_pending.end())
+          continue;
         ended[e] = true;
         if (event.kind == ClusterChaosEventKind::kShardKill &&
             !cluster->ShardLive(event.shard) &&
             cluster->Restart(event.shard, /*restore=*/true).ok())
           ++report.restores;
+        if (event.kind == ClusterChaosEventKind::kShardKillUnclean &&
+            !cluster->ShardLive(event.shard) &&
+            cluster->Recover(event.shard).ok())
+          ++report.recoveries;
       }
     }
     // (Re-)apply stalls whose window covers this group.
@@ -147,6 +228,7 @@ common::Result<ClusterChaosReport> RunClusterChaos(
         cluster->SetStalled(events[e].shard, true);
 
     clock.Set(t);
+    golden_clock.Set(t);
 
     for (; i < plan.packets.size() && plan.packets[i].timestamp_s == t; ++i) {
       const serving::IngestPacket& packet = plan.packets[i];
@@ -155,6 +237,9 @@ common::Result<ClusterChaosReport> RunClusterChaos(
           ++report.admit_accepted;
           if (packet.kind == serving::PacketKind::kQuery)
             ++report.accepted_queries;
+          // The golden twin sees exactly the accepted stream, so a typed
+          // rejection (stall backpressure, breaker) never breaks parity.
+          if (golden != nullptr) golden->Ingest(packet);
           break;
         case serving::AdmitStatus::kRejectedQueueFull:
           ++report.admit_rejected_backpressure;
@@ -170,6 +255,15 @@ common::Result<ClusterChaosReport> RunClusterChaos(
       }
     }
 
+    // The crash end of the spectrum: kill between the group's write and
+    // its flush, so the primary dies with this group's bytes in flight.
+    // No checkpoint — recovery must come from replication + the WAL.
+    for (std::size_t e : unclean_pending) {
+      cluster->Kill(events[e].shard, /*unclean=*/true);
+      ++report.kills_unclean;
+    }
+    unclean_pending.clear();
+
     // A flush through a stalled pipe would never ack: clear every active
     // stall first (the window re-applies it on the next group).
     for (std::size_t e = 0; e < events.size(); ++e)
@@ -177,10 +271,34 @@ common::Result<ClusterChaosReport> RunClusterChaos(
           events[e].kind == ClusterChaosEventKind::kTransportStall)
         cluster->SetStalled(events[e].shard, false);
     cluster->Flush();
+    if (golden != nullptr) {
+      golden->Flush();
+      std::vector<serving::ServeResponse> group = golden->TakeResponses();
+      golden_responses.insert(golden_responses.end(), group.begin(),
+                              group.end());
+    }
   }
+  // Close any crash window whose recovery edge fell past the last group
+  // (the stream ended while the shard was down): every executed unclean
+  // kill ends in Recover(), so the tallies balance and Shutdown sees a
+  // fully live cluster.
+  for (std::size_t e = 0; e < events.size(); ++e)
+    if (started[e] && !ended[e] &&
+        events[e].kind == ClusterChaosEventKind::kShardKillUnclean) {
+      ended[e] = true;
+      if (!cluster->ShardLive(events[e].shard) &&
+          cluster->Recover(events[e].shard).ok())
+        ++report.recoveries;
+    }
   cluster->Flush();
   std::vector<ClusterResponse> responses = cluster->TakeResponses();
   cluster->Shutdown();
+  if (golden != nullptr) {
+    golden->Flush();
+    std::vector<serving::ServeResponse> last = golden->TakeResponses();
+    golden_responses.insert(golden_responses.end(), last.begin(), last.end());
+    golden->Shutdown();
+  }
 
   std::sort(responses.begin(), responses.end(),
             [](const ClusterResponse& a, const ClusterResponse& b) {
@@ -188,6 +306,45 @@ common::Result<ClusterChaosReport> RunClusterChaos(
                 return a.response.timestamp_s < b.response.timestamp_s;
               return a.response.object_id < b.response.object_id;
             });
+
+  if (golden != nullptr) {
+    report.parity_checked = true;
+    const auto bits64 = [](double v) {
+      std::uint64_t u = 0;
+      std::memcpy(&u, &v, sizeof u);
+      return u;
+    };
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             const serving::ServeResponse*>
+        expected;
+    for (const serving::ServeResponse& r : golden_responses)
+      expected[{r.object_id, bits64(r.timestamp_s)}] = &r;
+    for (const ClusterResponse& received : responses) {
+      const serving::WireResponse& w = received.response;
+      ++report.parity_compared;
+      const auto it = expected.find({w.object_id, bits64(w.timestamp_s)});
+      if (it == expected.end()) {
+        ++report.parity_mismatches;  // Cluster response the golden lacks.
+        continue;
+      }
+      const serving::ServeResponse& g = *it->second;
+      const bool same =
+          w.status == static_cast<std::uint8_t>(g.status) &&
+          w.degradation == static_cast<std::uint8_t>(g.degradation) &&
+          w.degraded == g.degraded &&
+          w.anchor_count == std::uint32_t(g.anchor_count) &&
+          bits64(w.position.x) == bits64(g.estimate.position.x) &&
+          bits64(w.position.y) == bits64(g.estimate.position.y) &&
+          bits64(w.relaxation_cost) == bits64(g.estimate.relaxation_cost) &&
+          bits64(w.feasible_area_m2) == bits64(g.estimate.feasible_area_m2) &&
+          bits64(w.confidence) == bits64(g.confidence);
+      if (!same) ++report.parity_mismatches;
+      expected.erase(it);
+    }
+    // Whatever the golden still expects, the cluster lost.
+    report.parity_mismatches += expected.size();
+  }
+
   const auto ok_status =
       static_cast<std::uint8_t>(serving::ServeStatus::kOk);
   double tail_error_sum = 0.0;

@@ -11,7 +11,10 @@
 // asserts the resilience invariants:
 //
 //   * no crash, and exactly one response per accepted query — events fire
-//     on flushed epoch boundaries, so no in-flight work is ever lost;
+//     on flushed epoch boundaries, so no in-flight work is ever lost
+//     (except kShardKillUnclean, which deliberately crashes between a
+//     group's write and its flush — replication + WAL replay must then
+//     prove that *still* nothing accepted was lost);
 //   * monotone degradation: while a shard is down its packets reroute to
 //     the next shard in rendezvous preference order (or reject with a
 //     typed verdict) — they are never silently dropped;
@@ -39,6 +42,14 @@ enum class ClusterChaosEventKind {
   /// the stall before each epoch flush (a flush through a stalled pipe
   /// would never ack) and re-applies it while the window lasts.
   kTransportStall,
+  /// Crash kill: NO checkpoint is taken, and the kill deliberately lands
+  /// mid-epoch OFF the flushed boundary — it fires after the trigger
+  /// group's packets were written but before that group is flushed, so
+  /// bytes in flight to the primary die unapplied (the replicate stream
+  /// to the standby keeps them).  The window ends with Recover(): WAL
+  /// replay + anti-entropy repair, never a graceful drain.  Meaningful
+  /// with ClusterConfig::replicate and/or durable_dir.
+  kShardKillUnclean,
 };
 
 std::string_view ClusterChaosEventKindName(
@@ -58,8 +69,17 @@ struct ClusterChaosConfig {
   double kill_weight = 3.0;
   double migrate_weight = 2.0;
   double stall_weight = 2.0;
+  /// Crash kills (kShardKillUnclean); off by default so pre-replication
+  /// seeds reproduce bit-identically.
+  double kill_unclean_weight = 0.0;
   /// Kill / stall windows last up to this many epoch intervals.
   double max_window_epochs = 2.0;
+  /// Run an unsharded golden localizer over the *accepted* packets in
+  /// lockstep and bit-compare every response against the cluster's.  The
+  /// replication invariant: with replicate on and a mix of unclean kills
+  /// + migrations (no clean kills — Restart(restore) legitimately drops
+  /// post-checkpoint sessions), every mismatch is a bug.
+  bool check_parity = false;
 
   common::Result<void> Validate() const;
 };
@@ -97,6 +117,9 @@ struct ClusterChaosReport {
   std::size_t restores = 0;
   std::size_t migrations = 0;
   std::size_t stall_windows = 0;
+  /// Crash kills executed and Recover() completions (unclean windows).
+  std::size_t kills_unclean = 0;
+  std::size_t recoveries = 0;
   /// Admission tallies over the whole stream.
   std::size_t admit_accepted = 0;
   std::size_t admit_rejected_backpressure = 0;
@@ -107,12 +130,23 @@ struct ClusterChaosReport {
   /// Mean kOk error over epochs strictly after the last event cleared;
   /// negative when no such epoch produced a kOk response.
   double tail_mean_error_m = -1.0;
+  /// Golden bit-parity (check_parity): responses compared, and the count
+  /// of mismatches — bit-different fields, cluster responses the golden
+  /// never produced, or golden responses the cluster lost.  A clean run
+  /// has parity_checked && parity_mismatches == 0.
+  bool parity_checked = false;
+  std::size_t parity_compared = 0;
+  std::size_t parity_mismatches = 0;
 };
 
 /// Replays `plan` through a fresh Cluster while applying the schedule.
 /// The harness drives router admission on a ManualClock stepped to each
-/// timestamp group and flushes every group, so events only ever fire on
-/// drained boundaries.  Fully deterministic for a given configuration.
+/// timestamp group and flushes every group, so events fire on drained
+/// boundaries — except unclean kills, which fire between a group's
+/// ingest and its flush.  Fully deterministic for a given configuration:
+/// an unclean kill's in-flight loss is nondeterministic per host, but
+/// the post-failover state is donor-authoritative (the standby saw every
+/// accepted observation synchronously), so responses are not.
 common::Result<ClusterChaosReport> RunClusterChaos(
     const core::NomLocEngine& engine, const serving::ReplayPlan& plan,
     double epoch_interval_s, const ClusterChaosConfig& chaos,

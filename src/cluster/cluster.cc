@@ -1,8 +1,10 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/metrics.h"
+#include "serving/wal.h"
 
 namespace nomloc::cluster {
 
@@ -14,6 +16,7 @@ constexpr std::string_view kCounterNames[] = {
     "cluster.rejected.backpressure",
     "cluster.rejected.breaker",
     "cluster.rejected.deadline",
+    "cluster.rejected.shutting_down",
     "cluster.shard_trips",
     "cluster.migrations",
     "cluster.checkpoints",
@@ -22,11 +25,29 @@ constexpr std::string_view kCounterNames[] = {
     "cluster.flushes",
     "cluster.responses",
     "cluster.host.rejected",
+    "cluster.replicated",
+    "cluster.replicate.failed",
+    "cluster.failovers",
+    "cluster.promoted_sessions",
+    "cluster.repair.sessions",
+    "cluster.recoveries",
+    "cluster.placement.stale_epoch",
+    "cluster.write_retries",
 };
 
 common::MetricCounter& Metric(std::string_view name) {
   return common::MetricRegistry::Global().Counter(name);
 }
+
+/// splitmix64 step, for deterministic retry-backoff jitter.
+std::uint64_t JitterMix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
 
 }  // namespace
 
@@ -39,6 +60,13 @@ void TouchMetrics() {
 common::Result<void> ClusterConfig::Validate() const {
   if (shards == 0)
     return common::InvalidArgument("cluster needs at least one shard");
+  if (replicate && shards < 2)
+    return common::InvalidArgument(
+        "replication needs at least two shards (a standby must live "
+        "somewhere else)");
+  if (write_retry_base_ms <= 0.0 || write_retry_max_ms < write_retry_base_ms)
+    return common::InvalidArgument(
+        "retry backoff needs 0 < base_ms <= max_ms");
   NOMLOC_RETURN_IF_ERROR(transport.Validate().status());
   NOMLOC_RETURN_IF_ERROR(serving.Validate().status());
   NOMLOC_RETURN_IF_ERROR(shard_breaker.Validate().status());
@@ -46,9 +74,9 @@ common::Result<void> ClusterConfig::Validate() const {
 }
 
 /// Everything the router knows about one shard slot.  `mutex` guards the
-/// write side (link, header, breaker, live flag); the read side is the
-/// slot's dedicated reader thread, which owns the raw Link pointer it was
-/// spawned with and never touches these fields.
+/// write side (link, header, breaker, live flag, failed_over latch); the
+/// read side is the slot's dedicated reader thread, which owns the raw
+/// Link pointer it was spawned with and never touches these fields.
 struct Cluster::Slot {
   explicit Slot(const serving::CircuitBreakerConfig& breaker_config)
       : breaker(breaker_config) {}
@@ -58,6 +86,9 @@ struct Cluster::Slot {
   std::unique_ptr<Link> link;  ///< Router end.
   bool header_sent = false;
   bool live = false;
+  /// Set by the one failover that promoted this slot's standbys; cleared
+  /// on reattach.  The exactly-once latch for MaybeFailover races.
+  bool failed_over = false;
   serving::CircuitBreaker breaker;
   std::thread reader;
   /// Guarded by Cluster::ack_mutex_.
@@ -65,6 +96,8 @@ struct Cluster::Slot {
   bool reader_done = true;
   /// Last Checkpoint()/Migrate() dump, for Restart(restore=true).
   std::string checkpoint;
+  /// Last full standby-store dump (replicate mode), saved alongside.
+  std::string standby_checkpoint;
 };
 
 common::Result<std::unique_ptr<Cluster>> Cluster::Create(
@@ -94,6 +127,8 @@ Cluster::Cluster(const core::NomLocEngine& engine, ClusterConfig config,
     owned_clock_ = std::make_unique<serving::SteadyClock>();
     clock_ = owned_clock_.get();
   }
+  retry_jitter_state_.store(config_.write_retry_jitter_seed,
+                            std::memory_order_relaxed);
   slots_.reserve(config_.shards);
   for (std::size_t shard = 0; shard < config_.shards; ++shard)
     slots_.push_back(std::make_unique<Slot>(config_.shard_breaker));
@@ -101,13 +136,24 @@ Cluster::Cluster(const core::NomLocEngine& engine, ClusterConfig config,
 
 Cluster::~Cluster() { Shutdown(); }
 
+std::string Cluster::ShardDurableDir(std::size_t shard) const {
+  if (config_.durable_dir.empty()) return {};
+  return config_.durable_dir + "/shard-" + std::to_string(shard);
+}
+
 common::Result<void> Cluster::AttachHost(std::size_t shard,
                                          const std::string* dump) {
   NOMLOC_ASSIGN_OR_RETURN(LinkPair pair, ConnectLinkPair(config_.transport));
+  ShardHostOptions options;
+  options.clock_from_packets = config_.clock_from_packets;
+  options.placement_epoch = epoch_.load(std::memory_order_acquire);
+  options.durable_dir = ShardDurableDir(shard);
+  options.wal_segment_bytes = config_.wal_segment_bytes;
+  options.wal_fsync = config_.wal_fsync;
   NOMLOC_ASSIGN_OR_RETURN(
       std::unique_ptr<ShardHost> host,
       ShardHost::Create(engine_, config_.serving, std::move(pair.host_end),
-                        config_.clock_from_packets));
+                        std::move(options)));
   if (dump != nullptr && !dump->empty()) {
     NOMLOC_ASSIGN_OR_RETURN(common::Json checkpoint,
                             common::Json::Parse(*dump));
@@ -123,6 +169,7 @@ common::Result<void> Cluster::AttachHost(std::size_t shard,
   slot.link = std::move(pair.router_end);
   slot.header_sent = false;
   slot.live = true;
+  slot.failed_over = false;
   {
     std::lock_guard<std::mutex> ack_lock(ack_mutex_);
     slot.reader_done = false;
@@ -200,7 +247,10 @@ serving::AdmitStatus Cluster::Ingest(const serving::IngestPacket& packet) {
   static auto& rejected_backpressure = Metric("cluster.rejected.backpressure");
   static auto& rejected_breaker = Metric("cluster.rejected.breaker");
   static auto& rejected_deadline = Metric("cluster.rejected.deadline");
+  static auto& rejected_shutting_down =
+      Metric("cluster.rejected.shutting_down");
   static auto& trips = Metric("cluster.shard_trips");
+  static auto& write_retries = Metric("cluster.write_retries");
 
   if (shutdown_.load(std::memory_order_acquire))
     return serving::AdmitStatus::kRejectedShutdown;
@@ -216,6 +266,13 @@ serving::AdmitStatus Cluster::Ingest(const serving::IngestPacket& packet) {
   std::string frame;
   serving::AppendWireFrame(packet, frame);
 
+  const auto record_failure = [&](Slot& slot) {
+    const bool was_open = slot.breaker.State() == serving::BreakerState::kOpen;
+    slot.breaker.RecordFailure(now_s);
+    if (!was_open && slot.breaker.State() == serving::BreakerState::kOpen)
+      trips.Increment();
+  };
+
   // nullopt = this candidate cannot take the packet (dead / breaker
   // open / transport closed); a definite verdict stops the walk.
   auto try_slot =
@@ -224,13 +281,15 @@ serving::AdmitStatus Cluster::Ingest(const serving::IngestPacket& packet) {
     std::lock_guard<std::mutex> lock(slot.mutex);
     if (!slot.breaker.Allow(now_s)) return std::nullopt;
     if (!slot.live || slot.link == nullptr) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        // The teardown race, not a shard fault: typed as shutting-down
+        // (definite, no breaker count — nothing will probe back).
+        rejected_shutting_down.Increment();
+        return serving::AdmitStatus::kRejectedShuttingDown;
+      }
       // A dead shard fails its candidates like a broken transport: the
       // breaker counts toward a trip, then Allow() short-circuits.
-      const bool was_open =
-          slot.breaker.State() == serving::BreakerState::kOpen;
-      slot.breaker.RecordFailure(now_s);
-      if (!was_open && slot.breaker.State() == serving::BreakerState::kOpen)
-        trips.Increment();
+      record_failure(slot);
       return std::nullopt;
     }
     const LinkWrite verdict = WriteToSlot(slot, frame);
@@ -244,31 +303,77 @@ serving::AdmitStatus Cluster::Ingest(const serving::IngestPacket& packet) {
       // history.  The sender retries; the owner keeps the session.
       return serving::AdmitStatus::kRejectedQueueFull;
     }
-    const bool was_open = slot.breaker.State() == serving::BreakerState::kOpen;
-    slot.breaker.RecordFailure(now_s);
-    if (!was_open && slot.breaker.State() == serving::BreakerState::kOpen)
-      trips.Increment();
+    if (shutdown_.load(std::memory_order_acquire)) {
+      rejected_shutting_down.Increment();
+      return serving::AdmitStatus::kRejectedShuttingDown;
+    }
+    record_failure(slot);
     return std::nullopt;
   };
 
+  // The reconnect/retry policy: transient backpressure is waited out with
+  // exponential backoff + jitter before the typed rejection escapes.  An
+  // exhausted budget feeds the breaker so persistent pressure trips it
+  // and re-admission runs through the half-open probe.
+  auto try_slot_with_retry =
+      [&](std::size_t index) -> std::optional<serving::AdmitStatus> {
+    auto verdict = try_slot(index);
+    if (config_.write_retry_budget == 0) return verdict;
+    double backoff_ms = config_.write_retry_base_ms;
+    for (std::size_t attempt = 0;
+         verdict.has_value() &&
+         *verdict == serving::AdmitStatus::kRejectedQueueFull &&
+         attempt < config_.write_retry_budget;
+         ++attempt) {
+      write_retries.Increment();
+      const std::uint64_t draw = JitterMix(
+          retry_jitter_state_.fetch_add(1, std::memory_order_relaxed));
+      const double frac = double(draw >> 11) * 0x1.0p-53;  // [0, 1)
+      const double sleep_ms = backoff_ms * (0.5 + 0.5 * frac);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, config_.write_retry_max_ms);
+      verdict = try_slot(index);
+    }
+    if (verdict.has_value() &&
+        *verdict == serving::AdmitStatus::kRejectedQueueFull) {
+      Slot& slot = *slots_[index];
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      record_failure(slot);
+    }
+    return verdict;
+  };
+
   const std::size_t primary = table_.ShardOf(packet.object_id);
-  if (auto verdict = try_slot(primary)) {
-    if (*verdict == serving::AdmitStatus::kAccepted)
+  if (auto verdict = try_slot_with_retry(primary)) {
+    if (*verdict == serving::AdmitStatus::kAccepted) {
       routed.Increment();
-    else if (*verdict == serving::AdmitStatus::kRejectedQueueFull)
+      if (config_.replicate &&
+          packet.kind == serving::PacketKind::kObservation)
+        ReplicateWrite(packet, primary);
+    } else if (*verdict == serving::AdmitStatus::kRejectedQueueFull) {
       rejected_backpressure.Increment();
+    }
     return *verdict;
   }
+  // The owner is definitively unreachable.  In replicate mode promote its
+  // standbys *before* the route-around walk, so the shard that takes this
+  // packet already holds the object's full history.
+  if (config_.replicate) MaybeFailover(primary);
   if (config_.route_around) {
     std::vector<std::size_t> order;
     table_.PreferenceOrder(packet.object_id, order);
     for (std::size_t index : order) {
       if (index == primary) continue;
-      if (auto verdict = try_slot(index)) {
-        if (*verdict == serving::AdmitStatus::kAccepted)
+      if (auto verdict = try_slot_with_retry(index)) {
+        if (*verdict == serving::AdmitStatus::kAccepted) {
           rerouted.Increment();
-        else if (*verdict == serving::AdmitStatus::kRejectedQueueFull)
+          if (config_.replicate &&
+              packet.kind == serving::PacketKind::kObservation)
+            ReplicateWrite(packet, index);
+        } else if (*verdict == serving::AdmitStatus::kRejectedQueueFull) {
           rejected_backpressure.Increment();
+        }
         return *verdict;
       }
     }
@@ -277,10 +382,193 @@ serving::AdmitStatus Cluster::Ingest(const serving::IngestPacket& packet) {
   return serving::AdmitStatus::kRejectedBreakerOpen;
 }
 
+void Cluster::ReplicateWrite(const serving::IngestPacket& packet,
+                             std::size_t delivered) {
+  static auto& replicated = Metric("cluster.replicated");
+  static auto& failed = Metric("cluster.replicate.failed");
+  serving::WireReplicate replicate;
+  replicate.slot = static_cast<std::uint32_t>(delivered);
+  replicate.epoch = epoch_.load(std::memory_order_acquire);
+  replicate.packet = packet;
+  std::string frame;
+  serving::AppendWireReplicateFrame(replicate, frame);
+  std::vector<std::size_t> order;
+  table_.PreferenceOrder(packet.object_id, order);
+  for (std::size_t index : order) {
+    if (index == delivered) continue;
+    Slot& slot = *slots_[index];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.live || slot.link == nullptr) continue;
+    // Replicate frames ride the same ordered stream as packets; a brief
+    // backpressure window is waited out like SetLogicalTime's.
+    LinkWrite verdict = LinkWrite::kClosed;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      verdict = WriteToSlot(slot, frame);
+      if (verdict != LinkWrite::kBackpressure) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (verdict == LinkWrite::kOk) {
+      replicated.Increment();
+      return;
+    }
+  }
+  // No live standby candidate took the copy: the write stays accepted
+  // (the primary has it) but unprotected until the next repair sweep.
+  failed.Increment();
+}
+
+void Cluster::MaybeFailover(std::size_t shard) {
+  if (!config_.replicate || shutdown_.load(std::memory_order_acquire)) return;
+  {
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.live || slot.failed_over) return;
+  }
+  std::lock_guard<std::mutex> failover_lock(failover_mutex_);
+  if (shutdown_.load(std::memory_order_acquire)) return;
+  {
+    // Exactly-once: the first thread through here latches the slot; a
+    // racing half-open probe (or second ingest) re-checks under the slot
+    // mutex and finds the promotion already claimed.
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.live || slot.failed_over) return;
+    slot.failed_over = true;
+  }
+  Metric("cluster.failovers").Increment();
+  // Fence: every frame written before now — including the dead primary's
+  // dual-written replicate frames — is applied on its standby host before
+  // the repair reads the standby stores.
+  Flush();
+  const std::uint64_t epoch =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  table_.SetEpoch(epoch);
+  // Hosts adopt the new epoch in stream order, so any replicate frame a
+  // lagging router stamped with the old epoch and enqueued *after* this
+  // broadcast is rejected as stale — a promoted standby can never be
+  // silently written into (the split-brain fence).
+  BroadcastEpoch(epoch);
+  AntiEntropyRepair();
+}
+
+void Cluster::BroadcastEpoch(std::uint64_t epoch) {
+  serving::WireControl control;
+  control.op = serving::WireControlOp::kEpochSet;
+  control.epoch = epoch;
+  std::string frame;
+  serving::AppendWireControlFrame(control, frame);
+  for (const auto& slot_ptr : slots_) {
+    Slot& slot = *slot_ptr;
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.live || slot.link == nullptr) continue;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const LinkWrite verdict = WriteToSlot(slot, frame);
+      if (verdict != LinkWrite::kBackpressure) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Cluster::AntiEntropyRepair() {
+  static auto& promoted = Metric("cluster.promoted_sessions");
+  static auto& repaired = Metric("cluster.repair.sessions");
+
+  // Snapshot the live hosts.  The caller holds failover_mutex_ and the
+  // cluster is flushed; Kill/Restart/Migrate must not run concurrently
+  // (the same single-driver contract Migrate already has).
+  std::vector<ShardHost*> hosts(slots_.size(), nullptr);
+  for (std::size_t index = 0; index < slots_.size(); ++index) {
+    Slot& slot = *slots_[index];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.live && slot.host != nullptr) hosts[index] = slot.host.get();
+  }
+
+  std::vector<std::size_t> order;
+  const auto effective_primary = [&](std::uint64_t object_id) {
+    table_.PreferenceOrder(object_id, order);
+    for (std::size_t index : order)
+      if (hosts[index] != nullptr) return index;
+    return kNoShard;
+  };
+  const auto proper_standby = [&](std::uint64_t object_id) {
+    table_.PreferenceOrder(object_id, order);
+    std::size_t primary = kNoShard;
+    for (std::size_t index : order) {
+      if (hosts[index] == nullptr) continue;
+      if (primary == kNoShard) {
+        primary = index;
+        continue;
+      }
+      return index;
+    }
+    return kNoShard;
+  };
+  // One session crosses stores as a filtered checkpoint: byte-exact
+  // anchors/observations/LKG, all-or-nothing on the receiving side.
+  const auto copy_session = [](serving::SessionStore& from,
+                               serving::SessionStore& to,
+                               std::uint64_t object_id) {
+    const common::Json dump = from.CheckpointJson(
+        [object_id](std::uint64_t id) { return id == object_id; });
+    return to.MergeFromJson(dump).ok();
+  };
+
+  // Pass 1: promote standby copies whose effective primary is this host.
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    if (hosts[h] == nullptr) continue;
+    for (std::uint64_t id : hosts[h]->StandbyStore().ObjectIds(nullptr)) {
+      if (effective_primary(id) != h) continue;
+      // A live primary session supersedes the standby copy (it formed
+      // from traffic after this host already became the owner).
+      if (!hosts[h]->Store().Contains(id) &&
+          copy_session(hosts[h]->StandbyStore(), hosts[h]->Store(), id))
+        promoted.Increment();
+      hosts[h]->StandbyStore().Erase(id);
+    }
+  }
+  // Pass 2: hand sessions back to their effective primary.  The donor's
+  // copy is authoritative — it kept absorbing writes while the owner was
+  // down — so the owner's (checkpoint+WAL-replayed, pre-death) copy is
+  // erased first.
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    if (hosts[h] == nullptr) continue;
+    for (std::uint64_t id : hosts[h]->Store().ObjectIds(nullptr)) {
+      const std::size_t owner = effective_primary(id);
+      if (owner == h || owner == kNoShard) continue;
+      hosts[owner]->Store().Erase(id);
+      if (copy_session(hosts[h]->Store(), hosts[owner]->Store(), id))
+        repaired.Increment();
+      hosts[h]->Store().Erase(id);
+    }
+  }
+  // Pass 3: drop standby copies sitting on the wrong host (stale after a
+  // promotion or recovery changed the live set).
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    if (hosts[h] == nullptr) continue;
+    for (std::uint64_t id : hosts[h]->StandbyStore().ObjectIds(nullptr))
+      if (proper_standby(id) != h) hosts[h]->StandbyStore().Erase(id);
+  }
+  // Pass 4: reseed missing standby copies from their primary, so the
+  // next failure is covered too.
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    if (hosts[h] == nullptr) continue;
+    for (std::uint64_t id : hosts[h]->Store().ObjectIds(nullptr)) {
+      if (effective_primary(id) != h) continue;
+      const std::size_t standby = proper_standby(id);
+      if (standby == kNoShard ||
+          hosts[standby]->StandbyStore().Contains(id))
+        continue;
+      if (copy_session(hosts[h]->Store(), hosts[standby]->StandbyStore(), id))
+        repaired.Increment();
+    }
+  }
+}
+
 void Cluster::SetLogicalTime(double now_s) {
   serving::WireControl control;
   control.op = serving::WireControlOp::kClockSet;
   control.value = now_s;
+  control.epoch = epoch_.load(std::memory_order_acquire);
   std::string frame;
   serving::AppendWireControlFrame(control, frame);
   for (const auto& slot_ptr : slots_) {
@@ -311,6 +599,7 @@ void Cluster::Flush() {
     serving::WireControl control;
     control.op = serving::WireControlOp::kFlush;
     control.token = token;
+    control.epoch = epoch_.load(std::memory_order_acquire);
     std::string frame;
     serving::AppendWireControlFrame(control, frame);
     LinkWrite verdict = LinkWrite::kClosed;
@@ -352,6 +641,23 @@ common::Result<void> Cluster::Checkpoint(std::size_t shard) {
         return table_.ShardOf(object_id) == shard;
       });
   slot.checkpoint = checkpoint.Dump();
+  if (config_.replicate)
+    slot.standby_checkpoint =
+        slot.host->StandbyStore().CheckpointJson(nullptr).Dump();
+  if (!config_.durable_dir.empty()) {
+    // Durable checkpoint + WAL reset are one logical step, taken while
+    // the shard is quiesced: the files reflect exactly the state whose
+    // WAL prefix is being discarded.
+    const std::string dir = slot.host->DurableDir();
+    NOMLOC_RETURN_IF_ERROR(
+        serving::SaveCheckpointFile(ShardCheckpointPath(dir),
+                                    slot.checkpoint).status());
+    if (config_.replicate)
+      NOMLOC_RETURN_IF_ERROR(
+          serving::SaveCheckpointFile(ShardStandbyPath(dir),
+                                      slot.standby_checkpoint).status());
+    NOMLOC_RETURN_IF_ERROR(slot.host->ResetWal().status());
+  }
   Metric("cluster.checkpoints").Increment();
   return {};
 }
@@ -373,8 +679,16 @@ common::Result<void> Cluster::Migrate(std::size_t shard) {
   return {};
 }
 
-void Cluster::Kill(std::size_t shard) {
+void Cluster::Kill(std::size_t shard, bool unclean) {
   if (shard >= slots_.size()) return;
+  if (unclean) {
+    // Crash semantics: the host abandons decoded-but-unapplied bytes
+    // instead of draining them — DetachHost below then joins a reader
+    // that died mid-stream, exactly like a SIGKILLed process.
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.host) slot.host->Abort();
+  }
   DetachHost(shard);
   Metric("cluster.kills").Increment();
 }
@@ -396,6 +710,37 @@ common::Result<void> Cluster::Restart(std::size_t shard, bool restore) {
   NOMLOC_RETURN_IF_ERROR(AttachHost(shard, restore ? &dump : nullptr)
                              .status());
   Metric("cluster.restarts").Increment();
+  return {};
+}
+
+common::Result<void> Cluster::Recover(std::size_t shard) {
+  if (shard >= slots_.size())
+    return common::InvalidArgument("no such shard");
+  {
+    Slot& slot = *slots_[shard];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.live) return common::FailedPrecondition("shard is still live");
+  }
+  // The fresh host self-restores from its checkpoint files + WAL replay
+  // when the cluster is durable (ShardHost::Recover).
+  NOMLOC_RETURN_IF_ERROR(AttachHost(shard, nullptr).status());
+  {
+    std::lock_guard<std::mutex> failover_lock(failover_mutex_);
+    {
+      Slot& slot = *slots_[shard];
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      // A recovered shard serves immediately; re-admission must not wait
+      // out a breaker backoff the failure already paid for.
+      slot.breaker = serving::CircuitBreaker(config_.shard_breaker);
+    }
+    Flush();
+    const std::uint64_t epoch =
+        epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    table_.SetEpoch(epoch);
+    BroadcastEpoch(epoch);
+    if (config_.replicate) AntiEntropyRepair();
+  }
+  Metric("cluster.recoveries").Increment();
   return {};
 }
 
@@ -425,6 +770,13 @@ serving::SessionStore* Cluster::StoreOf(std::size_t shard) {
   Slot& slot = *slots_[shard];
   std::lock_guard<std::mutex> lock(slot.mutex);
   return slot.host ? &slot.host->Store() : nullptr;
+}
+
+serving::SessionStore* Cluster::StandbyStoreOf(std::size_t shard) {
+  if (shard >= slots_.size()) return nullptr;
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  return slot.host ? &slot.host->StandbyStore() : nullptr;
 }
 
 void Cluster::Shutdown() {

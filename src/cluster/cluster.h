@@ -35,10 +35,25 @@
 // it is replaced, which is why a migrated cluster stays bit-identical to
 // an unsharded golden run.
 //
+// Replication (ClusterConfig::replicate): every accepted observation is
+// dual-written as a replicate frame to the object's standby shard — the
+// first live slot in its preference order after the one that took the
+// primary write — where it lands in a warm-standby SessionStore.  When a
+// primary dies, the first packet that finds it dead triggers automatic
+// failover: a flush fence, a placement-epoch bump (broadcast in-band as
+// kEpochSet; older-stamped replicate frames become typed
+// kRejectedStaleEpoch — the split-brain fence), and an anti-entropy
+// repair that promotes the dead shard's standby copies into their new
+// primaries.  Recover() reverses it: the shard comes back (from its WAL
+// + checkpoint files when durable_dir is set), promoted sessions are
+// handed back, and standby copies are re-seeded.  See DESIGN.md
+// "Replication & failover".
+//
 // All cluster metrics are namespaced `cluster.*`; AllMetricNames() is the
 // canonical list (tested against --metrics output).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -73,6 +88,31 @@ struct ClusterConfig {
   /// when the driver steers time via SetLogicalTime (chaos clock jumps).
   bool clock_from_packets = true;
   std::uint64_t placement_seed = kDefaultPlacementSeed;
+  /// Dual-write every accepted observation to the object's standby shard
+  /// (the first live slot in its preference order after the one that took
+  /// the primary write), and promote standbys automatically when a
+  /// primary dies (see "Replication & failover" in DESIGN.md).  Requires
+  /// >= 2 shards.
+  bool replicate = false;
+  /// Durable state root (empty = in-memory cluster).  Each shard gets
+  /// `<durable_dir>/shard-N` holding its WAL segments + checkpoint files;
+  /// Recover() brings a killed shard back from them.
+  std::string durable_dir;
+  std::size_t wal_segment_bytes = 1 << 20;
+  bool wal_fsync = true;
+  /// Router-side reconnect/retry policy: a transport write that reports
+  /// backpressure is retried up to this many times with exponential
+  /// backoff + deterministic jitter before the typed kRejectedQueueFull
+  /// is surfaced (0 = reject immediately, the pre-replication behavior).
+  /// An exhausted budget also feeds the shard's breaker, so persistent
+  /// pressure trips it and re-admission flows through the half-open
+  /// probe.  True re-dialing does not exist for in-process link pairs —
+  /// Restart()/Recover() is the reconnect; the budget covers the
+  /// transient window.
+  std::size_t write_retry_budget = 0;
+  double write_retry_base_ms = 1.0;
+  double write_retry_max_ms = 50.0;
+  std::uint64_t write_retry_jitter_seed = 0x2545f4914f6cdd1dull;
 
   common::Result<void> Validate() const;
 };
@@ -122,14 +162,27 @@ class Cluster {
   common::Result<void> Migrate(std::size_t shard);
 
   /// Chaos: abrupt shard death.  The host and both link ends die; later
-  /// writes fail and trip the shard's breaker.
-  void Kill(std::size_t shard);
+  /// writes fail and trip the shard's breaker.  `unclean` is the crash
+  /// end of the spectrum: the host aborts mid-stream (decoded-but-
+  /// unapplied bytes die with it) instead of draining — state then comes
+  /// back only through Recover()'s WAL replay, never a graceful drain.
+  void Kill(std::size_t shard, bool unclean = false);
 
   /// Brings a killed shard back on a fresh host + link.  With `restore`,
   /// the last Checkpoint()/Migrate() dump is loaded first (sessions since
   /// that dump are lost — they age out via TTL).  The shard's breaker is
   /// kept: the router re-admits it through the half-open probe path.
   common::Result<void> Restart(std::size_t shard, bool restore);
+
+  /// Full recovery of a killed shard: reattach a host (which, with a
+  /// durable_dir, self-restores from its checkpoint files + WAL replay),
+  /// bump the placement epoch, and run anti-entropy repair — promoted
+  /// sessions are handed back to the recovered owner (its replayed copy
+  /// is superseded by the promoted one, which kept absorbing writes
+  /// while it was down) and every session's standby copy is re-seeded on
+  /// the proper host.  The shard's breaker is reset: after Recover() the
+  /// cluster serves exactly as if the failure never happened.
+  common::Result<void> Recover(std::size_t shard);
 
   /// Chaos: stall `shard`'s ingest direction (bytes queue up to the
   /// loopback capacity, then writes see backpressure).  Returns false on
@@ -140,8 +193,16 @@ class Cluster {
   std::size_t ShardOf(std::uint64_t object_id) const noexcept;
   bool ShardLive(std::size_t shard) const;
   const PlacementTable& Placement() const noexcept { return table_; }
+  /// The current placement epoch (bumped by failover and recovery;
+  /// stamped into every control and replicate frame).
+  std::uint64_t PlacementEpoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
   /// Test/tool introspection; null while the shard is killed.
   serving::SessionStore* StoreOf(std::size_t shard);
+  /// The shard's warm-standby store (replica copies of other shards'
+  /// sessions); null while the shard is killed.
+  serving::SessionStore* StandbyStoreOf(std::size_t shard);
 
   /// Closes every link and joins every thread.  Idempotent; Ingest
   /// afterwards returns kRejectedShutdown.
@@ -159,6 +220,23 @@ class Cluster {
   void ReaderLoop(std::size_t shard);
   /// Write under the slot mutex, stream header included on first use.
   LinkWrite WriteToSlot(Slot& slot, std::string_view bytes);
+  /// `<durable_dir>/shard-N` (empty when the cluster is in-memory).
+  std::string ShardDurableDir(std::size_t shard) const;
+  /// Dual-writes one accepted observation to the object's standby shard
+  /// (first live preference-order slot != `delivered`).
+  void ReplicateWrite(const serving::IngestPacket& packet,
+                      std::size_t delivered);
+  /// Promotes the dead shard's standbys exactly once (flush fence, epoch
+  /// bump + broadcast, anti-entropy repair).  Races resolve to a single
+  /// promotion via the slot's failed_over latch.
+  void MaybeFailover(std::size_t shard);
+  /// In-band kEpochSet to every live shard.
+  void BroadcastEpoch(std::uint64_t epoch);
+  /// Global 4-pass convergence sweep (caller holds failover_mutex_ and
+  /// has flushed): promote owed standbys, hand sessions back to their
+  /// effective primary, drop misplaced standby copies, reseed missing
+  /// ones.  Shared by failover promotion and Recover().
+  void AntiEntropyRepair();
 
   const core::NomLocEngine& engine_;
   ClusterConfig config_;
@@ -169,6 +247,13 @@ class Cluster {
   std::vector<std::unique_ptr<Slot>> slots_;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> flush_token_{0};
+  /// Authoritative placement epoch (mirrored into table_ under
+  /// failover_mutex_).
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Serializes failover promotion, recovery, and anti-entropy repair.
+  std::mutex failover_mutex_;
+  /// Deterministic stream for retry-backoff jitter.
+  std::atomic<std::uint64_t> retry_jitter_state_{0};
 
   std::mutex ack_mutex_;
   std::condition_variable ack_cv_;

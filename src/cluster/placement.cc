@@ -30,7 +30,14 @@ common::Result<PlacementTable> PlacementTable::Create(std::size_t shards,
   // winners.
   for (std::size_t slot = 0; slot < shards; ++slot)
     salts.push_back(Mix64(seed ^ Mix64(std::uint64_t(slot) + 1)));
-  return PlacementTable(std::move(salts));
+  return PlacementTable(std::move(salts), seed);
+}
+
+common::Result<PlacementTable> PlacementTable::Grown() const {
+  NOMLOC_ASSIGN_OR_RETURN(PlacementTable grown,
+                          Create(salts_.size() + 1, seed_));
+  grown.epoch_ = epoch_ + 1;
+  return grown;
 }
 
 std::uint64_t PlacementTable::Weight(std::size_t slot,

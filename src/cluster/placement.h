@@ -37,11 +37,25 @@ inline constexpr std::uint64_t kDefaultPlacementSeed = 0x9e3779b97f4a7c15ull;
 
 class PlacementTable {
  public:
-  /// `shards` must be >= 1.
+  /// `shards` must be >= 1.  A fresh table starts at epoch 0.
   static common::Result<PlacementTable> Create(
       std::size_t shards, std::uint64_t seed = kDefaultPlacementSeed);
 
   std::size_t ShardCount() const noexcept { return salts_.size(); }
+
+  /// Placement version.  Routers stamp it into replicate and control
+  /// frames; a host that has adopted a newer epoch rejects older-stamped
+  /// frames as kRejectedStaleEpoch (`cluster.placement.stale_epoch`).
+  /// Bumped by failover promotion, recovery, and resharding.
+  std::uint64_t Epoch() const noexcept { return epoch_; }
+  void SetEpoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+  std::uint64_t BumpEpoch() noexcept { return ++epoch_; }
+
+  /// The N+1-slot table of the online-resharding path: same seed, so
+  /// slots 0..N-1 keep their salts (minimal remap — only the new slot's
+  /// rendezvous winners move), and the epoch is bumped so frames stamped
+  /// with the old table are typed stale rejections, never a split brain.
+  common::Result<PlacementTable> Grown() const;
 
   /// The slot that owns `object_id` (the rendezvous winner).
   std::size_t ShardOf(std::uint64_t object_id) const noexcept;
@@ -56,10 +70,12 @@ class PlacementTable {
                        std::uint64_t object_id) const noexcept;
 
  private:
-  explicit PlacementTable(std::vector<std::uint64_t> salts)
-      : salts_(std::move(salts)) {}
+  PlacementTable(std::vector<std::uint64_t> salts, std::uint64_t seed)
+      : salts_(std::move(salts)), seed_(seed) {}
 
   std::vector<std::uint64_t> salts_;  ///< One keyed salt per slot.
+  std::uint64_t seed_ = kDefaultPlacementSeed;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace nomloc::cluster

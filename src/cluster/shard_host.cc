@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <string_view>
+#include <vector>
 
 #include "common/metrics.h"
-#include "serving/wire.h"
 
 namespace nomloc::cluster {
 
@@ -14,6 +14,12 @@ namespace {
 common::MetricCounter& HostRejected() {
   static auto& counter =
       common::MetricRegistry::Global().Counter("cluster.host.rejected");
+  return counter;
+}
+
+common::MetricCounter& StaleEpoch() {
+  static auto& counter = common::MetricRegistry::Global().Counter(
+      "cluster.placement.stale_epoch");
   return counter;
 }
 
@@ -32,26 +38,45 @@ serving::WireResponse ToWire(const serving::ServeResponse& response) {
   return wire;
 }
 
+/// Loads one checkpoint file into `store` (Restore semantics).  A missing
+/// file is simply an empty state, not an error.
+common::Result<void> RestoreCheckpointFile(const std::string& path,
+                                           serving::SessionStore& store) {
+  auto payload = serving::LoadCheckpointFile(path);
+  if (!payload.ok()) {
+    if (payload.status().code() == common::StatusCode::kNotFound) return {};
+    return payload.status();
+  }
+  NOMLOC_ASSIGN_OR_RETURN(common::Json checkpoint,
+                          common::Json::Parse(payload.value()));
+  NOMLOC_RETURN_IF_ERROR(store.RestoreFromJson(checkpoint).status());
+  return {};
+}
+
 }  // namespace
 
 common::Result<std::unique_ptr<ShardHost>> ShardHost::Create(
     const core::NomLocEngine& engine, serving::ServingConfig serving_config,
-    std::unique_ptr<Link> link, bool clock_from_packets) {
+    std::unique_ptr<Link> link, ShardHostOptions options) {
   if (link == nullptr)
     return common::InvalidArgument("shard host needs a transport link");
   auto host = std::unique_ptr<ShardHost>(
-      new ShardHost(engine, std::move(link), clock_from_packets));
+      new ShardHost(engine, std::move(link), std::move(options)));
+  host->standby_ =
+      std::make_unique<serving::SessionStore>(serving_config.store);
   NOMLOC_ASSIGN_OR_RETURN(
       host->localizer_,
       serving::StreamingLocalizer::Create(engine, std::move(serving_config),
                                           &host->clock_));
+  NOMLOC_RETURN_IF_ERROR(host->Recover().status());
   host->reader_ = std::thread([raw = host.get()] { raw->ReaderLoop(); });
   return host;
 }
 
 ShardHost::ShardHost(const core::NomLocEngine& /*engine*/,
-                     std::unique_ptr<Link> link, bool clock_from_packets)
-    : link_(std::move(link)), clock_from_packets_(clock_from_packets) {}
+                     std::unique_ptr<Link> link, ShardHostOptions options)
+    : link_(std::move(link)), options_(std::move(options)),
+      epoch_(options_.placement_epoch) {}
 
 ShardHost::~ShardHost() { Stop(); }
 
@@ -63,6 +88,76 @@ void ShardHost::Stop() {
   link_->Close();
   if (reader_.joinable()) reader_.join();
   if (localizer_) localizer_->Shutdown();  // Null if Create failed early.
+}
+
+void ShardHost::Abort() {
+  // The reader checks this flag before applying each decoded batch, so
+  // bytes the transport already delivered die unapplied — the in-process
+  // equivalent of SIGKILL mid-stream.  Stop() still joins and shuts the
+  // localizer down afterwards; recovery happens in the next Create().
+  aborted_.store(true, std::memory_order_release);
+  link_->Close();
+}
+
+common::Result<void> ShardHost::Recover() {
+  if (options_.durable_dir.empty()) return {};
+  NOMLOC_RETURN_IF_ERROR(
+      RestoreCheckpointFile(ShardCheckpointPath(options_.durable_dir),
+                            localizer_->Store()).status());
+  NOMLOC_RETURN_IF_ERROR(
+      RestoreCheckpointFile(ShardStandbyPath(options_.durable_dir), *standby_)
+          .status());
+  serving::WalConfig wal_config;
+  wal_config.directory = options_.durable_dir;
+  wal_config.segment_bytes = options_.wal_segment_bytes;
+  wal_config.fsync = options_.wal_fsync;
+  NOMLOC_ASSIGN_OR_RETURN(
+      serving::WalOpenResult opened,
+      serving::WriteAheadLog::Open(
+          wal_config,
+          serving::WireDecoderAccept{.packets = true, .responses = false,
+                                     .controls = true, .replicates = true,
+                                     .ordered = true}));
+  for (const serving::WireEvent& event : opened.events)
+    ApplyEvent(event, nullptr);
+  if (!opened.events.empty()) {
+    // Replayed queries re-solve; their responses were already delivered
+    // before the crash (or die with it) — either way they must not leak
+    // into the post-recovery response stream.
+    localizer_->Flush();
+    localizer_->TakeResponses();
+  }
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  wal_ = std::move(opened.wal);
+  return {};
+}
+
+common::Result<void> ShardHost::ResetWal() {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (wal_ == nullptr) return {};
+  return wal_->Reset();
+}
+
+serving::AdmitStatus ShardHost::ApplyReplicate(
+    const serving::WireReplicate& replicate) {
+  if (replicate.epoch < epoch_.load(std::memory_order_acquire)) {
+    StaleEpoch().Increment();
+    return serving::AdmitStatus::kRejectedStaleEpoch;
+  }
+  const serving::IngestPacket& packet = replicate.packet;
+  // Mirror of the worker's observation apply (service.cc Serve): in
+  // cluster mode the stream is globally timestamp-sorted, so the packet
+  // timestamp IS the logical now the primary applied it at.
+  const double now_s = packet.timestamp_s;
+  if (now_s > packet.deadline_s) return serving::AdmitStatus::kAccepted;
+  serving::PdpObservation obs;
+  obs.pdp = packet.pdp;
+  obs.weight = packet.weight;
+  obs.timestamp_s = packet.timestamp_s;
+  standby_->Upsert(packet.object_id,
+                   serving::AnchorKey{packet.ap_id, packet.site_index},
+                   packet.reported_position, packet.is_nomadic, obs, now_s);
+  return serving::AdmitStatus::kAccepted;
 }
 
 void ShardHost::WriteOut(std::string& outbound) {
@@ -112,45 +207,101 @@ void ShardHost::HandleFlush(std::uint64_t token, std::string& outbound) {
   WriteOut(outbound);
 }
 
+void ShardHost::ApplyEvent(const serving::WireEvent& event,
+                           std::string* outbound) {
+  switch (event.kind) {
+    case serving::kWireObservationFrame:
+    case serving::kWireQueryFrame: {
+      if (options_.clock_from_packets)
+        clock_.Set(std::max(clock_.NowSeconds(), event.packet.timestamp_s));
+      const serving::AdmitStatus admit = localizer_->Ingest(event.packet);
+      if (admit != serving::AdmitStatus::kAccepted &&
+          admit != serving::AdmitStatus::kDroppedByFault)
+        HostRejected().Increment();
+      break;
+    }
+    case serving::kWireReplicateFrame:
+      // Deliberately no clock advance: the standby applies at the packet
+      // timestamp, and the host clock should track only its *own*
+      // shard's stream, exactly as in an unreplicated cluster.
+      ApplyReplicate(event.replicate);
+      break;
+    case serving::kWireControlFrame:
+      switch (event.control.op) {
+        case serving::WireControlOp::kClockSet:
+          clock_.Set(event.control.value);
+          break;
+        case serving::WireControlOp::kEpochSet: {
+          // Monotone adoption; an old epoch on the wire never rolls the
+          // fence back.
+          const std::uint64_t current =
+              epoch_.load(std::memory_order_acquire);
+          if (event.control.epoch > current)
+            epoch_.store(event.control.epoch, std::memory_order_release);
+          break;
+        }
+        case serving::WireControlOp::kFlush:
+          if (outbound != nullptr) HandleFlush(event.control.token, *outbound);
+          break;
+        case serving::WireControlOp::kFlushAck:
+          break;  // Router-direction verb; ignore.
+      }
+      break;
+    default:
+      break;  // Response frames are rejected by the decoder already.
+  }
+}
+
+void ShardHost::EncodeForWal(const serving::WireEvent& event,
+                             std::string& out) {
+  switch (event.kind) {
+    case serving::kWireObservationFrame:
+    case serving::kWireQueryFrame:
+      serving::AppendWireFrame(event.packet, out);
+      break;
+    case serving::kWireReplicateFrame:
+      serving::AppendWireReplicateFrame(event.replicate, out);
+      break;
+    case serving::kWireControlFrame:
+      // kFlush/kFlushAck are barriers, not state: replaying a flush would
+      // emit responses nobody is listening for.
+      if (event.control.op == serving::WireControlOp::kClockSet ||
+          event.control.op == serving::WireControlOp::kEpochSet)
+        serving::AppendWireControlFrame(event.control, out);
+      break;
+    default:
+      break;
+  }
+}
+
 void ShardHost::ReaderLoop() {
   serving::WireDecoder decoder(serving::WireDecoderAccept{
-      .packets = true, .responses = false, .controls = true, .ordered = true});
+      .packets = true, .responses = false, .controls = true,
+      .replicates = true, .ordered = true});
   std::string incoming;
   std::string outbound;
+  std::string wal_batch;
   while (true) {
     incoming.clear();
     if (link_->Read(incoming) == 0) break;
+    // An aborted host dies mid-stream: bytes the transport already
+    // handed over are abandoned, decoded or not.
+    if (aborted_.load(std::memory_order_acquire)) break;
     if (!decoder.Feed(incoming).ok()) break;  // Poisoned stream: tear down.
-    for (const serving::WireEvent& event : decoder.TakeEvents()) {
-      switch (event.kind) {
-        case serving::kWireObservationFrame:
-        case serving::kWireQueryFrame: {
-          if (clock_from_packets_)
-            clock_.Set(std::max(clock_.NowSeconds(),
-                                event.packet.timestamp_s));
-          const serving::AdmitStatus admit =
-              localizer_->Ingest(event.packet);
-          if (admit != serving::AdmitStatus::kAccepted &&
-              admit != serving::AdmitStatus::kDroppedByFault)
-            HostRejected().Increment();
-          break;
-        }
-        case serving::kWireControlFrame:
-          switch (event.control.op) {
-            case serving::WireControlOp::kClockSet:
-              clock_.Set(event.control.value);
-              break;
-            case serving::WireControlOp::kFlush:
-              HandleFlush(event.control.token, outbound);
-              break;
-            case serving::WireControlOp::kFlushAck:
-              break;  // Router-direction verb; ignore.
-          }
-          break;
-        default:
-          break;  // Response frames are rejected by the decoder already.
+    const std::vector<serving::WireEvent> events = decoder.TakeEvents();
+    if (wal_ != nullptr) {
+      // Append-before-apply: every frame that can touch state hits disk
+      // before it does, so the WAL is always a superset of applied state.
+      wal_batch.clear();
+      for (const serving::WireEvent& event : events)
+        EncodeForWal(event, wal_batch);
+      if (!wal_batch.empty()) {
+        std::lock_guard<std::mutex> lock(wal_mutex_);
+        if (!wal_->Append(wal_batch).ok()) break;  // Disk gone: stop clean.
       }
     }
+    if (aborted_.load(std::memory_order_acquire)) break;
+    for (const serving::WireEvent& event : events) ApplyEvent(event, &outbound);
   }
 }
 

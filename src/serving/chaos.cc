@@ -237,6 +237,9 @@ common::Result<ChaosReport> RunChaos(const core::NomLocEngine& engine,
           ++report.admit_dropped_by_fault;
           break;
         case AdmitStatus::kRejectedShutdown: break;
+        // Cluster-router verdicts; StreamingLocalizer never issues them.
+        case AdmitStatus::kRejectedStaleEpoch: break;
+        case AdmitStatus::kRejectedShuttingDown: break;
       }
     }
     service->Flush();

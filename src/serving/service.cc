@@ -27,6 +27,9 @@ constexpr std::string_view kCounterNames[] = {
     "serving.checkpoint.restored",  "serving.solver.sessions",
     "serving.evictions.pressure",   "serving.wire.parse_failures",
     "serving.wire.bytes_in",        "serving.wire.bytes_out",
+    "serving.wal.appends",          "serving.wal.bytes",
+    "serving.wal.syncs",            "serving.wal.rotations",
+    "serving.wal.replayed_frames",  "serving.wal.torn_tails",
 };
 constexpr std::string_view kHistogramNames[] = {
     "serving.queue.depth",
@@ -52,6 +55,9 @@ constexpr std::string_view kAllNames[] = {
     "serving.checkpoint.restored",  "serving.solver.sessions",
     "serving.evictions.pressure",   "serving.wire.parse_failures",
     "serving.wire.bytes_in",        "serving.wire.bytes_out",
+    "serving.wal.appends",          "serving.wal.bytes",
+    "serving.wal.syncs",            "serving.wal.rotations",
+    "serving.wal.replayed_frames",  "serving.wal.torn_tails",
     "serving.queue.depth",
     "serving.shard.occupancy",      "serving.shard.bytes",
     "serving.queue.wait",
@@ -90,6 +96,8 @@ std::string_view AdmitStatusName(AdmitStatus status) noexcept {
     case AdmitStatus::kRejectedShutdown: return "REJECTED_SHUTDOWN";
     case AdmitStatus::kRejectedCorrupt: return "REJECTED_CORRUPT";
     case AdmitStatus::kRejectedBreakerOpen: return "REJECTED_BREAKER_OPEN";
+    case AdmitStatus::kRejectedStaleEpoch: return "REJECTED_STALE_EPOCH";
+    case AdmitStatus::kRejectedShuttingDown: return "REJECTED_SHUTTING_DOWN";
   }
   return "UNKNOWN";
 }

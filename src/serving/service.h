@@ -87,6 +87,13 @@ enum class AdmitStatus {
   kRejectedShutdown,   ///< Service is shutting down.
   kRejectedCorrupt,    ///< Observation carried NaN/Inf or non-positive PDP.
   kRejectedBreakerOpen,///< The AP's circuit breaker is open.
+  /// Cluster: the frame's placement epoch predates the host's — a lagging
+  /// router lost a failover race and must refresh its table.
+  kRejectedStaleEpoch,
+  /// Cluster: a transport write failed because the router (or the slot it
+  /// targeted) is shutting down — not a transient fault, do not retry and
+  /// do not count it toward a breaker trip.
+  kRejectedShuttingDown,
 };
 
 std::string_view AdmitStatusName(AdmitStatus status) noexcept;

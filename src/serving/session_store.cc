@@ -114,9 +114,42 @@ bool SessionStore::Upsert(std::uint64_t object_id, AnchorKey key,
     prev = cur;
     cur = a.next;
   }
+  bool matched = cur != common::kSlabNil && shard.anchors[cur].ap_id == ap_id &&
+                 shard.anchors[cur].site == site;
+  // Decide reuse-vs-create from the key's own expiry, not from whether a
+  // query-time prune happened to run first: keys_ever must be a pure
+  // function of the observation stream's timestamps, because a
+  // replication standby never serves queries yet has to agree with its
+  // primary on the `degraded` flag after a promotion.  The check is one
+  // comparison against newest_ts; the chain walk only happens when the
+  // whole key expired, and each observation is freed at most once, so
+  // the ingest hot path stays amortized O(1).  Partially expired
+  // observations age out at the next snapshot or sweep, as before.
+  if (matched &&
+      now_s - shard.anchors[cur].newest_ts > config_.anchor_ttl_s) {
+    AnchorRec& a = shard.anchors[cur];
+    std::size_t evicted = 0;
+    std::uint32_t obs_index = a.obs_head;
+    while (obs_index != common::kSlabNil) {
+      const std::uint32_t next = shard.observations[obs_index].next;
+      shard.observations.Free(obs_index);
+      ++evicted;
+      obs_index = next;
+    }
+    common::MetricRegistry::Global()
+        .Counter("serving.observations.evicted")
+        .Increment(evicted);
+    const std::uint32_t next_anchor = a.next;
+    if (prev == common::kSlabNil)
+      session.anchor_head = next_anchor;
+    else
+      shard.anchors[prev].next = next_anchor;
+    shard.anchors.Free(cur);
+    cur = next_anchor;
+    matched = false;  // fully expired: the upsert re-creates the key
+  }
   std::uint32_t anchor_index;
-  if (cur != common::kSlabNil && shard.anchors[cur].ap_id == ap_id &&
-      shard.anchors[cur].site == site) {
+  if (matched) {
     anchor_index = cur;
   } else {
     anchor_index = shard.anchors.Alloc();
@@ -146,6 +179,7 @@ bool SessionStore::Upsert(std::uint64_t object_id, AnchorKey key,
   else
     shard.observations[anchor.obs_tail].next = obs_index;
   anchor.obs_tail = obs_index;
+  anchor.newest_ts = std::max(anchor.newest_ts, obs.timestamp_s);
 
   if (created)
     common::MetricRegistry::Global()
@@ -382,6 +416,39 @@ std::size_t SessionStore::SweepAll(double now_s) {
   for (std::size_t i = 0; i < shards_.size(); ++i)
     evicted += SweepShard(i, now_s);
   return evicted;
+}
+
+bool SessionStore::Contains(std::uint64_t object_id) const {
+  const Shard& shard = *shards_[ShardOf(object_id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.Find(object_id) != nullptr;
+}
+
+bool SessionStore::Erase(std::uint64_t object_id) {
+  Shard& shard = *shards_[ShardOf(object_id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::uint32_t* slot = shard.index.Find(object_id);
+  if (slot == nullptr) return false;
+  const std::uint32_t session_slot = *slot;
+  SessionRec& session = shard.sessions[session_slot];
+  shard.index.Erase(object_id);
+  FreeSessionRecords(shard, session);
+  shard.sessions.Free(session_slot);
+  return true;
+}
+
+std::vector<std::uint64_t> SessionStore::ObjectIds(
+    const std::function<bool(std::uint64_t)>& pred) const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.index.ForEach([&](std::uint64_t object_id, const std::uint32_t&) {
+      if (!pred || pred(object_id)) ids.push_back(object_id);
+    });
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 std::size_t SessionStore::SessionCount() const {
@@ -699,6 +766,7 @@ common::Result<std::size_t> SessionStore::RestoreImpl(const common::Json& json,
         else
           shard.observations[a.obs_tail].next = obs_index;
         a.obs_tail = obs_index;
+        a.newest_ts = std::max(a.newest_ts, obs.timestamp_s);
       }
       if (prev_anchor == common::kSlabNil)
         anchor_head = anchor_index;

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -160,6 +161,19 @@ class SessionStore {
 
   std::size_t SessionCount() const;
 
+  /// Whether the object currently has a live session.
+  bool Contains(std::uint64_t object_id) const;
+
+  /// Removes the object's session and everything it links (anchors,
+  /// observations, solver state).  Returns true when a session existed.
+  /// This is the cluster's anti-entropy primitive: a promoted or repaired
+  /// copy supersedes the local one, which is erased before the merge.
+  bool Erase(std::uint64_t object_id);
+
+  /// Sorted ids of every live session satisfying `pred` (null = all).
+  std::vector<std::uint64_t> ObjectIds(
+      const std::function<bool(std::uint64_t)>& pred) const;
+
   /// Live/resident footprint aggregated over all shards.
   MemoryStats Memory() const;
 
@@ -231,6 +245,12 @@ class SessionStore {
     std::uint32_t next = common::kSlabNil;
     std::uint32_t obs_head = common::kSlabNil;
     std::uint32_t obs_tail = common::kSlabNil;
+    /// Max timestamp ever appended.  For a live anchor this equals the
+    /// newest surviving observation (expiry can only strip the max after
+    /// everything older has expired too, which frees the whole anchor),
+    /// so "is this key fully expired?" is one comparison, not a chain
+    /// walk — Upsert's reuse-vs-create decision stays O(1).
+    double newest_ts = std::numeric_limits<double>::lowest();
     bool is_nomadic = false;
   };
   struct SessionRec {

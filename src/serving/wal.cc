@@ -1,0 +1,362 @@
+#include "serving/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace nomloc::serving {
+
+namespace {
+
+common::MetricCounter& WalMetric(std::string_view name) {
+  return common::MetricRegistry::Global().Counter(name);
+}
+
+std::string ErrnoMessage(std::string_view what, const std::string& path) {
+  return std::string(what) + " '" + path + "': " + std::strerror(errno);
+}
+
+/// mkdir -p: creates every missing component of `dir`.
+common::Result<void> MakeDirectories(const std::string& dir) {
+  if (dir.empty())
+    return common::InvalidArgument("wal directory must not be empty");
+  std::string prefix;
+  std::size_t start = 0;
+  while (start <= dir.size()) {
+    std::size_t end = dir.find('/', start);
+    if (end == std::string::npos) end = dir.size();
+    prefix.assign(dir, 0, end);
+    start = end + 1;
+    if (prefix.empty()) continue;  // Leading '/' of an absolute path.
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return common::FailedPrecondition(ErrnoMessage("mkdir", prefix));
+  }
+  return {};
+}
+
+common::Result<std::string> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT)
+      return common::NotFound("no such file '" + path + "'");
+    return common::FailedPrecondition(ErrnoMessage("open", path));
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return common::FailedPrecondition(ErrnoMessage("read", path));
+    }
+    if (n == 0) break;
+    out.append(buffer, std::size_t(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+common::Result<void> WriteAll(int fd, std::string_view bytes,
+                              const std::string& path) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + offset, bytes.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return common::FailedPrecondition(ErrnoMessage("write", path));
+    }
+    offset += std::size_t(n);
+  }
+  return {};
+}
+
+std::string SegmentName(std::uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06" PRIu64 ".log", index);
+  return name;
+}
+
+std::string SegmentPath(const std::string& dir, std::uint64_t index) {
+  return dir + "/" + SegmentName(index);
+}
+
+/// Sorted indices of every wal-NNNNNN.log in `dir`.
+common::Result<std::vector<std::uint64_t>> ScanSegments(
+    const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr)
+    return common::FailedPrecondition(ErrnoMessage("opendir", dir));
+  std::vector<std::uint64_t> indices;
+  while (const dirent* entry = ::readdir(handle)) {
+    std::uint64_t index = 0;
+    char tail = 0;
+    if (std::sscanf(entry->d_name, "wal-%6" SCNu64 ".lo%c", &index, &tail) ==
+            2 &&
+        tail == 'g')
+      indices.push_back(index);
+  }
+  ::closedir(handle);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+common::Result<void> FsyncPath(const std::string& path, bool directory) {
+  const int fd =
+      ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) return common::FailedPrecondition(ErrnoMessage("open", path));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return common::FailedPrecondition(ErrnoMessage("fsync", path));
+  return {};
+}
+
+std::string DirnameOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+constexpr std::string_view kCheckpointMagic = "NLCKPT1";
+
+}  // namespace
+
+common::Result<void> WalConfig::Validate() const {
+  if (directory.empty())
+    return common::InvalidArgument("wal directory must not be empty");
+  if (segment_bytes < 256)
+    return common::InvalidArgument(
+        "wal segment_bytes must be >= 256 (a segment must hold at least "
+        "one record past its header)");
+  return {};
+}
+
+common::Result<WalOpenResult> WriteAheadLog::Open(WalConfig config,
+                                                  WireDecoderAccept accept) {
+  NOMLOC_RETURN_IF_ERROR(config.Validate().status());
+  NOMLOC_RETURN_IF_ERROR(MakeDirectories(config.directory).status());
+  NOMLOC_ASSIGN_OR_RETURN(std::vector<std::uint64_t> segments,
+                          ScanSegments(config.directory));
+
+  WalOpenResult result;
+  result.segments_scanned = segments.size();
+  accept.ordered = true;
+
+  std::size_t last_valid_bytes = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool last = (i + 1 == segments.size());
+    const std::string path = SegmentPath(config.directory, segments[i]);
+    NOMLOC_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    WireDecoder decoder(accept);
+    auto fed = decoder.Feed(bytes);
+    if (!fed.ok()) {
+      // A mid-stream decode failure is real damage even in the last
+      // segment: a crash tears the *tail* off (a partial final write) —
+      // it never flips bits inside records that later writes appended
+      // after.
+      return common::DataCorruption("wal segment " + path + ": " +
+                                    fed.status().message());
+    }
+    if (auto finished = decoder.Finish(); !finished.ok()) {
+      if (!last)
+        return common::DataCorruption("wal segment " + path + ": " +
+                                      finished.status().message());
+      // Torn tail: keep every complete record, drop the partial one.
+      const std::size_t valid = decoder.BytesDecoded() >= kWireHeaderBytes
+                                    ? decoder.BytesDecoded()
+                                    : 0;
+      if (::truncate(path.c_str(), off_t(valid)) != 0)
+        return common::FailedPrecondition(ErrnoMessage("truncate", path));
+      NOMLOC_RETURN_IF_ERROR(FsyncPath(path, /*directory=*/false).status());
+      result.torn_tail_truncated = true;
+      WalMetric("serving.wal.torn_tails").Increment();
+      last_valid_bytes = valid;
+    } else {
+      last_valid_bytes = decoder.BytesDecoded();
+    }
+    std::vector<WireEvent> events = decoder.TakeEvents();
+    result.frames_replayed += events.size();
+    result.events.insert(result.events.end(), events.begin(), events.end());
+  }
+  WalMetric("serving.wal.replayed_frames").Increment(result.frames_replayed);
+
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(config));
+  wal->segment_count_ = std::max<std::size_t>(segments.size(), 1);
+  // Continue the last segment unless it is already full; a truncated-to-
+  // zero tail segment is reused (OpenSegment rewrites the header).
+  std::uint64_t open_index = 1;
+  if (!segments.empty()) {
+    open_index = segments.back();
+    if (last_valid_bytes >= config.segment_bytes) {
+      ++open_index;
+      ++wal->segment_count_;
+    }
+  }
+  NOMLOC_RETURN_IF_ERROR(wal->OpenSegment(open_index).status());
+  result.wal = std::move(wal);
+  return result;
+}
+
+WriteAheadLog::~WriteAheadLog() { (void)CloseSegment(); }
+
+common::Result<void> WriteAheadLog::OpenSegment(std::uint64_t index) {
+  const std::string path = SegmentPath(config_.directory, index);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return common::FailedPrecondition(ErrnoMessage("open", path));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return common::FailedPrecondition(ErrnoMessage("fstat", path));
+  }
+  fd_ = fd;
+  segment_index_ = index;
+  segment_size_ = std::size_t(st.st_size);
+  if (segment_size_ == 0) {
+    const std::string header = WireHeader();
+    NOMLOC_RETURN_IF_ERROR(WriteAll(fd_, header, path).status());
+    segment_size_ = header.size();
+    if (config_.fsync)
+      NOMLOC_RETURN_IF_ERROR(Sync().status());
+  }
+  return {};
+}
+
+common::Result<void> WriteAheadLog::CloseSegment() {
+  if (fd_ < 0) return {};
+  const int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0)
+    return common::FailedPrecondition(
+        ErrnoMessage("close", SegmentPath(config_.directory, segment_index_)));
+  return {};
+}
+
+common::Result<void> WriteAheadLog::Append(std::string_view frames) {
+  if (frames.empty()) return {};
+  if (fd_ < 0)
+    return common::FailedPrecondition("write-ahead log is not open");
+  if (segment_size_ >= config_.segment_bytes) {
+    NOMLOC_RETURN_IF_ERROR(CloseSegment().status());
+    NOMLOC_RETURN_IF_ERROR(OpenSegment(segment_index_ + 1).status());
+    ++segment_count_;
+    WalMetric("serving.wal.rotations").Increment();
+  }
+  NOMLOC_RETURN_IF_ERROR(
+      WriteAll(fd_, frames,
+               SegmentPath(config_.directory, segment_index_)).status());
+  segment_size_ += frames.size();
+  appended_bytes_ += frames.size();
+  WalMetric("serving.wal.appends").Increment();
+  WalMetric("serving.wal.bytes").Increment(frames.size());
+  if (config_.fsync) NOMLOC_RETURN_IF_ERROR(Sync().status());
+  return {};
+}
+
+common::Result<void> WriteAheadLog::Sync() {
+  if (fd_ < 0) return {};
+  if (::fsync(fd_) != 0)
+    return common::FailedPrecondition(
+        ErrnoMessage("fsync", SegmentPath(config_.directory, segment_index_)));
+  WalMetric("serving.wal.syncs").Increment();
+  return {};
+}
+
+common::Result<void> WriteAheadLog::Reset() {
+  NOMLOC_RETURN_IF_ERROR(CloseSegment().status());
+  NOMLOC_ASSIGN_OR_RETURN(std::vector<std::uint64_t> segments,
+                          ScanSegments(config_.directory));
+  for (std::uint64_t index : segments) {
+    const std::string path = SegmentPath(config_.directory, index);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+      return common::FailedPrecondition(ErrnoMessage("unlink", path));
+  }
+  NOMLOC_RETURN_IF_ERROR(
+      FsyncPath(config_.directory, /*directory=*/true).status());
+  segment_count_ = 1;
+  return OpenSegment(1);
+}
+
+common::Result<void> AtomicWriteFile(const std::string& path,
+                                     std::string_view bytes) {
+  if (path.empty())
+    return common::InvalidArgument("file path must not be empty");
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return common::FailedPrecondition(ErrnoMessage("open", tmp));
+  if (auto written = WriteAll(fd, bytes, tmp); !written.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return written.status();
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return common::FailedPrecondition(ErrnoMessage("fsync", tmp));
+  }
+  if (::close(fd) != 0)
+    return common::FailedPrecondition(ErrnoMessage("close", tmp));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return common::FailedPrecondition(ErrnoMessage("rename", tmp));
+  }
+  // The rename is only durable once the directory entry is; without this
+  // a crash could resurrect the old file after the caller saw the new.
+  return FsyncPath(DirnameOf(path), /*directory=*/true);
+}
+
+common::Result<void> SaveCheckpointFile(const std::string& path,
+                                        std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 32);
+  out.append(kCheckpointMagic);
+  out.push_back(' ');
+  out.append(std::to_string(payload.size()));
+  out.push_back(' ');
+  out.append(std::to_string(WireFnv1a(payload)));
+  out.push_back('\n');
+  out.append(payload);
+  return AtomicWriteFile(path, out);
+}
+
+common::Result<std::string> LoadCheckpointFile(const std::string& path) {
+  NOMLOC_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+  const std::size_t newline = bytes.find('\n');
+  if (newline == std::string::npos)
+    return common::DataCorruption("checkpoint file '" + path +
+                                  "' has no header line");
+  const std::string header = bytes.substr(0, newline);
+  std::uint64_t declared = 0;
+  std::uint32_t checksum = 0;
+  char tail = 0;
+  if (std::sscanf(header.c_str(), "NLCKPT1 %" SCNu64 " %" SCNu32 "%c",
+                  &declared, &checksum, &tail) != 2)
+    return common::DataCorruption("checkpoint file '" + path +
+                                  "' has a malformed header");
+  const std::string_view payload =
+      std::string_view(bytes).substr(newline + 1);
+  if (payload.size() < declared)
+    return common::DataCorruption(
+        "checkpoint file '" + path + "' is truncated (" +
+        std::to_string(payload.size()) + " of " + std::to_string(declared) +
+        " payload bytes)");
+  if (payload.size() > declared)
+    return common::DataCorruption("checkpoint file '" + path +
+                                  "' has trailing bytes");
+  if (WireFnv1a(payload) != checksum)
+    return common::DataCorruption("checkpoint file '" + path +
+                                  "' checksum mismatch");
+  return std::string(payload);
+}
+
+}  // namespace nomloc::serving

@@ -1,0 +1,131 @@
+// Durable write-ahead log of NLW wire frames, plus atomic checkpoint
+// files — the crash-recovery layer under a cluster shard host.
+//
+// A WAL is a directory of append-only segments (`wal-000001.log`, ...).
+// Each segment starts with the 4-byte NLW stream header and then carries
+// ordinary wire frames: every record is self-checksummed (32-bit FNV-1a,
+// the same guard the transport uses), so the on-disk format IS the wire
+// format and replay is just the incremental WireDecoder pointed at a
+// file.  The host appends each decoded batch *before* applying it
+// (append-before-apply), fsyncs when configured, and rotates to a new
+// segment once the current one reaches `segment_bytes`.
+//
+// Recovery invariants (tested in serving_wal_test):
+//
+//   * A torn tail — a partial final record in the LAST segment, the
+//     footprint of a crash mid-append — is physically truncated away on
+//     open (`serving.wal.torn_tails`); every complete record before it
+//     replays.
+//   * Any other damage (checksum mismatch, unknown kind, torn frame in a
+//     non-final segment) is typed kDataCorruption: the log refuses to
+//     open rather than replay a hole.
+//   * Replay order is exact stream order across segments, so a host that
+//     replays its WAL reaches the same SessionStore state it had when the
+//     last appended record was applied.
+//
+// Checkpoint files (`SaveCheckpointFile`/`LoadCheckpointFile`) wrap a
+// payload in a length + FNV-1a header and are written via temp file +
+// rename + fsync (`AtomicWriteFile`), so a crash mid-checkpoint leaves
+// either the old complete file or the new complete file — never bytes a
+// restore could half-apply.  A truncated or bit-flipped checkpoint loads
+// as kDataCorruption, not as a partial restore.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/wire.h"
+
+namespace nomloc::serving {
+
+struct WalConfig {
+  /// Segment directory (created, with parents' leaf only, on open).
+  std::string directory;
+  /// Rotate once the current segment reaches this many bytes.
+  std::size_t segment_bytes = 1 << 20;
+  /// fsync after every Append (the durability contract; turn off only in
+  /// benchmarks that measure the append path itself).
+  bool fsync = true;
+
+  common::Result<void> Validate() const;
+};
+
+class WriteAheadLog;
+
+/// What Open() recovered from the directory before making it appendable.
+struct WalOpenResult {
+  std::unique_ptr<WriteAheadLog> wal;
+  /// Every replayed frame, in exact stream order across segments.
+  std::vector<WireEvent> events;
+  std::size_t segments_scanned = 0;
+  std::size_t frames_replayed = 0;
+  bool torn_tail_truncated = false;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens the log: creates the directory if needed, replays existing
+  /// segments in order through an ordered WireDecoder accepting `accept`,
+  /// truncates a torn tail in the last segment, and leaves the log open
+  /// for Append.  Fails with kDataCorruption on damage anywhere else.
+  static common::Result<WalOpenResult> Open(WalConfig config,
+                                            WireDecoderAccept accept);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends already-encoded NLW frames (no stream header — the segment
+  /// provides it).  Rotates first when the current segment is full, and
+  /// fsyncs after the write when the config says so.
+  common::Result<void> Append(std::string_view frames);
+
+  /// Forces the current segment to disk (no-op if Append already syncs).
+  common::Result<void> Sync();
+
+  /// Deletes every segment and starts segment numbering fresh — the
+  /// compaction step after the state it reflects was checkpointed.
+  common::Result<void> Reset();
+
+  std::size_t SegmentCount() const noexcept { return segment_count_; }
+  std::uint64_t AppendedBytes() const noexcept { return appended_bytes_; }
+  const std::string& Directory() const noexcept { return config_.directory; }
+
+ private:
+  explicit WriteAheadLog(WalConfig config) : config_(std::move(config)) {}
+
+  /// Opens segment `index` for appending, writing the stream header when
+  /// the file is empty/new.
+  common::Result<void> OpenSegment(std::uint64_t index);
+  common::Result<void> CloseSegment();
+
+  WalConfig config_;
+  int fd_ = -1;
+  std::uint64_t segment_index_ = 0;
+  std::size_t segment_size_ = 0;
+  std::size_t segment_count_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+};
+
+/// Atomically replaces `path` with `bytes`: temp file in the same
+/// directory, fsync, rename over, fsync the directory.  Readers see the
+/// old file or the new one, never a mix.
+common::Result<void> AtomicWriteFile(const std::string& path,
+                                     std::string_view bytes);
+
+/// Writes `payload` as a checkpoint file: a "NLCKPT1 <bytes> <fnv32>\n"
+/// header followed by the payload, via AtomicWriteFile.
+common::Result<void> SaveCheckpointFile(const std::string& path,
+                                        std::string_view payload);
+
+/// Loads a checkpoint file.  kNotFound when the file does not exist;
+/// kDataCorruption on a bad header, truncated payload, trailing garbage,
+/// or checksum mismatch — never a partial payload.
+common::Result<std::string> LoadCheckpointFile(const std::string& path);
+
+}  // namespace nomloc::serving

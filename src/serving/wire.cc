@@ -80,7 +80,43 @@ std::uint32_t Fnv1a(std::string_view bytes) noexcept {
   return hash;
 }
 
+/// The 65-byte observation body shared by observation and replicate
+/// frames (everything between the kind prefix and the checksum).
+void PutObservationBody(const IngestPacket& packet, std::string& out) {
+  PutU64(packet.object_id, out);
+  PutU32(std::bit_cast<std::uint32_t>(static_cast<std::int32_t>(packet.ap_id)),
+         out);
+  PutU32(static_cast<std::uint32_t>(packet.site_index), out);
+  out.push_back(static_cast<char>(packet.is_nomadic ? 0x01 : 0x00));
+  PutF64(packet.reported_position.x, out);
+  PutF64(packet.reported_position.y, out);
+  PutF64(packet.pdp, out);
+  PutF64(packet.weight, out);
+  PutF64(packet.timestamp_s, out);
+  PutF64(packet.deadline_s, out);
+}
+
+IngestPacket GetObservationBody(const char* p) noexcept {
+  IngestPacket packet;
+  packet.kind = PacketKind::kObservation;
+  packet.object_id = GetU64(p);
+  packet.ap_id = std::bit_cast<std::int32_t>(GetU32(p + 8));
+  packet.site_index = GetU32(p + 12);
+  packet.is_nomadic = (static_cast<unsigned char>(p[16]) & 0x01) != 0;
+  packet.reported_position.x = GetF64(p + 17);
+  packet.reported_position.y = GetF64(p + 25);
+  packet.pdp = GetF64(p + 33);
+  packet.weight = GetF64(p + 41);
+  packet.timestamp_s = GetF64(p + 49);
+  packet.deadline_s = GetF64(p + 57);
+  return packet;
+}
+
 }  // namespace
+
+std::uint32_t WireFnv1a(std::string_view bytes) noexcept {
+  return Fnv1a(bytes);
+}
 
 std::string_view WireFormatName(WireFormat format) noexcept {
   switch (format) {
@@ -101,18 +137,7 @@ void AppendWireFrame(const IngestPacket& packet, std::string& out) {
   const std::size_t frame_start = out.size();
   if (packet.kind == PacketKind::kObservation) {
     out.push_back(static_cast<char>(kWireObservationFrame));
-    PutU64(packet.object_id, out);
-    PutU32(std::bit_cast<std::uint32_t>(
-               static_cast<std::int32_t>(packet.ap_id)),
-           out);
-    PutU32(static_cast<std::uint32_t>(packet.site_index), out);
-    out.push_back(static_cast<char>(packet.is_nomadic ? 0x01 : 0x00));
-    PutF64(packet.reported_position.x, out);
-    PutF64(packet.reported_position.y, out);
-    PutF64(packet.pdp, out);
-    PutF64(packet.weight, out);
-    PutF64(packet.timestamp_s, out);
-    PutF64(packet.deadline_s, out);
+    PutObservationBody(packet, out);
   } else {
     out.push_back(static_cast<char>(kWireQueryFrame));
     PutU64(packet.object_id, out);
@@ -156,6 +181,18 @@ void AppendWireControlFrame(const WireControl& control, std::string& out) {
   out.push_back(static_cast<char>(control.op));
   PutU64(control.token, out);
   PutF64(control.value, out);
+  PutU64(control.epoch, out);
+  PutU32(Fnv1a(std::string_view(out).substr(frame_start)), out);
+  BytesOut().Increment(out.size() - frame_start);
+}
+
+void AppendWireReplicateFrame(const WireReplicate& replicate,
+                              std::string& out) {
+  const std::size_t frame_start = out.size();
+  out.push_back(static_cast<char>(kWireReplicateFrame));
+  PutU32(replicate.slot, out);
+  PutU64(replicate.epoch, out);
+  PutObservationBody(replicate.packet, out);
   PutU32(Fnv1a(std::string_view(out).substr(frame_start)), out);
   BytesOut().Increment(out.size() - frame_start);
 }
@@ -212,17 +249,7 @@ common::Result<std::vector<IngestPacket>> DecodeWireBinary(
     IngestPacket packet;
     const char* p = frame.data() + 1;
     if (kind == kWireObservationFrame) {
-      packet.kind = PacketKind::kObservation;
-      packet.object_id = GetU64(p);
-      packet.ap_id = std::bit_cast<std::int32_t>(GetU32(p + 8));
-      packet.site_index = GetU32(p + 12);
-      packet.is_nomadic = (static_cast<unsigned char>(p[16]) & 0x01) != 0;
-      packet.reported_position.x = GetF64(p + 17);
-      packet.reported_position.y = GetF64(p + 25);
-      packet.pdp = GetF64(p + 33);
-      packet.weight = GetF64(p + 41);
-      packet.timestamp_s = GetF64(p + 49);
-      packet.deadline_s = GetF64(p + 57);
+      packet = GetObservationBody(p);
     } else {
       packet.kind = PacketKind::kQuery;
       packet.object_id = GetU64(p);
@@ -378,6 +405,8 @@ common::Result<void> WireDecoder::Feed(std::string_view chunk) {
       frame_bytes = kWireResponseBytes;
     } else if (kind == kWireControlFrame && accept_.controls) {
       frame_bytes = kWireControlBytes;
+    } else if (kind == kWireReplicateFrame && accept_.replicates) {
+      frame_bytes = kWireReplicateBytes;
     } else {
       buffer_.erase(0, cursor);
       stream_offset_ += cursor;
@@ -396,18 +425,7 @@ common::Result<void> WireDecoder::Feed(std::string_view chunk) {
 
     const char* p = frame.data() + 1;
     if (kind == kWireObservationFrame) {
-      IngestPacket packet;
-      packet.kind = PacketKind::kObservation;
-      packet.object_id = GetU64(p);
-      packet.ap_id = std::bit_cast<std::int32_t>(GetU32(p + 8));
-      packet.site_index = GetU32(p + 12);
-      packet.is_nomadic = (static_cast<unsigned char>(p[16]) & 0x01) != 0;
-      packet.reported_position.x = GetF64(p + 17);
-      packet.reported_position.y = GetF64(p + 25);
-      packet.pdp = GetF64(p + 33);
-      packet.weight = GetF64(p + 41);
-      packet.timestamp_s = GetF64(p + 49);
-      packet.deadline_s = GetF64(p + 57);
+      const IngestPacket packet = GetObservationBody(p);
       if (accept_.ordered) {
         WireEvent event;
         event.kind = kind;
@@ -451,11 +469,12 @@ common::Result<void> WireDecoder::Feed(std::string_view chunk) {
       } else {
         responses_.push_back(response);
       }
-    } else {
+    } else if (kind == kWireControlFrame) {
       WireControl control;
       control.op = static_cast<WireControlOp>(p[0]);
       control.token = GetU64(p + 1);
       control.value = GetF64(p + 9);
+      control.epoch = GetU64(p + 17);
       if (accept_.ordered) {
         WireEvent event;
         event.kind = kind;
@@ -463,6 +482,19 @@ common::Result<void> WireDecoder::Feed(std::string_view chunk) {
         events_.push_back(event);
       } else {
         controls_.push_back(control);
+      }
+    } else {
+      WireReplicate replicate;
+      replicate.slot = GetU32(p);
+      replicate.epoch = GetU64(p + 4);
+      replicate.packet = GetObservationBody(p + 12);
+      if (accept_.ordered) {
+        WireEvent event;
+        event.kind = kind;
+        event.replicate = replicate;
+        events_.push_back(event);
+      } else {
+        replicates_.push_back(replicate);
       }
     }
     cursor += frame_bytes;
@@ -491,6 +523,10 @@ std::vector<WireResponse> WireDecoder::TakeResponses() {
 
 std::vector<WireControl> WireDecoder::TakeControls() {
   return std::exchange(controls_, {});
+}
+
+std::vector<WireReplicate> WireDecoder::TakeReplicates() {
+  return std::exchange(replicates_, {});
 }
 
 std::vector<WireEvent> WireDecoder::TakeEvents() {

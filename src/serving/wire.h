@@ -40,23 +40,31 @@
 
 namespace nomloc::serving {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2 added the placement-epoch field to control frames and the
+/// replicate frame kind (cluster replication); version 1 streams are
+/// rejected with a typed kInvalidArgument, not silently re-parsed — WAL
+/// segments persist frames to disk, so the version byte is load-bearing.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Frame kinds (first byte of every frame).  Observation/query frames are
-/// the ingest direction; response and control frames exist for the
-/// cluster transport (shard host -> router results, router <-> host flush
-/// and clock coordination) and are rejected by the ingest-only decoders.
+/// the ingest direction; response, control, and replicate frames exist
+/// for the cluster transport (shard host -> router results, router <->
+/// host flush and clock coordination, primary -> backup dual-writes) and
+/// are rejected by the ingest-only decoders.
 inline constexpr std::uint8_t kWireObservationFrame = 0x01;
 inline constexpr std::uint8_t kWireQueryFrame = 0x02;
 inline constexpr std::uint8_t kWireResponseFrame = 0x03;
 inline constexpr std::uint8_t kWireControlFrame = 0x04;
+inline constexpr std::uint8_t kWireReplicateFrame = 0x05;
 
 /// Encoded frame sizes, checksum included.
 inline constexpr std::size_t kWireHeaderBytes = 4;
 inline constexpr std::size_t kWireObservationBytes = 70;
 inline constexpr std::size_t kWireQueryBytes = 29;
 inline constexpr std::size_t kWireResponseBytes = 68;
-inline constexpr std::size_t kWireControlBytes = 22;
+inline constexpr std::size_t kWireControlBytes = 30;
+/// kind + slot u32 + epoch u64 + observation body + checksum.
+inline constexpr std::size_t kWireReplicateBytes = 82;
 
 enum class WireFormat {
   kBinary,  ///< The fixed-width frame format above (the hot path).
@@ -118,20 +126,42 @@ enum class WireControlOp : std::uint8_t {
   kFlush = 1,     ///< Router -> host: drain, reply responses + kFlushAck.
   kFlushAck = 2,  ///< Host -> router: every frame before this is answered.
   kClockSet = 3,  ///< Router -> host: set the host's logical clock to value.
+  kEpochSet = 4,  ///< Router -> host: adopt the placement epoch in `epoch`.
 };
 
 struct WireControl {
   WireControlOp op = WireControlOp::kFlush;
   std::uint64_t token = 0;  ///< Correlates kFlush with its kFlushAck.
   double value = 0.0;       ///< kClockSet's logical time; otherwise unused.
+  /// The router's placement-table epoch at send time.  Hosts adopt it on
+  /// kEpochSet; other ops carry it as provenance only.
+  std::uint64_t epoch = 0;
+};
+
+/// One dual-written observation: the backup shard applies it to its warm
+/// standby SessionStore instead of its localizer.  A frame whose epoch is
+/// older than the host's placement epoch is a typed stale-epoch rejection
+/// (`cluster.placement.stale_epoch`) — the split-brain fence: a lagging
+/// router can never write into a standby that has already been promoted.
+struct WireReplicate {
+  std::uint32_t slot = 0;   ///< The slot the primary write was delivered to.
+  std::uint64_t epoch = 0;  ///< Placement epoch the router stamped.
+  IngestPacket packet;      ///< Always PacketKind::kObservation.
 };
 
 /// The 4-byte stream header each direction of a transport starts with.
 std::string WireHeader();
 
-/// Appends one response / control frame to `out` (no stream header).
+/// The frame checksum function (32-bit FNV-1a), exposed for the WAL and
+/// checkpoint-file layers so every durable byte is guarded the same way.
+std::uint32_t WireFnv1a(std::string_view bytes) noexcept;
+
+/// Appends one response / control / replicate frame to `out` (no stream
+/// header).
 void AppendWireResponseFrame(const WireResponse& response, std::string& out);
 void AppendWireControlFrame(const WireControl& control, std::string& out);
+void AppendWireReplicateFrame(const WireReplicate& replicate,
+                              std::string& out);
 
 /// Incremental binary-stream decoder: accepts arbitrary partial byte
 /// chunks (whatever a socket read returned) and reassembles frames across
@@ -148,6 +178,7 @@ struct WireDecoderAccept {
   bool packets = true;
   bool responses = false;
   bool controls = false;
+  bool replicates = false;
   /// Deliver frames via TakeEvents() in exact stream order instead of the
   /// per-kind Take*() vectors.  Cluster channels need this: a kClockSet
   /// must be applied before the packets that followed it on the wire.
@@ -158,9 +189,10 @@ struct WireDecoderAccept {
 /// which member is meaningful.
 struct WireEvent {
   std::uint8_t kind = 0;
-  IngestPacket packet;    ///< kWireObservationFrame / kWireQueryFrame.
-  WireResponse response;  ///< kWireResponseFrame.
-  WireControl control;    ///< kWireControlFrame.
+  IngestPacket packet;      ///< kWireObservationFrame / kWireQueryFrame.
+  WireResponse response;    ///< kWireResponseFrame.
+  WireControl control;      ///< kWireControlFrame.
+  WireReplicate replicate;  ///< kWireReplicateFrame.
 };
 
 class WireDecoder {
@@ -182,6 +214,7 @@ class WireDecoder {
   std::vector<IngestPacket> TakePackets();
   std::vector<WireResponse> TakeResponses();
   std::vector<WireControl> TakeControls();
+  std::vector<WireReplicate> TakeReplicates();
   /// Ordered mode only: every decoded frame, interleaved in stream order.
   std::vector<WireEvent> TakeEvents();
 
@@ -203,6 +236,7 @@ class WireDecoder {
   std::vector<IngestPacket> packets_;
   std::vector<WireResponse> responses_;
   std::vector<WireControl> controls_;
+  std::vector<WireReplicate> replicates_;
   std::vector<WireEvent> events_;
 };
 

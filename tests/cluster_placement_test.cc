@@ -85,5 +85,46 @@ TEST(Placement, ResizeMovesOnlyTheNewShardsIds) {
   EXPECT_LT(moved, kIds / 5 + kIds / 25);
 }
 
+TEST(Placement, EpochStartsAtZeroAndBumpsMonotonically) {
+  auto table = PlacementTable::Create(4);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Epoch(), 0u);
+  EXPECT_EQ(table->BumpEpoch(), 1u);
+  EXPECT_EQ(table->BumpEpoch(), 2u);
+  EXPECT_EQ(table->Epoch(), 2u);
+  table->SetEpoch(17);
+  EXPECT_EQ(table->Epoch(), 17u);
+}
+
+TEST(Placement, GrownKeepsOldOwnersAndBumpsEpoch) {
+  // The online-resharding table: N -> N+1 under the same seed.  Old slots
+  // keep their salts, so the only ids that move are the new slot's
+  // rendezvous winners, and the epoch bump makes frames stamped with the
+  // old table typed stale rejections instead of a split brain.
+  auto table = PlacementTable::Create(4);
+  ASSERT_TRUE(table.ok());
+  table->SetEpoch(5);
+  auto grown = table->Grown();
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->ShardCount(), 5u);
+  EXPECT_EQ(grown->Epoch(), 6u);
+  constexpr std::uint64_t kIds = 20000;
+  std::size_t moved = 0;
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    const std::size_t before = table->ShardOf(id);
+    const std::size_t after = grown->ShardOf(id);
+    // Old slots share salts with the source table, weight for weight.
+    for (std::size_t slot = 0; slot < 4; ++slot)
+      ASSERT_EQ(table->Weight(slot, id), grown->Weight(slot, id))
+          << "object " << id << " slot " << slot;
+    if (before != after) {
+      EXPECT_EQ(after, 4u) << "object " << id << " moved to an old shard";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, kIds / 5 - kIds / 25);
+  EXPECT_LT(moved, kIds / 5 + kIds / 25);
+}
+
 }  // namespace
 }  // namespace nomloc::cluster

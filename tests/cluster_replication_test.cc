@@ -1,0 +1,434 @@
+// Replication + failover + durable recovery contract (ISSUE 10
+// tentpole): every accepted observation is dual-written to its standby
+// shard, a crashed primary fails over to that standby without losing a
+// bit, Recover() hands the sessions back, the router's write-retry
+// budget turns transient backpressure into bounded retries, and a stale
+// placement epoch is a typed fence, never a silent overwrite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/shard_host.h"
+#include "cluster/transport.h"
+#include "common/metrics.h"
+#include "eval/scenario.h"
+#include "serving/clock.h"
+#include "serving/replay.h"
+#include "serving/service.h"
+
+namespace nomloc::cluster {
+namespace {
+
+struct Harness {
+  eval::Scenario scenario;
+  serving::ReplayConfig replay;
+  serving::ReplayPlan plan;
+  core::NomLocEngine engine;
+};
+
+common::Result<Harness> MakeHarness(std::size_t objects, std::size_t epochs) {
+  NOMLOC_ASSIGN_OR_RETURN(eval::Scenario scenario,
+                          eval::ScenarioByName("lab"));
+  serving::ReplayConfig replay;
+  replay.objects = objects;
+  replay.epochs = epochs;
+  replay.run.packets_per_batch = 3;
+  replay.run.dwell_count = 3;
+  NOMLOC_ASSIGN_OR_RETURN(serving::ReplayPlan plan,
+                          BuildReplayPlan(scenario, replay));
+  core::NomLocConfig engine_cfg;
+  engine_cfg.bandwidth_hz = replay.run.channel.bandwidth_hz;
+  NOMLOC_ASSIGN_OR_RETURN(
+      core::NomLocEngine engine,
+      core::NomLocEngine::Create(scenario.env.Boundary(), engine_cfg));
+  return Harness{std::move(scenario), replay, std::move(plan),
+                 std::move(engine)};
+}
+
+ClusterConfig ReplicatedConfig(const Harness& harness) {
+  ClusterConfig config;
+  config.shards = 4;
+  config.serving.workers = 2;
+  config.replicate = true;
+  config.serving.store.anchor_ttl_s = harness.plan.suggested_anchor_ttl_s;
+  config.serving.store.session_idle_ttl_s =
+      10.0 * harness.replay.epoch_interval_s;
+  config.serving.expected_anchors = harness.plan.expected_anchors;
+  return config;
+}
+
+template <typename Sink, typename AtBoundary>
+void Replay(const Harness& harness, serving::ManualClock& clock, Sink&& sink,
+            AtBoundary&& at_boundary) {
+  std::size_t next = 0;
+  const auto& stream = harness.plan.packets;
+  for (std::size_t e = 0; e < harness.plan.epoch_count; ++e) {
+    const double epoch_end_s =
+        double(e + 1) * harness.replay.epoch_interval_s;
+    while (next < stream.size() && stream[next].timestamp_s < epoch_end_s) {
+      clock.Set(stream[next].timestamp_s);
+      sink(stream[next]);
+      ++next;
+    }
+    at_boundary(e + 1);
+  }
+}
+
+using ResponseKey = std::pair<std::uint64_t, std::uint64_t>;
+
+ResponseKey KeyOf(std::uint64_t object_id, double timestamp_s) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &timestamp_s, sizeof(bits));
+  return {object_id, bits};
+}
+
+std::map<ResponseKey, serving::ServeResponse> GoldenRun(
+    const Harness& harness, serving::ServingConfig serving) {
+  serving::ManualClock clock;
+  auto service =
+      serving::StreamingLocalizer::Create(harness.engine, serving, &clock);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  Replay(
+      harness, clock,
+      [&](const serving::IngestPacket& p) { (void)(*service)->Ingest(p); },
+      [&](std::size_t) { (*service)->Flush(); });
+  (*service)->Shutdown();
+  std::map<ResponseKey, serving::ServeResponse> golden;
+  for (const serving::ServeResponse& r : (*service)->TakeResponses())
+    golden[KeyOf(r.object_id, r.timestamp_s)] = r;
+  return golden;
+}
+
+void ExpectBitIdentical(
+    const std::vector<ClusterResponse>& responses,
+    const std::map<ResponseKey, serving::ServeResponse>& golden) {
+  ASSERT_EQ(responses.size(), golden.size());
+  std::set<ResponseKey> seen;
+  auto bits_equal = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(a)) == 0;
+  };
+  for (const ClusterResponse& received : responses) {
+    const serving::WireResponse& r = received.response;
+    const ResponseKey key = KeyOf(r.object_id, r.timestamp_s);
+    ASSERT_TRUE(seen.insert(key).second)
+        << "duplicate response for object " << r.object_id;
+    const auto golden_it = golden.find(key);
+    ASSERT_NE(golden_it, golden.end())
+        << "no golden twin for object " << r.object_id;
+    const serving::ServeResponse& want = golden_it->second;
+    EXPECT_EQ(r.status, static_cast<std::uint8_t>(want.status));
+    EXPECT_TRUE(bits_equal(r.position.x, want.estimate.position.x));
+    EXPECT_TRUE(bits_equal(r.position.y, want.estimate.position.y));
+    EXPECT_TRUE(
+        bits_equal(r.relaxation_cost, want.estimate.relaxation_cost));
+    EXPECT_TRUE(
+        bits_equal(r.feasible_area_m2, want.estimate.feasible_area_m2));
+    EXPECT_TRUE(bits_equal(r.confidence, want.confidence));
+  }
+}
+
+TEST(Replication, DualWritePopulatesEveryStandby) {
+  auto harness = MakeHarness(4, 2);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = ReplicatedConfig(*harness);
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  const auto replicated_before =
+      common::MetricRegistry::Global().Counter("cluster.replicated").Value();
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        EXPECT_EQ((*cluster)->Ingest(p), serving::AdmitStatus::kAccepted);
+      },
+      [&](std::size_t) { (*cluster)->Flush(); });
+
+  // Every primary session must have exactly one warm-standby copy, and
+  // never on its own shard.
+  std::size_t primaries = 0;
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    for (std::uint64_t id : (*cluster)->StoreOf(shard)->ObjectIds(nullptr)) {
+      ++primaries;
+      std::size_t copies = 0;
+      for (std::size_t other = 0; other < 4; ++other) {
+        if ((*cluster)->StandbyStoreOf(other)->Contains(id)) {
+          ++copies;
+          EXPECT_NE(other, shard)
+              << "object " << id << " standby on its own primary shard";
+        }
+      }
+      EXPECT_EQ(copies, 1u) << "object " << id;
+    }
+  }
+  EXPECT_GT(primaries, 0u);
+  EXPECT_GT(common::MetricRegistry::Global().Counter("cluster.replicated")
+                .Value(),
+            replicated_before);
+  // Dual-writes never change what the cluster answers.
+  const auto responses = (*cluster)->TakeResponses();
+  (*cluster)->Shutdown();
+  ExpectBitIdentical(responses, GoldenRun(*harness, config.serving));
+}
+
+TEST(Replication, CrashFailoverPromotesStandbyAndKeepsBitIdentity) {
+  auto harness = MakeHarness(4, 4);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = ReplicatedConfig(*harness);
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto& registry = common::MetricRegistry::Global();
+  const auto failovers_before = registry.Counter("cluster.failovers").Value();
+  const auto promoted_before =
+      registry.Counter("cluster.promoted_sessions").Value();
+
+  const std::size_t victim = (*cluster)->ShardOf(0);
+  const std::uint64_t epoch_before = (*cluster)->PlacementEpoch();
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        // Failover keeps the whole stream deliverable: the first packet
+        // that finds the primary dead promotes its standby and reroutes.
+        EXPECT_EQ((*cluster)->Ingest(p), serving::AdmitStatus::kAccepted);
+      },
+      [&](std::size_t finished) {
+        (*cluster)->Flush();
+        if (finished == 2) {
+          // A crash, not a drain: no checkpoint, decoded-but-unapplied
+          // bytes die with the host.
+          (*cluster)->Kill(victim, /*unclean=*/true);
+          EXPECT_FALSE((*cluster)->ShardLive(victim));
+        }
+      });
+  const auto responses = (*cluster)->TakeResponses();
+  (*cluster)->Shutdown();
+
+  EXPECT_EQ(registry.Counter("cluster.failovers").Value(),
+            failovers_before + 1);
+  EXPECT_GT(registry.Counter("cluster.promoted_sessions").Value(),
+            promoted_before);
+  EXPECT_GT((*cluster)->PlacementEpoch(), epoch_before);
+  ExpectBitIdentical(responses, GoldenRun(*harness, config.serving));
+}
+
+TEST(Replication, RecoverHandsSessionsBackAndKeepsBitIdentity) {
+  auto harness = MakeHarness(4, 5);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = ReplicatedConfig(*harness);
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto& registry = common::MetricRegistry::Global();
+  const auto recoveries_before =
+      registry.Counter("cluster.recoveries").Value();
+
+  const std::size_t victim = (*cluster)->ShardOf(0);
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        EXPECT_EQ((*cluster)->Ingest(p), serving::AdmitStatus::kAccepted);
+      },
+      [&](std::size_t finished) {
+        (*cluster)->Flush();
+        if (finished == 2) {
+          (*cluster)->Kill(victim, /*unclean=*/true);
+        } else if (finished == 3) {
+          auto recovered = (*cluster)->Recover(victim);
+          ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+          EXPECT_TRUE((*cluster)->ShardLive(victim));
+          // Hand-back: the recovered owner holds its sessions again.
+          EXPECT_GT((*cluster)->StoreOf(victim)->SessionCount(), 0u);
+        }
+      });
+  const auto responses = (*cluster)->TakeResponses();
+  (*cluster)->Shutdown();
+
+  EXPECT_EQ(registry.Counter("cluster.recoveries").Value(),
+            recoveries_before + 1);
+  ExpectBitIdentical(responses, GoldenRun(*harness, config.serving));
+}
+
+TEST(Replication, DurableCrashRecoveryReplaysWalToExactState) {
+  auto harness = MakeHarness(4, 4);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = ReplicatedConfig(*harness);
+  config.replicate = false;  // Durability alone must carry the state.
+  config.durable_dir = ::testing::TempDir() + "nomloc_durable_recovery";
+  config.wal_fsync = false;  // Keep the suite fast; fsync is orthogonal.
+  // A previous run's WAL would replay into this one: start clean.
+  std::error_code ignored;
+  std::filesystem::remove_all(config.durable_dir, ignored);
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto& registry = common::MetricRegistry::Global();
+  const auto replayed_before =
+      registry.Counter("serving.wal.replayed_frames").Value();
+
+  const std::size_t victim = (*cluster)->ShardOf(0);
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) {
+        EXPECT_EQ((*cluster)->Ingest(p), serving::AdmitStatus::kAccepted);
+      },
+      [&](std::size_t finished) {
+        (*cluster)->Flush();
+        if (finished == 2) {
+          // Crash and recover within one drained boundary: the WAL alone
+          // must rebuild the exact pre-crash state (no standby to lean
+          // on, no traffic to mask a hole).
+          (*cluster)->Kill(victim, /*unclean=*/true);
+          auto recovered = (*cluster)->Recover(victim);
+          ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+          EXPECT_GT((*cluster)->StoreOf(victim)->SessionCount(), 0u);
+        }
+      });
+  const auto responses = (*cluster)->TakeResponses();
+  (*cluster)->Shutdown();
+
+  EXPECT_GT(registry.Counter("serving.wal.replayed_frames").Value(),
+            replayed_before);
+  ExpectBitIdentical(responses, GoldenRun(*harness, config.serving));
+}
+
+TEST(Replication, WriteRetryBudgetRetriesThenRejectsTyped) {
+  auto harness = MakeHarness(2, 1);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config;
+  config.shards = 1;
+  config.serving.store.anchor_ttl_s = harness->plan.suggested_anchor_ttl_s;
+  config.serving.expected_anchors = harness->plan.expected_anchors;
+  // A pipe too small for one observation frame, stalled so it never
+  // drains: every retry sees the same backpressure.
+  config.transport.loopback_capacity_bytes = serving::kWireHeaderBytes + 8;
+  config.write_retry_budget = 2;
+  config.write_retry_base_ms = 0.1;
+  config.write_retry_max_ms = 0.2;
+
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto& retries = common::MetricRegistry::Global()
+                      .Counter("cluster.write_retries");
+  const auto retries_before = retries.Value();
+  ASSERT_TRUE((*cluster)->SetStalled(0, true));
+  const serving::IngestPacket& packet = harness->plan.packets.front();
+  clock.Set(packet.timestamp_s);
+  EXPECT_EQ((*cluster)->Ingest(packet),
+            serving::AdmitStatus::kRejectedQueueFull);
+  EXPECT_EQ(retries.Value(), retries_before + 2);  // Budget exhausted.
+  ASSERT_TRUE((*cluster)->SetStalled(0, false));
+  (*cluster)->Shutdown();
+}
+
+TEST(Replication, StaleEpochReplicateIsTypedFence) {
+  auto harness = MakeHarness(2, 1);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  auto pair = ConnectLinkPair(TransportConfig{});
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  serving::ServingConfig serving;
+  serving.workers = 1;
+  serving.expected_anchors = harness->plan.expected_anchors;
+  ShardHostOptions options;
+  options.placement_epoch = 2;
+  auto host = ShardHost::Create(harness->engine, serving,
+                                std::move(pair->host_end), options);
+  ASSERT_TRUE(host.ok()) << host.status().ToString();
+  auto& stale = common::MetricRegistry::Global()
+                    .Counter("cluster.placement.stale_epoch");
+  const auto stale_before = stale.Value();
+
+  serving::WireReplicate replicate;
+  replicate.slot = 1;
+  replicate.packet = harness->plan.packets.front();
+  replicate.packet.kind = serving::PacketKind::kObservation;
+
+  // A router that lost the failover race stamps the old epoch: typed
+  // rejection, standby untouched.
+  replicate.epoch = 1;
+  EXPECT_EQ((*host)->ApplyReplicate(replicate),
+            serving::AdmitStatus::kRejectedStaleEpoch);
+  EXPECT_EQ(stale.Value(), stale_before + 1);
+  EXPECT_EQ((*host)->StandbyStore().SessionCount(), 0u);
+
+  // The current (or a newer) epoch applies.
+  replicate.epoch = 2;
+  EXPECT_EQ((*host)->ApplyReplicate(replicate),
+            serving::AdmitStatus::kAccepted);
+  EXPECT_TRUE(
+      (*host)->StandbyStore().Contains(replicate.packet.object_id));
+  pair->router_end->Close();
+  (*host)->Stop();
+}
+
+TEST(Replication, ConcurrentIngestAfterCrashPromotesExactlyOnce) {
+  // The tsan-checked race: several router-side callers all find the
+  // primary dead at once (half-open probes included) — exactly one
+  // promotion may happen, and every caller's packet must still land.
+  auto harness = MakeHarness(4, 2);
+  ASSERT_TRUE(harness.ok()) << harness.status().ToString();
+  ClusterConfig config = ReplicatedConfig(*harness);
+  config.shard_breaker.failure_threshold = 1;  // Trip on first failure.
+  config.shard_breaker.base_backoff_s = 1e-4;  // Probe almost instantly.
+  config.shard_breaker.max_backoff_s = 1e-3;
+  serving::ManualClock clock;
+  auto cluster = Cluster::Create(harness->engine, config, &clock);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto& registry = common::MetricRegistry::Global();
+  const auto failovers_before = registry.Counter("cluster.failovers").Value();
+
+  // Seed sessions so the promotion has something to move.
+  Replay(
+      *harness, clock,
+      [&](const serving::IngestPacket& p) { (void)(*cluster)->Ingest(p); },
+      [&](std::size_t) { (*cluster)->Flush(); });
+
+  const std::size_t victim = (*cluster)->ShardOf(0);
+  (*cluster)->Kill(victim, /*unclean=*/true);
+
+  // Observations owned by the dead shard, raced from 4 threads.
+  std::vector<serving::IngestPacket> victim_packets;
+  for (const serving::IngestPacket& p : harness->plan.packets)
+    if (p.kind == serving::PacketKind::kObservation &&
+        (*cluster)->ShardOf(p.object_id) == victim)
+      victim_packets.push_back(p);
+  ASSERT_FALSE(victim_packets.empty());
+  const double race_t =
+      harness->plan.packets.back().timestamp_s + 1.0;
+  clock.Set(race_t);
+  for (serving::IngestPacket& p : victim_packets) {
+    p.timestamp_s = race_t;
+    p.deadline_s = race_t + 10.0;
+  }
+
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> threads;
+  for (int thread_index = 0; thread_index < 4; ++thread_index) {
+    threads.emplace_back([&, thread_index] {
+      for (std::size_t k = std::size_t(thread_index);
+           k < victim_packets.size(); k += 4)
+        if ((*cluster)->Ingest(victim_packets[k]) ==
+            serving::AdmitStatus::kAccepted)
+          accepted.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  (*cluster)->Flush();
+  (*cluster)->Shutdown();
+
+  EXPECT_EQ(registry.Counter("cluster.failovers").Value(),
+            failovers_before + 1);  // Exactly one promotion.
+  EXPECT_EQ(accepted.load(), victim_packets.size());  // Nothing dropped.
+}
+
+}  // namespace
+}  // namespace nomloc::cluster

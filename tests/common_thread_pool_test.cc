@@ -154,31 +154,34 @@ TEST(ThreadPool, ShutdownDrainsPendingTasksAndIsIdempotent) {
   EXPECT_FALSE(pool.TrySubmit([] {}).ok());
 }
 
-TEST(ThreadPool, TrySubmitRacingDestructionIsRejectedOrRuns) {
-  // The shutdown-ordering regression: a producer submitting while the pool
-  // is destroyed must see every task either accepted (and executed before
-  // the join) or rejected with the typed error — accepted-but-never-run
-  // and crashes are both bugs.  Run under TSan via the sanitized build.
+TEST(ThreadPool, TrySubmitRacingShutdownIsRejectedOrRuns) {
+  // The shutdown-ordering regression: a producer submitting while the
+  // pool shuts down must see every task either accepted (and executed
+  // before the workers join) or rejected with the typed error —
+  // accepted-but-never-run and crashes are both bugs.  The race targets
+  // Shutdown(), not the destructor: a producer that has not yet been
+  // rejected will call TrySubmit again, so racing destruction itself
+  // would touch a dead object no matter how the pool orders its
+  // teardown (the destructor is Shutdown() plus member teardown, so the
+  // ordering logic under test is the same).  Run under TSan via the
+  // sanitized build.
   std::atomic<int> executed{0};
   std::atomic<int> accepted{0};
   std::atomic<bool> producer_started{false};
-  std::thread producer;
-  {
-    ThreadPool pool(2);
-    producer = std::thread([&] {
-      producer_started = true;
-      for (;;) {
-        const Status status = pool.TrySubmit([&] { ++executed; });
-        if (!status.ok()) {
-          EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
-          return;
-        }
-        ++accepted;
+  ThreadPool pool(2);
+  std::thread producer([&] {
+    producer_started = true;
+    for (;;) {
+      const Status status = pool.TrySubmit([&] { ++executed; });
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+        return;
       }
-    });
-    while (!producer_started) std::this_thread::yield();
-    // Destructor races the producer's TrySubmit loop.
-  }
+      ++accepted;
+    }
+  });
+  while (!producer_started) std::this_thread::yield();
+  pool.Shutdown();  // races the producer's TrySubmit loop
   producer.join();
   EXPECT_EQ(executed.load(), accepted.load());
 }

@@ -313,6 +313,60 @@ TEST(WireDecoder, OrderedModeInterleavesKinds) {
   EXPECT_EQ(decoder.PendingBytes(), 0u);
 }
 
+TEST(WireDecoder, ReplicateAndEpochFramesRoundTrip) {
+  WireReplicate replicate;
+  replicate.slot = 3;
+  replicate.epoch = 17;
+  replicate.packet.kind = PacketKind::kObservation;
+  replicate.packet.object_id = 21;
+  replicate.packet.ap_id = -5;
+  replicate.packet.site_index = 2;
+  replicate.packet.is_nomadic = true;
+  replicate.packet.reported_position = {1.5, -2.25};
+  replicate.packet.pdp = 0.375;
+  replicate.packet.weight = 4.0;
+  replicate.packet.timestamp_s = 12.5;
+  replicate.packet.deadline_s = 13.5;
+  WireControl epoch_set;
+  epoch_set.op = WireControlOp::kEpochSet;
+  epoch_set.epoch = 18;
+
+  std::string bytes = WireHeader();
+  AppendWireReplicateFrame(replicate, bytes);
+  AppendWireControlFrame(epoch_set, bytes);
+  EXPECT_EQ(bytes.size(),
+            kWireHeaderBytes + kWireReplicateBytes + kWireControlBytes);
+
+  WireDecoder decoder(WireDecoderAccept{.packets = false,
+                                        .responses = false,
+                                        .controls = true,
+                                        .replicates = true,
+                                        .ordered = true});
+  // One byte at a time: reassembly across every boundary.
+  for (char c : bytes) ASSERT_TRUE(decoder.Feed({&c, 1}).ok());
+  ASSERT_TRUE(decoder.Finish().ok());
+  const auto events = decoder.TakeEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, kWireReplicateFrame);
+  EXPECT_EQ(events[0].replicate.slot, 3u);
+  EXPECT_EQ(events[0].replicate.epoch, 17u);
+  EXPECT_TRUE(BitEqual(events[0].replicate.packet, replicate.packet));
+  EXPECT_EQ(events[1].kind, kWireControlFrame);
+  EXPECT_EQ(events[1].control.op, WireControlOp::kEpochSet);
+  EXPECT_EQ(events[1].control.epoch, 18u);
+}
+
+TEST(WireDecoder, IngestChannelRejectsReplicateFrames) {
+  // Replicate frames only travel router -> standby host; a plain ingest
+  // channel treats them as an unknown kind at their stream offset.
+  std::string bytes = WireHeader();
+  AppendWireReplicateFrame(WireReplicate{}, bytes);
+  WireDecoder decoder;
+  const auto fed = decoder.Feed(bytes);
+  ASSERT_FALSE(fed.ok());
+  EXPECT_EQ(fed.status().code(), common::StatusCode::kDataCorruption);
+}
+
 TEST(WireDecoder, ByteCountersTrackEncodeAndDecode) {
   auto& in = common::MetricRegistry::Global().Counter("serving.wire.bytes_in");
   auto& out =

@@ -4,8 +4,9 @@
 //                  [--interval S] [--workers N] [--packets N] [--dwells N]
 //                  [--seed N] [--shards N] [--transport loopback|unix|tcp]
 //                  [--breaker-threshold N] [--breaker-backoff S]
-//                  [--migrate] [--kill] [--chaos SEED] [--chaos-events N]
-//                  [--check] [--metrics]
+//                  [--migrate] [--kill] [--replicate] [--kill-primary]
+//                  [--wal DIR] [--retry-budget N] [--chaos [SEED]]
+//                  [--chaos-events N] [--check] [--metrics]
 //
 // Replays the same measurement campaign nomloc_serve drives, but through
 // a Cluster: N shard hosts (each a StreamingLocalizer behind a byte-stream
@@ -27,11 +28,27 @@
 // one epoch later; in between the router routes its objects around the
 // dead shard along their rendezvous preference order.
 //
-// --chaos SEED runs the seeded shard-level chaos schedule (kills with
+// --replicate turns on the standby dual-write path (requires >= 2
+// shards).  --kill-primary then crash-kills shard 0 at the middle epoch
+// boundary WITHOUT a checkpoint — the router fails over to the standby —
+// and Recover()s it one epoch later (WAL replay when --wal is set, then
+// anti-entropy repair).  Under --check the whole episode must stay
+// bit-identical to the unsharded golden run: the standby saw every
+// accepted observation, so nothing is lost.
+//
+// --wal DIR makes every shard durable under DIR/shard-N (WAL segments +
+// checkpoint files).  --retry-budget N enables router-side write retries
+// with exponential backoff + jitter before a typed backpressure reject.
+//
+// --chaos [SEED] runs the seeded shard-level chaos schedule (kills with
 // later restores, migrations, transport stalls) from
 // cluster::RunClusterChaos instead of the plain replay and reports event
-// and admission tallies plus post-recovery accuracy.
+// and admission tallies plus post-recovery accuracy.  With --replicate
+// the event mix switches to the parity-preserving kinds (crash kills +
+// migrations), and --check runs the golden twin inside the harness —
+// the run fails unless every response is bit-identical.
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -63,8 +80,9 @@ namespace {
       "          [--interval S] [--workers N] [--packets N] [--dwells N]\n"
       "          [--seed N] [--shards N] [--transport loopback|unix|tcp]\n"
       "          [--breaker-threshold N] [--breaker-backoff S]\n"
-      "          [--migrate] [--kill] [--chaos SEED] [--chaos-events N]\n"
-      "          [--check] [--metrics]\n",
+      "          [--migrate] [--kill] [--replicate] [--kill-primary]\n"
+      "          [--wal DIR] [--retry-budget N] [--chaos [SEED]]\n"
+      "          [--chaos-events N] [--check] [--metrics]\n",
       argv0);
   std::exit(2);
 }
@@ -94,6 +112,18 @@ void PrintMetricsSummary() {
                   registry.Counter("cluster.shard_trips").Value()),
               static_cast<unsigned long long>(
                   registry.Counter("cluster.migrations").Value()));
+  std::printf("summary: replicated=%llu failovers=%llu recoveries=%llu "
+              "stale_epoch=%llu write_retries=%llu\n",
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.replicated").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.failovers").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.recoveries").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.placement.stale_epoch").Value()),
+              static_cast<unsigned long long>(
+                  registry.Counter("cluster.write_retries").Value()));
   std::printf("summary: wire bytes in=%llu out=%llu\n",
               static_cast<unsigned long long>(
                   registry.Counter("serving.wire.bytes_in").Value()),
@@ -113,6 +143,7 @@ int main(int argc, char** argv) {
   bool chaos_mode = false;
   bool migrate = false;
   bool kill = false;
+  bool kill_primary = false;
   bool check = false;
   bool metrics = false;
 
@@ -160,8 +191,18 @@ int main(int argc, char** argv) {
       migrate = true;
     } else if (arg == "--kill") {
       kill = true;
+    } else if (arg == "--replicate") {
+      config.replicate = true;
+    } else if (arg == "--kill-primary") {
+      kill_primary = true;
+    } else if (arg == "--wal") {
+      config.durable_dir = next();
+    } else if (arg == "--retry-budget") {
+      config.write_retry_budget = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--chaos") {
-      chaos.seed = std::strtoull(next(), nullptr, 10);
+      // The seed is optional so `--chaos --check` reads naturally.
+      if (i + 1 < argc && std::isdigit(argv[i + 1][0]))
+        chaos.seed = std::strtoull(argv[++i], nullptr, 10);
       chaos_mode = true;
     } else if (arg == "--chaos-events") {
       chaos.events = std::strtoul(next(), nullptr, 10);
@@ -175,9 +216,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (chaos_mode && (check || migrate || kill)) {
+  if (chaos_mode && (migrate || kill || kill_primary)) {
     std::fprintf(stderr,
                  "error: --chaos schedules its own topology events\n");
+    return 2;
+  }
+  if (kill_primary && !config.replicate) {
+    std::fprintf(stderr,
+                 "error: --kill-primary needs --replicate (a crash-killed "
+                 "shard recovers through its standby)\n");
+    return 2;
+  }
+  if (config.replicate && config.shards < 2) {
+    std::fprintf(stderr, "error: --replicate needs at least 2 shards\n");
+    return 2;
+  }
+  if (chaos_mode && config.replicate) {
+    // Parity-preserving mix: crash kills + migrations.  A clean kill's
+    // Restart(restore) legitimately drops post-checkpoint sessions and a
+    // stall's typed rejections are fine but pointless here.
+    chaos.kill_weight = 0.0;
+    chaos.stall_weight = 0.0;
+    if (chaos.kill_unclean_weight <= 0.0) chaos.kill_unclean_weight = 3.0;
+    if (check) chaos.check_parity = true;
+  }
+  if (chaos_mode && check && !config.replicate) {
+    std::fprintf(stderr,
+                 "error: --chaos --check needs --replicate (bit-parity "
+                 "under crash kills is the replication invariant)\n");
     return 2;
   }
 
@@ -219,9 +285,10 @@ int main(int argc, char** argv) {
           std::string(cluster::ClusterChaosEventKindName(event.kind)).c_str(),
           event.shard, event.start_s, event.end_s);
     }
-    std::printf("executed: %zu kills, %zu restores, %zu migrations, "
-                "%zu stall windows\n",
-                report->kills, report->restores, report->migrations,
+    std::printf("executed: %zu kills, %zu restores, %zu crash kills, "
+                "%zu recoveries, %zu migrations, %zu stall windows\n",
+                report->kills, report->restores, report->kills_unclean,
+                report->recoveries, report->migrations,
                 report->stall_windows);
     std::printf("ingest: %zu accepted, %zu backpressure, %zu breaker-open, "
                 "%zu past deadline\n",
@@ -233,13 +300,25 @@ int main(int argc, char** argv) {
     if (report->tail_mean_error_m >= 0.0)
       std::printf("recovery: tail mean error %.2f m\n",
                   report->tail_mean_error_m);
+    int chaos_exit = 0;
+    if (report->parity_checked) {
+      if (report->parity_mismatches == 0) {
+        std::printf("check: %zu responses bit-identical to the unsharded "
+                    "golden run (under %zu crash kills)\n",
+                    report->parity_compared, report->kills_unclean);
+      } else {
+        std::fprintf(stderr, "check: FAILED (%zu compared, %zu mismatched)\n",
+                     report->parity_compared, report->parity_mismatches);
+        chaos_exit = 1;
+      }
+    }
     if (metrics) {
       serving::TouchMetrics();
       cluster::TouchMetrics();
       std::printf("\n%s", common::MetricRegistry::Global().DumpText().c_str());
       PrintMetricsSummary();
     }
-    return 0;
+    return chaos_exit;
   }
 
   config.serving.store.anchor_ttl_s = plan->suggested_anchor_ttl_s;
@@ -293,14 +372,33 @@ int main(int argc, char** argv) {
         cluster.Kill(event_shard);
         std::printf("killed shard %zu after epoch %zu\n", event_shard, e + 1);
       }
-    } else if (kill && e == event_boundary &&
-               !cluster.ShardLive(event_shard)) {
-      if (auto ok = cluster.Restart(event_shard, /*restore=*/true);
-          !ok.ok()) {
-        std::fprintf(stderr, "error: %s\n", ok.status().ToString().c_str());
-        return 1;
+      if (kill_primary) {
+        // Crash, not a planned drain: no checkpoint.  The first packet
+        // that finds the shard dead triggers failover to its standby.
+        cluster.Kill(event_shard, /*unclean=*/true);
+        std::printf("crash-killed shard %zu after epoch %zu\n", event_shard,
+                    e + 1);
       }
-      std::printf("restored shard %zu after epoch %zu\n", event_shard, e + 1);
+    } else if (e == event_boundary && !cluster.ShardLive(event_shard)) {
+      if (kill) {
+        if (auto ok = cluster.Restart(event_shard, /*restore=*/true);
+            !ok.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       ok.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("restored shard %zu after epoch %zu\n", event_shard,
+                    e + 1);
+      }
+      if (kill_primary) {
+        if (auto ok = cluster.Recover(event_shard); !ok.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       ok.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("recovered shard %zu after epoch %zu\n", event_shard,
+                    e + 1);
+      }
     }
   }
   cluster.Flush();

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Sanitizer smoke: configure, build, and run the `sanitize-smoke` ctest
 # subset (status/json/trace-io/cir plus the whole serving + cluster +
-# chaos suite, loopback transports included) under each requested
-# sanitizer.
+# chaos suite — WAL, replication, and failover included, loopback
+# transports throughout) under each requested sanitizer.  asan and ubsan
+# additionally sweep the `chaos-replication` label: seeded crash kills
+# landing off flushed epoch boundaries with golden bit-parity checks.
 #
 #   tools/sanitize_smoke.sh [asan|ubsan|tsan ...]
 #
@@ -36,5 +38,10 @@ for san in $sanitizers; do
   cmake --build "$build" -j >/dev/null
   echo "== $san: ctest -L sanitize-smoke"
   ctest --test-dir "$build" -L sanitize-smoke --output-on-failure
+  case "$san" in
+    asan|ubsan)
+      echo "== $san: ctest -L chaos-replication"
+      ctest --test-dir "$build" -L chaos-replication --output-on-failure ;;
+  esac
 done
 echo "== sanitize smoke passed: $sanitizers"
